@@ -1,0 +1,50 @@
+//! Run every experiment at a reduced default scale and print the full
+//! paper-vs-measured record (the source of EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p bench --release --bin all_experiments`
+//! Set `FULL=1` for the larger per-binary default scales.
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::var("FULL").is_ok();
+    // Reduced scales keep the whole suite within a few minutes.
+    let small: &[(&str, &str)] = &[
+        ("MICRO_SUBJECTS", "30000"),
+        ("LUBM_UNIVS", "4"),
+        ("SP2B_DOCS", "4000"),
+        ("DBPEDIA_ENTITIES", "5000"),
+        ("DBPEDIA_PREDS", "1500"),
+        ("PRBENCH_BUGS", "1500"),
+        ("NULLS_SUBJECTS", "60000"),
+        ("ROW_BUDGET", "20000000"),
+    ];
+    let bins = [
+        "show_sql",
+        "micro_bench",
+        "coloring_table",
+        "nulls",
+        "optimizer_effect",
+        "lubm_queries",
+        "prbench_queries",
+        "summary_table",
+    ];
+    for bin in bins {
+        println!("\n################################################################");
+        println!("### {bin}");
+        println!("################################################################\n");
+        let exe = std::env::current_exe().unwrap();
+        let path = exe.parent().unwrap().join(bin);
+        let mut cmd = Command::new(path);
+        if !full {
+            for (k, v) in small {
+                cmd.env(k, v);
+            }
+        }
+        let status = cmd.status().expect("run experiment binary");
+        if !status.success() {
+            eprintln!("experiment {bin} failed: {status}");
+            std::process::exit(1);
+        }
+    }
+}

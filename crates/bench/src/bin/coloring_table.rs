@@ -1,0 +1,92 @@
+//! Table 4 + the §2.3 spill experiments: graph-coloring results for all
+//! four datasets, plus full-coloring vs 10%-sample-coloring spill counts
+//! and NULL fractions.
+//!
+//! Usage: `cargo run -p bench --release --bin coloring_table`
+//! Scales: `LUBM_UNIVS`, `SP2B_DOCS`, `DBPEDIA_ENTITIES`, `DBPEDIA_PREDS`,
+//! `PRBENCH_BUGS` env vars.
+
+use bench::scale_from_env;
+use db2rdf::{ColoringMode, RdfStore, StoreConfig};
+use rdf::Triple;
+
+fn dataset(name: &str) -> Vec<Triple> {
+    match name {
+        "LUBM" => datagen::lubm::generate(scale_from_env("LUBM_UNIVS", 10), 42),
+        "SP2Bench" => datagen::sp2b::generate(scale_from_env("SP2B_DOCS", 10_000), 42),
+        "DBpedia" => datagen::dbpedia::generate(
+            scale_from_env("DBPEDIA_ENTITIES", 12_000),
+            scale_from_env("DBPEDIA_PREDS", 3_000),
+            42,
+        ),
+        "PRBench" => datagen::prbench::generate(scale_from_env("PRBENCH_BUGS", 4_000), 42),
+        _ => unreachable!(),
+    }
+}
+
+fn load(triples: &[Triple], coloring: ColoringMode, max_cols: usize) -> db2rdf::LoadReport {
+    let mut cfg = StoreConfig::default();
+    cfg.entity.coloring = coloring;
+    cfg.entity.max_cols = max_cols;
+    let mut store = RdfStore::new(cfg);
+    store.load(triples).unwrap().clone()
+}
+
+fn main() {
+    println!("== Table 4: Graph Coloring Results (scaled datasets) ==\n");
+    println!(
+        "{:<10} {:>9} {:>7} | {:>8} {:>8} | {:>8} {:>8} | {:>11} {:>10}",
+        "dataset", "triples", "preds", "DPH cols", "covered", "RPH cols", "covered", "DPH spills", "RPH spills"
+    );
+    let mut rows = Vec::new();
+    for name in ["SP2Bench", "PRBench", "LUBM", "DBpedia"] {
+        let triples = dataset(name);
+        let max_cols = if name == "DBpedia" { 75 } else { 100 };
+        let full = load(&triples, ColoringMode::Full, max_cols);
+        println!(
+            "{:<10} {:>9} {:>7} | {:>8} {:>7.1}% | {:>8} {:>7.1}% | {:>11} {:>10}",
+            name,
+            full.triples,
+            full.predicates,
+            full.dph_cols,
+            100.0 * full.dph_coverage,
+            full.rph_cols,
+            100.0 * full.rph_coverage,
+            full.dph_spill_rows,
+            full.rph_spill_rows,
+        );
+        rows.push((name, triples, full));
+    }
+    println!(
+        "\nPaper's Table 4: LUBM 18 preds → 10 DPH / 3 RPH cols at 100%;\n\
+         SP2Bench 78 → 54/53 at 100%; PRBench 51 → 35/9 at 100%;\n\
+         DBpedia 53,976 preds → 75 cols at 94% / 51 at 99%.\n"
+    );
+
+    println!("== §2.3: coloring from a 10% sample vs the full dataset ==\n");
+    println!(
+        "{:<10} | {:>13} {:>13} | {:>13} {:>13}",
+        "dataset", "full DPH sp.", "10% DPH sp.", "full RPH sp.", "10% RPH sp."
+    );
+    for (name, triples, full) in &rows {
+        let sampled = load(triples, ColoringMode::Sample(0.10), if *name == "DBpedia" { 75 } else { 100 });
+        println!(
+            "{:<10} | {:>13} {:>13} | {:>13} {:>13}",
+            name, full.dph_spill_rows, sampled.dph_spill_rows, full.rph_spill_rows, sampled.rph_spill_rows
+        );
+    }
+    println!(
+        "\nPaper: 10% sampling added no LUBM spills, 139+666 SP2B spills, and\n\
+         ~0.9%/0.3% extra DBpedia spills — sample coloring stays close to full.\n"
+    );
+
+    println!("== §2.3: NULL fractions under coloring ==\n");
+    for (name, _, full) in &rows {
+        println!(
+            "{:<10} DPH {:>5.1}% NULL cells, RPH {:>5.1}% (paper: LUBM 64.67%/94.77%, DBpedia 93%/97.6%)",
+            name,
+            100.0 * full.dph_null_fraction,
+            100.0 * full.rph_null_fraction
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! §2.1 micro-benchmark — reproduces Tables 1 & 2 and Figure 3.
+//!
+//! Usage: `cargo run -p bench --release --bin micro_bench`
+//! Scale: `MICRO_SUBJECTS` env var (default 84_000 ≈ the paper's 1M triples).
+
+use bench::{fmt_time, run_workload, scale_from_env, Outcome, System};
+
+fn main() {
+    let n = scale_from_env("MICRO_SUBJECTS", 84_000);
+    let triples = datagen::micro::generate(n, 42);
+    println!("== Micro-benchmark (paper §2.1, Tables 1-2, Fig. 3) ==");
+    println!("{n} subjects, {} triples (paper: 1M)\n", triples.len());
+    println!("Table 1 predicate-set mix: .01 / .24 / .25 / .25 / .24 / .01 (by construction)\n");
+
+    let systems = [System::Db2Rdf, System::TripleStore, System::Vertical];
+    let stores: Vec<_> = systems
+        .iter()
+        .map(|s| {
+            let t0 = std::time::Instant::now();
+            let store = s.build(&triples, Some(500_000_000));
+            eprintln!("loaded {} in {:?}", s.name(), t0.elapsed());
+            store
+        })
+        .collect();
+
+    let queries = datagen::micro::queries();
+    let results: Vec<Vec<(String, Outcome)>> =
+        stores.iter().map(|s| run_workload(s, &queries, 3)).collect();
+
+    println!(
+        "{:<6} {:>9} | {:>14} {:>14} {:>14}   (Fig. 3: entity vs triple vs predicate)",
+        "query", "results", "Entity", "TripleStore", "Vertical"
+    );
+    for (qi, q) in queries.iter().enumerate() {
+        let nres = match &results[0][qi].1 {
+            Outcome::Complete { results, .. } => results.to_string(),
+            _ => "-".to_string(),
+        };
+        println!(
+            "{:<6} {:>9} | {:>14} {:>14} {:>14}",
+            q.name,
+            nres,
+            fmt_time(&results[0][qi].1),
+            fmt_time(&results[1][qi].1),
+            fmt_time(&results[2][qi].1),
+        );
+    }
+    println!(
+        "\nPaper's Fig. 3 shape: entity flat (~70-140ms) across Q1-Q6; triple-store\n\
+         degrades with conjunct count (940-1850ms); predicate-oriented in between\n\
+         (237-614ms) but wins Q7-Q10 (2-6ms) where every star predicate is selective."
+    );
+}

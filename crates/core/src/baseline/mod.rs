@@ -1,0 +1,326 @@
+//! Baseline relational RDF layouts (paper §2, Fig. 2): the triple-store and
+//! the predicate-oriented (vertically partitioned) schema, each with its own
+//! SPARQL→SQL star generation. Both share the hybrid optimizer and the
+//! generic CTE-chain translator — only the per-triple access SQL differs.
+
+use std::collections::BTreeMap;
+
+use rdf::Triple;
+use relstore::{quote_str, Database, IndexKind, SqlType, TableSchema, Value};
+use sparql::TermPattern;
+
+use crate::error::{Result, StoreError};
+use crate::optimizer::{PTree, StarNode, StarSem};
+use crate::translate::{GenState, StarGen};
+
+// ---------------------------------------------------------------------------
+// Triple-store layout
+// ---------------------------------------------------------------------------
+
+/// Load the single three-column TRIPLES relation (indexes on subject and
+/// object; no predicate index, matching the paper's setup).
+pub fn load_triple_store(db: &mut Database, triples: &[Triple]) -> relstore::Result<()> {
+    db.create_table(TableSchema::new(
+        "triples",
+        vec![
+            ("subj".into(), SqlType::Text),
+            ("pred".into(), SqlType::Text),
+            ("obj".into(), SqlType::Text),
+        ],
+    ))?;
+    db.insert_rows(
+        "triples",
+        triples.iter().map(|t| {
+            vec![
+                Value::str(t.subject.encode()),
+                Value::str(t.predicate.encode()),
+                Value::str(t.object.encode()),
+            ]
+        }),
+    )?;
+    db.create_index("triples", "subj", IndexKind::Hash)?;
+    db.create_index("triples", "obj", IndexKind::Hash)?;
+    Ok(())
+}
+
+/// Append one triple (the triple-store is trivially dynamic).
+pub fn insert_triple_store(db: &mut Database, t: &Triple) -> relstore::Result<()> {
+    db.insert_rows(
+        "triples",
+        [vec![
+            Value::str(t.subject.encode()),
+            Value::str(t.predicate.encode()),
+            Value::str(t.object.encode()),
+        ]],
+    )?;
+    Ok(())
+}
+
+pub struct TripleGen<'a> {
+    pub tree: &'a PTree,
+}
+
+impl TripleGen<'_> {
+    fn gen_one(&self, ti: usize, state: &mut GenState) -> Result<()> {
+        let tp = &self.tree.triples[ti];
+        let name = state.fresh();
+        let prior = state.last.clone();
+        let mut from: Vec<String> = Vec::new();
+        if let Some(p) = &prior {
+            from.push(format!("{p} AS P"));
+        }
+        from.push("triples AS T".to_string());
+        let mut select: Vec<String> =
+            if prior.is_some() { state.prior_projection("P") } else { Vec::new() };
+        let mut wheres: Vec<String> = Vec::new();
+        let mut new_bound = state.bound.clone();
+        let mut local: BTreeMap<String, String> = BTreeMap::new();
+        for (tpat, col) in
+            [(&tp.subject, "T.subj"), (&tp.predicate, "T.pred"), (&tp.object, "T.obj")]
+        {
+            match tpat {
+                TermPattern::Term(t) => wheres.push(format!("{col} = {}", quote_str(&t.encode()))),
+                TermPattern::Var(v) => {
+                    if let Some(expr) = local.get(v) {
+                        wheres.push(format!("{col} = {expr}"));
+                    } else if let Some(bcol) = state.bound.get(v) {
+                        wheres.push(format!("{col} = P.{bcol}"));
+                        local.insert(v.clone(), col.to_string());
+                    } else {
+                        let out = state.col(v);
+                        select.push(format!("{col} AS {out}"));
+                        new_bound.insert(v.clone(), out);
+                        local.insert(v.clone(), col.to_string());
+                    }
+                }
+            }
+        }
+        if select.is_empty() {
+            select.push("1 AS one".to_string());
+        }
+        let mut body = format!("SELECT {} FROM {}", select.join(", "), from.join(", "));
+        if !wheres.is_empty() {
+            body.push_str(" WHERE ");
+            body.push_str(&wheres.join(" AND "));
+        }
+        state.bound = new_bound;
+        state.push_cte(name, body);
+        Ok(())
+    }
+}
+
+impl StarGen for TripleGen<'_> {
+    fn gen_star(&self, star: &StarNode, state: &mut GenState) -> Result<()> {
+        if star.sem != StarSem::And {
+            return Err(StoreError::Unsupported(
+                "merged stars are an entity-layout feature".into(),
+            ));
+        }
+        for &ti in &star.triples {
+            self.gen_one(ti, state)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Predicate-oriented (vertical partitioning) layout
+// ---------------------------------------------------------------------------
+
+/// Predicate → table-name map for the vertical layout.
+#[derive(Debug, Clone, Default)]
+pub struct VerticalLayout {
+    pub tables: BTreeMap<String, String>,
+}
+
+/// One two-column table per predicate, both columns indexed (the classic
+/// column-store emulation of Abadi et al. that the paper compares against).
+pub fn load_vertical(
+    db: &mut Database,
+    triples: &[Triple],
+) -> relstore::Result<VerticalLayout> {
+    let mut layout = VerticalLayout::default();
+    let mut grouped: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    for t in triples {
+        grouped
+            .entry(t.predicate.encode())
+            .or_default()
+            .push((t.subject.encode(), t.object.encode()));
+    }
+    for (i, (pred, rows)) in grouped.into_iter().enumerate() {
+        let table = format!("vp{i}");
+        db.create_table(TableSchema::new(
+            &table,
+            vec![("entry".into(), SqlType::Text), ("val".into(), SqlType::Text)],
+        ))?;
+        db.insert_rows(&table, rows.into_iter().map(|(s, o)| vec![Value::str(s), Value::str(o)]))?;
+        db.create_index(&table, "entry", IndexKind::Hash)?;
+        db.create_index(&table, "val", IndexKind::Hash)?;
+        layout.tables.insert(pred, table);
+    }
+    Ok(layout)
+}
+
+/// Append one triple; unseen predicates need a schema change (the dynamic-
+/// schema weakness the paper points out — a new table per new predicate).
+pub fn insert_vertical(
+    db: &mut Database,
+    layout: &mut VerticalLayout,
+    t: &Triple,
+) -> relstore::Result<()> {
+    let pred = t.predicate.encode();
+    let table = match layout.tables.get(&pred) {
+        Some(t) => t.clone(),
+        None => {
+            let table = format!("vp{}", layout.tables.len());
+            db.create_table(TableSchema::new(
+                &table,
+                vec![("entry".into(), SqlType::Text), ("val".into(), SqlType::Text)],
+            ))?;
+            db.create_index(&table, "entry", IndexKind::Hash)?;
+            db.create_index(&table, "val", IndexKind::Hash)?;
+            layout.tables.insert(pred.clone(), table.clone());
+            table
+        }
+    };
+    db.insert_rows(&table, [vec![Value::str(t.subject.encode()), Value::str(t.object.encode())]])?;
+    Ok(())
+}
+
+pub struct VerticalGen<'a> {
+    pub tree: &'a PTree,
+    pub layout: &'a VerticalLayout,
+    /// Refuse variable-predicate queries when the union would span more
+    /// tables than this (documented vertical-partitioning weakness).
+    pub max_union_tables: usize,
+}
+
+impl VerticalGen<'_> {
+    fn gen_one(&self, ti: usize, state: &mut GenState) -> Result<()> {
+        let tp = &self.tree.triples[ti];
+        // Resolve the relation: a predicate table, or a UNION view for
+        // variable predicates.
+        let (rel_sql, pred_var): (String, Option<&str>) = match &tp.predicate {
+            TermPattern::Term(p) => {
+                let pe = p.encode();
+                match self.layout.tables.get(&pe) {
+                    Some(t) => (t.clone(), None),
+                    None => {
+                        // Unknown predicate: provably empty.
+                        let name = state.fresh();
+                        let mut select: Vec<String> = state
+                            .bound
+                            .values()
+                            .map(|c| format!("NULL AS {c}"))
+                            .collect();
+                        let mut new_bound = state.bound.clone();
+                        for pos in [&tp.subject, &tp.object] {
+                            if let TermPattern::Var(v) = pos {
+                                if !new_bound.contains_key(v) {
+                                    let col = state.col(v);
+                                    select.push(format!("NULL AS {col}"));
+                                    new_bound.insert(v.clone(), col);
+                                }
+                            }
+                        }
+                        if select.is_empty() {
+                            select.push("1 AS one".into());
+                        }
+                        let body =
+                            format!("SELECT {} WHERE FALSE", select.join(", "));
+                        state.bound = new_bound;
+                        state.push_cte(name, body);
+                        return Ok(());
+                    }
+                }
+            }
+            TermPattern::Var(v) => {
+                if self.layout.tables.len() > self.max_union_tables {
+                    return Err(StoreError::Unsupported(format!(
+                        "variable predicate over {} vertical tables",
+                        self.layout.tables.len()
+                    )));
+                }
+                // Materialize an all-predicates union as its own CTE.
+                let name = state.fresh();
+                let selects: Vec<String> = self
+                    .layout
+                    .tables
+                    .iter()
+                    .map(|(p, t)| {
+                        format!("SELECT entry, val, {} AS pred FROM {t}", quote_str(p))
+                    })
+                    .collect();
+                state.ctes.push((name.clone(), selects.join(" UNION ALL ")));
+                (name, Some(v.as_str()))
+            }
+        };
+
+        let name = state.fresh();
+        let prior = state.last.clone();
+        let mut from: Vec<String> = Vec::new();
+        if let Some(p) = &prior {
+            from.push(format!("{p} AS P"));
+        }
+        from.push(format!("{rel_sql} AS T"));
+        let mut select: Vec<String> =
+            if prior.is_some() { state.prior_projection("P") } else { Vec::new() };
+        let mut wheres: Vec<String> = Vec::new();
+        let mut new_bound = state.bound.clone();
+        let mut local: BTreeMap<String, String> = BTreeMap::new();
+        let positions: Vec<(&TermPattern, &str)> =
+            vec![(&tp.subject, "T.entry"), (&tp.object, "T.val")];
+        if let Some(pv) = pred_var {
+            if let Some(bcol) = state.bound.get(pv) {
+                wheres.push(format!("T.pred = P.{bcol}"));
+            } else {
+                let out = state.col(pv);
+                select.push(format!("T.pred AS {out}"));
+                new_bound.insert(pv.to_string(), out);
+            }
+        }
+        for (tpat, col) in positions {
+            match tpat {
+                TermPattern::Term(t) => wheres.push(format!("{col} = {}", quote_str(&t.encode()))),
+                TermPattern::Var(v) => {
+                    if let Some(expr) = local.get(v) {
+                        wheres.push(format!("{col} = {expr}"));
+                    } else if let Some(bcol) = state.bound.get(v) {
+                        wheres.push(format!("{col} = P.{bcol}"));
+                        local.insert(v.clone(), col.to_string());
+                    } else {
+                        let out = state.col(v);
+                        select.push(format!("{col} AS {out}"));
+                        new_bound.insert(v.clone(), out);
+                        local.insert(v.clone(), col.to_string());
+                    }
+                }
+            }
+        }
+        if select.is_empty() {
+            select.push("1 AS one".to_string());
+        }
+        let mut body = format!("SELECT {} FROM {}", select.join(", "), from.join(", "));
+        if !wheres.is_empty() {
+            body.push_str(" WHERE ");
+            body.push_str(&wheres.join(" AND "));
+        }
+        state.bound = new_bound;
+        state.push_cte(name, body);
+        Ok(())
+    }
+}
+
+impl StarGen for VerticalGen<'_> {
+    fn gen_star(&self, star: &StarNode, state: &mut GenState) -> Result<()> {
+        if star.sem != StarSem::And {
+            return Err(StoreError::Unsupported(
+                "merged stars are an entity-layout feature".into(),
+            ));
+        }
+        for &ti in &star.triples {
+            self.gen_one(ti, state)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors surfaced by the RDF store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// SPARQL parse failure.
+    Sparql(sparql::SparqlError),
+    /// Relational back-end failure (including the row-budget "timeout").
+    Sql(relstore::Error),
+    /// Query shape not supported by the selected layout/translator.
+    Unsupported(String),
+}
+
+impl StoreError {
+    /// True when the error is the evaluation-budget guard — the analogue of
+    /// the paper's 10-minute query timeout.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, StoreError::Sql(relstore::Error::LimitExceeded))
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Sparql(e) => write!(f, "{e}"),
+            StoreError::Sql(e) => write!(f, "{e}"),
+            StoreError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<sparql::SparqlError> for StoreError {
+    fn from(e: sparql::SparqlError) -> Self {
+        StoreError::Sparql(e)
+    }
+}
+
+impl From<relstore::Error> for StoreError {
+    fn from(e: relstore::Error) -> Self {
+        StoreError::Sql(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,317 @@
+//! Predicate-to-column assignment by interference-graph coloring (paper
+//! §2.2, Defs. 2.3 and the `c(D⊗P, m)` subset construction).
+//!
+//! Two predicates *interfere* when they co-occur on some entity; interfering
+//! predicates must live in different columns or they force spill rows. A
+//! greedy coloring (largest-degree-first, the classic Welsh–Powell order —
+//! the paper calls its greedy approximation "Floyd-Warshall") assigns each
+//! predicate one column. When the data needs more than `m` colors (DBpedia),
+//! the most frequent predicates covering the bulk of the data are colored
+//! with `m - 1` colors and the tail is composed with a hash function.
+
+use std::collections::{HashMap, HashSet};
+
+/// Interference graph over predicates.
+#[derive(Debug, Default, Clone)]
+pub struct InterferenceGraph {
+    /// Predicate → dense node id.
+    ids: HashMap<String, usize>,
+    names: Vec<String>,
+    adj: Vec<HashSet<usize>>,
+    /// Number of triples per predicate (used to pick the colored subset).
+    freq: Vec<u64>,
+}
+
+impl InterferenceGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn node(&mut self, p: &str) -> usize {
+        if let Some(&i) = self.ids.get(p) {
+            return i;
+        }
+        let i = self.names.len();
+        self.ids.insert(p.to_string(), i);
+        self.names.push(p.to_string());
+        self.adj.push(HashSet::new());
+        self.freq.push(0);
+        i
+    }
+
+    /// Record one entity's predicate set (with per-predicate triple counts):
+    /// every pair of co-occurring predicates interferes.
+    pub fn add_entity<'a>(&mut self, preds: impl IntoIterator<Item = (&'a str, u64)>) {
+        let nodes: Vec<usize> = preds
+            .into_iter()
+            .map(|(p, n)| {
+                let i = self.node(p);
+                self.freq[i] += n;
+                i
+            })
+            .collect();
+        for (k, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[k + 1..] {
+                if a != b {
+                    self.adj[a].insert(b);
+                    self.adj[b].insert(a);
+                }
+            }
+        }
+    }
+
+    pub fn predicate_count(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(HashSet::len).sum::<usize>() / 2
+    }
+
+    /// Greedy coloring in descending-degree order. Always succeeds; the
+    /// number of colors used is at most max-degree + 1.
+    pub fn color(&self) -> Coloring {
+        let n = self.names.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.adj[i].len()), i));
+        let mut color = vec![usize::MAX; n];
+        let mut max_color = 0usize;
+        for &i in &order {
+            let used: HashSet<usize> =
+                self.adj[i].iter().filter_map(|&j| (color[j] != usize::MAX).then_some(color[j])).collect();
+            let mut c = 0;
+            while used.contains(&c) {
+                c += 1;
+            }
+            color[i] = c;
+            max_color = max_color.max(c + 1);
+        }
+        Coloring {
+            assignment: self
+                .names
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.clone(), color[i]))
+                .collect(),
+            colors_used: max_color,
+        }
+    }
+
+    /// Color at most `m` columns. When the full greedy coloring fits in `m`,
+    /// every predicate is covered. Otherwise predicates are dropped from the
+    /// colored subset in ascending frequency order until the remainder can be
+    /// colored with `m - 1` colors (the last "column budget" is left to the
+    /// composed hash tail, per the paper's `c(D⊗P,m) ⊕ h(m)` construction).
+    pub fn color_bounded(&self, m: usize) -> BoundedColoring {
+        assert!(m >= 2, "need at least two columns to bound a coloring");
+        let full = self.color();
+        if full.colors_used <= m {
+            let covered_triples: u64 = self.freq.iter().sum();
+            return BoundedColoring {
+                assignment: full.assignment,
+                colors_used: full.colors_used,
+                uncolored: Vec::new(),
+                covered_triples,
+                total_triples: covered_triples,
+            };
+        }
+        // Drop least-frequent predicates until the induced subgraph colors
+        // with m - 1 colors.
+        let mut by_freq: Vec<usize> = (0..self.names.len()).collect();
+        by_freq.sort_by_key(|&i| (self.freq[i], std::cmp::Reverse(self.adj[i].len())));
+        let mut dropped: HashSet<usize> = HashSet::new();
+        let mut drop_iter = by_freq.into_iter();
+        loop {
+            let sub = self.induced_coloring(&dropped, m - 1);
+            if let Some(coloring) = sub {
+                let covered_triples: u64 = (0..self.names.len())
+                    .filter(|i| !dropped.contains(i))
+                    .map(|i| self.freq[i])
+                    .sum();
+                let total_triples: u64 = self.freq.iter().sum();
+                return BoundedColoring {
+                    colors_used: coloring.colors_used,
+                    assignment: coloring.assignment,
+                    uncolored: dropped.iter().map(|&i| self.names[i].clone()).collect(),
+                    covered_triples,
+                    total_triples,
+                };
+            }
+            match drop_iter.next() {
+                Some(i) => {
+                    dropped.insert(i);
+                }
+                None => unreachable!("empty graph always colors"),
+            }
+        }
+    }
+
+    /// Greedy-color the subgraph without `dropped`; `None` if it needs more
+    /// than `max_colors`.
+    fn induced_coloring(&self, dropped: &HashSet<usize>, max_colors: usize) -> Option<Coloring> {
+        let n = self.names.len();
+        let mut order: Vec<usize> = (0..n).filter(|i| !dropped.contains(i)).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.adj[i].len()), i));
+        let mut color = vec![usize::MAX; n];
+        let mut max_used = 0usize;
+        for &i in &order {
+            let used: HashSet<usize> = self.adj[i]
+                .iter()
+                .filter(|j| !dropped.contains(j))
+                .filter_map(|&j| (color[j] != usize::MAX).then_some(color[j]))
+                .collect();
+            let mut c = 0;
+            while used.contains(&c) {
+                c += 1;
+            }
+            if c >= max_colors {
+                return None;
+            }
+            color[i] = c;
+            max_used = max_used.max(c + 1);
+        }
+        Some(Coloring {
+            assignment: order.iter().map(|&i| (self.names[i].clone(), color[i])).collect(),
+            colors_used: max_used,
+        })
+    }
+}
+
+/// A complete coloring: predicate → column.
+#[derive(Debug, Clone)]
+pub struct Coloring {
+    pub assignment: HashMap<String, usize>,
+    pub colors_used: usize,
+}
+
+/// A bounded coloring with a possibly-uncolored tail (handled by hashing).
+#[derive(Debug, Clone)]
+pub struct BoundedColoring {
+    pub assignment: HashMap<String, usize>,
+    pub colors_used: usize,
+    /// Predicates left to the hash tail.
+    pub uncolored: Vec<String>,
+    /// Triples whose predicate is colored.
+    pub covered_triples: u64,
+    pub total_triples: u64,
+}
+
+impl BoundedColoring {
+    /// Fraction of triples covered by the coloring (Table 4's "Percent
+    /// Covered").
+    pub fn coverage(&self) -> f64 {
+        if self.total_triples == 0 {
+            1.0
+        } else {
+            self.covered_triples as f64 / self.total_triples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1(a)/Fig. 4 running example.
+    fn running_example() -> InterferenceGraph {
+        let mut g = InterferenceGraph::new();
+        g.add_entity([("died", 1), ("born", 1), ("founder", 1)]);
+        g.add_entity([("born", 1), ("founder", 1), ("board", 1), ("home", 1)]);
+        g.add_entity([
+            ("developer", 1),
+            ("version", 1),
+            ("kernel", 1),
+            ("preceded", 1),
+            ("graphics", 1),
+        ]);
+        g.add_entity([("industry", 2), ("employees", 1), ("headquarters", 1)]);
+        g.add_entity([("industry", 3), ("employees", 1), ("headquarters", 1)]);
+        g
+    }
+
+    fn assert_proper(g: &InterferenceGraph, assignment: &HashMap<String, usize>) {
+        for (p, &i) in &g.ids {
+            for &j in &g.adj[i] {
+                let q = &g.names[j];
+                if let (Some(&cp), Some(&cq)) = (assignment.get(p), assignment.get(q)) {
+                    assert_ne!(cp, cq, "{p} and {q} interfere but share column {cp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn running_example_colors_with_five_columns() {
+        // Paper Fig. 4: "for the 13 predicates, we only need 5 colors."
+        let g = running_example();
+        assert_eq!(g.predicate_count(), 13);
+        let c = g.color();
+        assert_proper(&g, &c.assignment);
+        assert_eq!(c.colors_used, 5);
+    }
+
+    #[test]
+    fn board_and_died_may_share_a_color() {
+        // They never co-occur, so nothing forces them apart; at minimum the
+        // coloring must be proper.
+        let g = running_example();
+        let c = g.color();
+        assert_proper(&g, &c.assignment);
+    }
+
+    #[test]
+    fn bounded_coloring_full_coverage_when_it_fits() {
+        let g = running_example();
+        let b = g.color_bounded(10);
+        assert_eq!(b.uncolored.len(), 0);
+        assert!((b.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_coloring_drops_rare_predicates_first() {
+        // A clique of 5 predicates cannot fit 4 columns (3 colors + hash
+        // tail); the two rarest must fall to the hash tail.
+        let mut g = InterferenceGraph::new();
+        g.add_entity([
+            ("common1", 100),
+            ("common2", 100),
+            ("common3", 100),
+            ("rare1", 1),
+            ("rare2", 1),
+        ]);
+        let b = g.color_bounded(4);
+        assert_proper(&g, &b.assignment);
+        assert!(b.colors_used <= 3);
+        assert!(b.uncolored.contains(&"rare1".to_string()));
+        assert!(b.uncolored.contains(&"rare2".to_string()));
+        assert!(!b.uncolored.iter().any(|p| p.starts_with("common")));
+        assert!(b.coverage() > 0.98);
+    }
+
+    #[test]
+    fn disjoint_entities_share_columns() {
+        let mut g = InterferenceGraph::new();
+        g.add_entity([("a", 1), ("b", 1)]);
+        g.add_entity([("c", 1), ("d", 1)]);
+        let c = g.color();
+        assert_eq!(c.colors_used, 2, "two disjoint pairs need only two columns");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = InterferenceGraph::new();
+        let c = g.color();
+        assert_eq!(c.colors_used, 0);
+        let b = g.color_bounded(4);
+        assert_eq!(b.colors_used, 0);
+        assert!((b.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_never_created() {
+        let mut g = InterferenceGraph::new();
+        // same predicate twice for one entity (multi-valued)
+        g.add_entity([("p", 1), ("p", 1)]);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

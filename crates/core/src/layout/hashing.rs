@@ -1,0 +1,125 @@
+//! Predicate mapping by hash-function composition (paper Def. 2.1/2.2).
+//!
+//! When no data sample is available, predicates map to columns through `n`
+//! independent string hashes restricted to the column range: the first hash
+//! gives the preferred column, later hashes give fallbacks that reduce
+//! assignment conflicts (and therefore spills).
+
+/// One seeded FNV-1a string hash restricted to `[0, m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashFn {
+    seed: u64,
+    m: usize,
+}
+
+impl HashFn {
+    pub fn new(seed: u64, m: usize) -> Self {
+        assert!(m > 0, "hash range must be non-empty");
+        HashFn { seed, m }
+    }
+
+    pub fn apply(&self, s: &str) -> usize {
+        let mut h = 0xcbf29ce484222325u64 ^ self.seed.wrapping_mul(0x9e3779b97f4a7c15);
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        // final avalanche to decorrelate seeds
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 33;
+        (h % self.m as u64) as usize
+    }
+}
+
+/// A composition `h1 ⊕ h2 ⊕ ... ⊕ hn`: the candidate column sequence for a
+/// predicate (duplicates removed, order preserved).
+#[derive(Debug, Clone)]
+pub struct HashComposition {
+    fns: Vec<HashFn>,
+}
+
+impl HashComposition {
+    /// `n` independent hash functions over `m` columns.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n > 0);
+        HashComposition { fns: (0..n).map(|i| HashFn::new(0x5eed + i as u64, m)).collect() }
+    }
+
+    pub fn candidates(&self, predicate: &str) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.fns.len());
+        for f in &self.fns {
+            let c = f.apply(predicate);
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    pub fn range(&self) -> usize {
+        self.fns[0].m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let h = HashFn::new(7, 10);
+        for p in ["born", "died", "founder", "industry"] {
+            let c = h.apply(p);
+            assert!(c < 10);
+            assert_eq!(c, h.apply(p));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = HashFn::new(1, 50);
+        let b = HashFn::new(2, 50);
+        let preds: Vec<String> = (0..100).map(|i| format!("pred{i}")).collect();
+        assert!(preds.iter().any(|p| a.apply(p) != b.apply(p)));
+    }
+
+    #[test]
+    fn composition_dedupes_and_preserves_order() {
+        let comp = HashComposition::new(3, 8);
+        for p in ["alpha", "beta", "gamma"] {
+            let cs = comp.candidates(p);
+            assert!(!cs.is_empty() && cs.len() <= 3);
+            let mut sorted = cs.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), cs.len(), "no duplicates");
+            assert!(cs.iter().all(|&c| c < 8));
+        }
+    }
+
+    #[test]
+    fn composition_reduces_conflicts_like_table3() {
+        // Mirror of the paper's Table 3 walk-through: with two hash functions
+        // a second candidate column resolves first-choice collisions.
+        let comp = HashComposition::new(2, 5);
+        let preds = ["developer", "version", "kernel", "preceded", "graphics"];
+        // Simulate inserting all predicates for one subject.
+        let mut occupied = vec![false; 5];
+        let mut spills = 0;
+        for p in preds {
+            let mut placed = false;
+            for c in comp.candidates(p) {
+                if !occupied[c] {
+                    occupied[c] = true;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                spills += 1;
+            }
+        }
+        // 5 predicates into 5 columns with 2 hashes: at most a couple spill.
+        assert!(spills <= 2, "unexpected spill count {spills}");
+    }
+}

@@ -1,0 +1,815 @@
+//! Bulk loading and incremental insertion into the DB2RDF schema (§2.1):
+//! the DPH/DS (direct) and RPH/RS (reverse) relations, predicate-to-column
+//! assignment, spill rows, and multi-valued lids.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use rdf::Triple;
+use relstore::{Database, IndexKind, SqlType, TableSchema, Value};
+
+use crate::layout::{HashComposition, InterferenceGraph, PredMapping, SideLayout};
+
+/// How predicates are assigned to columns at bulk load (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColoringMode {
+    /// No data sample assumed: composed hashing only.
+    HashOnly,
+    /// Color the full dataset's interference graph.
+    Full,
+    /// Color a random sample of entities (the paper's 10% experiment);
+    /// the value is the sample fraction in (0, 1].
+    Sample(f64),
+}
+
+/// Loader configuration for the entity layout.
+#[derive(Debug, Clone)]
+pub struct EntityConfig {
+    /// Maximum predicate/value column pairs per table (the paper's `m`).
+    pub max_cols: usize,
+    /// Number of composed hash functions.
+    pub hash_fns: usize,
+    pub coloring: ColoringMode,
+}
+
+impl Default for EntityConfig {
+    fn default() -> Self {
+        EntityConfig { max_cols: 100, hash_fns: 2, coloring: ColoringMode::Full }
+    }
+}
+
+/// Load-time report: the quantities Table 4 and §2.3 of the paper discuss.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    pub triples: u64,
+    pub dph_rows: u64,
+    pub rph_rows: u64,
+    /// Rows beyond the first for some entity (spill tuples).
+    pub dph_spill_rows: u64,
+    pub rph_spill_rows: u64,
+    /// Predicate/value column pairs in each table.
+    pub dph_cols: usize,
+    pub rph_cols: usize,
+    /// Distinct predicates seen on each side.
+    pub predicates: usize,
+    /// Fraction of triples whose predicate was covered by coloring.
+    pub dph_coverage: f64,
+    pub rph_coverage: f64,
+    /// NULL fraction of the predicate/value cells.
+    pub dph_null_fraction: f64,
+    pub rph_null_fraction: f64,
+    /// Approximate storage footprint of DPH+DS+RPH+RS (value-compressed).
+    pub storage_bytes: u64,
+}
+
+/// One side's in-memory build state before table insertion.
+struct SideBuild {
+    layout: SideLayout,
+    /// Rows: entry, spill flag, and one optional (pred, val) per column.
+    rows: Vec<(Arc<str>, bool, Vec<Option<(Arc<str>, Value)>>)>,
+    secondary: Vec<(i64, Arc<str>)>,
+    spill_rows: u64,
+    covered_triples: u64,
+    total_triples: u64,
+}
+
+/// Encode and group triples by entity for one side.
+/// Returns entities in first-appearance order with their (pred, value) lists.
+type Grouped = Vec<(Arc<str>, Vec<(Arc<str>, Arc<str>)>)>;
+
+fn group_by<'a>(
+    triples: impl Iterator<Item = &'a Triple>,
+    direct: bool,
+) -> Grouped {
+    let mut order: Vec<Arc<str>> = Vec::new();
+    let mut map: HashMap<Arc<str>, Vec<(Arc<str>, Arc<str>)>> = HashMap::new();
+    for t in triples {
+        let (entity, value) = if direct {
+            (t.subject.encode(), t.object.encode())
+        } else {
+            (t.object.encode(), t.subject.encode())
+        };
+        let entity: Arc<str> = entity.into();
+        let pred: Arc<str> = t.predicate.encode().into();
+        let value: Arc<str> = value.into();
+        match map.get_mut(&entity) {
+            Some(v) => v.push((pred, value)),
+            None => {
+                order.push(entity.clone());
+                map.insert(entity, vec![(pred, value)]);
+            }
+        }
+    }
+    order.into_iter().map(|e| {
+        let v = map.remove(&e).unwrap();
+        (e, v)
+    }).collect()
+}
+
+fn build_mapping(grouped: &Grouped, cfg: &EntityConfig) -> (PredMapping, usize, f64) {
+    match cfg.coloring {
+        ColoringMode::HashOnly => {
+            let comp = HashComposition::new(cfg.hash_fns, cfg.max_cols);
+            (PredMapping::Hashed(comp), cfg.max_cols, 1.0)
+        }
+        ColoringMode::Full | ColoringMode::Sample(_) => {
+            let frac = match cfg.coloring {
+                ColoringMode::Sample(f) => f.clamp(0.0, 1.0),
+                _ => 1.0,
+            };
+            let mut graph = InterferenceGraph::new();
+            let stride = if frac >= 1.0 { 1 } else { (1.0 / frac).ceil().max(1.0) as usize };
+            for (i, (_entity, pvs)) in grouped.iter().enumerate() {
+                // Deterministic sampling: every stride-th entity.
+                if i % stride != 0 {
+                    continue;
+                }
+                let mut counts: HashMap<&str, u64> = HashMap::new();
+                for (p, _) in pvs {
+                    *counts.entry(p.as_ref()).or_default() += 1;
+                }
+                graph.add_entity(counts.into_iter());
+            }
+            let bounded = graph.color_bounded(cfg.max_cols.max(2));
+            let ncols = if bounded.uncolored.is_empty() {
+                bounded.colors_used.max(1)
+            } else {
+                cfg.max_cols
+            };
+            let tail = HashComposition::new(cfg.hash_fns, ncols);
+            // Coverage over the *loaded* data is recomputed by the caller;
+            // here we report the sample-based estimate.
+            let coverage = bounded.coverage();
+            (
+                PredMapping::Colored { colors: bounded.assignment, tail },
+                ncols,
+                coverage,
+            )
+        }
+    }
+}
+
+fn build_side(grouped: &Grouped, cfg: &EntityConfig) -> SideBuild {
+    let (mapping, ncols, _est_cov) = build_mapping(grouped, cfg);
+    let mut layout = SideLayout {
+        mapping,
+        ncols,
+        multivalued: HashSet::new(),
+        spill_preds: HashSet::new(),
+    };
+    let mut rows = Vec::with_capacity(grouped.len());
+    let mut secondary = Vec::new();
+    let mut next_lid: i64 = 1;
+    let mut spill_rows = 0u64;
+    let mut covered = 0u64;
+    let mut total = 0u64;
+
+    for (entity, pvs) in grouped {
+        // Gather distinct predicates in first appearance order with values.
+        let mut pred_order: Vec<&Arc<str>> = Vec::new();
+        let mut values: HashMap<&str, Vec<&Arc<str>>> = HashMap::new();
+        for (p, v) in pvs {
+            match values.get_mut(p.as_ref()) {
+                Some(list) => list.push(v),
+                None => {
+                    pred_order.push(p);
+                    values.insert(p.as_ref(), vec![v]);
+                }
+            }
+        }
+        total += pvs.len() as u64;
+        if let PredMapping::Colored { colors, .. } = &layout.mapping {
+            covered += pvs.iter().filter(|(p, _)| colors.contains_key(p.as_ref())).count() as u64;
+        } else {
+            covered += pvs.len() as u64;
+        }
+
+        // Pack predicates into rows.
+        let mut entity_rows: Vec<Vec<Option<(Arc<str>, Value)>>> = vec![vec![None; ncols]];
+        for p in pred_order {
+            let vals = &values[p.as_ref()];
+            let cell = if vals.len() == 1 {
+                Value::str(vals[0].clone())
+            } else {
+                layout.multivalued.insert(p.to_string());
+                let lid = next_lid;
+                next_lid += 1;
+                for v in vals {
+                    secondary.push((lid, (*v).clone()));
+                }
+                Value::Int(lid)
+            };
+            let candidates = layout.candidates(p);
+            let mut placed = false;
+            'rows: for row in entity_rows.iter_mut() {
+                for &c in &candidates {
+                    if row[c].is_none() {
+                        row[c] = Some((p.clone(), cell.clone()));
+                        placed = true;
+                        break 'rows;
+                    }
+                }
+            }
+            if !placed {
+                // Spill: open a new row for this entity.
+                let mut row = vec![None; ncols];
+                let c = candidates.first().copied().unwrap_or(0);
+                row[c] = Some((p.clone(), cell.clone()));
+                entity_rows.push(row);
+            }
+        }
+        let spilled = entity_rows.len() > 1;
+        if spilled {
+            spill_rows += (entity_rows.len() - 1) as u64;
+            for (p, _) in pvs {
+                layout.spill_preds.insert(p.to_string());
+            }
+        }
+        for row in entity_rows {
+            rows.push((entity.clone(), spilled, row));
+        }
+    }
+
+    SideBuild {
+        layout,
+        rows,
+        secondary,
+        spill_rows,
+        covered_triples: covered,
+        total_triples: total,
+    }
+}
+
+fn phys_schema(table: &str, ncols: usize) -> TableSchema {
+    let mut cols: Vec<(String, SqlType)> =
+        vec![("entry".into(), SqlType::Text), ("spill".into(), SqlType::Int)];
+    for i in 0..ncols {
+        cols.push((format!("pred{i}"), SqlType::Text));
+        cols.push((format!("val{i}"), SqlType::Text));
+    }
+    TableSchema::new(table, cols)
+}
+
+fn insert_side(
+    db: &mut Database,
+    build: &SideBuild,
+    primary: &str,
+    secondary: &str,
+) -> relstore::Result<()> {
+    db.create_table(phys_schema(primary, build.layout.ncols))?;
+    db.create_table(TableSchema::new(
+        secondary,
+        vec![("l_id".into(), SqlType::Int), ("elm".into(), SqlType::Text)],
+    ))?;
+    let ncols = build.layout.ncols;
+    let rows = build.rows.iter().map(|(entity, spilled, cells)| {
+        let mut row: Vec<Value> = Vec::with_capacity(2 + 2 * ncols);
+        row.push(Value::Str(entity.clone()));
+        row.push(Value::Int(*spilled as i64));
+        for cell in cells {
+            match cell {
+                Some((p, v)) => {
+                    row.push(Value::Str(p.clone()));
+                    row.push(v.clone());
+                }
+                None => {
+                    row.push(Value::Null);
+                    row.push(Value::Null);
+                }
+            }
+        }
+        row
+    });
+    db.insert_rows(primary, rows)?;
+    db.insert_rows(
+        secondary,
+        build.secondary.iter().map(|(lid, v)| vec![Value::Int(*lid), Value::Str(v.clone())]),
+    )?;
+    db.create_index(primary, "entry", IndexKind::Hash)?;
+    db.create_index(secondary, "l_id", IndexKind::Hash)?;
+    Ok(())
+}
+
+/// Bulk-load triples into a fresh database using the entity layout.
+/// Returns the per-side layouts and the load report.
+pub fn bulk_load_entity(
+    db: &mut Database,
+    triples: &[Triple],
+    cfg: &EntityConfig,
+) -> relstore::Result<(SideLayout, SideLayout, LoadReport)> {
+    let direct = group_by(triples.iter(), true);
+    let reverse = group_by(triples.iter(), false);
+    let dbuild = build_side(&direct, cfg);
+    let rbuild = build_side(&reverse, cfg);
+    insert_side(db, &dbuild, "dph", "ds")?;
+    insert_side(db, &rbuild, "rph", "rs")?;
+
+    let preds: HashSet<&str> = triples.iter().map(|t| t.predicate.lexical()).collect();
+    let storage: usize = ["dph", "ds", "rph", "rs"]
+        .iter()
+        .map(|t| db.table(t).map(|t| t.storage_bytes()).unwrap_or(0))
+        .sum();
+    let nulls = |t: &str| db.table(t).map(|t| t.null_fraction()).unwrap_or(0.0);
+    let report = LoadReport {
+        triples: triples.len() as u64,
+        dph_rows: dbuild.rows.len() as u64,
+        rph_rows: rbuild.rows.len() as u64,
+        dph_spill_rows: dbuild.spill_rows,
+        rph_spill_rows: rbuild.spill_rows,
+        dph_cols: dbuild.layout.ncols,
+        rph_cols: rbuild.layout.ncols,
+        predicates: preds.len(),
+        dph_coverage: ratio(dbuild.covered_triples, dbuild.total_triples),
+        rph_coverage: ratio(rbuild.covered_triples, rbuild.total_triples),
+        dph_null_fraction: nulls("dph"),
+        rph_null_fraction: nulls("rph"),
+        storage_bytes: storage as u64,
+    };
+    Ok((dbuild.layout, rbuild.layout, report))
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        1.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Incrementally insert one triple into a loaded entity-layout database.
+/// Predicates unseen at load time fall through to the hash tail of the
+/// mapping (the paper's dynamic-schema story). Returns true if the triple
+/// was new.
+pub fn insert_entity(
+    db: &mut Database,
+    direct: &mut SideLayout,
+    reverse: &mut SideLayout,
+    triple: &Triple,
+    report: &mut LoadReport,
+) -> relstore::Result<bool> {
+    let s = triple.subject.encode();
+    let p = triple.predicate.encode();
+    let o = triple.object.encode();
+    let added_d = insert_one_side(db, direct, "dph", "ds", &s, &p, &o, &mut report.dph_spill_rows, &mut report.dph_rows)?;
+    if added_d {
+        insert_one_side(db, reverse, "rph", "rs", &o, &p, &s, &mut report.rph_spill_rows, &mut report.rph_rows)?;
+        report.triples += 1;
+    }
+    Ok(added_d)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn insert_one_side(
+    db: &mut Database,
+    layout: &mut SideLayout,
+    primary: &str,
+    secondary: &str,
+    entity: &str,
+    pred: &str,
+    value: &str,
+    spill_rows: &mut u64,
+    row_count: &mut u64,
+) -> relstore::Result<bool> {
+    let candidates = layout.candidates(pred);
+    let entity_v = Value::str(entity.to_string());
+
+    // Locate existing rows for the entity.
+    let row_ids: Vec<u32> = {
+        let table = db
+            .table(primary)
+            .ok_or_else(|| relstore::Error::Plan(format!("missing table {primary}")))?;
+        let idx = table
+            .index_on("entry")
+            .ok_or_else(|| relstore::Error::Plan("missing entry index".into()))?;
+        idx.lookup(&entity_v).to_vec()
+    };
+
+    // Does this predicate already exist on some row?
+    let mut existing: Option<(u32, usize, Value)> = None;
+    if let Some(table) = db.table(primary) {
+        'outer: for &rid in &row_ids {
+            let row = table.row_values(rid);
+            for &c in &candidates {
+                let pcol = 2 + 2 * c;
+                if let Value::Str(pname) = &row[pcol] {
+                    if pname.as_ref() == pred {
+                        existing = Some((rid, c, row[pcol + 1].clone()));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    match existing {
+        Some((rid, c, Value::Int(lid))) => {
+            // Already multi-valued: append to the secondary table unless dup.
+            let dup = db
+                .table(secondary)
+                .map(|t| {
+                    t.index_on("l_id")
+                        .map(|i| {
+                            i.lookup(&Value::Int(lid))
+                                .iter()
+                                .any(|&r| t.row_values(r)[1] == Value::str(value.to_string()))
+                        })
+                        .unwrap_or(false)
+                })
+                .unwrap_or(false);
+            if dup {
+                return Ok(false);
+            }
+            let _ = (rid, c);
+            db.insert_rows(secondary, [vec![Value::Int(lid), Value::str(value.to_string())]])?;
+            Ok(true)
+        }
+        Some((rid, c, Value::Str(existing_val))) => {
+            if existing_val.as_ref() == value {
+                return Ok(false); // duplicate triple
+            }
+            // Promote to multi-valued: allocate a fresh lid.
+            let lid = next_lid(db, secondary);
+            db.insert_rows(
+                secondary,
+                [
+                    vec![Value::Int(lid), Value::Str(existing_val)],
+                    vec![Value::Int(lid), Value::str(value.to_string())],
+                ],
+            )?;
+            let table = db.table_mut(primary).unwrap();
+            table.update_cell(rid, 2 + 2 * c + 1, Value::Int(lid))?;
+            layout.multivalued.insert(pred.to_string());
+            Ok(true)
+        }
+        Some((_, _, other)) => Err(relstore::Error::Exec(format!(
+            "corrupt cell for predicate {pred}: {other:?}"
+        ))),
+        None => {
+            // Find a free candidate column on an existing row.
+            let mut slot: Option<(u32, usize)> = None;
+            if let Some(table) = db.table(primary) {
+                'outer: for &rid in &row_ids {
+                    let row = table.row_values(rid);
+                    for &c in &candidates {
+                        if row[2 + 2 * c].is_null() {
+                            slot = Some((rid, c));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            match slot {
+                Some((rid, c)) => {
+                    let table = db.table_mut(primary).unwrap();
+                    table.update_cell(rid, 2 + 2 * c, Value::str(pred.to_string()))?;
+                    table.update_cell(rid, 2 + 2 * c + 1, Value::str(value.to_string()))?;
+                    if row_ids.len() > 1 {
+                        layout.spill_preds.insert(pred.to_string());
+                    }
+                    Ok(true)
+                }
+                None => {
+                    // New row; spill if the entity already exists.
+                    let spilled = !row_ids.is_empty();
+                    let ncols = layout.ncols;
+                    let mut row = vec![Value::Null; 2 + 2 * ncols];
+                    row[0] = entity_v.clone();
+                    row[1] = Value::Int(spilled as i64);
+                    let c = candidates.first().copied().unwrap_or(0);
+                    row[2 + 2 * c] = Value::str(pred.to_string());
+                    row[2 + 2 * c + 1] = Value::str(value.to_string());
+                    db.insert_rows(primary, [row])?;
+                    *row_count += 1;
+                    if spilled {
+                        *spill_rows += 1;
+                        // Mark the whole entity's predicates as spill-involved.
+                        let table = db.table_mut(primary).unwrap();
+                        for &rid in &row_ids {
+                            table.update_cell(rid, 1, Value::Int(1))?;
+                        }
+                        let table = db.table(primary).unwrap();
+                        let mut preds = vec![pred.to_string()];
+                        for &rid in &row_ids {
+                            let row = table.row_values(rid);
+                            for c in 0..ncols {
+                                if let Value::Str(pn) = &row[2 + 2 * c] {
+                                    preds.push(pn.to_string());
+                                }
+                            }
+                        }
+                        layout.spill_preds.extend(preds);
+                    }
+                    Ok(true)
+                }
+            }
+        }
+    }
+}
+
+/// Delete one triple from a loaded entity-layout database (both sides).
+/// Returns true if the triple existed. Multi-valued cells shrink their
+/// DS/RS value list; a list reduced to one value is demoted back to a
+/// direct value (the inverse of the insert-time promotion).
+pub fn delete_entity(
+    db: &mut Database,
+    direct: &SideLayout,
+    reverse: &SideLayout,
+    triple: &Triple,
+    report: &mut LoadReport,
+) -> relstore::Result<bool> {
+    let s = triple.subject.encode();
+    let p = triple.predicate.encode();
+    let o = triple.object.encode();
+    let removed = delete_one_side(db, direct, "dph", "ds", &s, &p, &o)?;
+    if removed {
+        delete_one_side(db, reverse, "rph", "rs", &o, &p, &s)?;
+        report.triples = report.triples.saturating_sub(1);
+    }
+    Ok(removed)
+}
+
+fn delete_one_side(
+    db: &mut Database,
+    layout: &SideLayout,
+    primary: &str,
+    secondary: &str,
+    entity: &str,
+    pred: &str,
+    value: &str,
+) -> relstore::Result<bool> {
+    let candidates = layout.candidates(pred);
+    let entity_v = Value::str(entity.to_string());
+    let row_ids: Vec<u32> = {
+        let table = db
+            .table(primary)
+            .ok_or_else(|| relstore::Error::Plan(format!("missing table {primary}")))?;
+        let idx = table
+            .index_on("entry")
+            .ok_or_else(|| relstore::Error::Plan("missing entry index".into()))?;
+        idx.lookup(&entity_v).to_vec()
+    };
+    // Locate the cell holding this predicate.
+    let mut cell: Option<(u32, usize, Value)> = None;
+    if let Some(table) = db.table(primary) {
+        'outer: for &rid in &row_ids {
+            let row = table.row_values(rid);
+            for &c in &candidates {
+                if let Value::Str(pname) = &row[2 + 2 * c] {
+                    if pname.as_ref() == pred {
+                        cell = Some((rid, c, row[2 + 2 * c + 1].clone()));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    let Some((rid, c, stored)) = cell else {
+        return Ok(false);
+    };
+    match stored {
+        Value::Str(v) if v.as_ref() == value => {
+            // Direct single value: clear the predicate/value pair.
+            let table = db.table_mut(primary).unwrap();
+            table.update_cell(rid, 2 + 2 * c, Value::Null)?;
+            table.update_cell(rid, 2 + 2 * c + 1, Value::Null)?;
+            Ok(true)
+        }
+        Value::Str(_) => Ok(false),
+        Value::Int(lid) => {
+            // Multi-valued: drop the matching element from the secondary
+            // list by rebuilding the lid's rows (the secondary table has no
+            // tombstones; lists are short).
+            let remaining: Vec<String> = {
+                let sec = db.table(secondary).unwrap();
+                let rids = sec
+                    .index_on("l_id")
+                    .map(|i| i.lookup(&Value::Int(lid)).to_vec())
+                    .unwrap_or_default();
+                rids.iter()
+                    .map(|&r| sec.row_values(r)[1].clone())
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            };
+            if !remaining.iter().any(|v| v == value) {
+                return Ok(false);
+            }
+            let kept: Vec<String> = remaining.into_iter().filter(|v| v != value).collect();
+            // Null out the old lid entries in place.
+            let rids = {
+                let sec = db.table(secondary).unwrap();
+                sec.index_on("l_id")
+                    .map(|i| i.lookup(&Value::Int(lid)).to_vec())
+                    .unwrap_or_default()
+            };
+            let sec = db.table_mut(secondary).unwrap();
+            for &r in &rids {
+                sec.update_cell(r, 0, Value::Null)?;
+                sec.update_cell(r, 1, Value::Null)?;
+            }
+            match kept.len() {
+                0 => {
+                    let table = db.table_mut(primary).unwrap();
+                    table.update_cell(rid, 2 + 2 * c, Value::Null)?;
+                    table.update_cell(rid, 2 + 2 * c + 1, Value::Null)?;
+                }
+                1 => {
+                    // Demote to a direct value.
+                    let table = db.table_mut(primary).unwrap();
+                    table.update_cell(rid, 2 + 2 * c + 1, Value::str(kept[0].clone()))?;
+                }
+                _ => {
+                    db.insert_rows(
+                        secondary,
+                        kept.into_iter().map(|v| vec![Value::Int(lid), Value::str(v)]),
+                    )?;
+                }
+            }
+            Ok(true)
+        }
+        other => Err(relstore::Error::Exec(format!(
+            "corrupt cell for predicate {pred}: {other:?}"
+        ))),
+    }
+}
+
+fn next_lid(db: &Database, secondary: &str) -> i64 {
+    db.table(secondary)
+        .map(|t| {
+            t.rows()
+                .iter()
+                .map(|r| match r.get(0) {
+                    Value::Int(i) => i,
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+                + 1
+        })
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf::Term;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::lit(o))
+    }
+
+    /// The paper's Fig. 1(a) sample.
+    fn dbpedia_sample() -> Vec<Triple> {
+        vec![
+            t("Flint", "born", "1850"),
+            t("Flint", "died", "1934"),
+            t("Flint", "founder", "IBM"),
+            t("Page", "born", "1973"),
+            t("Page", "founder", "Google"),
+            t("Page", "board", "Google"),
+            t("Page", "home", "Palo Alto"),
+            t("Android", "developer", "Google"),
+            t("Android", "version", "4.1"),
+            t("Android", "kernel", "Linux"),
+            t("Android", "preceded", "4.0"),
+            t("Android", "graphics", "OpenGL"),
+            t("Google", "industry", "Software"),
+            t("Google", "industry", "Internet"),
+            t("Google", "employees", "54604"),
+            t("Google", "HQ", "Mountain View"),
+            t("IBM", "industry", "Software"),
+            t("IBM", "industry", "Hardware"),
+            t("IBM", "industry", "Services"),
+            t("IBM", "employees", "433362"),
+            t("IBM", "HQ", "Armonk"),
+        ]
+    }
+
+    #[test]
+    fn bulk_load_fig1_sample() {
+        let mut db = Database::new();
+        let (direct, _reverse, report) =
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+        assert_eq!(report.triples, 21);
+        // 5 subjects, colored with no spills → 5 DPH rows.
+        assert_eq!(report.dph_rows, 5);
+        assert_eq!(report.dph_spill_rows, 0);
+        // industry is multi-valued on the direct side (Google, IBM).
+        assert!(direct.is_multivalued("<industry>"));
+        assert!(!direct.is_multivalued("<born>"));
+        // DS has 5 rows: lid1 → {Software, Internet}, lid2 → {Software,
+        // Hardware, Services}.
+        assert_eq!(db.table("ds").unwrap().row_count(), 5);
+        // Coloring covers everything on this tiny sample.
+        assert!((report.dph_coverage - 1.0).abs() < 1e-12);
+        // 13 distinct predicates, at most 5 columns needed (Fig. 4).
+        assert_eq!(report.predicates, 13);
+        assert!(report.dph_cols <= 6, "needed {} cols", report.dph_cols);
+    }
+
+    #[test]
+    fn bulk_load_hash_only_spills_when_columns_exhaust() {
+        // 1 subject with 8 predicates into 2 columns with 1 hash fn: spills
+        // are inevitable.
+        let triples: Vec<Triple> =
+            (0..8).map(|i| t("s", &format!("p{i}"), &format!("v{i}"))).collect();
+        let mut db = Database::new();
+        let cfg = EntityConfig { max_cols: 2, hash_fns: 1, coloring: ColoringMode::HashOnly };
+        let (direct, _, report) = bulk_load_entity(&mut db, &triples, &cfg).unwrap();
+        assert!(report.dph_spill_rows > 0);
+        assert!(!direct.spill_preds.is_empty());
+        // All rows of the spilled entity are flagged.
+        let dph = db.table("dph").unwrap();
+        for r in 0..dph.row_count() {
+            assert_eq!(dph.row_values(r as u32)[1], Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn reverse_side_multivalued_objects() {
+        // Software ← {Google, IBM}: on the reverse side 'industry' is
+        // multi-valued for entry Software.
+        let mut db = Database::new();
+        let (_, reverse, _) =
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+        assert!(reverse.is_multivalued("<industry>"));
+        let rs = db.table("rs").unwrap();
+        assert!(rs.row_count() >= 2);
+    }
+
+    #[test]
+    fn incremental_insert_new_subject_and_duplicate() {
+        let mut db = Database::new();
+        let (mut d, mut r, mut report) =
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+        let nt = t("Bell", "founder", "AT&T");
+        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report).unwrap());
+        assert!(!insert_entity(&mut db, &mut d, &mut r, &nt, &mut report).unwrap());
+        assert_eq!(report.triples, 22);
+        assert_eq!(db.table("dph").unwrap().row_count(), 6);
+    }
+
+    #[test]
+    fn incremental_insert_promotes_to_multivalued() {
+        let mut db = Database::new();
+        let (mut d, mut r, mut report) =
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+        assert!(!d.is_multivalued("<founder>"));
+        // Page founds a second company.
+        let nt = t("Page", "founder", "Alphabet");
+        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report).unwrap());
+        assert!(d.is_multivalued("<founder>"));
+        // DS gained two rows (Google + Alphabet under a fresh lid).
+        assert_eq!(db.table("ds").unwrap().row_count(), 7);
+        // Appending a third value extends the same lid.
+        let nt2 = t("Page", "founder", "OtherCo");
+        assert!(insert_entity(&mut db, &mut d, &mut r, &nt2, &mut report).unwrap());
+        assert_eq!(db.table("ds").unwrap().row_count(), 8);
+    }
+
+    #[test]
+    fn incremental_insert_unknown_predicate_uses_hash_tail() {
+        let mut db = Database::new();
+        let (mut d, mut r, mut report) =
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+        let nt = t("Page", "brandNewPredicate", "value");
+        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report).unwrap());
+        // Find it back on Page's row(s).
+        let dph = db.table("dph").unwrap();
+        let ids = dph.index_on("entry").unwrap().lookup(&Value::str("<Page>")).to_vec();
+        let found = ids.iter().any(|&rid| {
+            let row = dph.row_values(rid);
+            row.iter().any(|v| v == &Value::str("<brandNewPredicate>"))
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn sample_coloring_still_loads_everything() {
+        let mut triples = Vec::new();
+        for i in 0..200 {
+            let s = format!("s{i}");
+            triples.push(t(&s, "type", "T"));
+            triples.push(t(&s, &format!("attr{}", i % 7), "v"));
+        }
+        let mut db = Database::new();
+        let cfg = EntityConfig {
+            max_cols: 50,
+            hash_fns: 2,
+            coloring: ColoringMode::Sample(0.1),
+        };
+        let (_, _, report) = bulk_load_entity(&mut db, &triples, &cfg).unwrap();
+        assert_eq!(report.triples, 400);
+        assert_eq!(db.table("dph").unwrap().row_count() as u64, report.dph_rows);
+        // Unsampled entities still load (possibly via the hash tail).
+        assert!(report.dph_rows >= 200);
+    }
+
+    #[test]
+    fn storage_accounts_nulls_cheaply() {
+        let mut db = Database::new();
+        let (_, _, report) =
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+        assert!(report.storage_bytes > 0);
+        assert!(report.dph_null_fraction > 0.0 && report.dph_null_fraction < 1.0);
+    }
+}

@@ -1,0 +1,409 @@
+//! A deliberately simple, independent reference SPARQL evaluator over an
+//! in-memory triple list. It shares no code with the relational pipeline —
+//! no SQL, no layouts, no optimizer — so agreement between the two is strong
+//! evidence of correctness. Used by integration and property tests, and by
+//! nothing else (it is O(|data| · |pattern|) per triple pattern).
+
+use std::collections::BTreeMap;
+
+use rdf::{Term, Triple};
+use sparql::{
+    ArithOp, CompareOp, Expression, GroupPattern, Pattern, Query, QueryForm, TermPattern,
+};
+
+use crate::results::Solutions;
+
+type Binding = BTreeMap<String, Term>;
+
+/// Triples grouped by predicate — a pure lookup accelerator; constant-
+/// predicate patterns scan only their predicate's triples.
+struct Indexed<'a> {
+    all: &'a [Triple],
+    by_pred: std::collections::HashMap<&'a Term, Vec<&'a Triple>>,
+}
+
+impl<'a> Indexed<'a> {
+    fn new(all: &'a [Triple]) -> Indexed<'a> {
+        let mut by_pred: std::collections::HashMap<&Term, Vec<&Triple>> =
+            std::collections::HashMap::new();
+        for t in all {
+            by_pred.entry(&t.predicate).or_default().push(t);
+        }
+        Indexed { all, by_pred }
+    }
+
+    fn candidates(&self, tp: &sparql::TriplePattern) -> Vec<&'a Triple> {
+        match &tp.predicate {
+            TermPattern::Term(p) => self.by_pred.get(p).cloned().unwrap_or_default(),
+            TermPattern::Var(_) => self.all.iter().collect(),
+        }
+    }
+}
+
+/// Evaluate a parsed query over the triples.
+pub fn evaluate(triples: &[Triple], query: &Query) -> Solutions {
+    let root = Pattern::Group(query.pattern.clone());
+    let data = Indexed::new(triples);
+    let bindings = eval_pattern(&data, &root, vec![Binding::new()]);
+    match &query.form {
+        QueryForm::Ask => Solutions::from_ask(!bindings.is_empty()),
+        QueryForm::Select { .. } => {
+            let vars = query.projected_variables();
+            let mut rows: Vec<Vec<Option<Term>>> = bindings
+                .iter()
+                .map(|b| vars.iter().map(|v| b.get(v).cloned()).collect())
+                .collect();
+            if query.is_distinct() {
+                let mut seen = std::collections::HashSet::new();
+                rows.retain(|r| {
+                    let key: Vec<Option<String>> =
+                        r.iter().map(|t| t.as_ref().map(Term::encode)).collect();
+                    seen.insert(key)
+                });
+            }
+            if !query.order_by.is_empty() {
+                let conds = query.order_by.clone();
+                let col_of = |b: &Vec<Option<Term>>, e: &Expression| -> (Option<f64>, String) {
+                    // Build a temp binding view for expression evaluation.
+                    let binding: Binding = vars
+                        .iter()
+                        .zip(b.iter())
+                        .filter_map(|(v, t)| t.clone().map(|t| (v.clone(), t)))
+                        .collect();
+                    match eval_expr(e, &binding) {
+                        Some(Val::Term(t)) => (t.numeric_value(), t.encode()),
+                        Some(Val::Num(n)) => (Some(n), String::new()),
+                        Some(Val::Str(s)) => (None, s),
+                        Some(Val::Bool(x)) => (None, x.to_string()),
+                        None => (None, String::new()),
+                    }
+                };
+                rows.sort_by(|a, b| {
+                    for c in &conds {
+                        let (na, sa) = col_of(a, &c.expr);
+                        let (nb, sb) = col_of(b, &c.expr);
+                        let o = match (na, nb) {
+                            (Some(x), Some(y)) => x.total_cmp(&y),
+                            _ => sa.cmp(&sb),
+                        };
+                        let o = if c.ascending { o } else { o.reverse() };
+                        if o != std::cmp::Ordering::Equal {
+                            return o;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+            }
+            if let Some(off) = query.offset {
+                let off = (off as usize).min(rows.len());
+                rows.drain(..off);
+            }
+            if let Some(lim) = query.limit {
+                rows.truncate(lim as usize);
+            }
+            Solutions { vars, rows, boolean: None }
+        }
+    }
+}
+
+fn eval_pattern(data: &Indexed<'_>, pattern: &Pattern, input: Vec<Binding>) -> Vec<Binding> {
+    match pattern {
+        Pattern::Triple(tp) => {
+            let cands = data.candidates(tp);
+            let mut out = Vec::new();
+            for b in &input {
+                for t in &cands {
+                    if let Some(ext) = match_triple(tp, t, b) {
+                        out.push(ext);
+                    }
+                }
+            }
+            out
+        }
+        Pattern::Group(g) => eval_group(data, g, input),
+        Pattern::Union(alts) => {
+            let mut out = Vec::new();
+            for alt in alts {
+                out.extend(eval_pattern(data, alt, input.clone()));
+            }
+            out
+        }
+        Pattern::Optional(inner) => {
+            let mut out = Vec::new();
+            for b in input {
+                let matched = eval_pattern(data, inner, vec![b.clone()]);
+                if matched.is_empty() {
+                    out.push(b);
+                } else {
+                    out.extend(matched);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn eval_group(data: &Indexed<'_>, g: &GroupPattern, input: Vec<Binding>) -> Vec<Binding> {
+    // SPARQL group semantics: join the children in syntactic order, then
+    // apply FILTERs over the group's solutions.
+    let mut bindings = input;
+    for child in &g.children {
+        bindings = eval_pattern(data, child, bindings);
+        if bindings.is_empty() {
+            break;
+        }
+    }
+    bindings
+        .into_iter()
+        .filter(|b| g.filters.iter().all(|f| truthy(eval_expr(f, b))))
+        .collect()
+}
+
+fn match_term(tp: &TermPattern, t: &Term, b: &Binding) -> Option<Option<(String, Term)>> {
+    match tp {
+        TermPattern::Term(c) => (c == t).then_some(None),
+        TermPattern::Var(v) => match b.get(v) {
+            Some(bound) => (bound == t).then_some(None),
+            None => Some(Some((v.clone(), t.clone()))),
+        },
+    }
+}
+
+fn match_triple(tp: &sparql::TriplePattern, t: &Triple, b: &Binding) -> Option<Binding> {
+    let mut ext = b.clone();
+    for (pat, term) in
+        [(&tp.subject, &t.subject), (&tp.predicate, &t.predicate), (&tp.object, &t.object)]
+    {
+        match match_term(pat, term, &ext)? {
+            Some((v, val)) => {
+                // A variable may repeat within the pattern.
+                if let Some(prev) = ext.get(&v) {
+                    if prev != &val {
+                        return None;
+                    }
+                } else {
+                    ext.insert(v, val);
+                }
+            }
+            None => {}
+        }
+    }
+    Some(ext)
+}
+
+// ---------------------------------------------------------------------------
+// FILTER expression evaluation (SPARQL value semantics, independent impl)
+// ---------------------------------------------------------------------------
+
+enum Val {
+    Term(Term),
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+fn truthy(v: Option<Val>) -> bool {
+    matches!(v, Some(Val::Bool(true)))
+}
+
+fn as_num(v: &Val) -> Option<f64> {
+    match v {
+        Val::Num(n) => Some(*n),
+        Val::Term(t) => t.numeric_value(),
+        Val::Str(s) => s.trim().parse().ok(),
+        Val::Bool(_) => None,
+    }
+}
+
+fn as_str(v: &Val) -> String {
+    match v {
+        Val::Str(s) => s.clone(),
+        Val::Term(t) => t.lexical().to_string(),
+        Val::Num(n) => n.to_string(),
+        Val::Bool(b) => b.to_string(),
+    }
+}
+
+fn eval_expr(e: &Expression, b: &Binding) -> Option<Val> {
+    Some(match e {
+        Expression::Var(v) => Val::Term(b.get(v)?.clone()),
+        Expression::Term(t) => Val::Term(t.clone()),
+        Expression::Or(x, y) => {
+            let (a, c) = (eval_expr(x, b), eval_expr(y, b));
+            match (a.map(|v| truthy(Some(v))), c.map(|v| truthy(Some(v)))) {
+                (Some(true), _) | (_, Some(true)) => Val::Bool(true),
+                (Some(false), Some(false)) => Val::Bool(false),
+                _ => return None,
+            }
+        }
+        Expression::And(x, y) => {
+            let (a, c) = (eval_expr(x, b), eval_expr(y, b));
+            match (a.map(|v| truthy(Some(v))), c.map(|v| truthy(Some(v)))) {
+                (Some(false), _) | (_, Some(false)) => Val::Bool(false),
+                (Some(true), Some(true)) => Val::Bool(true),
+                _ => return None,
+            }
+        }
+        Expression::Not(x) => Val::Bool(!truthy(eval_expr(x, b))),
+        Expression::Bound(v) => Val::Bool(b.contains_key(v)),
+        Expression::Compare { op, left, right } => {
+            let l = eval_expr(left, b)?;
+            let r = eval_expr(right, b)?;
+            let ord = if numeric_shaped(left, b) || numeric_shaped(right, b) {
+                // Numeric comparison; a non-numeric operand is a type error
+                // (the filter then rejects), matching the SQL translation.
+                as_num(&l)?.partial_cmp(&as_num(&r)?)?
+            } else {
+                match (&l, &r) {
+                    // Term equality first for Eq/NotEq on two terms.
+                    (Val::Term(a), Val::Term(c))
+                        if matches!(op, CompareOp::Eq | CompareOp::NotEq) =>
+                    {
+                        match (a.numeric_value(), c.numeric_value()) {
+                            (Some(x), Some(y)) if a.is_literal() && c.is_literal() => {
+                                x.partial_cmp(&y)?
+                            }
+                            _ => a.encode().cmp(&c.encode()),
+                        }
+                    }
+                    _ => match (as_num(&l), as_num(&r)) {
+                        (Some(x), Some(y)) => x.partial_cmp(&y)?,
+                        _ => as_str(&l).cmp(&as_str(&r)),
+                    },
+                }
+            };
+            Val::Bool(match op {
+                CompareOp::Eq => ord.is_eq(),
+                CompareOp::NotEq => !ord.is_eq(),
+                CompareOp::Lt => ord.is_lt(),
+                CompareOp::LtEq => ord.is_le(),
+                CompareOp::Gt => ord.is_gt(),
+                CompareOp::GtEq => ord.is_ge(),
+            })
+        }
+        Expression::Arith { op, left, right } => {
+            let l = as_num(&eval_expr(left, b)?)?;
+            let r = as_num(&eval_expr(right, b)?)?;
+            Val::Num(match op {
+                ArithOp::Add => l + r,
+                ArithOp::Sub => l - r,
+                ArithOp::Mul => l * r,
+                ArithOp::Div => {
+                    if r == 0.0 {
+                        return None;
+                    }
+                    l / r
+                }
+            })
+        }
+        Expression::Neg(x) => Val::Num(-as_num(&eval_expr(x, b)?)?),
+        Expression::Regex { expr, pattern, case_insensitive } => {
+            let text = as_str(&eval_expr(expr, b)?);
+            Val::Bool(regex_like(&text, pattern, *case_insensitive))
+        }
+        Expression::Str(x) => Val::Str(as_str(&eval_expr(x, b)?)),
+        Expression::Lang(x) => match eval_expr(x, b)? {
+            Val::Term(Term::Literal { lang: Some(l), .. }) => Val::Str(l.to_string()),
+            Val::Term(Term::Literal { .. }) => Val::Str(String::new()),
+            _ => return None,
+        },
+        Expression::Datatype(x) => match eval_expr(x, b)? {
+            Val::Term(Term::Literal { datatype: Some(dt), .. }) => Val::Str(dt.to_string()),
+            Val::Term(Term::Literal { lang: Some(_), .. }) => {
+                Val::Str("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString".into())
+            }
+            Val::Term(Term::Literal { .. }) => {
+                Val::Str("http://www.w3.org/2001/XMLSchema#string".into())
+            }
+            _ => return None,
+        },
+        Expression::IsIri(x) => Val::Bool(matches!(eval_expr(x, b)?, Val::Term(Term::Iri(_)))),
+        Expression::IsLiteral(x) => {
+            Val::Bool(matches!(eval_expr(x, b)?, Val::Term(Term::Literal { .. })))
+        }
+        Expression::IsBlank(x) => {
+            Val::Bool(matches!(eval_expr(x, b)?, Val::Term(Term::Blank(_))))
+        }
+    })
+}
+
+/// Matches the translator's numeric-comparison trigger (DESIGN.md).
+fn numeric_shaped(e: &Expression, _b: &Binding) -> bool {
+    match e {
+        Expression::Arith { .. } | Expression::Neg(_) => true,
+        Expression::Term(t) => t.is_literal() && t.numeric_value().is_some(),
+        _ => false,
+    }
+}
+
+/// Same mini-regex semantics as `translate::functions::rdf_regex`.
+fn regex_like(text: &str, pattern: &str, ci: bool) -> bool {
+    let (mut pat, mut start, mut end) = (pattern, false, false);
+    if let Some(p) = pat.strip_prefix('^') {
+        pat = p;
+        start = true;
+    }
+    if let Some(p) = pat.strip_suffix('$') {
+        pat = p;
+        end = true;
+    }
+    let (t, p) =
+        if ci { (text.to_lowercase(), pat.to_lowercase()) } else { (text.into(), pat.into()) };
+    let (t, p): (String, String) = (t, p);
+    match (start, end) {
+        (true, true) => t == p,
+        (true, false) => t.starts_with(&p),
+        (false, true) => t.ends_with(&p),
+        (false, false) => t.contains(&p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparql::parse_sparql;
+
+    fn data() -> Vec<Triple> {
+        vec![
+            Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")),
+            Triple::new(Term::iri("a"), Term::iri("q"), Term::lit("5")),
+            Triple::new(Term::iri("b"), Term::iri("p"), Term::iri("c")),
+        ]
+    }
+
+    #[test]
+    fn basic_join() {
+        let q = parse_sparql("SELECT ?x ?z WHERE { ?x <p> ?y . ?y <p> ?z }").unwrap();
+        let s = evaluate(&data(), &q);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0, "x"), Some(&Term::iri("a")));
+        assert_eq!(s.get(0, "z"), Some(&Term::iri("c")));
+    }
+
+    #[test]
+    fn optional_preserves_unmatched() {
+        let q = parse_sparql("SELECT ?x ?v WHERE { ?x <p> ?y . OPTIONAL { ?x <q> ?v } }").unwrap();
+        let s = evaluate(&data(), &q);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn filters_and_union() {
+        let q = parse_sparql(
+            "SELECT ?x WHERE { { ?x <q> ?v . FILTER(?v > 4) } UNION { ?x <p> <c> } }",
+        )
+        .unwrap();
+        let s = evaluate(&data(), &q);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern() {
+        let mut d = data();
+        d.push(Triple::new(Term::iri("x"), Term::iri("p"), Term::iri("x")));
+        let q = parse_sparql("SELECT ?s WHERE { ?s <p> ?s }").unwrap();
+        let s = evaluate(&d, &q);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0, "s"), Some(&Term::iri("x")));
+    }
+}

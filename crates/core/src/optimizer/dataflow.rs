@@ -1,0 +1,268 @@
+//! The Data Flow Builder (paper §3.1.1): the data-flow graph over
+//! (triple, method) pairs (Def. 3.8) and the greedy optimal-flow-tree
+//! algorithm of Fig. 9.
+
+use std::collections::HashSet;
+
+use crate::optimizer::cost::{produced_vars, required_vars, tmc, Method};
+use crate::optimizer::ptree::PTree;
+use crate::stats::Stats;
+
+/// Node of the data-flow graph: a triple index paired with an access method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowNode {
+    pub triple: usize,
+    pub method: Method,
+}
+
+/// Weighted edge; `from == None` marks the synthetic root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEdge {
+    pub from: Option<FlowNode>,
+    pub to: FlowNode,
+    pub weight: f64,
+}
+
+/// The data-flow graph of Def. 3.8.
+#[derive(Debug, Clone)]
+pub struct DataFlow {
+    pub nodes: Vec<FlowNode>,
+    pub edges: Vec<FlowEdge>,
+}
+
+impl DataFlow {
+    /// Build the graph: an edge (t,m) → (t′,m′) exists when P(t,m) ⊇
+    /// R(t′,m′), the triples differ, they are not OR-alternatives
+    /// (¬∪(t,t′)), and the *source* is not OPTIONAL-guarded relative to the
+    /// target (¬∩(t′,t)) — bindings may flow into an OPTIONAL but never out
+    /// of one. Root edges reach every node with R = ∅. Edge weight is the
+    /// TMC of the target (the paper's "simple implementation" of W).
+    pub fn build(tree: &PTree, stats: &Stats) -> DataFlow {
+        let nt = tree.triple_count();
+        let mut nodes = Vec::with_capacity(nt * Method::ALL.len());
+        for triple in 0..nt {
+            for method in Method::ALL {
+                nodes.push(FlowNode { triple, method });
+            }
+        }
+        let mut edges = Vec::new();
+        // Precompute produced/required sets.
+        let req: Vec<Vec<String>> = nodes
+            .iter()
+            .map(|n| required_vars(&tree.triples[n.triple], n.method))
+            .collect();
+        let produced: Vec<Vec<String>> = nodes
+            .iter()
+            .map(|n| produced_vars(&tree.triples[n.triple], n.method))
+            .collect();
+
+        let costs: Vec<f64> =
+            nodes.iter().map(|n| tmc(&tree.triples[n.triple], n.method, stats)).collect();
+
+        for (j, to) in nodes.iter().enumerate() {
+            if req[j].is_empty() {
+                edges.push(FlowEdge { from: None, to: *to, weight: costs[j] });
+            }
+            for (i, from) in nodes.iter().enumerate() {
+                if from.triple == to.triple {
+                    continue;
+                }
+                let covers = req[j].iter().all(|r| produced[i].contains(r));
+                if !covers || req[j].is_empty() {
+                    continue;
+                }
+                if tree.or_connected(from.triple, to.triple) {
+                    continue;
+                }
+                // ∩(t′, t): the source is optional-guarded relative to the
+                // target — forbidden.
+                if tree.optional_guarded(to.triple, from.triple) {
+                    continue;
+                }
+                edges.push(FlowEdge { from: Some(*from), to: *to, weight: costs[j] });
+            }
+        }
+        DataFlow { nodes, edges }
+    }
+}
+
+/// The optimal flow tree (Fig. 8's blue nodes), computed by the greedy
+/// algorithm of Fig. 9.
+#[derive(Debug, Clone)]
+pub struct FlowTree {
+    /// Chosen (triple, method) in insertion order.
+    pub order: Vec<FlowNode>,
+    /// Per triple index: chosen method.
+    pub method_of: Vec<Method>,
+    /// Per triple index: position in `order`.
+    pub position: Vec<usize>,
+    /// Per triple index: the flow parent (None = fed from the root).
+    pub parent: Vec<Option<FlowNode>>,
+}
+
+impl FlowTree {
+    /// Fig. 9: sort edges by weight, repeatedly add the cheapest edge from
+    /// the tree to a node whose triple is not yet covered.
+    pub fn compute(tree: &PTree, flow: &DataFlow) -> FlowTree {
+        let nt = tree.triple_count();
+        let mut edges: Vec<&FlowEdge> = flow.edges.iter().collect();
+        // Deterministic: weight, then target triple id, then method rank.
+        let mrank = |m: Method| match m {
+            Method::Acs => 0,
+            Method::Aco => 1,
+            Method::Scan => 2,
+        };
+        edges.sort_by(|a, b| {
+            a.weight
+                .total_cmp(&b.weight)
+                .then_with(|| a.to.triple.cmp(&b.to.triple))
+                .then_with(|| mrank(a.to.method).cmp(&mrank(b.to.method)))
+        });
+
+        let mut in_tree: HashSet<FlowNode> = HashSet::new();
+        let mut covered: HashSet<usize> = HashSet::new();
+        let mut order = Vec::with_capacity(nt);
+        let mut method_of = vec![Method::Scan; nt];
+        let mut position = vec![usize::MAX; nt];
+        let mut parent: Vec<Option<FlowNode>> = vec![None; nt];
+
+        while covered.len() < nt {
+            let mut advanced = false;
+            for e in &edges {
+                let from_ok = match e.from {
+                    None => true,
+                    Some(f) => in_tree.contains(&f),
+                };
+                if from_ok && !covered.contains(&e.to.triple) {
+                    in_tree.insert(e.to);
+                    covered.insert(e.to.triple);
+                    method_of[e.to.triple] = e.to.method;
+                    position[e.to.triple] = order.len();
+                    parent[e.to.triple] = e.from;
+                    order.push(e.to);
+                    advanced = true;
+                    break;
+                }
+            }
+            debug_assert!(advanced, "root scan edges guarantee progress");
+            if !advanced {
+                break;
+            }
+        }
+        FlowTree { order, method_of, position, parent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+    use rdf::Term;
+    use sparql::parse_sparql;
+
+    /// Statistics shaped after the paper's Fig. 6(b): total 26, avg 5 per
+    /// subject, avg 1 per object, 'Software' known-cheap (2), 'Palo Alto'
+    /// known-expensive (20), so the flow starts at t4 as in Fig. 8.
+    fn example_stats() -> Stats {
+        let mut top_objects = std::collections::HashMap::new();
+        top_objects.insert(Term::lit("Software").encode(), 2);
+        top_objects.insert(Term::lit("Palo Alto").encode(), 20);
+        Stats {
+            total_triples: 26,
+            distinct_subjects: 5,
+            distinct_objects: 26,
+            avg_per_subject: 5.0,
+            avg_per_object: 1.0,
+            top_subjects: std::collections::HashMap::new(),
+            top_objects,
+            predicate_counts: std::collections::HashMap::new(),
+            predicate_stats: std::collections::HashMap::new(),
+        }
+    }
+
+    fn example_tree() -> PTree {
+        let q = parse_sparql(
+            "SELECT * WHERE {
+               ?x <http://home> 'Palo Alto' .
+               { ?x <http://founder> ?y } UNION { ?x <http://member> ?y }
+               { ?y <http://industry> 'Software' .
+                 ?z <http://developer> ?y .
+                 ?y <http://revenue> ?n .
+                 OPTIONAL { ?y <http://employees> ?m } }
+             }",
+        )
+        .unwrap();
+        PTree::build(&q)
+    }
+
+    #[test]
+    fn graph_has_root_edge_to_t4_aco() {
+        let tree = example_tree();
+        let flow = DataFlow::build(&tree, &example_stats());
+        // t4 = triple index 3 (industry 'Software'): constant object ⇒ R=∅.
+        assert!(flow
+            .edges
+            .iter()
+            .any(|e| e.from.is_none()
+                && e.to == FlowNode { triple: 3, method: Method::Aco }
+                && (e.weight - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn no_edges_between_or_alternatives() {
+        let tree = example_tree();
+        let flow = DataFlow::build(&tree, &example_stats());
+        // t2 (index 1) and t3 (index 2) are UNION alternatives.
+        assert!(!flow.edges.iter().any(|e| matches!(
+            (e.from, e.to),
+            (Some(f), t) if (f.triple == 1 && t.triple == 2) || (f.triple == 2 && t.triple == 1)
+        )));
+    }
+
+    #[test]
+    fn no_edges_out_of_optional() {
+        let tree = example_tree();
+        let flow = DataFlow::build(&tree, &example_stats());
+        // t7 (index 6, employees) is OPTIONAL: nothing may flow from it.
+        assert!(!flow
+            .edges
+            .iter()
+            .any(|e| matches!(e.from, Some(f) if f.triple == 6)));
+        // ... but flow INTO it is allowed.
+        assert!(flow
+            .edges
+            .iter()
+            .any(|e| matches!(e.from, Some(f) if f.triple == 3) && e.to.triple == 6));
+    }
+
+    #[test]
+    fn flow_tree_starts_at_t4_and_covers_all() {
+        let tree = example_tree();
+        let flow = DataFlow::build(&tree, &example_stats());
+        let ft = FlowTree::compute(&tree, &flow);
+        assert_eq!(ft.order.len(), 7);
+        // Cheapest root edge is (t4, aco) with weight 2 (Fig. 8).
+        assert_eq!(ft.order[0], FlowNode { triple: 3, method: Method::Aco });
+        // All triples covered exactly once.
+        let mut seen: Vec<usize> = ft.order.iter().map(|n| n.triple).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+        // t1 (home 'Palo Alto') is reached by subject from t2/t3 (acs).
+        assert_eq!(ft.method_of[0], Method::Acs);
+    }
+
+    #[test]
+    fn disconnected_triple_falls_back_to_scan() {
+        let q = parse_sparql("SELECT * WHERE { ?a <http://p> ?b . ?c <http://q> ?d }").unwrap();
+        let tree = PTree::build(&q);
+        let stats = example_stats();
+        let flow = DataFlow::build(&tree, &stats);
+        let ft = FlowTree::compute(&tree, &flow);
+        assert_eq!(ft.order.len(), 2);
+        // The second star shares no variables: it can only enter via a
+        // root-reachable method (scan or a var-entry access with R=∅ — only
+        // scan qualifies here).
+        let second = ft.order.iter().find(|n| n.triple == 1).unwrap();
+        assert_eq!(second.method, Method::Scan);
+    }
+}

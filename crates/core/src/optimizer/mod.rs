@@ -1,0 +1,106 @@
+//! The hybrid SPARQL optimizer (paper §3.1): Data Flow Builder + Query Plan
+//! Builder. Storage-independent — native stores could reuse it, per the
+//! paper's claim.
+
+pub mod cost;
+pub mod dataflow;
+pub mod exectree;
+pub mod ptree;
+
+use crate::stats::Stats;
+pub use cost::{produced_vars, required_vars, tmc, Method};
+pub use dataflow::{DataFlow, FlowEdge, FlowNode, FlowTree};
+pub use exectree::{build_exec_tree, merge_exec_tree, ExecNode, MergeInfo, StarNode, StarSem};
+pub use ptree::{PKind, PNode, PTree};
+
+/// How the optimizer orders triple accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerMode {
+    /// The paper's cost-based data-flow optimization.
+    CostBased,
+    /// Naive textual-order flow (the "sub-optimal flow" comparator of §3.3):
+    /// triples are taken in parse order; each picks the cheapest method whose
+    /// required variables are available.
+    Naive,
+}
+
+/// Run the full optimization pipeline: parse tree → data flow → optimal flow
+/// tree → execution tree (unmerged; merging is layout-specific).
+pub fn optimize(tree: &PTree, stats: &Stats, mode: OptimizerMode) -> (FlowTree, ExecNode) {
+    let flow_tree = match mode {
+        OptimizerMode::CostBased => {
+            let flow = DataFlow::build(tree, stats);
+            FlowTree::compute(tree, &flow)
+        }
+        OptimizerMode::Naive => naive_flow(tree, stats),
+    };
+    let exec = build_exec_tree(tree, &flow_tree);
+    (flow_tree, exec)
+}
+
+/// Textual-order flow: walk triples in parse order; choose, per triple, the
+/// first of acs/aco/scan whose required variables are already bound.
+pub fn naive_flow(tree: &PTree, _stats: &Stats) -> FlowTree {
+    let nt = tree.triple_count();
+    let mut bound: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut order = Vec::with_capacity(nt);
+    let mut method_of = vec![Method::Scan; nt];
+    let mut position = vec![usize::MAX; nt];
+    let parent = vec![None; nt];
+    for t in 0..nt {
+        let method = [Method::Acs, Method::Aco, Method::Scan]
+            .into_iter()
+            .find(|&m| {
+                cost::required_vars(&tree.triples[t], m).iter().all(|v| bound.contains(v))
+            })
+            .unwrap_or(Method::Scan);
+        method_of[t] = method;
+        position[t] = order.len();
+        order.push(FlowNode { triple: t, method });
+        for v in tree.triples[t].variables() {
+            bound.insert(v.to_string());
+        }
+    }
+    FlowTree { order, method_of, position, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparql::parse_sparql;
+
+    #[test]
+    fn naive_flow_follows_parse_order() {
+        let q = parse_sparql(
+            "SELECT * WHERE { ?s <http://p> ?o . ?o <http://q> 'x' . ?s <http://r> ?z }",
+        )
+        .unwrap();
+        let tree = PTree::build(&q);
+        let stats = Stats::default();
+        let ft = naive_flow(&tree, &stats);
+        assert_eq!(ft.order.iter().map(|n| n.triple).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // First triple has nothing bound: acs requires s → not available;
+        // aco requires o → not available; falls to scan.
+        assert_eq!(ft.method_of[0], Method::Scan);
+        // Second: subject var o is now bound → acs.
+        assert_eq!(ft.method_of[1], Method::Acs);
+        assert_eq!(ft.method_of[2], Method::Acs);
+    }
+
+    #[test]
+    fn optimize_cost_based_and_naive_cover_all_triples() {
+        let q = parse_sparql(
+            "SELECT * WHERE { ?s <http://p> 'anchor' . OPTIONAL { ?s <http://q> ?o } }",
+        )
+        .unwrap();
+        let tree = PTree::build(&q);
+        let stats = Stats { total_triples: 100, avg_per_subject: 3.0, avg_per_object: 2.0, ..Default::default() };
+        for mode in [OptimizerMode::CostBased, OptimizerMode::Naive] {
+            let (ft, exec) = optimize(&tree, &stats, mode);
+            assert_eq!(ft.order.len(), 2);
+            let mut ts = exec.triples_in_order();
+            ts.sort_unstable();
+            assert_eq!(ts, vec![0, 1]);
+        }
+    }
+}

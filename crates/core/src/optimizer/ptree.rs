@@ -1,0 +1,241 @@
+//! Flattened query parse tree (paper Fig. 7) with the ancestor machinery of
+//! Defs. 3.4–3.7: LCA, ancestors-to-LCA, OR-connected (∪) and
+//! OPTIONAL-connected (∩) predicates over triple patterns.
+
+use sparql::{Expression, GroupPattern, Pattern, Query, TriplePattern};
+
+/// Node kinds of the parse tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PKind {
+    And,
+    Or,
+    Optional,
+    /// Leaf: index into [`PTree::triples`].
+    Triple(usize),
+}
+
+#[derive(Debug, Clone)]
+pub struct PNode {
+    pub kind: PKind,
+    pub parent: Option<usize>,
+    pub children: Vec<usize>,
+}
+
+/// The flattened parse tree of one query.
+#[derive(Debug, Clone)]
+pub struct PTree {
+    pub nodes: Vec<PNode>,
+    pub root: usize,
+    /// All triple patterns, in parse order (index = "triple index").
+    pub triples: Vec<TriplePattern>,
+    /// Triple index → its leaf node.
+    pub triple_nodes: Vec<usize>,
+    /// FILTER expressions with the AND node (group) they are scoped to.
+    pub filters: Vec<(usize, Expression)>,
+}
+
+impl PTree {
+    pub fn build(query: &Query) -> PTree {
+        let mut tree = PTree {
+            nodes: Vec::new(),
+            root: 0,
+            triples: Vec::new(),
+            triple_nodes: Vec::new(),
+            filters: Vec::new(),
+        };
+        let root = tree.add_group(&query.pattern, None);
+        tree.root = root;
+        tree
+    }
+
+    fn add_node(&mut self, kind: PKind, parent: Option<usize>) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(PNode { kind, parent, children: Vec::new() });
+        if let Some(p) = parent {
+            self.nodes[p].children.push(idx);
+        }
+        idx
+    }
+
+    fn add_group(&mut self, group: &GroupPattern, parent: Option<usize>) -> usize {
+        let and = self.add_node(PKind::And, parent);
+        for child in &group.children {
+            self.add_pattern(child, and);
+        }
+        for f in &group.filters {
+            self.filters.push((and, f.clone()));
+        }
+        and
+    }
+
+    fn add_pattern(&mut self, pattern: &Pattern, parent: usize) {
+        match pattern {
+            Pattern::Triple(t) => {
+                let ti = self.triples.len();
+                self.triples.push(t.clone());
+                let node = self.add_node(PKind::Triple(ti), Some(parent));
+                self.triple_nodes.push(node);
+            }
+            Pattern::Group(g) => {
+                self.add_group(g, Some(parent));
+            }
+            Pattern::Union(alts) => {
+                let or = self.add_node(PKind::Or, Some(parent));
+                for alt in alts {
+                    self.add_pattern(alt, or);
+                }
+            }
+            Pattern::Optional(inner) => {
+                let opt = self.add_node(PKind::Optional, Some(parent));
+                self.add_pattern(inner, opt);
+            }
+        }
+    }
+
+    /// Node chain from `node` (inclusive) to the root.
+    pub fn ancestors(&self, node: usize) -> Vec<usize> {
+        let mut out = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.nodes[cur].parent {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// Least common ancestor of two nodes (Def. 3.4).
+    pub fn lca(&self, a: usize, b: usize) -> usize {
+        let aa = self.ancestors(a);
+        let bb: std::collections::HashSet<usize> = self.ancestors(b).into_iter().collect();
+        *aa.iter().find(|n| bb.contains(n)).expect("single tree always has an LCA")
+    }
+
+    /// Ancestors of `node` strictly below `lca` — ↑↑ of Def. 3.5 (includes
+    /// `node` itself when `node != lca`).
+    pub fn ancestors_to_lca(&self, node: usize, lca: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = node;
+        while cur != lca {
+            out.push(cur);
+            cur = self.nodes[cur].parent.expect("lca must be an ancestor");
+        }
+        out
+    }
+
+    fn tnode(&self, triple: usize) -> usize {
+        self.triple_nodes[triple]
+    }
+
+    /// ∪(t, t′): the two triples are alternatives of an OR (Def. 3.6).
+    pub fn or_connected(&self, t1: usize, t2: usize) -> bool {
+        let l = self.lca(self.tnode(t1), self.tnode(t2));
+        self.nodes[l].kind == PKind::Or
+    }
+
+    /// ∩(t, t′): t′ is OPTIONAL-guarded relative to t (Def. 3.7) — an
+    /// OPTIONAL node lies on t′'s path up to their LCA.
+    pub fn optional_guarded(&self, t: usize, t_prime: usize) -> bool {
+        let l = self.lca(self.tnode(t), self.tnode(t_prime));
+        self.ancestors_to_lca(self.tnode(t_prime), l)
+            .iter()
+            .any(|&n| self.nodes[n].kind == PKind::Optional)
+    }
+
+    /// All intermediate ancestors of both triples up to (excluding) their
+    /// LCA, *plus* the LCA itself — the node set quantified over by the
+    /// mergeability definitions 3.9–3.11.
+    pub fn merge_path(&self, t1: usize, t2: usize) -> (usize, Vec<usize>) {
+        let l = self.lca(self.tnode(t1), self.tnode(t2));
+        let mut path: Vec<usize> = Vec::new();
+        for &n in self
+            .ancestors_to_lca(self.tnode(t1), l)
+            .iter()
+            .chain(self.ancestors_to_lca(self.tnode(t2), l).iter())
+        {
+            // skip the triple leaves themselves
+            if !matches!(self.nodes[n].kind, PKind::Triple(_)) {
+                path.push(n);
+            }
+        }
+        (l, path)
+    }
+
+    pub fn triple_count(&self) -> usize {
+        self.triples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparql::parse_sparql;
+
+    /// The paper's running example (Fig. 6a / Fig. 7).
+    pub(crate) fn running_example() -> PTree {
+        let q = parse_sparql(
+            "SELECT * WHERE {
+               ?x <http://home> 'Palo Alto' .
+               { ?x <http://founder> ?y } UNION { ?x <http://member> ?y }
+               { ?y <http://industry> 'Software' .
+                 ?z <http://developer> ?y .
+                 ?y <http://revenue> ?n .
+                 OPTIONAL { ?y <http://employees> ?m } }
+             }",
+        )
+        .unwrap();
+        PTree::build(&q)
+    }
+
+    #[test]
+    fn structure_matches_figure_7() {
+        let t = running_example();
+        assert_eq!(t.triple_count(), 7);
+        assert_eq!(t.nodes[t.root].kind, PKind::And);
+        // root has: t1 leaf, OR node, nested AND node
+        assert_eq!(t.nodes[t.root].children.len(), 3);
+        let or = t.nodes[t.root].children[1];
+        assert_eq!(t.nodes[or].kind, PKind::Or);
+    }
+
+    #[test]
+    fn or_connected_t2_t3() {
+        let t = running_example();
+        // triples are 0-indexed: t2 = index 1, t3 = index 2
+        assert!(t.or_connected(1, 2));
+        assert!(!t.or_connected(1, 4));
+        assert!(!t.or_connected(0, 3));
+    }
+
+    #[test]
+    fn optional_guards_t7_wrt_t6() {
+        let t = running_example();
+        // t6 = index 5 (revenue), t7 = index 6 (employees)
+        assert!(t.optional_guarded(5, 6));
+        assert!(!t.optional_guarded(6, 5));
+        assert!(t.optional_guarded(0, 6));
+        assert!(!t.optional_guarded(0, 4));
+    }
+
+    #[test]
+    fn lca_of_t1_and_t2_is_root() {
+        let t = running_example();
+        let l = t.lca(t.triple_nodes[0], t.triple_nodes[1]);
+        assert_eq!(l, t.root);
+        // ↑↑(t1, LCA) = {t1 leaf} since t1 hangs directly off the root AND;
+        // ↑↑(t2, LCA) contains the OR and the branch group.
+        let up2 = t.ancestors_to_lca(t.triple_nodes[1], l);
+        assert!(up2.iter().any(|&n| t.nodes[n].kind == PKind::Or));
+    }
+
+    #[test]
+    fn filters_attach_to_their_group() {
+        let q = parse_sparql(
+            "SELECT * WHERE { ?x <http://p> ?y { ?y <http://q> ?z . FILTER(?z > 3) } }",
+        )
+        .unwrap();
+        let t = PTree::build(&q);
+        assert_eq!(t.filters.len(), 1);
+        let (scope, _) = t.filters[0];
+        assert_ne!(scope, t.root, "filter is scoped to the inner group");
+    }
+}

@@ -1,0 +1,118 @@
+//! SPARQL solution sets decoded from relational results.
+
+use rdf::{decode_term, Term};
+use relstore::{Rel, Value};
+
+/// A set of SPARQL solutions (bag semantics, ordered when the query orders).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solutions {
+    /// Projected variable names, in SELECT order.
+    pub vars: Vec<String>,
+    /// One row per solution; `None` = unbound.
+    pub rows: Vec<Vec<Option<Term>>>,
+    /// `Some(b)` for ASK queries.
+    pub boolean: Option<bool>,
+}
+
+impl Solutions {
+    pub fn from_select(vars: Vec<String>, rel: &Rel) -> Solutions {
+        let n = vars.len();
+        let rows = rel
+            .rows
+            .iter()
+            .map(|r| r.iter().take(n).map(decode_value).collect())
+            .collect();
+        Solutions { vars, rows, boolean: None }
+    }
+
+    pub fn from_ask(nonempty: bool) -> Solutions {
+        Solutions { vars: Vec::new(), rows: Vec::new(), boolean: Some(nonempty) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The binding of `var` in row `i`.
+    pub fn get(&self, i: usize, var: &str) -> Option<&Term> {
+        let col = self.vars.iter().position(|v| v == var)?;
+        self.rows.get(i)?.get(col)?.as_ref()
+    }
+
+    /// Render as a simple text table (for examples and debugging).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if let Some(b) = self.boolean {
+            out.push_str(if b { "ASK → true\n" } else { "ASK → false\n" });
+            return out;
+        }
+        out.push_str(&self.vars.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|t| t.as_ref().map(|t| t.encode()).unwrap_or_else(|| "∅".into()))
+                .collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn decode_value(v: &Value) -> Option<Term> {
+    match v {
+        Value::Null => None,
+        Value::Str(s) => decode_term(s).or_else(|| Some(Term::lit(s.to_string()))),
+        Value::Int(i) => Some(Term::int_lit(*i)),
+        Value::Double(d) => Some(Term::double_lit(*d)),
+        Value::Bool(b) => Some(Term::lit(b.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::OutCol;
+
+    #[test]
+    fn decodes_terms_and_nulls() {
+        let rel = Rel {
+            cols: vec![
+                OutCol { qualifier: None, name: "c_x".into() },
+                OutCol { qualifier: None, name: "c_y".into() },
+            ],
+            rows: vec![vec![Value::str("<http://a>"), Value::Null]],
+        };
+        let s = Solutions::from_select(vec!["x".into(), "y".into()], &rel);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0, "x"), Some(&Term::iri("http://a")));
+        assert_eq!(s.get(0, "y"), None);
+    }
+
+    #[test]
+    fn extra_hidden_columns_ignored() {
+        let rel = Rel {
+            cols: vec![
+                OutCol { qualifier: None, name: "c_x".into() },
+                OutCol { qualifier: None, name: "hidden".into() },
+            ],
+            rows: vec![vec![Value::str("\"v\""), Value::str("junk")]],
+        };
+        let s = Solutions::from_select(vec!["x".into()], &rel);
+        assert_eq!(s.rows[0].len(), 1);
+        assert_eq!(s.get(0, "x"), Some(&Term::lit("v")));
+    }
+
+    #[test]
+    fn ask_solutions() {
+        let s = Solutions::from_ask(true);
+        assert_eq!(s.boolean, Some(true));
+        assert!(s.is_empty());
+        assert!(s.to_table().contains("true"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Dataset statistics — the optimizer input `S` of §3.1.
+//!
+//! Mirrors the paper's examples: total triple count, average triples per
+//! subject and per object, and top-k constants (subjects, objects,
+//! predicates) with exact frequencies.
+
+use std::collections::HashMap;
+
+use rdf::Triple;
+
+/// Statistics over the loaded dataset, keyed by canonical term strings.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    pub total_triples: u64,
+    pub distinct_subjects: u64,
+    pub distinct_objects: u64,
+    /// Mean triples per distinct subject (paper: "Avg triples per subject").
+    pub avg_per_subject: f64,
+    pub avg_per_object: f64,
+    /// Exact counts for the k most frequent subject constants.
+    pub top_subjects: HashMap<String, u64>,
+    pub top_objects: HashMap<String, u64>,
+    /// Triples per predicate (kept exactly; predicate sets are small).
+    pub predicate_counts: HashMap<String, u64>,
+    /// Per-predicate fan-out statistics (kept exactly). The paper leaves the
+    /// statistics types to the implementation (§3.1); per-predicate averages
+    /// sharpen TMC for bound-variable accesses considerably.
+    pub predicate_stats: HashMap<String, PredStat>,
+}
+
+/// Fan-out statistics for one predicate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PredStat {
+    pub count: u64,
+    pub distinct_subjects: u64,
+    pub distinct_objects: u64,
+}
+
+impl PredStat {
+    /// Average triples per subject carrying this predicate.
+    pub fn subject_fanout(&self) -> f64 {
+        if self.distinct_subjects == 0 {
+            1.0
+        } else {
+            self.count as f64 / self.distinct_subjects as f64
+        }
+    }
+
+    /// Average triples per object carrying this predicate (the fan-in).
+    pub fn object_fanout(&self) -> f64 {
+        if self.distinct_objects == 0 {
+            1.0
+        } else {
+            self.count as f64 / self.distinct_objects as f64
+        }
+    }
+}
+
+impl Stats {
+    /// Collect statistics with the `top_k` most frequent subject/object
+    /// constants kept exactly.
+    pub fn collect<'a>(triples: impl IntoIterator<Item = &'a Triple>, top_k: usize) -> Stats {
+        let mut subj: HashMap<String, u64> = HashMap::new();
+        let mut obj: HashMap<String, u64> = HashMap::new();
+        let mut pred: HashMap<String, u64> = HashMap::new();
+        let mut per_pred: HashMap<String, (std::collections::HashSet<String>, std::collections::HashSet<String>, u64)> =
+            HashMap::new();
+        let mut total = 0u64;
+        for t in triples {
+            let (s, p, o) = (t.subject.encode(), t.predicate.encode(), t.object.encode());
+            *subj.entry(s.clone()).or_default() += 1;
+            *obj.entry(o.clone()).or_default() += 1;
+            *pred.entry(p.clone()).or_default() += 1;
+            let e = per_pred.entry(p).or_default();
+            e.0.insert(s);
+            e.1.insert(o);
+            e.2 += 1;
+            total += 1;
+        }
+        let predicate_stats = per_pred
+            .into_iter()
+            .map(|(p, (ss, os, n))| {
+                (
+                    p,
+                    PredStat {
+                        count: n,
+                        distinct_subjects: ss.len() as u64,
+                        distinct_objects: os.len() as u64,
+                    },
+                )
+            })
+            .collect();
+        let distinct_subjects = subj.len() as u64;
+        let distinct_objects = obj.len() as u64;
+        let avg = |n: u64, d: u64| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+        Stats {
+            total_triples: total,
+            distinct_subjects,
+            distinct_objects,
+            avg_per_subject: avg(total, distinct_subjects),
+            avg_per_object: avg(total, distinct_objects),
+            top_subjects: take_top(subj, top_k),
+            top_objects: take_top(obj, top_k),
+            predicate_counts: pred,
+            predicate_stats,
+        }
+    }
+
+    /// Estimated triples per *bound subject* for an access restricted to
+    /// `predicate` (canonical), falling back to the global average.
+    pub fn subject_fanout(&self, predicate: Option<&str>) -> f64 {
+        predicate
+            .and_then(|p| self.predicate_stats.get(p))
+            .map(PredStat::subject_fanout)
+            .unwrap_or_else(|| self.avg_per_subject.max(1.0))
+    }
+
+    /// Estimated triples per *bound object* for an access restricted to
+    /// `predicate` (canonical), falling back to the global average.
+    pub fn object_fanout(&self, predicate: Option<&str>) -> f64 {
+        predicate
+            .and_then(|p| self.predicate_stats.get(p))
+            .map(PredStat::object_fanout)
+            .unwrap_or_else(|| self.avg_per_object.max(1.0))
+    }
+
+    /// Estimated number of triples with this exact subject constant.
+    pub fn subject_count(&self, canonical: &str) -> f64 {
+        match self.top_subjects.get(canonical) {
+            Some(&n) => n as f64,
+            None => self.avg_per_subject.max(1.0),
+        }
+    }
+
+    /// Estimated number of triples with this exact object constant.
+    pub fn object_count(&self, canonical: &str) -> f64 {
+        match self.top_objects.get(canonical) {
+            Some(&n) => n as f64,
+            None => self.avg_per_object.max(1.0),
+        }
+    }
+
+    /// Exact number of triples with this predicate constant (0 if absent).
+    pub fn predicate_count(&self, canonical: &str) -> f64 {
+        self.predicate_counts.get(canonical).copied().unwrap_or(0) as f64
+    }
+}
+
+fn take_top(counts: HashMap<String, u64>, k: usize) -> HashMap<String, u64> {
+    if counts.len() <= k {
+        return counts;
+    }
+    let mut v: Vec<(String, u64)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v.truncate(k);
+    v.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf::Term;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn averages_and_totals() {
+        let triples = vec![t("a", "p", "x"), t("a", "q", "y"), t("b", "p", "x")];
+        let s = Stats::collect(&triples, 10);
+        assert_eq!(s.total_triples, 3);
+        assert_eq!(s.distinct_subjects, 2);
+        assert!((s.avg_per_subject - 1.5).abs() < 1e-12);
+        assert_eq!(s.distinct_objects, 2);
+        assert_eq!(s.predicate_count("<p>"), 2.0);
+    }
+
+    #[test]
+    fn top_k_keeps_most_frequent() {
+        let mut triples = Vec::new();
+        for i in 0..20 {
+            triples.push(t("hub", "p", &format!("o{i}")));
+        }
+        triples.push(t("solo", "p", "o0"));
+        let s = Stats::collect(&triples, 1);
+        assert_eq!(s.top_subjects.len(), 1);
+        assert_eq!(s.subject_count("<hub>"), 20.0);
+        // non-top subject falls back to the average
+        assert!(s.subject_count("<solo>") < 20.0);
+    }
+
+    #[test]
+    fn object_count_fallback_is_at_least_one() {
+        let s = Stats::collect(&[], 5);
+        assert_eq!(s.object_count("<missing>"), 1.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! The public RDF store API: load triples, run SPARQL, inspect plans.
+
+use rdf::Triple;
+use relstore::Database;
+use sparql::{parse_sparql, Query, QueryForm};
+
+use crate::baseline::{
+    insert_triple_store, insert_vertical, load_triple_store, load_vertical, TripleGen,
+    VerticalGen, VerticalLayout,
+};
+use crate::error::{Result, StoreError};
+use crate::layout::SideLayout;
+use crate::loader::{bulk_load_entity, insert_entity, EntityConfig, LoadReport};
+use crate::optimizer::{
+    merge_exec_tree, optimize, ExecNode, FlowTree, MergeInfo, OptimizerMode, PTree,
+};
+use crate::results::Solutions;
+use crate::stats::Stats;
+use crate::translate::entity::EntityGen;
+use crate::translate::functions::register_rdf_functions;
+use crate::translate::{finish, gen_pattern, GenState, StarGen};
+
+/// Which relational layout backs the store (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// The paper's entity-oriented DB2RDF schema (DPH/DS/RPH/RS).
+    Entity,
+    /// Single three-column triples relation.
+    TripleStore,
+    /// Predicate-oriented vertical partitioning (one table per predicate).
+    Vertical,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    pub layout: Layout,
+    pub entity: EntityConfig,
+    pub optimizer: OptimizerMode,
+    /// Top-k constants tracked exactly in the statistics.
+    pub top_k: usize,
+    /// Per-query evaluation budget in rows (None = unbounded); the analogue
+    /// of the paper's 10-minute timeout.
+    pub row_budget: Option<u64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            layout: Layout::Entity,
+            entity: EntityConfig::default(),
+            optimizer: OptimizerMode::CostBased,
+            top_k: 1000,
+            row_budget: None,
+        }
+    }
+}
+
+impl StoreConfig {
+    pub fn with_layout(layout: Layout) -> StoreConfig {
+        StoreConfig { layout, ..Default::default() }
+    }
+}
+
+/// Everything `explain` exposes about a query's plan.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Optimal flow: (triple id per the query's parse order, method name).
+    pub flow: Vec<(usize, &'static str)>,
+    /// Debug rendering of the (merged) execution tree.
+    pub exec_tree: String,
+    /// The generated SQL.
+    pub sql: String,
+}
+
+/// An RDF store over an embedded relational database — the system the paper
+/// describes, with selectable layout for baseline comparisons.
+pub struct RdfStore {
+    cfg: StoreConfig,
+    db: Database,
+    stats: Stats,
+    direct: Option<SideLayout>,
+    reverse: Option<SideLayout>,
+    vertical: Option<VerticalLayout>,
+    report: LoadReport,
+    loaded: bool,
+}
+
+impl RdfStore {
+    pub fn new(cfg: StoreConfig) -> RdfStore {
+        let mut db = Database::new();
+        register_rdf_functions(&mut db);
+        db.set_row_budget(cfg.row_budget);
+        RdfStore {
+            cfg,
+            db,
+            stats: Stats::default(),
+            direct: None,
+            reverse: None,
+            vertical: None,
+            report: LoadReport::default(),
+            loaded: false,
+        }
+    }
+
+    /// An entity-layout store with default settings.
+    pub fn entity() -> RdfStore {
+        RdfStore::new(StoreConfig::default())
+    }
+
+    /// Bulk load a dataset (must be called exactly once, before queries).
+    pub fn load(&mut self, triples: &[Triple]) -> Result<&LoadReport> {
+        if self.loaded {
+            return Err(StoreError::Unsupported(
+                "load() may only be called once; use insert() afterwards".into(),
+            ));
+        }
+        self.stats = Stats::collect(triples.iter(), self.cfg.top_k);
+        match self.cfg.layout {
+            Layout::Entity => {
+                let (d, r, report) = bulk_load_entity(&mut self.db, triples, &self.cfg.entity)?;
+                self.direct = Some(d);
+                self.reverse = Some(r);
+                self.report = report;
+            }
+            Layout::TripleStore => {
+                load_triple_store(&mut self.db, triples)?;
+                self.report = LoadReport { triples: triples.len() as u64, ..Default::default() };
+            }
+            Layout::Vertical => {
+                self.vertical = Some(load_vertical(&mut self.db, triples)?);
+                self.report = LoadReport { triples: triples.len() as u64, ..Default::default() };
+            }
+        }
+        self.loaded = true;
+        Ok(&self.report)
+    }
+
+    /// Bulk load from N-Triples/N-Quads text (named graphs are accepted and
+    /// ignored by the layout; see DESIGN.md).
+    pub fn load_ntriples(&mut self, text: &str) -> Result<&LoadReport> {
+        let quads = rdf::parse_ntriples(text)
+            .map_err(|e| StoreError::Unsupported(format!("N-Triples: {e}")))?;
+        let triples: Vec<Triple> = quads.into_iter().map(|q| q.triple).collect();
+        self.load(&triples)
+    }
+
+    /// Incrementally insert one triple after the bulk load.
+    pub fn insert(&mut self, triple: &Triple) -> Result<bool> {
+        if !self.loaded {
+            self.load(std::slice::from_ref(triple))?;
+            return Ok(true);
+        }
+        match self.cfg.layout {
+            Layout::Entity => {
+                let mut d = self.direct.take().expect("loaded entity layout");
+                let mut r = self.reverse.take().expect("loaded entity layout");
+                let added = insert_entity(&mut self.db, &mut d, &mut r, triple, &mut self.report);
+                self.direct = Some(d);
+                self.reverse = Some(r);
+                Ok(added?)
+            }
+            Layout::TripleStore => {
+                insert_triple_store(&mut self.db, triple)?;
+                self.report.triples += 1;
+                Ok(true)
+            }
+            Layout::Vertical => {
+                let mut v = self.vertical.take().expect("loaded vertical layout");
+                let res = insert_vertical(&mut self.db, &mut v, triple);
+                self.vertical = Some(v);
+                res?;
+                self.report.triples += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Delete one triple (entity layout only — the update path the paper
+    /// defers to future work). Returns true if the triple existed.
+    pub fn delete(&mut self, triple: &Triple) -> Result<bool> {
+        if !self.loaded {
+            return Ok(false);
+        }
+        match self.cfg.layout {
+            Layout::Entity => {
+                let d = self.direct.as_ref().expect("loaded entity layout").clone();
+                let r = self.reverse.as_ref().expect("loaded entity layout").clone();
+                Ok(crate::loader::delete_entity(
+                    &mut self.db,
+                    &d,
+                    &r,
+                    triple,
+                    &mut self.report,
+                )?)
+            }
+            other => Err(StoreError::Unsupported(format!(
+                "delete is implemented for the entity layout only (store uses {other:?})"
+            ))),
+        }
+    }
+
+    /// Translate a SPARQL query to SQL without executing it.
+    pub fn translate(&self, sparql_text: &str) -> Result<String> {
+        let (query, _, _, sql) = self.plan(sparql_text)?;
+        let _ = query;
+        Ok(sql)
+    }
+
+    /// Full plan details for a query.
+    pub fn explain(&self, sparql_text: &str) -> Result<Explanation> {
+        let (_query, flow, exec, sql) = self.plan(sparql_text)?;
+        Ok(Explanation {
+            flow: flow
+                .order
+                .iter()
+                .map(|n| (n.triple + 1, n.method.name()))
+                .collect(),
+            exec_tree: format!("{exec:#?}"),
+            sql,
+        })
+    }
+
+    /// Execute a SPARQL query.
+    pub fn query(&self, sparql_text: &str) -> Result<Solutions> {
+        let (query, _, _, sql) = self.plan(sparql_text)?;
+        let rel = self.db.query(&sql)?;
+        match query.form {
+            QueryForm::Ask => Ok(Solutions::from_ask(!rel.rows.is_empty())),
+            QueryForm::Select { .. } => {
+                Ok(Solutions::from_select(query.projected_variables(), &rel))
+            }
+        }
+    }
+
+    fn plan(&self, sparql_text: &str) -> Result<(Query, FlowTree, ExecNode, String)> {
+        if !self.loaded {
+            return Err(StoreError::Unsupported("store is empty; load data first".into()));
+        }
+        let query = parse_sparql(sparql_text)?;
+        if query.triple_count() == 0 {
+            return Err(StoreError::Unsupported("query has no triple patterns".into()));
+        }
+        let tree = PTree::build(&query);
+        let (flow, exec) = optimize(&tree, &self.stats, self.cfg.optimizer);
+        let mut state = GenState::new();
+        let exec = match self.cfg.layout {
+            Layout::Entity => {
+                let direct = self.direct.as_ref().expect("loaded");
+                let reverse = self.reverse.as_ref().expect("loaded");
+                let info = MergeInfo {
+                    spill_direct: &direct.spill_preds,
+                    spill_reverse: &reverse.spill_preds,
+                    multi_direct: &direct.multivalued,
+                    multi_reverse: &reverse.multivalued,
+                };
+                let exec = merge_exec_tree(&tree, exec, &info);
+                let backend = EntityGen { tree: &tree, direct, reverse };
+                gen_pattern(&backend, &exec, &mut state)?;
+                exec
+            }
+            Layout::TripleStore => {
+                let backend = TripleGen { tree: &tree };
+                gen_pattern(&backend, &exec, &mut state)?;
+                exec
+            }
+            Layout::Vertical => {
+                let layout = self.vertical.as_ref().expect("loaded");
+                let backend = VerticalGen { tree: &tree, layout, max_union_tables: 500 };
+                gen_pattern(&backend, &exec, &mut state)?;
+                exec
+            }
+        };
+        let sql = finish(&query, &mut state);
+        Ok((query, flow, exec, sql))
+    }
+
+    pub fn statistics(&self) -> &Stats {
+        &self.stats
+    }
+
+    pub fn load_report(&self) -> &LoadReport {
+        &self.report
+    }
+
+    /// Direct access to the relational back-end (read-only).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Adjust the per-query evaluation budget (the "timeout").
+    pub fn set_row_budget(&mut self, budget: Option<u64>) {
+        self.db.set_row_budget(budget);
+    }
+
+    /// Append `n` all-NULL predicate/value column pairs to DPH and rewrite
+    /// its rows — the §2.3 NULL-storage experiment's ALTER TABLE analogue.
+    /// The new columns are invisible to the predicate mapping; only storage
+    /// and scan width are affected.
+    pub fn widen_dph_for_experiment(&mut self, n: usize) {
+        if let Some(table) = self.db.table_mut("dph") {
+            let base = table.width();
+            let cols: Vec<(String, relstore::SqlType)> = (0..n)
+                .flat_map(|i| {
+                    [
+                        (format!("xpred{}", base + i), relstore::SqlType::Text),
+                        (format!("xval{}", base + i), relstore::SqlType::Text),
+                    ]
+                })
+                .collect();
+            table.widen_rewritten(cols);
+        }
+    }
+}
+
+/// Convenience: which generator a layout uses (exposed for tests/benches
+/// that drive translation directly).
+pub fn layout_name(layout: Layout) -> &'static str {
+    match layout {
+        Layout::Entity => "entity-oriented (DB2RDF)",
+        Layout::TripleStore => "triple-store",
+        Layout::Vertical => "predicate-oriented (vertical)",
+    }
+}
+
+// Silence an unused-import warning when compiled without tests referencing
+// the trait directly.
+const _: Option<&dyn StarGen> = None;

@@ -1,0 +1,227 @@
+//! FILTER expression → SQL condition translation.
+//!
+//! Variables resolve to columns of the current CTE; terms become canonical
+//! string literals; comparisons go through the `RDF_*` dialect functions so
+//! SPARQL value semantics hold (numeric when both sides are numeric
+//! literals). Unbound variables translate to `NULL`, which makes `BOUND`
+//! and three-valued FILTER semantics fall out of SQL's own NULL handling.
+
+use std::collections::BTreeMap;
+
+use relstore::quote_str;
+use sparql::{ArithOp, CompareOp, Expression};
+
+/// Translate a FILTER to a SQL boolean expression over the columns in
+/// `bound` (SPARQL var → column name).
+pub fn filter_to_sql(expr: &Expression, bound: &BTreeMap<String, String>) -> String {
+    bool_sql(expr, bound)
+}
+
+/// Translate an ORDER BY key expression to a SQL scalar (numeric view).
+pub fn filter_order_key(e: &Expression, bound: &BTreeMap<String, String>) -> String {
+    num_sql(e, bound)
+}
+
+fn var_col(v: &str, bound: &BTreeMap<String, String>) -> String {
+    bound.get(v).cloned().unwrap_or_else(|| "NULL".to_string())
+}
+
+/// A term-valued operand: canonical string column or literal.
+fn term_sql(e: &Expression, bound: &BTreeMap<String, String>) -> String {
+    match e {
+        Expression::Var(v) => var_col(v, bound),
+        Expression::Term(t) => quote_str(&t.encode()),
+        // String-producing builtins yield plain strings; RDF_* comparison
+        // functions accept those too (they fall back to plain-string
+        // semantics).
+        Expression::Str(inner) => format!("RDF_STR({})", term_sql(inner, bound)),
+        Expression::Lang(inner) => format!("RDF_LANG({})", term_sql(inner, bound)),
+        Expression::Datatype(inner) => format!("RDF_DATATYPE({})", term_sql(inner, bound)),
+        // Numeric expressions used in term position surface as doubles;
+        // RDF_* functions treat numeric SQL values numerically.
+        other => num_sql(other, bound),
+    }
+}
+
+/// A numeric-valued operand.
+fn num_sql(e: &Expression, bound: &BTreeMap<String, String>) -> String {
+    match e {
+        Expression::Var(v) => format!("RDF_NUM({})", var_col(v, bound)),
+        Expression::Term(t) => match t.numeric_value() {
+            Some(x) => format!("{x}"),
+            None => "NULL".to_string(),
+        },
+        Expression::Arith { op, left, right } => {
+            let o = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+            };
+            format!("({} {} {})", num_sql(left, bound), o, num_sql(right, bound))
+        }
+        Expression::Neg(inner) => format!("(- {})", num_sql(inner, bound)),
+        other => format!("RDF_NUM({})", term_sql(other, bound)),
+    }
+}
+
+fn is_numeric_shaped(e: &Expression) -> bool {
+    match e {
+        Expression::Arith { .. } | Expression::Neg(_) => true,
+        Expression::Term(t) => t.is_literal() && t.numeric_value().is_some(),
+        _ => false,
+    }
+}
+
+fn is_plain_string_shaped(e: &Expression) -> bool {
+    matches!(e, Expression::Str(_) | Expression::Lang(_) | Expression::Datatype(_))
+}
+
+fn bool_sql(e: &Expression, bound: &BTreeMap<String, String>) -> String {
+    match e {
+        Expression::Or(a, b) => format!("({} OR {})", bool_sql(a, bound), bool_sql(b, bound)),
+        Expression::And(a, b) => format!("({} AND {})", bool_sql(a, bound), bool_sql(b, bound)),
+        Expression::Not(a) => format!("(NOT {})", bool_sql(a, bound)),
+        Expression::Bound(v) => match bound.get(v) {
+            Some(col) => format!("({col} IS NOT NULL)"),
+            None => "FALSE".to_string(),
+        },
+        Expression::Compare { op, left, right } => {
+            let numeric = is_numeric_shaped(left) || is_numeric_shaped(right);
+            if numeric {
+                let o = match op {
+                    CompareOp::Eq => "=",
+                    CompareOp::NotEq => "<>",
+                    CompareOp::Lt => "<",
+                    CompareOp::LtEq => "<=",
+                    CompareOp::Gt => ">",
+                    CompareOp::GtEq => ">=",
+                };
+                return format!("({} {} {})", num_sql(left, bound), o, num_sql(right, bound));
+            }
+            if is_plain_string_shaped(left) || is_plain_string_shaped(right) {
+                // Compare as plain strings: STR(?x) = "foo".
+                let l = plain_sql(left, bound);
+                let r = plain_sql(right, bound);
+                let o = match op {
+                    CompareOp::Eq => "=",
+                    CompareOp::NotEq => "<>",
+                    CompareOp::Lt => "<",
+                    CompareOp::LtEq => "<=",
+                    CompareOp::Gt => ">",
+                    CompareOp::GtEq => ">=",
+                };
+                return format!("({l} {o} {r})");
+            }
+            let f = match op {
+                CompareOp::Eq => "RDF_EQ",
+                CompareOp::NotEq => "RDF_NE",
+                CompareOp::Lt => "RDF_LT",
+                CompareOp::LtEq => "RDF_LE",
+                CompareOp::Gt => "RDF_GT",
+                CompareOp::GtEq => "RDF_GE",
+            };
+            format!("{f}({}, {})", term_sql(left, bound), term_sql(right, bound))
+        }
+        Expression::Regex { expr, pattern, case_insensitive } => format!(
+            "RDF_REGEX({}, {}, {})",
+            term_sql(expr, bound),
+            quote_str(pattern),
+            i32::from(*case_insensitive)
+        ),
+        Expression::IsIri(inner) => format!("RDF_ISIRI({})", term_sql(inner, bound)),
+        Expression::IsLiteral(inner) => format!("RDF_ISLITERAL({})", term_sql(inner, bound)),
+        Expression::IsBlank(inner) => format!("RDF_ISBLANK({})", term_sql(inner, bound)),
+        // A bare variable/term in boolean position: SPARQL effective boolean
+        // value — approximate: non-null check.
+        Expression::Var(v) => match bound.get(v) {
+            Some(col) => format!("({col} IS NOT NULL)"),
+            None => "FALSE".to_string(),
+        },
+        Expression::Term(_) => "TRUE".to_string(),
+        Expression::Arith { .. } | Expression::Neg(_) => {
+            format!("({} IS NOT NULL)", num_sql(e, bound))
+        }
+        Expression::Str(_) | Expression::Lang(_) | Expression::Datatype(_) => {
+            format!("({} IS NOT NULL)", term_sql(e, bound))
+        }
+    }
+}
+
+/// Plain-string-valued operand (for STR()/LANG() comparisons).
+fn plain_sql(e: &Expression, bound: &BTreeMap<String, String>) -> String {
+    match e {
+        Expression::Term(t) if t.is_literal() => quote_str(t.lexical()),
+        Expression::Term(t) => quote_str(t.lexical()),
+        Expression::Var(v) => format!("RDF_STR({})", var_col(v, bound)),
+        other => term_sql(other, bound),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparql::parse_sparql;
+
+    fn filter_of(q: &str) -> Expression {
+        parse_sparql(q).unwrap().pattern.filters[0].clone()
+    }
+
+    fn bound() -> BTreeMap<String, String> {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), "c_a".to_string());
+        m.insert("n".to_string(), "c_n".to_string());
+        m
+    }
+
+    #[test]
+    fn numeric_comparison_uses_rdf_num() {
+        let f = filter_of("SELECT * WHERE { ?a <http://p> ?n . FILTER(?n > 30) }");
+        let sql = filter_to_sql(&f, &bound());
+        assert_eq!(sql, "(RDF_NUM(c_n) > 30)");
+    }
+
+    #[test]
+    fn term_equality_uses_rdf_eq() {
+        let f = filter_of("SELECT * WHERE { ?a <http://p> ?n . FILTER(?n = <http://x>) }");
+        let sql = filter_to_sql(&f, &bound());
+        assert_eq!(sql, "RDF_EQ(c_n, '<http://x>')");
+    }
+
+    #[test]
+    fn bound_and_logic() {
+        let f = filter_of(
+            "SELECT * WHERE { ?a <http://p> ?n . FILTER(bound(?n) && !bound(?z)) }",
+        );
+        let sql = filter_to_sql(&f, &bound());
+        assert_eq!(sql, "((c_n IS NOT NULL) AND (NOT FALSE))");
+    }
+
+    #[test]
+    fn unbound_var_is_null() {
+        let f = filter_of("SELECT * WHERE { ?a <http://p> ?n . FILTER(?zzz = 'x') }");
+        let sql = filter_to_sql(&f, &bound());
+        assert!(sql.contains("NULL"));
+    }
+
+    #[test]
+    fn regex_translation() {
+        let f = filter_of("SELECT * WHERE { ?a <http://p> ?n . FILTER regex(?n, 'abc', 'i') }");
+        let sql = filter_to_sql(&f, &bound());
+        assert_eq!(sql, "RDF_REGEX(c_n, 'abc', 1)");
+    }
+
+    #[test]
+    fn str_comparison_is_plain() {
+        let f = filter_of("SELECT * WHERE { ?a <http://p> ?n . FILTER(str(?n) = 'x y') }");
+        let sql = filter_to_sql(&f, &bound());
+        assert_eq!(sql, "(RDF_STR(c_n) = 'x y')");
+    }
+
+    #[test]
+    fn arithmetic_in_comparison() {
+        let f = filter_of("SELECT * WHERE { ?a <http://p> ?n . FILTER(?n * 2 >= ?a + 1) }");
+        let sql = filter_to_sql(&f, &bound());
+        assert_eq!(sql, "((RDF_NUM(c_n) * 2) >= (RDF_NUM(c_a) + 1))");
+    }
+}

@@ -1,0 +1,262 @@
+//! RDF-aware scalar SQL functions registered on the relational back-end.
+//!
+//! The storage layer holds canonical term strings (`<iri>`, `"lit"@en`,
+//! `"5"^^<…integer>`); FILTER evaluation needs SPARQL value semantics on top
+//! of them. These functions are the dialect bridge: the translator emits
+//! calls like `RDF_GT(T.val3, '"30"^^<…integer>')` and the engine evaluates
+//! them here.
+
+use rdf::{decode_term, Term};
+use relstore::{Database, Value};
+
+fn term_of(v: &Value) -> Option<Term> {
+    v.as_str().and_then(decode_term)
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Double(d) => Some(*d),
+        Value::Str(_) => term_of(v).and_then(|t| t.numeric_value()),
+        _ => None,
+    }
+}
+
+fn lexical(v: &Value) -> Option<String> {
+    match v {
+        Value::Str(_) => term_of(v).map(|t| t.lexical().to_string()).or_else(|| {
+            // Already a plain string (e.g. output of RDF_STR).
+            v.as_str().map(str::to_string)
+        }),
+        Value::Int(i) => Some(i.to_string()),
+        Value::Double(d) => Some(d.to_string()),
+        _ => None,
+    }
+}
+
+/// SPARQL value comparison: numeric when both sides are numeric literals,
+/// lexical-form string comparison otherwise.
+fn sparql_cmp(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    if a.is_null() || b.is_null() {
+        return None;
+    }
+    if let (Some(x), Some(y)) = (numeric(a), numeric(b)) {
+        return x.partial_cmp(&y);
+    }
+    let (la, lb) = (lexical(a)?, lexical(b)?);
+    Some(la.cmp(&lb))
+}
+
+fn sparql_eq(a: &Value, b: &Value) -> Option<bool> {
+    if a.is_null() || b.is_null() {
+        return None;
+    }
+    // Numeric literals compare by value ("42"^^int = "42.0"^^double).
+    if let (Some(ta), Some(tb)) = (term_of(a), term_of(b)) {
+        if ta == tb {
+            return Some(true);
+        }
+        if let (Some(x), Some(y)) = (ta.numeric_value(), tb.numeric_value()) {
+            if ta.is_literal() && tb.is_literal() {
+                return Some(x == y);
+            }
+        }
+        return Some(false);
+    }
+    // Fall back to plain string comparison (RDF_STR outputs etc.).
+    match (a.as_str(), b.as_str()) {
+        (Some(x), Some(y)) => Some(x == y),
+        _ => a.sql_eq(b),
+    }
+}
+
+/// Tiny REGEX support: `^`/`$` anchors around a literal needle, with a
+/// case-insensitive flag. Full regular expressions are out of scope (the
+/// offline crate set has no regex engine); all benchmark patterns are
+/// substring-shaped. Documented in DESIGN.md.
+fn regex_match(text: &str, pattern: &str, ci: bool) -> bool {
+    let (mut pat, mut anchored_start, mut anchored_end) = (pattern, false, false);
+    if let Some(p) = pat.strip_prefix('^') {
+        pat = p;
+        anchored_start = true;
+    }
+    if let Some(p) = pat.strip_suffix('$') {
+        pat = p;
+        anchored_end = true;
+    }
+    let (t, p) = if ci { (text.to_lowercase(), pat.to_lowercase()) } else { (text.to_string(), pat.to_string()) };
+    match (anchored_start, anchored_end) {
+        (true, true) => t == p,
+        (true, false) => t.starts_with(&p),
+        (false, true) => t.ends_with(&p),
+        (false, false) => t.contains(&p),
+    }
+}
+
+/// Register all `RDF_*` functions on a database.
+pub fn register_rdf_functions(db: &mut Database) {
+    db.register_function("rdf_num", |args| {
+        Ok(match numeric(&args[0]) {
+            Some(x) => Value::Double(x),
+            None => Value::Null,
+        })
+    });
+    db.register_function("rdf_str", |args| {
+        Ok(match lexical(&args[0]) {
+            Some(s) => Value::str(s),
+            None => Value::Null,
+        })
+    });
+    db.register_function("rdf_lang", |args| {
+        Ok(match term_of(&args[0]) {
+            Some(Term::Literal { lang: Some(l), .. }) => Value::str(l.to_string()),
+            Some(Term::Literal { .. }) => Value::str(""),
+            _ => Value::Null,
+        })
+    });
+    db.register_function("rdf_datatype", |args| {
+        Ok(match term_of(&args[0]) {
+            Some(Term::Literal { datatype: Some(dt), .. }) => Value::str(dt.to_string()),
+            Some(Term::Literal { lang: Some(_), .. }) => {
+                Value::str("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+            }
+            Some(Term::Literal { .. }) => Value::str("http://www.w3.org/2001/XMLSchema#string"),
+            _ => Value::Null,
+        })
+    });
+    db.register_function("rdf_isiri", |args| {
+        Ok(match &args[0] {
+            Value::Null => Value::Null,
+            v => Value::Bool(matches!(term_of(v), Some(Term::Iri(_)))),
+        })
+    });
+    db.register_function("rdf_isliteral", |args| {
+        Ok(match &args[0] {
+            Value::Null => Value::Null,
+            v => Value::Bool(matches!(term_of(v), Some(Term::Literal { .. }))),
+        })
+    });
+    db.register_function("rdf_isblank", |args| {
+        Ok(match &args[0] {
+            Value::Null => Value::Null,
+            v => Value::Bool(matches!(term_of(v), Some(Term::Blank(_)))),
+        })
+    });
+    db.register_function("rdf_eq", |args| {
+        Ok(sparql_eq(&args[0], &args[1]).map(Value::Bool).unwrap_or(Value::Null))
+    });
+    db.register_function("rdf_ne", |args| {
+        Ok(sparql_eq(&args[0], &args[1]).map(|b| Value::Bool(!b)).unwrap_or(Value::Null))
+    });
+    for (name, pred) in [
+        ("rdf_lt", std::cmp::Ordering::is_lt as fn(std::cmp::Ordering) -> bool),
+        ("rdf_le", std::cmp::Ordering::is_le),
+        ("rdf_gt", std::cmp::Ordering::is_gt),
+        ("rdf_ge", std::cmp::Ordering::is_ge),
+    ] {
+        db.register_function(name, move |args| {
+            Ok(sparql_cmp(&args[0], &args[1]).map(|o| Value::Bool(pred(o))).unwrap_or(Value::Null))
+        });
+    }
+    db.register_function("rdf_regex", |args| {
+        let ci = matches!(args.get(2), Some(Value::Int(1)));
+        Ok(match (lexical(&args[0]), args[1].as_str()) {
+            (Some(text), Some(pat)) => Value::Bool(regex_match(&text, pat, ci)),
+            _ => Value::Null,
+        })
+    });
+    // Sort key: numeric literals order before/among each other numerically;
+    // the translator emits ORDER BY RDF_NUM(c), RDF_STR(c).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        register_rdf_functions(&mut db);
+        db
+    }
+
+    #[test]
+    fn rdf_num_parses_typed_and_plain() {
+        let db = db();
+        let r = db
+            .query("SELECT RDF_NUM('\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>') AS a, RDF_NUM('\"3.5\"') AS b, RDF_NUM('<http://x>') AS c")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Double(42.0));
+        assert_eq!(r.rows[0][1], Value::Double(3.5));
+        assert_eq!(r.rows[0][2], Value::Null);
+    }
+
+    #[test]
+    fn rdf_cmp_numeric_beats_lexical() {
+        let db = db();
+        // Lexically "9" > "10", numerically 9 < 10.
+        let r = db
+            .query("SELECT RDF_LT('\"9\"^^<http://www.w3.org/2001/XMLSchema#integer>', '\"10\"^^<http://www.w3.org/2001/XMLSchema#integer>') AS x")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Bool(true));
+    }
+
+    #[test]
+    fn rdf_eq_across_numeric_types() {
+        let db = db();
+        let r = db
+            .query("SELECT RDF_EQ('\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>', '\"42.0\"^^<http://www.w3.org/2001/XMLSchema#double>') AS x, RDF_EQ('<a>', '<b>') AS y")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Bool(true));
+        assert_eq!(r.rows[0][1], Value::Bool(false));
+    }
+
+    #[test]
+    fn rdf_str_and_lang() {
+        let db = db();
+        let r = db
+            .query("SELECT RDF_STR('\"bonjour\"@fr') AS s, RDF_LANG('\"bonjour\"@fr') AS l, RDF_LANG('\"x\"') AS e")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("bonjour"));
+        assert_eq!(r.rows[0][1], Value::str("fr"));
+        assert_eq!(r.rows[0][2], Value::str(""));
+    }
+
+    #[test]
+    fn type_checks() {
+        let db = db();
+        let r = db
+            .query("SELECT RDF_ISIRI('<a>') AS a, RDF_ISLITERAL('\"x\"') AS b, RDF_ISBLANK('_:b') AS c, RDF_ISIRI('\"x\"') AS d")
+            .unwrap();
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Bool(true), Value::Bool(true), Value::Bool(true), Value::Bool(false)]
+        );
+    }
+
+    #[test]
+    fn regex_substring_and_anchors() {
+        assert!(regex_match("Journal of Testing", "Journal", false));
+        assert!(regex_match("Journal of Testing", "^Journal", false));
+        assert!(!regex_match("The Journal", "^Journal", false));
+        assert!(regex_match("The Journal", "Journal$", false));
+        assert!(regex_match("ABC", "abc", true));
+        assert!(!regex_match("ABC", "abc", false));
+        assert!(regex_match("exact", "^exact$", false));
+    }
+
+    #[test]
+    fn rdf_regex_via_sql() {
+        let db = db();
+        let r = db.query("SELECT RDF_REGEX('\"Hello World\"', 'world', 1) AS x").unwrap();
+        assert_eq!(r.rows[0][0], Value::Bool(true));
+    }
+
+    #[test]
+    fn null_propagation() {
+        let db = db();
+        let r = db
+            .query("SELECT RDF_EQ(NULL, '<a>') AS a, RDF_LT(NULL, NULL) AS b, RDF_ISIRI(NULL) AS c")
+            .unwrap();
+        assert_eq!(r.rows[0], vec![Value::Null, Value::Null, Value::Null]);
+    }
+}

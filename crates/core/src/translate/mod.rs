@@ -1,0 +1,331 @@
+//! SPARQL→SQL translation (paper §3.2.2).
+//!
+//! The execution tree is linearized into a chain of CTEs, exactly like the
+//! paper's Fig. 13: every CTE threads all previously bound variables
+//! through, star accesses become single `DPH`/`RPH` probes (the layout
+//! backends implement [`StarGen`]), UNIONs become `UNION ALL` of per-branch
+//! chains, OPTIONALs become `LEFT OUTER JOIN`s, and FILTERs attach to the
+//! earliest CTE where their variables are bound.
+
+pub mod entity;
+pub mod filters;
+pub mod functions;
+
+use std::collections::{BTreeMap, HashSet};
+
+use sparql::{Expression, Query, QueryForm};
+
+use crate::error::{Result, StoreError};
+use crate::optimizer::ExecNode;
+
+/// Generation state: accumulated CTEs plus the variable → column map of the
+/// chain head.
+pub struct GenState {
+    counter: usize,
+    pub ctes: Vec<(String, String)>,
+    /// Variables bound in the current chain head, mapped to column names.
+    pub bound: BTreeMap<String, String>,
+    /// Name of the current chain-head CTE.
+    pub last: Option<String>,
+    colnames: BTreeMap<String, String>,
+    used_cols: HashSet<String>,
+}
+
+impl Default for GenState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GenState {
+    pub fn new() -> GenState {
+        GenState {
+            counter: 0,
+            ctes: Vec::new(),
+            bound: BTreeMap::new(),
+            last: None,
+            colnames: BTreeMap::new(),
+            used_cols: HashSet::new(),
+        }
+    }
+
+    /// A fresh CTE name (`q1`, `q2`, ...).
+    pub fn fresh(&mut self) -> String {
+        self.counter += 1;
+        format!("q{}", self.counter)
+    }
+
+    /// Stable, query-unique column name for a variable.
+    pub fn col(&mut self, var: &str) -> String {
+        if let Some(c) = self.colnames.get(var) {
+            return c.clone();
+        }
+        let sanitized: String = var
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let mut name = format!("c_{sanitized}");
+        let mut i = 0;
+        while self.used_cols.contains(&name) {
+            i += 1;
+            name = format!("c_{sanitized}_{i}");
+        }
+        self.used_cols.insert(name.clone());
+        self.colnames.insert(var.to_string(), name.clone());
+        name
+    }
+
+    pub fn push_cte(&mut self, name: String, body: String) {
+        self.ctes.push((name.clone(), body));
+        self.last = Some(name);
+    }
+
+    /// `P.col AS col` projections for all currently bound variables.
+    pub fn prior_projection(&self, prior_alias: &str) -> Vec<String> {
+        self.bound.values().map(|c| format!("{prior_alias}.{c} AS {c}")).collect()
+    }
+}
+
+/// A layout backend: generates the CTE(s) for one star access.
+pub trait StarGen {
+    fn gen_star(&self, star: &crate::optimizer::StarNode, state: &mut GenState) -> Result<()>;
+}
+
+/// Generate the CTE chain for an execution (sub)tree.
+pub fn gen_pattern(backend: &dyn StarGen, node: &ExecNode, state: &mut GenState) -> Result<()> {
+    match node {
+        ExecNode::Star(star) => backend.gen_star(star, state),
+        ExecNode::Seq { children, filters } => {
+            let mut pending: Vec<&Expression> = filters.iter().collect();
+            for child in children {
+                gen_pattern(backend, child, state)?;
+                // Late filter application: as soon as all variables bind.
+                pending.retain(|f| {
+                    let ready = f.variables().iter().all(|v| state.bound.contains_key(*v));
+                    if ready {
+                        apply_filter(f, state);
+                    }
+                    !ready
+                });
+            }
+            // Whatever remains references unbound variables (→ NULL).
+            for f in pending {
+                apply_filter(f, state);
+            }
+            Ok(())
+        }
+        ExecNode::Union(branches) => gen_union(backend, branches, state),
+        ExecNode::Optional(inner) => gen_optional(backend, inner, state),
+    }
+}
+
+fn apply_filter(f: &Expression, state: &mut GenState) {
+    let Some(last) = state.last.clone() else {
+        return; // filter over an empty pattern: nothing to constrain
+    };
+    let cond = filters::filter_to_sql(f, &state.bound);
+    let name = state.fresh();
+    let body = format!("SELECT * FROM {last} WHERE {cond}");
+    state.push_cte(name, body);
+}
+
+fn gen_union(backend: &dyn StarGen, branches: &[ExecNode], state: &mut GenState) -> Result<()> {
+    let entry_last = state.last.clone();
+    let entry_bound = state.bound.clone();
+    let mut branch_results: Vec<(String, BTreeMap<String, String>)> = Vec::new();
+    for branch in branches {
+        state.last = entry_last.clone();
+        state.bound = entry_bound.clone();
+        gen_pattern(backend, branch, state)?;
+        let last = state
+            .last
+            .clone()
+            .ok_or_else(|| StoreError::Unsupported("empty UNION branch".into()))?;
+        branch_results.push((last, state.bound.clone()));
+    }
+    // Harmonized projection: the union of all branch variables.
+    let mut all_vars: Vec<String> = Vec::new();
+    for (_, bound) in &branch_results {
+        for v in bound.keys() {
+            if !all_vars.contains(v) {
+                all_vars.push(v.clone());
+            }
+        }
+    }
+    let mut selects = Vec::new();
+    for (last, bound) in &branch_results {
+        let cols: Vec<String> = all_vars
+            .iter()
+            .map(|v| {
+                let out = state.col(v);
+                match bound.get(v) {
+                    Some(c) => format!("{c} AS {out}"),
+                    None => format!("NULL AS {out}"),
+                }
+            })
+            .collect();
+        selects.push(format!("SELECT {} FROM {last}", cols.join(", ")));
+    }
+    let name = state.fresh();
+    let body = selects.join(" UNION ALL ");
+    state.bound = all_vars.iter().map(|v| (v.clone(), state.colnames[v].clone())).collect();
+    state.push_cte(name, body);
+    Ok(())
+}
+
+fn gen_optional(backend: &dyn StarGen, inner: &ExecNode, state: &mut GenState) -> Result<()> {
+    let entry_last = state.last.clone();
+    let entry_bound = state.bound.clone();
+    // The optional side is evaluated uncorrelated (see DESIGN.md): its head
+    // access degrades to a scan when its entity is unbound.
+    state.last = None;
+    state.bound = BTreeMap::new();
+    gen_pattern(backend, inner, state)?;
+    let opt_last = state.last.clone();
+    let opt_bound = state.bound.clone();
+    state.last = entry_last.clone();
+    state.bound = entry_bound.clone();
+
+    let Some(opt_last) = opt_last else {
+        return Ok(()); // empty OPTIONAL: no-op
+    };
+    let Some(main) = entry_last else {
+        // OPTIONAL at the start of a query: treated as a plain pattern
+        // producing possibly-unbound columns — approximated by the pattern
+        // itself (documented limitation).
+        state.last = Some(opt_last);
+        state.bound = opt_bound;
+        return Ok(());
+    };
+
+    let shared: Vec<&String> = opt_bound.keys().filter(|v| entry_bound.contains_key(*v)).collect();
+    let on = if shared.is_empty() {
+        "TRUE".to_string()
+    } else {
+        shared
+            .iter()
+            .map(|v| format!("P.{} = O.{}", entry_bound[*v], opt_bound[*v]))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    };
+    let mut projection = state.prior_projection("P");
+    let mut new_bound = entry_bound.clone();
+    for (v, c) in &opt_bound {
+        if !entry_bound.contains_key(v) {
+            projection.push(format!("O.{c} AS {c}"));
+            new_bound.insert(v.clone(), c.clone());
+        }
+    }
+    let name = state.fresh();
+    let body = format!(
+        "SELECT {} FROM {main} AS P LEFT OUTER JOIN {opt_last} AS O ON {on}",
+        projection.join(", ")
+    );
+    state.bound = new_bound;
+    state.push_cte(name, body);
+    Ok(())
+}
+
+/// Assemble the final SQL text for a query whose pattern chain has been
+/// generated into `state`.
+pub fn finish(query: &Query, state: &mut GenState) -> String {
+    let mut sql = String::new();
+    if !state.ctes.is_empty() {
+        sql.push_str("WITH ");
+        let parts: Vec<String> =
+            state.ctes.iter().map(|(n, b)| format!("{n} AS ({b})")).collect();
+        sql.push_str(&parts.join(",\n     "));
+        sql.push('\n');
+    }
+
+    let distinct = query.is_distinct();
+    match (&query.form, &state.last) {
+        (QueryForm::Ask, Some(last)) => {
+            sql.push_str(&format!("SELECT 1 AS ok FROM {last} LIMIT 1"));
+            return sql;
+        }
+        (QueryForm::Ask, None) => {
+            sql.push_str("SELECT 1 AS ok");
+            return sql;
+        }
+        _ => {}
+    }
+
+    let projected = query.projected_variables();
+    let mut items: Vec<String> = Vec::new();
+    let mut projected_cols: HashSet<String> = HashSet::new();
+    for v in &projected {
+        match state.bound.get(v) {
+            Some(c) => {
+                items.push(format!("{c} AS {c}"));
+                projected_cols.insert(c.clone());
+            }
+            None => {
+                let c = state.col(v);
+                items.push(format!("NULL AS {c}"));
+                projected_cols.insert(c);
+            }
+        }
+    }
+    if items.is_empty() {
+        items.push("1 AS ok".to_string());
+    }
+
+    // ORDER BY variables must appear in the projection for the engine's
+    // sorter; add hidden ones unless DISTINCT forbids it.
+    let mut order_items: Vec<String> = Vec::new();
+    for cond in &query.order_by {
+        let vars = cond.expr.variables();
+        let all_available = vars.iter().all(|v| state.bound.contains_key(*v));
+        if !all_available {
+            continue;
+        }
+        let mut ok = true;
+        for v in &vars {
+            let c = state.bound[*v].clone();
+            if !projected_cols.contains(&c) {
+                if distinct {
+                    ok = false; // cannot widen a DISTINCT projection
+                    break;
+                }
+                items.push(format!("{c} AS {c}"));
+                projected_cols.insert(c);
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let dir = if cond.ascending { "" } else { " DESC" };
+        match &cond.expr {
+            Expression::Var(v) => {
+                let c = &state.bound[v];
+                // Numeric-aware ordering, then lexical tiebreak.
+                order_items.push(format!("RDF_NUM({c}){dir}"));
+                order_items.push(format!("RDF_STR({c}){dir}"));
+            }
+            e => {
+                let translated = filters::filter_order_key(e, &state.bound);
+                order_items.push(format!("{translated}{dir}"));
+            }
+        }
+    }
+
+    sql.push_str("SELECT ");
+    if distinct {
+        sql.push_str("DISTINCT ");
+    }
+    sql.push_str(&items.join(", "));
+    if let Some(last) = &state.last {
+        sql.push_str(&format!(" FROM {last}"));
+    }
+    if !order_items.is_empty() {
+        sql.push_str(&format!(" ORDER BY {}", order_items.join(", ")));
+    }
+    if let Some(l) = query.limit {
+        sql.push_str(&format!(" LIMIT {l}"));
+    }
+    if let Some(o) = query.offset {
+        sql.push_str(&format!(" OFFSET {o}"));
+    }
+    sql
+}

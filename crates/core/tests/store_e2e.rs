@@ -1,0 +1,305 @@
+//! End-to-end store tests: load the paper's Fig. 1(a) sample into all three
+//! layouts and verify identical SPARQL answers, including the paper's
+//! running example (Fig. 6a), star queries, UNION/OPTIONAL/FILTER, multi-
+//! valued predicates, variable predicates, and solution modifiers.
+
+use db2rdf::{Layout, RdfStore, StoreConfig};
+use rdf::{Term, Triple};
+
+fn t(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+}
+
+fn tl(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(Term::iri(s), Term::iri(p), Term::lit(o))
+}
+
+/// The paper's Fig. 1(a) DBpedia sample (plus revenue/developer edges so the
+/// running example has matches).
+fn sample() -> Vec<Triple> {
+    vec![
+        tl("Flint", "born", "1850"),
+        tl("Flint", "died", "1934"),
+        t("Flint", "founder", "IBM"),
+        tl("Page", "born", "1973"),
+        t("Page", "founder", "Google"),
+        t("Page", "board", "Google"),
+        tl("Page", "home", "Palo Alto"),
+        t("Android", "developer", "Google"),
+        tl("Android", "version", "4.1"),
+        tl("Android", "kernel", "Linux"),
+        tl("Android", "preceded", "4.0"),
+        tl("Android", "graphics", "OpenGL"),
+        tl("Google", "industry", "Software"),
+        tl("Google", "industry", "Internet"),
+        tl("Google", "employees", "54604"),
+        tl("Google", "HQ", "Mountain View"),
+        tl("IBM", "industry", "Software"),
+        tl("IBM", "industry", "Hardware"),
+        tl("IBM", "industry", "Services"),
+        tl("IBM", "employees", "433362"),
+        tl("IBM", "HQ", "Armonk"),
+        t("Watson", "developer", "IBM"),
+        tl("Google", "revenue", "37905"),
+        tl("IBM", "revenue", "106916"),
+    ]
+}
+
+fn all_stores() -> Vec<(&'static str, RdfStore)> {
+    [Layout::Entity, Layout::TripleStore, Layout::Vertical]
+        .into_iter()
+        .map(|l| {
+            let mut s = RdfStore::new(StoreConfig::with_layout(l));
+            s.load(&sample()).unwrap();
+            (db2rdf::layout_name(l), s)
+        })
+        .collect()
+}
+
+/// Sorted multiset of solution rows, for cross-layout comparison.
+fn canon(s: &db2rdf::Solutions) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = s
+        .rows
+        .iter()
+        .map(|r| {
+            r.iter().map(|t| t.as_ref().map(|t| t.encode()).unwrap_or_default()).collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn assert_all_layouts(query: &str, expected_len: usize) {
+    let stores = all_stores();
+    let reference = stores[0].1.query(query).unwrap_or_else(|e| {
+        panic!("entity layout failed on {query}: {e}");
+    });
+    assert_eq!(reference.len(), expected_len, "entity layout count for {query}");
+    for (name, store) in &stores[1..] {
+        let sols = store.query(query).unwrap_or_else(|e| {
+            panic!("{name} failed on {query}: {e}");
+        });
+        assert_eq!(canon(&sols), canon(&reference), "{name} disagrees on {query}");
+    }
+}
+
+#[test]
+fn single_triple_constant_object() {
+    assert_all_layouts("SELECT ?x WHERE { ?x <founder> <IBM> }", 1);
+}
+
+#[test]
+fn subject_star_query() {
+    assert_all_layouts(
+        "SELECT ?s ?v ?k WHERE { ?s <version> ?v . ?s <kernel> ?k . ?s <graphics> 'OpenGL' }",
+        1,
+    );
+}
+
+#[test]
+fn multivalued_predicate_expands() {
+    // IBM has 3 industries, Google 2.
+    assert_all_layouts("SELECT ?i WHERE { <IBM> <industry> ?i }", 3);
+    assert_all_layouts("SELECT ?c ?i WHERE { ?c <industry> ?i }", 5);
+}
+
+#[test]
+fn reverse_star_on_object() {
+    // Who is connected to Google? founder, board, developer.
+    assert_all_layouts("SELECT ?x WHERE { ?x <founder> <Google> }", 1);
+    assert_all_layouts(
+        "SELECT ?x ?y WHERE { ?x <founder> ?c . ?y <developer> ?c }",
+        2, // (Page,Android) via Google and (Flint,Watson) via IBM
+    );
+}
+
+#[test]
+fn union_query() {
+    assert_all_layouts(
+        "SELECT ?x ?y WHERE { { ?x <founder> ?y } UNION { ?x <board> ?y } }",
+        3,
+    );
+}
+
+#[test]
+fn optional_query() {
+    // All founders, optionally their birth year; Flint and Page both have it.
+    assert_all_layouts(
+        "SELECT ?x ?b WHERE { ?x <founder> ?c . OPTIONAL { ?x <born> ?b } }",
+        2,
+    );
+    // Optional that never matches keeps rows with unbound ?z.
+    let (_, store) = all_stores().remove(0);
+    let sols = store
+        .query("SELECT ?x ?z WHERE { ?x <founder> ?c . OPTIONAL { ?x <nonexistent> ?z } }")
+        .unwrap();
+    assert_eq!(sols.len(), 2);
+    assert!(sols.rows.iter().all(|r| r[1].is_none()));
+}
+
+#[test]
+fn running_example_from_figure_6() {
+    // People who founded or sit on the board of a Software company; the
+    // products it developed, its revenue, optionally employees.
+    let q = "SELECT ?x ?y ?z ?n ?m WHERE {
+        ?x <home> 'Palo Alto' .
+        { ?x <founder> ?y } UNION { ?x <board> ?y }
+        { ?y <industry> 'Software' .
+          ?z <developer> ?y .
+          ?y <revenue> ?n .
+          OPTIONAL { ?y <employees> ?m } }
+      }";
+    // Page founded Google and is on its board → 2 rows (Android developed).
+    assert_all_layouts(q, 2);
+    let (_, store) = all_stores().remove(0);
+    let sols = store.query(q).unwrap();
+    assert_eq!(sols.get(0, "x"), Some(&Term::iri("Page")));
+    assert_eq!(sols.get(0, "z"), Some(&Term::iri("Android")));
+    assert_eq!(sols.get(0, "m"), Some(&Term::lit("54604")));
+}
+
+#[test]
+fn filter_numeric_comparison() {
+    assert_all_layouts(
+        "SELECT ?c WHERE { ?c <employees> ?e . FILTER(?e > 100000) }",
+        1,
+    );
+    assert_all_layouts(
+        "SELECT ?c WHERE { ?c <employees> ?e . FILTER(?e > 100000 || ?e < 60000) }",
+        2,
+    );
+}
+
+#[test]
+fn filter_regex_and_str() {
+    assert_all_layouts(
+        "SELECT ?c WHERE { ?c <HQ> ?h . FILTER regex(?h, 'view', 'i') }",
+        1,
+    );
+    assert_all_layouts(
+        "SELECT ?c WHERE { ?c <HQ> ?h . FILTER(str(?h) = 'Armonk') }",
+        1,
+    );
+}
+
+#[test]
+fn filter_bound_after_optional() {
+    // Companies with revenue but *no* employee count: none in the sample.
+    assert_all_layouts(
+        "SELECT ?c WHERE { ?c <revenue> ?r . OPTIONAL { ?c <employees> ?e } FILTER(!bound(?e)) }",
+        0,
+    );
+}
+
+#[test]
+fn variable_predicate() {
+    assert_all_layouts("SELECT ?p ?o WHERE { <Flint> ?p ?o }", 3);
+    assert_all_layouts("SELECT ?p WHERE { <Page> ?p <Google> }", 2);
+}
+
+#[test]
+fn ask_queries() {
+    let (_, store) = all_stores().remove(0);
+    assert_eq!(store.query("ASK { <Page> <home> 'Palo Alto' }").unwrap().boolean, Some(true));
+    assert_eq!(store.query("ASK { <Page> <home> 'Armonk' }").unwrap().boolean, Some(false));
+}
+
+#[test]
+fn distinct_order_limit() {
+    let (_, store) = all_stores().remove(0);
+    let sols = store
+        .query("SELECT DISTINCT ?i WHERE { ?c <industry> ?i } ORDER BY ?i LIMIT 3")
+        .unwrap();
+    assert_eq!(sols.len(), 3);
+    let vals: Vec<String> =
+        sols.rows.iter().map(|r| r[0].as_ref().unwrap().lexical().to_string()).collect();
+    assert_eq!(vals, vec!["Hardware", "Internet", "Services"]);
+}
+
+#[test]
+fn order_by_numeric() {
+    let (_, store) = all_stores().remove(0);
+    let sols = store
+        .query("SELECT ?c ?e WHERE { ?c <employees> ?e } ORDER BY DESC(?e)")
+        .unwrap();
+    assert_eq!(sols.get(0, "c"), Some(&Term::iri("IBM")));
+}
+
+#[test]
+fn incremental_insert_visible_to_queries() {
+    for layout in [Layout::Entity, Layout::TripleStore, Layout::Vertical] {
+        let mut store = RdfStore::new(StoreConfig::with_layout(layout));
+        store.load(&sample()).unwrap();
+        store.insert(&t("Bell", "founder", "ATT")).unwrap();
+        store.insert(&tl("Bell", "born", "1847")).unwrap();
+        let sols = store
+            .query("SELECT ?b WHERE { ?x <founder> <ATT> . ?x <born> ?b }")
+            .unwrap();
+        assert_eq!(sols.len(), 1, "layout {layout:?}");
+        assert_eq!(sols.get(0, "b"), Some(&Term::lit("1847")));
+    }
+}
+
+#[test]
+fn explain_exposes_flow_and_sql() {
+    let (_, store) = all_stores().remove(0);
+    let e = store
+        .explain("SELECT ?x WHERE { ?x <industry> 'Software' . ?x <employees> ?e }")
+        .unwrap();
+    assert_eq!(e.flow.len(), 2);
+    assert!(e.sql.to_uppercase().contains("WITH"));
+    assert!(e.sql.contains("rph") || e.sql.contains("dph"));
+}
+
+#[test]
+fn translate_entity_star_uses_single_access() {
+    // Fig. 2(b): a pure subject star is one DPH probe, no self-joins.
+    let (_, store) = all_stores().remove(0);
+    let sql = store
+        .translate("SELECT ?s WHERE { ?s <version> ?v . ?s <kernel> ?k }")
+        .unwrap();
+    let dph_count = sql.matches("dph AS T").count();
+    assert_eq!(dph_count, 1, "expected one DPH access, got SQL:\n{sql}");
+}
+
+#[test]
+fn empty_result_for_unknown_constants() {
+    assert_all_layouts("SELECT ?x WHERE { ?x <founder> <Nokia> }", 0);
+    assert_all_layouts("SELECT ?x WHERE { ?x <neverSeen> ?o }", 0);
+}
+
+#[test]
+fn join_across_star_shapes() {
+    // subject star joined to reverse access through shared company.
+    assert_all_layouts(
+        "SELECT ?p ?hq WHERE { ?p <founder> ?c . ?c <HQ> ?hq . ?c <industry> 'Software' }",
+        2,
+    );
+}
+
+#[test]
+fn cartesian_product_of_disconnected_patterns() {
+    // 2 founders × 2 developers = 4 rows.
+    assert_all_layouts(
+        "SELECT ?a ?b WHERE { ?a <founder> ?x . ?b <developer> ?y }",
+        4,
+    );
+}
+
+#[test]
+fn nested_optional_group() {
+    // Multi-triple OPTIONAL group (not star-mergeable).
+    assert_all_layouts(
+        "SELECT ?x ?v WHERE { ?x <developer> ?c . OPTIONAL { ?x <version> ?v . ?x <kernel> 'Linux' } }",
+        2,
+    );
+}
+
+#[test]
+fn duplicate_insert_is_idempotent_in_entity_layout() {
+    let mut store = RdfStore::entity();
+    store.load(&sample()).unwrap();
+    assert!(!store.insert(&tl("Page", "home", "Palo Alto")).unwrap());
+    let sols = store.query("SELECT ?h WHERE { <Page> <home> ?h }").unwrap();
+    assert_eq!(sols.len(), 1);
+}

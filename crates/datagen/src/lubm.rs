@@ -1,0 +1,322 @@
+//! LUBM-like university dataset (18 predicates, the schema of Guo et al.)
+//! and the 12-query workload the paper evaluates (LQ1–LQ10, LQ13, LQ14),
+//! with OWL subclass inference compiled away by UNION expansion exactly as
+//! the paper describes (§4.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdf::{Term, Triple};
+
+use crate::BenchQuery;
+
+pub const NS: &str = "http://lubm.bench/";
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+fn p(local: &str) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+fn class(local: &str) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+fn rdf_type() -> Term {
+    Term::iri(RDF_TYPE)
+}
+
+struct Gen {
+    triples: Vec<Triple>,
+    rng: StdRng,
+}
+
+impl Gen {
+    fn emit(&mut self, s: &Term, pred: &str, o: Term) {
+        self.triples.push(Triple::new(s.clone(), p(pred), o));
+    }
+
+    fn typ(&mut self, s: &Term, c: &str) {
+        self.triples.push(Triple::new(s.clone(), rdf_type(), class(c)));
+    }
+}
+
+const DEPTS_PER_UNIV: usize = 6;
+const FULL_PROF: usize = 5;
+const ASSOC_PROF: usize = 6;
+const ASSIST_PROF: usize = 5;
+const LECTURERS: usize = 3;
+const COURSES: usize = 12;
+const GRAD_COURSES: usize = 6;
+const UG_STUDENTS: usize = 60;
+const GRAD_STUDENTS: usize = 15;
+const PUBLICATIONS: usize = 10;
+const GROUPS: usize = 5;
+
+/// Generate `universities` universities (~10k triples each).
+pub fn generate(universities: usize, seed: u64) -> Vec<Triple> {
+    let mut g = Gen { triples: Vec::new(), rng: StdRng::seed_from_u64(seed) };
+    let univ_iri = |u: usize| Term::iri(format!("{NS}University{u}"));
+    for u in 0..universities {
+        let univ = univ_iri(u);
+        g.typ(&univ, "University");
+        g.emit(&univ, "name", Term::lit(format!("University {u}")));
+        for d in 0..DEPTS_PER_UNIV {
+            let dept = Term::iri(format!("{NS}Department{d}.University{u}"));
+            g.typ(&dept, "Department");
+            g.emit(&dept, "subOrganizationOf", univ.clone());
+            g.emit(&dept, "name", Term::lit(format!("Department {d}")));
+            for r in 0..GROUPS {
+                let grp = Term::iri(format!("{NS}ResearchGroup{r}.D{d}.U{u}"));
+                g.typ(&grp, "ResearchGroup");
+                g.emit(&grp, "subOrganizationOf", dept.clone());
+            }
+            // Courses.
+            let mut courses = Vec::new();
+            for c in 0..COURSES + GRAD_COURSES {
+                let kind = if c < COURSES { "Course" } else { "GraduateCourse" };
+                let iri = Term::iri(format!("{NS}{kind}{c}.D{d}.U{u}"));
+                g.typ(&iri, kind);
+                g.emit(&iri, "name", Term::lit(format!("{kind} {c}")));
+                courses.push(iri);
+            }
+            // Faculty.
+            let mut faculty = Vec::new();
+            let kinds = [
+                ("FullProfessor", FULL_PROF),
+                ("AssociateProfessor", ASSOC_PROF),
+                ("AssistantProfessor", ASSIST_PROF),
+                ("Lecturer", LECTURERS),
+            ];
+            for (kind, count) in kinds {
+                for i in 0..count {
+                    let prof = Term::iri(format!("{NS}{kind}{i}.D{d}.U{u}"));
+                    g.typ(&prof, kind);
+                    g.emit(&prof, "worksFor", dept.clone());
+                    g.emit(&prof, "name", Term::lit(format!("{kind} {i} D{d} U{u}")));
+                    g.emit(
+                        &prof,
+                        "emailAddress",
+                        Term::lit(format!("{kind}{i}@d{d}.u{u}.edu")),
+                    );
+                    g.emit(&prof, "telephone", Term::lit(format!("555-{u:03}-{d}{i:02}")));
+                    let deg = g.rng.gen_range(0..universities.max(1));
+                    g.emit(&prof, "undergraduateDegreeFrom", univ_iri(deg));
+                    let deg = g.rng.gen_range(0..universities.max(1));
+                    g.emit(&prof, "mastersDegreeFrom", univ_iri(deg));
+                    let deg = g.rng.gen_range(0..universities.max(1));
+                    g.emit(&prof, "doctoralDegreeFrom", univ_iri(deg));
+                    let ri = g.rng.gen_range(0..30);
+                    g.emit(&prof, "researchInterest", Term::lit(format!("Research{ri}")));
+                    if kind != "Lecturer" {
+                        let n = g.rng.gen_range(1..3usize);
+                        for _ in 0..n {
+                            let c = g.rng.gen_range(0..courses.len());
+                            g.emit(&prof, "teacherOf", courses[c].clone());
+                        }
+                    }
+                    faculty.push(prof);
+                }
+            }
+            // Head of department: the first full professor.
+            g.emit(&faculty[0], "headOf", dept.clone());
+            // Students.
+            for i in 0..UG_STUDENTS {
+                let s = Term::iri(format!("{NS}UndergraduateStudent{i}.D{d}.U{u}"));
+                g.typ(&s, "UndergraduateStudent");
+                g.emit(&s, "memberOf", dept.clone());
+                g.emit(&s, "name", Term::lit(format!("UG {i} D{d} U{u}")));
+                g.emit(&s, "emailAddress", Term::lit(format!("ug{i}@d{d}.u{u}.edu")));
+                for _ in 0..g.rng.gen_range(2..5usize) {
+                    let c = g.rng.gen_range(0..COURSES);
+                    g.emit(&s, "takesCourse", courses[c].clone());
+                }
+                if g.rng.gen_ratio(1, 5) {
+                    let f = g.rng.gen_range(0..faculty.len());
+                    g.emit(&s, "advisor", faculty[f].clone());
+                }
+            }
+            for i in 0..GRAD_STUDENTS {
+                let s = Term::iri(format!("{NS}GraduateStudent{i}.D{d}.U{u}"));
+                g.typ(&s, "GraduateStudent");
+                g.emit(&s, "memberOf", dept.clone());
+                g.emit(&s, "name", Term::lit(format!("Grad {i} D{d} U{u}")));
+                g.emit(&s, "emailAddress", Term::lit(format!("grad{i}@d{d}.u{u}.edu")));
+                g.emit(&s, "telephone", Term::lit(format!("555-{u:03}-9{i:02}")));
+                let deg = g.rng.gen_range(0..universities.max(1));
+                g.emit(&s, "undergraduateDegreeFrom", univ_iri(deg));
+                for _ in 0..g.rng.gen_range(1..4usize) {
+                    let c = g.rng.gen_range(COURSES..courses.len());
+                    g.emit(&s, "takesCourse", courses[c].clone());
+                }
+                let f = g.rng.gen_range(0..faculty.len());
+                g.emit(&s, "advisor", faculty[f].clone());
+                if g.rng.gen_ratio(1, 4) {
+                    let c = g.rng.gen_range(0..COURSES);
+                    g.emit(&s, "teachingAssistantOf", courses[c].clone());
+                }
+                if g.rng.gen_ratio(1, 5) {
+                    let r = g.rng.gen_range(0..GROUPS);
+                    g.emit(
+                        &s,
+                        "researchAssistantOf",
+                        Term::iri(format!("{NS}ResearchGroup{r}.D{d}.U{u}")),
+                    );
+                }
+            }
+            // Publications.
+            for i in 0..PUBLICATIONS {
+                let pb = Term::iri(format!("{NS}Publication{i}.D{d}.U{u}"));
+                g.typ(&pb, "Publication");
+                g.emit(&pb, "name", Term::lit(format!("Publication {i} D{d} U{u}")));
+                let f = g.rng.gen_range(0..faculty.len());
+                g.emit(&pb, "publicationAuthor", faculty[f].clone());
+                if g.rng.gen_ratio(1, 2) {
+                    let s = g.rng.gen_range(0..GRAD_STUDENTS);
+                    g.emit(
+                        &pb,
+                        "publicationAuthor",
+                        Term::iri(format!("{NS}GraduateStudent{s}.D{d}.U{u}")),
+                    );
+                }
+            }
+        }
+    }
+    g.triples
+}
+
+fn type_union(var: &str, classes: &[&str]) -> String {
+    let alts: Vec<String> = classes
+        .iter()
+        .map(|c| format!("{{ ?{var} <{RDF_TYPE}> <{NS}{c}> }}"))
+        .collect();
+    alts.join(" UNION ")
+}
+
+const STUDENTS: &[&str] = &["UndergraduateStudent", "GraduateStudent"];
+const PROFESSORS: &[&str] = &["FullProfessor", "AssociateProfessor", "AssistantProfessor"];
+
+/// The 12 LUBM queries the paper runs, inference-expanded.
+pub fn queries() -> Vec<BenchQuery> {
+    let ns = NS;
+    let ty = RDF_TYPE;
+    vec![
+        BenchQuery::new(
+            "LQ1",
+            format!(
+                "SELECT ?x WHERE {{ ?x <{ty}> <{ns}GraduateStudent> . \
+                 ?x <{ns}takesCourse> <{ns}GraduateCourse13.D0.U0> }}"
+            ),
+        ),
+        BenchQuery::new(
+            "LQ2",
+            format!(
+                "SELECT ?x ?y ?z WHERE {{ ?x <{ty}> <{ns}GraduateStudent> . \
+                 ?y <{ty}> <{ns}University> . ?z <{ty}> <{ns}Department> . \
+                 ?x <{ns}memberOf> ?z . ?z <{ns}subOrganizationOf> ?y . \
+                 ?x <{ns}undergraduateDegreeFrom> ?y }}"
+            ),
+        ),
+        BenchQuery::new(
+            "LQ3",
+            format!(
+                "SELECT ?x WHERE {{ ?x <{ty}> <{ns}Publication> . \
+                 ?x <{ns}publicationAuthor> <{ns}FullProfessor0.D0.U0> }}"
+            ),
+        ),
+        BenchQuery::new(
+            "LQ4",
+            format!(
+                "SELECT ?x ?n ?e ?t WHERE {{ {} . ?x <{ns}worksFor> <{ns}Department0.University0> . \
+                 ?x <{ns}name> ?n . ?x <{ns}emailAddress> ?e . ?x <{ns}telephone> ?t }}",
+                type_union("x", PROFESSORS)
+            ),
+        ),
+        BenchQuery::new(
+            "LQ5",
+            format!(
+                "SELECT ?x WHERE {{ {{ ?x <{ns}memberOf> <{ns}Department0.University0> }} UNION \
+                 {{ ?x <{ns}worksFor> <{ns}Department0.University0> }} }}"
+            ),
+        ),
+        BenchQuery::new("LQ6", format!("SELECT ?x WHERE {{ {} }}", type_union("x", STUDENTS))),
+        BenchQuery::new(
+            "LQ7",
+            format!(
+                "SELECT ?x ?y WHERE {{ {} . ?x <{ns}takesCourse> ?y . \
+                 <{ns}AssociateProfessor0.D0.U0> <{ns}teacherOf> ?y }}",
+                type_union("x", STUDENTS)
+            ),
+        ),
+        BenchQuery::new(
+            "LQ8",
+            format!(
+                "SELECT ?x ?y ?z WHERE {{ {} . ?x <{ns}memberOf> ?y . \
+                 ?y <{ns}subOrganizationOf> <{ns}University0> . ?x <{ns}emailAddress> ?z }}",
+                type_union("x", STUDENTS)
+            ),
+        ),
+        BenchQuery::new(
+            "LQ9",
+            format!(
+                "SELECT ?x ?y ?z WHERE {{ {} . ?x <{ns}advisor> ?y . \
+                 ?y <{ns}teacherOf> ?z . ?x <{ns}takesCourse> ?z }}",
+                type_union("x", STUDENTS)
+            ),
+        ),
+        BenchQuery::new(
+            "LQ10",
+            format!(
+                "SELECT ?x WHERE {{ {} . ?x <{ns}takesCourse> <{ns}GraduateCourse12.D0.U0> }}",
+                type_union("x", STUDENTS)
+            ),
+        ),
+        BenchQuery::new(
+            "LQ13",
+            format!(
+                "SELECT ?x WHERE {{ {{ ?x <{ns}undergraduateDegreeFrom> <{ns}University0> }} UNION \
+                 {{ ?x <{ns}mastersDegreeFrom> <{ns}University0> }} UNION \
+                 {{ ?x <{ns}doctoralDegreeFrom> <{ns}University0> }} }}"
+            ),
+        ),
+        BenchQuery::new(
+            "LQ14",
+            format!("SELECT ?x WHERE {{ ?x <{ty}> <{ns}UndergraduateStudent> }}"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_inventory_is_lubm_sized() {
+        let triples = generate(1, 1);
+        let preds: std::collections::HashSet<String> =
+            triples.iter().map(|t| t.predicate.encode()).collect();
+        // 17 domain predicates + rdf:type = 18, matching LUBM (Table 4).
+        assert_eq!(preds.len(), 18, "{preds:?}");
+    }
+
+    #[test]
+    fn volume_scales_with_universities() {
+        let one = generate(1, 1).len();
+        let two = generate(2, 1).len();
+        assert!(one > 5_000, "one university = {one} triples");
+        assert!(two > one + 5_000);
+    }
+
+    #[test]
+    fn out_degree_average_is_lubm_like() {
+        // Paper: LUBM average out-degree ≈ 6.
+        let triples = generate(1, 1);
+        let subjects: std::collections::HashSet<String> =
+            triples.iter().map(|t| t.subject.encode()).collect();
+        let avg = triples.len() as f64 / subjects.len() as f64;
+        assert!((3.0..9.0).contains(&avg), "avg out-degree {avg}");
+    }
+
+    #[test]
+    fn twelve_queries() {
+        assert_eq!(queries().len(), 12);
+    }
+}

@@ -1,0 +1,177 @@
+//! The §2.1 micro-benchmark (Tables 1 & 2, Figs. 2 & 3, and the §3.3
+//! optimizer experiment of Fig. 14).
+//!
+//! Subjects are partitioned into the six predicate-set groups of Table 1:
+//!
+//! | group | predicate set                         | frequency |
+//! |-------|---------------------------------------|-----------|
+//! | 0     | SV1–SV4, MV1–MV4                      | .01       |
+//! | 1     | SV1 SV2 SV3, MV1 MV2 MV3              | .24       |
+//! | 2     | SV1 SV3 SV4, MV1 MV3 MV4              | .25       |
+//! | 3     | SV2 SV3 SV4, MV2 MV3 MV4              | .25       |
+//! | 4     | SV1 SV2 SV4, MV1 MV2 MV4              | .24       |
+//! | 5     | SV5 SV6 SV7 SV8                       | .01       |
+//!
+//! SV predicates are single-valued, MV predicates carry three values each.
+//! For the Fig. 14 optimizer experiment, SV1 takes the constant object `O1`
+//! for 75% of its subjects and SV2 takes `O2` for 1%.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdf::{Term, Triple};
+
+use crate::BenchQuery;
+
+pub const NS: &str = "http://micro.bench/";
+
+fn iri(local: &str) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+/// Table 1 group definitions: (single-valued preds, multi-valued preds,
+/// cumulative frequency weight out of 100).
+const GROUPS: &[(&[&str], &[&str], u32)] = &[
+    (&["SV1", "SV2", "SV3", "SV4"], &["MV1", "MV2", "MV3", "MV4"], 1),
+    (&["SV1", "SV2", "SV3"], &["MV1", "MV2", "MV3"], 24),
+    (&["SV1", "SV3", "SV4"], &["MV1", "MV3", "MV4"], 25),
+    (&["SV2", "SV3", "SV4"], &["MV2", "MV3", "MV4"], 25),
+    (&["SV1", "SV2", "SV4"], &["MV1", "MV2", "MV4"], 24),
+    (&["SV5", "SV6", "SV7", "SV8"], &[], 1),
+];
+
+/// Generate the micro-benchmark dataset with `n_subjects` subjects
+/// (~12 triples per subject; the paper's 1M-triple set corresponds to
+/// `n_subjects ≈ 84_000`).
+pub fn generate(n_subjects: usize, seed: u64) -> Vec<Triple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::with_capacity(n_subjects * 12);
+    for i in 0..n_subjects {
+        // Deterministic group assignment preserving the Table 1 ratios.
+        let slot = (i as u64 * 100 / n_subjects.max(1) as u64) as u32;
+        let mut acc = 0;
+        let mut group = GROUPS.len() - 1;
+        for (gi, (_, _, w)) in GROUPS.iter().enumerate() {
+            acc += *w;
+            if slot < acc {
+                group = gi;
+                break;
+            }
+        }
+        let (svs, mvs, _) = GROUPS[group];
+        let subject = iri(&format!("s{i}"));
+        for &p in svs {
+            let obj = match p {
+                // Fig. 14 constants: O1 with frequency .75 on SV1, O2 with
+                // frequency .01 on SV2.
+                "SV1" if rng.gen_ratio(3, 4) => Term::lit("O1"),
+                "SV2" if rng.gen_ratio(1, 100) => Term::lit("O2"),
+                _ => Term::lit(format!("{}_v{}", p, rng.gen_range(0..50_000))),
+            };
+            triples.push(Triple::new(subject.clone(), iri(p), obj));
+        }
+        for &p in mvs {
+            for k in 0..3 {
+                triples.push(Triple::new(
+                    subject.clone(),
+                    iri(p),
+                    Term::lit(format!("{}_m{}_{}", p, rng.gen_range(0..50_000), k)),
+                ));
+            }
+        }
+    }
+    triples
+}
+
+fn star(preds: &[&str]) -> String {
+    let pats: Vec<String> = preds
+        .iter()
+        .enumerate()
+        .map(|(i, p)| format!("?s <{NS}{p}> ?o{i} ."))
+        .collect();
+    format!("SELECT ?s WHERE {{ {} }}", pats.join(" "))
+}
+
+/// The Table 2 star queries Q1–Q10.
+pub fn queries() -> Vec<BenchQuery> {
+    vec![
+        BenchQuery::new("Q1", star(&["SV1", "SV2", "SV3", "SV4"])),
+        BenchQuery::new("Q2", star(&["MV1", "MV2", "MV3", "MV4"])),
+        BenchQuery::new("Q3", star(&["SV1", "MV1", "MV2", "MV3", "MV4"])),
+        BenchQuery::new("Q4", star(&["SV1", "SV2", "MV1", "MV2", "MV3", "MV4"])),
+        BenchQuery::new("Q5", star(&["SV1", "SV2", "SV3", "MV1", "MV2", "MV3", "MV4"])),
+        BenchQuery::new("Q6", star(&["SV1", "SV2", "SV3", "SV4", "MV1", "MV2", "MV3", "MV4"])),
+        BenchQuery::new("Q7", star(&["SV5"])),
+        BenchQuery::new("Q8", star(&["SV5", "SV6"])),
+        BenchQuery::new("Q9", star(&["SV5", "SV6", "SV7"])),
+        BenchQuery::new("Q10", star(&["SV5", "SV6", "SV7", "SV8"])),
+    ]
+}
+
+/// The Fig. 14 two-triple query: data can flow from O1 (frequent) to O2
+/// (rare) or the other way round; the optimizer should anchor at O2.
+pub fn fig14_query() -> BenchQuery {
+    BenchQuery::new(
+        "F14",
+        format!("SELECT ?s WHERE {{ ?s <{NS}SV1> 'O1' . ?s <{NS}SV2> 'O2' }}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_ratios_roughly_match_table1() {
+        let triples = generate(10_000, 1);
+        // Count subjects having SV4 and SV1 together with all four MVs
+        // (group 0 only) ≈ 1%.
+        let mut by_subject: std::collections::HashMap<&Term, Vec<&Term>> =
+            std::collections::HashMap::new();
+        for t in &triples {
+            by_subject.entry(&t.subject).or_default().push(&t.predicate);
+        }
+        assert_eq!(by_subject.len(), 10_000);
+        let sv = |p: &str| Term::iri(format!("{NS}{p}"));
+        let g0 = by_subject
+            .values()
+            .filter(|ps| {
+                ["SV1", "SV2", "SV3", "SV4"].iter().all(|p| ps.contains(&&sv(p)))
+            })
+            .count();
+        assert!((80..=120).contains(&g0), "group0 count {g0}");
+        let g5 = by_subject.values().filter(|ps| ps.contains(&&sv("SV5"))).count();
+        assert!((80..=120).contains(&g5), "group5 count {g5}");
+    }
+
+    #[test]
+    fn multivalued_preds_have_three_values() {
+        let triples = generate(1000, 1);
+        let mv1 = Term::iri(format!("{NS}MV1"));
+        let mut per_subject: std::collections::HashMap<&Term, usize> =
+            std::collections::HashMap::new();
+        for t in triples.iter().filter(|t| t.predicate == mv1) {
+            *per_subject.entry(&t.subject).or_default() += 1;
+        }
+        assert!(per_subject.values().all(|&n| n == 3));
+    }
+
+    #[test]
+    fn queries_parse() {
+        for q in queries().iter().chain([fig14_query()].iter()) {
+            sparql_check(&q.sparql);
+        }
+    }
+
+    fn sparql_check(q: &str) {
+        // datagen doesn't depend on the sparql crate; a cheap sanity check.
+        assert!(q.contains("SELECT"));
+        assert!(q.contains(NS));
+    }
+
+    #[test]
+    fn triple_volume_close_to_twelve_per_subject() {
+        let triples = generate(5000, 3);
+        let per = triples.len() as f64 / 5000.0;
+        assert!((11.0..13.0).contains(&per), "avg {per}");
+    }
+}

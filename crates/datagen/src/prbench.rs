@@ -1,0 +1,458 @@
+//! PRBench-like tool-integration dataset (§4: 60M triples, 51 predicates,
+//! artifacts from different software-lifecycle tools cross-linked through an
+//! integration layer, organized in >1M named graphs).
+//!
+//! Artifacts: bug reports, requirements, test cases/results, change sets,
+//! builds, work items and reviews, each with a tool-specific attribute star
+//! and cross-tool link edges. The original is a quad dataset; graphs do not
+//! affect the DB2RDF layout, so the generator emits triples (see DESIGN.md).
+//! The workload reproduces the paper's mix: fast anchored lookups (PQ1),
+//! heavy cross-tool joins (PQ10, PQ26–PQ28 — including a UNION of 100
+//! conjunctive queries), and medium star/OPTIONAL queries (PQ14–17, PQ24,
+//! PQ29).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdf::{Term, Triple};
+
+use crate::BenchQuery;
+
+pub const NS: &str = "http://prbench.bench/";
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+fn p(local: &str) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+struct Gen {
+    triples: Vec<Triple>,
+    rng: StdRng,
+}
+
+impl Gen {
+    fn emit(&mut self, s: &Term, pred: &str, o: Term) {
+        self.triples.push(Triple::new(s.clone(), p(pred), o));
+    }
+
+    fn typ(&mut self, s: &Term, c: &str) {
+        self.triples.push(Triple::new(s.clone(), Term::iri(RDF_TYPE), p(c)));
+    }
+
+    fn lit(&mut self, s: &Term, pred: &str, v: String) {
+        self.emit(s, pred, Term::lit(v));
+    }
+}
+
+const SEVERITIES: &[&str] = &["critical", "major", "minor", "trivial"];
+const STATUSES: &[&str] = &["open", "in-progress", "resolved", "closed"];
+const VERDICTS: &[&str] = &["pass", "fail", "error", "skipped"];
+
+/// Generate roughly `n_bugs`-scaled artifacts (~10 triples each across all
+/// artifact kinds; total ≈ `n_bugs * 30` triples).
+pub fn generate(n_bugs: usize, seed: u64) -> Vec<Triple> {
+    let mut g = Gen { triples: Vec::new(), rng: StdRng::seed_from_u64(seed) };
+    let n_reqs = (n_bugs * 2 / 3).max(1);
+    let n_tests = (n_bugs / 2).max(1);
+    let n_changes = n_bugs.max(1);
+    let n_builds = (n_bugs / 10).max(1);
+    let n_people = (n_bugs / 5).max(2);
+
+    let person = |i: usize| Term::iri(format!("{NS}person/{i}"));
+    let bug = |i: usize| Term::iri(format!("{NS}bug/{i}"));
+    let req = |i: usize| Term::iri(format!("{NS}req/{i}"));
+    let test = |i: usize| Term::iri(format!("{NS}test/{i}"));
+    let change = |i: usize| Term::iri(format!("{NS}change/{i}"));
+    let build = |i: usize| Term::iri(format!("{NS}build/{i}"));
+
+    for i in 0..n_reqs {
+        let r = req(i);
+        g.typ(&r, "Requirement");
+        g.lit(&r, "title", format!("Requirement {i}"));
+        g.lit(&r, "created", format!("2012-{:02}-01", i % 12 + 1));
+        g.lit(&r, "reqText", format!("The system shall do thing {i}"));
+        g.lit(&r, "reqPriority", format!("P{}", i % 4 + 1));
+        let s = g.rng.gen_range(0..n_people);
+        g.emit(&r, "stakeholder", person(s));
+        g.lit(&r, "category", format!("Cat{}", i % 9));
+        g.lit(&r, "risk", format!("{}", i % 5));
+        if i > 0 && g.rng.gen_ratio(1, 4) {
+            let parent = g.rng.gen_range(0..i);
+            g.emit(&r, "parentReq", req(parent));
+        }
+        let a = g.rng.gen_range(0..n_people);
+        g.emit(&r, "approvedBy", person(a));
+    }
+
+    for i in 0..n_bugs {
+        let b = bug(i);
+        g.typ(&b, "BugReport");
+        g.lit(&b, "title", format!("Bug {i}: something broke"));
+        g.lit(&b, "created", format!("2012-{:02}-{:02}", i % 12 + 1, i % 28 + 1));
+        let sev = zipf4(&mut g.rng);
+        g.lit(&b, "severity", SEVERITIES[sev].to_string());
+        g.lit(&b, "priority", format!("P{}", i % 5 + 1));
+        let st = g.rng.gen_range(0..STATUSES.len());
+        g.lit(&b, "status", STATUSES[st].to_string());
+        let r = g.rng.gen_range(0..n_people);
+        g.emit(&b, "reporter", person(r));
+        if g.rng.gen_ratio(3, 4) {
+            let a = g.rng.gen_range(0..n_people);
+            g.emit(&b, "assignee", person(a));
+        }
+        g.lit(&b, "component", format!("component-{}", i % 25));
+        g.lit(&b, "version", format!("v{}.{}", i % 4, i % 10));
+        if g.rng.gen_ratio(1, 2) {
+            g.lit(&b, "resolution", "fixed".to_string());
+        }
+        if g.rng.gen_ratio(1, 20) && i > 0 {
+            let d = g.rng.gen_range(0..i);
+            g.emit(&b, "duplicateOf", bug(d));
+        }
+        if g.rng.gen_ratio(2, 3) {
+            let r = g.rng.gen_range(0..n_reqs);
+            g.emit(&b, "affectsRequirement", req(r));
+        }
+    }
+
+    for i in 0..n_tests {
+        let t = test(i);
+        g.typ(&t, "TestCase");
+        g.lit(&t, "title", format!("Test case {i}"));
+        g.lit(&t, "testSteps", format!("do step {i}"));
+        g.lit(&t, "expectedResult", format!("result {i}"));
+        g.lit(&t, "automationStatus", if i % 3 == 0 { "manual" } else { "automated" }.into());
+        let o = g.rng.gen_range(0..n_people);
+        g.emit(&t, "testOwner", person(o));
+        let r = g.rng.gen_range(0..n_reqs);
+        g.emit(&t, "verifiesRequirement", req(r));
+        g.lit(&t, "testSuite", format!("suite-{}", i % 12));
+        // Test results.
+        for run in 0..g.rng.gen_range(1..4usize) {
+            let tr = Term::iri(format!("{NS}result/{i}_{run}"));
+            g.typ(&tr, "TestResult");
+            let vd = zipf4(&mut g.rng);
+            g.lit(&tr, "verdict", VERDICTS[vd].to_string());
+            let e = g.rng.gen_range(0..n_people);
+            g.emit(&tr, "executedBy", person(e));
+            let et = g.rng.gen_range(1..500);
+            g.lit(&tr, "executionTime", format!("{et}"));
+            let bd = g.rng.gen_range(0..n_builds);
+            g.emit(&tr, "onBuild", build(bd));
+            g.emit(&tr, "forTestCase", t.clone());
+            if g.rng.gen_ratio(1, 5) {
+                g.lit(&tr, "failureMessage", format!("assertion failed at line {run}"));
+            }
+        }
+    }
+
+    for i in 0..n_changes {
+        let c = change(i);
+        g.typ(&c, "ChangeSet");
+        let a = g.rng.gen_range(0..n_people);
+        g.emit(&c, "author", person(a));
+        g.lit(&c, "committed", format!("2012-{:02}-{:02}", i % 12 + 1, i % 28 + 1));
+        g.lit(&c, "message", format!("fix for issue {i}"));
+        if g.rng.gen_ratio(2, 3) {
+            let b = g.rng.gen_range(0..n_bugs);
+            g.emit(&c, "fixesBug", bug(b));
+        } else {
+            let r = g.rng.gen_range(0..n_reqs);
+            g.emit(&c, "implementsRequirement", req(r));
+        }
+        let fc = g.rng.gen_range(1..40);
+        g.lit(&c, "filesChanged", format!("{fc}"));
+        if g.rng.gen_ratio(1, 2) {
+            let rv = Term::iri(format!("{NS}review/{i}"));
+            g.typ(&rv, "Review");
+            let r = g.rng.gen_range(0..n_people);
+            g.emit(&rv, "reviewer", person(r));
+            let verdict = if g.rng.gen_ratio(4, 5) { "approved" } else { "rejected" };
+            g.lit(&rv, "reviewVerdict", verdict.into());
+            g.lit(&rv, "reviewComment", format!("looks good {i}"));
+            g.emit(&rv, "ofChange", c.clone());
+        }
+    }
+
+    for i in 0..n_builds {
+        let b = build(i);
+        g.typ(&b, "BuildResult");
+        g.lit(&b, "buildStatus", if i % 7 == 0 { "failed" } else { "ok" }.into());
+        let bt = g.rng.gen_range(60..3600);
+        g.lit(&b, "buildTime", format!("{bt}"));
+        g.lit(&b, "buildLabel", format!("build-2012.{i}"));
+        g.lit(&b, "onBranch", format!("branch-{}", i % 5));
+        for _ in 0..g.rng.gen_range(1..6usize) {
+            let c = g.rng.gen_range(0..n_changes);
+            g.emit(&b, "includesChange", change(c));
+        }
+    }
+
+    // Work items tracking bugs.
+    for i in 0..n_bugs / 2 {
+        let w = Term::iri(format!("{NS}work/{i}"));
+        g.typ(&w, "WorkItem");
+        let st = g.rng.gen_range(0..STATUSES.len());
+        g.lit(&w, "wiState", STATUSES[st].to_string());
+        let o = g.rng.gen_range(0..n_people);
+        g.emit(&w, "wiOwner", person(o));
+        let est = g.rng.gen_range(1..13);
+        g.lit(&w, "estimate", format!("{est}"));
+        let tb = g.rng.gen_range(0..n_bugs);
+        g.emit(&w, "tracksBug", bug(tb));
+    }
+
+    // People.
+    for i in 0..n_people {
+        let pe = person(i);
+        g.typ(&pe, "Person");
+        g.lit(&pe, "title", format!("Engineer {i}"));
+    }
+
+    g.triples
+}
+
+/// Skewed pick over 4 ranks: 50/25/15/10.
+fn zipf4(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..100u32) {
+        0..=49 => 0,
+        50..=74 => 1,
+        75..=89 => 2,
+        _ => 3,
+    }
+}
+
+/// PQ1–PQ29.
+pub fn queries() -> Vec<BenchQuery> {
+    let ns = NS;
+    let ty = RDF_TYPE;
+    let mut out = Vec::new();
+
+    // PQ1: the paper's optimizer poster child — a selective anchored lookup.
+    out.push(BenchQuery::new(
+        "PQ1",
+        format!(
+            "SELECT ?b ?t WHERE {{ ?b <{ty}> <{ns}BugReport> . \
+             ?b <{ns}component> 'component-3' . ?b <{ns}severity> 'critical' . \
+             ?b <{ns}title> ?t }}"
+        ),
+    ));
+    // PQ2–PQ9: per-tool star lookups and small joins.
+    out.push(BenchQuery::new(
+        "PQ2",
+        format!(
+            "SELECT ?r ?txt WHERE {{ ?r <{ty}> <{ns}Requirement> . \
+             ?r <{ns}reqPriority> 'P1' . ?r <{ns}reqText> ?txt }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ3",
+        format!(
+            "SELECT ?t ?o WHERE {{ ?t <{ns}testSuite> 'suite-4' . ?t <{ns}testOwner> ?o }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ4",
+        format!(
+            "SELECT ?c ?m WHERE {{ ?c <{ns}fixesBug> <{ns}bug/1> . ?c <{ns}message> ?m }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ5",
+        format!("SELECT ?p ?o WHERE {{ <{ns}bug/0> ?p ?o }}"),
+    ));
+    out.push(BenchQuery::new(
+        "PQ6",
+        format!(
+            "SELECT ?b WHERE {{ ?b <{ns}severity> 'critical' . ?b <{ns}status> 'open' }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ7",
+        format!(
+            "SELECT ?rv ?c WHERE {{ ?rv <{ns}reviewVerdict> 'rejected' . ?rv <{ns}ofChange> ?c }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ8",
+        format!(
+            "SELECT ?b ?label WHERE {{ ?b <{ns}buildStatus> 'failed' . ?b <{ns}buildLabel> ?label }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ9",
+        format!(
+            "ASK {{ ?b <{ns}severity> 'critical' . ?b <{ns}duplicateOf> ?d }}"
+        ),
+    ));
+    // PQ10: the paper's 3ms-vs-27s cross-tool traceability join.
+    out.push(BenchQuery::new(
+        "PQ10",
+        format!(
+            "SELECT ?req ?bug ?chg ?bld WHERE {{ \
+             ?req <{ns}reqPriority> 'P1' . \
+             ?bug <{ns}affectsRequirement> ?req . ?bug <{ns}severity> 'critical' . \
+             ?chg <{ns}fixesBug> ?bug . \
+             ?bld <{ns}includesChange> ?chg . ?bld <{ns}buildStatus> 'failed' }}"
+        ),
+    ));
+    // PQ11–PQ13: reverse traversals.
+    out.push(BenchQuery::new(
+        "PQ11",
+        format!("SELECT ?s ?p WHERE {{ ?s ?p <{ns}person/0> }}"),
+    ));
+    out.push(BenchQuery::new(
+        "PQ12",
+        format!(
+            "SELECT ?t WHERE {{ ?t <{ns}verifiesRequirement> <{ns}req/0> }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ13",
+        format!(
+            "SELECT ?w ?b WHERE {{ ?w <{ns}tracksBug> ?b . ?b <{ns}status> 'closed' }}"
+        ),
+    ));
+    // PQ14–PQ17: medium star + OPTIONAL queries (paper Fig. 18).
+    out.push(BenchQuery::new(
+        "PQ14",
+        format!(
+            "SELECT ?b ?sev ?st ?as WHERE {{ ?b <{ty}> <{ns}BugReport> . \
+             ?b <{ns}severity> ?sev . ?b <{ns}status> ?st . \
+             OPTIONAL {{ ?b <{ns}assignee> ?as }} }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ15",
+        format!(
+            "SELECT ?t ?v ?msg WHERE {{ ?t <{ns}verdict> ?v . \
+             OPTIONAL {{ ?t <{ns}failureMessage> ?msg }} FILTER(str(?v) = 'fail') }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ16",
+        format!(
+            "SELECT ?r ?cat ?bug WHERE {{ ?r <{ns}category> ?cat . \
+             OPTIONAL {{ ?bug <{ns}affectsRequirement> ?r }} }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ17",
+        format!(
+            "SELECT ?c ?rv WHERE {{ ?c <{ty}> <{ns}ChangeSet> . ?c <{ns}filesChanged> ?f . \
+             OPTIONAL {{ ?rv <{ns}ofChange> ?c }} FILTER(?f > 30) }}"
+        ),
+    ));
+    // PQ18–PQ23: mixed shapes.
+    out.push(BenchQuery::new(
+        "PQ18",
+        format!(
+            "SELECT DISTINCT ?comp WHERE {{ ?b <{ns}component> ?comp . \
+             ?b <{ns}severity> 'critical' }} ORDER BY ?comp"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ19",
+        format!(
+            "SELECT ?p ?b WHERE {{ ?b <{ns}assignee> ?p . ?b <{ns}reporter> ?p }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ20",
+        format!(
+            "SELECT ?b1 ?b2 WHERE {{ ?b1 <{ns}duplicateOf> ?b2 . ?b2 <{ns}status> 'open' }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ21",
+        format!(
+            "SELECT ?res ?tc ?req WHERE {{ ?res <{ns}verdict> 'fail' . \
+             ?res <{ns}forTestCase> ?tc . ?tc <{ns}verifiesRequirement> ?req }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ22",
+        format!(
+            "SELECT ?person ?n WHERE {{ {{ ?c <{ns}author> ?person }} UNION \
+             {{ ?rv <{ns}reviewer> ?person }} . ?person <{ns}title> ?n }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ23",
+        format!(
+            "SELECT ?b WHERE {{ ?b <{ns}created> ?d . FILTER regex(?d, '^2012-01') }}"
+        ),
+    ));
+    // PQ24: medium multi-tool join (Fig. 18 family).
+    out.push(BenchQuery::new(
+        "PQ24",
+        format!(
+            "SELECT ?req ?test ?res WHERE {{ ?test <{ns}verifiesRequirement> ?req . \
+             ?res <{ns}forTestCase> ?test . ?res <{ns}verdict> 'pass' . \
+             OPTIONAL {{ ?req <{ns}parentReq> ?parent }} }}"
+        ),
+    ));
+    out.push(BenchQuery::new(
+        "PQ25",
+        format!(
+            "SELECT ?a ?n WHERE {{ ?c <{ns}author> ?a . ?a <{ns}title> ?n . \
+             ?c <{ns}implementsRequirement> ?r . ?r <{ns}reqPriority> 'P2' }}"
+        ),
+    ));
+    // PQ26–PQ28: the giant UNIONs (the paper mentions a SPARQL union of 100
+    // conjunctive queries).
+    for (qi, n_branches) in [(26usize, 100usize), (27, 60), (28, 40)] {
+        let mut branches = Vec::new();
+        for k in 0..n_branches {
+            let comp = k % 25;
+            let sev = SEVERITIES[k % SEVERITIES.len()];
+            branches.push(format!(
+                "{{ ?x <{ns}component> 'component-{comp}' . ?x <{ns}severity> '{sev}' }}"
+            ));
+        }
+        out.push(BenchQuery::new(
+            format!("PQ{qi}"),
+            format!("SELECT ?x WHERE {{ {} }}", branches.join(" UNION ")),
+        ));
+    }
+    // PQ29: medium chained query with modifiers.
+    out.push(BenchQuery::new(
+        "PQ29",
+        format!(
+            "SELECT DISTINCT ?owner WHERE {{ ?t <{ns}testOwner> ?owner . \
+             ?res <{ns}forTestCase> ?t . ?res <{ns}verdict> 'error' }} ORDER BY ?owner LIMIT 20"
+        ),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_inventory_is_prbench_sized() {
+        let triples = generate(300, 1);
+        let preds: std::collections::HashSet<String> =
+            triples.iter().map(|t| t.predicate.encode()).collect();
+        // Paper: 51 predicates. Our schema lands in the same range.
+        assert!((40..=60).contains(&preds.len()), "{} predicates", preds.len());
+    }
+
+    #[test]
+    fn twenty_nine_queries_and_the_giant_union() {
+        let qs = queries();
+        assert_eq!(qs.len(), 29);
+        let pq26 = qs.iter().find(|q| q.name == "PQ26").unwrap();
+        assert_eq!(pq26.sparql.matches("UNION").count(), 99);
+    }
+
+    #[test]
+    fn cross_tool_links_exist() {
+        let triples = generate(200, 3);
+        let has = |p: &str| triples.iter().any(|t| t.predicate.encode().contains(p));
+        assert!(has("fixesBug"));
+        assert!(has("verifiesRequirement"));
+        assert!(has("includesChange"));
+        assert!(has("tracksBug"));
+    }
+}

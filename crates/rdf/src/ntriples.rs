@@ -1,0 +1,207 @@
+//! Line-oriented N-Triples / N-Quads parser and serializer.
+//!
+//! Supports the subset needed by the benchmark pipeline: IRIs, blank nodes,
+//! plain / language-tagged / typed literals, comments, and an optional graph
+//! term per line (N-Quads).
+
+use std::fmt::Write as _;
+
+use crate::term::decode_term;
+#[cfg(test)]
+use crate::term::Term;
+use crate::triple::{Quad, Triple};
+
+/// Error raised while parsing N-Triples input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NTriplesError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for NTriplesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NTriplesError {}
+
+/// Parse one N-Triples/N-Quads line. Returns `Ok(None)` for blank lines and
+/// comments.
+pub fn parse_ntriples_line(line: &str) -> Result<Option<Quad>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let body = trimmed
+        .strip_suffix('.')
+        .ok_or_else(|| "line does not end with '.'".to_string())?
+        .trim_end();
+    let mut terms = Vec::with_capacity(4);
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (term_str, remainder) = split_term(rest)?;
+        let term = decode_term(term_str).ok_or_else(|| format!("malformed term {term_str:?}"))?;
+        terms.push(term);
+        rest = remainder.trim_start();
+    }
+    match terms.len() {
+        3 => {
+            let mut it = terms.into_iter();
+            Ok(Some(Quad::new(
+                Triple::new(it.next().unwrap(), it.next().unwrap(), it.next().unwrap()),
+                None,
+            )))
+        }
+        4 => {
+            let mut it = terms.into_iter();
+            let t = Triple::new(it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+            Ok(Some(Quad::new(t, Some(it.next().unwrap()))))
+        }
+        n => Err(format!("expected 3 or 4 terms, found {n}")),
+    }
+}
+
+/// Split the leading term off `s`, returning `(term, rest)`.
+fn split_term(s: &str) -> Result<(&str, &str), String> {
+    let bytes = s.as_bytes();
+    match bytes[0] {
+        b'<' => {
+            let end = s.find('>').ok_or("unterminated IRI")?;
+            Ok((&s[..=end], &s[end + 1..]))
+        }
+        b'_' => {
+            let end = s
+                .char_indices()
+                .find(|&(i, c)| i >= 2 && c.is_whitespace())
+                .map(|(i, _)| i)
+                .unwrap_or(s.len());
+            Ok((&s[..end], &s[end..]))
+        }
+        b'"' => {
+            // Closing quote honouring escapes, then optional @lang or ^^<dt>.
+            let inner = &bytes[1..];
+            let mut i = 0;
+            let mut close = None;
+            while i < inner.len() {
+                match inner[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        close = Some(i + 1); // index in `s` of closing quote
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let close = close.ok_or("unterminated literal")?;
+            let mut end = close + 1;
+            if s[end..].starts_with('@') {
+                let tail = &s[end + 1..];
+                let len = tail
+                    .char_indices()
+                    .find(|&(_, c)| c.is_whitespace())
+                    .map(|(i, _)| i)
+                    .unwrap_or(tail.len());
+                end += 1 + len;
+            } else if s[end..].starts_with("^^<") {
+                let tail = &s[end..];
+                let gt = tail.find('>').ok_or("unterminated datatype IRI")?;
+                end += gt + 1;
+            }
+            Ok((&s[..end], &s[end..]))
+        }
+        _ => Err(format!("unexpected term start {:?}", &s[..s.len().min(10)])),
+    }
+}
+
+/// Parse a whole N-Triples/N-Quads document.
+pub fn parse_ntriples(input: &str) -> Result<Vec<Quad>, NTriplesError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        match parse_ntriples_line(line) {
+            Ok(Some(q)) => out.push(q),
+            Ok(None) => {}
+            Err(message) => return Err(NTriplesError { line: idx + 1, message }),
+        }
+    }
+    Ok(out)
+}
+
+/// Serialize quads as an N-Triples/N-Quads document.
+pub fn write_ntriples<'a>(quads: impl IntoIterator<Item = &'a Quad>) -> String {
+    let mut out = String::new();
+    for q in quads {
+        let _ = writeln!(out, "{q}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_triple() {
+        let q = parse_ntriples_line("<s> <p> <o> .").unwrap().unwrap();
+        assert_eq!(q.triple.subject, Term::iri("s"));
+        assert_eq!(q.triple.predicate, Term::iri("p"));
+        assert_eq!(q.triple.object, Term::iri("o"));
+        assert!(q.graph.is_none());
+    }
+
+    #[test]
+    fn parses_quad() {
+        let q = parse_ntriples_line("<s> <p> \"v\" <g> .").unwrap().unwrap();
+        assert_eq!(q.graph, Some(Term::iri("g")));
+    }
+
+    #[test]
+    fn parses_literals_with_spaces_and_escapes() {
+        let q = parse_ntriples_line(r#"<s> <p> "a b \"c\" d" ."#).unwrap().unwrap();
+        assert_eq!(q.triple.object, Term::lit("a b \"c\" d"));
+    }
+
+    #[test]
+    fn parses_lang_and_typed_literals() {
+        let q = parse_ntriples_line(r#"<s> <p> "hi"@en ."#).unwrap().unwrap();
+        assert_eq!(q.triple.object, Term::lang_lit("hi", "en"));
+        let q = parse_ntriples_line(r#"<s> <p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> ."#)
+            .unwrap()
+            .unwrap();
+        assert_eq!(q.triple.object, Term::int_lit(5));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let doc = "# comment\n\n<s> <p> <o> .\n";
+        assert_eq!(parse_ntriples(doc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let doc = "<s> <p> <o> .\nnot a triple\n";
+        let err = parse_ntriples(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn blank_nodes_parse() {
+        let q = parse_ntriples_line("_:a <p> _:b .").unwrap().unwrap();
+        assert_eq!(q.triple.subject, Term::blank("a"));
+        assert_eq!(q.triple.object, Term::blank("b"));
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let quads = vec![
+            Quad::from(Triple::new(Term::iri("s"), Term::iri("p"), Term::lit("o1 with space"))),
+            Quad::new(
+                Triple::new(Term::blank("x"), Term::iri("p"), Term::lang_lit("v", "de")),
+                Some(Term::iri("g")),
+            ),
+        ];
+        let doc = write_ntriples(&quads);
+        assert_eq!(parse_ntriples(&doc).unwrap(), quads);
+    }
+}

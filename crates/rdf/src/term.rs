@@ -1,0 +1,307 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// An RDF term: IRI, blank node, or literal.
+///
+/// Strings are reference-counted so that terms can be cloned freely while
+/// loading large graphs (a triple shares its subject with the dictionary,
+/// the statistics collector, and the storage row without copying bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI reference, stored without the surrounding angle brackets.
+    Iri(Arc<str>),
+    /// A blank node, stored without the `_:` prefix.
+    Blank(Arc<str>),
+    /// A literal with optional language tag or datatype IRI.
+    ///
+    /// `lang` and `datatype` are mutually exclusive per RDF 1.0 (a
+    /// language-tagged literal has implicit datatype `rdf:langString`).
+    Literal {
+        lexical: Arc<str>,
+        lang: Option<Arc<str>>,
+        datatype: Option<Arc<str>>,
+    },
+}
+
+impl Term {
+    /// Build an IRI term.
+    pub fn iri(value: impl Into<Arc<str>>) -> Self {
+        Term::Iri(value.into())
+    }
+
+    /// Build a blank node term from its label (no `_:` prefix).
+    pub fn blank(label: impl Into<Arc<str>>) -> Self {
+        Term::Blank(label.into())
+    }
+
+    /// Build a plain literal.
+    pub fn lit(value: impl Into<Arc<str>>) -> Self {
+        Term::Literal { lexical: value.into(), lang: None, datatype: None }
+    }
+
+    /// Build a language-tagged literal.
+    pub fn lang_lit(value: impl Into<Arc<str>>, lang: impl Into<Arc<str>>) -> Self {
+        Term::Literal { lexical: value.into(), lang: Some(lang.into()), datatype: None }
+    }
+
+    /// Build a typed literal.
+    pub fn typed_lit(value: impl Into<Arc<str>>, datatype: impl Into<Arc<str>>) -> Self {
+        Term::Literal { lexical: value.into(), lang: None, datatype: Some(datatype.into()) }
+    }
+
+    /// Build an `xsd:integer` literal.
+    pub fn int_lit(value: i64) -> Self {
+        Term::typed_lit(value.to_string(), "http://www.w3.org/2001/XMLSchema#integer")
+    }
+
+    /// Build an `xsd:double` literal.
+    pub fn double_lit(value: f64) -> Self {
+        Term::typed_lit(value.to_string(), "http://www.w3.org/2001/XMLSchema#double")
+    }
+
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal { .. })
+    }
+
+    /// The lexical payload of the term (IRI text, blank label, or literal
+    /// lexical form) without any syntactic decoration.
+    pub fn lexical(&self) -> &str {
+        match self {
+            Term::Iri(v) | Term::Blank(v) => v,
+            Term::Literal { lexical, .. } => lexical,
+        }
+    }
+
+    /// Numeric value of a literal, when its lexical form parses as a number.
+    ///
+    /// Used by FILTER evaluation: typed and plain literals compare
+    /// numerically when both sides are numbers (see DESIGN.md §4).
+    pub fn numeric_value(&self) -> Option<f64> {
+        match self {
+            Term::Literal { lexical, .. } => lexical.trim().parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Canonical single-string encoding (see crate docs). This is the exact
+    /// representation stored in the relational `TEXT` columns.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the canonical encoding to `out` without an intermediate
+    /// allocation.
+    pub fn encode_into(&self, out: &mut String) {
+        match self {
+            Term::Iri(v) => {
+                out.push('<');
+                out.push_str(v);
+                out.push('>');
+            }
+            Term::Blank(v) => {
+                out.push_str("_:");
+                out.push_str(v);
+            }
+            Term::Literal { lexical, lang, datatype } => {
+                out.push('"');
+                escape_into(lexical, out);
+                out.push('"');
+                if let Some(l) = lang {
+                    out.push('@');
+                    out.push_str(l);
+                } else if let Some(dt) = datatype {
+                    out.push_str("^^<");
+                    out.push_str(dt);
+                    out.push('>');
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (&mut chars).take(4).collect();
+                    if hex.len() != 4 {
+                        return None;
+                    }
+                    let cp = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(cp)?);
+                }
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Decode a canonical term string produced by [`Term::encode`].
+///
+/// Returns `None` on malformed input. This is the inverse used when
+/// materializing SPARQL solutions from relational rows.
+pub fn decode_term(s: &str) -> Option<Term> {
+    let bytes = s.as_bytes();
+    match bytes.first()? {
+        b'<' => {
+            if !s.ends_with('>') || s.len() < 2 {
+                return None;
+            }
+            Some(Term::iri(&s[1..s.len() - 1]))
+        }
+        b'_' => {
+            let label = s.strip_prefix("_:")?;
+            if label.is_empty() {
+                return None;
+            }
+            Some(Term::blank(label))
+        }
+        b'"' => {
+            // Find the closing quote, honouring backslash escapes.
+            let mut end = None;
+            let inner = &bytes[1..];
+            let mut i = 0;
+            while i < inner.len() {
+                match inner[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let end = end?;
+            let lexical = unescape(std::str::from_utf8(&inner[..end]).ok()?)?;
+            let rest = std::str::from_utf8(&inner[end + 1..]).ok()?;
+            if rest.is_empty() {
+                Some(Term::lit(lexical))
+            } else if let Some(lang) = rest.strip_prefix('@') {
+                if lang.is_empty() {
+                    return None;
+                }
+                Some(Term::lang_lit(lexical, lang))
+            } else if let Some(dt) = rest.strip_prefix("^^<") {
+                let dt = dt.strip_suffix('>')?;
+                Some(Term::typed_lit(lexical, dt))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_roundtrip() {
+        let t = Term::iri("http://example.org/a");
+        assert_eq!(t.encode(), "<http://example.org/a>");
+        assert_eq!(decode_term(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn blank_roundtrip() {
+        let t = Term::blank("b42");
+        assert_eq!(t.encode(), "_:b42");
+        assert_eq!(decode_term(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn plain_literal_roundtrip() {
+        let t = Term::lit("hello world");
+        assert_eq!(t.encode(), "\"hello world\"");
+        assert_eq!(decode_term(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn lang_literal_roundtrip() {
+        let t = Term::lang_lit("bonjour", "fr");
+        assert_eq!(t.encode(), "\"bonjour\"@fr");
+        assert_eq!(decode_term(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn typed_literal_roundtrip() {
+        let t = Term::int_lit(42);
+        assert_eq!(t.encode(), "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+        assert_eq!(decode_term(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn literal_with_escapes_roundtrip() {
+        let t = Term::lit("line1\nline2 \"quoted\" back\\slash\ttab");
+        assert_eq!(decode_term(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn literal_iri_distinct_encodings() {
+        // A literal whose content looks like an IRI must not collide.
+        let lit = Term::lit("<http://example.org/a>");
+        let iri = Term::iri("http://example.org/a");
+        assert_ne!(lit.encode(), iri.encode());
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        for bad in ["", "<unclosed", "_:", "\"unclosed", "\"x\"@", "\"x\"^^nope", "plain"] {
+            assert_eq!(decode_term(bad), None, "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_value() {
+        assert_eq!(Term::int_lit(7).numeric_value(), Some(7.0));
+        assert_eq!(Term::lit("3.5").numeric_value(), Some(3.5));
+        assert_eq!(Term::lit("abc").numeric_value(), None);
+        assert_eq!(Term::iri("http://x").numeric_value(), None);
+    }
+
+    #[test]
+    fn unicode_escape_decodes() {
+        assert_eq!(decode_term("\"\\u0041\""), Some(Term::lit("A")));
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+use crate::term::Term;
+
+/// An RDF triple (subject, predicate, object).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Term,
+    pub object: Term,
+}
+
+impl Triple {
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple { subject, predicate, object }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// An RDF quad: a triple plus an optional named graph.
+///
+/// The DB2RDF layout itself is graph-agnostic (see DESIGN.md); quads exist so
+/// that quad datasets such as PRBench can be loaded without loss.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Quad {
+    pub triple: Triple,
+    pub graph: Option<Term>,
+}
+
+impl Quad {
+    pub fn new(triple: Triple, graph: Option<Term>) -> Self {
+        Quad { triple, graph }
+    }
+}
+
+impl From<Triple> for Quad {
+    fn from(triple: Triple) -> Self {
+        Quad { triple, graph: None }
+    }
+}
+
+impl fmt::Display for Quad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.graph {
+            Some(g) => write!(
+                f,
+                "{} {} {} {} .",
+                self.triple.subject, self.triple.predicate, self.triple.object, g
+            ),
+            None => self.triple.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_display() {
+        let t = Triple::new(Term::iri("s"), Term::iri("p"), Term::lit("o"));
+        assert_eq!(t.to_string(), "<s> <p> \"o\" .");
+    }
+
+    #[test]
+    fn quad_display_with_graph() {
+        let q = Quad::new(
+            Triple::new(Term::iri("s"), Term::iri("p"), Term::iri("o")),
+            Some(Term::iri("g")),
+        );
+        assert_eq!(q.to_string(), "<s> <p> <o> <g> .");
+    }
+
+    #[test]
+    fn quad_from_triple_has_no_graph() {
+        let q: Quad = Triple::new(Term::iri("s"), Term::iri("p"), Term::iri("o")).into();
+        assert_eq!(q.graph, None);
+    }
+}

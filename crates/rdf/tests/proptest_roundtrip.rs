@@ -1,0 +1,53 @@
+//! Property tests: term canonical encoding and N-Triples serialization are
+//! lossless for arbitrary content, including pathological escapes.
+
+use proptest::prelude::*;
+use rdf::{decode_term, parse_ntriples, write_ntriples, Quad, Term, Triple};
+
+fn arb_iri_text() -> impl Strategy<Value = String> {
+    // IRI text must not contain '>' (our encoder does not escape inside IRIs,
+    // matching N-Triples, where '>' is illegal in IRIREF).
+    "[a-zA-Z0-9:/#_.~%-]{1,40}"
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri_text().prop_map(Term::iri),
+        "[a-zA-Z][a-zA-Z0-9]{0,10}".prop_map(Term::blank),
+        any::<String>().prop_map(Term::lit),
+        (any::<String>(), "[a-z]{2}(-[a-z0-9]{1,8})?").prop_map(|(v, l)| Term::lang_lit(v, l)),
+        (any::<String>(), arb_iri_text()).prop_map(|(v, d)| Term::typed_lit(v, d)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn term_encode_decode_roundtrip(t in arb_term()) {
+        let encoded = t.encode();
+        prop_assert_eq!(decode_term(&encoded), Some(t));
+    }
+
+    #[test]
+    fn distinct_terms_have_distinct_encodings(a in arb_term(), b in arb_term()) {
+        if a != b {
+            prop_assert_ne!(a.encode(), b.encode());
+        }
+    }
+
+    #[test]
+    fn ntriples_document_roundtrip(
+        triples in proptest::collection::vec(
+            (arb_term(), arb_iri_text().prop_map(Term::iri), arb_term()),
+            0..20,
+        )
+    ) {
+        // Subjects/objects: literals with newlines are escaped by the writer,
+        // so any term is safe on a single line.
+        let quads: Vec<Quad> = triples
+            .into_iter()
+            .map(|(s, p, o)| Quad::from(Triple::new(s, p, o)))
+            .collect();
+        let doc = write_ntriples(&quads);
+        prop_assert_eq!(parse_ntriples(&doc).unwrap(), quads);
+    }
+}

@@ -1,0 +1,281 @@
+//! The database facade: a named collection of tables plus SQL entry points.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{exec_err, plan_err, Error, Result};
+use crate::exec::{compile, exec_query, ExecCtx, Rel, Scope};
+use crate::sql::ast::Stmt;
+use crate::sql::parser::parse_statement;
+use crate::table::{IndexKind, Table, TableSchema};
+use crate::value::{SqlType, Value};
+
+/// A registered scalar SQL function.
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// Outcome of [`Database::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// DDL statement completed.
+    Done,
+    /// Number of rows inserted.
+    Inserted(usize),
+    /// Query result.
+    Rows(Rel),
+}
+
+/// An in-memory relational database with a SQL interface.
+///
+/// This is the substrate standing in for IBM DB2 in the paper's architecture
+/// (see DESIGN.md §2): the RDF store above it emits SQL text, which is parsed,
+/// planned and executed here.
+pub struct Database {
+    tables: HashMap<String, Table>,
+    functions: HashMap<String, ScalarFn>,
+    row_budget: Option<u64>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        let mut db =
+            Database { tables: HashMap::new(), functions: HashMap::new(), row_budget: None };
+        db.register_builtins();
+        db
+    }
+
+    /// Set the per-query evaluation budget in produced/visited rows. `None`
+    /// disables the guard. Stands in for the paper's 10-minute query timeout.
+    pub fn set_row_budget(&mut self, budget: Option<u64>) {
+        self.row_budget = budget;
+    }
+
+    pub fn row_budget(&self) -> Option<u64> {
+        self.row_budget
+    }
+
+    /// Register (or replace) a scalar SQL function, e.g. RDF-aware helpers.
+    pub fn register_function(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.functions.insert(name.to_ascii_lowercase(), Arc::new(f));
+    }
+
+    pub fn scalar_function(&self, name: &str) -> Option<ScalarFn> {
+        self.functions.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&name.to_ascii_lowercase())
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Programmatic DDL, used by bulk loaders to avoid SQL round-trips.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        let name = schema.name.clone();
+        if self.tables.contains_key(&name) {
+            return plan_err(format!("table {name:?} already exists"));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    pub fn create_index(&mut self, table: &str, column: &str, kind: IndexKind) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+        t.create_index(column, kind)
+    }
+
+    /// Programmatic bulk insert, maintaining indexes.
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<usize> {
+        let t = self
+            .tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+        let mut n = 0;
+        for row in rows {
+            t.insert(&row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Execute any SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        match parse_statement(sql)? {
+            Stmt::CreateTable { name, columns } => {
+                self.create_table(TableSchema::new(name, columns))?;
+                Ok(ExecOutcome::Done)
+            }
+            Stmt::CreateIndex { table, column, btree } => {
+                self.create_index(
+                    &table,
+                    &column,
+                    if btree { IndexKind::BTree } else { IndexKind::Hash },
+                )?;
+                Ok(ExecOutcome::Done)
+            }
+            Stmt::Insert { table, columns, rows } => {
+                let n = self.execute_insert(&table, columns.as_deref(), &rows)?;
+                Ok(ExecOutcome::Inserted(n))
+            }
+            Stmt::Query(q) => {
+                let ctx = ExecCtx::new(self);
+                Ok(ExecOutcome::Rows(exec_query(&q, &ctx)?))
+            }
+        }
+    }
+
+    /// Execute a read-only query.
+    pub fn query(&self, sql: &str) -> Result<Rel> {
+        match parse_statement(sql)? {
+            Stmt::Query(q) => {
+                let ctx = ExecCtx::new(self);
+                exec_query(&q, &ctx)
+            }
+            _ => plan_err("expected a query"),
+        }
+    }
+
+    fn execute_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<crate::sql::ast::Expr>],
+    ) -> Result<usize> {
+        let empty_scope = Scope::default();
+        let t = self
+            .tables
+            .get(&table.to_ascii_lowercase())
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+        let width = t.width();
+        // Map provided columns to schema positions.
+        let positions: Vec<usize> = match columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    t.schema
+                        .column_index(c)
+                        .ok_or_else(|| Error::Plan(format!("unknown column {c:?}")))
+                })
+                .collect::<Result<_>>()?,
+            None => (0..width).collect(),
+        };
+        let mut dense_rows = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != positions.len() {
+                return plan_err(format!(
+                    "INSERT arity {} does not match column list {}",
+                    row.len(),
+                    positions.len()
+                ));
+            }
+            let mut dense = vec![Value::Null; width];
+            for (expr, &pos) in row.iter().zip(&positions) {
+                let cexpr = compile(expr, &empty_scope, self)?;
+                dense[pos] = cexpr.eval(&[])?;
+            }
+            dense_rows.push(dense);
+        }
+        self.insert_rows(table, dense_rows)
+    }
+
+    fn register_builtins(&mut self) {
+        self.register_function("coalesce", |args| {
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        });
+        self.register_function("lower", |args| {
+            unary_str(args, "lower", |s| Value::str(s.to_lowercase()))
+        });
+        self.register_function("upper", |args| {
+            unary_str(args, "upper", |s| Value::str(s.to_uppercase()))
+        });
+        self.register_function("length", |args| {
+            unary_str(args, "length", |s| Value::Int(s.chars().count() as i64))
+        });
+        self.register_function("abs", |args| {
+            expect_arity(args, 1, "abs")?;
+            Ok(match &args[0] {
+                Value::Null => Value::Null,
+                Value::Int(i) => Value::Int(i.abs()),
+                Value::Double(d) => Value::Double(d.abs()),
+                other => return exec_err(format!("abs: expected number, got {}", other.type_name())),
+            })
+        });
+        self.register_function("substr", |args| {
+            if args.len() < 2 || args.len() > 3 {
+                return exec_err("substr expects 2 or 3 arguments");
+            }
+            let (Some(s), Some(start)) = (args[0].as_str(), args[1].as_f64()) else {
+                return Ok(Value::Null);
+            };
+            let chars: Vec<char> = s.chars().collect();
+            // SQL substr is 1-based.
+            let start = (start as i64 - 1).max(0) as usize;
+            let len = match args.get(2) {
+                Some(v) => match v.as_f64() {
+                    Some(l) => l.max(0.0) as usize,
+                    None => return Ok(Value::Null),
+                },
+                None => chars.len().saturating_sub(start),
+            };
+            let out: String = chars.iter().skip(start).take(len).collect();
+            Ok(Value::str(out))
+        });
+        self.register_function("replace", |args| {
+            expect_arity(args, 3, "replace")?;
+            match (args[0].as_str(), args[1].as_str(), args[2].as_str()) {
+                (Some(s), Some(from), Some(to)) => Ok(Value::str(s.replace(from, to))),
+                _ => Ok(Value::Null),
+            }
+        });
+    }
+}
+
+fn expect_arity(args: &[Value], n: usize, name: &str) -> Result<()> {
+    if args.len() != n {
+        exec_err(format!("{name} expects {n} argument(s), got {}", args.len()))
+    } else {
+        Ok(())
+    }
+}
+
+fn unary_str(args: &[Value], name: &str, f: impl Fn(&str) -> Value) -> Result<Value> {
+    expect_arity(args, 1, name)?;
+    Ok(match args[0].as_str() {
+        Some(s) => f(s),
+        None => Value::Null,
+    })
+}
+
+/// Convenience constructor for tests and examples.
+pub fn table_schema(name: &str, cols: &[(&str, SqlType)]) -> TableSchema {
+    TableSchema::new(name, cols.iter().map(|(n, t)| (n.to_string(), *t)).collect())
+}

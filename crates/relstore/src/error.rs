@@ -1,0 +1,40 @@
+use std::fmt;
+
+/// Errors produced by SQL parsing, planning or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexer/parser error, with a short description and byte offset.
+    Parse { message: String, offset: usize },
+    /// Name resolution or semantic analysis error.
+    Plan(String),
+    /// Runtime evaluation error.
+    Exec(String),
+    /// The per-query evaluation budget was exceeded (stands in for the
+    /// paper's 10-minute query timeout).
+    LimitExceeded,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { message, offset } => {
+                write!(f, "SQL parse error at byte {offset}: {message}")
+            }
+            Error::Plan(m) => write!(f, "SQL planning error: {m}"),
+            Error::Exec(m) => write!(f, "SQL execution error: {m}"),
+            Error::LimitExceeded => write!(f, "evaluation budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub(crate) fn plan_err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(Error::Plan(msg.into()))
+}
+
+pub(crate) fn exec_err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(Error::Exec(msg.into()))
+}

@@ -1,0 +1,1583 @@
+//! Query planning and execution.
+//!
+//! The engine deliberately keeps relational planning minimal, per the paper's
+//! architecture: join *order* is decided upstream by the SPARQL optimizer and
+//! the SQL is treated as a procedural plan. The executor contributes only
+//! what any relational engine obviously would: index lookups for constant
+//! equality on indexed columns, hash joins for equi-joins, and streaming
+//! filters. FROM items are processed left to right and every item may
+//! reference columns of all items before it (lateral-friendly scoping, which
+//! `UNNEST` requires).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::database::{Database, ScalarFn};
+use crate::error::{exec_err, plan_err, Error, Result};
+use crate::sql::ast::{
+    BinaryOp, Expr, Join, JoinKind, OrderItem, Query, QueryBody, Relation, Select, SelectItem,
+    TableFactor, UnaryOp,
+};
+use crate::value::{SqlType, Value};
+
+/// An output column: optional table qualifier plus name (both lowercase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutCol {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+/// A materialized relation: the result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rel {
+    pub cols: Vec<OutCol>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Rel {
+    pub fn empty() -> Rel {
+        Rel { cols: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Index of the column named `name` (unqualified match).
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.cols.iter().position(|c| c.name == lower)
+    }
+
+    pub fn column_names(&self) -> Vec<&str> {
+        self.cols.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+/// Execution context: database handle, visible CTEs, and the row budget that
+/// stands in for a query timeout.
+pub struct ExecCtx<'a> {
+    pub db: &'a Database,
+    ctes: HashMap<String, Arc<Rel>>,
+    budget: std::cell::Cell<u64>,
+}
+
+impl<'a> ExecCtx<'a> {
+    pub fn new(db: &'a Database) -> Self {
+        ExecCtx {
+            db,
+            ctes: HashMap::new(),
+            budget: std::cell::Cell::new(db.row_budget().unwrap_or(u64::MAX)),
+        }
+    }
+
+    fn charge(&self, n: usize) -> Result<()> {
+        let left = self.budget.get();
+        let n = n as u64;
+        if n > left {
+            return Err(Error::LimitExceeded);
+        }
+        self.budget.set(left - n);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled expressions
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub enum CExpr {
+    Col(usize),
+    Lit(Value),
+    Binary { op: BinaryOp, left: Box<CExpr>, right: Box<CExpr> },
+    Unary { op: UnaryOp, expr: Box<CExpr> },
+    IsNull { expr: Box<CExpr>, negated: bool },
+    InList { expr: Box<CExpr>, list: Vec<CExpr>, negated: bool },
+    Like { expr: Box<CExpr>, pattern: Box<CExpr>, negated: bool },
+    Case { branches: Vec<(CExpr, CExpr)>, else_expr: Option<Box<CExpr>> },
+    Cast { expr: Box<CExpr>, ty: SqlType },
+    Call {
+        /// Retained for plan debugging output.
+        #[allow(dead_code)]
+        name: String,
+        func: ScalarFn,
+        args: Vec<CExpr>,
+    },
+}
+
+/// Name-resolution scope: the columns visible to an expression.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    pub cols: Vec<OutCol>,
+}
+
+impl Scope {
+    pub fn from_cols(cols: &[OutCol]) -> Scope {
+        Scope { cols: cols.to_vec() }
+    }
+
+    /// Resolve `qualifier.name`; unqualified names must be unambiguous.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let name = name.to_ascii_lowercase();
+        let qualifier = qualifier.map(str::to_ascii_lowercase);
+        let mut found = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            let matches = match &qualifier {
+                Some(q) => c.qualifier.as_deref() == Some(q.as_str()) && c.name == name,
+                None => c.name == name,
+            };
+            if matches {
+                if found.is_some() {
+                    return plan_err(format!("ambiguous column reference {name:?}"));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            Error::Plan(format!(
+                "unknown column {}{name}",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+            ))
+        })
+    }
+
+    /// True when the expression only references columns resolvable here.
+    pub fn covers(&self, expr: &Expr) -> bool {
+        collect_columns(expr).iter().all(|(q, n)| self.resolve(q.as_deref(), n).is_ok())
+    }
+}
+
+fn collect_columns(expr: &Expr) -> Vec<(Option<String>, String)> {
+    let mut out = Vec::new();
+    fn walk(e: &Expr, out: &mut Vec<(Option<String>, String)>) {
+        match e {
+            Expr::Column { qualifier, name } => out.push((qualifier.clone(), name.clone())),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Unary { expr, .. } => walk(expr, out),
+            Expr::IsNull { expr, .. } => walk(expr, out),
+            Expr::InList { expr, list, .. } => {
+                walk(expr, out);
+                list.iter().for_each(|e| walk(e, out));
+            }
+            Expr::Like { expr, pattern, .. } => {
+                walk(expr, out);
+                walk(pattern, out);
+            }
+            Expr::Case { branches, else_expr } => {
+                for (c, v) in branches {
+                    walk(c, out);
+                    walk(v, out);
+                }
+                if let Some(e) = else_expr {
+                    walk(e, out);
+                }
+            }
+            Expr::Cast { expr, .. } => walk(expr, out),
+            Expr::Func { args, .. } => args.iter().for_each(|e| walk(e, out)),
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// Compile an AST expression against a scope. Aggregate calls are rejected
+/// here; the aggregation pass rewrites them into column references first.
+pub fn compile(expr: &Expr, scope: &Scope, db: &Database) -> Result<CExpr> {
+    Ok(match expr {
+        Expr::Column { qualifier, name } => {
+            CExpr::Col(scope.resolve(qualifier.as_deref(), name)?)
+        }
+        Expr::Literal(v) => CExpr::Lit(v.clone()),
+        Expr::Binary { op, left, right } => CExpr::Binary {
+            op: *op,
+            left: Box::new(compile(left, scope, db)?),
+            right: Box::new(compile(right, scope, db)?),
+        },
+        Expr::Unary { op, expr } => {
+            CExpr::Unary { op: *op, expr: Box::new(compile(expr, scope, db)?) }
+        }
+        Expr::IsNull { expr, negated } => {
+            CExpr::IsNull { expr: Box::new(compile(expr, scope, db)?), negated: *negated }
+        }
+        Expr::InList { expr, list, negated } => CExpr::InList {
+            expr: Box::new(compile(expr, scope, db)?),
+            list: list.iter().map(|e| compile(e, scope, db)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => CExpr::Like {
+            expr: Box::new(compile(expr, scope, db)?),
+            pattern: Box::new(compile(pattern, scope, db)?),
+            negated: *negated,
+        },
+        Expr::Case { branches, else_expr } => CExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| Ok((compile(c, scope, db)?, compile(v, scope, db)?)))
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(compile(e, scope, db)?)),
+                None => None,
+            },
+        },
+        Expr::Cast { expr, ty } => {
+            CExpr::Cast { expr: Box::new(compile(expr, scope, db)?), ty: *ty }
+        }
+        Expr::Func { name, args, star } => {
+            if *star || is_aggregate(name) {
+                return plan_err(format!("aggregate {name:?} not allowed in this context"));
+            }
+            let func = db
+                .scalar_function(name)
+                .ok_or_else(|| Error::Plan(format!("unknown function {name:?}")))?;
+            CExpr::Call {
+                name: name.clone(),
+                func,
+                args: args.iter().map(|e| compile(e, scope, db)).collect::<Result<_>>()?,
+            }
+        }
+    })
+}
+
+pub fn is_aggregate(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "min" | "max" | "avg")
+}
+
+impl CExpr {
+    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        Ok(match self {
+            CExpr::Col(i) => row[*i].clone(),
+            CExpr::Lit(v) => v.clone(),
+            CExpr::Binary { op, left, right } => {
+                eval_binary(*op, left.eval(row)?, right.eval(row)?)?
+            }
+            CExpr::Unary { op, expr } => {
+                let v = expr.eval(row)?;
+                match op {
+                    UnaryOp::Not => match to_bool3(&v)? {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    },
+                    UnaryOp::Neg => match v {
+                        Value::Null => Value::Null,
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Double(d) => Value::Double(-d),
+                        other => return exec_err(format!("cannot negate {}", other.type_name())),
+                    },
+                }
+            }
+            CExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Value::Bool(v.is_null() != *negated)
+            }
+            CExpr::InList { expr, list, negated } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                let mut found = false;
+                for item in list {
+                    let iv = item.eval(row)?;
+                    match v.sql_eq(&iv) {
+                        Some(true) => {
+                            found = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if found {
+                    Value::Bool(!*negated)
+                } else if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                }
+            }
+            CExpr::Like { expr, pattern, negated } => {
+                let v = expr.eval(row)?;
+                let p = pattern.eval(row)?;
+                match (v.as_str(), p.as_str()) {
+                    (Some(s), Some(pat)) => Value::Bool(like_match(s, pat) != *negated),
+                    _ => Value::Null,
+                }
+            }
+            CExpr::Case { branches, else_expr } => {
+                for (cond, val) in branches {
+                    if to_bool3(&cond.eval(row)?)? == Some(true) {
+                        return val.eval(row);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row)?,
+                    None => Value::Null,
+                }
+            }
+            CExpr::Cast { expr, ty } => cast_value(expr.eval(row)?, *ty),
+            CExpr::Call { func, args, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row)?);
+                }
+                func(&vals)?
+            }
+        })
+    }
+
+    /// Evaluate as a WHERE/ON condition: NULL and FALSE both reject.
+    pub fn eval_truthy(&self, row: &[Value]) -> Result<bool> {
+        Ok(to_bool3(&self.eval(row)?)? == Some(true))
+    }
+}
+
+fn to_bool3(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => exec_err(format!("expected BOOLEAN, found {}", other.type_name())),
+    }
+}
+
+fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
+    use BinaryOp::*;
+    Ok(match op {
+        And => {
+            let (a, b) = (to_bool3(&l)?, to_bool3(&r)?);
+            match (a, b) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            }
+        }
+        Or => {
+            let (a, b) = (to_bool3(&l)?, to_bool3(&r)?);
+            match (a, b) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            }
+        }
+        Eq => l.sql_eq(&r).map(Value::Bool).unwrap_or(Value::Null),
+        NotEq => l.sql_eq(&r).map(|b| Value::Bool(!b)).unwrap_or(Value::Null),
+        Lt => cmp_to_bool(&l, &r, |o| o == std::cmp::Ordering::Less),
+        LtEq => cmp_to_bool(&l, &r, |o| o != std::cmp::Ordering::Greater),
+        Gt => cmp_to_bool(&l, &r, |o| o == std::cmp::Ordering::Greater),
+        GtEq => cmp_to_bool(&l, &r, |o| o != std::cmp::Ordering::Less),
+        Add | Sub | Mul | Div => arith(op, &l, &r),
+        Concat => match (&l, &r) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (a, b) => Value::str(format!("{a}{b}")),
+        },
+    })
+}
+
+fn cmp_to_bool(l: &Value, r: &Value, pred: impl Fn(std::cmp::Ordering) -> bool) -> Value {
+    match l.sql_cmp(r) {
+        Some(o) => Value::Bool(pred(o)),
+        None => Value::Null,
+    }
+}
+
+/// Arithmetic: NULL-propagating, numeric-only. A non-numeric operand yields
+/// NULL (lenient, so FILTERs over heterogeneous RDF literals do not abort).
+fn arith(op: BinaryOp, l: &Value, r: &Value) -> Value {
+    if l.is_null() || r.is_null() {
+        return Value::Null;
+    }
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            BinaryOp::Add => a.checked_add(*b).map(Value::Int).unwrap_or(Value::Null),
+            BinaryOp::Sub => a.checked_sub(*b).map(Value::Int).unwrap_or(Value::Null),
+            BinaryOp::Mul => a.checked_mul(*b).map(Value::Int).unwrap_or(Value::Null),
+            BinaryOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => match op {
+            BinaryOp::Add => Value::Double(a + b),
+            BinaryOp::Sub => Value::Double(a - b),
+            BinaryOp::Mul => Value::Double(a * b),
+            BinaryOp::Div => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Double(a / b)
+                }
+            }
+            _ => unreachable!(),
+        },
+        _ => Value::Null,
+    }
+}
+
+fn cast_value(v: Value, ty: SqlType) -> Value {
+    if v.is_null() {
+        return Value::Null;
+    }
+    match ty {
+        SqlType::Int => match &v {
+            Value::Int(_) => v,
+            Value::Double(d) => Value::Int(*d as i64),
+            Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+            Value::Bool(b) => Value::Int(*b as i64),
+            Value::Null => unreachable!(),
+        },
+        SqlType::Double => match &v {
+            Value::Double(_) => v,
+            Value::Int(i) => Value::Double(*i as f64),
+            Value::Str(s) => s.trim().parse::<f64>().map(Value::Double).unwrap_or(Value::Null),
+            Value::Bool(b) => Value::Double(*b as i64 as f64),
+            Value::Null => unreachable!(),
+        },
+        SqlType::Text => Value::str(v.to_string()),
+        SqlType::Bool => match &v {
+            Value::Bool(_) => v,
+            Value::Int(i) => Value::Bool(*i != 0),
+            Value::Str(s) => match s.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Value::Bool(true),
+                "false" | "f" | "0" => Value::Bool(false),
+                _ => Value::Null,
+            },
+            _ => Value::Null,
+        },
+    }
+}
+
+/// SQL LIKE with `%` and `_` wildcards.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // try consuming 0..=len chars
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+// ---------------------------------------------------------------------------
+// Query execution
+// ---------------------------------------------------------------------------
+
+pub fn exec_query(q: &Query, ctx: &ExecCtx<'_>) -> Result<Rel> {
+    // CTEs are visible to later CTEs and to the body; inner scopes shadow.
+    let mut local = ExecCtx {
+        db: ctx.db,
+        ctes: ctx.ctes.clone(),
+        budget: std::cell::Cell::new(ctx.budget.get()),
+    };
+    for (name, cte_query) in &q.ctes {
+        let rel = exec_query(cte_query, &local)?;
+        local.ctes.insert(name.to_ascii_lowercase(), Arc::new(rel));
+    }
+    let mut rel = exec_body(&q.body, &local)?;
+    ctx.budget.set(local.budget.get());
+
+    if !q.order_by.is_empty() {
+        sort_rel(&mut rel, &q.order_by, ctx.db)?;
+    }
+    apply_limit(&mut rel, q.limit, q.offset);
+    Ok(rel)
+}
+
+fn exec_body(body: &QueryBody, ctx: &ExecCtx<'_>) -> Result<Rel> {
+    match body {
+        QueryBody::Select(sel) => exec_select(sel, ctx),
+        QueryBody::Union { left, right, all } => {
+            let mut l = exec_body(left, ctx)?;
+            let r = exec_body(right, ctx)?;
+            if l.cols.len() != r.cols.len() {
+                return plan_err(format!(
+                    "UNION arity mismatch: {} vs {}",
+                    l.cols.len(),
+                    r.cols.len()
+                ));
+            }
+            ctx.charge(r.rows.len())?;
+            l.rows.extend(r.rows);
+            if !*all {
+                dedupe(&mut l);
+            }
+            Ok(l)
+        }
+    }
+}
+
+fn dedupe(rel: &mut Rel) {
+    let mut seen = std::collections::HashSet::new();
+    rel.rows.retain(|r| seen.insert(r.clone()));
+}
+
+fn sort_rel(rel: &mut Rel, order_by: &[OrderItem], db: &Database) -> Result<()> {
+    // Resolve each item: positional integer, output column, or expression
+    // over output columns.
+    let scope = Scope::from_cols(&rel.cols);
+    let mut keys: Vec<(CExpr, bool)> = Vec::new();
+    for item in order_by {
+        let cexpr = match &item.expr {
+            Expr::Literal(Value::Int(n)) => {
+                let i = *n as usize;
+                if i == 0 || i > rel.cols.len() {
+                    return plan_err(format!("ORDER BY position {i} out of range"));
+                }
+                CExpr::Col(i - 1)
+            }
+            // Projected columns lose their table qualifiers, but SQL permits
+            // `ORDER BY t.col`; retry with qualifiers stripped when the
+            // qualified reference no longer resolves.
+            e => compile(e, &scope, db).or_else(|_| compile(&strip_qualifiers(e), &scope, db))?,
+        };
+        keys.push((cexpr, item.asc));
+    }
+    let mut err = None;
+    let mut decorated: Vec<(Vec<Value>, Vec<Value>)> = rel
+        .rows
+        .drain(..)
+        .map(|row| {
+            let key: Vec<Value> = keys
+                .iter()
+                .map(|(k, _)| k.eval(&row).unwrap_or_else(|e| {
+                    err.get_or_insert(e);
+                    Value::Null
+                }))
+                .collect();
+            (key, row)
+        })
+        .collect();
+    if let Some(e) = err {
+        return Err(e);
+    }
+    decorated.sort_by(|(ka, _), (kb, _)| {
+        for (i, (_, asc)) in keys.iter().enumerate() {
+            let o = ka[i].total_cmp(&kb[i]);
+            if o != std::cmp::Ordering::Equal {
+                return if *asc { o } else { o.reverse() };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rel.rows = decorated.into_iter().map(|(_, r)| r).collect();
+    Ok(())
+}
+
+fn strip_qualifiers(e: &Expr) -> Expr {
+    match e {
+        Expr::Column { name, .. } => Expr::Column { qualifier: None, name: name.clone() },
+        Expr::Literal(_) => e.clone(),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(strip_qualifiers(left)),
+            right: Box::new(strip_qualifiers(right)),
+        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(strip_qualifiers(expr)) }
+        }
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(strip_qualifiers(expr)), negated: *negated }
+        }
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(strip_qualifiers(expr)),
+            list: list.iter().map(strip_qualifiers).collect(),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(strip_qualifiers(expr)),
+            pattern: Box::new(strip_qualifiers(pattern)),
+            negated: *negated,
+        },
+        Expr::Case { branches, else_expr } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| (strip_qualifiers(c), strip_qualifiers(v)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|x| Box::new(strip_qualifiers(x))),
+        },
+        Expr::Cast { expr, ty } => {
+            Expr::Cast { expr: Box::new(strip_qualifiers(expr)), ty: *ty }
+        }
+        Expr::Func { name, args, star } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(strip_qualifiers).collect(),
+            star: *star,
+        },
+    }
+}
+
+fn apply_limit(rel: &mut Rel, limit: Option<u64>, offset: Option<u64>) {
+    if let Some(off) = offset {
+        let off = (off as usize).min(rel.rows.len());
+        rel.rows.drain(..off);
+    }
+    if let Some(lim) = limit {
+        rel.rows.truncate(lim as usize);
+    }
+}
+
+/// One linearized FROM step.
+struct Step<'a> {
+    relation: &'a Relation,
+    alias: Option<&'a str>,
+    kind: JoinKind,
+    on: Option<&'a Expr>,
+}
+
+fn linearize_from(from: &[TableFactor]) -> Vec<Step<'_>> {
+    let mut steps = Vec::new();
+    for factor in from {
+        steps.push(Step {
+            relation: &factor.relation,
+            alias: factor.alias.as_deref(),
+            kind: JoinKind::Inner,
+            on: None,
+        });
+        for Join { kind, relation, alias, on } in &factor.joins {
+            steps.push(Step { relation, alias: alias.as_deref(), kind: *kind, on: Some(on) });
+        }
+    }
+    steps
+}
+
+fn exec_select(sel: &Select, ctx: &ExecCtx<'_>) -> Result<Rel> {
+    let where_conjuncts: Vec<&Expr> =
+        sel.where_clause.as_ref().map(|w| w.conjuncts()).unwrap_or_default();
+
+    // FROM: fold steps left to right.
+    let mut cur: Option<Rel> = None;
+    for step in linearize_from(&sel.from) {
+        cur = Some(apply_step(cur, &step, &where_conjuncts, ctx)?);
+    }
+    let mut rel = match cur {
+        Some(r) => r,
+        // SELECT without FROM: a single empty row.
+        None => Rel { cols: Vec::new(), rows: vec![Vec::new()] },
+    };
+
+    // WHERE (full residual re-check; pushdowns were best-effort hints).
+    if let Some(w) = &sel.where_clause {
+        let scope = Scope::from_cols(&rel.cols);
+        let cond = compile(w, &scope, ctx.db)?;
+        let mut kept = Vec::new();
+        for row in rel.rows {
+            if cond.eval_truthy(&row)? {
+                kept.push(row);
+            }
+        }
+        rel.rows = kept;
+    }
+
+    // GROUP BY / aggregates.
+    let has_aggs = select_has_aggregates(sel);
+    if has_aggs || !sel.group_by.is_empty() {
+        rel = aggregate(sel, rel, ctx)?;
+        // After aggregation the projection/having were already applied.
+        if sel.distinct {
+            dedupe(&mut rel);
+        }
+        return Ok(rel);
+    }
+
+    // Projection.
+    rel = project(&sel.projection, rel, ctx)?;
+    if sel.distinct {
+        dedupe(&mut rel);
+    }
+    Ok(rel)
+}
+
+fn apply_step(
+    cur: Option<Rel>,
+    step: &Step<'_>,
+    where_conjuncts: &[&Expr],
+    ctx: &ExecCtx<'_>,
+) -> Result<Rel> {
+    // UNNEST is lateral over the current relation.
+    if let Relation::Unnest { tuples, columns } = step.relation {
+        let cur = cur.ok_or_else(|| Error::Plan("UNNEST cannot be the first FROM item".into()))?;
+        return unnest(cur, tuples, columns, step.alias, ctx);
+    }
+
+    // ON conjuncts that reference only the new factor can be pushed into its
+    // scan; for inner steps, single-factor WHERE conjuncts can be pushed too.
+    let alias = step.alias.map(str::to_ascii_lowercase);
+    let on_conjuncts: Vec<&Expr> = step.on.map(|e| e.conjuncts()).unwrap_or_default();
+
+    let right_cols = relation_cols(step.relation, alias.as_deref(), ctx)?;
+    let right_scope = Scope::from_cols(&right_cols);
+
+    let mut push: Vec<&Expr> = Vec::new();
+    for c in &on_conjuncts {
+        if right_scope.covers(c) {
+            push.push(c);
+        }
+    }
+    if step.kind == JoinKind::Inner {
+        for c in where_conjuncts {
+            if right_scope.covers(c) && !expr_is_trivial(c) {
+                push.push(c);
+            }
+        }
+    }
+    let Some(left) = cur else {
+        // First factor: scan (index-assisted when a pushed predicate allows).
+        return scan_relation(step.relation, alias.as_deref(), right_cols, &push, ctx);
+    };
+
+    // Index nested-loop join: when the new factor is a base table and some
+    // equi-condition probes an indexed column with a left-side expression,
+    // loop over the (usually small) left relation and probe the index
+    // instead of materializing and hashing the whole table. This is what a
+    // relational engine does for `prior ⋈ DPH ON dph.entry = prior.v`.
+    if let Relation::Named(name) = step.relation {
+        let lower = name.to_ascii_lowercase();
+        if !ctx.ctes.contains_key(&lower) {
+            let left_scope = Scope::from_cols(&left.cols);
+            let conds: Vec<&Expr> = step
+                .on
+                .map(|e| e.conjuncts())
+                .unwrap_or_default()
+                .into_iter()
+                .chain(if step.kind == JoinKind::Inner {
+                    where_conjuncts.to_vec()
+                } else {
+                    Vec::new()
+                })
+                .collect();
+            let mut probe: Option<(usize, CExpr)> = None;
+            for c in &conds {
+                if let Expr::Binary { op: BinaryOp::Eq, left: a, right: b } = c {
+                    for (col_side, other) in [(a, b), (b, a)] {
+                        if let Expr::Column { qualifier, name: cname } = col_side.as_ref() {
+                            let table = ctx.db.table(&lower).expect("checked in relation_cols");
+                            let qual_ok = match qualifier {
+                                Some(q) => {
+                                    let q = q.to_ascii_lowercase();
+                                    alias.as_deref() == Some(q.as_str()) || q == lower
+                                }
+                                None => true,
+                            };
+                            if qual_ok
+                                && table.index_on(cname).is_some()
+                                && left_scope.covers(other)
+                                && !expr_is_trivial(other)
+                            {
+                                let ci = table.schema.column_index(cname).unwrap();
+                                probe = Some((ci, compile(other, &left_scope, ctx.db)?));
+                            }
+                        }
+                        if probe.is_some() {
+                            break;
+                        }
+                    }
+                }
+                if probe.is_some() {
+                    break;
+                }
+            }
+            if let Some((ci, left_key)) = probe {
+                return index_nested_loop(
+                    left, &lower, right_cols, ci, left_key, &push, step, where_conjuncts, ctx,
+                );
+            }
+        }
+    }
+
+    let right = scan_relation(step.relation, alias.as_deref(), right_cols, &push, ctx)?;
+
+    // Find equi-join keys `left_expr = right_expr` among ON conjuncts and
+    // (for inner joins) WHERE conjuncts.
+    let left_scope = Scope::from_cols(&left.cols);
+    let stream_filters = stream_filters(&left, &right.cols, where_conjuncts, ctx)?;
+    let mut lkeys: Vec<CExpr> = Vec::new();
+    let mut rkeys: Vec<CExpr> = Vec::new();
+    let mut residual_on: Vec<&Expr> = Vec::new();
+    let key_sources: Vec<&Expr> = if step.kind == JoinKind::Inner {
+        on_conjuncts.iter().copied().chain(where_conjuncts.iter().copied()).collect()
+    } else {
+        on_conjuncts.clone()
+    };
+    let mut used_as_key = vec![false; on_conjuncts.len()];
+    for (i, c) in key_sources.iter().enumerate() {
+        if let Expr::Binary { op: BinaryOp::Eq, left: a, right: b } = c {
+            let (la, ra) = (left_scope.covers(a), right_scope.covers(a));
+            let (lb, rb) = (left_scope.covers(b), right_scope.covers(b));
+            if la && rb && !ra {
+                lkeys.push(compile(a, &left_scope, ctx.db)?);
+                rkeys.push(compile(b, &right_scope, ctx.db)?);
+                if i < on_conjuncts.len() {
+                    used_as_key[i] = true;
+                }
+                continue;
+            }
+            if lb && ra && !rb {
+                lkeys.push(compile(b, &left_scope, ctx.db)?);
+                rkeys.push(compile(a, &right_scope, ctx.db)?);
+                if i < on_conjuncts.len() {
+                    used_as_key[i] = true;
+                }
+                continue;
+            }
+        }
+    }
+    for (i, c) in on_conjuncts.iter().enumerate() {
+        if !used_as_key[i] {
+            residual_on.push(c);
+        }
+    }
+
+    join(left, right, lkeys, rkeys, residual_on, step.kind, &stream_filters, ctx)
+}
+
+/// WHERE conjuncts that become fully evaluable at this join step (they
+/// reference right-side columns) are applied to each *emitted* row — after
+/// the match/null-extension decision, so outer-join semantics are
+/// preserved; the final WHERE re-checks them, making this purely an early
+/// filter. This is what keeps e.g. `rs.elm = prior.v` from materializing
+/// the whole multi-value expansion.
+fn stream_filters(
+    left: &Rel,
+    right_cols: &[OutCol],
+    where_conjuncts: &[&Expr],
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<CExpr>> {
+    let left_scope = Scope::from_cols(&left.cols);
+    let mut cols = left.cols.clone();
+    cols.extend(right_cols.iter().cloned());
+    let combined = Scope::from_cols(&cols);
+    let mut out = Vec::new();
+    for c in where_conjuncts {
+        if !expr_is_trivial(c) && combined.covers(c) && !left_scope.covers(c) {
+            out.push(compile(c, &combined, ctx.db)?);
+        }
+    }
+    Ok(out)
+}
+
+fn expr_is_trivial(e: &Expr) -> bool {
+    collect_columns(e).is_empty()
+}
+
+/// Output columns a relation will produce, *without* materializing base
+/// tables (subqueries are not pre-resolved; their pushdown happens after
+/// execution inside [`scan_relation`]).
+fn relation_cols(relation: &Relation, alias: Option<&str>, ctx: &ExecCtx<'_>) -> Result<Vec<OutCol>> {
+    match relation {
+        Relation::Named(name) => {
+            let lower = name.to_ascii_lowercase();
+            let qual = alias.map(str::to_ascii_lowercase).unwrap_or_else(|| lower.clone());
+            if let Some(cte) = ctx.ctes.get(&lower) {
+                return Ok(cte
+                    .cols
+                    .iter()
+                    .map(|c| OutCol { qualifier: Some(qual.clone()), name: c.name.clone() })
+                    .collect());
+            }
+            let table = ctx
+                .db
+                .table(&lower)
+                .ok_or_else(|| Error::Plan(format!("unknown table {name:?}")))?;
+            Ok(table
+                .schema
+                .columns
+                .iter()
+                .map(|c| OutCol { qualifier: Some(qual.clone()), name: c.name.clone() })
+                .collect())
+        }
+        Relation::Subquery(q) => {
+            // Column names of a subquery are those of its SELECT list; we
+            // cannot know them cheaply without planning, so be conservative:
+            // no pushdown (empty scope) — correctness is preserved by the
+            // final WHERE re-check.
+            let _ = q;
+            Ok(Vec::new())
+        }
+        Relation::Unnest { .. } => unreachable!("handled in apply_step"),
+    }
+}
+
+/// Materialize a relation applying pushdown predicates; for base tables an
+/// equality predicate on an indexed column turns the scan into a probe.
+fn scan_relation(
+    relation: &Relation,
+    alias: Option<&str>,
+    cols: Vec<OutCol>,
+    push: &[&Expr],
+    ctx: &ExecCtx<'_>,
+) -> Result<Rel> {
+    match relation {
+        Relation::Named(name) => {
+            let lower = name.to_ascii_lowercase();
+            if let Some(cte) = ctx.ctes.get(&lower) {
+                let rel = Rel { cols, rows: cte.rows.clone() };
+                return filter_rows(rel, push, ctx);
+            }
+            let table = ctx.db.table(&lower).expect("checked in relation_cols");
+            let scope = Scope::from_cols(&cols);
+            let conds: Vec<CExpr> =
+                push.iter().map(|e| compile(e, &scope, ctx.db)).collect::<Result<_>>()?;
+
+            // Index probe: find `col = literal` (either orientation) among the
+            // pushed conjuncts where `col` has an index.
+            let mut probe: Option<(usize, Value)> = None;
+            for c in push {
+                if let Expr::Binary { op: BinaryOp::Eq, left, right } = c {
+                    let pair = match (left.as_ref(), right.as_ref()) {
+                        (Expr::Column { qualifier, name }, Expr::Literal(v))
+                        | (Expr::Literal(v), Expr::Column { qualifier, name }) => {
+                            Some((qualifier, name, v))
+                        }
+                        _ => None,
+                    };
+                    if let Some((q, n, v)) = pair {
+                        if scope.resolve(q.as_deref(), n).is_ok()
+                            && table.index_on(n).is_some()
+                        {
+                            let ci = table.schema.column_index(n).unwrap();
+                            probe = Some((ci, v.clone()));
+                            break;
+                        }
+                    }
+                }
+            }
+
+            let mut rows = Vec::new();
+            let width = table.width();
+            match probe {
+                Some((ci, key)) => {
+                    let index = table
+                        .index_on(&table.schema.columns[ci].name)
+                        .expect("index checked above");
+                    for &rid in index.lookup(&key) {
+                        let vals = table.row_values(rid);
+                        if eval_all(&conds, &vals)? {
+                            rows.push(vals);
+                        }
+                    }
+                }
+                None => {
+                    for r in table.rows() {
+                        let vals = r.decompress(width);
+                        if eval_all(&conds, &vals)? {
+                            rows.push(vals);
+                        }
+                    }
+                }
+            }
+            ctx.charge(rows.len())?;
+            Ok(Rel { cols, rows })
+        }
+        Relation::Subquery(q) => {
+            let mut rel = exec_query(q, ctx)?;
+            let qual = alias.map(str::to_ascii_lowercase);
+            for c in &mut rel.cols {
+                c.qualifier = qual.clone();
+            }
+            // push was computed against an empty scope, so it is empty here.
+            Ok(rel)
+        }
+        Relation::Unnest { .. } => unreachable!("handled in apply_step"),
+    }
+}
+
+/// Probe `table`'s index on column `ci` once per left row, applying the
+/// pushed single-table predicates to each probed row and the full join
+/// condition to each combined row. Handles both inner and left-outer joins.
+#[allow(clippy::too_many_arguments)]
+fn index_nested_loop(
+    left: Rel,
+    table_name: &str,
+    right_cols: Vec<OutCol>,
+    key_col: usize,
+    left_key: CExpr,
+    push: &[&Expr],
+    step: &Step<'_>,
+    where_conjuncts: &[&Expr],
+    ctx: &ExecCtx<'_>,
+) -> Result<Rel> {
+    let stream = stream_filters(&left, &right_cols, where_conjuncts, ctx)?;
+    let table = ctx.db.table(table_name).expect("caller checked");
+    let index = table
+        .index_on(&table.schema.columns[key_col].name)
+        .expect("caller checked index presence");
+    let right_scope = Scope::from_cols(&right_cols);
+    let push_conds: Vec<CExpr> =
+        push.iter().map(|e| compile(e, &right_scope, ctx.db)).collect::<Result<_>>()?;
+
+    let mut cols = left.cols.clone();
+    cols.extend(right_cols.iter().cloned());
+    let combined_scope = Scope::from_cols(&cols);
+    // The whole ON condition re-checked per combined row (cheap, safe).
+    let residual: Vec<CExpr> = step
+        .on
+        .map(|e| e.conjuncts())
+        .unwrap_or_default()
+        .iter()
+        .map(|e| compile(e, &combined_scope, ctx.db))
+        .collect::<Result<_>>()?;
+
+    let width = table.width();
+    let mut rows = Vec::new();
+    for l in &left.rows {
+        let key = left_key.eval(l)?;
+        let rids: &[u32] = if key.is_null() { &[] } else { index.lookup(&key) };
+        ctx.charge(rids.len().max(1))?;
+        let mut matched = false;
+        for &rid in rids {
+            let vals = table.rows()[rid as usize].decompress(width);
+            if !eval_all(&push_conds, &vals)? {
+                continue;
+            }
+            let mut combined = l.clone();
+            combined.extend(vals);
+            if !eval_all(&residual, &combined)? {
+                continue;
+            }
+            matched = true;
+            if eval_all(&stream, &combined)? {
+                rows.push(combined);
+            }
+        }
+        if !matched && step.kind == JoinKind::LeftOuter {
+            let mut combined = l.clone();
+            combined.extend(std::iter::repeat_with(|| Value::Null).take(width));
+            if eval_all(&stream, &combined)? {
+                rows.push(combined);
+            }
+        }
+    }
+    Ok(Rel { cols, rows })
+}
+
+fn eval_all(conds: &[CExpr], row: &[Value]) -> Result<bool> {
+    for c in conds {
+        if !c.eval_truthy(row)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn filter_rows(rel: Rel, push: &[&Expr], ctx: &ExecCtx<'_>) -> Result<Rel> {
+    let scope = Scope::from_cols(&rel.cols);
+    let conds: Vec<CExpr> =
+        push.iter().map(|e| compile(e, &scope, ctx.db)).collect::<Result<_>>()?;
+    let mut out_rows = Vec::new();
+    for row in rel.rows {
+        if eval_all(&conds, &row)? {
+            out_rows.push(row);
+        }
+    }
+    ctx.charge(out_rows.len())?;
+    Ok(Rel { cols: rel.cols, rows: out_rows })
+}
+
+fn unnest(
+    cur: Rel,
+    tuples: &[Vec<Expr>],
+    columns: &[String],
+    alias: Option<&str>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Rel> {
+    let scope = Scope::from_cols(&cur.cols);
+    let compiled: Vec<Vec<CExpr>> = tuples
+        .iter()
+        .map(|t| t.iter().map(|e| compile(e, &scope, ctx.db)).collect::<Result<Vec<_>>>())
+        .collect::<Result<_>>()?;
+    let qual = alias.map(str::to_ascii_lowercase);
+    let mut cols = cur.cols.clone();
+    for c in columns {
+        cols.push(OutCol { qualifier: qual.clone(), name: c.to_ascii_lowercase() });
+    }
+    let mut rows = Vec::new();
+    for row in &cur.rows {
+        for tuple in &compiled {
+            let mut vals = Vec::with_capacity(tuple.len());
+            for e in tuple {
+                vals.push(e.eval(row)?);
+            }
+            if vals[0].is_null() {
+                continue;
+            }
+            let mut new_row = row.clone();
+            new_row.extend(vals);
+            rows.push(new_row);
+        }
+    }
+    ctx.charge(rows.len())?;
+    Ok(Rel { cols, rows })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    left: Rel,
+    right: Rel,
+    lkeys: Vec<CExpr>,
+    rkeys: Vec<CExpr>,
+    residual_on: Vec<&Expr>,
+    kind: JoinKind,
+    stream: &[CExpr],
+    ctx: &ExecCtx<'_>,
+) -> Result<Rel> {
+    let mut cols = left.cols.clone();
+    cols.extend(right.cols.iter().cloned());
+    let combined_scope = Scope::from_cols(&cols);
+    let residual: Vec<CExpr> = residual_on
+        .iter()
+        .map(|e| compile(e, &combined_scope, ctx.db))
+        .collect::<Result<_>>()?;
+    let right_width = right.cols.len();
+    let mut rows = Vec::new();
+
+    if lkeys.is_empty() {
+        // Nested loop (cross product guarded by the row budget).
+        ctx.charge(left.rows.len().saturating_mul(right.rows.len().max(1)))?;
+        for l in &left.rows {
+            let mut matched = false;
+            for r in &right.rows {
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
+                let mut ok = true;
+                for c in &residual {
+                    if !c.eval_truthy(&combined)? {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    matched = true;
+                    if eval_all(stream, &combined)? {
+                        rows.push(combined);
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                let mut combined = l.clone();
+                combined.extend(std::iter::repeat_with(|| Value::Null).take(right_width));
+                if eval_all(stream, &combined)? {
+                    rows.push(combined);
+                }
+            }
+        }
+    } else {
+        // Hash join on equi keys.
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        'rows: for (i, r) in right.rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(rkeys.len());
+            for k in &rkeys {
+                let v = k.eval(r)?;
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v);
+            }
+            table.entry(key).or_default().push(i);
+        }
+        for l in &left.rows {
+            let mut key = Vec::with_capacity(lkeys.len());
+            let mut null_key = false;
+            for k in &lkeys {
+                let v = k.eval(l)?;
+                if v.is_null() {
+                    null_key = true;
+                    break;
+                }
+                key.push(v);
+            }
+            let matches: &[usize] =
+                if null_key { &[] } else { table.get(&key).map(Vec::as_slice).unwrap_or(&[]) };
+            let mut matched = false;
+            for &ri in matches {
+                let mut combined = l.clone();
+                combined.extend(right.rows[ri].iter().cloned());
+                let mut ok = true;
+                for c in &residual {
+                    if !c.eval_truthy(&combined)? {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    matched = true;
+                    if eval_all(stream, &combined)? {
+                        rows.push(combined);
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                let mut combined = l.clone();
+                combined.extend(std::iter::repeat_with(|| Value::Null).take(right_width));
+                if eval_all(stream, &combined)? {
+                    rows.push(combined);
+                }
+            }
+            ctx.charge(matches.len().max(1))?;
+        }
+    }
+    Ok(Rel { cols, rows })
+}
+
+fn project(items: &[SelectItem], rel: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
+    let scope = Scope::from_cols(&rel.cols);
+    let mut out_cols: Vec<OutCol> = Vec::new();
+    let mut exprs: Vec<CExpr> = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, c) in rel.cols.iter().enumerate() {
+                    out_cols.push(OutCol { qualifier: None, name: c.name.clone() });
+                    exprs.push(CExpr::Col(i));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let qq = q.to_ascii_lowercase();
+                let mut any = false;
+                for (i, c) in rel.cols.iter().enumerate() {
+                    if c.qualifier.as_deref() == Some(qq.as_str()) {
+                        out_cols.push(OutCol { qualifier: None, name: c.name.clone() });
+                        exprs.push(CExpr::Col(i));
+                        any = true;
+                    }
+                }
+                if !any {
+                    return plan_err(format!("unknown qualifier {q:?} in wildcard"));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    _ => format!("col{}", out_cols.len() + 1),
+                });
+                out_cols.push(OutCol { qualifier: None, name: name.to_ascii_lowercase() });
+                exprs.push(compile(expr, &scope, ctx.db)?);
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(rel.rows.len());
+    for row in &rel.rows {
+        let mut out = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            out.push(e.eval(row)?);
+        }
+        rows.push(out);
+    }
+    Ok(Rel { cols: out_cols, rows })
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+fn select_has_aggregates(sel: &Select) -> bool {
+    fn expr_has(e: &Expr) -> bool {
+        match e {
+            Expr::Func { name, star, .. } => *star || is_aggregate(name),
+            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => expr_has(left) || expr_has(right),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                expr_has(expr)
+            }
+            Expr::InList { expr, list, .. } => expr_has(expr) || list.iter().any(expr_has),
+            Expr::Like { expr, pattern, .. } => expr_has(expr) || expr_has(pattern),
+            Expr::Case { branches, else_expr } => {
+                branches.iter().any(|(c, v)| expr_has(c) || expr_has(v))
+                    || else_expr.as_deref().is_some_and(expr_has)
+            }
+        }
+    }
+    sel.projection.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr_has(expr),
+        _ => false,
+    }) || sel.having.as_ref().is_some_and(expr_has)
+}
+
+/// Hash aggregation. Supports projections/HAVING built from GROUP BY
+/// expressions and aggregate calls.
+fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
+    let in_scope = Scope::from_cols(&input.cols);
+
+    // Collect the distinct aggregate calls appearing anywhere.
+    let mut agg_calls: Vec<Expr> = Vec::new();
+    let mut collect = |e: &Expr| {
+        for a in find_aggregates(e) {
+            if !agg_calls.contains(&a) {
+                agg_calls.push(a);
+            }
+        }
+    };
+    for item in &sel.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect(expr);
+        }
+    }
+    if let Some(h) = &sel.having {
+        collect(h);
+    }
+
+    let group_exprs: Vec<CExpr> =
+        sel.group_by.iter().map(|e| compile(e, &in_scope, ctx.db)).collect::<Result<_>>()?;
+    // Aggregate argument expressions (None for COUNT(*)).
+    let agg_args: Vec<Option<CExpr>> = agg_calls
+        .iter()
+        .map(|a| match a {
+            Expr::Func { star: true, .. } => Ok(None),
+            Expr::Func { args, .. } => Ok(Some(compile(&args[0], &in_scope, ctx.db)?)),
+            _ => unreachable!(),
+        })
+        .collect::<Result<_>>()?;
+
+    #[derive(Clone)]
+    struct AggState {
+        count: u64,
+        sum: f64,
+        sum_is_int: bool,
+        sum_int: i64,
+        min: Option<Value>,
+        max: Option<Value>,
+    }
+    impl AggState {
+        fn new() -> Self {
+            AggState { count: 0, sum: 0.0, sum_is_int: true, sum_int: 0, min: None, max: None }
+        }
+        fn update(&mut self, v: &Value) {
+            if v.is_null() {
+                return;
+            }
+            self.count += 1;
+            match v {
+                Value::Int(i) => {
+                    self.sum += *i as f64;
+                    self.sum_int = self.sum_int.wrapping_add(*i);
+                }
+                Value::Double(d) => {
+                    self.sum += d;
+                    self.sum_is_int = false;
+                }
+                _ => self.sum_is_int = false,
+            }
+            if self.min.as_ref().map(|m| v.total_cmp(m).is_lt()).unwrap_or(true) {
+                self.min = Some(v.clone());
+            }
+            if self.max.as_ref().map(|m| v.total_cmp(m).is_gt()).unwrap_or(true) {
+                self.max = Some(v.clone());
+            }
+        }
+    }
+
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in &input.rows {
+        let key: Vec<Value> =
+            group_exprs.iter().map(|e| e.eval(row)).collect::<Result<_>>()?;
+        let states = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            vec![AggState::new(); agg_calls.len()]
+        });
+        for (i, arg) in agg_args.iter().enumerate() {
+            match arg {
+                None => states[i].count += 1, // COUNT(*)
+                Some(e) => {
+                    let v = e.eval(row)?;
+                    states[i].update(&v);
+                }
+            }
+        }
+    }
+    // Global aggregate over an empty input still yields one row.
+    if sel.group_by.is_empty() && groups.is_empty() {
+        groups.insert(Vec::new(), vec![AggState::new(); agg_calls.len()]);
+        order.push(Vec::new());
+    }
+
+    // Build the intermediate scope: group-by exprs then aggregate values.
+    let mut mid_cols: Vec<OutCol> = Vec::new();
+    for (i, e) in sel.group_by.iter().enumerate() {
+        let name = match e {
+            Expr::Column { name, .. } => name.clone(),
+            _ => format!("_g{i}"),
+        };
+        mid_cols.push(OutCol { qualifier: None, name: name.to_ascii_lowercase() });
+    }
+    for i in 0..agg_calls.len() {
+        mid_cols.push(OutCol { qualifier: None, name: format!("_agg{i}") });
+    }
+
+    let mut mid_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+    for key in order {
+        let states = groups.remove(&key).unwrap();
+        let mut row = key;
+        for (i, call) in agg_calls.iter().enumerate() {
+            let s = &states[i];
+            let Expr::Func { name, .. } = call else { unreachable!() };
+            let v = match name.as_str() {
+                "count" => Value::Int(s.count as i64),
+                "sum" => {
+                    if s.count == 0 {
+                        Value::Null
+                    } else if s.sum_is_int {
+                        Value::Int(s.sum_int)
+                    } else {
+                        Value::Double(s.sum)
+                    }
+                }
+                "avg" => {
+                    if s.count == 0 {
+                        Value::Null
+                    } else {
+                        Value::Double(s.sum / s.count as f64)
+                    }
+                }
+                "min" => s.min.clone().unwrap_or(Value::Null),
+                "max" => s.max.clone().unwrap_or(Value::Null),
+                _ => unreachable!(),
+            };
+            row.push(v);
+        }
+        mid_rows.push(row);
+    }
+    ctx.charge(mid_rows.len())?;
+
+    // Rewrite projection/having over the intermediate scope.
+    let rewrite = |e: &Expr| -> Expr {
+        rewrite_agg(e, &sel.group_by, &agg_calls)
+    };
+    let mid = Rel { cols: mid_cols, rows: mid_rows };
+    let mid_scope = Scope::from_cols(&mid.cols);
+
+    let mut rel = mid;
+    if let Some(h) = &sel.having {
+        let cond = compile(&rewrite(h), &mid_scope, ctx.db)?;
+        let mut kept = Vec::new();
+        for row in rel.rows {
+            if cond.eval_truthy(&row)? {
+                kept.push(row);
+            }
+        }
+        rel.rows = kept;
+    }
+
+    let items: Vec<SelectItem> = sel
+        .projection
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().or_else(|| match expr {
+                    Expr::Column { name, .. } => Some(name.clone()),
+                    Expr::Func { name, .. } => Some(name.clone()),
+                    _ => None,
+                });
+                Ok(SelectItem::Expr { expr: rewrite(expr), alias: name })
+            }
+            _ => plan_err("wildcard projection is not supported with GROUP BY"),
+        })
+        .collect::<Result<_>>()?;
+    project(&items, rel, ctx)
+}
+
+fn find_aggregates(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn walk(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::Func { name, star, .. } if *star || is_aggregate(name) => out.push(e.clone()),
+            Expr::Func { args, .. } => args.iter().for_each(|a| walk(a, out)),
+            Expr::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                walk(expr, out)
+            }
+            Expr::InList { expr, list, .. } => {
+                walk(expr, out);
+                list.iter().for_each(|a| walk(a, out));
+            }
+            Expr::Like { expr, pattern, .. } => {
+                walk(expr, out);
+                walk(pattern, out);
+            }
+            Expr::Case { branches, else_expr } => {
+                for (c, v) in branches {
+                    walk(c, out);
+                    walk(v, out);
+                }
+                if let Some(x) = else_expr {
+                    walk(x, out);
+                }
+            }
+            Expr::Column { .. } | Expr::Literal(_) => {}
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// Replace group-by expressions and aggregate calls with references into the
+/// intermediate aggregation scope.
+fn rewrite_agg(e: &Expr, group_by: &[Expr], agg_calls: &[Expr]) -> Expr {
+    if let Some(i) = agg_calls.iter().position(|a| a == e) {
+        return Expr::col(&format!("_agg{i}"));
+    }
+    if let Some(i) = group_by.iter().position(|g| g == e) {
+        return match &group_by[i] {
+            Expr::Column { name, .. } => Expr::col(name),
+            _ => Expr::col(&format!("_g{i}")),
+        };
+    }
+    match e {
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_agg(left, group_by, agg_calls)),
+            right: Box::new(rewrite_agg(right, group_by, agg_calls)),
+        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(rewrite_agg(expr, group_by, agg_calls)) }
+        }
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_agg(expr, group_by, agg_calls)),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(rewrite_agg(expr, group_by, agg_calls)),
+            list: list.iter().map(|x| rewrite_agg(x, group_by, agg_calls)).collect(),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(rewrite_agg(expr, group_by, agg_calls)),
+            pattern: Box::new(rewrite_agg(pattern, group_by, agg_calls)),
+            negated: *negated,
+        },
+        Expr::Case { branches, else_expr } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| {
+                    (rewrite_agg(c, group_by, agg_calls), rewrite_agg(v, group_by, agg_calls))
+                })
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|x| Box::new(rewrite_agg(x, group_by, agg_calls))),
+        },
+        Expr::Cast { expr, ty } => {
+            Expr::Cast { expr: Box::new(rewrite_agg(expr, group_by, agg_calls)), ty: *ty }
+        }
+        Expr::Func { name, args, star } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(|x| rewrite_agg(x, group_by, agg_calls)).collect(),
+            star: *star,
+        },
+        _ => e.clone(),
+    }
+}

@@ -1,0 +1,41 @@
+//! `relstore` — an embedded, in-memory relational database engine.
+//!
+//! This crate is the substrate standing in for IBM DB2 in the SIGMOD'13
+//! DB2RDF architecture: typed tables with null-suppressing ("value
+//! compressed") wide rows, hash and B-tree secondary indexes, and a SQL
+//! dialect covering the constructs the paper's SPARQL→SQL translation emits —
+//! CTEs (`WITH`), inner and left-outer joins, `UNION [ALL]`, `CASE`,
+//! `COALESCE`, `IS [NOT] NULL`, `DISTINCT`, `ORDER BY`, `LIMIT`/`OFFSET`,
+//! simple aggregates, and a lateral `UNNEST` table function standing in for
+//! DB2's `TABLE(...)` value-flip construct (paper Fig. 13).
+//!
+//! Planning is deliberately minimal (see `exec` module docs): the SPARQL
+//! optimizer upstream decides join order; this engine contributes index
+//! probes for constant equality on indexed columns and hash joins for
+//! equi-joins — what the paper assumes of "the relational query engine".
+//!
+//! ```
+//! use relstore::{Database, Value};
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE person (name TEXT, age INT)").unwrap();
+//! db.execute("INSERT INTO person VALUES ('ada', 36), ('alan', 41)").unwrap();
+//! let rel = db.query("SELECT name FROM person WHERE age > 40").unwrap();
+//! assert_eq!(rel.rows, vec![vec![Value::str("alan")]]);
+//! ```
+
+mod database;
+mod error;
+mod exec;
+mod row;
+pub mod sql;
+mod table;
+mod value;
+
+pub use database::{table_schema, Database, ExecOutcome, ScalarFn};
+pub use error::{Error, Result};
+pub use exec::{OutCol, Rel};
+pub use row::CompressedRow;
+pub use sql::lexer::{quote_str, value_to_sql};
+pub use table::{ColumnDef, Index, IndexKind, Table, TableSchema};
+pub use value::{SqlType, Value};

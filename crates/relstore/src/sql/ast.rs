@@ -1,0 +1,180 @@
+//! SQL abstract syntax tree for the dialect described in DESIGN.md.
+
+use crate::value::{SqlType, Value};
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, SqlType)>,
+    },
+    CreateIndex {
+        table: String,
+        column: String,
+        /// `USING BTREE` selects a B-tree; default is hash.
+        btree: bool,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Query(Query),
+}
+
+/// A full query: optional CTEs, a union-of-selects body, and trailing
+/// ORDER BY / LIMIT / OFFSET.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub ctes: Vec<(String, Query)>,
+    pub body: QueryBody,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryBody {
+    Select(Box<Select>),
+    Union { left: Box<QueryBody>, right: Box<QueryBody>, all: bool },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub asc: bool,
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    /// Comma-separated FROM factors, each with its chain of explicit joins.
+    pub from: Vec<TableFactor>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableFactor {
+    pub relation: Relation,
+    pub alias: Option<String>,
+    pub joins: Vec<Join>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Relation {
+    /// Base table or CTE reference.
+    Named(String),
+    /// Parenthesized subquery.
+    Subquery(Box<Query>),
+    /// Lateral value-unnest standing in for DB2's `TABLE(...)` construct
+    /// (paper Fig. 13): `UNNEST ((a, b), (c, d)) AS L(p, v)` emits, for each
+    /// input row, one output row per tuple whose first element is non-NULL.
+    Unnest { tuples: Vec<Vec<Expr>>, columns: Vec<String> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub kind: JoinKind,
+    pub relation: Relation,
+    pub alias: Option<String>,
+    pub on: Expr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// String concatenation `||`.
+    Concat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `name` or `qualifier.name`.
+    Column { qualifier: Option<String>, name: String },
+    Literal(Value),
+    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    IsNull { expr: Box<Expr>, negated: bool },
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    Case {
+        /// Searched CASE only (`CASE WHEN cond THEN v ... [ELSE v] END`).
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    Cast { expr: Box<Expr>, ty: SqlType },
+    /// Scalar or aggregate function call; aggregates are recognized at
+    /// planning time. `COUNT(*)` is represented with `star = true`.
+    Func { name: String, args: Vec<Expr>, star: bool },
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { qualifier: None, name: name.to_string() }
+    }
+
+    pub fn qcol(q: &str, name: &str) -> Expr {
+        Expr::Column { qualifier: Some(q.to_string()), name: name.to_string() }
+    }
+
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Split a conjunction into its AND-ed factors.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            if let Expr::Binary { op: BinaryOp::And, left, right } = e {
+                walk(left, out);
+                walk(right, out);
+            } else {
+                out.push(e);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}

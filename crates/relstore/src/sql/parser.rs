@@ -1,0 +1,853 @@
+//! Recursive-descent SQL parser.
+
+use crate::error::{Error, Result};
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, Spanned, Token};
+use crate::value::{SqlType, Value};
+
+pub fn parse_statement(sql: &str) -> Result<Stmt> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&Token::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a standalone query (no DDL/DML).
+pub fn parse_query(sql: &str) -> Result<Query> {
+    match parse_statement(sql)? {
+        Stmt::Query(q) => Ok(q),
+        _ => Err(Error::Plan("expected a query".into())),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(Error::Parse { message: msg.into(), offset: self.offset() })
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a keyword (lowercased identifier) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Token::Ident(w) = self.peek() {
+            if w == kw {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(w) if w == kw)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {}", kw.to_uppercase()))
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat_if(t) {
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input: {:?}", self.peek()))
+        }
+    }
+
+    /// Identifier (possibly quoted), normalized to lowercase.
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Token::Ident(w) => {
+                if RESERVED.contains(&w.as_str()) {
+                    self.err(format!("reserved word {w:?} used as identifier"))
+                } else {
+                    Ok(w)
+                }
+            }
+            Token::QuotedIdent(w) => Ok(w.to_ascii_lowercase()),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if self.peek_kw("create") {
+            self.create()
+        } else if self.eat_kw("insert") {
+            self.insert()
+        } else {
+            Ok(Stmt::Query(self.query()?))
+        }
+    }
+
+    fn create(&mut self) -> Result<Stmt> {
+        self.expect_kw("create")?;
+        if self.eat_kw("table") {
+            let name = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                let col = self.ident()?;
+                let ty = self.sql_type()?;
+                columns.push((col, ty));
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            Ok(Stmt::CreateTable { name, columns })
+        } else if self.eat_kw("index") {
+            // CREATE INDEX [name] ON table(column) [USING BTREE]
+            if !self.peek_kw("on") {
+                let _ = self.ident()?; // optional index name, ignored
+            }
+            self.expect_kw("on")?;
+            let table = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let column = self.ident()?;
+            self.expect(&Token::RParen)?;
+            let mut btree = false;
+            if self.eat_kw("using") {
+                let kind = self.ident()?;
+                match kind.as_str() {
+                    "btree" => btree = true,
+                    "hash" => btree = false,
+                    other => return self.err(format!("unknown index kind {other:?}")),
+                }
+            }
+            Ok(Stmt::CreateIndex { table, column, btree })
+        } else {
+            self.err("expected TABLE or INDEX after CREATE")
+        }
+    }
+
+    fn sql_type(&mut self) -> Result<SqlType> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "int" | "integer" | "bigint" => Ok(SqlType::Int),
+            "double" | "float" | "real" => {
+                // allow DOUBLE PRECISION
+                let _ = self.eat_kw("precision");
+                Ok(SqlType::Double)
+            }
+            "text" | "varchar" | "char" | "string" => {
+                if self.eat_if(&Token::LParen) {
+                    match self.advance() {
+                        Token::Int(_) => {}
+                        _ => return self.err("expected length in type"),
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                Ok(SqlType::Text)
+            }
+            "bool" | "boolean" => Ok(SqlType::Bool),
+            other => self.err(format!("unknown type {other:?}")),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let mut columns = None;
+        if self.eat_if(&Token::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            columns = Some(cols);
+        }
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Insert { table, columns, rows })
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                let name = self.ident()?;
+                self.expect_kw("as")?;
+                self.expect(&Token::LParen)?;
+                let q = self.query()?;
+                self.expect(&Token::RParen)?;
+                ctes.push((name, q));
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.query_body()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.eat_kw("desc") { false } else { self.eat_kw("asc") || true };
+                order_by.push(OrderItem { expr, asc });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.eat_kw("limit") {
+                match self.advance() {
+                    Token::Int(n) if n >= 0 => limit = Some(n as u64),
+                    _ => return self.err("expected non-negative integer after LIMIT"),
+                }
+            } else if self.eat_kw("offset") {
+                match self.advance() {
+                    Token::Int(n) if n >= 0 => offset = Some(n as u64),
+                    _ => return self.err("expected non-negative integer after OFFSET"),
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(Query { ctes, body, order_by, limit, offset })
+    }
+
+    fn query_body(&mut self) -> Result<QueryBody> {
+        let mut left = self.query_term()?;
+        while self.eat_kw("union") {
+            let all = self.eat_kw("all");
+            let right = self.query_term()?;
+            left = QueryBody::Union { left: Box::new(left), right: Box::new(right), all };
+        }
+        Ok(left)
+    }
+
+    fn query_term(&mut self) -> Result<QueryBody> {
+        if self.eat_if(&Token::LParen) {
+            let body = self.query_body()?;
+            self.expect(&Token::RParen)?;
+            Ok(body)
+        } else {
+            Ok(QueryBody::Select(Box::new(self.select()?)))
+        }
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut projection = Vec::new();
+        loop {
+            if self.eat_if(&Token::Star) {
+                projection.push(SelectItem::Wildcard);
+            } else if let Token::Ident(name) = self.peek().clone() {
+                // lookahead for `alias.*`
+                if !RESERVED.contains(&name.as_str())
+                    && matches!(self.tokens.get(self.pos + 1).map(|s| &s.token), Some(Token::Dot))
+                    && matches!(self.tokens.get(self.pos + 2).map(|s| &s.token), Some(Token::Star))
+                {
+                    self.advance();
+                    self.advance();
+                    self.advance();
+                    projection.push(SelectItem::QualifiedWildcard(name));
+                } else {
+                    projection.push(self.select_expr_item()?);
+                }
+            } else {
+                projection.push(self.select_expr_item()?);
+            }
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.table_factor()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+        Ok(Select { distinct, projection, from, where_clause, group_by, having })
+    }
+
+    fn select_expr_item(&mut self) -> Result<SelectItem> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), Token::Ident(w) if !RESERVED.contains(&w.as_str())) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn relation(&mut self) -> Result<(Relation, Option<String>)> {
+        if self.eat_kw("unnest") {
+            self.expect(&Token::LParen)?;
+            let mut tuples = Vec::new();
+            loop {
+                if self.eat_if(&Token::LParen) {
+                    let mut tuple = Vec::new();
+                    loop {
+                        tuple.push(self.expr()?);
+                        if !self.eat_if(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    tuples.push(tuple);
+                } else {
+                    tuples.push(vec![self.expr()?]);
+                }
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            self.expect_kw("as")?;
+            let alias = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            let arity = tuples[0].len();
+            if tuples.iter().any(|t| t.len() != arity) || columns.len() != arity {
+                return self.err("UNNEST tuples and column list must have the same arity");
+            }
+            Ok((Relation::Unnest { tuples, columns }, Some(alias)))
+        } else if self.eat_if(&Token::LParen) {
+            let q = self.query()?;
+            self.expect(&Token::RParen)?;
+            let alias = self.table_alias()?;
+            Ok((Relation::Subquery(Box::new(q)), alias))
+        } else {
+            let name = self.ident()?;
+            let alias = self.table_alias()?;
+            Ok((Relation::Named(name), alias))
+        }
+    }
+
+    fn table_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            Ok(Some(self.ident()?))
+        } else if matches!(self.peek(), Token::Ident(w) if !RESERVED.contains(&w.as_str())) {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn table_factor(&mut self) -> Result<TableFactor> {
+        let (relation, alias) = self.relation()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.peek_kw("join") || self.peek_kw("inner") {
+                let _ = self.eat_kw("inner");
+                self.expect_kw("join")?;
+                JoinKind::Inner
+            } else if self.peek_kw("left") {
+                self.expect_kw("left")?;
+                let _ = self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::LeftOuter
+            } else {
+                break;
+            };
+            let (rel, alias) = self.relation()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            joins.push(Join { kind, relation: rel, alias, on });
+        }
+        Ok(TableFactor { relation, alias, joins })
+    }
+
+    // ---- expressions, precedence climbing ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL / [NOT] IN / [NOT] LIKE / comparison operators
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = if self.peek_kw("not") {
+            // could be NOT IN / NOT LIKE
+            let next = self.tokens.get(self.pos + 1).map(|s| &s.token);
+            match next {
+                Some(Token::Ident(w)) if w == "in" || w == "like" => {
+                    self.advance();
+                    true
+                }
+                _ => false,
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("like") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return self.err("expected IN or LIKE after NOT");
+        }
+        let op = match self.peek() {
+            Token::Eq => BinaryOp::Eq,
+            Token::NotEq => BinaryOp::NotEq,
+            Token::Lt => BinaryOp::Lt,
+            Token::LtEq => BinaryOp::LtEq,
+            Token::Gt => BinaryOp::Gt,
+            Token::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.additive()?;
+        Ok(Expr::binary(op, left, right))
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinaryOp::Add,
+                Token::Minus => BinaryOp::Sub,
+                Token::Concat => BinaryOp::Concat,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinaryOp::Mul,
+                Token::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_if(&Token::Minus) {
+            let inner = self.unary()?;
+            Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) })
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Token::Int(n) => {
+                self.advance();
+                Ok(Expr::lit(Value::Int(n)))
+            }
+            Token::Double(d) => {
+                self.advance();
+                Ok(Expr::lit(Value::Double(d)))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(Expr::lit(Value::str(s)))
+            }
+            Token::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(word) => match word.as_str() {
+                "null" => {
+                    self.advance();
+                    Ok(Expr::lit(Value::Null))
+                }
+                "true" => {
+                    self.advance();
+                    Ok(Expr::lit(Value::Bool(true)))
+                }
+                "false" => {
+                    self.advance();
+                    Ok(Expr::lit(Value::Bool(false)))
+                }
+                "case" => self.case_expr(),
+                "cast" => {
+                    self.advance();
+                    self.expect(&Token::LParen)?;
+                    let inner = self.expr()?;
+                    self.expect_kw("as")?;
+                    let ty = self.sql_type()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Cast { expr: Box::new(inner), ty })
+                }
+                _ => self.ident_expr(),
+            },
+            Token::QuotedIdent(_) => self.ident_expr(),
+            other => self.err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        self.expect_kw("case")?;
+        let mut branches = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.expr()?;
+            self.expect_kw("then")?;
+            let val = self.expr()?;
+            branches.push((cond, val));
+        }
+        if branches.is_empty() {
+            return self.err("CASE requires at least one WHEN branch");
+        }
+        let else_expr =
+            if self.eat_kw("else") { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_kw("end")?;
+        Ok(Expr::Case { branches, else_expr })
+    }
+
+    fn ident_expr(&mut self) -> Result<Expr> {
+        let first = self.ident()?;
+        if self.eat_if(&Token::LParen) {
+            // function call
+            if self.eat_if(&Token::Star) {
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Func { name: first, args: vec![], star: true });
+            }
+            let mut args = Vec::new();
+            if !self.eat_if(&Token::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat_if(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            return Ok(Expr::Func { name: first, args, star: false });
+        }
+        if self.eat_if(&Token::Dot) {
+            let name = self.ident()?;
+            return Ok(Expr::Column { qualifier: Some(first), name });
+        }
+        Ok(Expr::Column { qualifier: None, name: first })
+    }
+}
+
+/// Words that cannot be used as bare identifiers (use quoted identifiers to
+/// bypass).
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "by", "having", "order", "limit", "offset", "union",
+    "all", "distinct", "and", "or", "not", "is", "null", "in", "like", "case", "when", "then",
+    "else", "end", "cast", "as", "join", "inner", "left", "outer", "on", "with", "create",
+    "table", "index", "insert", "into", "values", "unnest", "true", "false", "using", "asc",
+    "desc",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let stmt = parse_statement(
+            "CREATE TABLE dph (entry TEXT, spill INT, pred0 TEXT, val0 TEXT)",
+        )
+        .unwrap();
+        match stmt {
+            Stmt::CreateTable { name, columns } => {
+                assert_eq!(name, "dph");
+                assert_eq!(columns.len(), 4);
+                assert_eq!(columns[1], ("spill".to_string(), SqlType::Int));
+            }
+            _ => panic!("wrong stmt"),
+        }
+    }
+
+    #[test]
+    fn parses_create_index() {
+        let stmt = parse_statement("CREATE INDEX i ON dph(entry) USING BTREE").unwrap();
+        assert_eq!(
+            stmt,
+            Stmt::CreateIndex { table: "dph".into(), column: "entry".into(), btree: true }
+        );
+    }
+
+    #[test]
+    fn parses_insert_multirow() {
+        let stmt =
+            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
+        match stmt {
+            Stmt::Insert { table, columns, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns, Some(vec!["a".into(), "b".into()]));
+                assert_eq!(rows.len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_select_with_joins_and_cte() {
+        let q = parse_query(
+            "WITH q1 AS (SELECT entry FROM rph WHERE entry = 'x'),
+                  q2 AS (SELECT t.entry AS y FROM dph AS T LEFT OUTER JOIN ds AS S ON t.val0 = s.l_id)
+             SELECT q1.entry, q2.y FROM q1, q2 WHERE q1.entry = q2.y ORDER BY 1 DESC LIMIT 10 OFFSET 2",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 2);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(2));
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].asc);
+    }
+
+    #[test]
+    fn parses_union() {
+        let q = parse_query("SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v")
+            .unwrap();
+        // left-assoc: (t UNION ALL u) UNION v
+        match q.body {
+            QueryBody::Union { all, left, .. } => {
+                assert!(!all);
+                assert!(matches!(*left, QueryBody::Union { all: true, .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_case_coalesce_cast() {
+        let q = parse_query(
+            "SELECT CASE WHEN t.p = 'x' THEN t.v ELSE NULL END AS a,
+                    COALESCE(s.elm, t.v) AS b,
+                    CAST(t.v AS DOUBLE) AS c
+             FROM t LEFT JOIN s ON t.v = s.l_id",
+        )
+        .unwrap();
+        match q.body {
+            QueryBody::Select(sel) => {
+                assert_eq!(sel.projection.len(), 3);
+                assert!(matches!(
+                    &sel.projection[1],
+                    SelectItem::Expr { expr: Expr::Func { name, .. }, .. } if name == "coalesce"
+                ));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_unnest() {
+        let q = parse_query(
+            "SELECT l.p, l.v FROM t, UNNEST ((t.pred0, t.val0), (t.pred1, t.val1)) AS L(p, v) WHERE l.v IS NOT NULL",
+        )
+        .unwrap();
+        match q.body {
+            QueryBody::Select(sel) => {
+                assert_eq!(sel.from.len(), 2);
+                match &sel.from[1].relation {
+                    Relation::Unnest { tuples, columns } => {
+                        assert_eq!(tuples.len(), 2);
+                        assert_eq!(columns, &vec!["p".to_string(), "v".to_string()]);
+                    }
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_in_and_like_and_not() {
+        let q = parse_query(
+            "SELECT a FROM t WHERE a IN ('x','y') AND b NOT LIKE '%z%' AND NOT c = 1",
+        )
+        .unwrap();
+        match q.body {
+            QueryBody::Select(sel) => {
+                let conjs = sel.where_clause.as_ref().unwrap().conjuncts().len();
+                assert_eq!(conjs, 3);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_group_by_having_aggregates() {
+        let q = parse_query(
+            "SELECT a, COUNT(*) AS n, SUM(b) FROM t GROUP BY a HAVING COUNT(*) > 2",
+        )
+        .unwrap();
+        match q.body {
+            QueryBody::Select(sel) => {
+                assert_eq!(sel.group_by.len(), 1);
+                assert!(sel.having.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_reserved_word_as_identifier() {
+        assert!(parse_query("SELECT select FROM t").is_err());
+    }
+
+    #[test]
+    fn reports_offset_on_error() {
+        let err = parse_query("SELECT a FROM").unwrap_err();
+        match err {
+            Error::Parse { offset, .. } => assert!(offset >= 13),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn implicit_alias_without_as() {
+        let q = parse_query("SELECT t.a col1 FROM dph t").unwrap();
+        match q.body {
+            QueryBody::Select(sel) => {
+                assert!(matches!(&sel.projection[0], SelectItem::Expr { alias: Some(a), .. } if a == "col1"));
+                assert_eq!(sel.from[0].alias, Some("t".into()));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let q = parse_query("SELECT t.*, u.a FROM t, u").unwrap();
+        match q.body {
+            QueryBody::Select(sel) => {
+                assert!(matches!(&sel.projection[0], SelectItem::QualifiedWildcard(a) if a == "t"));
+            }
+            _ => panic!(),
+        }
+    }
+}

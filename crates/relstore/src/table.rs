@@ -1,0 +1,357 @@
+//! Tables, schemas and secondary indexes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::{plan_err, Result};
+use crate::row::CompressedRow;
+use crate::value::{SqlType, Value};
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: SqlType,
+}
+
+/// A table schema: ordered columns with unique (lowercase) names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>, columns: Vec<(String, SqlType)>) -> Self {
+        TableSchema {
+            name: name.into().to_ascii_lowercase(),
+            columns: columns
+                .into_iter()
+                .map(|(name, ty)| ColumnDef { name: name.to_ascii_lowercase(), ty })
+                .collect(),
+        }
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+}
+
+/// Secondary index kinds. Hash indexes serve equality lookups (the only kind
+/// the DB2RDF schema needs on `entry` and `l_id`); B-trees also serve range
+/// scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    Hash,
+    BTree,
+}
+
+#[derive(Debug, Clone)]
+pub enum Index {
+    Hash(HashMap<Value, Vec<u32>>),
+    BTree(BTreeMap<Value, Vec<u32>>),
+}
+
+impl Index {
+    fn new(kind: IndexKind) -> Self {
+        match kind {
+            IndexKind::Hash => Index::Hash(HashMap::new()),
+            IndexKind::BTree => Index::BTree(BTreeMap::new()),
+        }
+    }
+
+    fn insert(&mut self, key: Value, row_id: u32) {
+        if key.is_null() {
+            return; // NULL keys are not indexed (SQL equality never matches them).
+        }
+        match self {
+            Index::Hash(m) => m.entry(key).or_default().push(row_id),
+            Index::BTree(m) => m.entry(key).or_default().push(row_id),
+        }
+    }
+
+    fn remove(&mut self, key: &Value, row_id: u32) {
+        if key.is_null() {
+            return;
+        }
+        match self {
+            Index::Hash(m) => {
+                if let Some(v) = m.get_mut(key) {
+                    v.retain(|&r| r != row_id);
+                    if v.is_empty() {
+                        m.remove(key);
+                    }
+                }
+            }
+            Index::BTree(m) => {
+                if let Some(v) = m.get_mut(key) {
+                    v.retain(|&r| r != row_id);
+                    if v.is_empty() {
+                        m.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Row ids matching an equality probe.
+    pub fn lookup(&self, key: &Value) -> &[u32] {
+        static EMPTY: [u32; 0] = [];
+        if key.is_null() {
+            return &EMPTY;
+        }
+        match self {
+            Index::Hash(m) => m.get(key).map(Vec::as_slice).unwrap_or(&EMPTY),
+            Index::BTree(m) => m.get(key).map(Vec::as_slice).unwrap_or(&EMPTY),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        match self {
+            Index::Hash(m) => m.len(),
+            Index::BTree(m) => m.len(),
+        }
+    }
+}
+
+/// An in-memory table: schema, compressed rows, and secondary indexes keyed
+/// by column name.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    rows: Vec<CompressedRow>,
+    indexes: HashMap<String, Index>,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new(), indexes: HashMap::new() }
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn width(&self) -> usize {
+        self.schema.columns.len()
+    }
+
+    /// Insert a dense row; maintains all indexes. The row must have exactly
+    /// one value per column.
+    pub fn insert(&mut self, vals: &[Value]) -> Result<()> {
+        if vals.len() != self.width() {
+            return plan_err(format!(
+                "table {}: insert arity {} != column count {}",
+                self.schema.name,
+                vals.len(),
+                self.width()
+            ));
+        }
+        let row_id = self.rows.len() as u32;
+        for (col, index) in &mut self.indexes {
+            let ci = self.schema.columns.iter().position(|c| &c.name == col).unwrap();
+            index.insert(vals[ci].clone(), row_id);
+        }
+        self.rows.push(CompressedRow::from_values(vals));
+        Ok(())
+    }
+
+    /// Bulk insert without per-row arity error formatting overhead.
+    pub fn insert_many<I: IntoIterator<Item = Vec<Value>>>(&mut self, rows: I) -> Result<()> {
+        for r in rows {
+            self.insert(&r)?;
+        }
+        Ok(())
+    }
+
+    /// Create (or rebuild) an index on `column`.
+    pub fn create_index(&mut self, column: &str, kind: IndexKind) -> Result<()> {
+        let lower = column.to_ascii_lowercase();
+        let Some(ci) = self.schema.column_index(&lower) else {
+            return plan_err(format!("no column {column} in table {}", self.schema.name));
+        };
+        let mut index = Index::new(kind);
+        for (row_id, row) in self.rows.iter().enumerate() {
+            index.insert(row.get(ci), row_id as u32);
+        }
+        self.indexes.insert(lower, index);
+        Ok(())
+    }
+
+    pub fn index_on(&self, column: &str) -> Option<&Index> {
+        self.indexes.get(&column.to_ascii_lowercase())
+    }
+
+    pub fn rows(&self) -> &[CompressedRow] {
+        &self.rows
+    }
+
+    /// Dense copy of row `row_id`.
+    pub fn row_values(&self, row_id: u32) -> Vec<Value> {
+        self.rows[row_id as usize].decompress(self.width())
+    }
+
+    /// Overwrite one cell of an existing row, maintaining indexes. Used by
+    /// incremental RDF inserts (e.g. promoting a direct value to a
+    /// multi-valued lid).
+    pub fn update_cell(&mut self, row_id: u32, col: usize, value: Value) -> Result<()> {
+        let Some(row) = self.rows.get(row_id as usize) else {
+            return plan_err(format!("row {row_id} out of range in table {}", self.schema.name));
+        };
+        if col >= self.width() {
+            return plan_err(format!("column {col} out of range in table {}", self.schema.name));
+        }
+        let mut vals = row.decompress(self.width());
+        let old = std::mem::replace(&mut vals[col], value.clone());
+        let col_name = self.schema.columns[col].name.clone();
+        if let Some(index) = self.indexes.get_mut(&col_name) {
+            index.remove(&old, row_id);
+            index.insert(value, row_id);
+        }
+        self.rows[row_id as usize] = CompressedRow::from_values(&vals);
+        Ok(())
+    }
+
+    /// Add `n` new nullable columns (used by the §2.3 NULL experiment and by
+    /// dynamic layouts). Existing compressed rows read as NULL in the new
+    /// columns at zero storage cost until rewritten.
+    pub fn widen(&mut self, new_columns: Vec<(String, SqlType)>) {
+        for (name, ty) in new_columns {
+            self.schema.columns.push(ColumnDef { name: name.to_ascii_lowercase(), ty });
+        }
+    }
+
+    /// Like [`Table::widen`], but rewrites every stored row to the new
+    /// width so the presence bitmaps physically cover the new columns —
+    /// mirroring what a row-store pays after ALTER TABLE + reorg. This is
+    /// what the paper's §2.3 NULL-storage experiment measures.
+    pub fn widen_rewritten(&mut self, new_columns: Vec<(String, SqlType)>) {
+        self.widen(new_columns);
+        let width = self.width();
+        for row in &mut self.rows {
+            let vals = row.decompress(width);
+            *row = CompressedRow::from_values(&vals);
+        }
+    }
+
+    /// Approximate storage footprint of the table's rows in bytes,
+    /// reflecting null suppression.
+    pub fn storage_bytes(&self) -> usize {
+        self.rows.iter().map(CompressedRow::storage_bytes).sum()
+    }
+
+    /// Fraction of cells that are NULL (statistic reported in §2.3).
+    pub fn null_fraction(&self) -> f64 {
+        if self.rows.is_empty() || self.width() == 0 {
+            return 0.0;
+        }
+        let total = self.rows.len() * self.width();
+        let non_null: usize = self.rows.iter().map(CompressedRow::non_null_count).sum();
+        (total - non_null) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![("a".into(), SqlType::Int), ("b".into(), SqlType::Text)],
+        )
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = Table::new(schema());
+        t.insert(&[Value::Int(1), Value::str("x")]).unwrap();
+        t.insert(&[Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.row_values(0), vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(t.row_values(1), vec![Value::Int(2), Value::Null]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(schema());
+        assert!(t.insert(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn index_lookup_after_and_before_build() {
+        let mut t = Table::new(schema());
+        t.insert(&[Value::Int(1), Value::str("x")]).unwrap();
+        t.create_index("a", IndexKind::Hash).unwrap();
+        t.insert(&[Value::Int(1), Value::str("y")]).unwrap();
+        t.insert(&[Value::Int(2), Value::str("z")]).unwrap();
+        let idx = t.index_on("a").unwrap();
+        assert_eq!(idx.lookup(&Value::Int(1)), &[0, 1]);
+        assert_eq!(idx.lookup(&Value::Int(2)), &[2]);
+        assert_eq!(idx.lookup(&Value::Int(9)), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn null_keys_not_indexed() {
+        let mut t = Table::new(schema());
+        t.insert(&[Value::Null, Value::str("x")]).unwrap();
+        t.create_index("a", IndexKind::BTree).unwrap();
+        assert_eq!(t.index_on("a").unwrap().distinct_keys(), 0);
+        assert_eq!(t.index_on("a").unwrap().lookup(&Value::Null), &[] as &[u32]);
+    }
+
+    #[test]
+    fn widen_reads_null_and_costs_nothing() {
+        let mut t = Table::new(schema());
+        t.insert(&[Value::Int(1), Value::str("x")]).unwrap();
+        let before = t.storage_bytes();
+        t.widen(vec![("c".into(), SqlType::Text), ("d".into(), SqlType::Int)]);
+        assert_eq!(t.width(), 4);
+        assert_eq!(t.row_values(0)[2], Value::Null);
+        assert_eq!(t.storage_bytes(), before);
+    }
+
+    #[test]
+    fn null_fraction() {
+        let mut t = Table::new(schema());
+        t.insert(&[Value::Int(1), Value::Null]).unwrap();
+        t.insert(&[Value::Null, Value::Null]).unwrap();
+        assert!((t.null_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_cell_maintains_index() {
+        let mut t = Table::new(schema());
+        t.insert(&[Value::Int(1), Value::str("x")]).unwrap();
+        t.insert(&[Value::Int(2), Value::str("y")]).unwrap();
+        t.create_index("a", IndexKind::Hash).unwrap();
+        t.update_cell(0, 0, Value::Int(9)).unwrap();
+        {
+            let idx = t.index_on("a").unwrap();
+            assert_eq!(idx.lookup(&Value::Int(1)), &[] as &[u32]);
+            assert_eq!(idx.lookup(&Value::Int(9)), &[0]);
+        }
+        assert_eq!(t.row_values(0), vec![Value::Int(9), Value::str("x")]);
+        // updating to NULL removes from index
+        t.update_cell(0, 0, Value::Null).unwrap();
+        let idx = t.index_on("a").unwrap();
+        assert_eq!(idx.distinct_keys(), 1);
+        assert_eq!(idx.lookup(&Value::Int(9)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn update_cell_out_of_range_rejected() {
+        let mut t = Table::new(schema());
+        t.insert(&[Value::Int(1), Value::str("x")]).unwrap();
+        assert!(t.update_cell(5, 0, Value::Null).is_err());
+        assert!(t.update_cell(0, 9, Value::Null).is_err());
+    }
+
+    #[test]
+    fn unknown_index_column_rejected() {
+        let mut t = Table::new(schema());
+        assert!(t.create_index("zzz", IndexKind::Hash).is_err());
+    }
+}

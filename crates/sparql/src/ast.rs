@@ -1,0 +1,231 @@
+//! SPARQL 1.0 abstract syntax: queries, the pattern tree of §3.1 of the
+//! paper (AND / OR / OPTIONAL nodes with triple-pattern leaves), and FILTER
+//! expressions.
+
+use rdf::Term;
+
+/// A subject/predicate/object position: variable or constant term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermPattern {
+    /// Variable name without the `?`/`$` sigil.
+    Var(String),
+    Term(Term),
+}
+
+impl TermPattern {
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Term(_) => None,
+        }
+    }
+
+    pub fn as_term(&self) -> Option<&Term> {
+        match self {
+            TermPattern::Var(_) => None,
+            TermPattern::Term(t) => Some(t),
+        }
+    }
+
+    pub fn is_var(&self) -> bool {
+        matches!(self, TermPattern::Var(_))
+    }
+}
+
+/// A triple pattern, tagged with a query-unique id (`t1`, `t2`, ... in the
+/// paper's notation) assigned in parse order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    pub id: usize,
+    pub subject: TermPattern,
+    pub predicate: TermPattern,
+    pub object: TermPattern,
+}
+
+impl TriplePattern {
+    /// All variables mentioned by this pattern.
+    pub fn variables(&self) -> Vec<&str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(TermPattern::as_var)
+            .collect()
+    }
+}
+
+/// A node of the pattern tree (paper Fig. 7). A `Group` is an AND node whose
+/// children are evaluated conjunctively, with group-scoped FILTERs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    Triple(TriplePattern),
+    Group(GroupPattern),
+    /// OR node: SPARQL `UNION`.
+    Union(Vec<Pattern>),
+    /// OPTIONAL node guarding its child pattern.
+    Optional(Box<Pattern>),
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    pub children: Vec<Pattern>,
+    pub filters: Vec<Expression>,
+}
+
+impl Pattern {
+    /// All triple patterns in this subtree, in parse order.
+    pub fn triples(&self) -> Vec<&TriplePattern> {
+        let mut out = Vec::new();
+        fn walk<'a>(p: &'a Pattern, out: &mut Vec<&'a TriplePattern>) {
+            match p {
+                Pattern::Triple(t) => out.push(t),
+                Pattern::Group(g) => g.children.iter().for_each(|c| walk(c, out)),
+                Pattern::Union(cs) => cs.iter().for_each(|c| walk(c, out)),
+                Pattern::Optional(c) => walk(c, out),
+            }
+        }
+        walk(self, &mut out);
+        out.sort_by_key(|t| t.id);
+        out
+    }
+
+    /// All variables bound by triples in this subtree.
+    pub fn variables(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for t in self.triples() {
+            for v in t.variables() {
+                seen.insert(v.to_string());
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+/// FILTER expressions (SPARQL 1.0 operator subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expression {
+    Var(String),
+    Term(Term),
+    Or(Box<Expression>, Box<Expression>),
+    And(Box<Expression>, Box<Expression>),
+    Not(Box<Expression>),
+    Compare { op: CompareOp, left: Box<Expression>, right: Box<Expression> },
+    Arith { op: ArithOp, left: Box<Expression>, right: Box<Expression> },
+    Neg(Box<Expression>),
+    /// `BOUND(?x)`
+    Bound(String),
+    /// `REGEX(expr, pattern [, flags])`
+    Regex { expr: Box<Expression>, pattern: String, case_insensitive: bool },
+    /// `STR(expr)` — lexical form.
+    Str(Box<Expression>),
+    /// `LANG(expr)`
+    Lang(Box<Expression>),
+    /// `DATATYPE(expr)`
+    Datatype(Box<Expression>),
+    IsIri(Box<Expression>),
+    IsLiteral(Box<Expression>),
+    IsBlank(Box<Expression>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl Expression {
+    /// Variables referenced by the expression.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expression, out: &mut Vec<&'a str>) {
+            match e {
+                Expression::Var(v) => out.push(v),
+                Expression::Bound(v) => out.push(v),
+                Expression::Term(_) => {}
+                Expression::Or(a, b) | Expression::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Expression::Not(a) | Expression::Neg(a) => walk(a, out),
+                Expression::Compare { left, right, .. }
+                | Expression::Arith { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                Expression::Regex { expr, .. }
+                | Expression::Str(expr)
+                | Expression::Lang(expr)
+                | Expression::Datatype(expr)
+                | Expression::IsIri(expr)
+                | Expression::IsLiteral(expr)
+                | Expression::IsBlank(expr) => walk(expr, out),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// Query form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryForm {
+    Select { vars: SelectVars, distinct: bool },
+    Ask,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectVars {
+    /// `SELECT *`
+    All,
+    /// Explicit projection list (names without sigils).
+    Vars(Vec<String>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderCondition {
+    pub expr: Expression,
+    pub ascending: bool,
+}
+
+/// A parsed SPARQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub form: QueryForm,
+    /// The root pattern (the WHERE group).
+    pub pattern: GroupPattern,
+    pub order_by: Vec<OrderCondition>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+impl Query {
+    /// The variables this query projects, in order.
+    pub fn projected_variables(&self) -> Vec<String> {
+        match &self.form {
+            QueryForm::Ask => Vec::new(),
+            QueryForm::Select { vars: SelectVars::Vars(v), .. } => v.clone(),
+            QueryForm::Select { vars: SelectVars::All, .. } => {
+                Pattern::Group(self.pattern.clone()).variables()
+            }
+        }
+    }
+
+    pub fn is_distinct(&self) -> bool {
+        matches!(self.form, QueryForm::Select { distinct: true, .. })
+    }
+
+    /// Total number of triple patterns.
+    pub fn triple_count(&self) -> usize {
+        Pattern::Group(self.pattern.clone()).triples().len()
+    }
+}

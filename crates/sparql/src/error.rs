@@ -1,0 +1,16 @@
+use std::fmt;
+
+/// SPARQL lexing/parsing error with a byte offset into the query text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparqlError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SparqlError {}

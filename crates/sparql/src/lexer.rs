@@ -1,0 +1,483 @@
+//! SPARQL tokenizer.
+
+use crate::error::SparqlError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or bare name, lowercased (`select`, `where`, `a`, ...).
+    Word(String),
+    /// `?name` or `$name` (sigil stripped).
+    Var(String),
+    /// `<...>`
+    Iri(String),
+    /// `prefix:local` (possibly empty prefix).
+    PName { prefix: String, local: String },
+    /// `_:label`
+    BlankNode(String),
+    /// String literal body (unescaped), with optional `@lang` / `^^` suffix
+    /// handled by the parser via following tokens.
+    Str(String),
+    /// `@lang` tag (language string without `@`).
+    LangTag(String),
+    Integer(i64),
+    Decimal(f64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Dot,
+    Semicolon,
+    Comma,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    AndAnd,
+    OrOr,
+    Bang,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// `^^` datatype marker.
+    HatHat,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SparqlError> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let err = |m: &str, at: usize| SparqlError { message: m.to_string(), offset: at };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => {
+                out.push(Spanned { token: Token::LBrace, offset: i });
+                i += 1;
+            }
+            b'}' => {
+                out.push(Spanned { token: Token::RBrace, offset: i });
+                i += 1;
+            }
+            b'(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Spanned { token: Token::Dot, offset: i });
+                i += 1;
+            }
+            b';' => {
+                out.push(Spanned { token: Token::Semicolon, offset: i });
+                i += 1;
+            }
+            b',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Spanned { token: Token::Eq, offset: i });
+                i += 1;
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::NotEq, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Bang, offset: i });
+                    i += 1;
+                }
+            }
+            b'<' => {
+                // IRI or comparison: IRIREF has no spaces and a closing '>'.
+                if let Some(end) = scan_iri(b, i) {
+                    let iri = std::str::from_utf8(&b[i + 1..end])
+                        .map_err(|_| err("invalid UTF-8 in IRI", i))?;
+                    out.push(Spanned { token: Token::Iri(iri.to_string()), offset: i });
+                    i = end + 1;
+                } else if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::LtEq, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::GtEq, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push(Spanned { token: Token::AndAnd, offset: i });
+                    i += 2;
+                } else {
+                    return Err(err("expected &&", i));
+                }
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push(Spanned { token: Token::OrOr, offset: i });
+                    i += 2;
+                } else {
+                    return Err(err("expected ||", i));
+                }
+            }
+            b'+' => {
+                out.push(Spanned { token: Token::Plus, offset: i });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Spanned { token: Token::Minus, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Spanned { token: Token::Slash, offset: i });
+                i += 1;
+            }
+            b'^' => {
+                if b.get(i + 1) == Some(&b'^') {
+                    out.push(Spanned { token: Token::HatHat, offset: i });
+                    i += 2;
+                } else {
+                    return Err(err("expected ^^", i));
+                }
+            }
+            b'?' | b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err("empty variable name", i));
+                }
+                let name = std::str::from_utf8(&b[start..j]).unwrap().to_string();
+                out.push(Spanned { token: Token::Var(name), offset: i });
+                i = j;
+            }
+            b'@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'-') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err("empty language tag", i));
+                }
+                let tag = std::str::from_utf8(&b[start..j]).unwrap().to_string();
+                out.push(Spanned { token: Token::LangTag(tag), offset: i });
+                i = j;
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(err("unterminated string literal", start));
+                    }
+                    if b[i] == quote {
+                        i += 1;
+                        break;
+                    }
+                    if b[i] == b'\\' {
+                        i += 1;
+                        if i >= b.len() {
+                            return Err(err("dangling escape", start));
+                        }
+                        match b[i] {
+                            b'n' => s.push('\n'),
+                            b'r' => s.push('\r'),
+                            b't' => s.push('\t'),
+                            b'\\' => s.push('\\'),
+                            b'"' => s.push('"'),
+                            b'\'' => s.push('\''),
+                            b'u' => {
+                                let hex = std::str::from_utf8(&b[i + 1..i + 5])
+                                    .map_err(|_| err("bad \\u escape", i))?;
+                                let cp = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| err("bad \\u escape", i))?;
+                                s.push(
+                                    char::from_u32(cp).ok_or_else(|| err("bad codepoint", i))?,
+                                );
+                                i += 4;
+                            }
+                            other => {
+                                return Err(err(
+                                    &format!("unknown escape \\{}", other as char),
+                                    i,
+                                ))
+                            }
+                        }
+                        i += 1;
+                    } else {
+                        let len = utf8_len(b[i]);
+                        s.push_str(
+                            std::str::from_utf8(&b[i..i + len])
+                                .map_err(|_| err("invalid UTF-8", i))?,
+                        );
+                        i += len;
+                    }
+                }
+                out.push(Spanned { token: Token::Str(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = std::str::from_utf8(&b[start..i]).unwrap();
+                    out.push(Spanned {
+                        token: Token::Decimal(
+                            text.parse().map_err(|_| err("bad decimal", start))?,
+                        ),
+                        offset: start,
+                    });
+                } else {
+                    let text = std::str::from_utf8(&b[start..i]).unwrap();
+                    out.push(Spanned {
+                        token: Token::Integer(
+                            text.parse().map_err(|_| err("integer out of range", start))?,
+                        ),
+                        offset: start,
+                    });
+                }
+            }
+            b'_' if b.get(i + 1) == Some(&b':') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err("empty blank node label", i));
+                }
+                out.push(Spanned {
+                    token: Token::BlankNode(
+                        std::str::from_utf8(&b[start..j]).unwrap().to_string(),
+                    ),
+                    offset: i,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                // word, or prefixed name `prefix:local`
+                let start = i;
+                let mut j = i;
+                while j < b.len()
+                    && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'-')
+                {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b':' {
+                    let prefix = std::str::from_utf8(&b[start..j]).unwrap().to_string();
+                    let lstart = j + 1;
+                    let mut k = lstart;
+                    while k < b.len()
+                        && (b[k].is_ascii_alphanumeric()
+                            || b[k] == b'_'
+                            || b[k] == b'-'
+                            || b[k] == b'.')
+                    {
+                        k += 1;
+                    }
+                    // trailing dot belongs to the triple terminator
+                    let mut end = k;
+                    while end > lstart && b[end - 1] == b'.' {
+                        end -= 1;
+                    }
+                    let local = std::str::from_utf8(&b[lstart..end]).unwrap().to_string();
+                    out.push(Spanned { token: Token::PName { prefix, local }, offset: start });
+                    i = end;
+                } else {
+                    let word =
+                        std::str::from_utf8(&b[start..j]).unwrap().to_ascii_lowercase();
+                    out.push(Spanned { token: Token::Word(word), offset: start });
+                    i = j;
+                }
+            }
+            b':' => {
+                // prefixed name with empty prefix
+                let lstart = i + 1;
+                let mut k = lstart;
+                while k < b.len()
+                    && (b[k].is_ascii_alphanumeric() || b[k] == b'_' || b[k] == b'-')
+                {
+                    k += 1;
+                }
+                let local = std::str::from_utf8(&b[lstart..k]).unwrap().to_string();
+                out.push(Spanned {
+                    token: Token::PName { prefix: String::new(), local },
+                    offset: i,
+                });
+                i = k;
+            }
+            _ => return Err(err(&format!("unexpected character {:?}", c as char), i)),
+        }
+    }
+    out.push(Spanned { token: Token::Eof, offset: input.len() });
+    Ok(out)
+}
+
+/// Try to scan an IRIREF starting at `<`; returns the index of `>`.
+fn scan_iri(b: &[u8], start: usize) -> Option<usize> {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'>' => return Some(i),
+            b' ' | b'\t' | b'\r' | b'\n' | b'<' | b'"' | b'{' | b'}' | b'|' | b'^' | b'`' => {
+                return None
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn variables_and_iris() {
+        assert_eq!(
+            toks("SELECT ?x WHERE { ?x <http://p> $y }"),
+            vec![
+                Token::Word("select".into()),
+                Token::Var("x".into()),
+                Token::Word("where".into()),
+                Token::LBrace,
+                Token::Var("x".into()),
+                Token::Iri("http://p".into()),
+                Token::Var("y".into()),
+                Token::RBrace,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        assert_eq!(
+            toks("?x < 5 && ?y <= <http://a>"),
+            vec![
+                Token::Var("x".into()),
+                Token::Lt,
+                Token::Integer(5),
+                Token::AndAnd,
+                Token::Var("y".into()),
+                Token::LtEq,
+                Token::Iri("http://a".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_names() {
+        assert_eq!(
+            toks("foaf:name rdf:type ."),
+            vec![
+                Token::PName { prefix: "foaf".into(), local: "name".into() },
+                Token::PName { prefix: "rdf".into(), local: "type".into() },
+                Token::Dot,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn pname_trailing_dot_is_terminator() {
+        assert_eq!(
+            toks("?s ub:memberOf ub:Dept0."),
+            vec![
+                Token::Var("s".into()),
+                Token::PName { prefix: "ub".into(), local: "memberOf".into() },
+                Token::PName { prefix: "ub".into(), local: "Dept0".into() },
+                Token::Dot,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn literals_with_lang_and_datatype() {
+        assert_eq!(
+            toks("\"hi\"@en '5'^^xsd:int"),
+            vec![
+                Token::Str("hi".into()),
+                Token::LangTag("en".into()),
+                Token::Str("5".into()),
+                Token::HatHat,
+                Token::PName { prefix: "xsd".into(), local: "int".into() },
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_numbers() {
+        assert_eq!(
+            toks("# comment\n42 3.5"),
+            vec![Token::Integer(42), Token::Decimal(3.5), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn blank_nodes() {
+        assert_eq!(toks("_:b1"), vec![Token::BlankNode("b1".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\"b\nc""#), vec![Token::Str("a\"b\nc".into()), Token::Eof]);
+    }
+}

@@ -1,0 +1,25 @@
+//! SPARQL 1.0 front end for the DB2RDF reproduction.
+//!
+//! Parses the SPARQL subset used by the paper's workloads into the pattern
+//! tree of §3.1 (AND/OR/OPTIONAL nodes with triple-pattern leaves, group-
+//! scoped FILTERs). Triple patterns are tagged with stable ids (`t1`, `t2`,
+//! ...) in parse order, matching the paper's notation.
+//!
+//! ```
+//! use sparql::parse_sparql;
+//!
+//! let q = parse_sparql("SELECT ?x WHERE { ?x <http://home> 'Palo Alto' }").unwrap();
+//! assert_eq!(q.projected_variables(), vec!["x"]);
+//! ```
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+
+pub use ast::{
+    ArithOp, CompareOp, Expression, GroupPattern, OrderCondition, Pattern, Query, QueryForm,
+    SelectVars, TermPattern, TriplePattern,
+};
+pub use error::SparqlError;
+pub use parser::parse_sparql;

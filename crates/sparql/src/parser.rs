@@ -1,0 +1,645 @@
+//! Recursive-descent SPARQL 1.0 parser for the subset used throughout the
+//! paper's workloads: SELECT / ASK, basic graph patterns with `;`/`,`
+//! abbreviations, GROUP / UNION / OPTIONAL nesting, FILTER expressions,
+//! DISTINCT / REDUCED, ORDER BY, LIMIT and OFFSET.
+
+use std::collections::HashMap;
+
+use rdf::Term;
+
+use crate::ast::*;
+use crate::error::SparqlError;
+use crate::lexer::{tokenize, Spanned, Token};
+
+pub fn parse_sparql(input: &str) -> Result<Query, SparqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+        next_triple_id: 1,
+    };
+    p.query()
+}
+
+const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    next_triple_id: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, SparqlError> {
+        Err(SparqlError { message: msg.into(), offset: self.tokens[self.pos].offset })
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), SparqlError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if matches!(self.peek(), Token::Word(x) if x == w) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_word(&self, w: &str) -> bool {
+        matches!(self.peek(), Token::Word(x) if x == w)
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<(), SparqlError> {
+        if self.eat_word(w) {
+            Ok(())
+        } else {
+            self.err(format!("expected {}", w.to_uppercase()))
+        }
+    }
+
+    fn fresh_triple_id(&mut self) -> usize {
+        let id = self.next_triple_id;
+        self.next_triple_id += 1;
+        id
+    }
+
+    // ---- top level ----
+
+    fn query(&mut self) -> Result<Query, SparqlError> {
+        // Prologue
+        loop {
+            if self.eat_word("prefix") {
+                let (prefix, _local) = match self.advance() {
+                    Token::PName { prefix, local } => (prefix, local),
+                    other => return self.err(format!("expected prefix name, found {other:?}")),
+                };
+                let iri = match self.advance() {
+                    Token::Iri(i) => i,
+                    other => return self.err(format!("expected IRI, found {other:?}")),
+                };
+                self.prefixes.insert(prefix, iri);
+            } else if self.eat_word("base") {
+                match self.advance() {
+                    Token::Iri(_) => {} // BASE accepted and ignored (all our IRIs are absolute)
+                    other => return self.err(format!("expected IRI after BASE, found {other:?}")),
+                }
+            } else {
+                break;
+            }
+        }
+
+        let form = if self.eat_word("select") {
+            let distinct = self.eat_word("distinct") || self.eat_word("reduced");
+            let vars = if self.eat(&Token::Star) {
+                SelectVars::All
+            } else {
+                let mut vars = Vec::new();
+                while let Token::Var(v) = self.peek().clone() {
+                    self.advance();
+                    vars.push(v);
+                }
+                if vars.is_empty() {
+                    return self.err("SELECT requires * or at least one variable");
+                }
+                SelectVars::Vars(vars)
+            };
+            QueryForm::Select { vars, distinct }
+        } else if self.eat_word("ask") {
+            QueryForm::Ask
+        } else {
+            return self.err("expected SELECT or ASK");
+        };
+
+        let _ = self.eat_word("where");
+        let pattern = self.group_graph_pattern()?;
+
+        let mut order_by = Vec::new();
+        if self.eat_word("order") {
+            self.expect_word("by")?;
+            loop {
+                if self.eat_word("asc") {
+                    self.expect(&Token::LParen)?;
+                    let e = self.expression()?;
+                    self.expect(&Token::RParen)?;
+                    order_by.push(OrderCondition { expr: e, ascending: true });
+                } else if self.eat_word("desc") {
+                    self.expect(&Token::LParen)?;
+                    let e = self.expression()?;
+                    self.expect(&Token::RParen)?;
+                    order_by.push(OrderCondition { expr: e, ascending: false });
+                } else if let Token::Var(v) = self.peek().clone() {
+                    self.advance();
+                    order_by.push(OrderCondition { expr: Expression::Var(v), ascending: true });
+                } else {
+                    break;
+                }
+            }
+            if order_by.is_empty() {
+                return self.err("ORDER BY requires at least one condition");
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.eat_word("limit") {
+                match self.advance() {
+                    Token::Integer(n) if n >= 0 => limit = Some(n as u64),
+                    _ => return self.err("expected non-negative integer after LIMIT"),
+                }
+            } else if self.eat_word("offset") {
+                match self.advance() {
+                    Token::Integer(n) if n >= 0 => offset = Some(n as u64),
+                    _ => return self.err("expected non-negative integer after OFFSET"),
+                }
+            } else {
+                break;
+            }
+        }
+        if !matches!(self.peek(), Token::Eof) {
+            return self.err(format!("unexpected trailing input: {:?}", self.peek()));
+        }
+        Ok(Query { form, pattern, order_by, limit, offset })
+    }
+
+    // ---- patterns ----
+
+    fn group_graph_pattern(&mut self) -> Result<GroupPattern, SparqlError> {
+        self.expect(&Token::LBrace)?;
+        let mut group = GroupPattern::default();
+        loop {
+            match self.peek().clone() {
+                Token::RBrace => {
+                    self.advance();
+                    break;
+                }
+                Token::Word(w) if w == "filter" => {
+                    self.advance();
+                    group.filters.push(self.constraint()?);
+                    let _ = self.eat(&Token::Dot);
+                }
+                Token::Word(w) if w == "optional" => {
+                    self.advance();
+                    let inner = self.group_graph_pattern()?;
+                    group.children.push(Pattern::Optional(Box::new(Pattern::Group(inner))));
+                    let _ = self.eat(&Token::Dot);
+                }
+                Token::LBrace => {
+                    // group, possibly UNION chain
+                    let mut alternatives = vec![Pattern::Group(self.group_graph_pattern()?)];
+                    while self.eat_word("union") {
+                        alternatives.push(Pattern::Group(self.group_graph_pattern()?));
+                    }
+                    if alternatives.len() == 1 {
+                        group.children.push(alternatives.pop().unwrap());
+                    } else {
+                        group.children.push(Pattern::Union(alternatives));
+                    }
+                    let _ = self.eat(&Token::Dot);
+                }
+                _ => {
+                    // triples block
+                    let triples = self.triples_same_subject()?;
+                    group.children.extend(triples.into_iter().map(Pattern::Triple));
+                    if !self.eat(&Token::Dot) {
+                        // '.' is optional before '}' and before non-triple items
+                        match self.peek() {
+                            Token::RBrace | Token::LBrace => {}
+                            Token::Word(w) if w == "filter" || w == "optional" => {}
+                            _ => return self.err("expected '.', '}' or pattern keyword"),
+                        }
+                    }
+                }
+            }
+        }
+        Ok(group)
+    }
+
+    fn triples_same_subject(&mut self) -> Result<Vec<TriplePattern>, SparqlError> {
+        let subject = self.var_or_term()?;
+        let mut out = Vec::new();
+        loop {
+            let predicate = self.verb()?;
+            loop {
+                let object = self.var_or_term()?;
+                out.push(TriplePattern {
+                    id: self.fresh_triple_id(),
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object,
+                });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            if self.eat(&Token::Semicolon) {
+                // allow trailing semicolon before '.' or '}'
+                if matches!(self.peek(), Token::Dot | Token::RBrace) {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        Ok(out)
+    }
+
+    fn verb(&mut self) -> Result<TermPattern, SparqlError> {
+        if self.peek_word("a") {
+            self.advance();
+            return Ok(TermPattern::Term(Term::iri(RDF_TYPE)));
+        }
+        self.var_or_term()
+    }
+
+    fn var_or_term(&mut self) -> Result<TermPattern, SparqlError> {
+        match self.advance() {
+            Token::Var(v) => Ok(TermPattern::Var(v)),
+            Token::Iri(i) => Ok(TermPattern::Term(Term::iri(i))),
+            Token::PName { prefix, local } => {
+                Ok(TermPattern::Term(Term::iri(self.expand(&prefix, &local)?)))
+            }
+            // Blank nodes in query position act as non-projectable variables.
+            Token::BlankNode(label) => Ok(TermPattern::Var(format!("_:b_{label}"))),
+            Token::Str(s) => {
+                if let Token::LangTag(tag) = self.peek().clone() {
+                    self.advance();
+                    Ok(TermPattern::Term(Term::lang_lit(s, tag)))
+                } else if self.eat(&Token::HatHat) {
+                    let dt = match self.advance() {
+                        Token::Iri(i) => i,
+                        Token::PName { prefix, local } => self.expand(&prefix, &local)?,
+                        other => {
+                            return self.err(format!("expected datatype IRI, found {other:?}"))
+                        }
+                    };
+                    Ok(TermPattern::Term(Term::typed_lit(s, dt)))
+                } else {
+                    Ok(TermPattern::Term(Term::lit(s)))
+                }
+            }
+            Token::Integer(n) => Ok(TermPattern::Term(Term::typed_lit(n.to_string(), XSD_INTEGER))),
+            Token::Decimal(d) => Ok(TermPattern::Term(Term::typed_lit(d.to_string(), XSD_DECIMAL))),
+            other => self.err(format!("expected variable or RDF term, found {other:?}")),
+        }
+    }
+
+    fn expand(&self, prefix: &str, local: &str) -> Result<String, SparqlError> {
+        match self.prefixes.get(prefix) {
+            Some(base) => Ok(format!("{base}{local}")),
+            None => Err(SparqlError {
+                message: format!("undeclared prefix {prefix:?}"),
+                offset: self.tokens[self.pos].offset,
+            }),
+        }
+    }
+
+    // ---- expressions ----
+
+    fn constraint(&mut self) -> Result<Expression, SparqlError> {
+        if matches!(self.peek(), Token::LParen) {
+            self.advance();
+            let e = self.expression()?;
+            self.expect(&Token::RParen)?;
+            Ok(e)
+        } else {
+            self.builtin_call()
+        }
+    }
+
+    fn expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.and_expression()?;
+        while self.eat(&Token::OrOr) {
+            let right = self.and_expression()?;
+            left = Expression::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.relational()?;
+        while self.eat(&Token::AndAnd) {
+            let right = self.relational()?;
+            left = Expression::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn relational(&mut self) -> Result<Expression, SparqlError> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Token::Eq => CompareOp::Eq,
+            Token::NotEq => CompareOp::NotEq,
+            Token::Lt => CompareOp::Lt,
+            Token::LtEq => CompareOp::LtEq,
+            Token::Gt => CompareOp::Gt,
+            Token::GtEq => CompareOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.additive()?;
+        Ok(Expression::Compare { op, left: Box::new(left), right: Box::new(right) })
+    }
+
+    fn additive(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => ArithOp::Add,
+                Token::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expression::Arith { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => ArithOp::Mul,
+                Token::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expression::Arith { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expression, SparqlError> {
+        if self.eat(&Token::Bang) {
+            Ok(Expression::Not(Box::new(self.unary()?)))
+        } else if self.eat(&Token::Minus) {
+            Ok(Expression::Neg(Box::new(self.unary()?)))
+        } else if self.eat(&Token::Plus) {
+            self.unary()
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expression, SparqlError> {
+        match self.peek().clone() {
+            Token::LParen => {
+                self.advance();
+                let e = self.expression()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Var(v) => {
+                self.advance();
+                Ok(Expression::Var(v))
+            }
+            Token::Word(_) => self.builtin_call(),
+            _ => {
+                let tp = self.var_or_term()?;
+                match tp {
+                    TermPattern::Var(v) => Ok(Expression::Var(v)),
+                    TermPattern::Term(t) => Ok(Expression::Term(t)),
+                }
+            }
+        }
+    }
+
+    fn builtin_call(&mut self) -> Result<Expression, SparqlError> {
+        let name = match self.advance() {
+            Token::Word(w) => w,
+            other => return self.err(format!("expected builtin call, found {other:?}")),
+        };
+        self.expect(&Token::LParen)?;
+        let expr = match name.as_str() {
+            "bound" => {
+                let v = match self.advance() {
+                    Token::Var(v) => v,
+                    other => return self.err(format!("BOUND expects a variable, found {other:?}")),
+                };
+                Expression::Bound(v)
+            }
+            "regex" => {
+                let e = self.expression()?;
+                self.expect(&Token::Comma)?;
+                let pattern = match self.advance() {
+                    Token::Str(s) => s,
+                    other => {
+                        return self.err(format!("REGEX expects a string pattern, found {other:?}"))
+                    }
+                };
+                let mut ci = false;
+                if self.eat(&Token::Comma) {
+                    match self.advance() {
+                        Token::Str(flags) => ci = flags.contains('i'),
+                        other => {
+                            return self.err(format!("REGEX expects string flags, found {other:?}"))
+                        }
+                    }
+                }
+                Expression::Regex { expr: Box::new(e), pattern, case_insensitive: ci }
+            }
+            "str" => Expression::Str(Box::new(self.expression()?)),
+            "lang" => Expression::Lang(Box::new(self.expression()?)),
+            "datatype" => Expression::Datatype(Box::new(self.expression()?)),
+            "isiri" | "isuri" => Expression::IsIri(Box::new(self.expression()?)),
+            "isliteral" => Expression::IsLiteral(Box::new(self.expression()?)),
+            "isblank" => Expression::IsBlank(Box::new(self.expression()?)),
+            other => return self.err(format!("unsupported builtin {other:?}")),
+        };
+        self.expect(&Token::RParen)?;
+        Ok(expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(q: &str) -> Query {
+        parse_sparql(q).unwrap()
+    }
+
+    #[test]
+    fn simple_bgp() {
+        let q = parse("SELECT ?s WHERE { ?s <http://p> 'v' . ?s <http://q> ?o }");
+        assert_eq!(q.projected_variables(), vec!["s"]);
+        assert_eq!(q.triple_count(), 2);
+        let pat = Pattern::Group(q.pattern.clone());
+        let triples = pat.triples();
+        assert_eq!(triples[0].id, 1);
+        assert_eq!(triples[1].id, 2);
+        assert_eq!(triples[0].object, TermPattern::Term(Term::lit("v")));
+    }
+
+    #[test]
+    fn prefixes_and_a() {
+        let q = parse(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+             SELECT * WHERE { ?x a foaf:Person ; foaf:name ?n }",
+        );
+        let pat = Pattern::Group(q.pattern.clone());
+        let triples = pat.triples();
+        assert_eq!(
+            triples[0].predicate,
+            TermPattern::Term(Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"))
+        );
+        assert_eq!(
+            triples[0].object,
+            TermPattern::Term(Term::iri("http://xmlns.com/foaf/0.1/Person"))
+        );
+        assert_eq!(
+            triples[1].predicate,
+            TermPattern::Term(Term::iri("http://xmlns.com/foaf/0.1/name"))
+        );
+        // same subject via ';'
+        assert_eq!(triples[0].subject, triples[1].subject);
+    }
+
+    #[test]
+    fn object_lists() {
+        let q = parse("SELECT * WHERE { ?x <http://p> ?a, ?b, ?c }");
+        assert_eq!(q.triple_count(), 3);
+    }
+
+    #[test]
+    fn union_and_optional_structure() {
+        let q = parse(
+            "SELECT ?x WHERE {
+               ?x <http://home> 'Palo Alto' .
+               { ?x <http://founder> ?y } UNION { ?x <http://member> ?y }
+               OPTIONAL { ?y <http://employees> ?m }
+             }",
+        );
+        assert_eq!(q.pattern.children.len(), 3);
+        assert!(matches!(q.pattern.children[0], Pattern::Triple(_)));
+        assert!(matches!(&q.pattern.children[1], Pattern::Union(alts) if alts.len() == 2));
+        assert!(matches!(q.pattern.children[2], Pattern::Optional(_)));
+    }
+
+    #[test]
+    fn nested_groups() {
+        let q = parse(
+            "SELECT * WHERE { { ?a <http://p> ?b . { ?b <http://q> ?c } } }",
+        );
+        assert_eq!(q.triple_count(), 2);
+    }
+
+    #[test]
+    fn filters_attach_to_group() {
+        let q = parse(
+            "SELECT ?x WHERE { ?x <http://age> ?a . FILTER (?a > 30 && ?a != 99) }",
+        );
+        assert_eq!(q.pattern.filters.len(), 1);
+        match &q.pattern.filters[0] {
+            Expression::And(l, _) => {
+                assert!(matches!(**l, Expression::Compare { op: CompareOp::Gt, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtin_filters() {
+        let q = parse(
+            "SELECT ?x WHERE { ?x <http://name> ?n .
+             FILTER regex(?n, 'smith', 'i') FILTER (bound(?n) && isLiteral(?n)) }",
+        );
+        assert_eq!(q.pattern.filters.len(), 2);
+        assert!(matches!(
+            &q.pattern.filters[0],
+            Expression::Regex { case_insensitive: true, .. }
+        ));
+    }
+
+    #[test]
+    fn solution_modifiers() {
+        let q = parse(
+            "SELECT DISTINCT ?x WHERE { ?x <http://p> ?y } ORDER BY DESC(?y) ?x LIMIT 5 OFFSET 10",
+        );
+        assert!(q.is_distinct());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].ascending);
+        assert!(q.order_by[1].ascending);
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.offset, Some(10));
+    }
+
+    #[test]
+    fn ask_query() {
+        let q = parse("ASK { ?x <http://p> 'v' }");
+        assert_eq!(q.form, QueryForm::Ask);
+    }
+
+    #[test]
+    fn numeric_literals_become_typed_terms() {
+        let q = parse("SELECT * WHERE { ?x <http://age> 42 }");
+        let pat = Pattern::Group(q.pattern.clone());
+        let triples = pat.triples();
+        assert_eq!(
+            triples[0].object,
+            TermPattern::Term(Term::typed_lit("42", "http://www.w3.org/2001/XMLSchema#integer"))
+        );
+    }
+
+    #[test]
+    fn blank_node_as_variable() {
+        let q = parse("SELECT ?x WHERE { ?x <http://p> _:v }");
+        let pat = Pattern::Group(q.pattern.clone());
+        let triples = pat.triples();
+        assert_eq!(triples[0].object, TermPattern::Var("_:b_v".into()));
+    }
+
+    #[test]
+    fn undeclared_prefix_is_error() {
+        assert!(parse_sparql("SELECT * WHERE { ?x foaf:name ?n }").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        assert!(parse_sparql("SELECT ?x WHERE { ?x <http://p> ?y } garbage").is_err());
+    }
+
+    #[test]
+    fn select_star_projects_all_variables() {
+        let q = parse("SELECT * WHERE { ?b <http://p> ?a }");
+        assert_eq!(q.projected_variables(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn trailing_semicolon_allowed() {
+        let q = parse("SELECT * WHERE { ?x <http://p> ?y ; }");
+        assert_eq!(q.triple_count(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Facade crate for the DB2RDF reproduction workspace.
+//!
+//! Re-exports the member crates; see `crates/core` (`db2rdf`) for the store
+//! API, `crates/datagen` for the benchmark datasets, and `crates/bench` for
+//! the experiment harness. The `examples/` directory of this package holds
+//! the runnable end-to-end examples; `tests/` holds cross-crate integration
+//! and property tests.
+
+pub use datagen;
+pub use db2rdf;
+pub use rdf;
+pub use relstore;
+pub use sparql;
