@@ -1,112 +1,136 @@
 //! Criterion micro-benchmarks: star-query latency per layout (Fig. 3 in
 //! statistical form), optimizer planning cost, bulk-load throughput, and
-//! relational-engine primitives. Run with `cargo bench`.
+//! relational-engine primitives.
+//!
+//! The suite is gated behind the non-default `criterion` feature because the
+//! `criterion` crate cannot be fetched in the offline build environment. To
+//! run it: re-add `criterion = "0.5"` under `[dev-dependencies]` in
+//! `crates/bench/Cargo.toml`, then `cargo bench --features criterion`.
+//! For offline thread-scaling numbers use the dependency-free
+//! `exec_scaling` binary instead (`cargo run --release --bin exec_scaling`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use db2rdf::{naive, Layout, RdfStore, StoreConfig};
-use relstore::{Database, Value};
-use sparql::parse_sparql;
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!(
+        "criterion suite disabled (offline build). Re-add the criterion \
+         dev-dependency and run with --features criterion, or use the \
+         exec_scaling binary for an offline bench."
+    );
+}
 
-fn star_queries(c: &mut Criterion) {
-    let triples = datagen::micro::generate(8_000, 42);
-    let queries = datagen::micro::queries();
-    let mut group = c.benchmark_group("fig3_star_queries");
-    for layout in [Layout::Entity, Layout::TripleStore, Layout::Vertical] {
-        let mut store = RdfStore::new(StoreConfig::with_layout(layout));
-        store.load(&triples).unwrap();
-        for q in [&queries[0], &queries[5], &queries[9]] {
-            group.bench_function(format!("{:?}/{}", layout, q.name), |b| {
-                b.iter(|| store.query(&q.sparql).unwrap().len())
-            });
+#[cfg(feature = "criterion")]
+fn main() {
+    suite::benches();
+}
+
+#[cfg(feature = "criterion")]
+mod suite {
+    use criterion::{criterion_group, BatchSize, Criterion};
+    use db2rdf::{naive, Layout, RdfStore, StoreConfig};
+    use relstore::{Database, Value};
+    use sparql::parse_sparql;
+
+    fn star_queries(c: &mut Criterion) {
+        let triples = datagen::micro::generate(8_000, 42);
+        let queries = datagen::micro::queries();
+        let mut group = c.benchmark_group("fig3_star_queries");
+        for layout in [Layout::Entity, Layout::TripleStore, Layout::Vertical] {
+            let mut store = RdfStore::new(StoreConfig::with_layout(layout));
+            store.load(&triples).unwrap();
+            for q in [&queries[0], &queries[5], &queries[9]] {
+                group.bench_function(format!("{:?}/{}", layout, q.name), |b| {
+                    b.iter(|| store.query(&q.sparql).unwrap().len())
+                });
+            }
         }
+        group.finish();
     }
-    group.finish();
-}
 
-fn optimizer_planning(c: &mut Criterion) {
-    // Translation cost only (parse → flow → plan → SQL), on the 100-branch
-    // UNION — the paper notes exhaustive search is hopeless here.
-    let triples = datagen::prbench::generate(300, 42);
-    let mut store = RdfStore::entity();
-    store.load(&triples).unwrap();
-    let pq26 = datagen::prbench::queries().into_iter().find(|q| q.name == "PQ26").unwrap();
-    c.bench_function("plan_pq26_100_branch_union", |b| {
-        b.iter(|| store.translate(&pq26.sparql).unwrap().len())
-    });
-    let fig6 = "SELECT * WHERE { ?x <e:a> 'v' . { ?x <e:b> ?y } UNION { ?x <e:c> ?y } \
-                OPTIONAL { ?y <e:d> ?m } }";
-    c.bench_function("plan_running_example", |b| {
-        b.iter(|| store.translate(fig6).unwrap().len())
-    });
-}
-
-fn bulk_load(c: &mut Criterion) {
-    let triples = datagen::lubm::generate(1, 42);
-    let mut group = c.benchmark_group("bulk_load_lubm1");
-    group.sample_size(10);
-    for layout in [Layout::Entity, Layout::TripleStore, Layout::Vertical] {
-        group.bench_function(format!("{layout:?}"), |b| {
-            b.iter_batched(
-                || triples.clone(),
-                |t| {
-                    let mut store = RdfStore::new(StoreConfig::with_layout(layout));
-                    store.load(&t).unwrap();
-                    store.load_report().triples
-                },
-                BatchSize::LargeInput,
-            )
+    fn optimizer_planning(c: &mut Criterion) {
+        // Translation cost only (parse → flow → plan → SQL), on the 100-branch
+        // UNION — the paper notes exhaustive search is hopeless here.
+        let triples = datagen::prbench::generate(300, 42);
+        let mut store = RdfStore::entity();
+        store.load(&triples).unwrap();
+        let pq26 =
+            datagen::prbench::queries().into_iter().find(|q| q.name == "PQ26").unwrap();
+        c.bench_function("plan_pq26_100_branch_union", |b| {
+            b.iter(|| store.translate(&pq26.sparql).unwrap().len())
+        });
+        let fig6 = "SELECT * WHERE { ?x <e:a> 'v' . { ?x <e:b> ?y } UNION { ?x <e:c> ?y } \
+                    OPTIONAL { ?y <e:d> ?m } }";
+        c.bench_function("plan_running_example", |b| {
+            b.iter(|| store.translate(fig6).unwrap().len())
         });
     }
-    group.finish();
-}
 
-fn engine_primitives(c: &mut Criterion) {
-    let mut db = Database::new();
-    db.execute("CREATE TABLE t (k TEXT, v INT)").unwrap();
-    let rows: Vec<Vec<Value>> = (0..50_000)
-        .map(|i| vec![Value::str(format!("key{}", i % 10_000)), Value::Int(i)])
-        .collect();
-    db.insert_rows("t", rows).unwrap();
-    db.execute("CREATE INDEX ON t(k)").unwrap();
-    c.bench_function("engine/index_probe", |b| {
-        b.iter(|| db.query("SELECT v FROM t WHERE k = 'key77'").unwrap().rows.len())
-    });
-    c.bench_function("engine/hash_join_selfjoin", |b| {
-        b.iter(|| {
-            db.query(
-                "SELECT COUNT(*) AS n FROM (SELECT k FROM t WHERE v < 1000) AS a \
-                 JOIN (SELECT k FROM t WHERE v < 1000) AS b ON a.k = b.k",
-            )
-            .unwrap()
-            .rows
-            .len()
-        })
-    });
-}
+    fn bulk_load(c: &mut Criterion) {
+        let triples = datagen::lubm::generate(1, 42);
+        let mut group = c.benchmark_group("bulk_load_lubm1");
+        group.sample_size(10);
+        for layout in [Layout::Entity, Layout::TripleStore, Layout::Vertical] {
+            group.bench_function(format!("{layout:?}"), |b| {
+                b.iter_batched(
+                    || triples.clone(),
+                    |t| {
+                        let mut store = RdfStore::new(StoreConfig::with_layout(layout));
+                        store.load(&t).unwrap();
+                        store.load_report().triples
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        group.finish();
+    }
 
-fn naive_reference(c: &mut Criterion) {
-    // Useful to show how far the relational pipeline is from brute force.
-    let triples = datagen::lubm::generate(1, 42);
-    let q = parse_sparql(&datagen::lubm::queries()[0].sparql).unwrap();
-    let mut store = RdfStore::entity();
-    store.load(&triples).unwrap();
-    let mut group = c.benchmark_group("lq1_store_vs_naive");
-    group.bench_function("entity_store", |b| {
-        b.iter(|| store.query(&datagen::lubm::queries()[0].sparql).unwrap().len())
-    });
-    group.sample_size(10);
-    group.bench_function("naive_reference", |b| {
-        b.iter(|| naive::evaluate(&triples, &q).len())
-    });
-    group.finish();
-}
+    fn engine_primitives(c: &mut Criterion) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (k TEXT, v INT)").unwrap();
+        let rows: Vec<Vec<Value>> = (0..50_000)
+            .map(|i| vec![Value::str(format!("key{}", i % 10_000)), Value::Int(i)])
+            .collect();
+        db.insert_rows("t", rows).unwrap();
+        db.execute("CREATE INDEX ON t(k)").unwrap();
+        c.bench_function("engine/index_probe", |b| {
+            b.iter(|| db.query("SELECT v FROM t WHERE k = 'key77'").unwrap().rows.len())
+        });
+        c.bench_function("engine/hash_join_selfjoin", |b| {
+            b.iter(|| {
+                db.query(
+                    "SELECT COUNT(*) AS n FROM (SELECT k FROM t WHERE v < 1000) AS a \
+                     JOIN (SELECT k FROM t WHERE v < 1000) AS b ON a.k = b.k",
+                )
+                .unwrap()
+                .rows
+                .len()
+            })
+        });
+    }
 
-criterion_group!(
-    benches,
-    star_queries,
-    optimizer_planning,
-    bulk_load,
-    engine_primitives,
-    naive_reference
-);
-criterion_main!(benches);
+    fn naive_reference(c: &mut Criterion) {
+        // Useful to show how far the relational pipeline is from brute force.
+        let triples = datagen::lubm::generate(1, 42);
+        let q = parse_sparql(&datagen::lubm::queries()[0].sparql).unwrap();
+        let mut store = RdfStore::entity();
+        store.load(&triples).unwrap();
+        let mut group = c.benchmark_group("lq1_store_vs_naive");
+        group.bench_function("entity_store", |b| {
+            b.iter(|| store.query(&datagen::lubm::queries()[0].sparql).unwrap().len())
+        });
+        group.sample_size(10);
+        group.bench_function("naive_reference", |b| {
+            b.iter(|| naive::evaluate(&triples, &q).len())
+        });
+        group.finish();
+    }
+
+    criterion_group!(
+        benches,
+        star_queries,
+        optimizer_planning,
+        bulk_load,
+        engine_primitives,
+        naive_reference
+    );
+}

@@ -1,0 +1,175 @@
+//! Thread-scaling benchmark for the morsel-parallel executor.
+//!
+//! Loads ≥100k LUBM-style triples into a single `spo(s,p,o)` relation (the
+//! triple-store layout, scan- and hash-join-heavy by construction: no
+//! indexes, so every FROM item is a full parallel scan and every join is a
+//! build-once/probe-parallel hash join), then times a multi-join query
+//! suite at 1/2/4/8 worker threads. Asserts the result rows — including
+//! their order — are identical at every width, prints a scaling table, and
+//! writes the measurements to `BENCH_exec.json`.
+//!
+//! Dependency-free by design: `std::time::Instant` timing, hand-rolled
+//! JSON. Run with `cargo run --release -p bench --bin exec_scaling`; scale
+//! with `EXEC_SCALING_UNIV=<universities>` (default 24, ~5.1k triples
+//! each). Speedup is relative to the 1-thread run on the same machine; on a
+//! single-core host the wall-clock curve is flat and the run degrades to a
+//! determinism check (the JSON records `cores` so readers can tell).
+
+use std::time::Instant;
+
+use bench::scale_from_env;
+use datagen::lubm::{self, NS, RDF_TYPE};
+use relstore::{quote_str, Database, Rel, Value};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const RUNS: usize = 3;
+
+fn iri(local: &str) -> String {
+    rdf::Term::iri(format!("{NS}{local}")).encode()
+}
+
+fn queries() -> Vec<(&'static str, String)> {
+    let typ = quote_str(&rdf::Term::iri(RDF_TYPE).encode());
+    let grad = quote_str(&iri("GraduateStudent"));
+    let cls = |l: &str| quote_str(&iri(l));
+    vec![
+        (
+            // LUBM Q9-style triangle: student → advisor → course the
+            // advisor teaches and the student takes. Three hash joins, the
+            // last on a composite (s, o) key.
+            "triangle",
+            format!(
+                "SELECT t1.s, t2.o AS prof, t3.o AS course \
+                 FROM spo AS t1, spo AS t2, spo AS t3, spo AS t4 \
+                 WHERE t1.p = {typ} AND t1.o = {grad} \
+                 AND t2.s = t1.s AND t2.p = {advisor} \
+                 AND t3.s = t2.o AND t3.p = {teacher} \
+                 AND t4.s = t1.s AND t4.p = {takes} AND t4.o = t3.o",
+                advisor = cls("advisor"),
+                teacher = cls("teacherOf"),
+                takes = cls("takesCourse"),
+            ),
+        ),
+        (
+            // Star with a LIKE filter: expression-heavy parallel scans.
+            "star_like",
+            format!(
+                "SELECT t1.s, t2.o AS name, t3.o AS dept \
+                 FROM spo AS t1, spo AS t2, spo AS t3 \
+                 WHERE t1.p = {typ} AND t1.o = {grad} \
+                 AND t2.s = t1.s AND t2.p = {name} AND t2.o LIKE '%Grad 1%' \
+                 AND t3.s = t1.s AND t3.p = {member}",
+                name = cls("name"),
+                member = cls("memberOf"),
+            ),
+        ),
+        (
+            // Chain ending in an aggregation over a parallel scan.
+            "chain_agg",
+            format!(
+                "SELECT t2.o AS dept, COUNT(*) AS n \
+                 FROM spo AS t1, spo AS t2 \
+                 WHERE t1.p = {advisor} AND t2.s = t1.s AND t2.p = {member} \
+                 GROUP BY t2.o ORDER BY 2 DESC, 1",
+                advisor = cls("advisor"),
+                member = cls("memberOf"),
+            ),
+        ),
+    ]
+}
+
+fn median_secs(db: &Database, sql: &str) -> (f64, Rel) {
+    let warm = db.query(sql).expect("query");
+    let mut times: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            db.query(sql).expect("query");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], warm)
+}
+
+fn main() {
+    let universities = scale_from_env("EXEC_SCALING_UNIV", 24);
+    let triples = lubm::generate(universities, 42);
+    assert!(triples.len() >= 100_000, "need ≥100k triples, got {}", triples.len());
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    eprintln!(
+        "loaded {} LUBM triples ({universities} universities); {cores} core(s) available",
+        triples.len()
+    );
+
+    let mut db = Database::new();
+    db.execute("CREATE TABLE spo (s TEXT, p TEXT, o TEXT)").unwrap();
+    db.insert_rows(
+        "spo",
+        triples.iter().map(|t| {
+            vec![
+                Value::str(t.subject.encode()),
+                Value::str(t.predicate.encode()),
+                Value::str(t.object.encode()),
+            ]
+        }),
+    )
+    .unwrap();
+
+    let suite = queries();
+    let mut json_queries = Vec::new();
+    let mut speedup_at_4 = f64::INFINITY;
+
+    println!("{:<10} {:>8} {:>10} {:>10} {:>9}", "query", "threads", "rows", "secs", "speedup");
+    for (name, sql) in &suite {
+        let mut base_secs = 0.0;
+        let mut reference: Option<Rel> = None;
+        let mut runs_json = Vec::new();
+        for &threads in &THREAD_COUNTS {
+            db.set_threads(Some(threads));
+            let (secs, rel) = median_secs(&db, sql);
+            match &reference {
+                None => {
+                    base_secs = secs;
+                    reference = Some(rel);
+                }
+                Some(r) => assert_eq!(
+                    r.rows, rel.rows,
+                    "{name}: result rows (or their order) changed at {threads} threads"
+                ),
+            }
+            let speedup = base_secs / secs;
+            if threads == 4 {
+                speedup_at_4 = speedup_at_4.min(speedup);
+            }
+            let rows = reference.as_ref().unwrap().rows.len();
+            println!("{name:<10} {threads:>8} {rows:>10} {secs:>10.4} {speedup:>8.2}x");
+            runs_json.push(format!(
+                "{{\"threads\": {threads}, \"secs\": {secs:.6}, \"speedup\": {speedup:.3}}}"
+            ));
+        }
+        json_queries.push(format!(
+            "{{\"name\": \"{name}\", \"rows\": {}, \"runs\": [{}]}}",
+            reference.unwrap().rows.len(),
+            runs_json.join(", ")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"exec_scaling\",\n  \"triples\": {},\n  \"universities\": {},\n  \
+         \"cores\": {cores},\n  \
+         \"runs_per_point\": {},\n  \"min_speedup_at_4_threads\": {:.3},\n  \"queries\": [\n    {}\n  ]\n}}\n",
+        triples.len(),
+        universities,
+        RUNS,
+        speedup_at_4,
+        json_queries.join(",\n    ")
+    );
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    eprintln!("minimum speedup at 4 threads: {speedup_at_4:.2}x (wrote BENCH_exec.json)");
+    if cores < 4 {
+        eprintln!(
+            "note: only {cores} core(s) available — speedup cannot exceed 1.0 here; \
+             run on a ≥4-core machine for the scaling claim"
+        );
+    }
+}

@@ -42,6 +42,11 @@ pub struct StoreConfig {
     /// Per-query evaluation budget in rows (None = unbounded); the analogue
     /// of the paper's 10-minute timeout.
     pub row_budget: Option<u64>,
+    /// Worker-pool width for the relational engine's morsel-parallel
+    /// operators. `None` defers to the `RELSTORE_THREADS` environment
+    /// variable, then to the machine's available parallelism; `Some(1)`
+    /// forces sequential execution.
+    pub threads: Option<usize>,
 }
 
 impl Default for StoreConfig {
@@ -52,6 +57,7 @@ impl Default for StoreConfig {
             optimizer: OptimizerMode::CostBased,
             top_k: 1000,
             row_budget: None,
+            threads: None,
         }
     }
 }
@@ -91,6 +97,7 @@ impl RdfStore {
         let mut db = Database::new();
         register_rdf_functions(&mut db);
         db.set_row_budget(cfg.row_budget);
+        db.set_threads(cfg.threads);
         RdfStore {
             cfg,
             db,
@@ -291,6 +298,11 @@ impl RdfStore {
     /// Adjust the per-query evaluation budget (the "timeout").
     pub fn set_row_budget(&mut self, budget: Option<u64>) {
         self.db.set_row_budget(budget);
+    }
+
+    /// Adjust the executor worker-pool width (see [`StoreConfig::threads`]).
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.db.set_threads(threads);
     }
 
     /// Append `n` all-NULL predicate/value column pairs to DPH and rewrite

@@ -9,8 +9,7 @@
 //! entity lookups, subject stars, reverse (in-link) queries, variable-
 //! predicate probes, UNIONs and OPTIONAL/FILTER templates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use rdf::{Term, Triple};
 
 use crate::BenchQuery;
@@ -27,17 +26,17 @@ fn entity(i: usize) -> Term {
 }
 
 /// Zipf-ish sample in `[0, n)`: rank r with probability ∝ 1/(r+1).
-fn zipf(rng: &mut StdRng, n: usize) -> usize {
+fn zipf(rng: &mut SplitMix64, n: usize) -> usize {
     // Inverse-CDF on harmonic weights, cheap approximation.
     let h: f64 = (n as f64).ln() + 0.5772;
-    let u: f64 = rng.gen::<f64>() * h;
+    let u: f64 = rng.gen_f64() * h;
     (u.exp() - 1.0).min((n - 1) as f64) as usize
 }
 
 /// Generate `n_entities` entities over `n_predicates` predicates
 /// (~14 triples per entity, per the paper's reported DBpedia out-degree).
 pub fn generate(n_entities: usize, n_predicates: usize, seed: u64) -> Vec<Triple> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let n_types = (n_predicates / 12).clamp(4, 300);
     let mut triples = Vec::with_capacity(n_entities * 14);
     // Each type owns a pool of ~20 predicates drawn with skew; the tail of

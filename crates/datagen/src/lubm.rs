@@ -3,8 +3,7 @@
 //! with OWL subclass inference compiled away by UNION expansion exactly as
 //! the paper describes (§4.1).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use rdf::{Term, Triple};
 
 use crate::BenchQuery;
@@ -26,7 +25,7 @@ fn rdf_type() -> Term {
 
 struct Gen {
     triples: Vec<Triple>,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl Gen {
@@ -53,7 +52,7 @@ const GROUPS: usize = 5;
 
 /// Generate `universities` universities (~10k triples each).
 pub fn generate(universities: usize, seed: u64) -> Vec<Triple> {
-    let mut g = Gen { triples: Vec::new(), rng: StdRng::seed_from_u64(seed) };
+    let mut g = Gen { triples: Vec::new(), rng: SplitMix64::seed_from_u64(seed) };
     let univ_iri = |u: usize| Term::iri(format!("{NS}University{u}"));
     for u in 0..universities {
         let univ = univ_iri(u);

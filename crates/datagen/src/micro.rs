@@ -16,8 +16,7 @@
 //! For the Fig. 14 optimizer experiment, SV1 takes the constant object `O1`
 //! for 75% of its subjects and SV2 takes `O2` for 1%.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use rdf::{Term, Triple};
 
 use crate::BenchQuery;
@@ -43,7 +42,7 @@ const GROUPS: &[(&[&str], &[&str], u32)] = &[
 /// (~12 triples per subject; the paper's 1M-triple set corresponds to
 /// `n_subjects ≈ 84_000`).
 pub fn generate(n_subjects: usize, seed: u64) -> Vec<Triple> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut triples = Vec::with_capacity(n_subjects * 12);
     for i in 0..n_subjects {
         // Deterministic group assignment preserving the Table 1 ratios.

@@ -11,8 +11,7 @@
 //! conjunctive queries), and medium star/OPTIONAL queries (PQ14–17, PQ24,
 //! PQ29).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use rdf::{Term, Triple};
 
 use crate::BenchQuery;
@@ -26,7 +25,7 @@ fn p(local: &str) -> Term {
 
 struct Gen {
     triples: Vec<Triple>,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl Gen {
@@ -50,7 +49,7 @@ const VERDICTS: &[&str] = &["pass", "fail", "error", "skipped"];
 /// Generate roughly `n_bugs`-scaled artifacts (~10 triples each across all
 /// artifact kinds; total ≈ `n_bugs * 30` triples).
 pub fn generate(n_bugs: usize, seed: u64) -> Vec<Triple> {
-    let mut g = Gen { triples: Vec::new(), rng: StdRng::seed_from_u64(seed) };
+    let mut g = Gen { triples: Vec::new(), rng: SplitMix64::seed_from_u64(seed) };
     let n_reqs = (n_bugs * 2 / 3).max(1);
     let n_tests = (n_bugs / 2).max(1);
     let n_changes = n_bugs.max(1);
@@ -212,7 +211,7 @@ pub fn generate(n_bugs: usize, seed: u64) -> Vec<Triple> {
 }
 
 /// Skewed pick over 4 ranks: 50/25/15/10.
-fn zipf4(rng: &mut StdRng) -> usize {
+fn zipf4(rng: &mut SplitMix64) -> usize {
     match rng.gen_range(0..100u32) {
         0..=49 => 0,
         50..=74 => 1,

@@ -1,0 +1,162 @@
+//! Seedable, dependency-free PRNG for the dataset generators.
+//!
+//! The generators only need a deterministic stream with a `rand`-like
+//! surface (`gen_range`, `gen_ratio`); statistical quality beyond that is
+//! irrelevant, so SplitMix64 (Steele et al., "Fast Splittable Pseudorandom
+//! Number Generators", OOPSLA'14) is plenty: one 64-bit state word, passes
+//! BigCrush, and — crucially for the offline build — no external crate.
+
+use std::ops::Range;
+
+/// A SplitMix64 generator. API mirrors the subset of `rand::Rng` the
+/// generators used, so porting call sites is a type swap.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator (same spelling as `rand::SeedableRng`).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[range.start, range.end)`. Panics on an empty
+    /// range, matching `rand::Rng::gen_range`.
+    pub fn gen_range<T: RangeInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64_repr();
+        let hi = range.end.to_u64_repr();
+        assert!(lo < hi, "gen_range called with an empty range");
+        T::from_u64_repr(lo + self.gen_below(hi - lo))
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(numerator <= denominator && denominator > 0);
+        self.gen_below(denominator as u64) < numerator as u64
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire-style widening multiply with
+    /// rejection, so small bounds carry no modulo bias.
+    fn gen_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Integer types usable with [`SplitMix64::gen_range`]. Signed types map
+/// through an offset so the full domain works.
+pub trait RangeInt: Copy {
+    fn to_u64_repr(self) -> u64;
+    fn from_u64_repr(v: u64) -> Self;
+}
+
+macro_rules! unsigned_range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64_repr(self) -> u64 {
+                self as u64
+            }
+            fn from_u64_repr(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! signed_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64_repr(self) -> u64 {
+                (self as $u ^ (1 << (<$u>::BITS - 1))) as u64
+            }
+            fn from_u64_repr(v: u64) -> Self {
+                (v as $u ^ (1 << (<$u>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+unsigned_range_int!(u8, u16, u32, u64, usize);
+signed_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let s = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&s));
+            let w = rng.gen_range(0..2u32);
+            assert!(w < 2);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = SplitMix64::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_ratio_roughly_matches() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -6,8 +6,7 @@
 //! SQ4 keeps its defining property: a near-cross-product over the whole
 //! dataset that times every system out at scale.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use rdf::{Term, Triple};
 
 use crate::BenchQuery;
@@ -21,7 +20,7 @@ fn p(local: &str) -> Term {
 
 struct Gen {
     triples: Vec<Triple>,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl Gen {
@@ -37,7 +36,7 @@ impl Gen {
 /// Generate a dataset with roughly `n_documents` documents (~12 triples per
 /// document including authors and venues).
 pub fn generate(n_documents: usize, seed: u64) -> Vec<Triple> {
-    let mut g = Gen { triples: Vec::new(), rng: StdRng::seed_from_u64(seed) };
+    let mut g = Gen { triples: Vec::new(), rng: SplitMix64::seed_from_u64(seed) };
     let n_persons = (n_documents / 3).max(4);
     let n_years = 30usize;
 

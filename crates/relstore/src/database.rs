@@ -33,6 +33,7 @@ pub struct Database {
     tables: HashMap<String, Table>,
     functions: HashMap<String, ScalarFn>,
     row_budget: Option<u64>,
+    threads: Option<usize>,
 }
 
 impl Default for Database {
@@ -43,8 +44,12 @@ impl Default for Database {
 
 impl Database {
     pub fn new() -> Self {
-        let mut db =
-            Database { tables: HashMap::new(), functions: HashMap::new(), row_budget: None };
+        let mut db = Database {
+            tables: HashMap::new(),
+            functions: HashMap::new(),
+            row_budget: None,
+            threads: None,
+        };
         db.register_builtins();
         db
     }
@@ -57,6 +62,29 @@ impl Database {
 
     pub fn row_budget(&self) -> Option<u64> {
         self.row_budget
+    }
+
+    /// Pin the executor worker-pool width. `None` (the default) defers to
+    /// the `RELSTORE_THREADS` environment variable, then to
+    /// [`std::thread::available_parallelism`]. `Some(1)` forces fully
+    /// sequential execution.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads.map(|t| t.max(1));
+    }
+
+    /// Effective worker-pool width for morsel-parallel query operators.
+    pub fn threads(&self) -> usize {
+        if let Some(t) = self.threads {
+            return t;
+        }
+        if let Some(t) = std::env::var("RELSTORE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+        {
+            return t;
+        }
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
     }
 
     /// Register (or replace) a scalar SQL function, e.g. RDF-aware helpers.
@@ -195,7 +223,8 @@ impl Database {
             let mut dense = vec![Value::Null; width];
             for (expr, &pos) in row.iter().zip(&positions) {
                 let cexpr = compile(expr, &empty_scope, self)?;
-                dense[pos] = cexpr.eval(&[])?;
+                let no_row: &[Value] = &[];
+                dense[pos] = cexpr.eval(no_row)?;
             }
             dense_rows.push(dense);
         }

@@ -10,7 +10,8 @@
 //! `UNNEST` requires).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::database::{Database, ScalarFn};
 use crate::error::{exec_err, plan_err, Error, Result};
@@ -50,12 +51,15 @@ impl Rel {
     }
 }
 
-/// Execution context: database handle, visible CTEs, and the row budget that
-/// stands in for a query timeout.
+/// Execution context: database handle, visible CTEs, the row budget that
+/// stands in for a query timeout, and the worker-pool width for
+/// morsel-parallel operators. The budget is atomic so morsel workers can
+/// charge it concurrently through a shared `&ExecCtx`.
 pub struct ExecCtx<'a> {
     pub db: &'a Database,
     ctes: HashMap<String, Arc<Rel>>,
-    budget: std::cell::Cell<u64>,
+    budget: AtomicU64,
+    threads: usize,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -63,19 +67,91 @@ impl<'a> ExecCtx<'a> {
         ExecCtx {
             db,
             ctes: HashMap::new(),
-            budget: std::cell::Cell::new(db.row_budget().unwrap_or(u64::MAX)),
+            budget: AtomicU64::new(db.row_budget().unwrap_or(u64::MAX)),
+            threads: db.threads(),
         }
     }
 
     fn charge(&self, n: usize) -> Result<()> {
-        let left = self.budget.get();
         let n = n as u64;
-        if n > left {
-            return Err(Error::LimitExceeded);
-        }
-        self.budget.set(left - n);
-        Ok(())
+        // Deduct atomically; concurrent workers race on the same counter, so
+        // the sum of successful charges never exceeds the initial budget.
+        self.budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| left.checked_sub(n))
+            .map(|_| ())
+            .map_err(|_| Error::LimitExceeded)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallelism
+// ---------------------------------------------------------------------------
+
+/// Rows per morsel. Large enough that per-morsel overhead (one atomic
+/// fetch_add, one Vec) is negligible; small enough that a typical scan
+/// splits into many work units for load balancing.
+pub const MORSEL_ROWS: usize = 4096;
+
+/// Run `work` over fixed-size morsels of `0..n` on a scoped worker pool and
+/// concatenate the outputs **in morsel order**, so the result is identical
+/// to a sequential left-to-right pass regardless of thread count.
+///
+/// Workers pull morsel indices from a shared atomic counter (classic
+/// morsel-driven scheduling: fast workers take more morsels). On error the
+/// remaining morsels are abandoned and the first error in morsel order is
+/// returned.
+fn parallel_morsels<R, F>(n: usize, threads: usize, work: F) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Result<Vec<R>> + Sync,
+{
+    let morsels = n.div_ceil(MORSEL_ROWS);
+    let workers = threads.min(morsels);
+    if workers <= 1 {
+        let mut out = Vec::new();
+        for m in 0..morsels {
+            out.append(&mut work(m * MORSEL_ROWS..((m + 1) * MORSEL_ROWS).min(n))?);
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<Result<Vec<R>>>>> =
+        Mutex::new((0..morsels).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let m = next.fetch_add(1, Ordering::Relaxed);
+                if m >= morsels {
+                    break;
+                }
+                let res = work(m * MORSEL_ROWS..((m + 1) * MORSEL_ROWS).min(n));
+                if res.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                slots.lock().unwrap()[m] = Some(res);
+            });
+        }
+    });
+
+    let slots = slots.into_inner().unwrap();
+    // Surface the first error in morsel order for determinism.
+    for slot in &slots {
+        if let Some(Err(e)) = slot {
+            return Err(e.clone());
+        }
+    }
+    let mut out = Vec::new();
+    for slot in slots {
+        if let Some(Ok(mut v)) = slot {
+            out.append(&mut v);
+        }
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -243,10 +319,50 @@ pub fn is_aggregate(name: &str) -> bool {
     matches!(name, "count" | "sum" | "min" | "max" | "avg")
 }
 
+/// Row abstraction for expression evaluation. Implemented for plain slices
+/// and for [`SplitRow`], a zero-copy view of a left row logically
+/// concatenated with a right row — how the hash join evaluates residual and
+/// stream predicates on candidate matches *before* materializing them.
+pub trait RowAccess {
+    fn col(&self, i: usize) -> &Value;
+}
+
+impl RowAccess for [Value] {
+    #[inline]
+    fn col(&self, i: usize) -> &Value {
+        &self[i]
+    }
+}
+
+impl RowAccess for Vec<Value> {
+    #[inline]
+    fn col(&self, i: usize) -> &Value {
+        &self[i]
+    }
+}
+
+/// A left row and a right row viewed as one combined row, without copying.
+#[derive(Clone, Copy)]
+pub struct SplitRow<'a> {
+    pub left: &'a [Value],
+    pub right: &'a [Value],
+}
+
+impl RowAccess for SplitRow<'_> {
+    #[inline]
+    fn col(&self, i: usize) -> &Value {
+        if i < self.left.len() {
+            &self.left[i]
+        } else {
+            &self.right[i - self.left.len()]
+        }
+    }
+}
+
 impl CExpr {
-    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+    pub fn eval<R: RowAccess + ?Sized>(&self, row: &R) -> Result<Value> {
         Ok(match self {
-            CExpr::Col(i) => row[*i].clone(),
+            CExpr::Col(i) => row.col(*i).clone(),
             CExpr::Lit(v) => v.clone(),
             CExpr::Binary { op, left, right } => {
                 eval_binary(*op, left.eval(row)?, right.eval(row)?)?
@@ -327,7 +443,7 @@ impl CExpr {
     }
 
     /// Evaluate as a WHERE/ON condition: NULL and FALSE both reject.
-    pub fn eval_truthy(&self, row: &[Value]) -> Result<bool> {
+    pub fn eval_truthy<R: RowAccess + ?Sized>(&self, row: &R) -> Result<bool> {
         Ok(to_bool3(&self.eval(row)?)? == Some(true))
     }
 }
@@ -453,21 +569,64 @@ fn cast_value(v: Value, ty: SqlType) -> Value {
 }
 
 /// SQL LIKE with `%` and `_` wildcards.
+///
+/// Iterative two-pointer algorithm: on a mismatch after a `%`, restart just
+/// past the character the last `%` previously absorbed. Each pointer only
+/// moves forward, so the worst case is O(|s|·|p|) — the naive recursion is
+/// exponential on patterns like `%a%a%a%…` against a non-matching string.
+/// Operates directly on the UTF-8 byte iterators; no per-call `Vec<char>`.
 pub fn like_match(s: &str, pattern: &str) -> bool {
-    fn rec(s: &[char], p: &[char]) -> bool {
-        match p.first() {
-            None => s.is_empty(),
-            Some('%') => {
-                // try consuming 0..=len chars
-                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+    let text: &[u8] = s.as_bytes();
+    let pat: &[u8] = pattern.as_bytes();
+    // Byte cursors. `_` must consume one *character*, so when it matches we
+    // skip the whole UTF-8 sequence (continuation bytes start with 0b10).
+    let (mut ti, mut pi) = (0usize, 0usize);
+    // Restart state for the most recent `%`: pattern position after it, and
+    // the text position it would next try absorbing one more char from.
+    let (mut star_p, mut star_t): (Option<usize>, usize) = (None, 0);
+
+    fn char_len(b: &[u8], i: usize) -> usize {
+        let mut n = 1;
+        while i + n < b.len() && b[i + n] & 0xC0 == 0x80 {
+            n += 1;
+        }
+        n
+    }
+
+    while ti < text.len() {
+        if pi < pat.len() {
+            match pat[pi] {
+                b'%' => {
+                    star_p = Some(pi + 1);
+                    star_t = ti;
+                    pi += 1;
+                    continue;
+                }
+                b'_' => {
+                    ti += char_len(text, ti);
+                    pi += 1;
+                    continue;
+                }
+                c if c == text[ti] => {
+                    ti += 1;
+                    pi += 1;
+                    continue;
+                }
+                _ => {}
             }
-            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
-            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+        match star_p {
+            Some(sp) => {
+                // Let the last `%` absorb one more character and retry.
+                star_t += char_len(text, star_t);
+                ti = star_t;
+                pi = sp;
+            }
+            None => return false,
         }
     }
-    let sc: Vec<char> = s.chars().collect();
-    let pc: Vec<char> = pattern.chars().collect();
-    rec(&sc, &pc)
+    // Text exhausted: any trailing pattern must be all `%`.
+    pat[pi..].iter().all(|&c| c == b'%')
 }
 
 // ---------------------------------------------------------------------------
@@ -479,17 +638,18 @@ pub fn exec_query(q: &Query, ctx: &ExecCtx<'_>) -> Result<Rel> {
     let mut local = ExecCtx {
         db: ctx.db,
         ctes: ctx.ctes.clone(),
-        budget: std::cell::Cell::new(ctx.budget.get()),
+        budget: AtomicU64::new(ctx.budget.load(Ordering::Relaxed)),
+        threads: ctx.threads,
     };
     for (name, cte_query) in &q.ctes {
         let rel = exec_query(cte_query, &local)?;
         local.ctes.insert(name.to_ascii_lowercase(), Arc::new(rel));
     }
     let mut rel = exec_body(&q.body, &local)?;
-    ctx.budget.set(local.budget.get());
+    ctx.budget.store(local.budget.load(Ordering::Relaxed), Ordering::Relaxed);
 
     if !q.order_by.is_empty() {
-        sort_rel(&mut rel, &q.order_by, ctx.db)?;
+        sort_rel(&mut rel, &q.order_by, ctx)?;
     }
     apply_limit(&mut rel, q.limit, q.offset);
     Ok(rel)
@@ -511,22 +671,58 @@ fn exec_body(body: &QueryBody, ctx: &ExecCtx<'_>) -> Result<Rel> {
             ctx.charge(r.rows.len())?;
             l.rows.extend(r.rows);
             if !*all {
-                dedupe(&mut l);
+                dedupe(&mut l, ctx.threads);
             }
             Ok(l)
         }
     }
 }
 
-fn dedupe(rel: &mut Rel) {
-    let mut seen = std::collections::HashSet::new();
-    rel.rows.retain(|r| seen.insert(r.clone()));
+/// Remove duplicate rows, keeping first occurrences, without cloning any
+/// row: rows are pre-hashed (in parallel morsels), bucketed by hash, and
+/// compared against earlier bucket members only; survivors are kept by an
+/// in-place `retain`.
+fn dedupe(rel: &mut Rel, threads: usize) {
+    use std::hash::{Hash, Hasher};
+    let n = rel.rows.len();
+    if n <= 1 {
+        return;
+    }
+    let rows = &rel.rows;
+    let hashes: Vec<u64> = parallel_morsels(n, threads, |range| {
+        Ok(range
+            .map(|i| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                rows[i].hash(&mut h);
+                h.finish()
+            })
+            .collect())
+    })
+    .expect("hashing is infallible");
+
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::with_capacity(n);
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        let bucket = buckets.entry(hashes[i]).or_default();
+        if bucket.iter().any(|&j| rel.rows[j] == rel.rows[i]) {
+            keep[i] = false;
+        } else {
+            bucket.push(i);
+        }
+    }
+    let mut i = 0;
+    rel.rows.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
 }
 
-fn sort_rel(rel: &mut Rel, order_by: &[OrderItem], db: &Database) -> Result<()> {
+fn sort_rel(rel: &mut Rel, order_by: &[OrderItem], ctx: &ExecCtx<'_>) -> Result<()> {
     // Resolve each item: positional integer, output column, or expression
     // over output columns.
     let scope = Scope::from_cols(&rel.cols);
+    let db = ctx.db;
     let mut keys: Vec<(CExpr, bool)> = Vec::new();
     for item in order_by {
         let cexpr = match &item.expr {
@@ -544,24 +740,18 @@ fn sort_rel(rel: &mut Rel, order_by: &[OrderItem], db: &Database) -> Result<()> 
         };
         keys.push((cexpr, item.asc));
     }
-    let mut err = None;
-    let mut decorated: Vec<(Vec<Value>, Vec<Value>)> = rel
-        .rows
-        .drain(..)
-        .map(|row| {
-            let key: Vec<Value> = keys
-                .iter()
-                .map(|(k, _)| k.eval(&row).unwrap_or_else(|e| {
-                    err.get_or_insert(e);
-                    Value::Null
-                }))
-                .collect();
-            (key, row)
-        })
-        .collect();
-    if let Some(e) = err {
-        return Err(e);
-    }
+    // Decorate-sort-undecorate; key extraction (the expression-evaluation
+    // part) runs morsel-parallel, the comparison sort stays sequential and
+    // stable so equal keys preserve input order at every thread count.
+    let rows = &rel.rows;
+    let keys_ref = &keys;
+    let extracted: Vec<Vec<Value>> = parallel_morsels(rows.len(), ctx.threads, |range| {
+        range
+            .map(|i| keys_ref.iter().map(|(k, _)| k.eval(&rows[i])).collect::<Result<Vec<_>>>())
+            .collect()
+    })?;
+    let mut decorated: Vec<(Vec<Value>, Vec<Value>)> =
+        extracted.into_iter().zip(rel.rows.drain(..)).collect();
     decorated.sort_by(|(ka, _), (kb, _)| {
         for (i, (_, asc)) in keys.iter().enumerate() {
             let o = ka[i].total_cmp(&kb[i]);
@@ -668,16 +858,21 @@ fn exec_select(sel: &Select, ctx: &ExecCtx<'_>) -> Result<Rel> {
     };
 
     // WHERE (full residual re-check; pushdowns were best-effort hints).
+    // The predicate is evaluated morsel-parallel into a keep-mask; the
+    // in-order retain keeps the surviving rows in their original order.
     if let Some(w) = &sel.where_clause {
         let scope = Scope::from_cols(&rel.cols);
         let cond = compile(w, &scope, ctx.db)?;
-        let mut kept = Vec::new();
-        for row in rel.rows {
-            if cond.eval_truthy(&row)? {
-                kept.push(row);
-            }
-        }
-        rel.rows = kept;
+        let rows = &rel.rows;
+        let keep: Vec<bool> = parallel_morsels(rows.len(), ctx.threads, |range| {
+            range.map(|i| cond.eval_truthy(&rows[i])).collect()
+        })?;
+        let mut i = 0;
+        rel.rows.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
     }
 
     // GROUP BY / aggregates.
@@ -686,7 +881,7 @@ fn exec_select(sel: &Select, ctx: &ExecCtx<'_>) -> Result<Rel> {
         rel = aggregate(sel, rel, ctx)?;
         // After aggregation the projection/having were already applied.
         if sel.distinct {
-            dedupe(&mut rel);
+            dedupe(&mut rel, ctx.threads);
         }
         return Ok(rel);
     }
@@ -694,7 +889,7 @@ fn exec_select(sel: &Select, ctx: &ExecCtx<'_>) -> Result<Rel> {
     // Projection.
     rel = project(&sel.projection, rel, ctx)?;
     if sel.distinct {
-        dedupe(&mut rel);
+        dedupe(&mut rel, ctx.threads);
     }
     Ok(rel)
 }
@@ -954,30 +1149,42 @@ fn scan_relation(
                 }
             }
 
-            let mut rows = Vec::new();
             let width = table.width();
-            match probe {
+            let rows = match probe {
                 Some((ci, key)) => {
+                    // Index probes touch few rows; stay sequential.
                     let index = table
                         .index_on(&table.schema.columns[ci].name)
                         .expect("index checked above");
+                    let mut rows = Vec::new();
                     for &rid in index.lookup(&key) {
                         let vals = table.row_values(rid);
                         if eval_all(&conds, &vals)? {
                             rows.push(vals);
                         }
                     }
+                    ctx.charge(rows.len())?;
+                    rows
                 }
                 None => {
-                    for r in table.rows() {
-                        let vals = r.decompress(width);
-                        if eval_all(&conds, &vals)? {
-                            rows.push(vals);
+                    // Morsel-parallel full scan: each worker decompresses and
+                    // filters its morsel, charging the budget as it goes, so
+                    // LimitExceeded fires from inside worker threads.
+                    let stored = table.rows();
+                    let conds = &conds;
+                    parallel_morsels(stored.len(), ctx.threads, |range| {
+                        let mut out = Vec::new();
+                        for r in &stored[range] {
+                            let vals = r.decompress(width);
+                            if eval_all(conds, &vals)? {
+                                out.push(vals);
+                            }
                         }
-                    }
+                        ctx.charge(out.len())?;
+                        Ok(out)
+                    })?
                 }
-            }
-            ctx.charge(rows.len())?;
+            };
             Ok(Rel { cols, rows })
         }
         Relation::Subquery(q) => {
@@ -1062,7 +1269,7 @@ fn index_nested_loop(
     Ok(Rel { cols, rows })
 }
 
-fn eval_all(conds: &[CExpr], row: &[Value]) -> Result<bool> {
+fn eval_all<R: RowAccess + ?Sized>(conds: &[CExpr], row: &R) -> Result<bool> {
     for c in conds {
         if !c.eval_truthy(row)? {
             return Ok(false);
@@ -1071,18 +1278,30 @@ fn eval_all(conds: &[CExpr], row: &[Value]) -> Result<bool> {
     Ok(true)
 }
 
-fn filter_rows(rel: Rel, push: &[&Expr], ctx: &ExecCtx<'_>) -> Result<Rel> {
+fn filter_rows(mut rel: Rel, push: &[&Expr], ctx: &ExecCtx<'_>) -> Result<Rel> {
     let scope = Scope::from_cols(&rel.cols);
     let conds: Vec<CExpr> =
         push.iter().map(|e| compile(e, &scope, ctx.db)).collect::<Result<_>>()?;
-    let mut out_rows = Vec::new();
-    for row in rel.rows {
-        if eval_all(&conds, &row)? {
-            out_rows.push(row);
+    let rows = &rel.rows;
+    let conds_ref = &conds;
+    let keep: Vec<bool> = parallel_morsels(rows.len(), ctx.threads, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        let mut kept = 0usize;
+        for i in range {
+            let k = eval_all(conds_ref, &rows[i])?;
+            kept += k as usize;
+            out.push(k);
         }
-    }
-    ctx.charge(out_rows.len())?;
-    Ok(Rel { cols: rel.cols, rows: out_rows })
+        ctx.charge(kept)?;
+        Ok(out)
+    })?;
+    let mut i = 0;
+    rel.rows.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+    Ok(rel)
 }
 
 fn unnest(
@@ -1121,6 +1340,17 @@ fn unnest(
     Ok(Rel { cols, rows })
 }
 
+/// Sentinel right-row id marking a left-outer null extension in the
+/// late-materialization pair list.
+const NULL_EXTENDED: usize = usize::MAX;
+
+/// Hash join with late materialization. The hash table over the right side
+/// is built once; left rows are probed morsel-parallel. Residual ON and
+/// stream predicates are evaluated on a zero-copy [`SplitRow`] view of each
+/// candidate pair, and surviving matches are carried as
+/// `(left_row, right_row)` index pairs. Combined rows are materialized (also
+/// morsel-parallel) only for pairs that passed every predicate — candidate
+/// rows rejected by a predicate are never copied at all.
 #[allow(clippy::too_many_arguments)]
 fn join(
     left: Rel,
@@ -1140,41 +1370,16 @@ fn join(
         .map(|e| compile(e, &combined_scope, ctx.db))
         .collect::<Result<_>>()?;
     let right_width = right.cols.len();
-    let mut rows = Vec::new();
+    let null_row: Vec<Value> = vec![Value::Null; right_width];
 
-    if lkeys.is_empty() {
-        // Nested loop (cross product guarded by the row budget).
+    // Build phase (sequential, one pass): hash right rows on their key.
+    // Empty `lkeys` means no equi-condition was found — every right row is a
+    // candidate (cross product guarded by an upfront budget charge).
+    let cross = lkeys.is_empty();
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    if cross {
         ctx.charge(left.rows.len().saturating_mul(right.rows.len().max(1)))?;
-        for l in &left.rows {
-            let mut matched = false;
-            for r in &right.rows {
-                let mut combined = l.clone();
-                combined.extend(r.iter().cloned());
-                let mut ok = true;
-                for c in &residual {
-                    if !c.eval_truthy(&combined)? {
-                        ok = false;
-                        break;
-                    }
-                }
-                if ok {
-                    matched = true;
-                    if eval_all(stream, &combined)? {
-                        rows.push(combined);
-                    }
-                }
-            }
-            if !matched && kind == JoinKind::LeftOuter {
-                let mut combined = l.clone();
-                combined.extend(std::iter::repeat_with(|| Value::Null).take(right_width));
-                if eval_all(stream, &combined)? {
-                    rows.push(combined);
-                }
-            }
-        }
     } else {
-        // Hash join on equi keys.
-        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         'rows: for (i, r) in right.rows.iter().enumerate() {
             let mut key = Vec::with_capacity(rkeys.len());
             for k in &rkeys {
@@ -1186,47 +1391,77 @@ fn join(
             }
             table.entry(key).or_default().push(i);
         }
-        for l in &left.rows {
-            let mut key = Vec::with_capacity(lkeys.len());
-            let mut null_key = false;
-            for k in &lkeys {
-                let v = k.eval(l)?;
-                if v.is_null() {
-                    null_key = true;
-                    break;
-                }
-                key.push(v);
-            }
-            let matches: &[usize] =
-                if null_key { &[] } else { table.get(&key).map(Vec::as_slice).unwrap_or(&[]) };
-            let mut matched = false;
-            for &ri in matches {
-                let mut combined = l.clone();
-                combined.extend(right.rows[ri].iter().cloned());
-                let mut ok = true;
-                for c in &residual {
-                    if !c.eval_truthy(&combined)? {
-                        ok = false;
+    }
+
+    // Probe phase: morsel-parallel over left rows; output is `(l, r)` index
+    // pairs in left-row order, so the final row order matches a sequential
+    // left-to-right probe exactly.
+    let all_right: Vec<usize> = if cross { (0..right.rows.len()).collect() } else { Vec::new() };
+    let (left_rows, right_rows) = (&left.rows, &right.rows);
+    let (table_ref, lkeys_ref, residual_ref) = (&table, &lkeys, &residual);
+    let (null_ref, all_right_ref) = (&null_row, &all_right);
+    let pairs: Vec<(usize, usize)> = parallel_morsels(left_rows.len(), ctx.threads, |range| {
+        let mut out = Vec::new();
+        let mut key = Vec::with_capacity(lkeys_ref.len());
+        for li in range {
+            let l = &left_rows[li];
+            let matches: &[usize] = if cross {
+                all_right_ref
+            } else {
+                key.clear();
+                let mut null_key = false;
+                for k in lkeys_ref {
+                    let v = k.eval(l)?;
+                    if v.is_null() {
+                        null_key = true;
                         break;
                     }
+                    key.push(v);
                 }
-                if ok {
-                    matched = true;
-                    if eval_all(stream, &combined)? {
-                        rows.push(combined);
-                    }
+                if null_key {
+                    &[]
+                } else {
+                    table_ref.get(&key).map(Vec::as_slice).unwrap_or(&[])
+                }
+            };
+            let mut matched = false;
+            for &ri in matches {
+                let pair = SplitRow { left: l, right: &right_rows[ri] };
+                if !eval_all(residual_ref, &pair)? {
+                    continue;
+                }
+                matched = true;
+                if eval_all(stream, &pair)? {
+                    out.push((li, ri));
                 }
             }
             if !matched && kind == JoinKind::LeftOuter {
-                let mut combined = l.clone();
-                combined.extend(std::iter::repeat_with(|| Value::Null).take(right_width));
-                if eval_all(stream, &combined)? {
-                    rows.push(combined);
+                let pair = SplitRow { left: l, right: null_ref };
+                if eval_all(stream, &pair)? {
+                    out.push((li, NULL_EXTENDED));
                 }
             }
-            ctx.charge(matches.len().max(1))?;
+            if !cross {
+                ctx.charge(matches.len().max(1))?;
+            }
         }
-    }
+        Ok(out)
+    })?;
+
+    // Materialization phase: copy out only the surviving pairs.
+    let pairs_ref = &pairs;
+    let rows: Vec<Vec<Value>> = parallel_morsels(pairs.len(), ctx.threads, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        for &(li, ri) in &pairs_ref[range] {
+            let mut combined =
+                Vec::with_capacity(left_rows[li].len() + right_width);
+            combined.extend(left_rows[li].iter().cloned());
+            let r = if ri == NULL_EXTENDED { null_ref } else { &right_rows[ri] };
+            combined.extend(r.iter().cloned());
+            out.push(combined);
+        }
+        Ok(out)
+    })?;
     Ok(Rel { cols, rows })
 }
 
@@ -1266,14 +1501,22 @@ fn project(items: &[SelectItem], rel: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
             }
         }
     }
-    let mut rows = Vec::with_capacity(rel.rows.len());
-    for row in &rel.rows {
-        let mut out = Vec::with_capacity(exprs.len());
-        for e in &exprs {
-            out.push(e.eval(row)?);
+    // Morsel-parallel expression projection; morsel-order concatenation
+    // keeps output rows aligned with input order.
+    let in_rows = &rel.rows;
+    let exprs_ref = &exprs;
+    let rows: Vec<Vec<Value>> = parallel_morsels(in_rows.len(), ctx.threads, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        for i in range {
+            let row = &in_rows[i];
+            let mut vals = Vec::with_capacity(exprs_ref.len());
+            for e in exprs_ref {
+                vals.push(e.eval(row)?);
+            }
+            out.push(vals);
         }
-        rows.push(out);
-    }
+        Ok(out)
+    })?;
     Ok(Rel { cols: out_cols, rows })
 }
 

@@ -14,6 +14,14 @@
 //! probes for constant equality on indexed columns and hash joins for
 //! equi-joins — what the paper assumes of "the relational query engine".
 //!
+//! Hot operators (base-table scans, WHERE filtering, projection, hash-join
+//! probing, sort-key extraction and duplicate pre-hashing) execute
+//! morsel-parallel over a `std::thread::scope` worker pool; results are
+//! concatenated in morsel order, so row order is identical at every thread
+//! count. The pool width comes from [`Database::set_threads`], the
+//! `RELSTORE_THREADS` environment variable, or
+//! [`std::thread::available_parallelism`], in that order.
+//!
 //! ```
 //! use relstore::{Database, Value};
 //!
@@ -34,7 +42,7 @@ mod value;
 
 pub use database::{table_schema, Database, ExecOutcome, ScalarFn};
 pub use error::{Error, Result};
-pub use exec::{OutCol, Rel};
+pub use exec::{like_match, OutCol, Rel, RowAccess, SplitRow, MORSEL_ROWS};
 pub use row::CompressedRow;
 pub use sql::lexer::{quote_str, value_to_sql};
 pub use table::{ColumnDef, Index, IndexKind, Table, TableSchema};

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md), pinned to --offline so a regression
+# in the workspace's no-network guarantee fails loudly instead of silently
+# reaching for crates.io. Run from the repo root:
+#
+#   scripts/verify.sh            # tier-1: release build + root-package tests
+#   scripts/verify.sh --all      # additionally test every workspace crate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+if [[ "${1:-}" == "--all" ]]; then
+    echo "== cargo test -q --workspace --offline"
+    cargo test -q --workspace --offline
+fi
+
+echo "verify: OK"

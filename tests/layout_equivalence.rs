@@ -3,79 +3,78 @@
 //! with its own SPARQL→SQL translation over the relational engine — all
 //! produce exactly the multiset of solutions computed by the independent
 //! naive in-memory evaluator.
+//!
+//! Written as deterministic seeded-loop property tests (a fixed-seed
+//! SplitMix64 drives the generators) so the suite needs no external
+//! dependency and every run exercises exactly the same cases.
 
+use datagen::rng::SplitMix64;
 use db2rdf::{naive, Layout, RdfStore, StoreConfig};
-use proptest::prelude::*;
 use rdf::{Term, Triple};
 use sparql::parse_sparql;
 
 const PREDICATES: usize = 6;
 const SUBJECTS: usize = 9;
 
-fn arb_triple() -> impl Strategy<Value = Triple> {
-    (
-        0..SUBJECTS,
-        0..PREDICATES,
-        prop_oneof![
-            (0..SUBJECTS).prop_map(|i| Term::iri(format!("e:s{i}"))),
-            (0..5i64).prop_map(Term::int_lit),
-            (0..4u8).prop_map(|i| Term::lit(format!("lit{i}"))),
-        ],
-    )
-        .prop_map(|(s, p, o)| {
-            Triple::new(Term::iri(format!("e:s{s}")), Term::iri(format!("e:p{p}")), o)
-        })
+fn arb_triple(rng: &mut SplitMix64) -> Triple {
+    let s = rng.gen_range(0..SUBJECTS);
+    let p = rng.gen_range(0..PREDICATES);
+    let o = match rng.gen_range(0..3u32) {
+        0 => Term::iri(format!("e:s{}", rng.gen_range(0..SUBJECTS))),
+        1 => Term::int_lit(rng.gen_range(0..5i64)),
+        _ => Term::lit(format!("lit{}", rng.gen_range(0..4u8))),
+    };
+    Triple::new(Term::iri(format!("e:s{s}")), Term::iri(format!("e:p{p}")), o)
 }
 
-fn arb_graph() -> impl Strategy<Value = Vec<Triple>> {
-    proptest::collection::vec(arb_triple(), 1..40).prop_map(|mut ts| {
-        ts.sort();
-        ts.dedup();
-        ts
-    })
+fn arb_graph(rng: &mut SplitMix64) -> Vec<Triple> {
+    let n = rng.gen_range(1..40usize);
+    let mut ts: Vec<Triple> = (0..n).map(|_| arb_triple(rng)).collect();
+    ts.sort();
+    ts.dedup();
+    ts
 }
 
 /// A random query from a pool of well-designed shapes over the same
 /// vocabulary: stars, chains, unions, optionals, filters, var predicates.
-fn arb_query() -> impl Strategy<Value = String> {
+fn arb_query(rng: &mut SplitMix64) -> String {
     let pred = |i: usize| format!("<e:p{i}>");
-    (0..PREDICATES, 0..PREDICATES, 0..PREDICATES, 0..SUBJECTS, 0..8u8).prop_map(
-        move |(p1, p2, p3, s, shape)| match shape {
-            0 => format!("SELECT ?x ?y WHERE {{ ?x {} ?y }}", pred(p1)),
-            1 => format!(
-                "SELECT ?x ?a ?b WHERE {{ ?x {} ?a . ?x {} ?b }}",
-                pred(p1),
-                pred(p2)
-            ),
-            2 => format!(
-                "SELECT ?x ?y ?z WHERE {{ ?x {} ?y . ?y {} ?z }}",
-                pred(p1),
-                pred(p2)
-            ),
-            3 => format!(
-                "SELECT ?x ?y WHERE {{ {{ ?x {} ?y }} UNION {{ ?x {} ?y }} }}",
-                pred(p1),
-                pred(p2)
-            ),
-            4 => format!(
-                "SELECT ?x ?a ?b WHERE {{ ?x {} ?a . OPTIONAL {{ ?x {} ?b }} }}",
-                pred(p1),
-                pred(p2)
-            ),
-            5 => format!(
-                "SELECT ?x ?v WHERE {{ ?x {} ?v . FILTER(?v > 1) }}",
-                pred(p1)
-            ),
-            6 => format!("SELECT ?p ?o WHERE {{ <e:s{s}> ?p ?o }}"),
-            _ => format!(
-                "SELECT ?x ?a ?c WHERE {{ ?x {} ?a . ?x {} <e:s{s}> . \
-                 OPTIONAL {{ ?x {} ?c }} }}",
-                pred(p1),
-                pred(p2),
-                pred(p3)
-            ),
-        },
-    )
+    let p1 = rng.gen_range(0..PREDICATES);
+    let p2 = rng.gen_range(0..PREDICATES);
+    let p3 = rng.gen_range(0..PREDICATES);
+    let s = rng.gen_range(0..SUBJECTS);
+    match rng.gen_range(0..8u8) {
+        0 => format!("SELECT ?x ?y WHERE {{ ?x {} ?y }}", pred(p1)),
+        1 => format!(
+            "SELECT ?x ?a ?b WHERE {{ ?x {} ?a . ?x {} ?b }}",
+            pred(p1),
+            pred(p2)
+        ),
+        2 => format!(
+            "SELECT ?x ?y ?z WHERE {{ ?x {} ?y . ?y {} ?z }}",
+            pred(p1),
+            pred(p2)
+        ),
+        3 => format!(
+            "SELECT ?x ?y WHERE {{ {{ ?x {} ?y }} UNION {{ ?x {} ?y }} }}",
+            pred(p1),
+            pred(p2)
+        ),
+        4 => format!(
+            "SELECT ?x ?a ?b WHERE {{ ?x {} ?a . OPTIONAL {{ ?x {} ?b }} }}",
+            pred(p1),
+            pred(p2)
+        ),
+        5 => format!("SELECT ?x ?v WHERE {{ ?x {} ?v . FILTER(?v > 1) }}", pred(p1)),
+        6 => format!("SELECT ?p ?o WHERE {{ <e:s{s}> ?p ?o }}"),
+        _ => format!(
+            "SELECT ?x ?a ?c WHERE {{ ?x {} ?a . ?x {} <e:s{s}> . \
+             OPTIONAL {{ ?x {} ?c }} }}",
+            pred(p1),
+            pred(p2),
+            pred(p3)
+        ),
+    }
 }
 
 fn canon(s: &db2rdf::Solutions) -> Vec<Vec<String>> {
@@ -88,11 +87,12 @@ fn canon(s: &db2rdf::Solutions) -> Vec<Vec<String>> {
     rows
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn all_layouts_match_reference(graph in arb_graph(), query_text in arb_query()) {
+#[test]
+fn all_layouts_match_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0xDB2);
+    for case in 0..64 {
+        let graph = arb_graph(&mut rng);
+        let query_text = arb_query(&mut rng);
         let query = parse_sparql(&query_text).unwrap();
         let expected = naive::evaluate(&graph, &query);
         let expected_rows = canon(&expected);
@@ -100,19 +100,24 @@ proptest! {
             let mut store = RdfStore::new(StoreConfig::with_layout(layout));
             store.load(&graph).unwrap();
             let got = store.query(&query_text).unwrap_or_else(|e| {
-                panic!("{layout:?} failed on {query_text}: {e}")
+                panic!("case {case}: {layout:?} failed on {query_text}: {e}")
             });
-            prop_assert_eq!(
+            assert_eq!(
                 canon(&got),
-                expected_rows.clone(),
-                "layout {:?} disagrees with reference on {} over {} triples",
-                layout, query_text, graph.len()
+                expected_rows,
+                "case {case}: layout {layout:?} disagrees with reference on {query_text} \
+                 over {} triples",
+                graph.len()
             );
         }
     }
+}
 
-    #[test]
-    fn entity_layout_with_tiny_columns_still_correct(graph in arb_graph()) {
+#[test]
+fn entity_layout_with_tiny_columns_still_correct() {
+    let mut rng = SplitMix64::seed_from_u64(0x7146);
+    for case in 0..48 {
+        let graph = arb_graph(&mut rng);
         // Force spills: only 2 columns, 1 hash function.
         let mut cfg = StoreConfig::with_layout(Layout::Entity);
         cfg.entity.max_cols = 2;
@@ -124,6 +129,6 @@ proptest! {
         let query = parse_sparql(query_text).unwrap();
         let expected = naive::evaluate(&graph, &query);
         let got = store.query(query_text).unwrap();
-        prop_assert_eq!(canon(&got), canon(&expected));
+        assert_eq!(canon(&got), canon(&expected), "case {case}");
     }
 }
