@@ -12,10 +12,14 @@ pub enum StoreError {
 }
 
 impl StoreError {
-    /// True when the error is the evaluation-budget guard — the analogue of
-    /// the paper's 10-minute query timeout.
+    /// True when the error is the evaluation-budget guard or the wall-clock
+    /// deadline — the analogues of the paper's 10-minute query timeout.
     pub fn is_timeout(&self) -> bool {
-        matches!(self, StoreError::Sql(relstore::Error::LimitExceeded))
+        matches!(
+            self,
+            StoreError::Sql(relstore::Error::LimitExceeded)
+                | StoreError::Sql(relstore::Error::Timeout)
+        )
     }
 }
 

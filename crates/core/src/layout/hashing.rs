@@ -60,6 +60,15 @@ impl HashComposition {
     pub fn range(&self) -> usize {
         self.fns[0].m
     }
+
+    /// Number of composed hash functions. Together with [`range`], this
+    /// fully determines the composition (seeds are fixed), which is what
+    /// lets a persisted layout rebuild it from two integers.
+    ///
+    /// [`range`]: HashComposition::range
+    pub fn fn_count(&self) -> usize {
+        self.fns.len()
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +113,7 @@ mod tests {
         let comp = HashComposition::new(2, 5);
         let preds = ["developer", "version", "kernel", "preceded", "graphics"];
         // Simulate inserting all predicates for one subject.
-        let mut occupied = vec![false; 5];
+        let mut occupied = [false; 5];
         let mut spills = 0;
         for p in preds {
             let mut placed = false;

@@ -30,6 +30,7 @@ pub mod layout;
 pub mod loader;
 pub mod naive;
 pub mod optimizer;
+pub mod persist;
 pub mod results;
 pub mod stats;
 mod store;

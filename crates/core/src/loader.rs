@@ -62,27 +62,34 @@ pub struct LoadReport {
     pub storage_bytes: u64,
 }
 
+/// One packed hash-table cell: the predicate that landed in the column and
+/// its value (`None` for an empty column).
+type Cell = Option<(Arc<str>, Value)>;
+
 /// One side's in-memory build state before table insertion.
 struct SideBuild {
     layout: SideLayout,
-    /// Rows: entry, spill flag, and one optional (pred, val) per column.
-    rows: Vec<(Arc<str>, bool, Vec<Option<(Arc<str>, Value)>>)>,
+    /// Rows: entry, spill flag, and one cell per column.
+    rows: Vec<(Arc<str>, bool, Vec<Cell>)>,
     secondary: Vec<(i64, Arc<str>)>,
     spill_rows: u64,
     covered_triples: u64,
     total_triples: u64,
 }
 
+/// (pred, value) pairs attached to one entity.
+type PredVals = Vec<(Arc<str>, Arc<str>)>;
+
 /// Encode and group triples by entity for one side.
 /// Returns entities in first-appearance order with their (pred, value) lists.
-type Grouped = Vec<(Arc<str>, Vec<(Arc<str>, Arc<str>)>)>;
+type Grouped = Vec<(Arc<str>, PredVals)>;
 
 fn group_by<'a>(
     triples: impl Iterator<Item = &'a Triple>,
     direct: bool,
 ) -> Grouped {
     let mut order: Vec<Arc<str>> = Vec::new();
-    let mut map: HashMap<Arc<str>, Vec<(Arc<str>, Arc<str>)>> = HashMap::new();
+    let mut map: HashMap<Arc<str>, PredVals> = HashMap::new();
     for t in triples {
         let (entity, value) = if direct {
             (t.subject.encode(), t.object.encode())
@@ -128,7 +135,7 @@ fn build_mapping(grouped: &Grouped, cfg: &EntityConfig) -> (PredMapping, usize, 
                 for (p, _) in pvs {
                     *counts.entry(p.as_ref()).or_default() += 1;
                 }
-                graph.add_entity(counts.into_iter());
+                graph.add_entity(counts);
             }
             let bounded = graph.color_bounded(cfg.max_cols.max(2));
             let ncols = if bounded.uncolored.is_empty() {
@@ -185,7 +192,7 @@ fn build_side(grouped: &Grouped, cfg: &EntityConfig) -> SideBuild {
         }
 
         // Pack predicates into rows.
-        let mut entity_rows: Vec<Vec<Option<(Arc<str>, Value)>>> = vec![vec![None; ncols]];
+        let mut entity_rows: Vec<Vec<Cell>> = vec![vec![None; ncols]];
         for p in pred_order {
             let vals = &values[p.as_ref()];
             let cell = if vals.len() == 1 {
@@ -436,8 +443,7 @@ fn insert_one_side(
                     vec![Value::Int(lid), Value::str(value.to_string())],
                 ],
             )?;
-            let table = db.table_mut(primary).unwrap();
-            table.update_cell(rid, 2 + 2 * c + 1, Value::Int(lid))?;
+            db.update_cell(primary, rid, 2 + 2 * c + 1, Value::Int(lid))?;
             layout.multivalued.insert(pred.to_string());
             Ok(true)
         }
@@ -460,9 +466,8 @@ fn insert_one_side(
             }
             match slot {
                 Some((rid, c)) => {
-                    let table = db.table_mut(primary).unwrap();
-                    table.update_cell(rid, 2 + 2 * c, Value::str(pred.to_string()))?;
-                    table.update_cell(rid, 2 + 2 * c + 1, Value::str(value.to_string()))?;
+                    db.update_cell(primary, rid, 2 + 2 * c, Value::str(pred.to_string()))?;
+                    db.update_cell(primary, rid, 2 + 2 * c + 1, Value::str(value.to_string()))?;
                     if row_ids.len() > 1 {
                         layout.spill_preds.insert(pred.to_string());
                     }
@@ -483,11 +488,12 @@ fn insert_one_side(
                     if spilled {
                         *spill_rows += 1;
                         // Mark the whole entity's predicates as spill-involved.
-                        let table = db.table_mut(primary).unwrap();
                         for &rid in &row_ids {
-                            table.update_cell(rid, 1, Value::Int(1))?;
+                            db.update_cell(primary, rid, 1, Value::Int(1))?;
                         }
-                        let table = db.table(primary).unwrap();
+                        let table = db
+                            .table(primary)
+                            .ok_or_else(|| relstore::Error::Plan(format!("missing table {primary}")))?;
                         let mut preds = vec![pred.to_string()];
                         for &rid in &row_ids {
                             let row = table.row_values(rid);
@@ -569,9 +575,8 @@ fn delete_one_side(
     match stored {
         Value::Str(v) if v.as_ref() == value => {
             // Direct single value: clear the predicate/value pair.
-            let table = db.table_mut(primary).unwrap();
-            table.update_cell(rid, 2 + 2 * c, Value::Null)?;
-            table.update_cell(rid, 2 + 2 * c + 1, Value::Null)?;
+            db.update_cell(primary, rid, 2 + 2 * c, Value::Null)?;
+            db.update_cell(primary, rid, 2 + 2 * c + 1, Value::Null)?;
             Ok(true)
         }
         Value::Str(_) => Ok(false),
@@ -579,8 +584,10 @@ fn delete_one_side(
             // Multi-valued: drop the matching element from the secondary
             // list by rebuilding the lid's rows (the secondary table has no
             // tombstones; lists are short).
+            let missing_sec =
+                || relstore::Error::Plan(format!("missing table {secondary}"));
             let remaining: Vec<String> = {
-                let sec = db.table(secondary).unwrap();
+                let sec = db.table(secondary).ok_or_else(missing_sec)?;
                 let rids = sec
                     .index_on("l_id")
                     .map(|i| i.lookup(&Value::Int(lid)).to_vec())
@@ -596,26 +603,23 @@ fn delete_one_side(
             let kept: Vec<String> = remaining.into_iter().filter(|v| v != value).collect();
             // Null out the old lid entries in place.
             let rids = {
-                let sec = db.table(secondary).unwrap();
+                let sec = db.table(secondary).ok_or_else(missing_sec)?;
                 sec.index_on("l_id")
                     .map(|i| i.lookup(&Value::Int(lid)).to_vec())
                     .unwrap_or_default()
             };
-            let sec = db.table_mut(secondary).unwrap();
             for &r in &rids {
-                sec.update_cell(r, 0, Value::Null)?;
-                sec.update_cell(r, 1, Value::Null)?;
+                db.update_cell(secondary, r, 0, Value::Null)?;
+                db.update_cell(secondary, r, 1, Value::Null)?;
             }
             match kept.len() {
                 0 => {
-                    let table = db.table_mut(primary).unwrap();
-                    table.update_cell(rid, 2 + 2 * c, Value::Null)?;
-                    table.update_cell(rid, 2 + 2 * c + 1, Value::Null)?;
+                    db.update_cell(primary, rid, 2 + 2 * c, Value::Null)?;
+                    db.update_cell(primary, rid, 2 + 2 * c + 1, Value::Null)?;
                 }
                 1 => {
                     // Demote to a direct value.
-                    let table = db.table_mut(primary).unwrap();
-                    table.update_cell(rid, 2 + 2 * c + 1, Value::str(kept[0].clone()))?;
+                    db.update_cell(primary, rid, 2 + 2 * c + 1, Value::str(kept[0].clone()))?;
                 }
                 _ => {
                     db.insert_rows(

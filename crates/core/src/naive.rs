@@ -174,18 +174,15 @@ fn match_triple(tp: &sparql::TriplePattern, t: &Triple, b: &Binding) -> Option<B
     for (pat, term) in
         [(&tp.subject, &t.subject), (&tp.predicate, &t.predicate), (&tp.object, &t.object)]
     {
-        match match_term(pat, term, &ext)? {
-            Some((v, val)) => {
-                // A variable may repeat within the pattern.
-                if let Some(prev) = ext.get(&v) {
-                    if prev != &val {
-                        return None;
-                    }
-                } else {
-                    ext.insert(v, val);
+        if let Some((v, val)) = match_term(pat, term, &ext)? {
+            // A variable may repeat within the pattern.
+            if let Some(prev) = ext.get(&v) {
+                if prev != &val {
+                    return None;
                 }
+            } else {
+                ext.insert(v, val);
             }
-            None => {}
         }
     }
     Some(ext)

@@ -196,6 +196,7 @@ fn assemble_with_head(
 ///      shrinks intermediate results);
 ///   2. everything else stays pending as late as possible (`t5`, `t6`,
 ///      `OPTIONAL t7`: their variables are needed by nobody downstream).
+///
 /// When nothing is eligible the earliest-flow unit is taken anyway and the
 /// SQL generator degrades its head access gracefully.
 fn assemble(mut units: Vec<Unit>, filters: Vec<Expression>) -> ExecNode {

@@ -42,6 +42,9 @@ pub struct StoreConfig {
     /// Per-query evaluation budget in rows (None = unbounded); the analogue
     /// of the paper's 10-minute timeout.
     pub row_budget: Option<u64>,
+    /// Per-query wall-clock deadline (None = unbounded); checked at the same
+    /// execution sites as the row budget and surfaced as a timeout.
+    pub deadline: Option<std::time::Duration>,
     /// Worker-pool width for the relational engine's morsel-parallel
     /// operators. `None` defers to the `RELSTORE_THREADS` environment
     /// variable, then to the machine's available parallelism; `Some(1)`
@@ -57,6 +60,7 @@ impl Default for StoreConfig {
             optimizer: OptimizerMode::CostBased,
             top_k: 1000,
             row_budget: None,
+            deadline: None,
             threads: None,
         }
     }
@@ -92,11 +96,33 @@ pub struct RdfStore {
     loaded: bool,
 }
 
+/// The metadata table (see the `persist` module): two TEXT columns `k` and
+/// `v`, one row per persisted blob — layout name, per-side layouts,
+/// statistics, and the load report.
+const META_TABLE: &str = "sys_meta";
+
 impl RdfStore {
     pub fn new(cfg: StoreConfig) -> RdfStore {
-        let mut db = Database::new();
+        RdfStore::with_database(Database::new(), cfg)
+    }
+
+    /// Open (or create) a durable store rooted at `dir`. Relational state is
+    /// recovered by the back-end's snapshot + WAL replay; the store's side
+    /// metadata (predicate layouts, statistics, load report) is restored
+    /// from the `sys_meta` table, so a bulk-loaded dataset is queryable
+    /// immediately after reopen. The configured layout must match the one
+    /// the directory was created with.
+    pub fn open(dir: impl AsRef<std::path::Path>, cfg: StoreConfig) -> Result<RdfStore> {
+        let db = Database::open(dir.as_ref())?;
+        let mut store = RdfStore::with_database(db, cfg);
+        store.restore_meta()?;
+        Ok(store)
+    }
+
+    fn with_database(mut db: Database, cfg: StoreConfig) -> RdfStore {
         register_rdf_functions(&mut db);
         db.set_row_budget(cfg.row_budget);
+        db.set_deadline(cfg.deadline);
         db.set_threads(cfg.threads);
         RdfStore {
             cfg,
@@ -115,7 +141,154 @@ impl RdfStore {
         RdfStore::new(StoreConfig::default())
     }
 
+    /// Checkpoint a durable store: write a snapshot of all tables and rotate
+    /// the WAL, bounding reopen time. No-op guidance: call after bulk loads
+    /// or large insert batches. Errors on in-memory or read-only stores are
+    /// surfaced from the back-end.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.db.checkpoint()?;
+        Ok(())
+    }
+
+    /// Checkpoint (when durable and writable) and drop the store.
+    pub fn close(self) -> Result<()> {
+        self.db.close()?;
+        Ok(())
+    }
+
+    // -- sys_meta persistence ------------------------------------------------
+
+    /// Persist the store's side metadata into `sys_meta`. Called inside the
+    /// mutation batches so the metadata commits atomically with the data it
+    /// describes. No-op for in-memory stores.
+    fn persist_meta(&mut self) -> Result<()> {
+        if !self.db.is_durable() || self.db.is_read_only() {
+            return Ok(());
+        }
+        if self.db.table(META_TABLE).is_none() {
+            self.db.create_table(relstore::TableSchema::new(
+                META_TABLE,
+                vec![("k".into(), relstore::SqlType::Text), ("v".into(), relstore::SqlType::Text)],
+            ))?;
+        }
+        let layout = match self.cfg.layout {
+            Layout::Entity => "entity",
+            Layout::TripleStore => "triple-store",
+            Layout::Vertical => "vertical",
+        };
+        let mut blobs: Vec<(&str, String)> = vec![
+            ("layout", layout.to_string()),
+            ("stats", crate::persist::encode_stats(&self.stats)),
+            ("report", crate::persist::encode_report(&self.report)),
+        ];
+        if let Some(d) = &self.direct {
+            blobs.push(("direct", crate::persist::encode_side(d)));
+        }
+        if let Some(r) = &self.reverse {
+            blobs.push(("reverse", crate::persist::encode_side(r)));
+        }
+        if let Some(v) = &self.vertical {
+            blobs.push(("vertical", crate::persist::encode_vertical(v)));
+        }
+        for (key, value) in blobs {
+            self.set_meta(key, value)?;
+        }
+        Ok(())
+    }
+
+    /// Upsert one `sys_meta` row, skipping the write when unchanged.
+    fn set_meta(&mut self, key: &str, value: String) -> Result<()> {
+        let existing = self.db.table(META_TABLE).and_then(|t| {
+            (0..t.row_count() as u32).find_map(|r| {
+                let row = t.row_values(r);
+                match (&row[0], &row[1]) {
+                    (relstore::Value::Str(k), v) if k.as_ref() == key => {
+                        Some((r, v.as_str().map(str::to_string)))
+                    }
+                    _ => None,
+                }
+            })
+        });
+        match existing {
+            Some((_, Some(old))) if old == value => Ok(()),
+            Some((row, _)) => {
+                self.db.update_cell(META_TABLE, row, 1, relstore::Value::str(value))?;
+                Ok(())
+            }
+            None => {
+                self.db.insert_rows(
+                    META_TABLE,
+                    [vec![relstore::Value::str(key.to_string()), relstore::Value::str(value)]],
+                )?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Read one `sys_meta` value, if the table and key exist.
+    fn get_meta(&self, key: &str) -> Option<String> {
+        let t = self.db.table(META_TABLE)?;
+        (0..t.row_count() as u32).find_map(|r| {
+            let row = t.row_values(r);
+            match (&row[0], &row[1]) {
+                (relstore::Value::Str(k), relstore::Value::Str(v)) if k.as_ref() == key => {
+                    Some(v.to_string())
+                }
+                _ => None,
+            }
+        })
+    }
+
+    /// Restore side metadata after a durable reopen. A directory without
+    /// `sys_meta` is a fresh (or never-loaded) store; a present-but-invalid
+    /// blob is surfaced as corruption rather than silently ignored.
+    fn restore_meta(&mut self) -> Result<()> {
+        let Some(layout) = self.get_meta("layout") else {
+            return Ok(());
+        };
+        let expect = match self.cfg.layout {
+            Layout::Entity => "entity",
+            Layout::TripleStore => "triple-store",
+            Layout::Vertical => "vertical",
+        };
+        if layout != expect {
+            return Err(StoreError::Unsupported(format!(
+                "store was created with the {layout} layout but opened as {expect}"
+            )));
+        }
+        let corrupt = |key: &str, e: String| {
+            StoreError::Sql(relstore::Error::Corrupt(format!("sys_meta {key:?}: {e}")))
+        };
+        if let Some(text) = self.get_meta("stats") {
+            self.stats = crate::persist::decode_stats(&text).map_err(|e| corrupt("stats", e))?;
+        }
+        if let Some(text) = self.get_meta("report") {
+            self.report = crate::persist::decode_report(&text).map_err(|e| corrupt("report", e))?;
+        }
+        if let Some(text) = self.get_meta("direct") {
+            self.direct = Some(crate::persist::decode_side(&text).map_err(|e| corrupt("direct", e))?);
+        }
+        if let Some(text) = self.get_meta("reverse") {
+            self.reverse =
+                Some(crate::persist::decode_side(&text).map_err(|e| corrupt("reverse", e))?);
+        }
+        if let Some(text) = self.get_meta("vertical") {
+            self.vertical =
+                Some(crate::persist::decode_vertical(&text).map_err(|e| corrupt("vertical", e))?);
+        }
+        // A layout record is only ever written by a completed load.
+        match self.cfg.layout {
+            Layout::Entity => self.loaded = self.direct.is_some() && self.reverse.is_some(),
+            Layout::TripleStore => self.loaded = true,
+            Layout::Vertical => self.loaded = self.vertical.is_some(),
+        }
+        Ok(())
+    }
+
     /// Bulk load a dataset (must be called exactly once, before queries).
+    /// On a durable store the whole load — tables, indexes, rows, and the
+    /// `sys_meta` metadata — commits as one WAL transaction: a crash during
+    /// load recovers to the pre-load (empty) state, never to half a dataset.
     pub fn load(&mut self, triples: &[Triple]) -> Result<&LoadReport> {
         if self.loaded {
             return Err(StoreError::Unsupported(
@@ -123,22 +296,32 @@ impl RdfStore {
             ));
         }
         self.stats = Stats::collect(triples.iter(), self.cfg.top_k);
-        match self.cfg.layout {
-            Layout::Entity => {
-                let (d, r, report) = bulk_load_entity(&mut self.db, triples, &self.cfg.entity)?;
-                self.direct = Some(d);
-                self.reverse = Some(r);
-                self.report = report;
+        self.db.begin_batch();
+        let res = (|| -> Result<()> {
+            match self.cfg.layout {
+                Layout::Entity => {
+                    let (d, r, report) =
+                        bulk_load_entity(&mut self.db, triples, &self.cfg.entity)?;
+                    self.direct = Some(d);
+                    self.reverse = Some(r);
+                    self.report = report;
+                }
+                Layout::TripleStore => {
+                    load_triple_store(&mut self.db, triples)?;
+                    self.report =
+                        LoadReport { triples: triples.len() as u64, ..Default::default() };
+                }
+                Layout::Vertical => {
+                    self.vertical = Some(load_vertical(&mut self.db, triples)?);
+                    self.report =
+                        LoadReport { triples: triples.len() as u64, ..Default::default() };
+                }
             }
-            Layout::TripleStore => {
-                load_triple_store(&mut self.db, triples)?;
-                self.report = LoadReport { triples: triples.len() as u64, ..Default::default() };
-            }
-            Layout::Vertical => {
-                self.vertical = Some(load_vertical(&mut self.db, triples)?);
-                self.report = LoadReport { triples: triples.len() as u64, ..Default::default() };
-            }
-        }
+            self.persist_meta()
+        })();
+        let committed = self.db.commit_batch();
+        res?;
+        committed?;
         self.loaded = true;
         Ok(&self.report)
     }
@@ -152,35 +335,49 @@ impl RdfStore {
         self.load(&triples)
     }
 
-    /// Incrementally insert one triple after the bulk load.
+    /// Incrementally insert one triple after the bulk load. On a durable
+    /// store the data mutation and the `sys_meta` refresh commit as one WAL
+    /// transaction.
     pub fn insert(&mut self, triple: &Triple) -> Result<bool> {
         if !self.loaded {
             self.load(std::slice::from_ref(triple))?;
             return Ok(true);
         }
-        match self.cfg.layout {
-            Layout::Entity => {
-                let mut d = self.direct.take().expect("loaded entity layout");
-                let mut r = self.reverse.take().expect("loaded entity layout");
-                let added = insert_entity(&mut self.db, &mut d, &mut r, triple, &mut self.report);
-                self.direct = Some(d);
-                self.reverse = Some(r);
-                Ok(added?)
+        self.db.begin_batch();
+        let res = (|| -> Result<bool> {
+            let added = match self.cfg.layout {
+                Layout::Entity => {
+                    let mut d = self.direct.take().expect("loaded entity layout");
+                    let mut r = self.reverse.take().expect("loaded entity layout");
+                    let added =
+                        insert_entity(&mut self.db, &mut d, &mut r, triple, &mut self.report);
+                    self.direct = Some(d);
+                    self.reverse = Some(r);
+                    added?
+                }
+                Layout::TripleStore => {
+                    insert_triple_store(&mut self.db, triple)?;
+                    self.report.triples += 1;
+                    true
+                }
+                Layout::Vertical => {
+                    let mut v = self.vertical.take().expect("loaded vertical layout");
+                    let res = insert_vertical(&mut self.db, &mut v, triple);
+                    self.vertical = Some(v);
+                    res?;
+                    self.report.triples += 1;
+                    true
+                }
+            };
+            if added {
+                self.persist_meta()?;
             }
-            Layout::TripleStore => {
-                insert_triple_store(&mut self.db, triple)?;
-                self.report.triples += 1;
-                Ok(true)
-            }
-            Layout::Vertical => {
-                let mut v = self.vertical.take().expect("loaded vertical layout");
-                let res = insert_vertical(&mut self.db, &mut v, triple);
-                self.vertical = Some(v);
-                res?;
-                self.report.triples += 1;
-                Ok(true)
-            }
-        }
+            Ok(added)
+        })();
+        let committed = self.db.commit_batch();
+        let added = res?;
+        committed?;
+        Ok(added)
     }
 
     /// Delete one triple (entity layout only — the update path the paper
@@ -193,13 +390,24 @@ impl RdfStore {
             Layout::Entity => {
                 let d = self.direct.as_ref().expect("loaded entity layout").clone();
                 let r = self.reverse.as_ref().expect("loaded entity layout").clone();
-                Ok(crate::loader::delete_entity(
-                    &mut self.db,
-                    &d,
-                    &r,
-                    triple,
-                    &mut self.report,
-                )?)
+                self.db.begin_batch();
+                let res = (|| -> Result<bool> {
+                    let removed = crate::loader::delete_entity(
+                        &mut self.db,
+                        &d,
+                        &r,
+                        triple,
+                        &mut self.report,
+                    )?;
+                    if removed {
+                        self.persist_meta()?;
+                    }
+                    Ok(removed)
+                })();
+                let committed = self.db.commit_batch();
+                let removed = res?;
+                committed?;
+                Ok(removed)
             }
             other => Err(StoreError::Unsupported(format!(
                 "delete is implemented for the entity layout only (store uses {other:?})"
@@ -298,6 +506,17 @@ impl RdfStore {
     /// Adjust the per-query evaluation budget (the "timeout").
     pub fn set_row_budget(&mut self, budget: Option<u64>) {
         self.db.set_row_budget(budget);
+    }
+
+    /// Adjust the per-query wall-clock deadline (None disables it).
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.db.set_deadline(deadline);
+    }
+
+    /// True when a durable store has degraded to read-only after a WAL
+    /// write failure: queries keep working, mutations are refused.
+    pub fn is_read_only(&self) -> bool {
+        self.db.is_read_only()
     }
 
     /// Adjust the executor worker-pool width (see [`StoreConfig::threads`]).

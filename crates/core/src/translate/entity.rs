@@ -273,19 +273,17 @@ impl StarGen for EntityGen<'_> {
             let mut cols: Vec<String> =
                 state.bound.values().map(|c| format!("{c} AS {c}")).collect();
             let mut where_flip = String::new();
-            match &or_shared_var {
-                Some(v) => {
-                    if let Some(col) = state.bound.get(v).cloned() {
-                        // Variable already bound upstream: each satisfied
-                        // branch must agree with it.
-                        where_flip = format!(" WHERE L.x = {col}");
-                    } else {
-                        let col = state.col(v);
-                        cols.push(format!("L.x AS {col}"));
-                        state.bound.insert(v.clone(), col);
-                    }
+            // Without a shared variable the marker flip only multiplies rows.
+            if let Some(v) = &or_shared_var {
+                if let Some(col) = state.bound.get(v).cloned() {
+                    // Variable already bound upstream: each satisfied
+                    // branch must agree with it.
+                    where_flip = format!(" WHERE L.x = {col}");
+                } else {
+                    let col = state.col(v);
+                    cols.push(format!("L.x AS {col}"));
+                    state.bound.insert(v.clone(), col);
                 }
-                None => {} // marker flip only multiplies rows
             }
             if cols.is_empty() {
                 cols.push("L.x AS one".to_string());

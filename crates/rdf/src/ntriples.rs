@@ -111,8 +111,21 @@ fn split_term(s: &str) -> Result<(&str, &str), String> {
             }
             Ok((&s[..end], &s[end..]))
         }
-        _ => Err(format!("unexpected term start {:?}", &s[..s.len().min(10)])),
+        _ => Err(format!("unexpected term start {:?}", char_prefix(s, 10))),
     }
+}
+
+/// At most `max_bytes` of `s`, cut at a character boundary — slicing at a raw
+/// byte offset would panic mid-way through a multi-byte UTF-8 sequence.
+fn char_prefix(s: &str, max_bytes: usize) -> &str {
+    if s.len() <= max_bytes {
+        return s;
+    }
+    let mut end = max_bytes;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
 }
 
 /// Parse a whole N-Triples/N-Quads document.

@@ -1,0 +1,135 @@
+//! Robustness of the N-Triples parser against malformed input: a seeded
+//! corpus of truncated, garbled, and adversarial lines. The parser must
+//! always return `Err` with the right line number — and never panic,
+//! whatever bytes it is fed.
+
+use rdf::{parse_ntriples, parse_ntriples_line, write_ntriples, Quad, Term, Triple};
+
+/// Seeded SplitMix64, so the fuzz corpus is identical on every run.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn valid_lines() -> Vec<String> {
+    let quads = vec![
+        Quad::from(Triple::new(Term::iri("s"), Term::iri("p"), Term::iri("o"))),
+        Quad::from(Triple::new(Term::iri("s"), Term::iri("p"), Term::lit("plain value"))),
+        Quad::from(Triple::new(Term::iri("s"), Term::iri("p"), Term::lit("esc \"q\" \\ done"))),
+        Quad::from(Triple::new(Term::blank("b1"), Term::iri("p"), Term::lang_lit("hallo", "de"))),
+        Quad::from(Triple::new(Term::iri("s"), Term::iri("p"), Term::int_lit(42))),
+        Quad::from(Triple::new(Term::iri("s"), Term::iri("naïve-predicate"), Term::lit("héllo wörld ünïcode"))),
+        Quad::new(
+            Triple::new(Term::iri("s"), Term::iri("p"), Term::iri("o")),
+            Some(Term::iri("graph")),
+        ),
+    ];
+    write_ntriples(&quads).lines().map(str::to_string).collect()
+}
+
+#[test]
+fn every_truncation_of_every_valid_line_errs_or_parses_without_panic() {
+    for line in valid_lines() {
+        for cut in 0..line.len() {
+            // Cut at every byte, patching mid-character cuts lossily — the
+            // parser must survive replacement characters too.
+            let truncated = String::from_utf8_lossy(&line.as_bytes()[..cut]).into_owned();
+            // Must not panic; truncations that stay well-formed (e.g. cut
+            // inside a trailing comment or whitespace) may legally parse.
+            let _ = parse_ntriples_line(&truncated);
+        }
+    }
+}
+
+#[test]
+fn truncated_lines_report_the_right_line_number() {
+    let lines = valid_lines();
+    for (i, victim) in lines.iter().enumerate() {
+        // Truncate one line mid-term (drop the final " ." and a few bytes
+        // more) inside an otherwise valid document.
+        let cut = victim.len().saturating_sub(5).max(1);
+        let broken = String::from_utf8_lossy(&victim.as_bytes()[..cut]).into_owned();
+        let mut doc_lines = lines.clone();
+        doc_lines[i] = broken;
+        let doc = doc_lines.join("\n");
+        let err = parse_ntriples(&doc).expect_err("truncated line must fail the document");
+        assert_eq!(err.line, i + 1, "wrong line number for victim {i}: {err}");
+        assert!(!err.message.is_empty());
+    }
+}
+
+#[test]
+fn garbled_bytes_never_panic() {
+    let mut rng = Rng(0x2013_5eed);
+    let lines = valid_lines();
+    for round in 0..2000 {
+        let base = &lines[round % lines.len()];
+        let mut bytes = base.as_bytes().to_vec();
+        // 1-4 random byte mutations: flip, overwrite, delete, or insert.
+        for _ in 0..(1 + rng.below(4)) {
+            if bytes.is_empty() {
+                break;
+            }
+            let pos = rng.below(bytes.len());
+            match rng.below(4) {
+                0 => bytes[pos] ^= 1 << rng.below(8),
+                1 => bytes[pos] = rng.next() as u8,
+                2 => {
+                    bytes.remove(pos);
+                }
+                _ => bytes.insert(pos, rng.next() as u8),
+            }
+        }
+        let garbled = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_ntriples_line(&garbled); // must not panic
+        let _ = parse_ntriples(&garbled); // document path must not panic either
+    }
+}
+
+#[test]
+fn adversarial_fixed_cases_err_with_messages() {
+    let cases = [
+        "no dot here",
+        "<s> <p> <o>",            // missing terminator
+        "<s> <p> .",              // two terms
+        "<s> <p> <o> <g> <x> .",  // five terms
+        "<unterminated <p> <o> .",
+        "<s> <p> \"open literal .",
+        "<s> <p> \"lit\"^^<unterminated .",
+        "<s> <p> \"v\"@ .",       // empty language tag parses as term? must not panic
+        "\u{e9}\u{e9}\u{e9}\u{e9}\u{e9}\u{e9} <p> <o> .", // multi-byte at the error site
+        "\"\\",                   // trailing escape
+        "_: .",
+        "<s> <p> \"tail\"junk .",
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        // A few cases stay parseable; the requirement is no panic.
+        if let Err(msg) = parse_ntriples_line(case) {
+            assert!(!msg.is_empty(), "case {i} produced an empty message");
+        }
+        let err = parse_ntriples(&format!("<a> <b> <c> .\n{case}")).err();
+        if let Some(e) = err {
+            assert_eq!(e.line, 2, "case {i}: wrong line number");
+        }
+    }
+}
+
+#[test]
+fn multibyte_error_prefix_does_not_split_characters() {
+    // 10 bytes would land mid-é; the error message must truncate at a char
+    // boundary instead of panicking.
+    let line = "éééééééééééééééé <p> <o> .";
+    let err = parse_ntriples_line(line).expect_err("line cannot start with a bare literal");
+    assert!(err.contains("unexpected term start"));
+}

@@ -1,14 +1,20 @@
-//! The database facade: a named collection of tables plus SQL entry points.
+//! The database facade: a named collection of tables plus SQL entry points,
+//! with optional crash-safe durability (WAL + snapshot checkpoints).
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::error::{exec_err, plan_err, Error, Result};
 use crate::exec::{compile, exec_query, ExecCtx, Rel, Scope};
+use crate::io::{no_faults, FaultHandle};
+use crate::snapshot::{load_snapshot, write_snapshot, SnapshotTable};
 use crate::sql::ast::Stmt;
 use crate::sql::parser::parse_statement;
 use crate::table::{IndexKind, Table, TableSchema};
 use crate::value::{SqlType, Value};
+use crate::wal::{self, WalOp, WalWriter};
 
 /// A registered scalar SQL function.
 pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
@@ -24,16 +30,44 @@ pub enum ExecOutcome {
     Rows(Rel),
 }
 
-/// An in-memory relational database with a SQL interface.
+/// Durability state for a database opened on a directory.
+///
+/// The directory holds generation-numbered pairs `snapshot.<g>` / `wal.<g>`.
+/// The live state is: the newest *valid* snapshot plus the committed prefix
+/// of its same-generation WAL. A checkpoint writes `snapshot.<g+1>`
+/// atomically, starts the empty `wal.<g+1>`, and prunes generations older
+/// than `g` — so one full previous generation always survives as a fallback
+/// if the newest snapshot is damaged.
+struct Durability {
+    dir: PathBuf,
+    gen: u64,
+    /// `None` after the WAL file could not be opened for append (recovery
+    /// still succeeded from the readable prefix) — the read-only degrade.
+    wal: Option<WalWriter>,
+    faults: FaultHandle,
+    /// Buffered encoded ops + op count while a batch is open.
+    batch: Option<(Vec<u8>, u32)>,
+    /// Batches nest (the store batches around the loader's own batches);
+    /// the single WAL frame is written when the outermost batch commits.
+    batch_depth: usize,
+    read_only: bool,
+}
+
+/// An in-memory relational database with a SQL interface and optional
+/// write-ahead-logged persistence.
 ///
 /// This is the substrate standing in for IBM DB2 in the paper's architecture
 /// (see DESIGN.md §2): the RDF store above it emits SQL text, which is parsed,
-/// planned and executed here.
+/// planned and executed here. [`Database::new`] is purely in-memory;
+/// [`Database::open`] binds the database to a directory so that every
+/// committed mutation survives a crash (DESIGN.md §4.6).
 pub struct Database {
     tables: HashMap<String, Table>,
     functions: HashMap<String, ScalarFn>,
     row_budget: Option<u64>,
+    deadline: Option<Duration>,
     threads: Option<usize>,
+    durability: Option<Durability>,
 }
 
 impl Default for Database {
@@ -48,11 +82,287 @@ impl Database {
             tables: HashMap::new(),
             functions: HashMap::new(),
             row_budget: None,
+            deadline: None,
             threads: None,
+            durability: None,
         };
         db.register_builtins();
         db
     }
+
+    // -----------------------------------------------------------------------
+    // Durability: open / checkpoint / close
+    // -----------------------------------------------------------------------
+
+    /// Open (or create) a durable database on `dir`.
+    ///
+    /// Recovery loads the newest valid snapshot generation and replays the
+    /// committed prefix of its WAL, truncating any torn tail (a short frame,
+    /// a bad CRC, or an undecodable payload). If the newest snapshot is
+    /// damaged, the previous generation is used instead. If the WAL cannot
+    /// be reopened for appending, the database still opens but degrades to
+    /// read-only mode ([`Database::is_read_only`]).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Self::open_with_faults(dir, no_faults())
+    }
+
+    /// [`Database::open`] with a fault injector over the file layer — the
+    /// entry point of the crash-recovery test harness.
+    pub fn open_with_faults(dir: impl AsRef<Path>, faults: FaultHandle) -> Result<Database> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        // Newest valid snapshot wins; fall back one generation if damaged.
+        let snap_gens = list_generations(&dir, "snapshot")?;
+        let mut base: Option<(u64, Vec<SnapshotTable>)> = None;
+        for &g in &snap_gens {
+            match load_snapshot(&dir.join(format!("snapshot.{g}"))) {
+                Ok(tables) => {
+                    base = Some((g, tables));
+                    break;
+                }
+                Err(_) => continue, // damaged snapshot: try the previous one
+            }
+        }
+        let (gen, tables) = match base {
+            Some(x) => x,
+            None if snap_gens.is_empty() => {
+                // No checkpoint was ever taken: the base state is empty and
+                // the WAL (if any) carries everything.
+                let g = list_generations(&dir, "wal")?.first().copied().unwrap_or(0);
+                (g, Vec::new())
+            }
+            None => {
+                return Err(Error::Corrupt(
+                    "every snapshot generation failed validation".into(),
+                ))
+            }
+        };
+
+        let mut db = Database::new();
+        for st in tables {
+            db.restore_table(st)?;
+        }
+        let wal_path = dir.join(format!("wal.{gen}"));
+        let recovery = wal::recover(&wal_path)?;
+        for txn in recovery.txns {
+            for op in txn {
+                db.apply_op(op)
+                    .map_err(|e| Error::Corrupt(format!("WAL replay failed: {e}")))?;
+            }
+        }
+        // Reopen the WAL for appending, truncating the torn tail. Failure
+        // here (injected fsync error, permissions) degrades to read-only.
+        let (wal_writer, read_only) =
+            match WalWriter::open(&wal_path, recovery.valid_len, faults.clone()) {
+                Ok(w) => (Some(w), false),
+                Err(_) => (None, true),
+            };
+        db.durability = Some(Durability {
+            dir,
+            gen,
+            wal: wal_writer,
+            faults,
+            batch: None,
+            batch_depth: 0,
+            read_only,
+        });
+        Ok(db)
+    }
+
+    /// True when the database is bound to a directory (opened via
+    /// [`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// True when the durability layer degraded to read-only mode (the WAL
+    /// became unwritable). Reads keep working; mutations return
+    /// [`Error::ReadOnly`].
+    pub fn is_read_only(&self) -> bool {
+        self.durability.as_ref().is_some_and(|d| d.read_only)
+    }
+
+    /// The directory backing this database, if durable.
+    pub fn path(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Write a full binary snapshot of the current state and rotate to a
+    /// fresh WAL generation. After a checkpoint, recovery no longer replays
+    /// the old log; generations older than the previous one are pruned.
+    /// No-op for in-memory databases.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        if d.read_only {
+            return Err(Error::ReadOnly);
+        }
+        if d.batch_depth > 0 {
+            return exec_err("checkpoint inside an open batch");
+        }
+        let new_gen = d.gen + 1;
+        let snap_path = d.dir.join(format!("snapshot.{new_gen}"));
+        let wal_path = d.dir.join(format!("wal.{new_gen}"));
+        let mut tables: Vec<&Table> = self.tables.values().collect();
+        tables.sort_by(|a, b| a.schema.name.cmp(&b.schema.name));
+        write_snapshot(&tables, &snap_path, &d.faults)?;
+        let writer = match WalWriter::open(&wal_path, 0, d.faults.clone()) {
+            Ok(w) => w,
+            Err(e) => {
+                // The new snapshot must not become the recovery base while
+                // commits keep landing in the old WAL: undo it, or degrade.
+                let _ = std::fs::remove_file(&snap_path);
+                if snap_path.exists() {
+                    self.durability.as_mut().unwrap().read_only = true;
+                }
+                return Err(Error::Io(e.to_string()));
+            }
+        };
+        let d = self.durability.as_mut().unwrap();
+        d.gen = new_gen;
+        d.wal = Some(writer);
+        prune_generations(&d.dir, new_gen);
+        Ok(())
+    }
+
+    /// Checkpoint and release the database. Read-only databases close
+    /// without writing.
+    pub fn close(mut self) -> Result<()> {
+        if self.is_durable() && !self.is_read_only() {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Start a batched WAL transaction: subsequent mutations buffer their
+    /// log records and commit as a single durable frame at
+    /// [`Database::commit_batch`]. Batches nest; the frame is written when
+    /// the outermost batch commits. No-op on in-memory databases.
+    pub fn begin_batch(&mut self) {
+        if let Some(d) = &mut self.durability {
+            if d.batch_depth == 0 {
+                d.batch = Some((Vec::new(), 0));
+            }
+            d.batch_depth += 1;
+        }
+    }
+
+    /// Commit the current batch level; at the outermost level the buffered
+    /// ops are written and fsynced as one WAL frame. A write failure
+    /// degrades the database to read-only and surfaces as an error.
+    pub fn commit_batch(&mut self) -> Result<()> {
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
+        if d.batch_depth == 0 {
+            return Ok(());
+        }
+        d.batch_depth -= 1;
+        if d.batch_depth > 0 {
+            return Ok(());
+        }
+        let (ops, nops) = d.batch.take().unwrap_or_default();
+        if nops == 0 {
+            return Ok(());
+        }
+        let payload = wal::frame_payload(nops, &ops);
+        let res = match &mut d.wal {
+            Some(w) => w.commit(&payload).map_err(|e| Error::Io(e.to_string())),
+            None => Err(Error::ReadOnly),
+        };
+        if res.is_err() {
+            d.read_only = true;
+        }
+        res
+    }
+
+    /// Refuse mutations on a read-only (degraded) durable database.
+    fn check_writable(&self) -> Result<()> {
+        if self.is_read_only() {
+            return Err(Error::ReadOnly);
+        }
+        Ok(())
+    }
+
+    /// Append one encoded op to the WAL: buffered if a batch is open,
+    /// otherwise committed immediately as a single-op frame.
+    fn log_op(&mut self, ops: Vec<u8>) -> Result<()> {
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
+        if let Some((buf, n)) = &mut d.batch {
+            buf.extend_from_slice(&ops);
+            *n += 1;
+            return Ok(());
+        }
+        let payload = wal::frame_payload(1, &ops);
+        let res = match &mut d.wal {
+            Some(w) => w.commit(&payload).map_err(|e| Error::Io(e.to_string())),
+            None => Err(Error::ReadOnly),
+        };
+        if res.is_err() {
+            d.read_only = true;
+        }
+        res
+    }
+
+    /// Apply a recovered WAL op to the in-memory state (no re-logging).
+    fn apply_op(&mut self, op: WalOp) -> Result<()> {
+        match op {
+            WalOp::CreateTable(schema) => {
+                let name = schema.name.clone();
+                if self.tables.contains_key(&name) {
+                    return plan_err(format!("table {name:?} already exists"));
+                }
+                self.tables.insert(name, Table::new(schema));
+                Ok(())
+            }
+            WalOp::CreateIndex { table, column, kind } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+                t.create_index(&column, kind)
+            }
+            WalOp::InsertRows { table, rows } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+                for row in rows {
+                    t.insert(&row)?;
+                }
+                Ok(())
+            }
+            WalOp::UpdateCell { table, row_id, col, value } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+                t.update_cell(row_id, col as usize, value)
+            }
+        }
+    }
+
+    /// Rebuild one table from a decoded snapshot.
+    fn restore_table(&mut self, st: SnapshotTable) -> Result<()> {
+        let mut t = Table::new(st.schema);
+        for row in &st.rows {
+            t.insert(row)?;
+        }
+        for (col, kind) in st.indexes {
+            t.create_index(&col, kind)?;
+        }
+        let name = t.schema.name.clone();
+        self.tables.insert(name, t);
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------------
+    // Query limits
+    // -----------------------------------------------------------------------
 
     /// Set the per-query evaluation budget in produced/visited rows. `None`
     /// disables the guard. Stands in for the paper's 10-minute query timeout.
@@ -62,6 +372,18 @@ impl Database {
 
     pub fn row_budget(&self) -> Option<u64> {
         self.row_budget
+    }
+
+    /// Set a wall-clock deadline per query. The executor checks it at the
+    /// same sites as the row budget and fails with [`Error::Timeout`] —
+    /// the literal analogue of the paper's 10-minute query timeout (the row
+    /// budget is the deterministic stand-in). `None` disables it.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// Pin the executor worker-pool width. `None` (the default) defers to
@@ -104,6 +426,11 @@ impl Database {
         self.tables.get(&name.to_ascii_lowercase())
     }
 
+    /// Direct mutable access to a table. **Bypasses the WAL**: on a durable
+    /// database, mutations made through this handle are not logged and will
+    /// not survive a restart (they do enter the next snapshot). Durable
+    /// callers should use [`Database::insert_rows`] /
+    /// [`Database::update_cell`] instead.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         self.tables.get_mut(&name.to_ascii_lowercase())
     }
@@ -116,38 +443,130 @@ impl Database {
 
     /// Programmatic DDL, used by bulk loaders to avoid SQL round-trips.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        self.check_writable()?;
         let name = schema.name.clone();
         if self.tables.contains_key(&name) {
             return plan_err(format!("table {name:?} already exists"));
+        }
+        // Write-ahead: the op reaches the log before memory changes, so a
+        // failed autocommit leaves the in-memory state untouched.
+        if self.is_durable() {
+            let mut ops = Vec::new();
+            wal::encode_create_table(&mut ops, &schema);
+            self.log_op(ops)?;
         }
         self.tables.insert(name, Table::new(schema));
         Ok(())
     }
 
     pub fn create_index(&mut self, table: &str, column: &str, kind: IndexKind) -> Result<()> {
+        self.check_writable()?;
+        let key = table.to_ascii_lowercase();
+        let col = column.to_ascii_lowercase();
         let t = self
             .tables
-            .get_mut(&table.to_ascii_lowercase())
+            .get(&key)
             .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
-        t.create_index(column, kind)
+        // Pre-validate so the in-memory apply after logging cannot fail.
+        if t.schema.column_index(&col).is_none() {
+            return plan_err(format!("no column {column} in table {table}"));
+        }
+        if self.is_durable() {
+            let mut ops = Vec::new();
+            wal::encode_create_index(&mut ops, &key, &col, kind);
+            self.log_op(ops)?;
+        }
+        self.tables
+            .get_mut(&key)
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?
+            .create_index(&col, kind)
     }
 
-    /// Programmatic bulk insert, maintaining indexes.
+    /// Programmatic bulk insert, maintaining indexes. On a durable database
+    /// the rows are validated up front and logged as one WAL record.
     pub fn insert_rows(
         &mut self,
         table: &str,
         rows: impl IntoIterator<Item = Vec<Value>>,
     ) -> Result<usize> {
+        let key = table.to_ascii_lowercase();
+        if !self.is_durable() {
+            let t = self
+                .tables
+                .get_mut(&key)
+                .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+            let mut n = 0;
+            for row in rows {
+                t.insert(&row)?;
+                n += 1;
+            }
+            return Ok(n);
+        }
+        self.check_writable()?;
+        let rows: Vec<Vec<Value>> = rows.into_iter().collect();
+        let width = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?
+            .width();
+        // Validate arity up front, then write-ahead: the WAL record lands
+        // before memory changes, so neither side can diverge from the other.
+        for row in &rows {
+            if row.len() != width {
+                return plan_err(format!(
+                    "table {key}: insert arity {} != column count {width}",
+                    row.len()
+                ));
+            }
+        }
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        let mut ops = Vec::new();
+        wal::encode_insert_rows(&mut ops, &key, width, &rows);
+        self.log_op(ops)?;
         let t = self
             .tables
-            .get_mut(&table.to_ascii_lowercase())
+            .get_mut(&key)
             .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
-        let mut n = 0;
-        for row in rows {
-            t.insert(&row)?;
-            n += 1;
+        for row in &rows {
+            t.insert(row)?;
         }
-        Ok(n)
+        Ok(rows.len())
+    }
+
+    /// Overwrite one cell of an existing row, maintaining indexes and the
+    /// WAL. The durable counterpart of [`Table::update_cell`].
+    pub fn update_cell(
+        &mut self,
+        table: &str,
+        row_id: u32,
+        col: usize,
+        value: Value,
+    ) -> Result<()> {
+        self.check_writable()?;
+        let key = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+        // Pre-validate row and column bounds so the apply after logging
+        // cannot fail (write-ahead ordering, see `create_table`).
+        if (row_id as usize) >= t.row_count() {
+            return plan_err(format!("row {row_id} out of range in table {key}"));
+        }
+        if col >= t.width() {
+            return plan_err(format!("column {col} out of range in table {key}"));
+        }
+        if self.is_durable() {
+            let mut ops = Vec::new();
+            wal::encode_update_cell(&mut ops, &key, row_id, col as u32, &value);
+            self.log_op(ops)?;
+        }
+        self.tables
+            .get_mut(&key)
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?
+            .update_cell(row_id, col, value)
     }
 
     /// Execute any SQL statement.
@@ -285,6 +704,38 @@ impl Database {
                 _ => Ok(Value::Null),
             }
         });
+    }
+}
+
+/// Generation numbers for `<prefix>.<gen>` files in `dir`, newest first.
+fn list_generations(dir: &Path, prefix: &str) -> Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(suffix) = name.strip_prefix(prefix).and_then(|s| s.strip_prefix('.')) else {
+            continue;
+        };
+        if let Ok(g) = suffix.parse::<u64>() {
+            gens.push(g);
+        }
+    }
+    gens.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(gens)
+}
+
+/// Best-effort removal of snapshot/WAL generations older than `current - 1`
+/// (one full fallback generation is kept).
+fn prune_generations(dir: &Path, current: u64) {
+    for prefix in ["snapshot", "wal"] {
+        if let Ok(gens) = list_generations(dir, prefix) {
+            for g in gens {
+                if g + 1 < current {
+                    let _ = std::fs::remove_file(dir.join(format!("{prefix}.{g}")));
+                }
+            }
+        }
     }
 }
 

@@ -59,6 +59,9 @@ pub struct ExecCtx<'a> {
     pub db: &'a Database,
     ctes: HashMap<String, Arc<Rel>>,
     budget: AtomicU64,
+    /// Wall-clock deadline (the paper's 10-minute query timeout), checked at
+    /// the same sites as the row budget. `None` costs only a branch.
+    deadline: Option<std::time::Instant>,
     threads: usize,
 }
 
@@ -68,11 +71,17 @@ impl<'a> ExecCtx<'a> {
             db,
             ctes: HashMap::new(),
             budget: AtomicU64::new(db.row_budget().unwrap_or(u64::MAX)),
+            deadline: db.deadline().map(|d| std::time::Instant::now() + d),
             threads: db.threads(),
         }
     }
 
     fn charge(&self, n: usize) -> Result<()> {
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(Error::Timeout);
+            }
+        }
         let n = n as u64;
         // Deduct atomically; concurrent workers race on the same counter, so
         // the sum of successful charges never exceeds the initial budget.
@@ -639,6 +648,7 @@ pub fn exec_query(q: &Query, ctx: &ExecCtx<'_>) -> Result<Rel> {
         db: ctx.db,
         ctes: ctx.ctes.clone(),
         budget: AtomicU64::new(ctx.budget.load(Ordering::Relaxed)),
+        deadline: ctx.deadline,
         threads: ctx.threads,
     };
     for (name, cte_query) in &q.ctes {

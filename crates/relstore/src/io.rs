@@ -1,0 +1,209 @@
+//! The durable file layer, with fault-injection hooks.
+//!
+//! All WAL and snapshot bytes flow through [`FaultFile`], a thin wrapper
+//! over `std::fs::File` that consults an [`IoFault`] before every write and
+//! every fsync. The production injector ([`NoFaults`]) is a no-op; the
+//! crash-recovery test suite installs scripted injectors that cut writes
+//! short, fail them outright, or make fsync report an error — exercising
+//! exactly the failure surface a real disk exposes, deterministically.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+/// What the fault layer lets a single write do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Write all bytes.
+    Full,
+    /// Write only the first `n` bytes, then report failure (a torn write).
+    Short(usize),
+    /// Write nothing and report failure.
+    Fail,
+}
+
+/// Fault hooks consulted by [`FaultFile`]. Implementations must be cheap and
+/// deterministic; they are shared across the database and its files.
+pub trait IoFault: Send + Sync {
+    /// Decide the fate of a write of `len` bytes at byte `offset`.
+    fn on_write(&self, offset: u64, len: usize) -> WriteOutcome {
+        let _ = (offset, len);
+        WriteOutcome::Full
+    }
+
+    /// Decide whether an fsync succeeds. `Err` simulates a failed fsync.
+    fn on_sync(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The production injector: every operation succeeds.
+pub struct NoFaults;
+
+impl IoFault for NoFaults {}
+
+/// A shared fault injector handle.
+pub type FaultHandle = Arc<dyn IoFault>;
+
+pub fn no_faults() -> FaultHandle {
+    Arc::new(NoFaults)
+}
+
+/// An append-oriented file that routes writes and fsyncs through an
+/// [`IoFault`]. Tracks the logical end offset so callers can truncate back
+/// to the last known-good frame boundary after a torn write.
+pub struct FaultFile {
+    file: File,
+    offset: u64,
+    faults: FaultHandle,
+}
+
+impl FaultFile {
+    /// Open (or create) `path` for appending, positioned at `offset` — the
+    /// validated logical length. Bytes past `offset` are discarded.
+    pub fn open_append(
+        path: &Path,
+        offset: u64,
+        faults: FaultHandle,
+    ) -> std::io::Result<FaultFile> {
+        let file =
+            File::options().read(true).write(true).create(true).truncate(false).open(path)?;
+        file.set_len(offset)?;
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::Start(offset))?;
+        Ok(FaultFile { file, offset, faults })
+    }
+
+    /// Logical end offset (bytes durably accepted so far).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Append `bytes`, consulting the fault injector. On a short or failed
+    /// write the file is truncated back to the pre-write offset (best
+    /// effort) and an error is returned; the logical offset never moves past
+    /// a partial write.
+    pub fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self.faults.on_write(self.offset, bytes.len()) {
+            WriteOutcome::Full => {
+                self.file.write_all(bytes)?;
+                self.offset += bytes.len() as u64;
+                Ok(())
+            }
+            WriteOutcome::Short(n) => {
+                let n = n.min(bytes.len());
+                // The torn prefix reaches the platter: this is the state a
+                // crash mid-write leaves behind, and what recovery must cope
+                // with if the rollback below also fails.
+                let _ = self.file.write_all(&bytes[..n]);
+                let _ = self.file.sync_data();
+                self.rollback();
+                Err(std::io::Error::other(format!(
+                    "injected short write: {n} of {} bytes",
+                    bytes.len()
+                )))
+            }
+            WriteOutcome::Fail => {
+                self.rollback();
+                Err(std::io::Error::other("injected write failure"))
+            }
+        }
+    }
+
+    /// fsync through the fault injector.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.faults.on_sync()?;
+        self.file.sync_data()
+    }
+
+    /// Best-effort truncation back to the logical offset after a failed
+    /// append, so a later writer does not append after torn bytes.
+    fn rollback(&mut self) {
+        let _ = self.file.set_len(self.offset);
+        use std::io::Seek;
+        let _ = self.file.seek(std::io::SeekFrom::Start(self.offset));
+    }
+
+    /// Roll the file back to `offset` (best effort), discarding bytes whose
+    /// durability is unknown — e.g. a frame whose fsync failed. The logical
+    /// offset moves back too, so the next append lands at `offset`.
+    pub fn truncate_to(&mut self, offset: u64) {
+        self.offset = offset.min(self.offset);
+        self.rollback();
+    }
+}
+
+/// Write `bytes` to `path` atomically: write a `.tmp` sibling through the
+/// fault layer, fsync it, then rename over the target. Either the old file
+/// or the complete new file survives a crash; a torn `.tmp` is ignored by
+/// recovery.
+pub fn atomic_write(path: &Path, bytes: &[u8], faults: &FaultHandle) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = FaultFile::open_append(&tmp, 0, faults.clone())?;
+        f.append(bytes)?;
+        f.sync()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Durably record the rename itself (directory metadata). Failure here is
+    // not fatal: the data file is already synced.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("relstore-io-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("f")
+    }
+
+    struct ShortOnNth {
+        n: AtomicUsize,
+        keep: usize,
+    }
+
+    impl IoFault for ShortOnNth {
+        fn on_write(&self, _offset: u64, _len: usize) -> WriteOutcome {
+            if self.n.fetch_sub(1, Ordering::SeqCst) == 1 {
+                WriteOutcome::Short(self.keep)
+            } else {
+                WriteOutcome::Full
+            }
+        }
+    }
+
+    #[test]
+    fn append_tracks_offset_and_rolls_back_short_writes() {
+        let path = tmp_path("short");
+        let faults: FaultHandle = Arc::new(ShortOnNth { n: AtomicUsize::new(2), keep: 3 });
+        let mut f = FaultFile::open_append(&path, 0, faults).unwrap();
+        f.append(b"hello").unwrap();
+        assert_eq!(f.offset(), 5);
+        assert!(f.append(b"world").is_err());
+        assert_eq!(f.offset(), 5, "offset must not advance past a torn write");
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let path = tmp_path("atomic");
+        atomic_write(&path, b"one", &no_faults()).unwrap();
+        atomic_write(&path, b"two!", &no_faults()).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two!");
+        assert!(!path.with_extension("tmp").exists());
+    }
+}

@@ -22,6 +22,14 @@
 //! `RELSTORE_THREADS` environment variable, or
 //! [`std::thread::available_parallelism`], in that order.
 //!
+//! [`Database::new`] is purely in-memory; [`Database::open`] binds the
+//! database to a directory for crash-safe durability — a CRC32-framed
+//! write-ahead log of committed mutations plus binary snapshot checkpoints
+//! ([`Database::checkpoint`]). Recovery loads the newest valid snapshot and
+//! replays the committed WAL prefix, truncating torn tails; an unwritable
+//! WAL degrades the store to read-only instead of failing open. The `io`
+//! module exposes the fault-injection hooks the crash-recovery tests use.
+//!
 //! ```
 //! use relstore::{Database, Value};
 //!
@@ -32,18 +40,25 @@
 //! assert_eq!(rel.rows, vec![vec![Value::str("alan")]]);
 //! ```
 
+mod codec;
 mod database;
 mod error;
 mod exec;
+pub mod io;
 mod row;
+mod snapshot;
 pub mod sql;
 mod table;
 mod value;
+pub mod wal;
 
 pub use database::{table_schema, Database, ExecOutcome, ScalarFn};
 pub use error::{Error, Result};
 pub use exec::{like_match, OutCol, Rel, RowAccess, SplitRow, MORSEL_ROWS};
+pub use io::{FaultHandle, IoFault, NoFaults, WriteOutcome};
 pub use row::CompressedRow;
+pub use snapshot::{load_snapshot, write_snapshot, SnapshotTable};
 pub use sql::lexer::{quote_str, value_to_sql};
 pub use table::{ColumnDef, Index, IndexKind, Table, TableSchema};
 pub use value::{SqlType, Value};
+pub use wal::{WalOp, WalWriter};

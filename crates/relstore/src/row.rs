@@ -59,9 +59,9 @@ impl CompressedRow {
     pub fn decompress(&self, ncols: usize) -> Vec<Value> {
         let mut out = vec![Value::Null; ncols];
         let mut next = 0usize;
-        for i in 0..ncols.min(self.bitmap.len() * 64) {
+        for (i, slot) in out.iter_mut().enumerate().take(self.bitmap.len() * 64) {
             if self.bitmap[i / 64] & (1 << (i % 64)) != 0 {
-                out[i] = self.values[next].clone();
+                *slot = self.values[next].clone();
                 next += 1;
             }
         }

@@ -242,7 +242,12 @@ impl Parser {
             self.expect_kw("by")?;
             loop {
                 let expr = self.expr()?;
-                let asc = if self.eat_kw("desc") { false } else { self.eat_kw("asc") || true };
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc"); // optional explicit ASC
+                    true
+                };
                 order_by.push(OrderItem { expr, asc });
                 if !self.eat_if(&Token::Comma) {
                     break;
@@ -342,9 +347,9 @@ impl Parser {
 
     fn select_expr_item(&mut self) -> Result<SelectItem> {
         let expr = self.expr()?;
-        let alias = if self.eat_kw("as") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Token::Ident(w) if !RESERVED.contains(&w.as_str())) {
+        let alias = if self.eat_kw("as")
+            || matches!(self.peek(), Token::Ident(w) if !RESERVED.contains(&w.as_str()))
+        {
             Some(self.ident()?)
         } else {
             None
@@ -404,9 +409,9 @@ impl Parser {
     }
 
     fn table_alias(&mut self) -> Result<Option<String>> {
-        if self.eat_kw("as") {
-            Ok(Some(self.ident()?))
-        } else if matches!(self.peek(), Token::Ident(w) if !RESERVED.contains(&w.as_str())) {
+        if self.eat_kw("as")
+            || matches!(self.peek(), Token::Ident(w) if !RESERVED.contains(&w.as_str()))
+        {
             Ok(Some(self.ident()?))
         } else {
             Ok(None)

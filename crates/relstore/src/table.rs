@@ -183,6 +183,24 @@ impl Table {
         self.indexes.get(&column.to_ascii_lowercase())
     }
 
+    /// The table's index definitions (column, kind), sorted by column name —
+    /// what a snapshot needs to rebuild the indexes on load.
+    pub fn index_specs(&self) -> Vec<(String, IndexKind)> {
+        let mut specs: Vec<(String, IndexKind)> = self
+            .indexes
+            .iter()
+            .map(|(col, idx)| {
+                let kind = match idx {
+                    Index::Hash(_) => IndexKind::Hash,
+                    Index::BTree(_) => IndexKind::BTree,
+                };
+                (col.clone(), kind)
+            })
+            .collect();
+        specs.sort_by(|a, b| a.0.cmp(&b.0));
+        specs
+    }
+
     pub fn rows(&self) -> &[CompressedRow] {
         &self.rows
     }

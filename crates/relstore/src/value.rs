@@ -191,7 +191,7 @@ impl Hash for Value {
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -250,13 +250,11 @@ mod tests {
 
     #[test]
     fn total_order_ranks_types() {
-        let mut vals = vec![
-            Value::str("z"),
+        let mut vals = [Value::str("z"),
             Value::Int(5),
             Value::Null,
             Value::Bool(true),
-            Value::Double(1.5),
-        ];
+            Value::Double(1.5)];
         vals.sort();
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Bool(true));

@@ -15,8 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         triples.iter().map(|t| t.predicate.encode()).collect();
     println!("{} triples over {} distinct predicates", triples.len(), preds.len());
 
-    let mut cfg = StoreConfig::default();
-    cfg.entity = EntityConfig { max_cols: 75, hash_fns: 2, coloring: ColoringMode::Full };
+    let cfg = StoreConfig {
+        entity: EntityConfig { max_cols: 75, hash_fns: 2, coloring: ColoringMode::Full },
+        ..Default::default()
+    };
     let mut store = RdfStore::new(cfg);
     let report = store.load(&triples)?;
     println!(

@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The same query under the naive textual-order optimizer (§3.3).
-    let mut naive_cfg = StoreConfig::default();
-    naive_cfg.optimizer = OptimizerMode::Naive;
+    let naive_cfg = StoreConfig { optimizer: OptimizerMode::Naive, ..Default::default() };
     let mut naive_store = RdfStore::new(naive_cfg);
     naive_store.load(&triples)?;
     let t0 = Instant::now();

@@ -5,8 +5,21 @@
 #
 #   scripts/verify.sh            # tier-1: release build + root-package tests
 #   scripts/verify.sh --all      # additionally test every workspace crate
+#   scripts/verify.sh --clippy   # additionally lint (warnings are errors)
+#
+# Flags combine: `scripts/verify.sh --all --clippy` is what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_all=false
+run_clippy=false
+for arg in "$@"; do
+    case "$arg" in
+        --all) run_all=true ;;
+        --clippy) run_clippy=true ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "== cargo build --release --offline"
 cargo build --release --offline
@@ -14,9 +27,14 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
-if [[ "${1:-}" == "--all" ]]; then
+if $run_all; then
     echo "== cargo test -q --workspace --offline"
     cargo test -q --workspace --offline
+fi
+
+if $run_clippy; then
+    echo "== cargo clippy --workspace --all-targets --offline -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
 fi
 
 echo "verify: OK"

@@ -1,0 +1,81 @@
+//! End-to-end durability: a durable store that crashes and reopens between
+//! every few mutations must answer the whole query suite exactly like an
+//! in-memory store that never restarted.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use db2rdf::{RdfStore, Solutions, StoreConfig};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "db2rdf-e2e-{}-{}-{name}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn canon(s: &Solutions) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = s
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|t| t.as_ref().map(|t| t.encode()).unwrap_or_default()).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn queries() -> Vec<String> {
+    datagen::micro::queries().into_iter().map(|q| q.sparql).collect()
+}
+
+#[test]
+fn durable_store_with_restarts_matches_in_memory_store() {
+    let triples = datagen::micro::generate(200, 7);
+    let (bulk, tail) = triples.split_at(triples.len() - 20);
+
+    let mut mem = RdfStore::new(StoreConfig::default());
+    mem.load(bulk).unwrap();
+
+    let dir = fresh_dir("restarts");
+    {
+        let mut dur = RdfStore::open(&dir, StoreConfig::default()).unwrap();
+        dur.load(bulk).unwrap();
+        drop(dur); // crash #1: straight after the bulk load
+    }
+
+    // Insert the tail in chunks, crashing (dropping without close) or
+    // checkpointing between chunks; mirror every insert on the in-memory
+    // store.
+    for (chunk_no, chunk) in tail.chunks(5).enumerate() {
+        let mut dur = RdfStore::open(&dir, StoreConfig::default()).unwrap();
+        for t in chunk {
+            let a = mem.insert(t).unwrap();
+            let b = dur.insert(t).unwrap();
+            assert_eq!(a, b, "insert outcome diverged for {t:?}");
+        }
+        if chunk_no % 2 == 0 {
+            drop(dur); // crash
+        } else {
+            dur.checkpoint().unwrap();
+            dur.close().unwrap(); // clean shutdown
+        }
+    }
+
+    let dur = RdfStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(dur.load_report().triples, mem.load_report().triples);
+    for q in queries() {
+        let a = mem.query(&q);
+        let b = dur.query(&q);
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert_eq!(canon(&x), canon(&y), "query diverged: {q}"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("one store failed where the other succeeded for {q}: {} vs {}",
+                a.is_ok(), b.is_ok()),
+        }
+    }
+}

@@ -157,10 +157,10 @@ fn coloring_modes_do_not_change_answers() {
 #[test]
 fn naive_optimizer_matches_cost_based_answers() {
     let triples = prbench::generate(80, 9);
-    let mut cost = StoreConfig::default();
-    cost.optimizer = db2rdf::OptimizerMode::CostBased;
-    let mut naive_cfg = StoreConfig::default();
-    naive_cfg.optimizer = db2rdf::OptimizerMode::Naive;
+    let cost =
+        StoreConfig { optimizer: db2rdf::OptimizerMode::CostBased, ..Default::default() };
+    let naive_cfg =
+        StoreConfig { optimizer: db2rdf::OptimizerMode::Naive, ..Default::default() };
     let mut a = RdfStore::new(cost);
     a.load(&triples).unwrap();
     let mut b = RdfStore::new(naive_cfg);
