@@ -1,86 +1,120 @@
-//! Thread-scaling benchmark for the morsel-parallel executor.
+//! Thread-scaling and dictionary-encoding benchmark for the executor.
 //!
 //! Loads ≥100k LUBM-style triples into a single `spo(s,p,o)` relation (the
 //! triple-store layout, scan- and hash-join-heavy by construction: no
 //! indexes, so every FROM item is a full parallel scan and every join is a
-//! build-once/probe-parallel hash join), then times a multi-join query
-//! suite at 1/2/4/8 worker threads. Asserts the result rows — including
-//! their order — are identical at every width, prints a scaling table, and
-//! writes the measurements to `BENCH_exec.json`.
+//! build-once/probe-parallel hash join), then:
+//!
+//! 1. times a multi-join query suite at 1/2/4/8 worker threads, asserting
+//!    the result rows — including their order — are identical at every
+//!    width, and writes the measurements to `BENCH_exec.json`;
+//! 2. times the same suite against a dictionary-encoded `spo_enc(s,p,o)`
+//!    BIGINT relation (constants become interned IDs; the LIKE filter
+//!    materializes strings through `RDF_STR`), asserts the decoded results
+//!    are identical to the string run, and writes the per-query
+//!    string-vs-encoded comparison to `BENCH_dict.json`.
 //!
 //! Dependency-free by design: `std::time::Instant` timing, hand-rolled
 //! JSON. Run with `cargo run --release -p bench --bin exec_scaling`; scale
 //! with `EXEC_SCALING_UNIV=<universities>` (default 24, ~5.1k triples
-//! each). Speedup is relative to the 1-thread run on the same machine; on a
-//! single-core host the wall-clock curve is flat and the run degrades to a
-//! determinism check (the JSON records `cores` so readers can tell).
+//! each). `EXEC_SCALING_SMOKE=1` switches to a CI smoke profile: a small
+//! dataset, one run per point, 1/2 threads only — a panic-freedom check,
+//! not a measurement. Speedup is relative to the 1-thread run on the same
+//! machine; on a single-core host the wall-clock curve is flat and the run
+//! degrades to a determinism check (the JSON records `cores`).
 
 use std::time::Instant;
 
 use bench::scale_from_env;
 use datagen::lubm::{self, NS, RDF_TYPE};
+use db2rdf::translate::functions::register_rdf_functions;
+use db2rdf::{Dict, SharedDict};
 use relstore::{quote_str, Database, Rel, Value};
-
-const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const RUNS: usize = 3;
 
 fn iri(local: &str) -> String {
     rdf::Term::iri(format!("{NS}{local}")).encode()
 }
 
-fn queries() -> Vec<(&'static str, String)> {
-    let typ = quote_str(&rdf::Term::iri(RDF_TYPE).encode());
-    let grad = quote_str(&iri("GraduateStudent"));
-    let cls = |l: &str| quote_str(&iri(l));
+/// One benchmark query in both dialects. `term_cols` lists the output
+/// columns that hold RDF terms (IDs in the encoded run); the rest are plain
+/// values (e.g. COUNT results) that must match bit-for-bit.
+struct BenchQuery {
+    name: &'static str,
+    string_sql: String,
+    encoded_sql: String,
+    term_cols: Vec<usize>,
+}
+
+fn queries(dict: &Dict) -> Vec<BenchQuery> {
+    let typ_t = rdf::Term::iri(RDF_TYPE).encode();
+    let sq = |enc: &str| quote_str(enc);
+    let id = |enc: &str| dict.lookup(enc).expect("benchmark constant interned").to_string();
+    let triangle = |typ: &str, grad: &str, advisor: &str, teacher: &str, takes: &str| {
+        format!(
+            "SELECT t1.s, t2.o AS prof, t3.o AS course \
+             FROM {{T}} AS t1, {{T}} AS t2, {{T}} AS t3, {{T}} AS t4 \
+             WHERE t1.p = {typ} AND t1.o = {grad} \
+             AND t2.s = t1.s AND t2.p = {advisor} \
+             AND t3.s = t2.o AND t3.p = {teacher} \
+             AND t4.s = t1.s AND t4.p = {takes} AND t4.o = t3.o"
+        )
+    };
+    let star = |typ: &str, grad: &str, name: &str, member: &str, o_expr: &str| {
+        format!(
+            "SELECT t1.s, t2.o AS name, t3.o AS dept \
+             FROM {{T}} AS t1, {{T}} AS t2, {{T}} AS t3 \
+             WHERE t1.p = {typ} AND t1.o = {grad} \
+             AND t2.s = t1.s AND t2.p = {name} AND {o_expr} LIKE '%Grad 1%' \
+             AND t3.s = t1.s AND t3.p = {member}"
+        )
+    };
+    let chain = |advisor: &str, member: &str| {
+        format!(
+            "SELECT t2.o AS dept, COUNT(*) AS n \
+             FROM {{T}} AS t1, {{T}} AS t2 \
+             WHERE t1.p = {advisor} AND t2.s = t1.s AND t2.p = {member} \
+             GROUP BY t2.o ORDER BY 2 DESC, 1"
+        )
+    };
+    let consts: Vec<String> =
+        ["GraduateStudent", "advisor", "teacherOf", "takesCourse", "name", "memberOf"]
+            .iter()
+            .map(|l| iri(l))
+            .collect();
+    let [grad, advisor, teacher, takes, name, member] = &consts[..] else { unreachable!() };
     vec![
-        (
+        BenchQuery {
             // LUBM Q9-style triangle: student → advisor → course the
             // advisor teaches and the student takes. Three hash joins, the
             // last on a composite (s, o) key.
-            "triangle",
-            format!(
-                "SELECT t1.s, t2.o AS prof, t3.o AS course \
-                 FROM spo AS t1, spo AS t2, spo AS t3, spo AS t4 \
-                 WHERE t1.p = {typ} AND t1.o = {grad} \
-                 AND t2.s = t1.s AND t2.p = {advisor} \
-                 AND t3.s = t2.o AND t3.p = {teacher} \
-                 AND t4.s = t1.s AND t4.p = {takes} AND t4.o = t3.o",
-                advisor = cls("advisor"),
-                teacher = cls("teacherOf"),
-                takes = cls("takesCourse"),
-            ),
-        ),
-        (
-            // Star with a LIKE filter: expression-heavy parallel scans.
-            "star_like",
-            format!(
-                "SELECT t1.s, t2.o AS name, t3.o AS dept \
-                 FROM spo AS t1, spo AS t2, spo AS t3 \
-                 WHERE t1.p = {typ} AND t1.o = {grad} \
-                 AND t2.s = t1.s AND t2.p = {name} AND t2.o LIKE '%Grad 1%' \
-                 AND t3.s = t1.s AND t3.p = {member}",
-                name = cls("name"),
-                member = cls("memberOf"),
-            ),
-        ),
-        (
+            name: "triangle",
+            string_sql: triangle(&sq(&typ_t), &sq(grad), &sq(advisor), &sq(teacher), &sq(takes)),
+            encoded_sql: triangle(&id(&typ_t), &id(grad), &id(advisor), &id(teacher), &id(takes)),
+            term_cols: vec![0, 1, 2],
+        },
+        BenchQuery {
+            // Star with a LIKE filter: expression-heavy parallel scans. The
+            // encoded run must materialize the name through the dictionary
+            // (`RDF_STR`) before the substring match — the one place where
+            // late materialization pays its cost inside the engine.
+            name: "star_like",
+            string_sql: star(&sq(&typ_t), &sq(grad), &sq(name), &sq(member), "t2.o"),
+            encoded_sql: star(&id(&typ_t), &id(grad), &id(name), &id(member), "RDF_STR(t2.o)"),
+            term_cols: vec![0, 1, 2],
+        },
+        BenchQuery {
             // Chain ending in an aggregation over a parallel scan.
-            "chain_agg",
-            format!(
-                "SELECT t2.o AS dept, COUNT(*) AS n \
-                 FROM spo AS t1, spo AS t2 \
-                 WHERE t1.p = {advisor} AND t2.s = t1.s AND t2.p = {member} \
-                 GROUP BY t2.o ORDER BY 2 DESC, 1",
-                advisor = cls("advisor"),
-                member = cls("memberOf"),
-            ),
-        ),
+            name: "chain_agg",
+            string_sql: chain(&sq(advisor), &sq(member)),
+            encoded_sql: chain(&id(advisor), &id(member)),
+            term_cols: vec![0],
+        },
     ]
 }
 
-fn median_secs(db: &Database, sql: &str) -> (f64, Rel) {
+fn median_secs(db: &Database, sql: &str, runs: usize) -> (f64, Rel) {
     let warm = db.query(sql).expect("query");
-    let mut times: Vec<f64> = (0..RUNS)
+    let mut times: Vec<f64> = (0..runs)
         .map(|_| {
             let t0 = Instant::now();
             db.query(sql).expect("query");
@@ -91,14 +125,68 @@ fn median_secs(db: &Database, sql: &str) -> (f64, Rel) {
     (times[times.len() / 2], warm)
 }
 
+/// Time the two dialects of one query *interleaved*: each repetition runs
+/// the string query then the encoded query, and each side keeps its minimum.
+/// The minimum is the noise-free estimator for a deterministic computation
+/// (every slowdown source is additive), and interleaving makes both sides
+/// sample the same window of machine conditions, so a load spike or
+/// frequency shift cannot land entirely on one dialect.
+fn minned_pair(db: &Database, str_sql: &str, enc_sql: &str, runs: usize) -> (f64, f64, Rel, Rel) {
+    let str_warm = db.query(str_sql).expect("query");
+    let enc_warm = db.query(enc_sql).expect("query");
+    let (mut str_secs, mut enc_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        db.query(str_sql).expect("query");
+        str_secs = str_secs.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        db.query(enc_sql).expect("query");
+        enc_secs = enc_secs.min(t0.elapsed().as_secs_f64());
+    }
+    (str_secs, enc_secs, str_warm, enc_warm)
+}
+
+/// Canonical string form of a result set: term columns resolved through the
+/// dictionary when one is given, rows sorted (the two dialects order
+/// differently where ties break on term columns).
+fn canon(rel: &Rel, term_cols: &[usize], dict: Option<&Dict>) -> Vec<Vec<String>> {
+    let cell = |i: usize, v: &Value| -> String {
+        if let (Value::Int(id), Some(d)) = (v, dict) {
+            if term_cols.contains(&i) {
+                return d.resolve(*id).expect("result ID resolves").to_string();
+            }
+        }
+        match v {
+            Value::Null => "∅".into(),
+            Value::Str(s) => s.to_string(),
+            Value::Int(n) => n.to_string(),
+            Value::Double(x) => x.to_string(),
+            Value::Bool(b) => b.to_string(),
+        }
+    };
+    let mut rows: Vec<Vec<String>> = rel
+        .rows
+        .iter()
+        .map(|r| r.iter().enumerate().map(|(i, v)| cell(i, v)).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
 fn main() {
-    let universities = scale_from_env("EXEC_SCALING_UNIV", 24);
+    let smoke = std::env::var("EXEC_SCALING_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let universities = scale_from_env("EXEC_SCALING_UNIV", if smoke { 2 } else { 24 });
+    let runs = if smoke { 1 } else { 3 };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     let triples = lubm::generate(universities, 42);
-    assert!(triples.len() >= 100_000, "need ≥100k triples, got {}", triples.len());
+    if !smoke {
+        assert!(triples.len() >= 100_000, "need ≥100k triples, got {}", triples.len());
+    }
     let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     eprintln!(
-        "loaded {} LUBM triples ({universities} universities); {cores} core(s) available",
-        triples.len()
+        "loaded {} LUBM triples ({universities} universities); {cores} core(s) available{}",
+        triples.len(),
+        if smoke { "; SMOKE mode" } else { "" }
     );
 
     let mut db = Database::new();
@@ -115,18 +203,99 @@ fn main() {
     )
     .unwrap();
 
-    let suite = queries();
+    // Dictionary-encoded copy: every term interned to a dense BIGINT.
+    let shared = SharedDict::new();
+    let enc_rows: Vec<Vec<Value>> = {
+        let mut d = shared.write();
+        triples
+            .iter()
+            .map(|t| {
+                vec![
+                    Value::Int(d.intern(&t.subject.encode())),
+                    Value::Int(d.intern(&t.predicate.encode())),
+                    Value::Int(d.intern(&t.object.encode())),
+                ]
+            })
+            .collect()
+    };
+    register_rdf_functions(&mut db, &shared);
+    db.execute("CREATE TABLE spo_enc (s BIGINT, p BIGINT, o BIGINT)").unwrap();
+    db.insert_rows("spo_enc", enc_rows).unwrap();
+
+    let dict_guard = shared.read();
+    let suite = queries(&dict_guard);
+
+    // ---- Phase A: string vs dictionary-encoded → BENCH_dict.json
+    // Runs first: the thread-scaling phase oversubscribes small machines for
+    // minutes, and the comparison is fairest on a quiet core.
+    let dict_threads = if smoke { 1 } else { 4.min(cores) };
+    let dict_runs = if smoke { 1 } else { 9 };
+    db.set_threads(Some(dict_threads));
+    println!(
+        "{:<10} {:>10} {:>12} {:>13} {:>9}  ({dict_threads} thread(s))",
+        "query", "rows", "string_secs", "encoded_secs", "speedup"
+    );
+    let mut dict_json = Vec::new();
+    let mut log_sum = 0.0f64;
+    for q in &suite {
+        let (str_secs, enc_secs, str_rel, enc_rel) = minned_pair(
+            &db,
+            &q.string_sql.replace("{T}", "spo"),
+            &q.encoded_sql.replace("{T}", "spo_enc"),
+            dict_runs,
+        );
+        assert_eq!(
+            canon(&str_rel, &q.term_cols, None),
+            canon(&enc_rel, &q.term_cols, Some(&dict_guard)),
+            "{}: encoded run decoded to different solutions",
+            q.name
+        );
+        let speedup = str_secs / enc_secs;
+        log_sum += speedup.ln();
+        println!(
+            "{:<10} {:>10} {:>12.4} {:>13.4} {:>8.2}x",
+            q.name,
+            str_rel.rows.len(),
+            str_secs,
+            enc_secs,
+            speedup
+        );
+        dict_json.push(format!(
+            "{{\"name\": \"{}\", \"rows\": {}, \"string_secs\": {str_secs:.6}, \
+             \"encoded_secs\": {enc_secs:.6}, \"speedup\": {speedup:.3}}}",
+            q.name,
+            str_rel.rows.len()
+        ));
+    }
+    let geomean = (log_sum / suite.len() as f64).exp();
+    let json = format!(
+        "{{\n  \"bench\": \"exec_scaling_dict\",\n  \"triples\": {},\n  \"universities\": {},\n  \
+         \"cores\": {cores},\n  \"threads\": {dict_threads},\n  \"runs_per_point\": {},\n  \
+         \"smoke\": {},\n  \"geomean_speedup\": {:.3},\n  \"queries\": [\n    {}\n  ]\n}}\n",
+        triples.len(),
+        universities,
+        dict_runs,
+        smoke,
+        geomean,
+        dict_json.join(",\n    ")
+    );
+    std::fs::write("BENCH_dict.json", &json).expect("write BENCH_dict.json");
+    eprintln!("dictionary-encoding geometric-mean speedup: {geomean:.2}x (wrote BENCH_dict.json)");
+
+    // ---- Phase B: thread scaling over the string table → BENCH_exec.json
     let mut json_queries = Vec::new();
     let mut speedup_at_4 = f64::INFINITY;
+    println!();
 
     println!("{:<10} {:>8} {:>10} {:>10} {:>9}", "query", "threads", "rows", "secs", "speedup");
-    for (name, sql) in &suite {
+    for q in &suite {
+        let sql = q.string_sql.replace("{T}", "spo");
         let mut base_secs = 0.0;
         let mut reference: Option<Rel> = None;
         let mut runs_json = Vec::new();
-        for &threads in &THREAD_COUNTS {
+        for &threads in thread_counts {
             db.set_threads(Some(threads));
-            let (secs, rel) = median_secs(&db, sql);
+            let (secs, rel) = median_secs(&db, &sql, runs);
             match &reference {
                 None => {
                     base_secs = secs;
@@ -134,7 +303,8 @@ fn main() {
                 }
                 Some(r) => assert_eq!(
                     r.rows, rel.rows,
-                    "{name}: result rows (or their order) changed at {threads} threads"
+                    "{}: result rows (or their order) changed at {threads} threads",
+                    q.name
                 ),
             }
             let speedup = base_secs / secs;
@@ -142,30 +312,40 @@ fn main() {
                 speedup_at_4 = speedup_at_4.min(speedup);
             }
             let rows = reference.as_ref().unwrap().rows.len();
-            println!("{name:<10} {threads:>8} {rows:>10} {secs:>10.4} {speedup:>8.2}x");
+            println!("{:<10} {threads:>8} {rows:>10} {secs:>10.4} {speedup:>8.2}x", q.name);
             runs_json.push(format!(
                 "{{\"threads\": {threads}, \"secs\": {secs:.6}, \"speedup\": {speedup:.3}}}"
             ));
         }
         json_queries.push(format!(
-            "{{\"name\": \"{name}\", \"rows\": {}, \"runs\": [{}]}}",
+            "{{\"name\": \"{}\", \"rows\": {}, \"runs\": [{}]}}",
+            q.name,
             reference.unwrap().rows.len(),
             runs_json.join(", ")
         ));
     }
 
+    // No 4-thread point in smoke mode: emit null, not an invalid `inf`.
+    let speedup_at_4_json = if speedup_at_4.is_finite() {
+        format!("{speedup_at_4:.3}")
+    } else {
+        "null".to_string()
+    };
     let json = format!(
         "{{\n  \"bench\": \"exec_scaling\",\n  \"triples\": {},\n  \"universities\": {},\n  \
          \"cores\": {cores},\n  \
-         \"runs_per_point\": {},\n  \"min_speedup_at_4_threads\": {:.3},\n  \"queries\": [\n    {}\n  ]\n}}\n",
+         \"runs_per_point\": {},\n  \"min_speedup_at_4_threads\": {speedup_at_4_json},\n  \"queries\": [\n    {}\n  ]\n}}\n",
         triples.len(),
         universities,
-        RUNS,
-        speedup_at_4,
+        runs,
         json_queries.join(",\n    ")
     );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
-    eprintln!("minimum speedup at 4 threads: {speedup_at_4:.2}x (wrote BENCH_exec.json)");
+    if speedup_at_4.is_finite() {
+        eprintln!("minimum speedup at 4 threads: {speedup_at_4:.2}x (wrote BENCH_exec.json)");
+    } else {
+        eprintln!("no 4-thread point in this profile (wrote BENCH_exec.json)");
+    }
     if cores < 4 {
         eprintln!(
             "note: only {cores} core(s) available — speedup cannot exceed 1.0 here; \

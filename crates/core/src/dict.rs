@@ -1,0 +1,218 @@
+//! Term dictionary: canonical RDF term encodings ↔ dense integer IDs.
+//!
+//! Every RDF engine surveyed for the ROADMAP dictionary-encodes terms so the
+//! relational layer joins, hashes and sorts 8-byte integers instead of string
+//! bytes. Here terms are interned at load/insert time to IDs assigned densely
+//! from 1 upward in first-appearance order, and the DPH/DS/RPH/RS tables
+//! store only those IDs; lexical forms are materialized exactly once, in
+//! `results::decode_value`, when rows become `Solutions`.
+//!
+//! ## ID space
+//!
+//! * `0` is never assigned — a zero in a term column is corruption.
+//! * Term IDs are **positive** (`1..=n`, dense, append-only).
+//! * Multi-valued list IDs (lids) in DPH/RPH value cells are **negative**
+//!   (`-1, -2, …`, see `loader::next_lid`), so a single-valued term ID can
+//!   never accidentally equi-join against `ds.l_id`/`rs.l_id` through the
+//!   `LEFT OUTER JOIN … COALESCE` fall-through path, and insert/delete logic
+//!   can tell the two cell kinds apart by sign alone.
+//!
+//! ## Recovery invariant
+//!
+//! The dictionary persists as the `sys_dict` table, appended inside the same
+//! WAL batch as the rows that introduced its entries (`RdfStore::persist_*`).
+//! After any crash + replay, every ID stored in a data table has exactly one
+//! `sys_dict` row, and that row carries the encoding the ID had when the
+//! batch committed — an ID can never resolve to the wrong string, because
+//! IDs are append-only and entries are immutable once written.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// An append-only intern table: canonical term encoding ↔ dense positive ID.
+#[derive(Debug, Default)]
+pub struct Dict {
+    /// `terms[id - 1]` is the encoding of `id`.
+    terms: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, i64>,
+}
+
+impl Dict {
+    pub fn new() -> Dict {
+        Dict::default()
+    }
+
+    /// Number of interned terms (also the highest assigned ID).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Intern a canonical encoding, returning its ID (new or existing).
+    pub fn intern(&mut self, term: &str) -> i64 {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let arc: Arc<str> = term.into();
+        self.terms.push(arc.clone());
+        let id = self.terms.len() as i64;
+        self.ids.insert(arc, id);
+        id
+    }
+
+    /// Look up the ID of an encoding without interning it.
+    pub fn lookup(&self, term: &str) -> Option<i64> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolve an ID back to its encoding. Negative and zero IDs (lids,
+    /// corruption) resolve to nothing.
+    pub fn resolve(&self, id: i64) -> Option<&str> {
+        if id < 1 {
+            return None;
+        }
+        self.terms.get(id as usize - 1).map(Arc::as_ref)
+    }
+
+    /// Entries with IDs above `watermark`, in ID order — the tail that a
+    /// persistence pass has not yet written out.
+    pub fn entries_from(&self, watermark: usize) -> impl Iterator<Item = (i64, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .skip(watermark)
+            .map(|(i, t)| (i as i64 + 1, t.as_ref()))
+    }
+
+    /// Restore one entry from storage. Entries must arrive in ID order with
+    /// no gaps (`sys_dict` is written append-only, so a sorted scan of it
+    /// satisfies this); anything else is corruption.
+    pub fn restore(&mut self, id: i64, term: &str) -> std::result::Result<(), String> {
+        if id != self.terms.len() as i64 + 1 {
+            return Err(format!(
+                "sys_dict gap: expected id {}, found {id}",
+                self.terms.len() + 1
+            ));
+        }
+        let arc: Arc<str> = term.into();
+        if self.ids.insert(arc.clone(), id).is_some() {
+            return Err(format!("sys_dict duplicate term for id {id}"));
+        }
+        self.terms.push(arc);
+        Ok(())
+    }
+}
+
+/// A dictionary shared between the store (which interns during load/insert)
+/// and the registered `RDF_*` scalar functions (which resolve IDs during
+/// query execution, possibly from several worker threads at once). The dict
+/// is append-only, so an ID never remaps while the process lives.
+#[derive(Debug, Clone, Default)]
+pub struct SharedDict(Arc<RwLock<Dict>>);
+
+impl SharedDict {
+    pub fn new() -> SharedDict {
+        SharedDict::default()
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, Dict> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, Dict> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf::{decode_term, Term};
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = Dict::new();
+        let a = d.intern("<http://a>");
+        let b = d.intern("<http://b>");
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(d.intern("<http://a>"), 1);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.lookup("<http://b>"), Some(2));
+        assert_eq!(d.lookup("<http://c>"), None);
+        assert_eq!(d.resolve(1), Some("<http://a>"));
+        assert_eq!(d.resolve(0), None);
+        assert_eq!(d.resolve(-1), None);
+        assert_eq!(d.resolve(3), None);
+    }
+
+    #[test]
+    fn restore_rejects_gaps_and_duplicates() {
+        let mut d = Dict::new();
+        d.restore(1, "<a>").unwrap();
+        assert!(d.restore(3, "<c>").is_err());
+        assert!(d.restore(2, "<a>").is_err());
+        d.restore(2, "<b>").unwrap();
+        assert_eq!(d.resolve(2), Some("<b>"));
+    }
+
+    /// Deterministic PRNG (SplitMix64) — the workspace builds offline, so no
+    /// external property-testing crate; this generates the term corpus.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Round-trip property: for generated terms — IRIs, plain/lang/typed
+    /// literals with multi-byte UTF-8, escapes and blanks — interning the
+    /// canonical encoding and resolving the ID back yields a string that
+    /// decodes to the original term.
+    #[test]
+    fn round_trip_property_over_generated_terms() {
+        let alphabets = ["ab", "héllo wörld", "日本語テキスト", "émoji 🦀 σ∑", "a\"b\\c\nd\te"];
+        let mut rng = Rng(42);
+        let mut dict = Dict::new();
+        let mut terms: Vec<Term> = Vec::new();
+        for i in 0..500 {
+            let alpha: Vec<char> =
+                alphabets[rng.next() as usize % alphabets.len()].chars().collect();
+            let len = 1 + rng.next() as usize % 12;
+            let s: String =
+                (0..len).map(|_| alpha[rng.next() as usize % alpha.len()]).collect();
+            let t = match rng.next() % 6 {
+                0 => Term::iri(format!("http://example.org/{i}/{s}")),
+                1 => Term::blank(format!("b{i}")),
+                2 => Term::lit(s),
+                3 => Term::lang_lit(s, "ja"),
+                4 => Term::typed_lit(s, "http://example.org/dt"),
+                _ => Term::int_lit(rng.next() as i64),
+            };
+            terms.push(t);
+        }
+        let ids: Vec<i64> = terms.iter().map(|t| dict.intern(&t.encode())).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            assert!(*id > 0);
+            let enc = dict.resolve(*id).expect("interned id must resolve");
+            assert_eq!(enc, t.encode(), "resolved encoding differs");
+            assert_eq!(decode_term(enc).as_ref(), Some(t), "decode(resolve(id)) != term");
+        }
+        // Distinct terms got distinct IDs; equal terms collapsed.
+        for (i, a) in terms.iter().enumerate() {
+            for (j, b) in terms.iter().enumerate() {
+                if ids[i] == ids[j] {
+                    assert_eq!(a, b, "id collision between distinct terms");
+                } else {
+                    assert_ne!(a, b, "duplicate term got two ids");
+                }
+            }
+        }
+    }
+}

@@ -25,6 +25,7 @@
 //! ```
 
 pub mod baseline;
+pub mod dict;
 mod error;
 pub mod layout;
 pub mod loader;
@@ -36,6 +37,7 @@ pub mod stats;
 mod store;
 pub mod translate;
 
+pub use dict::{Dict, SharedDict};
 pub use error::{Result, StoreError};
 pub use loader::{ColoringMode, EntityConfig, LoadReport};
 pub use optimizer::OptimizerMode;

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use rdf::Triple;
 use relstore::{Database, IndexKind, SqlType, TableSchema, Value};
 
+use crate::dict::Dict;
 use crate::layout::{HashComposition, InterferenceGraph, PredMapping, SideLayout};
 
 /// How predicates are assigned to columns at bulk load (§2.2).
@@ -63,7 +64,10 @@ pub struct LoadReport {
 }
 
 /// One packed hash-table cell: the predicate that landed in the column and
-/// its value (`None` for an empty column).
+/// its value (`None` for an empty column). The build state keeps canonical
+/// strings — the layout (candidates, multivalued, spill_preds) is keyed on
+/// them — and `insert_side` interns them to dictionary IDs at table-write
+/// time; a `Value::Int` here is already a (negative) lid.
 type Cell = Option<(Arc<str>, Value)>;
 
 /// One side's in-memory build state before table insertion.
@@ -166,7 +170,9 @@ fn build_side(grouped: &Grouped, cfg: &EntityConfig) -> SideBuild {
     };
     let mut rows = Vec::with_capacity(grouped.len());
     let mut secondary = Vec::new();
-    let mut next_lid: i64 = 1;
+    // Lids are negative (term IDs are positive): the two can never collide
+    // in a value cell, so the DS/RS COALESCE fall-through stays unambiguous.
+    let mut next_lid: i64 = -1;
     let mut spill_rows = 0u64;
     let mut covered = 0u64;
     let mut total = 0u64;
@@ -200,7 +206,7 @@ fn build_side(grouped: &Grouped, cfg: &EntityConfig) -> SideBuild {
             } else {
                 layout.multivalued.insert(p.to_string());
                 let lid = next_lid;
-                next_lid += 1;
+                next_lid -= 1;
                 for v in vals {
                     secondary.push((lid, (*v).clone()));
                 }
@@ -247,12 +253,14 @@ fn build_side(grouped: &Grouped, cfg: &EntityConfig) -> SideBuild {
     }
 }
 
+/// All term-bearing columns are BIGINT dictionary IDs (positive), with
+/// multi-valued value cells holding negative lids into the secondary table.
 fn phys_schema(table: &str, ncols: usize) -> TableSchema {
     let mut cols: Vec<(String, SqlType)> =
-        vec![("entry".into(), SqlType::Text), ("spill".into(), SqlType::Int)];
+        vec![("entry".into(), SqlType::Int), ("spill".into(), SqlType::Int)];
     for i in 0..ncols {
-        cols.push((format!("pred{i}"), SqlType::Text));
-        cols.push((format!("val{i}"), SqlType::Text));
+        cols.push((format!("pred{i}"), SqlType::Int));
+        cols.push((format!("val{i}"), SqlType::Int));
     }
     TableSchema::new(table, cols)
 }
@@ -262,36 +270,46 @@ fn insert_side(
     build: &SideBuild,
     primary: &str,
     secondary: &str,
+    dict: &mut Dict,
 ) -> relstore::Result<()> {
     db.create_table(phys_schema(primary, build.layout.ncols))?;
     db.create_table(TableSchema::new(
         secondary,
-        vec![("l_id".into(), SqlType::Int), ("elm".into(), SqlType::Text)],
+        vec![("l_id".into(), SqlType::Int), ("elm".into(), SqlType::Int)],
     ))?;
     let ncols = build.layout.ncols;
-    let rows = build.rows.iter().map(|(entity, spilled, cells)| {
-        let mut row: Vec<Value> = Vec::with_capacity(2 + 2 * ncols);
-        row.push(Value::Str(entity.clone()));
-        row.push(Value::Int(*spilled as i64));
-        for cell in cells {
-            match cell {
-                Some((p, v)) => {
-                    row.push(Value::Str(p.clone()));
-                    row.push(v.clone());
-                }
-                None => {
-                    row.push(Value::Null);
-                    row.push(Value::Null);
+    let rows: Vec<Vec<Value>> = build
+        .rows
+        .iter()
+        .map(|(entity, spilled, cells)| {
+            let mut row: Vec<Value> = Vec::with_capacity(2 + 2 * ncols);
+            row.push(Value::Int(dict.intern(entity)));
+            row.push(Value::Int(*spilled as i64));
+            for cell in cells {
+                match cell {
+                    Some((p, v)) => {
+                        row.push(Value::Int(dict.intern(p)));
+                        row.push(match v {
+                            Value::Str(s) => Value::Int(dict.intern(s)),
+                            lid => lid.clone(),
+                        });
+                    }
+                    None => {
+                        row.push(Value::Null);
+                        row.push(Value::Null);
+                    }
                 }
             }
-        }
-        row
-    });
+            row
+        })
+        .collect();
     db.insert_rows(primary, rows)?;
-    db.insert_rows(
-        secondary,
-        build.secondary.iter().map(|(lid, v)| vec![Value::Int(*lid), Value::Str(v.clone())]),
-    )?;
+    let sec_rows: Vec<Vec<Value>> = build
+        .secondary
+        .iter()
+        .map(|(lid, v)| vec![Value::Int(*lid), Value::Int(dict.intern(v))])
+        .collect();
+    db.insert_rows(secondary, sec_rows)?;
     db.create_index(primary, "entry", IndexKind::Hash)?;
     db.create_index(secondary, "l_id", IndexKind::Hash)?;
     Ok(())
@@ -303,13 +321,14 @@ pub fn bulk_load_entity(
     db: &mut Database,
     triples: &[Triple],
     cfg: &EntityConfig,
+    dict: &mut Dict,
 ) -> relstore::Result<(SideLayout, SideLayout, LoadReport)> {
     let direct = group_by(triples.iter(), true);
     let reverse = group_by(triples.iter(), false);
     let dbuild = build_side(&direct, cfg);
     let rbuild = build_side(&reverse, cfg);
-    insert_side(db, &dbuild, "dph", "ds")?;
-    insert_side(db, &rbuild, "rph", "rs")?;
+    insert_side(db, &dbuild, "dph", "ds", dict)?;
+    insert_side(db, &rbuild, "rph", "rs", dict)?;
 
     let preds: HashSet<&str> = triples.iter().map(|t| t.predicate.lexical()).collect();
     let storage: usize = ["dph", "ds", "rph", "rs"]
@@ -353,13 +372,14 @@ pub fn insert_entity(
     reverse: &mut SideLayout,
     triple: &Triple,
     report: &mut LoadReport,
+    dict: &mut Dict,
 ) -> relstore::Result<bool> {
     let s = triple.subject.encode();
     let p = triple.predicate.encode();
     let o = triple.object.encode();
-    let added_d = insert_one_side(db, direct, "dph", "ds", &s, &p, &o, &mut report.dph_spill_rows, &mut report.dph_rows)?;
+    let added_d = insert_one_side(db, direct, "dph", "ds", &s, &p, &o, &mut report.dph_spill_rows, &mut report.dph_rows, dict)?;
     if added_d {
-        insert_one_side(db, reverse, "rph", "rs", &o, &p, &s, &mut report.rph_spill_rows, &mut report.rph_rows)?;
+        insert_one_side(db, reverse, "rph", "rs", &o, &p, &s, &mut report.rph_spill_rows, &mut report.rph_rows, dict)?;
         report.triples += 1;
     }
     Ok(added_d)
@@ -376,9 +396,13 @@ fn insert_one_side(
     value: &str,
     spill_rows: &mut u64,
     row_count: &mut u64,
+    dict: &mut Dict,
 ) -> relstore::Result<bool> {
     let candidates = layout.candidates(pred);
-    let entity_v = Value::str(entity.to_string());
+    let entity_id = dict.intern(entity);
+    let pred_id = dict.intern(pred);
+    let value_id = dict.intern(value);
+    let entity_v = Value::Int(entity_id);
 
     // Locate existing rows for the entity.
     let row_ids: Vec<u32> = {
@@ -398,18 +422,18 @@ fn insert_one_side(
             let row = table.row_values(rid);
             for &c in &candidates {
                 let pcol = 2 + 2 * c;
-                if let Value::Str(pname) = &row[pcol] {
-                    if pname.as_ref() == pred {
-                        existing = Some((rid, c, row[pcol + 1].clone()));
-                        break 'outer;
-                    }
+                if row[pcol] == Value::Int(pred_id) {
+                    existing = Some((rid, c, row[pcol + 1].clone()));
+                    break 'outer;
                 }
             }
         }
     }
 
+    // Value cells distinguish their two kinds by sign: positive = term ID
+    // (single-valued), negative = lid into the secondary table.
     match existing {
-        Some((rid, c, Value::Int(lid))) => {
+        Some((rid, c, Value::Int(lid))) if lid < 0 => {
             // Already multi-valued: append to the secondary table unless dup.
             let dup = db
                 .table(secondary)
@@ -418,7 +442,7 @@ fn insert_one_side(
                         .map(|i| {
                             i.lookup(&Value::Int(lid))
                                 .iter()
-                                .any(|&r| t.row_values(r)[1] == Value::str(value.to_string()))
+                                .any(|&r| t.row_values(r)[1] == Value::Int(value_id))
                         })
                         .unwrap_or(false)
                 })
@@ -427,11 +451,11 @@ fn insert_one_side(
                 return Ok(false);
             }
             let _ = (rid, c);
-            db.insert_rows(secondary, [vec![Value::Int(lid), Value::str(value.to_string())]])?;
+            db.insert_rows(secondary, [vec![Value::Int(lid), Value::Int(value_id)]])?;
             Ok(true)
         }
-        Some((rid, c, Value::Str(existing_val))) => {
-            if existing_val.as_ref() == value {
+        Some((rid, c, Value::Int(existing_id))) => {
+            if existing_id == value_id {
                 return Ok(false); // duplicate triple
             }
             // Promote to multi-valued: allocate a fresh lid.
@@ -439,8 +463,8 @@ fn insert_one_side(
             db.insert_rows(
                 secondary,
                 [
-                    vec![Value::Int(lid), Value::Str(existing_val)],
-                    vec![Value::Int(lid), Value::str(value.to_string())],
+                    vec![Value::Int(lid), Value::Int(existing_id)],
+                    vec![Value::Int(lid), Value::Int(value_id)],
                 ],
             )?;
             db.update_cell(primary, rid, 2 + 2 * c + 1, Value::Int(lid))?;
@@ -466,8 +490,8 @@ fn insert_one_side(
             }
             match slot {
                 Some((rid, c)) => {
-                    db.update_cell(primary, rid, 2 + 2 * c, Value::str(pred.to_string()))?;
-                    db.update_cell(primary, rid, 2 + 2 * c + 1, Value::str(value.to_string()))?;
+                    db.update_cell(primary, rid, 2 + 2 * c, Value::Int(pred_id))?;
+                    db.update_cell(primary, rid, 2 + 2 * c + 1, Value::Int(value_id))?;
                     if row_ids.len() > 1 {
                         layout.spill_preds.insert(pred.to_string());
                     }
@@ -481,8 +505,8 @@ fn insert_one_side(
                     row[0] = entity_v.clone();
                     row[1] = Value::Int(spilled as i64);
                     let c = candidates.first().copied().unwrap_or(0);
-                    row[2 + 2 * c] = Value::str(pred.to_string());
-                    row[2 + 2 * c + 1] = Value::str(value.to_string());
+                    row[2 + 2 * c] = Value::Int(pred_id);
+                    row[2 + 2 * c + 1] = Value::Int(value_id);
                     db.insert_rows(primary, [row])?;
                     *row_count += 1;
                     if spilled {
@@ -498,8 +522,10 @@ fn insert_one_side(
                         for &rid in &row_ids {
                             let row = table.row_values(rid);
                             for c in 0..ncols {
-                                if let Value::Str(pn) = &row[2 + 2 * c] {
-                                    preds.push(pn.to_string());
+                                if let Value::Int(pid) = &row[2 + 2 * c] {
+                                    if let Some(pn) = dict.resolve(*pid) {
+                                        preds.push(pn.to_string());
+                                    }
                                 }
                             }
                         }
@@ -522,18 +548,20 @@ pub fn delete_entity(
     reverse: &SideLayout,
     triple: &Triple,
     report: &mut LoadReport,
+    dict: &Dict,
 ) -> relstore::Result<bool> {
     let s = triple.subject.encode();
     let p = triple.predicate.encode();
     let o = triple.object.encode();
-    let removed = delete_one_side(db, direct, "dph", "ds", &s, &p, &o)?;
+    let removed = delete_one_side(db, direct, "dph", "ds", &s, &p, &o, dict)?;
     if removed {
-        delete_one_side(db, reverse, "rph", "rs", &o, &p, &s)?;
+        delete_one_side(db, reverse, "rph", "rs", &o, &p, &s, dict)?;
         report.triples = report.triples.saturating_sub(1);
     }
     Ok(removed)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn delete_one_side(
     db: &mut Database,
     layout: &SideLayout,
@@ -542,9 +570,17 @@ fn delete_one_side(
     entity: &str,
     pred: &str,
     value: &str,
+    dict: &Dict,
 ) -> relstore::Result<bool> {
+    // A term absent from the dictionary has never been stored: the triple
+    // cannot exist, and deletion must not grow the dictionary.
+    let (Some(entity_id), Some(pred_id), Some(value_id)) =
+        (dict.lookup(entity), dict.lookup(pred), dict.lookup(value))
+    else {
+        return Ok(false);
+    };
     let candidates = layout.candidates(pred);
-    let entity_v = Value::str(entity.to_string());
+    let entity_v = Value::Int(entity_id);
     let row_ids: Vec<u32> = {
         let table = db
             .table(primary)
@@ -560,11 +596,9 @@ fn delete_one_side(
         'outer: for &rid in &row_ids {
             let row = table.row_values(rid);
             for &c in &candidates {
-                if let Value::Str(pname) = &row[2 + 2 * c] {
-                    if pname.as_ref() == pred {
-                        cell = Some((rid, c, row[2 + 2 * c + 1].clone()));
-                        break 'outer;
-                    }
+                if row[2 + 2 * c] == Value::Int(pred_id) {
+                    cell = Some((rid, c, row[2 + 2 * c + 1].clone()));
+                    break 'outer;
                 }
             }
         }
@@ -573,34 +607,38 @@ fn delete_one_side(
         return Ok(false);
     };
     match stored {
-        Value::Str(v) if v.as_ref() == value => {
+        Value::Int(v) if v > 0 => {
+            if v != value_id {
+                return Ok(false);
+            }
             // Direct single value: clear the predicate/value pair.
             db.update_cell(primary, rid, 2 + 2 * c, Value::Null)?;
             db.update_cell(primary, rid, 2 + 2 * c + 1, Value::Null)?;
             Ok(true)
         }
-        Value::Str(_) => Ok(false),
-        Value::Int(lid) => {
+        Value::Int(lid) if lid < 0 => {
             // Multi-valued: drop the matching element from the secondary
             // list by rebuilding the lid's rows (the secondary table has no
             // tombstones; lists are short).
             let missing_sec =
                 || relstore::Error::Plan(format!("missing table {secondary}"));
-            let remaining: Vec<String> = {
+            let remaining: Vec<i64> = {
                 let sec = db.table(secondary).ok_or_else(missing_sec)?;
                 let rids = sec
                     .index_on("l_id")
                     .map(|i| i.lookup(&Value::Int(lid)).to_vec())
                     .unwrap_or_default();
                 rids.iter()
-                    .map(|&r| sec.row_values(r)[1].clone())
-                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .filter_map(|&r| match sec.row_values(r)[1] {
+                        Value::Int(id) => Some(id),
+                        _ => None,
+                    })
                     .collect()
             };
-            if !remaining.iter().any(|v| v == value) {
+            if !remaining.contains(&value_id) {
                 return Ok(false);
             }
-            let kept: Vec<String> = remaining.into_iter().filter(|v| v != value).collect();
+            let kept: Vec<i64> = remaining.into_iter().filter(|&v| v != value_id).collect();
             // Null out the old lid entries in place.
             let rids = {
                 let sec = db.table(secondary).ok_or_else(missing_sec)?;
@@ -619,12 +657,12 @@ fn delete_one_side(
                 }
                 1 => {
                     // Demote to a direct value.
-                    db.update_cell(primary, rid, 2 + 2 * c + 1, Value::str(kept[0].clone()))?;
+                    db.update_cell(primary, rid, 2 + 2 * c + 1, Value::Int(kept[0]))?;
                 }
                 _ => {
                     db.insert_rows(
                         secondary,
-                        kept.into_iter().map(|v| vec![Value::Int(lid), Value::str(v)]),
+                        kept.into_iter().map(|v| vec![Value::Int(lid), Value::Int(v)]),
                     )?;
                 }
             }
@@ -636,20 +674,22 @@ fn delete_one_side(
     }
 }
 
+/// Next multi-valued list ID: lids are negative and decrease, disjoint from
+/// the positive term-ID space.
 fn next_lid(db: &Database, secondary: &str) -> i64 {
     db.table(secondary)
         .map(|t| {
             t.rows()
                 .iter()
-                .map(|r| match r.get(0) {
-                    Value::Int(i) => i,
-                    _ => 0,
+                .filter_map(|r| match r.get(0) {
+                    Value::Int(i) if i < 0 => Some(i),
+                    _ => None,
                 })
-                .max()
+                .min()
                 .unwrap_or(0)
-                + 1
+                - 1
         })
-        .unwrap_or(1)
+        .unwrap_or(-1)
 }
 
 #[cfg(test)]
@@ -691,8 +731,10 @@ mod tests {
     #[test]
     fn bulk_load_fig1_sample() {
         let mut db = Database::new();
+        let mut dict = Dict::new();
         let (direct, _reverse, report) =
-            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default(), &mut dict)
+                .unwrap();
         assert_eq!(report.triples, 21);
         // 5 subjects, colored with no spills → 5 DPH rows.
         assert_eq!(report.dph_rows, 5);
@@ -718,7 +760,8 @@ mod tests {
             (0..8).map(|i| t("s", &format!("p{i}"), &format!("v{i}"))).collect();
         let mut db = Database::new();
         let cfg = EntityConfig { max_cols: 2, hash_fns: 1, coloring: ColoringMode::HashOnly };
-        let (direct, _, report) = bulk_load_entity(&mut db, &triples, &cfg).unwrap();
+        let (direct, _, report) =
+            bulk_load_entity(&mut db, &triples, &cfg, &mut Dict::new()).unwrap();
         assert!(report.dph_spill_rows > 0);
         assert!(!direct.spill_preds.is_empty());
         // All rows of the spilled entity are flagged.
@@ -733,8 +776,13 @@ mod tests {
         // Software ← {Google, IBM}: on the reverse side 'industry' is
         // multi-valued for entry Software.
         let mut db = Database::new();
-        let (_, reverse, _) =
-            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+        let (_, reverse, _) = bulk_load_entity(
+            &mut db,
+            &dbpedia_sample(),
+            &EntityConfig::default(),
+            &mut Dict::new(),
+        )
+        .unwrap();
         assert!(reverse.is_multivalued("<industry>"));
         let rs = db.table("rs").unwrap();
         assert!(rs.row_count() >= 2);
@@ -743,11 +791,13 @@ mod tests {
     #[test]
     fn incremental_insert_new_subject_and_duplicate() {
         let mut db = Database::new();
+        let mut dict = Dict::new();
         let (mut d, mut r, mut report) =
-            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default(), &mut dict)
+                .unwrap();
         let nt = t("Bell", "founder", "AT&T");
-        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report).unwrap());
-        assert!(!insert_entity(&mut db, &mut d, &mut r, &nt, &mut report).unwrap());
+        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report, &mut dict).unwrap());
+        assert!(!insert_entity(&mut db, &mut d, &mut r, &nt, &mut report, &mut dict).unwrap());
         assert_eq!(report.triples, 22);
         assert_eq!(db.table("dph").unwrap().row_count(), 6);
     }
@@ -755,36 +805,94 @@ mod tests {
     #[test]
     fn incremental_insert_promotes_to_multivalued() {
         let mut db = Database::new();
+        let mut dict = Dict::new();
         let (mut d, mut r, mut report) =
-            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default(), &mut dict)
+                .unwrap();
         assert!(!d.is_multivalued("<founder>"));
         // Page founds a second company.
         let nt = t("Page", "founder", "Alphabet");
-        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report).unwrap());
+        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report, &mut dict).unwrap());
         assert!(d.is_multivalued("<founder>"));
         // DS gained two rows (Google + Alphabet under a fresh lid).
         assert_eq!(db.table("ds").unwrap().row_count(), 7);
         // Appending a third value extends the same lid.
         let nt2 = t("Page", "founder", "OtherCo");
-        assert!(insert_entity(&mut db, &mut d, &mut r, &nt2, &mut report).unwrap());
+        assert!(insert_entity(&mut db, &mut d, &mut r, &nt2, &mut report, &mut dict).unwrap());
         assert_eq!(db.table("ds").unwrap().row_count(), 8);
     }
 
     #[test]
     fn incremental_insert_unknown_predicate_uses_hash_tail() {
         let mut db = Database::new();
+        let mut dict = Dict::new();
         let (mut d, mut r, mut report) =
-            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default(), &mut dict)
+                .unwrap();
         let nt = t("Page", "brandNewPredicate", "value");
-        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report).unwrap());
-        // Find it back on Page's row(s).
+        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report, &mut dict).unwrap());
+        // Find it back on Page's row(s), by dictionary ID.
+        let page = dict.lookup("<Page>").unwrap();
+        let pid = dict.lookup("<brandNewPredicate>").unwrap();
         let dph = db.table("dph").unwrap();
-        let ids = dph.index_on("entry").unwrap().lookup(&Value::str("<Page>")).to_vec();
+        let ids = dph.index_on("entry").unwrap().lookup(&Value::Int(page)).to_vec();
         let found = ids.iter().any(|&rid| {
             let row = dph.row_values(rid);
-            row.iter().any(|v| v == &Value::str("<brandNewPredicate>"))
+            row.iter().any(|v| v == &Value::Int(pid))
         });
         assert!(found);
+    }
+
+    #[test]
+    fn lids_stay_negative_and_disjoint_from_term_ids() {
+        let mut db = Database::new();
+        let mut dict = Dict::new();
+        let (mut d, mut r, mut report) =
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default(), &mut dict)
+                .unwrap();
+        // Bulk-load lids (industry on Google/IBM) and insert-time lids
+        // (promotion) are all negative; every elm is a positive term ID.
+        let nt = t("Page", "founder", "Alphabet");
+        assert!(insert_entity(&mut db, &mut d, &mut r, &nt, &mut report, &mut dict).unwrap());
+        let ds = db.table("ds").unwrap();
+        for rid in 0..ds.row_count() {
+            let row = ds.row_values(rid as u32);
+            match (&row[0], &row[1]) {
+                (Value::Int(lid), Value::Int(elm)) => {
+                    assert!(*lid < 0, "lid {lid} not negative");
+                    assert!(*elm > 0 && dict.resolve(*elm).is_some(), "bad elm {elm}");
+                }
+                other => panic!("unexpected ds row {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delete_demotes_multivalued_back_to_direct() {
+        let mut db = Database::new();
+        let mut dict = Dict::new();
+        let (d, r, mut report) =
+            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default(), &mut dict)
+                .unwrap();
+        // Google's industry list {Software, Internet} shrinks to a direct
+        // value, then disappears.
+        let before = dict.len();
+        let t1 = t("Google", "industry", "Internet");
+        assert!(delete_entity(&mut db, &d, &r, &t1, &mut report, &dict).unwrap());
+        assert_eq!(dict.len(), before, "delete must not grow the dictionary");
+        let google = dict.lookup("<Google>").unwrap();
+        let industry = dict.lookup("<industry>").unwrap();
+        let software = dict.lookup("\"Software\"").unwrap();
+        let dph = db.table("dph").unwrap();
+        let rid = dph.index_on("entry").unwrap().lookup(&Value::Int(google))[0];
+        let row = dph.row_values(rid);
+        let c = (0..d.ncols)
+            .find(|c| row[2 + 2 * c] == Value::Int(industry))
+            .expect("industry cell");
+        assert_eq!(row[2 + 2 * c + 1], Value::Int(software));
+        // Deleting a never-present triple is a no-op.
+        let missing = t("Google", "industry", "Farming");
+        assert!(!delete_entity(&mut db, &d, &r, &missing, &mut report, &dict).unwrap());
     }
 
     #[test]
@@ -801,7 +909,8 @@ mod tests {
             hash_fns: 2,
             coloring: ColoringMode::Sample(0.1),
         };
-        let (_, _, report) = bulk_load_entity(&mut db, &triples, &cfg).unwrap();
+        let (_, _, report) =
+            bulk_load_entity(&mut db, &triples, &cfg, &mut Dict::new()).unwrap();
         assert_eq!(report.triples, 400);
         assert_eq!(db.table("dph").unwrap().row_count() as u64, report.dph_rows);
         // Unsampled entities still load (possibly via the hash tail).
@@ -811,8 +920,13 @@ mod tests {
     #[test]
     fn storage_accounts_nulls_cheaply() {
         let mut db = Database::new();
-        let (_, _, report) =
-            bulk_load_entity(&mut db, &dbpedia_sample(), &EntityConfig::default()).unwrap();
+        let (_, _, report) = bulk_load_entity(
+            &mut db,
+            &dbpedia_sample(),
+            &EntityConfig::default(),
+            &mut Dict::new(),
+        )
+        .unwrap();
         assert!(report.storage_bytes > 0);
         assert!(report.dph_null_fraction > 0.0 && report.dph_null_fraction < 1.0);
     }

@@ -483,20 +483,17 @@ mod tests {
     /// and 'Palo Alto' a known expensive one — so the optimal flow starts at
     /// t4 exactly as in Fig. 8.
     fn example_stats() -> Stats {
-        let mut top_objects = std::collections::HashMap::new();
-        top_objects.insert(Term::lit("Software").encode(), 2);
-        top_objects.insert(Term::lit("Palo Alto").encode(), 20);
-        Stats {
+        let mut s = Stats {
             total_triples: 26,
             distinct_subjects: 5,
             distinct_objects: 26,
             avg_per_subject: 5.0,
             avg_per_object: 1.0,
-            top_subjects: std::collections::HashMap::new(),
-            top_objects,
-            predicate_counts: std::collections::HashMap::new(),
-            predicate_stats: std::collections::HashMap::new(),
-        }
+            ..Stats::default()
+        };
+        s.register_top_object(1, &Term::lit("Software").encode(), 2);
+        s.register_top_object(2, &Term::lit("Palo Alto").encode(), 20);
+        s
     }
 
     fn pipeline(query: &str) -> (PTree, ExecNode) {

@@ -196,16 +196,25 @@ pub fn encode_stats(s: &Stats) -> String {
         f64_hex(s.avg_per_subject),
         f64_hex(s.avg_per_object),
     );
-    let mut counts = |tag: &str, map: &HashMap<String, u64>| {
-        let mut pairs: Vec<(&String, &u64)> = map.iter().collect();
+    // Top-k records carry both the dictionary ID and the lexical form:
+    // `{tag}\t{id}\t{count}\t{form}`, sorted by ID for determinism.
+    let mut top = |tag: &str, map: &HashMap<i64, u64>| {
+        let mut pairs: Vec<(&i64, &u64)> = map.iter().collect();
         pairs.sort();
-        for (k, n) in pairs {
-            out.push_str(&format!("{tag}\t{}\t{n}\n", esc(k)));
+        for (id, n) in pairs {
+            let form = s.top_forms.get(id).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("{tag}\t{id}\t{n}\t{}\n", esc(form)));
         }
     };
-    counts("tsubj", &s.top_subjects);
-    counts("tobj", &s.top_objects);
-    counts("pcount", &s.predicate_counts);
+    top("tsubj", &s.top_subjects);
+    top("tobj", &s.top_objects);
+    {
+        let mut pairs: Vec<(&String, &u64)> = s.predicate_counts.iter().collect();
+        pairs.sort();
+        for (k, n) in pairs {
+            out.push_str(&format!("pcount\t{}\t{n}\n", esc(k)));
+        }
+    }
     let mut pairs: Vec<(&String, &PredStat)> = s.predicate_stats.iter().collect();
     pairs.sort_by(|a, b| a.0.cmp(b.0));
     for (p, st) in pairs {
@@ -234,11 +243,11 @@ pub fn decode_stats(text: &str) -> DecodeResult<Stats> {
                 s.avg_per_object = parse_f64(f[5])?;
                 saw_totals = true;
             }
-            (Some(&"tsubj"), 3) => {
-                s.top_subjects.insert(unesc(f[1])?, parse_int(f[2])?);
+            (Some(&"tsubj"), 4) => {
+                s.register_top_subject(parse_int(f[1])?, &unesc(f[3])?, parse_int(f[2])?);
             }
-            (Some(&"tobj"), 3) => {
-                s.top_objects.insert(unesc(f[1])?, parse_int(f[2])?);
+            (Some(&"tobj"), 4) => {
+                s.register_top_object(parse_int(f[1])?, &unesc(f[3])?, parse_int(f[2])?);
             }
             (Some(&"pcount"), 3) => {
                 s.predicate_counts.insert(unesc(f[1])?, parse_int(f[2])?);
@@ -354,7 +363,7 @@ mod tests {
     #[test]
     fn stats_roundtrip_exact_floats() {
         let mut s = Stats { total_triples: 9, avg_per_subject: 1.0 / 3.0, ..Stats::default() };
-        s.top_subjects.insert("<hub>".into(), 7);
+        s.register_top_subject(3, "<hub\twith tab>", 7);
         s.predicate_stats.insert(
             "<p>".into(),
             PredStat { count: 5, distinct_subjects: 2, distinct_objects: 4 },
@@ -362,7 +371,9 @@ mod tests {
         let back = decode_stats(&encode_stats(&s)).unwrap();
         assert_eq!(back.total_triples, 9);
         assert_eq!(back.avg_per_subject, s.avg_per_subject); // bit-exact
-        assert_eq!(back.top_subjects.get("<hub>"), Some(&7));
+        assert_eq!(back.top_subjects.get(&3), Some(&7));
+        assert_eq!(back.top_forms.get(&3).map(String::as_str), Some("<hub\twith tab>"));
+        assert_eq!(back.subject_count("<hub\twith tab>"), 7.0);
         assert_eq!(back.predicate_stats.get("<p>").map(|p| p.count), Some(5));
     }
 

@@ -1,7 +1,13 @@
 //! SPARQL solution sets decoded from relational results.
+//!
+//! This is the single late-materialization point of the pipeline: the
+//! relational layer computes entirely over dictionary IDs, and strings are
+//! produced only here, when rows become `Solutions`.
 
 use rdf::{decode_term, Term};
 use relstore::{Rel, Value};
+
+use crate::dict::Dict;
 
 /// A set of SPARQL solutions (bag semantics, ordered when the query orders).
 #[derive(Debug, Clone, PartialEq)]
@@ -16,11 +22,18 @@ pub struct Solutions {
 
 impl Solutions {
     pub fn from_select(vars: Vec<String>, rel: &Rel) -> Solutions {
+        Solutions::from_select_dict(vars, rel, None)
+    }
+
+    /// Decode a relation, resolving integer dictionary IDs through `dict`.
+    /// Without a dictionary (baseline layouts), integers decode as plain
+    /// integer literals.
+    pub fn from_select_dict(vars: Vec<String>, rel: &Rel, dict: Option<&Dict>) -> Solutions {
         let n = vars.len();
         let rows = rel
             .rows
             .iter()
-            .map(|r| r.iter().take(n).map(decode_value).collect())
+            .map(|r| r.iter().take(n).map(|v| decode_value(v, dict)).collect())
             .collect();
         Solutions { vars, rows, boolean: None }
     }
@@ -64,11 +77,14 @@ impl Solutions {
     }
 }
 
-fn decode_value(v: &Value) -> Option<Term> {
+fn decode_value(v: &Value, dict: Option<&Dict>) -> Option<Term> {
     match v {
         Value::Null => None,
         Value::Str(s) => decode_term(s).or_else(|| Some(Term::lit(s.to_string()))),
-        Value::Int(i) => Some(Term::int_lit(*i)),
+        Value::Int(i) => match dict.and_then(|d| d.resolve(*i)) {
+            Some(enc) => decode_term(enc).or_else(|| Some(Term::lit(enc.to_string()))),
+            None => Some(Term::int_lit(*i)),
+        },
         Value::Double(d) => Some(Term::double_lit(*d)),
         Value::Bool(b) => Some(Term::lit(b.to_string())),
     }
@@ -106,6 +122,23 @@ mod tests {
         let s = Solutions::from_select(vec!["x".into()], &rel);
         assert_eq!(s.rows[0].len(), 1);
         assert_eq!(s.get(0, "x"), Some(&Term::lit("v")));
+    }
+
+    #[test]
+    fn integer_ids_materialize_through_dictionary() {
+        let mut dict = Dict::new();
+        let id = dict.intern("<http://a>");
+        let rel = Rel {
+            cols: vec![
+                OutCol { qualifier: None, name: "c_x".into() },
+                OutCol { qualifier: None, name: "c_y".into() },
+            ],
+            rows: vec![vec![Value::Int(id), Value::Int(999)]],
+        };
+        let s = Solutions::from_select_dict(vec!["x".into(), "y".into()], &rel, Some(&dict));
+        assert_eq!(s.get(0, "x"), Some(&Term::iri("http://a")));
+        // Unresolvable integers fall back to plain integer literals.
+        assert_eq!(s.get(0, "y"), Some(&Term::int_lit(999)));
     }
 
     #[test]

@@ -8,7 +8,12 @@ use std::collections::HashMap;
 
 use rdf::Triple;
 
-/// Statistics over the loaded dataset, keyed by canonical term strings.
+use crate::dict::Dict;
+
+/// Statistics over the loaded dataset. Top-k constants are keyed by their
+/// dictionary ID so the optimizer's `S` input speaks the same integer
+/// vocabulary as the encoded DPH/DS tables; lexical forms are retained in
+/// [`Stats::top_forms`] for reports and string-keyed estimate lookups.
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
     pub total_triples: u64,
@@ -17,9 +22,15 @@ pub struct Stats {
     /// Mean triples per distinct subject (paper: "Avg triples per subject").
     pub avg_per_subject: f64,
     pub avg_per_object: f64,
-    /// Exact counts for the k most frequent subject constants.
-    pub top_subjects: HashMap<String, u64>,
-    pub top_objects: HashMap<String, u64>,
+    /// Exact counts for the k most frequent subject constants, keyed by
+    /// dictionary ID.
+    pub top_subjects: HashMap<i64, u64>,
+    pub top_objects: HashMap<i64, u64>,
+    /// Lexical form of every ID appearing in the top-k maps.
+    pub top_forms: HashMap<i64, String>,
+    /// Reverse index: canonical term → dictionary ID, for string-keyed
+    /// estimate lookups ([`Stats::subject_count`] / [`Stats::object_count`]).
+    pub top_ids: HashMap<String, i64>,
     /// Triples per predicate (kept exactly; predicate sets are small).
     pub predicate_counts: HashMap<String, u64>,
     /// Per-predicate fan-out statistics (kept exactly). The paper leaves the
@@ -58,8 +69,20 @@ impl PredStat {
 
 impl Stats {
     /// Collect statistics with the `top_k` most frequent subject/object
-    /// constants kept exactly.
+    /// constants kept exactly, keyed by a throwaway dictionary. Baseline
+    /// layouts (and tests) use this; the entity layout collects through the
+    /// store's shared dictionary so IDs match the loaded data.
     pub fn collect<'a>(triples: impl IntoIterator<Item = &'a Triple>, top_k: usize) -> Stats {
+        Stats::collect_with_dict(triples, top_k, &mut Dict::new())
+    }
+
+    /// Collect statistics, interning the surviving top-k constants through
+    /// `dict` so their IDs agree with the dictionary-encoded tables.
+    pub fn collect_with_dict<'a>(
+        triples: impl IntoIterator<Item = &'a Triple>,
+        top_k: usize,
+        dict: &mut Dict,
+    ) -> Stats {
         let mut subj: HashMap<String, u64> = HashMap::new();
         let mut obj: HashMap<String, u64> = HashMap::new();
         let mut pred: HashMap<String, u64> = HashMap::new();
@@ -93,17 +116,41 @@ impl Stats {
         let distinct_subjects = subj.len() as u64;
         let distinct_objects = obj.len() as u64;
         let avg = |n: u64, d: u64| if d == 0 { 0.0 } else { n as f64 / d as f64 };
-        Stats {
+        let mut stats = Stats {
             total_triples: total,
             distinct_subjects,
             distinct_objects,
             avg_per_subject: avg(total, distinct_subjects),
             avg_per_object: avg(total, distinct_objects),
-            top_subjects: take_top(subj, top_k),
-            top_objects: take_top(obj, top_k),
             predicate_counts: pred,
             predicate_stats,
+            ..Stats::default()
+        };
+        // Intern in deterministic (count-desc, then lexical) order so ID
+        // assignment is reproducible run to run.
+        for (term, n) in take_top(subj, top_k) {
+            let id = dict.intern(&term);
+            stats.register_top_subject(id, &term, n);
         }
+        for (term, n) in take_top(obj, top_k) {
+            let id = dict.intern(&term);
+            stats.register_top_object(id, &term, n);
+        }
+        stats
+    }
+
+    /// Record a top-k subject constant (ID, lexical form, exact count).
+    pub fn register_top_subject(&mut self, id: i64, canonical: &str, count: u64) {
+        self.top_subjects.insert(id, count);
+        self.top_forms.insert(id, canonical.to_string());
+        self.top_ids.insert(canonical.to_string(), id);
+    }
+
+    /// Record a top-k object constant (ID, lexical form, exact count).
+    pub fn register_top_object(&mut self, id: i64, canonical: &str, count: u64) {
+        self.top_objects.insert(id, count);
+        self.top_forms.insert(id, canonical.to_string());
+        self.top_ids.insert(canonical.to_string(), id);
     }
 
     /// Estimated triples per *bound subject* for an access restricted to
@@ -126,7 +173,7 @@ impl Stats {
 
     /// Estimated number of triples with this exact subject constant.
     pub fn subject_count(&self, canonical: &str) -> f64 {
-        match self.top_subjects.get(canonical) {
+        match self.top_ids.get(canonical).and_then(|id| self.top_subjects.get(id)) {
             Some(&n) => n as f64,
             None => self.avg_per_subject.max(1.0),
         }
@@ -134,7 +181,7 @@ impl Stats {
 
     /// Estimated number of triples with this exact object constant.
     pub fn object_count(&self, canonical: &str) -> f64 {
-        match self.top_objects.get(canonical) {
+        match self.top_ids.get(canonical).and_then(|id| self.top_objects.get(id)) {
             Some(&n) => n as f64,
             None => self.avg_per_object.max(1.0),
         }
@@ -146,14 +193,11 @@ impl Stats {
     }
 }
 
-fn take_top(counts: HashMap<String, u64>, k: usize) -> HashMap<String, u64> {
-    if counts.len() <= k {
-        return counts;
-    }
+fn take_top(counts: HashMap<String, u64>, k: usize) -> Vec<(String, u64)> {
     let mut v: Vec<(String, u64)> = counts.into_iter().collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     v.truncate(k);
-    v.into_iter().collect()
+    v
 }
 
 #[cfg(test)]
@@ -194,5 +238,17 @@ mod tests {
     fn object_count_fallback_is_at_least_one() {
         let s = Stats::collect(&[], 5);
         assert_eq!(s.object_count("<missing>"), 1.0);
+    }
+
+    #[test]
+    fn collect_with_dict_keys_top_constants_by_id() {
+        let mut dict = Dict::new();
+        let triples = vec![t("a", "p", "x"), t("a", "q", "x")];
+        let s = Stats::collect_with_dict(&triples, 10, &mut dict);
+        let id = dict.lookup("<a>").expect("top subject interned");
+        assert_eq!(s.top_subjects.get(&id), Some(&2));
+        assert_eq!(s.top_forms.get(&id).map(String::as_str), Some("<a>"));
+        assert_eq!(s.top_ids.get("<a>"), Some(&id));
+        assert_eq!(s.subject_count("<a>"), 2.0);
     }
 }

@@ -8,6 +8,7 @@ use crate::baseline::{
     insert_triple_store, insert_vertical, load_triple_store, load_vertical, TripleGen,
     VerticalGen, VerticalLayout,
 };
+use crate::dict::{Dict, SharedDict};
 use crate::error::{Result, StoreError};
 use crate::layout::SideLayout;
 use crate::loader::{bulk_load_entity, insert_entity, EntityConfig, LoadReport};
@@ -89,6 +90,10 @@ pub struct RdfStore {
     cfg: StoreConfig,
     db: Database,
     stats: Stats,
+    /// Term dictionary shared with the registered `RDF_*` scalar functions.
+    /// Populated by entity-layout loads/inserts; empty for the baseline
+    /// layouts (whose tables keep canonical term strings).
+    dict: SharedDict,
     direct: Option<SideLayout>,
     reverse: Option<SideLayout>,
     vertical: Option<VerticalLayout>,
@@ -100,6 +105,13 @@ pub struct RdfStore {
 /// `v`, one row per persisted blob — layout name, per-side layouts,
 /// statistics, and the load report.
 const META_TABLE: &str = "sys_meta";
+
+/// The term-dictionary table: `(id BIGINT, term TEXT)`, strictly append-only
+/// with dense IDs `1..=n`. New entries are written inside the same WAL batch
+/// as the data rows that reference them (see `persist_dict`), so after any
+/// crash + replay an ID stored in a data table always resolves to the string
+/// it was assigned — never to a different one, never to nothing.
+const DICT_TABLE: &str = "sys_dict";
 
 impl RdfStore {
     pub fn new(cfg: StoreConfig) -> RdfStore {
@@ -120,7 +132,8 @@ impl RdfStore {
     }
 
     fn with_database(mut db: Database, cfg: StoreConfig) -> RdfStore {
-        register_rdf_functions(&mut db);
+        let dict = SharedDict::new();
+        register_rdf_functions(&mut db, &dict);
         db.set_row_budget(cfg.row_budget);
         db.set_deadline(cfg.deadline);
         db.set_threads(cfg.threads);
@@ -128,6 +141,7 @@ impl RdfStore {
             cfg,
             db,
             stats: Stats::default(),
+            dict,
             direct: None,
             reverse: None,
             vertical: None,
@@ -158,13 +172,15 @@ impl RdfStore {
 
     // -- sys_meta persistence ------------------------------------------------
 
-    /// Persist the store's side metadata into `sys_meta`. Called inside the
-    /// mutation batches so the metadata commits atomically with the data it
+    /// Persist the store's side metadata into `sys_meta` and the term
+    /// dictionary's new entries into `sys_dict`. Called inside the mutation
+    /// batches so the metadata commits atomically with the data it
     /// describes. No-op for in-memory stores.
-    fn persist_meta(&mut self) -> Result<()> {
+    fn persist_meta(&mut self, dict: &Dict) -> Result<()> {
         if !self.db.is_durable() || self.db.is_read_only() {
             return Ok(());
         }
+        self.persist_dict(dict)?;
         if self.db.table(META_TABLE).is_none() {
             self.db.create_table(relstore::TableSchema::new(
                 META_TABLE,
@@ -192,6 +208,37 @@ impl RdfStore {
         }
         for (key, value) in blobs {
             self.set_meta(key, value)?;
+        }
+        Ok(())
+    }
+
+    /// Append the dictionary entries not yet on disk to `sys_dict`. The
+    /// table is append-only and IDs are dense, so the watermark is simply
+    /// its current row count; interned-but-rolled-back entries from a failed
+    /// earlier batch are re-covered automatically because the watermark
+    /// never advanced for them.
+    fn persist_dict(&mut self, dict: &Dict) -> Result<()> {
+        if dict.is_empty() && self.db.table(DICT_TABLE).is_none() {
+            return Ok(());
+        }
+        if self.db.table(DICT_TABLE).is_none() {
+            self.db.create_table(relstore::TableSchema::new(
+                DICT_TABLE,
+                vec![
+                    ("id".into(), relstore::SqlType::Int),
+                    ("term".into(), relstore::SqlType::Text),
+                ],
+            ))?;
+        }
+        let watermark = self.db.table(DICT_TABLE).map(|t| t.row_count()).unwrap_or(0);
+        let rows: Vec<Vec<relstore::Value>> = dict
+            .entries_from(watermark)
+            .map(|(id, term)| {
+                vec![relstore::Value::Int(id), relstore::Value::str(term.to_string())]
+            })
+            .collect();
+        if !rows.is_empty() {
+            self.db.insert_rows(DICT_TABLE, rows)?;
         }
         Ok(())
     }
@@ -259,6 +306,28 @@ impl RdfStore {
         let corrupt = |key: &str, e: String| {
             StoreError::Sql(relstore::Error::Corrupt(format!("sys_meta {key:?}: {e}")))
         };
+        // Rebuild the in-memory dictionary from sys_dict. Entries were
+        // written append-only with dense IDs; gaps or duplicates after WAL
+        // replay mean corruption.
+        if let Some(t) = self.db.table(DICT_TABLE) {
+            let mut entries: Vec<(i64, String)> = Vec::with_capacity(t.row_count());
+            for r in 0..t.row_count() as u32 {
+                let row = t.row_values(r);
+                match (&row[0], &row[1]) {
+                    (relstore::Value::Int(id), relstore::Value::Str(term)) => {
+                        entries.push((*id, term.to_string()));
+                    }
+                    other => {
+                        return Err(corrupt("sys_dict", format!("malformed row {other:?}")));
+                    }
+                }
+            }
+            entries.sort_by_key(|e| e.0);
+            let mut dict = self.dict.write();
+            for (id, term) in entries {
+                dict.restore(id, &term).map_err(|e| corrupt("sys_dict", e))?;
+            }
+        }
         if let Some(text) = self.get_meta("stats") {
             self.stats = crate::persist::decode_stats(&text).map_err(|e| corrupt("stats", e))?;
         }
@@ -295,13 +364,22 @@ impl RdfStore {
                 "load() may only be called once; use insert() afterwards".into(),
             ));
         }
-        self.stats = Stats::collect(triples.iter(), self.cfg.top_k);
+        // One write guard covers stats interning, loading, and persistence;
+        // query-side readers (the RDF_* functions) only run between batches.
+        let dict_arc = self.dict.clone();
+        let mut dict = dict_arc.write();
+        self.stats = match self.cfg.layout {
+            Layout::Entity => {
+                Stats::collect_with_dict(triples.iter(), self.cfg.top_k, &mut dict)
+            }
+            _ => Stats::collect(triples.iter(), self.cfg.top_k),
+        };
         self.db.begin_batch();
         let res = (|| -> Result<()> {
             match self.cfg.layout {
                 Layout::Entity => {
                     let (d, r, report) =
-                        bulk_load_entity(&mut self.db, triples, &self.cfg.entity)?;
+                        bulk_load_entity(&mut self.db, triples, &self.cfg.entity, &mut dict)?;
                     self.direct = Some(d);
                     self.reverse = Some(r);
                     self.report = report;
@@ -317,7 +395,7 @@ impl RdfStore {
                         LoadReport { triples: triples.len() as u64, ..Default::default() };
                 }
             }
-            self.persist_meta()
+            self.persist_meta(&dict)
         })();
         let committed = self.db.commit_batch();
         res?;
@@ -343,14 +421,22 @@ impl RdfStore {
             self.load(std::slice::from_ref(triple))?;
             return Ok(true);
         }
+        let dict_arc = self.dict.clone();
+        let mut dict = dict_arc.write();
         self.db.begin_batch();
         let res = (|| -> Result<bool> {
             let added = match self.cfg.layout {
                 Layout::Entity => {
                     let mut d = self.direct.take().expect("loaded entity layout");
                     let mut r = self.reverse.take().expect("loaded entity layout");
-                    let added =
-                        insert_entity(&mut self.db, &mut d, &mut r, triple, &mut self.report);
+                    let added = insert_entity(
+                        &mut self.db,
+                        &mut d,
+                        &mut r,
+                        triple,
+                        &mut self.report,
+                        &mut dict,
+                    );
                     self.direct = Some(d);
                     self.reverse = Some(r);
                     added?
@@ -370,7 +456,7 @@ impl RdfStore {
                 }
             };
             if added {
-                self.persist_meta()?;
+                self.persist_meta(&dict)?;
             }
             Ok(added)
         })();
@@ -390,6 +476,9 @@ impl RdfStore {
             Layout::Entity => {
                 let d = self.direct.as_ref().expect("loaded entity layout").clone();
                 let r = self.reverse.as_ref().expect("loaded entity layout").clone();
+                let dict_arc = self.dict.clone();
+                // Deletion never interns: a read guard suffices.
+                let dict = dict_arc.read();
                 self.db.begin_batch();
                 let res = (|| -> Result<bool> {
                     let removed = crate::loader::delete_entity(
@@ -398,9 +487,10 @@ impl RdfStore {
                         &r,
                         triple,
                         &mut self.report,
+                        &dict,
                     )?;
                     if removed {
-                        self.persist_meta()?;
+                        self.persist_meta(&dict)?;
                     }
                     Ok(removed)
                 })();
@@ -443,7 +533,14 @@ impl RdfStore {
         match query.form {
             QueryForm::Ask => Ok(Solutions::from_ask(!rel.rows.is_empty())),
             QueryForm::Select { .. } => {
-                Ok(Solutions::from_select(query.projected_variables(), &rel))
+                // The single late-materialization point: dictionary IDs
+                // become terms only here.
+                let dict = self.dict.read();
+                Ok(Solutions::from_select_dict(
+                    query.projected_variables(),
+                    &rel,
+                    Some(&dict),
+                ))
             }
         }
     }
@@ -470,7 +567,8 @@ impl RdfStore {
                     multi_reverse: &reverse.multivalued,
                 };
                 let exec = merge_exec_tree(&tree, exec, &info);
-                let backend = EntityGen { tree: &tree, direct, reverse };
+                let dict = self.dict.read();
+                let backend = EntityGen { tree: &tree, direct, reverse, dict: &dict };
                 gen_pattern(&backend, &exec, &mut state)?;
                 exec
             }
@@ -501,6 +599,11 @@ impl RdfStore {
     /// Direct access to the relational back-end (read-only).
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The shared term dictionary (empty for baseline layouts).
+    pub fn dictionary(&self) -> &SharedDict {
+        &self.dict
     }
 
     /// Adjust the per-query evaluation budget (the "timeout").

@@ -6,9 +6,10 @@
 
 use std::collections::BTreeMap;
 
-use relstore::quote_str;
+use rdf::Term;
 use sparql::TermPattern;
 
+use crate::dict::Dict;
 use crate::error::{Result, StoreError};
 use crate::layout::SideLayout;
 use crate::optimizer::{Method, PTree, StarNode, StarSem};
@@ -18,6 +19,22 @@ pub struct EntityGen<'a> {
     pub tree: &'a PTree,
     pub direct: &'a SideLayout,
     pub reverse: &'a SideLayout,
+    /// Constants in the query become dictionary IDs in the emitted SQL; a
+    /// term absent from the dictionary is absent from the data, so its
+    /// equality condition degenerates to `FALSE`.
+    pub dict: &'a Dict,
+}
+
+impl EntityGen<'_> {
+    /// SQL literal for a constant term: its dictionary ID, or `NULL` when
+    /// the term was never loaded (`x = NULL` is never true, so the
+    /// comparison correctly matches nothing).
+    fn const_sql(&self, t: &Term) -> String {
+        match self.dict.lookup(&t.encode()) {
+            Some(id) => id.to_string(),
+            None => "NULL".to_string(),
+        }
+    }
 }
 
 impl StarGen for EntityGen<'_> {
@@ -49,7 +66,7 @@ impl StarGen for EntityGen<'_> {
 
         match entity_tp {
             TermPattern::Term(t) => {
-                wheres.push(format!("T.entry = {}", quote_str(&t.encode())));
+                wheres.push(format!("T.entry = {}", self.const_sql(t)));
             }
             TermPattern::Var(v) => {
                 local.insert(v.clone(), "T.entry".to_string());
@@ -89,9 +106,10 @@ impl StarGen for EntityGen<'_> {
                         }
                         continue;
                     }
+                    let pid = self.const_sql(p);
                     let presence = cands
                         .iter()
-                        .map(|c| format!("T.pred{c} = {}", quote_str(&pe)))
+                        .map(|c| format!("T.pred{c} = {pid}"))
                         .collect::<Vec<_>>()
                         .join(" OR ");
                     let raw = if cands.len() == 1 {
@@ -99,9 +117,7 @@ impl StarGen for EntityGen<'_> {
                     } else {
                         let branches = cands
                             .iter()
-                            .map(|c| {
-                                format!("WHEN T.pred{c} = {} THEN T.val{c}", quote_str(&pe))
-                            })
+                            .map(|c| format!("WHEN T.pred{c} = {pid} THEN T.val{c}"))
                             .collect::<Vec<_>>()
                             .join(" ");
                         format!("CASE {branches} ELSE NULL END")
@@ -132,7 +148,7 @@ impl StarGen for EntityGen<'_> {
                             let (extra_cond, flip_val): (Option<String>, String) = match other_tp
                             {
                                 TermPattern::Term(o) => (
-                                    Some(format!("{val} = {}", quote_str(&o.encode()))),
+                                    Some(format!("{val} = {}", self.const_sql(o))),
                                     "'1'".to_string(),
                                 ),
                                 TermPattern::Var(v) => {
@@ -161,8 +177,7 @@ impl StarGen for EntityGen<'_> {
                             match other_tp {
                                 TermPattern::Term(o) => {
                                     if required {
-                                        wheres
-                                            .push(format!("{val} = {}", quote_str(&o.encode())));
+                                        wheres.push(format!("{val} = {}", self.const_sql(o)));
                                     }
                                     // Optional triple with constant object
                                     // binds nothing: a semantic no-op.
@@ -221,7 +236,7 @@ impl StarGen for EntityGen<'_> {
                     };
                     match other_tp {
                         TermPattern::Term(o) => {
-                            wheres.push(format!("{val} = {}", quote_str(&o.encode())));
+                            wheres.push(format!("{val} = {}", self.const_sql(o)));
                         }
                         TermPattern::Var(v) => {
                             if let Some(expr) = local.get(v).cloned() {

@@ -1,58 +1,102 @@
 //! RDF-aware scalar SQL functions registered on the relational back-end.
 //!
-//! The storage layer holds canonical term strings (`<iri>`, `"lit"@en`,
-//! `"5"^^<…integer>`); FILTER evaluation needs SPARQL value semantics on top
-//! of them. These functions are the dialect bridge: the translator emits
-//! calls like `RDF_GT(T.val3, '"30"^^<…integer>')` and the engine evaluates
-//! them here.
+//! The entity tables hold dictionary IDs (`BIGINT`), while FILTER constants
+//! and the baseline layouts still use canonical term strings (`<iri>`,
+//! `"lit"@en`, `"5"^^<…integer>`); FILTER evaluation needs SPARQL value
+//! semantics on top of both. These functions are the dialect bridge: the
+//! translator emits calls like `RDF_GT(T.val3, '"30"^^<…integer>')` and the
+//! engine evaluates them here, resolving integer arguments through the
+//! shared dictionary. An integer that the dictionary cannot resolve (a
+//! baseline layout, or an empty dictionary) is treated as a plain number —
+//! the pre-dictionary behavior.
 
 use rdf::{decode_term, Term};
 use relstore::{Database, Value};
 
-fn term_of(v: &Value) -> Option<Term> {
-    v.as_str().and_then(decode_term)
-}
+use crate::dict::{Dict, SharedDict};
 
-fn numeric(v: &Value) -> Option<f64> {
+fn term_of(dict: &Dict, v: &Value) -> Option<Term> {
     match v {
-        Value::Int(i) => Some(*i as f64),
-        Value::Double(d) => Some(*d),
-        Value::Str(_) => term_of(v).and_then(|t| t.numeric_value()),
+        Value::Str(s) => decode_term(s),
+        Value::Int(i) => dict.resolve(*i).and_then(decode_term),
         _ => None,
     }
 }
 
-fn lexical(v: &Value) -> Option<String> {
+fn numeric(dict: &Dict, v: &Value) -> Option<f64> {
     match v {
-        Value::Str(_) => term_of(v).map(|t| t.lexical().to_string()).or_else(|| {
+        Value::Int(i) => match dict.resolve(*i) {
+            Some(enc) => decode_term(enc).and_then(|t| t.numeric_value()),
+            None => Some(*i as f64),
+        },
+        Value::Double(d) => Some(*d),
+        Value::Str(_) => term_of(dict, v).and_then(|t| t.numeric_value()),
+        _ => None,
+    }
+}
+
+fn lexical(dict: &Dict, v: &Value) -> Option<String> {
+    match v {
+        Value::Str(_) => term_of(dict, v).map(|t| t.lexical().to_string()).or_else(|| {
             // Already a plain string (e.g. output of RDF_STR).
             v.as_str().map(str::to_string)
         }),
-        Value::Int(i) => Some(i.to_string()),
+        Value::Int(i) => match dict.resolve(*i) {
+            Some(enc) => lexical_of_encoded(enc),
+            None => Some(i.to_string()),
+        },
         Value::Double(d) => Some(d.to_string()),
         _ => None,
     }
 }
 
+/// Lexical form of a canonical encoding without building a [`Term`]. This
+/// is the `RDF_STR` hot path for dictionary IDs (e.g. a LIKE filter over an
+/// encoded column runs it once per candidate row); only encodings with
+/// escapes fall back to full term parsing.
+fn lexical_of_encoded(enc: &str) -> Option<String> {
+    let b = enc.as_bytes();
+    if b.len() >= 2 && b[0] == b'<' && b[b.len() - 1] == b'>' {
+        return Some(enc[1..enc.len() - 1].to_string());
+    }
+    if b.len() >= 2 && b[0] == b'"' {
+        // `"lex"`, `"lex"@lang` or `"lex"^^<dt>`: the closing quote is the
+        // last one (lang tags and datatype IRIs cannot contain quotes).
+        if let Some(q) = enc[1..].rfind('"') {
+            let content = &enc[1..1 + q];
+            if !content.contains('\\') {
+                return Some(content.to_string());
+            }
+        }
+    }
+    decode_term(enc).map(|t| t.lexical().to_string())
+}
+
 /// SPARQL value comparison: numeric when both sides are numeric literals,
 /// lexical-form string comparison otherwise.
-fn sparql_cmp(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+fn sparql_cmp(dict: &Dict, a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
     if a.is_null() || b.is_null() {
         return None;
     }
-    if let (Some(x), Some(y)) = (numeric(a), numeric(b)) {
+    if let (Some(x), Some(y)) = (numeric(dict, a), numeric(dict, b)) {
         return x.partial_cmp(&y);
     }
-    let (la, lb) = (lexical(a)?, lexical(b)?);
+    let (la, lb) = (lexical(dict, a)?, lexical(dict, b)?);
     Some(la.cmp(&lb))
 }
 
-fn sparql_eq(a: &Value, b: &Value) -> Option<bool> {
+fn sparql_eq(dict: &Dict, a: &Value, b: &Value) -> Option<bool> {
     if a.is_null() || b.is_null() {
         return None;
     }
+    // Equal dictionary IDs are the same term — no string materialization.
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        if x == y {
+            return Some(true);
+        }
+    }
     // Numeric literals compare by value ("42"^^int = "42.0"^^double).
-    if let (Some(ta), Some(tb)) = (term_of(a), term_of(b)) {
+    if let (Some(ta), Some(tb)) = (term_of(dict, a), term_of(dict, b)) {
         if ta == tb {
             return Some(true);
         }
@@ -93,29 +137,35 @@ fn regex_match(text: &str, pattern: &str, ci: bool) -> bool {
     }
 }
 
-/// Register all `RDF_*` functions on a database.
-pub fn register_rdf_functions(db: &mut Database) {
-    db.register_function("rdf_num", |args| {
-        Ok(match numeric(&args[0]) {
+/// Register all `RDF_*` functions on a database. Each closure holds a clone
+/// of the shared dictionary and takes a read lock per call; the dictionary
+/// is append-only, so concurrent query workers never see an ID remap.
+pub fn register_rdf_functions(db: &mut Database, dict: &SharedDict) {
+    let d = dict.clone();
+    db.register_function("rdf_num", move |args| {
+        Ok(match numeric(&d.read(), &args[0]) {
             Some(x) => Value::Double(x),
             None => Value::Null,
         })
     });
-    db.register_function("rdf_str", |args| {
-        Ok(match lexical(&args[0]) {
+    let d = dict.clone();
+    db.register_function("rdf_str", move |args| {
+        Ok(match lexical(&d.read(), &args[0]) {
             Some(s) => Value::str(s),
             None => Value::Null,
         })
     });
-    db.register_function("rdf_lang", |args| {
-        Ok(match term_of(&args[0]) {
+    let d = dict.clone();
+    db.register_function("rdf_lang", move |args| {
+        Ok(match term_of(&d.read(), &args[0]) {
             Some(Term::Literal { lang: Some(l), .. }) => Value::str(l.to_string()),
             Some(Term::Literal { .. }) => Value::str(""),
             _ => Value::Null,
         })
     });
-    db.register_function("rdf_datatype", |args| {
-        Ok(match term_of(&args[0]) {
+    let d = dict.clone();
+    db.register_function("rdf_datatype", move |args| {
+        Ok(match term_of(&d.read(), &args[0]) {
             Some(Term::Literal { datatype: Some(dt), .. }) => Value::str(dt.to_string()),
             Some(Term::Literal { lang: Some(_), .. }) => {
                 Value::str("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
@@ -124,29 +174,36 @@ pub fn register_rdf_functions(db: &mut Database) {
             _ => Value::Null,
         })
     });
-    db.register_function("rdf_isiri", |args| {
+    let d = dict.clone();
+    db.register_function("rdf_isiri", move |args| {
         Ok(match &args[0] {
             Value::Null => Value::Null,
-            v => Value::Bool(matches!(term_of(v), Some(Term::Iri(_)))),
+            v => Value::Bool(matches!(term_of(&d.read(), v), Some(Term::Iri(_)))),
         })
     });
-    db.register_function("rdf_isliteral", |args| {
+    let d = dict.clone();
+    db.register_function("rdf_isliteral", move |args| {
         Ok(match &args[0] {
             Value::Null => Value::Null,
-            v => Value::Bool(matches!(term_of(v), Some(Term::Literal { .. }))),
+            v => Value::Bool(matches!(term_of(&d.read(), v), Some(Term::Literal { .. }))),
         })
     });
-    db.register_function("rdf_isblank", |args| {
+    let d = dict.clone();
+    db.register_function("rdf_isblank", move |args| {
         Ok(match &args[0] {
             Value::Null => Value::Null,
-            v => Value::Bool(matches!(term_of(v), Some(Term::Blank(_)))),
+            v => Value::Bool(matches!(term_of(&d.read(), v), Some(Term::Blank(_)))),
         })
     });
-    db.register_function("rdf_eq", |args| {
-        Ok(sparql_eq(&args[0], &args[1]).map(Value::Bool).unwrap_or(Value::Null))
+    let d = dict.clone();
+    db.register_function("rdf_eq", move |args| {
+        Ok(sparql_eq(&d.read(), &args[0], &args[1]).map(Value::Bool).unwrap_or(Value::Null))
     });
-    db.register_function("rdf_ne", |args| {
-        Ok(sparql_eq(&args[0], &args[1]).map(|b| Value::Bool(!b)).unwrap_or(Value::Null))
+    let d = dict.clone();
+    db.register_function("rdf_ne", move |args| {
+        Ok(sparql_eq(&d.read(), &args[0], &args[1])
+            .map(|b| Value::Bool(!b))
+            .unwrap_or(Value::Null))
     });
     for (name, pred) in [
         ("rdf_lt", std::cmp::Ordering::is_lt as fn(std::cmp::Ordering) -> bool),
@@ -154,13 +211,17 @@ pub fn register_rdf_functions(db: &mut Database) {
         ("rdf_gt", std::cmp::Ordering::is_gt),
         ("rdf_ge", std::cmp::Ordering::is_ge),
     ] {
+        let d = dict.clone();
         db.register_function(name, move |args| {
-            Ok(sparql_cmp(&args[0], &args[1]).map(|o| Value::Bool(pred(o))).unwrap_or(Value::Null))
+            Ok(sparql_cmp(&d.read(), &args[0], &args[1])
+                .map(|o| Value::Bool(pred(o)))
+                .unwrap_or(Value::Null))
         });
     }
-    db.register_function("rdf_regex", |args| {
+    let d = dict.clone();
+    db.register_function("rdf_regex", move |args| {
         let ci = matches!(args.get(2), Some(Value::Int(1)));
-        Ok(match (lexical(&args[0]), args[1].as_str()) {
+        Ok(match (lexical(&d.read(), &args[0]), args[1].as_str()) {
             (Some(text), Some(pat)) => Value::Bool(regex_match(&text, pat, ci)),
             _ => Value::Null,
         })
@@ -175,7 +236,7 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        register_rdf_functions(&mut db);
+        register_rdf_functions(&mut db, &SharedDict::new());
         db
     }
 
@@ -258,5 +319,47 @@ mod tests {
             .query("SELECT RDF_EQ(NULL, '<a>') AS a, RDF_LT(NULL, NULL) AS b, RDF_ISIRI(NULL) AS c")
             .unwrap();
         assert_eq!(r.rows[0], vec![Value::Null, Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn integer_ids_resolve_through_dictionary() {
+        let mut db = Database::new();
+        let dict = SharedDict::new();
+        let (iri, lit, num) = {
+            let mut d = dict.write();
+            (
+                d.intern("<http://example.org/x>"),
+                d.intern("\"bonjour\"@fr"),
+                d.intern("\"9\"^^<http://www.w3.org/2001/XMLSchema#integer>"),
+            )
+        };
+        register_rdf_functions(&mut db, &dict);
+        let r = db
+            .query(&format!(
+                "SELECT RDF_ISIRI({iri}) AS a, RDF_LANG({lit}) AS b, RDF_NUM({num}) AS c, \
+                 RDF_EQ({iri}, '<http://example.org/x>') AS d, \
+                 RDF_LT({num}, '\"10\"^^<http://www.w3.org/2001/XMLSchema#integer>') AS e"
+            ))
+            .unwrap();
+        assert_eq!(
+            r.rows[0],
+            vec![
+                Value::Bool(true),
+                Value::str("fr"),
+                Value::Double(9.0),
+                Value::Bool(true),
+                Value::Bool(true),
+            ]
+        );
+    }
+
+    #[test]
+    fn unresolvable_integers_stay_plain_numbers() {
+        // Empty dictionary (baseline layouts): ints behave as raw numbers.
+        let db = db();
+        let r = db.query("SELECT RDF_NUM(7) AS a, RDF_LT(7, 10) AS b, RDF_STR(7) AS c").unwrap();
+        assert_eq!(r.rows[0][0], Value::Double(7.0));
+        assert_eq!(r.rows[0][1], Value::Bool(true));
+        assert_eq!(r.rows[0][2], Value::str("7"));
     }
 }

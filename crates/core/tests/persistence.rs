@@ -198,6 +198,79 @@ fn layout_mismatch_is_rejected() {
     assert!(err.to_string().contains("layout"), "got: {err}");
 }
 
+/// Dictionary/data atomicity: truncate the WAL at *every* byte offset and
+/// reopen. Whatever prefix survives, the store must recover to exactly one
+/// committed state (empty, loaded, or loaded+insert), and every positive
+/// integer ID stored in the entity tables must resolve through the restored
+/// dictionary to the same string it meant before the crash. This is the
+/// recovery invariant of the dictionary encoding: because `sys_dict` rows
+/// commit in the same WAL batch as the data that references them, no
+/// truncation point can yield an ID that is unresolvable or remapped.
+#[test]
+fn dictionary_and_data_commit_atomically_under_wal_truncation() {
+    let dir = fresh_dir("dict-torn");
+    let after_load;
+    let after_insert;
+    let reference: std::collections::HashMap<i64, String>;
+    {
+        let mut store = RdfStore::open(&dir, StoreConfig::default()).unwrap();
+        store.load(&sample()).unwrap();
+        after_load = answers(&store, Q_FOUNDER);
+        // The insert interns a brand-new entity, predicate target and value
+        // in a second WAL batch, so truncation points fall both between and
+        // inside dictionary-extending batches.
+        assert!(store.insert(&t("Bell", "founder", "AT&T")).unwrap());
+        after_insert = answers(&store, Q_FOUNDER);
+        let dict = store.dictionary().read();
+        reference = dict.entries_from(0).map(|(id, term)| (id, term.to_string())).collect();
+        drop(dict);
+        drop(store); // crash: no close()
+    }
+    let wal = std::fs::read(dir.join("wal.0")).unwrap();
+    assert!(wal.len() > 100, "WAL unexpectedly small: {} bytes", wal.len());
+
+    let scratch = fresh_dir("dict-torn-scratch");
+    for cut in 0..=wal.len() {
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).unwrap();
+        std::fs::write(scratch.join("wal.0"), &wal[..cut]).unwrap();
+        let store = RdfStore::open(&scratch, StoreConfig::default())
+            .unwrap_or_else(|e| panic!("open failed at cut {cut}/{}: {e}", wal.len()));
+
+        // 1. The store is in exactly one committed prefix state.
+        if store.query(Q_FOUNDER).is_ok() {
+            let got = answers(&store, Q_FOUNDER);
+            assert!(
+                got == after_load || got == after_insert,
+                "cut {cut}: recovered to an uncommitted state {got:?}"
+            );
+        }
+
+        // 2. Every positive ID in the entity tables resolves through the
+        //    restored dictionary to its pre-crash string.
+        let dict = store.dictionary().read();
+        for table in ["dph", "ds", "rph", "rs"] {
+            let Some(tbl) = store.database().table(table) else { continue };
+            for rid in 0..tbl.row_count() as u32 {
+                for v in tbl.row_values(rid) {
+                    if let relstore::Value::Int(id) = v {
+                        if id > 0 {
+                            let resolved = dict.resolve(id).unwrap_or_else(|| {
+                                panic!("cut {cut}: {table} holds unresolvable id {id}")
+                            });
+                            assert_eq!(
+                                Some(resolved),
+                                reference.get(&id).map(String::as_str),
+                                "cut {cut}: id {id} remapped after recovery"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn crash_mid_load_recovers_to_empty() {
     // The bulk load commits as one WAL transaction; a WAL that only carries

@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::database::{Database, ScalarFn};
 use crate::error::{exec_err, plan_err, Error, Result};
+use crate::hash::FxHashMap;
 use crate::sql::ast::{
     BinaryOp, Expr, Join, JoinKind, OrderItem, Query, QueryBody, Relation, Select, SelectItem,
     TableFactor, UnaryOp,
@@ -371,6 +372,9 @@ impl RowAccess for SplitRow<'_> {
 impl CExpr {
     pub fn eval<R: RowAccess + ?Sized>(&self, row: &R) -> Result<Value> {
         Ok(match self {
+            // These clones never copy string bytes: `Value::Str` holds an
+            // `Arc<str>`, so Col/Lit cost a refcount bump (or an 8-byte copy
+            // for Int/Double/Bool).
             CExpr::Col(i) => row.col(*i).clone(),
             CExpr::Lit(v) => v.clone(),
             CExpr::Binary { op, left, right } => {
@@ -442,17 +446,40 @@ impl CExpr {
             }
             CExpr::Cast { expr, ty } => cast_value(expr.eval(row)?, *ty),
             CExpr::Call { func, args, .. } => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(a.eval(row)?);
+                if let [arg] = args.as_slice() {
+                    // Single-argument calls (the common shape for the RDF_*
+                    // dictionary functions) skip the per-call argument Vec.
+                    let v = arg.eval(row)?;
+                    func(std::slice::from_ref(&v))?
+                } else {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(a.eval(row)?);
+                    }
+                    func(&vals)?
                 }
-                func(&vals)?
             }
         })
     }
 
     /// Evaluate as a WHERE/ON condition: NULL and FALSE both reject.
     pub fn eval_truthy<R: RowAccess + ?Sized>(&self, row: &R) -> Result<bool> {
+        // Equality against a column — the hot shape for pushed scan filters
+        // and join residuals — compares in place instead of cloning both
+        // operands into owned `Value`s. `sql_eq == Some(true)` is exactly
+        // what the generic path reduces to (NULL compares reject).
+        if let CExpr::Binary { op: BinaryOp::Eq, left, right } = self {
+            let pair = match (&**left, &**right) {
+                (CExpr::Col(i), CExpr::Lit(v)) | (CExpr::Lit(v), CExpr::Col(i)) => {
+                    Some((row.col(*i), v))
+                }
+                (CExpr::Col(a), CExpr::Col(b)) => Some((row.col(*a), row.col(*b))),
+                _ => None,
+            };
+            if let Some((l, r)) = pair {
+                return Ok(l.sql_eq(r) == Some(true));
+            }
+        }
         Ok(to_bool3(&self.eval(row)?)? == Some(true))
     }
 }
@@ -563,7 +590,12 @@ fn cast_value(v: Value, ty: SqlType) -> Value {
             Value::Bool(b) => Value::Double(*b as i64 as f64),
             Value::Null => unreachable!(),
         },
-        SqlType::Text => Value::str(v.to_string()),
+        // A Text→Text cast is the identity: reuse the existing `Arc<str>`
+        // instead of reallocating through `to_string`.
+        SqlType::Text => match v {
+            Value::Str(_) => v,
+            other => Value::str(other.to_string()),
+        },
         SqlType::Bool => match &v {
             Value::Bool(_) => v,
             Value::Int(i) => Value::Bool(*i != 0),
@@ -702,7 +734,7 @@ fn dedupe(rel: &mut Rel, threads: usize) {
     let hashes: Vec<u64> = parallel_morsels(n, threads, |range| {
         Ok(range
             .map(|i| {
-                let mut h = std::collections::hash_map::DefaultHasher::new();
+                let mut h = crate::hash::FxHasher::default();
                 rows[i].hash(&mut h);
                 h.finish()
             })
@@ -710,7 +742,8 @@ fn dedupe(rel: &mut Rel, threads: usize) {
     })
     .expect("hashing is infallible");
 
-    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::with_capacity(n);
+    let mut buckets: FxHashMap<u64, Vec<usize>> =
+        FxHashMap::with_capacity_and_hasher(n, crate::hash::FxBuildHasher::default());
     let mut keep = vec![true; n];
     for i in 0..n {
         let bucket = buckets.entry(hashes[i]).or_default();
@@ -1132,8 +1165,9 @@ fn scan_relation(
             }
             let table = ctx.db.table(&lower).expect("checked in relation_cols");
             let scope = Scope::from_cols(&cols);
-            let conds: Vec<CExpr> =
+            let mut conds: Vec<CExpr> =
                 push.iter().map(|e| compile(e, &scope, ctx.db)).collect::<Result<_>>()?;
+            order_by_cost(&mut conds);
 
             // Index probe: find `col = literal` (either orientation) among the
             // pushed conjuncts where `col` has an index.
@@ -1184,10 +1218,13 @@ fn scan_relation(
                     let conds = &conds;
                     parallel_morsels(stored.len(), ctx.threads, |range| {
                         let mut out = Vec::new();
+                        // Scratch buffer: rejected rows (the common case on a
+                        // filtered scan) never pay a heap allocation.
+                        let mut buf: Vec<Value> = Vec::new();
                         for r in &stored[range] {
-                            let vals = r.decompress(width);
-                            if eval_all(conds, &vals)? {
-                                out.push(vals);
+                            r.decompress_into(width, &mut buf);
+                            if eval_all(conds, &buf)? {
+                                out.push(std::mem::take(&mut buf));
                             }
                         }
                         ctx.charge(out.len())?;
@@ -1231,8 +1268,9 @@ fn index_nested_loop(
         .index_on(&table.schema.columns[key_col].name)
         .expect("caller checked index presence");
     let right_scope = Scope::from_cols(&right_cols);
-    let push_conds: Vec<CExpr> =
+    let mut push_conds: Vec<CExpr> =
         push.iter().map(|e| compile(e, &right_scope, ctx.db)).collect::<Result<_>>()?;
+    order_by_cost(&mut push_conds);
 
     let mut cols = left.cols.clone();
     cols.extend(right_cols.iter().cloned());
@@ -1288,10 +1326,33 @@ fn eval_all<R: RowAccess + ?Sized>(conds: &[CExpr], row: &R) -> Result<bool> {
     Ok(true)
 }
 
+/// Order conjuncts so cheap comparisons short-circuit before expensive ones
+/// (function calls, LIKE, CASE). `eval_all` stops at the first rejecting
+/// conjunct, so on a selective scan this keeps e.g. a per-row dictionary
+/// materialization behind an integer equality that filters most rows out.
+/// Stable, so equal-cost conjuncts keep their written order.
+fn order_by_cost(conds: &mut [CExpr]) {
+    fn is_expensive(e: &CExpr) -> bool {
+        match e {
+            CExpr::Call { .. } | CExpr::Like { .. } | CExpr::Case { .. } => true,
+            CExpr::Col(_) | CExpr::Lit(_) => false,
+            CExpr::Binary { left, right, .. } => is_expensive(left) || is_expensive(right),
+            CExpr::Unary { expr, .. }
+            | CExpr::IsNull { expr, .. }
+            | CExpr::Cast { expr, .. } => is_expensive(expr),
+            CExpr::InList { expr, list, .. } => {
+                is_expensive(expr) || list.iter().any(is_expensive)
+            }
+        }
+    }
+    conds.sort_by_key(is_expensive);
+}
+
 fn filter_rows(mut rel: Rel, push: &[&Expr], ctx: &ExecCtx<'_>) -> Result<Rel> {
     let scope = Scope::from_cols(&rel.cols);
-    let conds: Vec<CExpr> =
+    let mut conds: Vec<CExpr> =
         push.iter().map(|e| compile(e, &scope, ctx.db)).collect::<Result<_>>()?;
+    order_by_cost(&mut conds);
     let rows = &rel.rows;
     let conds_ref = &conds;
     let keep: Vec<bool> = parallel_morsels(rows.len(), ctx.threads, |range| {
@@ -1385,21 +1446,51 @@ fn join(
     // Build phase (sequential, one pass): hash right rows on their key.
     // Empty `lkeys` means no equi-condition was found — every right row is a
     // candidate (cross product guarded by an upfront budget charge).
+    // Single-column keys — the common case, and after dictionary encoding a
+    // bare i64 — are stored as `Value` directly so neither build nor probe
+    // heap-allocates a composite key per row.
+    enum KeyTable {
+        Single(FxHashMap<Value, Vec<usize>>),
+        Multi(FxHashMap<Vec<Value>, Vec<usize>>),
+    }
     let cross = lkeys.is_empty();
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    let cap = if cross { 0 } else { right.rows.len() };
+    let mut table = if rkeys.len() == 1 {
+        KeyTable::Single(FxHashMap::with_capacity_and_hasher(
+            cap,
+            crate::hash::FxBuildHasher::default(),
+        ))
+    } else {
+        KeyTable::Multi(FxHashMap::with_capacity_and_hasher(
+            cap,
+            crate::hash::FxBuildHasher::default(),
+        ))
+    };
     if cross {
         ctx.charge(left.rows.len().saturating_mul(right.rows.len().max(1)))?;
     } else {
-        'rows: for (i, r) in right.rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(rkeys.len());
-            for k in &rkeys {
-                let v = k.eval(r)?;
-                if v.is_null() {
-                    continue 'rows;
+        match &mut table {
+            KeyTable::Single(t) => {
+                for (i, r) in right.rows.iter().enumerate() {
+                    let v = rkeys[0].eval(r)?;
+                    if !v.is_null() {
+                        t.entry(v).or_default().push(i);
+                    }
                 }
-                key.push(v);
             }
-            table.entry(key).or_default().push(i);
+            KeyTable::Multi(t) => {
+                'rows: for (i, r) in right.rows.iter().enumerate() {
+                    let mut key = Vec::with_capacity(rkeys.len());
+                    for k in &rkeys {
+                        let v = k.eval(r)?;
+                        if v.is_null() {
+                            continue 'rows;
+                        }
+                        key.push(v);
+                    }
+                    t.entry(key).or_default().push(i);
+                }
+            }
         }
     }
 
@@ -1418,20 +1509,32 @@ fn join(
             let matches: &[usize] = if cross {
                 all_right_ref
             } else {
-                key.clear();
-                let mut null_key = false;
-                for k in lkeys_ref {
-                    let v = k.eval(l)?;
-                    if v.is_null() {
-                        null_key = true;
-                        break;
+                match table_ref {
+                    KeyTable::Single(t) => {
+                        let v = lkeys_ref[0].eval(l)?;
+                        if v.is_null() {
+                            &[]
+                        } else {
+                            t.get(&v).map(Vec::as_slice).unwrap_or(&[])
+                        }
                     }
-                    key.push(v);
-                }
-                if null_key {
-                    &[]
-                } else {
-                    table_ref.get(&key).map(Vec::as_slice).unwrap_or(&[])
+                    KeyTable::Multi(t) => {
+                        key.clear();
+                        let mut null_key = false;
+                        for k in lkeys_ref {
+                            let v = k.eval(l)?;
+                            if v.is_null() {
+                                null_key = true;
+                                break;
+                            }
+                            key.push(v);
+                        }
+                        if null_key {
+                            &[]
+                        } else {
+                            t.get(&key).map(Vec::as_slice).unwrap_or(&[])
+                        }
+                    }
                 }
             };
             let mut matched = false;
@@ -1630,15 +1733,20 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
         }
     }
 
-    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut groups: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
     let mut order: Vec<Vec<Value>> = Vec::new();
     for row in &input.rows {
         let key: Vec<Value> =
             group_exprs.iter().map(|e| e.eval(row)).collect::<Result<_>>()?;
-        let states = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key.clone());
-            vec![AggState::new(); agg_calls.len()]
-        });
+        // Entry API so the common already-seen-group path moves the key in
+        // without cloning it; only a fresh group pays a clone (for `order`).
+        let states = match groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(e.key().clone());
+                e.insert(vec![AggState::new(); agg_calls.len()])
+            }
+        };
         for (i, arg) in agg_args.iter().enumerate() {
             match arg {
                 None => states[i].count += 1, // COUNT(*)

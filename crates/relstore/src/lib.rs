@@ -44,6 +44,7 @@ mod codec;
 mod database;
 mod error;
 mod exec;
+pub mod hash;
 pub mod io;
 mod row;
 mod snapshot;
@@ -55,6 +56,7 @@ pub mod wal;
 pub use database::{table_schema, Database, ExecOutcome, ScalarFn};
 pub use error::{Error, Result};
 pub use exec::{like_match, OutCol, Rel, RowAccess, SplitRow, MORSEL_ROWS};
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use io::{FaultHandle, IoFault, NoFaults, WriteOutcome};
 pub use row::CompressedRow;
 pub use snapshot::{load_snapshot, write_snapshot, SnapshotTable};

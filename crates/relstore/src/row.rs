@@ -57,7 +57,24 @@ impl CompressedRow {
 
     /// Decompress into a dense vector of `ncols` values.
     pub fn decompress(&self, ncols: usize) -> Vec<Value> {
-        let mut out = vec![Value::Null; ncols];
+        let mut out = Vec::new();
+        self.decompress_into(ncols, &mut out);
+        out
+    }
+
+    /// Like [`CompressedRow::decompress`], but reuses `out`'s allocation —
+    /// the scan hot loop decompresses into a scratch buffer and only turns
+    /// it into an owned row for rows that survive the pushed filters.
+    pub fn decompress_into(&self, ncols: usize, out: &mut Vec<Value>) {
+        out.clear();
+        // Fully dense prefix (narrow fact tables like a triple relation have
+        // no NULLs at all): the first `ncols` values are exactly the row, no
+        // bitmap walk needed.
+        if self.values.len() >= ncols && self.first_bits_set(ncols) {
+            out.extend_from_slice(&self.values[..ncols]);
+            return;
+        }
+        out.resize(ncols, Value::Null);
         let mut next = 0usize;
         for (i, slot) in out.iter_mut().enumerate().take(self.bitmap.len() * 64) {
             if self.bitmap[i / 64] & (1 << (i % 64)) != 0 {
@@ -65,7 +82,16 @@ impl CompressedRow {
                 next += 1;
             }
         }
-        out
+    }
+
+    /// Are bitmap bits `0..n` all set?
+    fn first_bits_set(&self, n: usize) -> bool {
+        if self.bitmap.len() < n.div_ceil(64) {
+            return false;
+        }
+        let (full, rem) = (n / 64, n % 64);
+        self.bitmap[..full].iter().all(|w| *w == u64::MAX)
+            && (rem == 0 || self.bitmap[full] & ((1u64 << rem) - 1) == (1u64 << rem) - 1)
     }
 
     /// Approximate storage footprint in bytes: bitmap words + one fixed slot
@@ -130,6 +156,14 @@ mod tests {
         let wide = row(&wide_vals);
         // 126 extra NULL columns cost exactly one extra bitmap word (8 bytes).
         assert_eq!(wide.storage_bytes() - narrow.storage_bytes(), 8);
+    }
+
+    #[test]
+    fn truncating_decompress_with_offset_values_avoids_dense_fast_path() {
+        // Two stored values but NOT in the first two columns: the dense
+        // prefix check must reject this even though values.len() >= ncols.
+        let r = row(&[Value::Null, Value::Int(1), Value::Int(2)]);
+        assert_eq!(r.decompress(2), vec![Value::Null, Value::Int(1)]);
     }
 
     #[test]
