@@ -1,0 +1,195 @@
+//! Concurrent-throughput benchmark for the SPARQL Protocol server.
+//!
+//! Boots `server::Server` on an ephemeral loopback port over an
+//! entity-layout LUBM store, then drives it with keep-alive HTTP clients
+//! at 1/4/16 concurrency over the triangle/star/chain query mix (the same
+//! shapes as `exec_scaling`, phrased in SPARQL). Every response is
+//! validated against the row count measured in-process before the run —
+//! throughput with wrong answers is not throughput. Writes req/s and
+//! p50/p99 latency per level to `BENCH_server.json`.
+//!
+//! Dependency-free: `std::net` clients, `std::time::Instant`, hand-rolled
+//! JSON. Run with `cargo run --release -p bench --bin server_throughput`;
+//! scale with `SERVER_THROUGHPUT_UNIV=<universities>` (default 6).
+//! `SERVER_THROUGHPUT_SMOKE=1` switches to the CI profile: a tiny dataset,
+//! 1/2 concurrency, a handful of requests — a correctness/panic check, not
+//! a measurement.
+
+use std::time::Instant;
+
+use bench::scale_from_env;
+use datagen::lubm::{NS, RDF_TYPE};
+use db2rdf::{RdfStore, SharedStore};
+use server::client::Client;
+use server::http::percent_encode;
+use server::{Server, ServerConfig};
+
+struct MixQuery {
+    name: &'static str,
+    sparql: String,
+    /// Row count measured in-process before the HTTP run.
+    expect_rows: usize,
+}
+
+fn query_mix() -> Vec<(&'static str, String)> {
+    let t = |l: &str| format!("<{NS}{l}>");
+    let typ = format!("<{RDF_TYPE}>");
+    let (grad, advisor, teacher, takes, name, member) = (
+        t("GraduateStudent"),
+        t("advisor"),
+        t("teacherOf"),
+        t("takesCourse"),
+        t("name"),
+        t("memberOf"),
+    );
+    vec![
+        (
+            // LUBM Q9-style triangle: student → advisor → course the
+            // advisor teaches and the student takes.
+            "triangle",
+            format!(
+                "SELECT ?x ?y ?z WHERE {{ ?x {typ} {grad} . ?x {advisor} ?y . \
+                 ?y {teacher} ?z . ?x {takes} ?z }}"
+            ),
+        ),
+        (
+            // Star with a REGEX filter — the expression-heavy scan.
+            "star",
+            format!(
+                "SELECT ?x ?n ?d WHERE {{ ?x {typ} {grad} . ?x {name} ?n . \
+                 ?x {member} ?d . FILTER regex(?n, 'Grad 1') }}"
+            ),
+        ),
+        (
+            // Advised students joined to their department (the
+            // `exec_scaling` chain_agg shape, minus the aggregation the
+            // SPARQL 1.0 front end doesn't speak).
+            "chain",
+            format!("SELECT ?x ?d WHERE {{ ?x {advisor} ?y . ?x {member} ?d }}"),
+        ),
+    ]
+}
+
+/// Sorted-percentile in milliseconds.
+fn pct_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx] * 1e3
+}
+
+fn main() {
+    let smoke = std::env::var("SERVER_THROUGHPUT_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let universities = scale_from_env("SERVER_THROUGHPUT_UNIV", if smoke { 1 } else { 6 });
+    let per_client = if smoke { 4 } else { 60 };
+    let levels: &[usize] = if smoke { &[1, 2] } else { &[1, 4, 16] };
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+
+    let triples = datagen::lubm::generate(universities, 42);
+    let mut store = RdfStore::entity();
+    store.load(&triples).expect("bulk load");
+    eprintln!(
+        "loaded {} LUBM triples ({universities} universities); {cores} core(s){}",
+        triples.len(),
+        if smoke { "; SMOKE mode" } else { "" }
+    );
+
+    // Reference row counts, measured in-process before serving.
+    let mix: Vec<MixQuery> = query_mix()
+        .into_iter()
+        .map(|(name, sparql)| {
+            let expect_rows = store.query(&sparql).expect("reference run").len();
+            eprintln!("  {name}: {expect_rows} rows");
+            MixQuery { name, sparql, expect_rows }
+        })
+        .collect();
+
+    let workers = cores.clamp(2, 8);
+    let cfg = ServerConfig {
+        workers,
+        max_in_flight: 64, // a throughput run must not shed
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(SharedStore::new(store), "127.0.0.1:0", cfg).expect("bind server");
+    let addr = server.local_addr();
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>9} {:>9}",
+        "concurrency", "requests", "req/s", "p50_ms", "p99_ms"
+    );
+    let mut level_json = Vec::new();
+    for &concurrency in levels {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..concurrency)
+            .map(|ci| {
+                let mix: Vec<(String, usize)> = mix
+                    .iter()
+                    .map(|q| {
+                        (
+                            format!(
+                                "/sparql?query={}&format=tsv",
+                                percent_encode(&q.sparql)
+                            ),
+                            q.expect_rows,
+                        )
+                    })
+                    .collect();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for r in 0..per_client {
+                        let (path, expect_rows) = &mix[(ci + r) % mix.len()];
+                        let t = Instant::now();
+                        let resp =
+                            client.request("GET", path, &[], b"").expect("response");
+                        latencies.push(t.elapsed().as_secs_f64());
+                        assert_eq!(resp.status, 200, "{}", resp.text());
+                        let rows = resp.text().lines().count() - 1; // minus header
+                        assert_eq!(
+                            rows, *expect_rows,
+                            "client {ci} request {r}: wrong result cardinality"
+                        );
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = Vec::new();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        latencies.sort_by(f64::total_cmp);
+        let requests = latencies.len();
+        let rps = requests as f64 / wall;
+        let (p50, p99) = (pct_ms(&latencies, 0.50), pct_ms(&latencies, 0.99));
+        println!(
+            "{concurrency:<12} {requests:>10} {rps:>10.1} {p50:>9.2} {p99:>9.2}"
+        );
+        level_json.push(format!(
+            "{{\"concurrency\": {concurrency}, \"requests\": {requests}, \
+             \"reqs_per_sec\": {rps:.2}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}}}"
+        ));
+    }
+
+    // The mix names + row counts document what was measured.
+    let mix_json: Vec<String> = mix
+        .iter()
+        .map(|q| format!("{{\"name\": \"{}\", \"rows\": {}}}", q.name, q.expect_rows))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"server_throughput\",\n  \"triples\": {},\n  \
+         \"universities\": {universities},\n  \"cores\": {cores},\n  \
+         \"workers\": {workers},\n  \"smoke\": {smoke},\n  \
+         \"queries\": [{}],\n  \"levels\": [\n    {}\n  ]\n}}\n",
+        triples.len(),
+        mix_json.join(", "),
+        level_json.join(",\n    ")
+    );
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    eprintln!("wrote BENCH_server.json");
+
+    server.shutdown();
+}

@@ -33,6 +33,7 @@ pub mod naive;
 pub mod optimizer;
 pub mod persist;
 pub mod results;
+pub mod shared;
 pub mod stats;
 mod store;
 pub mod translate;
@@ -42,5 +43,6 @@ pub use error::{Result, StoreError};
 pub use loader::{ColoringMode, EntityConfig, LoadReport};
 pub use optimizer::OptimizerMode;
 pub use results::Solutions;
+pub use shared::SharedStore;
 pub use stats::Stats;
 pub use store::{layout_name, Explanation, Layout, RdfStore, StoreConfig};

@@ -77,6 +77,144 @@ impl Solutions {
     }
 }
 
+// -- W3C result serialization (SPARQL 1.1 Query Results JSON / TSV) ---------
+
+/// Append `s` to `out` as a JSON string body (no surrounding quotes),
+/// escaping per RFC 8259: quote, backslash, and all control characters.
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One RDF term as a SPARQL 1.1 Results JSON object, e.g.
+/// `{"type":"uri","value":"http://a"}`.
+fn term_to_json(term: &Term, out: &mut String) {
+    match term {
+        Term::Iri(v) => {
+            out.push_str("{\"type\":\"uri\",\"value\":\"");
+            json_escape_into(v, out);
+            out.push_str("\"}");
+        }
+        Term::Blank(v) => {
+            out.push_str("{\"type\":\"bnode\",\"value\":\"");
+            json_escape_into(v, out);
+            out.push_str("\"}");
+        }
+        Term::Literal { lexical, lang, datatype } => {
+            out.push_str("{\"type\":\"literal\",\"value\":\"");
+            json_escape_into(lexical, out);
+            out.push('"');
+            if let Some(l) = lang {
+                out.push_str(",\"xml:lang\":\"");
+                json_escape_into(l, out);
+                out.push('"');
+            } else if let Some(dt) = datatype {
+                out.push_str(",\"datatype\":\"");
+                json_escape_into(dt, out);
+                out.push('"');
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl Solutions {
+    /// Serialize per the W3C *SPARQL 1.1 Query Results JSON Format*:
+    /// `{"head":{"vars":[...]},"results":{"bindings":[...]}}` for SELECT,
+    /// `{"head":{},"boolean":b}` for ASK. Unbound variables are omitted
+    /// from their binding objects, as the spec requires.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.rows.len() * 64);
+        if let Some(b) = self.boolean {
+            out.push_str("{\"head\":{},\"boolean\":");
+            out.push_str(if b { "true" } else { "false" });
+            out.push('}');
+            return out;
+        }
+        out.push_str("{\"head\":{\"vars\":[");
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape_into(v, &mut out);
+            out.push('"');
+        }
+        out.push_str("]},\"results\":{\"bindings\":[");
+        for (ri, row) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut first = true;
+            for (var, cell) in self.vars.iter().zip(row.iter()) {
+                let Some(term) = cell else { continue };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                json_escape_into(var, &mut out);
+                out.push_str("\":");
+                term_to_json(term, &mut out);
+            }
+            out.push('}');
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Serialize per the W3C *SPARQL 1.1 Query Results TSV Format*: a
+    /// header line of `?`-prefixed variables, then one line per solution
+    /// with terms in SPARQL (N-Triples) syntax — IRIs in angle brackets,
+    /// literals quoted with `\t`/`\n`/`\r`/`\"`/`\\` escaped (so a cell
+    /// never contains a raw tab or newline), blank nodes as `_:label` —
+    /// and unbound variables as empty fields.
+    ///
+    /// The TSV format is defined for SELECT only; for ASK this emits a
+    /// single `true`/`false` line (documented deviation, DESIGN.md §4.8).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::with_capacity(32 + self.rows.len() * 48);
+        if let Some(b) = self.boolean {
+            out.push_str(if b { "true\n" } else { "false\n" });
+            return out;
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                out.push('\t');
+            }
+            out.push('?');
+            out.push_str(v);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push('\t');
+                }
+                if let Some(term) = cell {
+                    term.encode_into(&mut out);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
 fn decode_value(v: &Value, dict: Option<&Dict>) -> Option<Term> {
     match v {
         Value::Null => None,

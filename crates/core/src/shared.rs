@@ -1,0 +1,118 @@
+//! A thread-safe handle over [`RdfStore`] for concurrent serving.
+//!
+//! `RdfStore::query` takes `&self` while every mutation takes `&mut self`,
+//! so an `RwLock` maps the API directly onto reader/writer concurrency:
+//! many queries run in flight at once (each relational execution may itself
+//! be morsel-parallel), while `insert`/`delete`/`checkpoint` briefly
+//! exclude them. This is the store handle the SPARQL Protocol server
+//! (`crates/server`) shares across its worker threads.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use rdf::Triple;
+
+use crate::error::Result;
+use crate::loader::LoadReport;
+use crate::results::Solutions;
+use crate::store::RdfStore;
+
+/// A cloneable, `Send + Sync` handle to a shared [`RdfStore`].
+///
+/// Lock poisoning is deliberately ignored (`into_inner` on the guard): a
+/// panicking query cannot leave the store logically inconsistent — reads
+/// never mutate, and mutations commit through the relational batch
+/// machinery — so refusing all service after one panic would turn a single
+/// bad request into an outage.
+#[derive(Clone)]
+pub struct SharedStore {
+    inner: Arc<RwLock<RdfStore>>,
+}
+
+impl SharedStore {
+    pub fn new(store: RdfStore) -> SharedStore {
+        SharedStore { inner: Arc::new(RwLock::new(store)) }
+    }
+
+    /// Shared (read) access; many may be held concurrently.
+    pub fn read(&self) -> RwLockReadGuard<'_, RdfStore> {
+        self.inner.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Exclusive (write) access; excludes all readers.
+    pub fn write(&self) -> RwLockWriteGuard<'_, RdfStore> {
+        self.inner.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Execute a SPARQL query under a read lock.
+    pub fn query(&self, sparql: &str) -> Result<Solutions> {
+        self.read().query(sparql)
+    }
+
+    /// Insert one triple under the write lock.
+    pub fn insert(&self, triple: &Triple) -> Result<bool> {
+        self.write().insert(triple)
+    }
+
+    /// Delete one triple under the write lock (entity layout only).
+    pub fn delete(&self, triple: &Triple) -> Result<bool> {
+        self.write().delete(triple)
+    }
+
+    /// Snapshot of the load report (cloned out so no lock is held).
+    pub fn load_report(&self) -> LoadReport {
+        self.read().load_report().clone()
+    }
+}
+
+// The server hands one `SharedStore` to every worker thread; this fails to
+// compile if any store component regresses to a non-thread-safe type.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedStore>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{RdfStore, StoreConfig};
+    use rdf::Term;
+
+    fn triple(i: usize) -> Triple {
+        Triple::new(
+            Term::iri(format!("http://s/{i}")),
+            Term::iri("http://p"),
+            Term::iri(format!("http://o/{i}")),
+        )
+    }
+
+    #[test]
+    fn concurrent_readers_with_writer() {
+        let mut store = RdfStore::new(StoreConfig::default());
+        store.load(&(0..16).map(triple).collect::<Vec<_>>()).unwrap();
+        let shared = SharedStore::new(store);
+
+        std::thread::scope(|s| {
+            let writer = shared.clone();
+            s.spawn(move || {
+                for i in 100..120 {
+                    writer.insert(&triple(i)).unwrap();
+                }
+            });
+            for _ in 0..4 {
+                let reader = shared.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let sols = reader
+                            .query("SELECT ?s ?o WHERE { ?s <http://p> ?o }")
+                            .unwrap();
+                        assert!(sols.len() >= 16 && sols.len() <= 36, "len {}", sols.len());
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            shared.query("SELECT ?s WHERE { ?s <http://p> ?o }").unwrap().len(),
+            36
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! W3C conformance tests for the SPARQL 1.1 Results serializers
+//! (`Solutions::to_json` / `Solutions::to_tsv`): escaping of quotes,
+//! newlines and unicode, typed and language-tagged literals, blank-node
+//! labels, unbound variables, and empty result sets.
+
+use db2rdf::Solutions;
+use rdf::Term;
+
+/// Build a Solutions value directly (the serializers are pure functions of
+/// the decoded rows; the end-to-end path is covered by the server tests).
+fn sols(vars: &[&str], rows: Vec<Vec<Option<Term>>>) -> Solutions {
+    Solutions { vars: vars.iter().map(|v| v.to_string()).collect(), rows, boolean: None }
+}
+
+#[test]
+fn json_select_shape() {
+    let s = sols(
+        &["x", "y"],
+        vec![vec![Some(Term::iri("http://example.org/a")), Some(Term::lit("hello"))]],
+    );
+    assert_eq!(
+        s.to_json(),
+        "{\"head\":{\"vars\":[\"x\",\"y\"]},\"results\":{\"bindings\":[\
+         {\"x\":{\"type\":\"uri\",\"value\":\"http://example.org/a\"},\
+         \"y\":{\"type\":\"literal\",\"value\":\"hello\"}}]}}"
+    );
+}
+
+#[test]
+fn json_ask_shape() {
+    assert_eq!(Solutions::from_ask(true).to_json(), "{\"head\":{},\"boolean\":true}");
+    assert_eq!(Solutions::from_ask(false).to_json(), "{\"head\":{},\"boolean\":false}");
+}
+
+#[test]
+fn json_empty_result_set() {
+    let s = sols(&["x"], vec![]);
+    assert_eq!(
+        s.to_json(),
+        "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}"
+    );
+}
+
+#[test]
+fn json_escapes_quotes_newlines_controls() {
+    let s = sols(&["v"], vec![vec![Some(Term::lit("a\"b\\c\nd\re\tf\u{01}g"))]]);
+    let json = s.to_json();
+    assert!(
+        json.contains("\"value\":\"a\\\"b\\\\c\\nd\\re\\tf\\u0001g\""),
+        "escaped literal missing: {json}"
+    );
+    // The serialized text must itself contain no raw control characters.
+    assert!(!json.chars().any(|c| (c as u32) < 0x20), "raw control char in {json}");
+}
+
+#[test]
+fn json_unicode_passes_through() {
+    // Non-ASCII needs no escaping in JSON — UTF-8 bytes pass through.
+    let s = sols(&["v"], vec![vec![Some(Term::lit("héllo wörld → 日本語"))]]);
+    assert!(s.to_json().contains("\"value\":\"héllo wörld → 日本語\""));
+}
+
+#[test]
+fn json_typed_and_lang_literals() {
+    let s = sols(
+        &["a", "b"],
+        vec![vec![
+            Some(Term::typed_lit("42", "http://www.w3.org/2001/XMLSchema#integer")),
+            Some(Term::lang_lit("chat", "fr")),
+        ]],
+    );
+    let json = s.to_json();
+    assert!(json.contains(
+        "{\"type\":\"literal\",\"value\":\"42\",\
+         \"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\"}"
+    ));
+    assert!(json.contains("{\"type\":\"literal\",\"value\":\"chat\",\"xml:lang\":\"fr\"}"));
+}
+
+#[test]
+fn json_blank_nodes_and_unbound() {
+    let s = sols(
+        &["x", "y"],
+        vec![
+            vec![Some(Term::blank("b0")), None],
+            vec![None, Some(Term::blank("node42"))],
+        ],
+    );
+    let json = s.to_json();
+    // Unbound variables are omitted from their binding objects.
+    assert!(json.contains("[{\"x\":{\"type\":\"bnode\",\"value\":\"b0\"}},"));
+    assert!(json.contains("{\"y\":{\"type\":\"bnode\",\"value\":\"node42\"}}]"));
+}
+
+#[test]
+fn tsv_select_shape() {
+    let s = sols(
+        &["x", "name"],
+        vec![
+            vec![Some(Term::iri("http://example.org/a")), Some(Term::lit("Alice"))],
+            vec![Some(Term::blank("b1")), None],
+        ],
+    );
+    assert_eq!(
+        s.to_tsv(),
+        "?x\t?name\n<http://example.org/a>\t\"Alice\"\n_:b1\t\n"
+    );
+}
+
+#[test]
+fn tsv_empty_result_set_keeps_header() {
+    assert_eq!(sols(&["x", "y"], vec![]).to_tsv(), "?x\t?y\n");
+}
+
+#[test]
+fn tsv_escapes_tabs_newlines_quotes() {
+    let s = sols(&["v"], vec![vec![Some(Term::lit("col1\tcol2\nline2 \"q\""))]]);
+    let tsv = s.to_tsv();
+    // Exactly header + one data line; the embedded tab/newline are escaped.
+    assert_eq!(tsv, "?v\n\"col1\\tcol2\\nline2 \\\"q\\\"\"\n");
+    assert_eq!(tsv.lines().count(), 2);
+}
+
+#[test]
+fn tsv_typed_and_lang_literals() {
+    let s = sols(
+        &["a", "b"],
+        vec![vec![
+            Some(Term::typed_lit("3.5", "http://www.w3.org/2001/XMLSchema#double")),
+            Some(Term::lang_lit("hallo", "de")),
+        ]],
+    );
+    assert_eq!(
+        s.to_tsv(),
+        "?a\t?b\n\"3.5\"^^<http://www.w3.org/2001/XMLSchema#double>\t\"hallo\"@de\n"
+    );
+}
+
+#[test]
+fn tsv_unicode_preserved() {
+    let s = sols(&["v"], vec![vec![Some(Term::lit("héllo 日本語"))]]);
+    assert_eq!(s.to_tsv(), "?v\n\"héllo 日本語\"\n");
+}
+
+#[test]
+fn tsv_ask_is_bare_boolean() {
+    // Documented deviation: the W3C TSV format covers SELECT only.
+    assert_eq!(Solutions::from_ask(true).to_tsv(), "true\n");
+    assert_eq!(Solutions::from_ask(false).to_tsv(), "false\n");
+}
+
+#[test]
+fn end_to_end_through_store() {
+    let mut store = db2rdf::RdfStore::entity();
+    store
+        .load(&[
+            rdf::Triple::new(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/p"),
+                Term::lang_lit("Grüße\n\"quoted\"", "de"),
+            ),
+            rdf::Triple::new(Term::iri("http://e/s2"), Term::iri("http://e/p"), Term::int_lit(7)),
+        ])
+        .unwrap();
+    let sols = store.query("SELECT ?s ?o WHERE { ?s <http://e/p> ?o }").unwrap();
+    let json = sols.to_json();
+    assert!(json.contains("\"xml:lang\":\"de\""), "{json}");
+    assert!(json.contains("Grüße\\n\\\"quoted\\\""), "{json}");
+    assert!(
+        json.contains("\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""),
+        "{json}"
+    );
+    let tsv = sols.to_tsv();
+    assert_eq!(tsv.lines().count(), 3, "{tsv}");
+    assert!(tsv.contains("\"Grüße\\n\\\"quoted\\\"\"@de"), "{tsv}");
+}

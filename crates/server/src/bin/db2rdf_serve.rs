@@ -1,0 +1,249 @@
+//! `db2rdf-serve` — the SPARQL Protocol endpoint as a CLI.
+//!
+//! Usage:
+//!
+//! ```text
+//! db2rdf-serve --load data.nt [--addr 127.0.0.1:8098] [flags]
+//! db2rdf-serve --open store-dir/ [flags]
+//! db2rdf-serve --smoke
+//! ```
+//!
+//! Flags: `--workers N` (default 4), `--max-in-flight N` (default 64),
+//! `--max-body-bytes N` (default 1 MiB), `--row-budget N`,
+//! `--deadline-ms N`.
+//!
+//! `--load` bulk-loads an N-Triples file into an in-memory entity-layout
+//! store; `--open` opens (or creates) a durable store directory, serving
+//! whatever was loaded into it. The server runs until stdin reaches EOF or
+//! a line is entered, then shuts down gracefully (drains in-flight
+//! requests).
+//!
+//! `--smoke` is the curl-equivalent self-test used by
+//! `scripts/verify.sh --server`: boot on an ephemeral port with a tiny
+//! built-in dataset, exercise `/sparql` (GET + POST, JSON + TSV),
+//! `/healthz`, `/stats`, and the 400 path over real loopback HTTP, then
+//! shut down. Exits non-zero on any mismatch.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use db2rdf::{RdfStore, SharedStore, StoreConfig};
+use rdf::{Term, Triple};
+use server::{client, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    load: Option<String>,
+    open: Option<String>,
+    smoke: bool,
+    cfg: ServerConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: db2rdf-serve (--load FILE.nt | --open DIR | --smoke) \
+         [--addr HOST:PORT] [--workers N] [--max-in-flight N] \
+         [--max-body-bytes N] [--row-budget N] [--deadline-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:8098".into(),
+        load: None,
+        open: None,
+        smoke: false,
+        cfg: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--load" => args.load = Some(value("--load")),
+            "--open" => args.open = Some(value("--open")),
+            "--smoke" => args.smoke = true,
+            "--workers" => args.cfg.workers = parse_num(&value("--workers")),
+            "--max-in-flight" => args.cfg.max_in_flight = parse_num(&value("--max-in-flight")),
+            "--max-body-bytes" => {
+                args.cfg.max_body_bytes = parse_num(&value("--max-body-bytes"))
+            }
+            "--row-budget" => args.cfg.row_budget = Some(parse_num(&value("--row-budget"))),
+            "--deadline-ms" => {
+                args.cfg.deadline =
+                    Some(Duration::from_millis(parse_num(&value("--deadline-ms"))))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s:?}");
+        usage()
+    })
+}
+
+fn build_store(args: &Args) -> Result<RdfStore, String> {
+    if let Some(path) = &args.load {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut store = RdfStore::entity();
+        let report =
+            store.load_ntriples(&text).map_err(|e| format!("load failed: {e}"))?;
+        eprintln!("loaded {} triples from {path}", report.triples);
+        Ok(store)
+    } else if let Some(dir) = &args.open {
+        let store = RdfStore::open(dir, StoreConfig::default())
+            .map_err(|e| format!("cannot open store {dir}: {e}"))?;
+        eprintln!("opened durable store {dir} ({} triples)", store.load_report().triples);
+        Ok(store)
+    } else {
+        Err("one of --load, --open, or --smoke is required".into())
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.smoke {
+        return smoke();
+    }
+    let store = match build_store(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("db2rdf-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(SharedStore::new(store), &args.addr, args.cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("db2rdf-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    eprintln!(
+        "serving SPARQL on http://{addr}/sparql ({} workers, {} in-flight cap)\n\
+         endpoints: /sparql /healthz /stats — press Enter (or close stdin) to stop",
+        args.cfg.workers, args.cfg.max_in_flight
+    );
+    // Block until the operator ends the session; EOF also stops the server
+    // so `db2rdf-serve < /dev/null` exits after a graceful drain.
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    eprintln!("shutting down (draining in-flight requests)...");
+    server.shutdown();
+    eprintln!("bye");
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// --smoke: the scripts/verify.sh --server self-test
+// ---------------------------------------------------------------------------
+
+fn demo_triples() -> Vec<Triple> {
+    let person = |n: &str| Term::iri(format!("http://example.org/{n}"));
+    let knows = Term::iri("http://example.org/knows");
+    let name = Term::iri("http://example.org/name");
+    vec![
+        Triple::new(person("alice"), knows.clone(), person("bob")),
+        Triple::new(person("bob"), knows.clone(), person("carol")),
+        Triple::new(person("alice"), name.clone(), Term::lit("Alice")),
+        Triple::new(person("bob"), name.clone(), Term::lang_lit("Bob", "en")),
+        Triple::new(person("carol"), name, Term::lit("Carol \"C\"\n")),
+        Triple::new(person("alice"), knows, person("carol")),
+    ]
+}
+
+fn check(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        eprintln!("smoke: {what}: ok");
+        Ok(())
+    } else {
+        Err(format!("smoke check failed: {what}"))
+    }
+}
+
+fn run_smoke() -> Result<(), String> {
+    let mut store = RdfStore::entity();
+    store.load(&demo_triples()).map_err(|e| e.to_string())?;
+    let cfg = ServerConfig { workers: 2, max_in_flight: 8, ..ServerConfig::default() };
+    let server = Server::start(SharedStore::new(store), "127.0.0.1:0", cfg)
+        .map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let io = |e: std::io::Error| format!("http: {e}");
+
+    // /healthz
+    let r = client::request(addr, "GET", "/healthz", &[], b"").map_err(io)?;
+    check(r.status == 200 && r.text().trim() == "ok", "GET /healthz -> 200 ok")?;
+
+    // GET /sparql, JSON
+    let q = "SELECT ?x WHERE { ?x <http://example.org/knows> <http://example.org/bob> }";
+    let mut c = client::Client::connect(addr).map_err(io)?;
+    let r = c.sparql_get(q, None).map_err(io)?;
+    check(
+        r.status == 200
+            && r.header("content-type") == Some("application/sparql-results+json")
+            && r.text().contains("\"type\":\"uri\"")
+            && r.text().contains("http://example.org/alice"),
+        "GET /sparql -> SPARQL JSON bindings",
+    )?;
+
+    // POST /sparql (raw query body), TSV
+    let r = c
+        .request(
+            "POST",
+            "/sparql",
+            &[
+                ("Content-Type", "application/sparql-query"),
+                ("Accept", "text/tab-separated-values"),
+            ],
+            q.as_bytes(),
+        )
+        .map_err(io)?;
+    check(
+        r.status == 200
+            && r.text().starts_with("?x\n")
+            && r.text().contains("<http://example.org/alice>"),
+        "POST /sparql -> TSV",
+    )?;
+
+    // Malformed SPARQL → 400 with the parser's message
+    let r = c.sparql_get("SELECT WHERE {", None).map_err(io)?;
+    check(
+        r.status == 400 && r.text().contains("SPARQL parse error"),
+        "malformed query -> 400 + parser message",
+    )?;
+
+    // /stats shows the traffic
+    let r = client::request(addr, "GET", "/stats", &[], b"").map_err(io)?;
+    check(
+        r.status == 200 && r.text().contains("\"sparql\":{\"requests\":"),
+        "GET /stats -> counters",
+    )?;
+
+    server.shutdown();
+    eprintln!("smoke: OK (server drained and stopped)");
+    Ok(())
+}
+
+fn smoke() -> ExitCode {
+    match run_smoke() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("db2rdf-serve --smoke: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

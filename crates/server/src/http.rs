@@ -1,0 +1,385 @@
+//! A minimal HTTP/1.1 layer over `std::net::TcpStream`, owned by this
+//! workspace the way PR 1 owned SplitMix64: no external dependencies.
+//!
+//! Scope: exactly what the SPARQL Protocol endpoint needs — request-line +
+//! headers + `Content-Length` bodies, keep-alive connections, CRLF framing,
+//! percent-decoding, and `Content-Length`-framed responses. Chunked
+//! transfer coding is rejected with 400 rather than half-implemented.
+//!
+//! Hard limits defend the parser itself: request heads over
+//! [`MAX_HEAD_BYTES`] are refused (431) before buffering more, and bodies
+//! are bounded by the caller-supplied cap (413) *before* the body is read,
+//! so an oversized upload costs the server one header scan, not the bytes.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers (bytes).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Consecutive read timeouts tolerated mid-request before giving up on a
+/// trickling peer (each timeout is the stream's read-timeout interval).
+const MAX_STALLED_READS: u32 = 300;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter by name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to keep the connection open (HTTP/1.1
+    /// default; an explicit `Connection: close` wins).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The `Content-Type` without parameters (`; charset=...` stripped),
+    /// trimmed and lowercased.
+    pub fn media_type(&self) -> Option<String> {
+        self.header("content-type")
+            .map(|v| v.split(';').next().unwrap_or("").trim().to_ascii_lowercase())
+    }
+}
+
+/// Why reading the next request off a connection stopped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF between requests — the peer is done.
+    Closed,
+    /// Read timeout with no request in progress (idle keep-alive). The
+    /// caller decides whether to keep waiting or shut down.
+    Idle,
+    /// Head exceeded [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Declared body length exceeded the caller's cap → 413.
+    BodyTooLarge { declared: usize, cap: usize },
+    /// Syntactically invalid request → 400.
+    Malformed(String),
+    /// Transport failure; the connection is unusable.
+    Io(std::io::Error),
+}
+
+/// One client connection with its unconsumed read buffer (keep-alive
+/// requests can arrive pipelined; leftover bytes carry over).
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Consecutive read timeouts within the current request (see
+    /// [`MAX_STALLED_READS`]); reset when a new request begins.
+    stalls: u32,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn { stream, buf: Vec::with_capacity(1024), stalls: 0 }
+    }
+
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Pull more bytes into the buffer. `Ok(true)` on progress, `Ok(false)`
+    /// on EOF, `Err(Idle)`-style timeouts surface as `Err(None)`.
+    fn fill(&mut self) -> Result<Option<usize>, std::io::Error> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Ok(Some(0)),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(Some(n))
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read and parse the next request. Blocks up to the stream's read
+    /// timeout; see [`ReadError`] for the contract.
+    pub fn read_request(&mut self, max_body: usize) -> Result<Request, ReadError> {
+        self.stalls = 0;
+        // Phase 1: accumulate the head (through CRLFCRLF).
+        let head_end = loop {
+            if let Some(pos) = find_subslice(&self.buf, b"\r\n\r\n") {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(ReadError::HeadTooLarge);
+            }
+            match self.fill().map_err(ReadError::Io)? {
+                Some(0) if self.buf.is_empty() => return Err(ReadError::Closed),
+                Some(0) => return Err(ReadError::Malformed("unexpected EOF in head".into())),
+                Some(_) => {}
+                None if self.buf.is_empty() => return Err(ReadError::Idle),
+                None => {
+                    // Mid-head timeout: keep waiting (bounded below).
+                    self.stalled_wait()?;
+                }
+            }
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| ReadError::Malformed("head is not valid UTF-8".into()))?
+            .to_string();
+        let body_start = head_end + 4;
+
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/") => {
+                    (m.to_string(), t.to_string(), v)
+                }
+                _ => {
+                    return Err(ReadError::Malformed(format!(
+                        "bad request line {request_line:?}"
+                    )))
+                }
+            };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(ReadError::Malformed(format!("unsupported version {version}")));
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ReadError::Malformed(format!("bad header line {line:?}")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        // Body framing: Content-Length only.
+        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            return Err(ReadError::Malformed("chunked bodies are not supported".into()));
+        }
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            None => 0,
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| ReadError::Malformed(format!("bad Content-Length {v:?}")))?,
+        };
+        if content_length > max_body {
+            return Err(ReadError::BodyTooLarge { declared: content_length, cap: max_body });
+        }
+
+        // Phase 2: accumulate the body.
+        while self.buf.len() < body_start + content_length {
+            match self.fill().map_err(ReadError::Io)? {
+                Some(0) => return Err(ReadError::Malformed("unexpected EOF in body".into())),
+                Some(_) => {}
+                None => self.stalled_wait()?,
+            }
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+
+        // Split and decode the target.
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (target.as_str(), None),
+        };
+        let path = percent_decode(raw_path, false).map_err(ReadError::Malformed)?;
+        let query = match raw_query {
+            Some(q) => parse_urlencoded(q).map_err(ReadError::Malformed)?,
+            None => Vec::new(),
+        };
+
+        Ok(Request { method, path, query, headers, body })
+    }
+
+    /// Bounded tolerance for timeouts in the middle of a request.
+    fn stalled_wait(&mut self) -> Result<(), ReadError> {
+        self.stalls += 1;
+        if self.stalls > MAX_STALLED_READS {
+            return Err(ReadError::Malformed("request stalled (read timeout)".into()));
+        }
+        Ok(())
+    }
+}
+
+/// An HTTP response: status + content type + body (always
+/// `Content-Length`-framed).
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers, e.g. `Retry-After` on 503 or `Allow` on 405.
+    pub extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response { status, content_type, body: body.into(), extra: Vec::new() }
+    }
+
+    /// A `text/plain` response (the error shape: the message is the body).
+    pub fn text(status: u16, message: impl Into<String>) -> Response {
+        let mut body = message.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response::new(status, "text/plain; charset=utf-8", body.into_bytes())
+    }
+
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra.push((name, value.into()));
+        self
+    }
+
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Percent-decode a URI component. With `plus_as_space`, `+` decodes to a
+/// space (form/query-string convention). Errors on truncated or non-hex
+/// escapes and on non-UTF-8 results.
+pub fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| format!("truncated percent-escape in {s:?}"))?;
+                let hex = std::str::from_utf8(hex).map_err(|_| "non-ASCII escape".to_string())?;
+                let byte = u8::from_str_radix(hex, 16)
+                    .map_err(|_| format!("bad percent-escape %{hex}"))?;
+                out.push(byte);
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| "percent-decoded text is not valid UTF-8".into())
+}
+
+/// Percent-encode a URI component (RFC 3986 unreserved set kept verbatim).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Parse `k=v&k2=v2` (query strings and form bodies), percent-decoding
+/// both sides with `+`-as-space. A key without `=` gets an empty value.
+pub fn parse_urlencoded(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for pair in s.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k, true)?, percent_decode(v, true)?));
+    }
+    Ok(out)
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_roundtrip() {
+        let original = "SELECT ?x WHERE { ?x <http://p> 'a b+c' }";
+        let enc = percent_encode(original);
+        assert_eq!(percent_decode(&enc, true).unwrap(), original);
+    }
+
+    #[test]
+    fn plus_decodes_to_space_in_forms() {
+        assert_eq!(percent_decode("a+b%20c", true).unwrap(), "a b c");
+        assert_eq!(percent_decode("a+b", false).unwrap(), "a+b");
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(percent_decode("%zz", true).is_err());
+        assert!(percent_decode("%2", true).is_err());
+        assert!(percent_decode("%ff%fe", true).is_err()); // invalid UTF-8
+    }
+
+    #[test]
+    fn urlencoded_pairs() {
+        let pairs = parse_urlencoded("query=SELECT+%3Fx&format=json&flag").unwrap();
+        assert_eq!(pairs[0], ("query".into(), "SELECT ?x".into()));
+        assert_eq!(pairs[1], ("format".into(), "json".into()));
+        assert_eq!(pairs[2], ("flag".into(), String::new()));
+    }
+}

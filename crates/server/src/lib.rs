@@ -1,0 +1,640 @@
+//! SPARQL 1.1 Protocol server over the shared RDF store.
+//!
+//! A std-only HTTP/1.1 endpoint (own parser, `std::net::TcpListener`, fixed
+//! worker-thread pool) serving:
+//!
+//! * `GET /sparql?query=…` and `POST /sparql` (form-encoded or
+//!   `application/sparql-query` bodies) — concurrent read queries against a
+//!   [`SharedStore`] (`RwLock<RdfStore>`: many readers in flight, writers
+//!   excluded), results in W3C SPARQL 1.1 JSON or TSV by content
+//!   negotiation (`Accept` header or `format=json|tsv` parameter);
+//! * `GET /healthz` — liveness probe;
+//! * `GET /stats` — load report plus per-endpoint counters and latency
+//!   quantiles from the in-repo histogram.
+//!
+//! Admission control is layered (DESIGN.md §4.8): a global in-flight cap
+//! sheds excess queries with 503 + `Retry-After` *before* they touch the
+//! store, and every admitted query runs under the store's existing
+//! row-budget and wall-clock-deadline knobs, whose trips also surface as
+//! 503 — so one pathological query can burn at most
+//! `row_budget`/`deadline`, and at most `max_in_flight` of them can burn
+//! it concurrently. Service errors never tear down a worker: store
+//! panics are caught at the boundary and become 500s.
+//!
+//! [`Server::shutdown`] is graceful: the listener stops accepting, workers
+//! finish the requests they are executing, idle keep-alive connections are
+//! closed at the next read-timeout tick, and the call returns when every
+//! worker has exited.
+
+pub mod http;
+pub mod metrics;
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use db2rdf::{SharedStore, StoreError};
+
+use http::{parse_urlencoded, Conn, ReadError, Request, Response};
+use metrics::EndpointStats;
+
+/// Server tuning knobs. The row budget and deadline are applied to the
+/// shared store when the server starts (they are per-query limits; each
+/// concurrent query gets its own deadline clock at execution start).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fixed worker-pool width (each worker owns one connection at a time).
+    pub workers: usize,
+    /// Global cap on queries being evaluated at once; excess get 503.
+    pub max_in_flight: usize,
+    /// Request-body cap in bytes; larger uploads get 413.
+    pub max_body_bytes: usize,
+    /// Per-query row budget applied to the store (None = leave as-is).
+    pub row_budget: Option<u64>,
+    /// Per-query wall-clock deadline applied to the store (None = as-is).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_in_flight: 64,
+            max_body_bytes: 1 << 20,
+            row_budget: None,
+            deadline: None,
+        }
+    }
+}
+
+/// Poll interval for idle keep-alive connections (also bounds how long
+/// shutdown waits for workers parked on an idle connection).
+const IDLE_TICK: Duration = Duration::from_millis(100);
+
+struct Inner {
+    store: SharedStore,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    /// Requests shed by the in-flight cap (503s from admission control).
+    shed: AtomicU64,
+    started: Instant,
+    sparql: EndpointStats,
+    healthz: EndpointStats,
+    stats: EndpointStats,
+    /// 404s/405s — anything that matched no endpoint.
+    other: EndpointStats,
+}
+
+/// A running SPARQL Protocol server; dropping it without calling
+/// [`Server::shutdown`] aborts the process-exit path ungracefully, so call
+/// `shutdown()` when done.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving on a fixed pool of worker threads.
+    pub fn start(
+        store: SharedStore,
+        addr: &str,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        {
+            let mut guard = store.write();
+            if cfg.row_budget.is_some() {
+                guard.set_row_budget(cfg.row_budget);
+            }
+            if cfg.deadline.is_some() {
+                guard.set_deadline(cfg.deadline);
+            }
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            store,
+            cfg: cfg.clone(),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            started: Instant::now(),
+            sparql: EndpointStats::default(),
+            healthz: EndpointStats::default(),
+            stats: EndpointStats::default(),
+            other: EndpointStats::default(),
+        });
+
+        let (tx, rx): (Sender<Conn>, Receiver<Conn>) = std::sync::mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                let rx = rx.clone();
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("sparql-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &tx, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("sparql-accept".into())
+                .spawn(move || accept_loop(&inner, &listener, tx))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server { inner, addr: local, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current number of queries being evaluated.
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, join
+    /// every thread. Idempotent-ish: safe to call once (consumes self).
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept() with a wake-up dial.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Workers finish the request they are serving, close connections
+        // at their next turn, and exit within one IDLE_TICK of going idle.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(inner: &Inner, listener: &TcpListener, tx: Sender<Conn>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = stream.set_read_timeout(Some(IDLE_TICK));
+                let _ = stream.set_nodelay(true);
+                if tx.send(Conn::new(stream)).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. EMFILE): back off briefly.
+                std::thread::sleep(IDLE_TICK);
+            }
+        }
+    }
+}
+
+/// Workers multiplex connections through the shared ready queue: each turn
+/// serves at most one request off a connection, then requeues it. Under
+/// more keep-alive connections than workers this degrades to fair
+/// round-robin per request instead of convoying whole connections (the
+/// p99 at 16 clients is queueing delay, not head-of-line blocking).
+fn worker_loop(inner: &Inner, tx: &Sender<Conn>, rx: &Mutex<Receiver<Conn>>) {
+    loop {
+        // Hold the lock only for the dequeue, never while serving.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv_timeout(IDLE_TICK)
+        };
+        match next {
+            Ok(conn) => {
+                if let Some(conn) = serve_turn(inner, conn) {
+                    if tx.send(conn).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// One scheduling turn on a connection: serve the next request (waiting at
+/// most one [`IDLE_TICK`] for it), answer protocol errors, and return the
+/// connection if it should stay open. `None` closes it.
+fn serve_turn(inner: &Inner, mut conn: Conn) -> Option<Conn> {
+    match conn.read_request(inner.cfg.max_body_bytes) {
+        Ok(req) => {
+            let t0 = Instant::now();
+            // During shutdown, finish this request but don't linger.
+            let keep = req.keep_alive() && !inner.shutdown.load(Ordering::SeqCst);
+            let (endpoint, resp) = route(inner, &req);
+            endpoint_stats(inner, endpoint).record(resp.status, t0.elapsed());
+            if resp.write_to(conn.stream(), keep).is_err() || !keep {
+                return None;
+            }
+            Some(conn)
+        }
+        Err(ReadError::Idle) => {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                None
+            } else {
+                Some(conn)
+            }
+        }
+        Err(ReadError::Closed) | Err(ReadError::Io(_)) => None,
+        Err(ReadError::HeadTooLarge) => {
+            let resp = Response::text(431, "request head too large");
+            let _ = resp.write_to(conn.stream(), false);
+            None
+        }
+        Err(ReadError::BodyTooLarge { declared, cap }) => {
+            let resp = Response::text(
+                413,
+                format!("request body of {declared} bytes exceeds the {cap}-byte limit"),
+            );
+            let _ = resp.write_to(conn.stream(), false);
+            None
+        }
+        Err(ReadError::Malformed(m)) => {
+            let resp = Response::text(400, format!("malformed request: {m}"));
+            let _ = resp.write_to(conn.stream(), false);
+            None
+        }
+    }
+}
+
+enum Endpoint {
+    Sparql,
+    Healthz,
+    Stats,
+    Other,
+}
+
+fn endpoint_stats(inner: &Inner, e: Endpoint) -> &EndpointStats {
+    match e {
+        Endpoint::Sparql => &inner.sparql,
+        Endpoint::Healthz => &inner.healthz,
+        Endpoint::Stats => &inner.stats,
+        Endpoint::Other => &inner.other,
+    }
+}
+
+fn route(inner: &Inner, req: &Request) -> (Endpoint, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") | ("HEAD", "/healthz") => {
+            (Endpoint::Healthz, Response::text(200, "ok"))
+        }
+        ("GET", "/stats") => (
+            Endpoint::Stats,
+            Response::new(200, "application/json", stats_json(inner).into_bytes()),
+        ),
+        (_, "/sparql") => (Endpoint::Sparql, handle_sparql(inner, req)),
+        ("GET", _) | ("HEAD", _) | ("POST", _) => {
+            (Endpoint::Other, Response::text(404, format!("no such path {:?}", req.path)))
+        }
+        (m, _) => (
+            Endpoint::Other,
+            Response::text(405, format!("method {m} not supported"))
+                .with_header("Allow", "GET, POST, HEAD"),
+        ),
+    }
+}
+
+/// Result formats the endpoint can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Json,
+    Tsv,
+}
+
+const JSON_MEDIA: &str = "application/sparql-results+json";
+const TSV_MEDIA: &str = "text/tab-separated-values; charset=utf-8";
+
+/// Pick a result format from the `format` parameter or `Accept` header.
+/// Unknown explicit requests are a 406 (per the service-boundary error
+/// contract; the supported types are listed in the message).
+fn negotiate_format(req: &Request) -> Result<Format, Response> {
+    if let Some(f) = req.query_param("format") {
+        return match f.to_ascii_lowercase().as_str() {
+            "json" => Ok(Format::Json),
+            "tsv" => Ok(Format::Tsv),
+            other => Err(Response::text(
+                406,
+                format!("unknown format {other:?}: use format=json or format=tsv"),
+            )),
+        };
+    }
+    let Some(accept) = req.header("accept") else {
+        return Ok(Format::Json);
+    };
+    let mut wildcard = false;
+    for part in accept.split(',') {
+        let media = part.split(';').next().unwrap_or("").trim().to_ascii_lowercase();
+        match media.as_str() {
+            "application/sparql-results+json" | "application/json" => return Ok(Format::Json),
+            "text/tab-separated-values" => return Ok(Format::Tsv),
+            "*/*" | "application/*" | "text/*" => wildcard = true,
+            _ => {}
+        }
+    }
+    if wildcard {
+        Ok(Format::Json)
+    } else {
+        Err(Response::text(
+            406,
+            format!(
+                "no acceptable result media type in {accept:?}: supported are \
+                 application/sparql-results+json and text/tab-separated-values"
+            ),
+        ))
+    }
+}
+
+/// Extract the SPARQL query text per the SPARQL 1.1 Protocol: the `query`
+/// parameter on GET; form-encoded or `application/sparql-query` bodies on
+/// POST.
+fn extract_query(req: &Request) -> Result<String, Response> {
+    match req.method.as_str() {
+        "GET" => match req.query_param("query") {
+            Some(q) => Ok(q.to_string()),
+            None => Err(Response::text(400, "missing required parameter: query")),
+        },
+        "POST" => {
+            let media = req.media_type().unwrap_or_default();
+            match media.as_str() {
+                "application/x-www-form-urlencoded" | "" => {
+                    let body = std::str::from_utf8(&req.body).map_err(|_| {
+                        Response::text(400, "form body is not valid UTF-8")
+                    })?;
+                    let pairs = parse_urlencoded(body)
+                        .map_err(|e| Response::text(400, format!("bad form body: {e}")))?;
+                    match pairs.into_iter().find(|(k, _)| k == "query") {
+                        Some((_, q)) => Ok(q),
+                        None => Err(Response::text(400, "missing required parameter: query")),
+                    }
+                }
+                "application/sparql-query" => match std::str::from_utf8(&req.body) {
+                    Ok(q) => Ok(q.to_string()),
+                    Err(_) => Err(Response::text(400, "query body is not valid UTF-8")),
+                },
+                other => Err(Response::text(
+                    406,
+                    format!(
+                        "unsupported request media type {other:?}: use \
+                         application/x-www-form-urlencoded or application/sparql-query"
+                    ),
+                )),
+            }
+        }
+        m => Err(Response::text(405, format!("method {m} not allowed on /sparql"))
+            .with_header("Allow", "GET, POST")),
+    }
+}
+
+/// RAII admission slot: decrements the in-flight gauge on every exit path.
+struct Admission<'a>(&'a AtomicUsize);
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_sparql(inner: &Inner, req: &Request) -> Response {
+    let format = match negotiate_format(req) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
+    let sparql = match extract_query(req) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+
+    // Admission control: bounded concurrent evaluation, shed the rest.
+    let prev = inner.in_flight.fetch_add(1, Ordering::SeqCst);
+    let slot = Admission(&inner.in_flight);
+    if prev >= inner.cfg.max_in_flight {
+        drop(slot);
+        inner.shed.fetch_add(1, Ordering::Relaxed);
+        return Response::text(
+            503,
+            format!(
+                "server overloaded: {} queries in flight (cap {})",
+                prev + 1,
+                inner.cfg.max_in_flight
+            ),
+        )
+        .with_header("Retry-After", "1");
+    }
+
+    // The store boundary: catch panics so one bad query cannot take down a
+    // worker (the audit in DESIGN.md §4.8 found no reachable panic in the
+    // translate/query paths, but the server must not bet its workers on
+    // that invariant holding forever).
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        inner.store.query(&sparql)
+    }));
+    drop(slot);
+
+    match result {
+        Ok(Ok(solutions)) => match format {
+            Format::Json => {
+                Response::new(200, JSON_MEDIA, solutions.to_json().into_bytes())
+            }
+            Format::Tsv => Response::new(200, TSV_MEDIA, solutions.to_tsv().into_bytes()),
+        },
+        Ok(Err(e)) => store_error_response(&e),
+        Err(_) => Response::text(500, "internal error: query evaluation panicked"),
+    }
+}
+
+/// Map a store error onto the HTTP boundary: client mistakes are 400 with
+/// the parser/translator message, resource-limit trips are 503 (the query
+/// was shed by admission control's budget/deadline layer), the rest 500.
+fn store_error_response(e: &StoreError) -> Response {
+    match e {
+        StoreError::Sparql(_) | StoreError::Unsupported(_) => {
+            Response::text(400, e.to_string())
+        }
+        _ if e.is_timeout() => Response::text(
+            503,
+            format!("query exceeded the server's evaluation limits: {e}"),
+        )
+        .with_header("Retry-After", "1"),
+        StoreError::Sql(_) => Response::text(500, e.to_string()),
+    }
+}
+
+fn stats_json(inner: &Inner) -> String {
+    let report = inner.store.load_report();
+    format!(
+        "{{\"uptime_secs\":{},\"triples\":{},\"workers\":{},\"in_flight\":{},\
+         \"max_in_flight\":{},\"shed\":{},\"endpoints\":{{\"sparql\":{},\
+         \"healthz\":{},\"stats\":{},\"other\":{}}}}}\n",
+        inner.started.elapsed().as_secs(),
+        report.triples,
+        inner.cfg.workers,
+        inner.in_flight.load(Ordering::Relaxed),
+        inner.cfg.max_in_flight,
+        inner.shed.load(Ordering::Relaxed),
+        inner.sparql.to_json(),
+        inner.healthz.to_json(),
+        inner.stats.to_json(),
+        inner.other.to_json(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP client — used by the integration tests, the loopback
+// throughput bench, and `db2rdf-serve --smoke` (the curl stand-in).
+// ---------------------------------------------------------------------------
+
+pub mod client {
+    use super::*;
+    use std::io::Read;
+
+    /// A parsed HTTP response.
+    #[derive(Debug)]
+    pub struct HttpResponse {
+        pub status: u16,
+        pub headers: Vec<(String, String)>,
+        pub body: Vec<u8>,
+    }
+
+    impl HttpResponse {
+        pub fn text(&self) -> String {
+            String::from_utf8_lossy(&self.body).into_owned()
+        }
+
+        pub fn header(&self, name: &str) -> Option<&str> {
+            let name = name.to_ascii_lowercase();
+            self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+        }
+    }
+
+    /// A keep-alive client bound to one server address.
+    pub struct Client {
+        addr: SocketAddr,
+        stream: TcpStream,
+    }
+
+    impl Client {
+        pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            Ok(Client { addr, stream })
+        }
+
+        /// Issue one request on the persistent connection.
+        pub fn request(
+            &mut self,
+            method: &str,
+            path: &str,
+            headers: &[(&str, &str)],
+            body: &[u8],
+        ) -> std::io::Result<HttpResponse> {
+            let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+            for (n, v) in headers {
+                head.push_str(&format!("{n}: {v}\r\n"));
+            }
+            head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+            self.stream.write_all(head.as_bytes())?;
+            self.stream.write_all(body)?;
+            self.stream.flush()?;
+            read_response(&mut self.stream)
+        }
+
+        /// Convenience: GET `/sparql` with a query and optional Accept.
+        pub fn sparql_get(
+            &mut self,
+            sparql: &str,
+            accept: Option<&str>,
+        ) -> std::io::Result<HttpResponse> {
+            let path = format!("/sparql?query={}", http::percent_encode(sparql));
+            let headers: Vec<(&str, &str)> = match accept {
+                Some(a) => vec![("Accept", a)],
+                None => vec![],
+            };
+            self.request("GET", &path, &headers, b"")
+        }
+    }
+
+    /// One-shot request on a fresh connection.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
+        Client::connect(addr)?.request(method, path, headers, body)
+    }
+
+    fn read_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut buf = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad("EOF before response head"));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| bad("response head is not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((n, v)) = line.split_once(':') {
+                headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| bad("missing Content-Length"))?;
+        let body_start = head_end + 4;
+        let mut body = buf[body_start..].to_vec();
+        while body.len() < len {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad("EOF before full body"));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(len);
+        Ok(HttpResponse { status, headers, body })
+    }
+}

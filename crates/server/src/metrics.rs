@@ -1,0 +1,138 @@
+//! Lock-free request metrics: a log₂-bucketed latency histogram and
+//! per-endpoint counters, all plain atomics so the hot path never takes a
+//! lock. Quantiles are read from bucket upper bounds — at worst a 2×
+//! overestimate, which is the right bias for a p99 used as an overload
+//! signal.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two microsecond buckets: bucket `i` counts latencies
+/// in `[2^i, 2^(i+1))` µs (bucket 0 also takes 0µs); the last bucket is
+/// unbounded above (~ >9 minutes).
+const BUCKETS: usize = 30;
+
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        if micros == 0 {
+            return 0;
+        }
+        ((63 - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) in microseconds: the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q · total)`.
+    /// Returns 0 when nothing was recorded.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// Counters for one HTTP endpoint.
+#[derive(Default)]
+pub struct EndpointStats {
+    pub requests: AtomicU64,
+    pub errors: AtomicU64,
+    pub latency: LatencyHistogram,
+}
+
+impl EndpointStats {
+    /// Record one served request (any status; 4xx/5xx also bump `errors`).
+    pub fn record(&self, status: u16, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(latency);
+    }
+
+    /// Hand-rolled JSON object (the workspace owns its serialization).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"errors\":{},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.latency.mean_micros(),
+            self.latency.quantile_micros(0.50),
+            self.latency.quantile_micros(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.mean_micros(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_values() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64,128)
+        }
+        h.record(Duration::from_millis(50)); // bucket [32768,65536)
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_micros(0.50);
+        assert!((100..=256).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_micros(0.99);
+        assert!(p99 <= 256, "p99 excludes the single outlier, got {p99}");
+        let p100 = h.quantile_micros(1.0);
+        assert!(p100 >= 50_000, "max covers the outlier, got {p100}");
+    }
+
+    #[test]
+    fn endpoint_stats_count_errors() {
+        let s = EndpointStats::default();
+        s.record(200, Duration::from_micros(10));
+        s.record(400, Duration::from_micros(10));
+        s.record(503, Duration::from_micros(10));
+        let json = s.to_json();
+        assert!(json.contains("\"requests\":3"), "{json}");
+        assert!(json.contains("\"errors\":2"), "{json}");
+    }
+}

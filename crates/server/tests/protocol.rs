@@ -1,0 +1,275 @@
+//! SPARQL Protocol endpoint tests over real loopback HTTP: request
+//! parsing, content negotiation, the service-boundary error contract
+//! (400/406/413/404/405/503), keep-alive, and graceful shutdown.
+
+use std::time::Duration;
+
+use db2rdf::{RdfStore, SharedStore};
+use rdf::{Term, Triple};
+use server::client::{self, Client};
+use server::http::percent_encode;
+use server::{Server, ServerConfig};
+
+fn demo_store() -> SharedStore {
+    let person = |n: &str| Term::iri(format!("http://ex/{n}"));
+    let knows = Term::iri("http://ex/knows");
+    let name = Term::iri("http://ex/name");
+    let mut store = RdfStore::entity();
+    store
+        .load(&[
+            Triple::new(person("alice"), knows.clone(), person("bob")),
+            Triple::new(person("bob"), knows.clone(), person("carol")),
+            Triple::new(person("alice"), knows, person("carol")),
+            Triple::new(person("alice"), name.clone(), Term::lit("Alice")),
+            Triple::new(person("bob"), name, Term::lang_lit("Bob", "en")),
+        ])
+        .unwrap();
+    SharedStore::new(store)
+}
+
+fn boot(cfg: ServerConfig) -> Server {
+    Server::start(demo_store(), "127.0.0.1:0", cfg).expect("bind ephemeral port")
+}
+
+const Q_KNOWS: &str = "SELECT ?x WHERE { ?x <http://ex/knows> <http://ex/carol> }";
+
+#[test]
+fn get_query_returns_w3c_json() {
+    let server = boot(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let r = c.sparql_get(Q_KNOWS, None).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("content-type"), Some("application/sparql-results+json"));
+    let body = r.text();
+    assert!(body.starts_with("{\"head\":{\"vars\":[\"x\"]}"), "{body}");
+    assert!(body.contains("{\"type\":\"uri\",\"value\":\"http://ex/alice\"}"), "{body}");
+    assert!(body.contains("http://ex/bob"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn accept_header_switches_to_tsv() {
+    let server = boot(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let r = c.sparql_get(Q_KNOWS, Some("text/tab-separated-values")).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("content-type"), Some("text/tab-separated-values; charset=utf-8"));
+    let body = r.text();
+    assert!(body.starts_with("?x\n"), "{body}");
+    assert!(body.contains("<http://ex/alice>\n"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn post_form_and_raw_query_bodies() {
+    let server = boot(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let form = format!("query={}", percent_encode(Q_KNOWS));
+    let r = c
+        .request(
+            "POST",
+            "/sparql",
+            &[("Content-Type", "application/x-www-form-urlencoded")],
+            form.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("http://ex/alice"));
+
+    let r = c
+        .request(
+            "POST",
+            "/sparql",
+            &[("Content-Type", "application/sparql-query; charset=utf-8")],
+            Q_KNOWS.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("http://ex/alice"));
+    server.shutdown();
+}
+
+#[test]
+fn ask_queries_serialize_boolean() {
+    let server = boot(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let r = c
+        .sparql_get("ASK { <http://ex/alice> <http://ex/knows> <http://ex/bob> }", None)
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.text(), "{\"head\":{},\"boolean\":true}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_sparql_is_400_with_parser_message() {
+    let server = boot(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let r = c.sparql_get("SELECT ?x WHERE { broken", None).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("SPARQL parse error"), "{}", r.text());
+
+    // Missing query parameter
+    let r = c.request("GET", "/sparql", &[], b"").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("missing required parameter"), "{}", r.text());
+
+    // Unsupported query shapes are 400 too, never a dropped connection.
+    let r = c.sparql_get("SELECT ?x WHERE { }", None).unwrap();
+    assert_eq!(r.status, 400, "{}", r.text());
+    server.shutdown();
+}
+
+#[test]
+fn unknown_media_types_are_406() {
+    let server = boot(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    // Unacceptable Accept header
+    let r = c.sparql_get(Q_KNOWS, Some("application/xml")).unwrap();
+    assert_eq!(r.status, 406);
+    assert!(r.text().contains("sparql-results+json"), "{}", r.text());
+    // Unknown POST body media type
+    let r = c
+        .request("POST", "/sparql", &[("Content-Type", "text/turtle")], Q_KNOWS.as_bytes())
+        .unwrap();
+    assert_eq!(r.status, 406);
+    // Unknown explicit format parameter
+    let r = c.request("GET", "/sparql?query=x&format=xml", &[], b"").unwrap();
+    assert_eq!(r.status, 406);
+    // Wildcard Accept falls back to JSON
+    let r = c.sparql_get(Q_KNOWS, Some("text/html, */*;q=0.1")).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("content-type"), Some("application/sparql-results+json"));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_is_413() {
+    let cfg = ServerConfig { max_body_bytes: 256, ..ServerConfig::default() };
+    let server = boot(cfg);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let big = "x".repeat(1024);
+    let r = c
+        .request(
+            "POST",
+            "/sparql",
+            &[("Content-Type", "application/sparql-query")],
+            big.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(r.status, 413);
+    assert!(r.text().contains("256-byte limit"), "{}", r.text());
+    server.shutdown();
+}
+
+#[test]
+fn unknown_paths_and_methods() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    let r = client::request(addr, "GET", "/nope", &[], b"").unwrap();
+    assert_eq!(r.status, 404);
+    let r = client::request(addr, "DELETE", "/sparql", &[], b"").unwrap();
+    assert_eq!(r.status, 405);
+    assert!(r.header("allow").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_stats_reflect_traffic() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    let r = client::request(addr, "GET", "/healthz", &[], b"").unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.text().trim(), "ok");
+
+    let mut c = Client::connect(addr).unwrap();
+    for _ in 0..3 {
+        assert_eq!(c.sparql_get(Q_KNOWS, None).unwrap().status, 200);
+    }
+    assert_eq!(c.sparql_get("SELECT nope", None).unwrap().status, 400);
+
+    let r = client::request(addr, "GET", "/stats", &[], b"").unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("content-type"), Some("application/json"));
+    let body = r.text();
+    assert!(body.contains("\"triples\":5"), "{body}");
+    assert!(body.contains("\"sparql\":{\"requests\":4,\"errors\":1"), "{body}");
+    assert!(body.contains("\"p99_us\":"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn zero_capacity_sheds_everything_with_503() {
+    let cfg = ServerConfig { max_in_flight: 0, ..ServerConfig::default() };
+    let server = boot(cfg);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let r = c.sparql_get(Q_KNOWS, None).unwrap();
+    assert_eq!(r.status, 503);
+    assert_eq!(r.header("retry-after"), Some("1"));
+    assert!(r.text().contains("overloaded"), "{}", r.text());
+    // Health stays green while queries shed: the probe is not admission-
+    // controlled.
+    let r = client::request(server.local_addr(), "GET", "/healthz", &[], b"").unwrap();
+    assert_eq!(r.status, 200);
+    let r = client::request(server.local_addr(), "GET", "/stats", &[], b"").unwrap();
+    assert!(r.text().contains("\"shed\":1"), "{}", r.text());
+    server.shutdown();
+}
+
+#[test]
+fn row_budget_trips_surface_as_503() {
+    // A budget of 1 row cannot evaluate anything: the admitted query is
+    // shed by the budget layer rather than running away.
+    let cfg = ServerConfig { row_budget: Some(1), ..ServerConfig::default() };
+    let server = boot(cfg);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let r = c
+        .sparql_get("SELECT ?a ?b WHERE { ?a <http://ex/knows> ?x . ?y <http://ex/knows> ?b }", None)
+        .unwrap();
+    assert_eq!(r.status, 503, "{}", r.text());
+    assert!(r.text().contains("evaluation limits"), "{}", r.text());
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_per_connection() {
+    let server = boot(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    for i in 0..20 {
+        let r = c.sparql_get(Q_KNOWS, None).unwrap();
+        assert_eq!(r.status, 200, "request {i}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let cfg = ServerConfig { workers: 2, deadline: Some(Duration::from_secs(10)), ..Default::default() };
+    let server = boot(cfg);
+    let addr = server.local_addr();
+    // A slow-ish query (cross join) racing shutdown: it must complete with
+    // a well-formed response, not a torn or reset connection.
+    let handle = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.sparql_get(
+            "SELECT ?a ?b WHERE { ?a <http://ex/knows> ?x . ?y <http://ex/knows> ?b }",
+            None,
+        )
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    server.shutdown();
+    let r = handle.join().expect("client thread");
+    assert!(r.status == 200 || r.status == 503, "status {}", r.status);
+    if r.status == 200 {
+        assert!(r.text().contains("bindings"), "{}", r.text());
+    }
+}
+
+#[test]
+fn requests_after_shutdown_are_refused() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    server.shutdown();
+    assert!(client::request(addr, "GET", "/healthz", &[], b"").is_err());
+}

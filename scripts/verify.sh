@@ -6,17 +6,22 @@
 #   scripts/verify.sh            # tier-1: release build + root-package tests
 #   scripts/verify.sh --all      # additionally test every workspace crate
 #   scripts/verify.sh --clippy   # additionally lint (warnings are errors)
+#   scripts/verify.sh --server   # additionally boot the SPARQL endpoint on
+#                                # an ephemeral port and run its smoke suite
+#                                # (curl-equivalent queries + /healthz check)
 #
-# Flags combine: `scripts/verify.sh --all --clippy` is what CI runs.
+# Flags combine: `scripts/verify.sh --all --clippy --server` is what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_all=false
 run_clippy=false
+run_server=false
 for arg in "$@"; do
     case "$arg" in
         --all) run_all=true ;;
         --clippy) run_clippy=true ;;
+        --server) run_server=true ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -35,6 +40,11 @@ fi
 if $run_clippy; then
     echo "== cargo clippy --workspace --all-targets --offline -- -D warnings"
     cargo clippy --workspace --all-targets --offline -- -D warnings
+fi
+
+if $run_server; then
+    echo "== db2rdf-serve --smoke (ephemeral port, JSON/TSV/400/healthz/stats)"
+    cargo run --release --offline -p server --bin db2rdf-serve -- --smoke
 fi
 
 echo "verify: OK"

@@ -10,4 +10,5 @@ pub use datagen;
 pub use db2rdf;
 pub use rdf;
 pub use relstore;
+pub use server;
 pub use sparql;
