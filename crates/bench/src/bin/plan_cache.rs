@@ -1,0 +1,140 @@
+//! Plan-cache benchmark: cold vs warm planning over the LUBM query mix.
+//!
+//! Measures the *plan phase only* — parse → flow-tree optimization → SQL
+//! generation — by calling `RdfStore::translate` on an entity-layout LUBM
+//! store, first with the plan cache disabled (every call replans) and then
+//! with the cache enabled and primed (every call is a hit that clones the
+//! cached SQL). The query mix is the triangle/star/chain trio that
+//! `server_throughput` serves over HTTP, so the warm numbers predict what
+//! a server answering a repetitive workload saves per request.
+//!
+//! Prints per-query ns/plan and speedup, writes `BENCH_plancache.json`,
+//! and exits non-zero unless the geometric-mean warm speedup is >= 2x
+//! (the PR's acceptance bar). Run with
+//! `cargo run --release -p bench --bin plan_cache`; scale with
+//! `PLAN_CACHE_UNIV=<universities>` (default 3) and
+//! `PLAN_CACHE_ITERS=<n>` (default 2000). `PLAN_CACHE_SMOKE=1` switches
+//! to the CI profile (1 university, 200 iterations) — still asserting the
+//! speedup bar, which holds at any scale because a cache hit does no
+//! parsing at all.
+
+use std::time::Instant;
+
+use bench::scale_from_env;
+use datagen::lubm::{NS, RDF_TYPE};
+use db2rdf::{RdfStore, StoreConfig};
+
+fn query_mix() -> Vec<(&'static str, String)> {
+    let t = |l: &str| format!("<{NS}{l}>");
+    let typ = format!("<{RDF_TYPE}>");
+    let (grad, advisor, teacher, takes, name, member) = (
+        t("GraduateStudent"),
+        t("advisor"),
+        t("teacherOf"),
+        t("takesCourse"),
+        t("name"),
+        t("memberOf"),
+    );
+    vec![
+        (
+            "triangle",
+            format!(
+                "SELECT ?x ?y ?z WHERE {{ ?x {typ} {grad} . ?x {advisor} ?y . \
+                 ?y {teacher} ?z . ?x {takes} ?z }}"
+            ),
+        ),
+        (
+            "star",
+            format!(
+                "SELECT ?x ?n ?d WHERE {{ ?x {typ} {grad} . ?x {name} ?n . \
+                 ?x {member} ?d . FILTER regex(?n, 'Grad 1') }}"
+            ),
+        ),
+        (
+            "chain",
+            format!("SELECT ?x ?d WHERE {{ ?x {advisor} ?y . ?x {member} ?d }}"),
+        ),
+    ]
+}
+
+/// Time `iters` translate() calls and return mean ns per plan.
+fn time_plans(store: &RdfStore, sparql: &str, iters: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let sql = store.translate(sparql).expect("translate");
+        std::hint::black_box(sql);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let smoke = std::env::var("PLAN_CACHE_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let universities = scale_from_env("PLAN_CACHE_UNIV", if smoke { 1 } else { 3 });
+    let iters = scale_from_env("PLAN_CACHE_ITERS", if smoke { 200 } else { 2000 });
+
+    let triples = datagen::lubm::generate(universities, 42);
+    let mut store = RdfStore::new(StoreConfig { plan_cache_entries: 0, ..Default::default() });
+    store.load(&triples).expect("bulk load");
+    eprintln!(
+        "loaded {} LUBM triples ({universities} universities); {iters} plans per \
+         query per phase{}",
+        triples.len(),
+        if smoke { "; SMOKE mode" } else { "" }
+    );
+
+    let mix = query_mix();
+
+    // Cold phase: every translate() reruns the full §3 pipeline.
+    let cold: Vec<f64> =
+        mix.iter().map(|(_, sparql)| time_plans(&store, sparql, iters)).collect();
+
+    // Warm phase: enable the cache, prime it, then every call is a hit.
+    store.set_plan_cache(512);
+    for (_, sparql) in &mix {
+        store.translate(sparql).expect("prime");
+    }
+    let warm: Vec<f64> =
+        mix.iter().map(|(_, sparql)| time_plans(&store, sparql, iters)).collect();
+
+    let stats = store.plan_cache_stats().expect("cache enabled");
+    assert_eq!(stats.misses, mix.len() as u64, "warm phase replanned: {stats:?}");
+    assert!(stats.hits >= (iters * mix.len()) as u64, "{stats:?}");
+
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "query", "cold_ns/plan", "warm_ns/plan", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut log_sum = 0.0;
+    for (i, (name, _)) in mix.iter().enumerate() {
+        let speedup = cold[i] / warm[i];
+        log_sum += speedup.ln();
+        println!("{name:<10} {:>14.0} {:>14.0} {speedup:>8.1}x", cold[i], warm[i]);
+        rows.push(format!(
+            "{{\"name\": \"{name}\", \"cold_ns_per_plan\": {:.0}, \
+             \"warm_ns_per_plan\": {:.0}, \"speedup\": {speedup:.2}}}",
+            cold[i], warm[i]
+        ));
+    }
+    let geomean = (log_sum / mix.len() as f64).exp();
+    println!("geomean speedup: {geomean:.1}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"plan_cache\",\n  \"triples\": {},\n  \
+         \"universities\": {universities},\n  \"iters\": {iters},\n  \
+         \"smoke\": {smoke},\n  \"cache_stats\": {{\"hits\": {}, \"misses\": {}}},\n  \
+         \"queries\": [\n    {}\n  ],\n  \"geomean_speedup\": {geomean:.2}\n}}\n",
+        triples.len(),
+        stats.hits,
+        stats.misses,
+        rows.join(",\n    ")
+    );
+    std::fs::write("BENCH_plancache.json", &json).expect("write BENCH_plancache.json");
+    eprintln!("wrote BENCH_plancache.json");
+
+    assert!(
+        geomean >= 2.0,
+        "warm planning is only {geomean:.2}x faster than cold; the cache is not earning \
+         its keep"
+    );
+}

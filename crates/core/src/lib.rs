@@ -32,6 +32,7 @@ pub mod loader;
 pub mod naive;
 pub mod optimizer;
 pub mod persist;
+pub mod plancache;
 pub mod results;
 pub mod shared;
 pub mod stats;
@@ -42,6 +43,7 @@ pub use dict::{Dict, SharedDict};
 pub use error::{Result, StoreError};
 pub use loader::{ColoringMode, EntityConfig, LoadReport};
 pub use optimizer::OptimizerMode;
+pub use plancache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use results::Solutions;
 pub use shared::SharedStore;
 pub use stats::Stats;

@@ -42,6 +42,14 @@ impl Solutions {
         Solutions { vars: Vec::new(), rows: Vec::new(), boolean: Some(nonempty) }
     }
 
+    /// The unit solution set: exactly one row with every projected
+    /// variable unbound — the result of a SELECT over a pattern with zero
+    /// triple patterns (SPARQL's μ0, the join identity).
+    pub fn unit(vars: Vec<String>) -> Solutions {
+        let row = vec![None; vars.len()];
+        Solutions { vars, rows: vec![row], boolean: None }
+    }
+
     pub fn len(&self) -> usize {
         self.rows.len()
     }
@@ -184,12 +192,13 @@ impl Solutions {
     /// never contains a raw tab or newline), blank nodes as `_:label` —
     /// and unbound variables as empty fields.
     ///
-    /// The TSV format is defined for SELECT only; for ASK this emits a
-    /// single `true`/`false` line (documented deviation, DESIGN.md §4.8).
+    /// The W3C CSV/TSV result format is defined for SELECT only — it has
+    /// no boolean form — so ASK solutions serialize to an empty document
+    /// here; the protocol layer refuses `ASK` + TSV with 406 (or steers
+    /// negotiation to JSON) before ever reaching this method.
     pub fn to_tsv(&self) -> String {
         let mut out = String::with_capacity(32 + self.rows.len() * 48);
-        if let Some(b) = self.boolean {
-            out.push_str(if b { "true\n" } else { "false\n" });
+        if self.boolean.is_some() {
             return out;
         }
         for (i, v) in self.vars.iter().enumerate() {

@@ -13,6 +13,7 @@ use rdf::Triple;
 
 use crate::error::Result;
 use crate::loader::LoadReport;
+use crate::plancache::PlanCacheStats;
 use crate::results::Solutions;
 use crate::store::RdfStore;
 
@@ -61,6 +62,20 @@ impl SharedStore {
     /// Snapshot of the load report (cloned out so no lock is held).
     pub fn load_report(&self) -> LoadReport {
         self.read().load_report().clone()
+    }
+
+    /// Plan-cache counters (`None` when caching is disabled). Concurrent
+    /// server workers share hits through this handle: the cache lives
+    /// inside the store and synchronizes on its own shard mutexes, so
+    /// readers populate it under the *read* lock — a planning miss never
+    /// starves writers.
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.read().plan_cache_stats()
+    }
+
+    /// The store's current mutation epoch (see `RdfStore::epoch`).
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch()
     }
 }
 

@@ -1,8 +1,10 @@
 //! The public RDF store API: load triples, run SPARQL, inspect plans.
 
+use std::sync::Arc;
+
 use rdf::Triple;
 use relstore::Database;
-use sparql::{parse_sparql, Query, QueryForm};
+use sparql::{parse_sparql, QueryForm};
 
 use crate::baseline::{
     insert_triple_store, insert_vertical, load_triple_store, load_vertical, TripleGen,
@@ -13,8 +15,9 @@ use crate::error::{Result, StoreError};
 use crate::layout::SideLayout;
 use crate::loader::{bulk_load_entity, insert_entity, EntityConfig, LoadReport};
 use crate::optimizer::{
-    merge_exec_tree, optimize, ExecNode, FlowTree, MergeInfo, OptimizerMode, PTree,
+    merge_exec_tree, optimize, MergeInfo, OptimizerMode, PTree,
 };
+use crate::plancache::{self, CachedPlan, PlanCache, PlanCacheStats};
 use crate::results::Solutions;
 use crate::stats::Stats;
 use crate::translate::entity::EntityGen;
@@ -51,6 +54,9 @@ pub struct StoreConfig {
     /// variable, then to the machine's available parallelism; `Some(1)`
     /// forces sequential execution.
     pub threads: Option<usize>,
+    /// Capacity of the epoch-invalidated query-plan cache (entries);
+    /// `0` disables caching and re-plans every query from scratch.
+    pub plan_cache_entries: usize,
 }
 
 impl Default for StoreConfig {
@@ -63,6 +69,7 @@ impl Default for StoreConfig {
             row_budget: None,
             deadline: None,
             threads: None,
+            plan_cache_entries: 512,
         }
     }
 }
@@ -99,6 +106,16 @@ pub struct RdfStore {
     vertical: Option<VerticalLayout>,
     report: LoadReport,
     loaded: bool,
+    /// Mutation epoch: bumped by every `load`/`insert`/`delete` (and the
+    /// schema-widening experiment hook) so cached plans can never be
+    /// replayed against a store whose statistics, predicate layouts, or
+    /// term dictionary have moved since they were computed. A plain `u64`
+    /// is enough: every mutation path takes `&mut self`, and `SharedStore`
+    /// serializes mutations behind its write lock.
+    epoch: u64,
+    /// Sharded LRU plan cache (interior mutability: the `&self` query path
+    /// inserts into it). `None` when disabled via the config.
+    plan_cache: Option<PlanCache>,
 }
 
 /// The metadata table (see the `persist` module): two TEXT columns `k` and
@@ -137,6 +154,8 @@ impl RdfStore {
         db.set_row_budget(cfg.row_budget);
         db.set_deadline(cfg.deadline);
         db.set_threads(cfg.threads);
+        let plan_cache =
+            (cfg.plan_cache_entries > 0).then(|| PlanCache::new(cfg.plan_cache_entries));
         RdfStore {
             cfg,
             db,
@@ -147,6 +166,8 @@ impl RdfStore {
             vertical: None,
             report: LoadReport::default(),
             loaded: false,
+            epoch: 0,
+            plan_cache,
         }
     }
 
@@ -364,6 +385,11 @@ impl RdfStore {
                 "load() may only be called once; use insert() afterwards".into(),
             ));
         }
+        // Bumped unconditionally (even on a later error): a failed batch
+        // rolls the relational state back but may leave freshly interned
+        // dictionary entries in memory, so the conservative move is to
+        // invalidate every cached plan whenever a mutation was attempted.
+        self.epoch += 1;
         // One write guard covers stats interning, loading, and persistence;
         // query-side readers (the RDF_* functions) only run between batches.
         let dict_arc = self.dict.clone();
@@ -421,6 +447,7 @@ impl RdfStore {
             self.load(std::slice::from_ref(triple))?;
             return Ok(true);
         }
+        self.epoch += 1; // see load(): every mutation invalidates cached plans
         let dict_arc = self.dict.clone();
         let mut dict = dict_arc.write();
         self.db.begin_batch();
@@ -472,6 +499,7 @@ impl RdfStore {
         if !self.loaded {
             return Ok(false);
         }
+        self.epoch += 1; // see load(): every mutation invalidates cached plans
         match self.cfg.layout {
             Layout::Entity => {
                 let d = self.direct.as_ref().expect("loaded entity layout").clone();
@@ -507,51 +535,84 @@ impl RdfStore {
 
     /// Translate a SPARQL query to SQL without executing it.
     pub fn translate(&self, sparql_text: &str) -> Result<String> {
-        let (query, _, _, sql) = self.plan(sparql_text)?;
-        let _ = query;
-        Ok(sql)
+        let plan = self.plan(sparql_text)?;
+        plan.sql.clone().ok_or_else(|| {
+            StoreError::Unsupported(
+                "query has no triple patterns: its answer is fixed, so no SQL is generated"
+                    .into(),
+            )
+        })
     }
 
     /// Full plan details for a query.
     pub fn explain(&self, sparql_text: &str) -> Result<Explanation> {
-        let (_query, flow, exec, sql) = self.plan(sparql_text)?;
+        let plan = self.plan(sparql_text)?;
         Ok(Explanation {
-            flow: flow
-                .order
-                .iter()
-                .map(|n| (n.triple + 1, n.method.name()))
-                .collect(),
-            exec_tree: format!("{exec:#?}"),
-            sql,
+            flow: plan.flow.clone(),
+            exec_tree: match &plan.exec {
+                Some(exec) => format!("{exec:#?}"),
+                None => "Trivial (no triple patterns)".into(),
+            },
+            sql: plan
+                .sql
+                .clone()
+                .unwrap_or_else(|| "-- no SQL: query has no triple patterns".into()),
         })
     }
 
     /// Execute a SPARQL query.
     pub fn query(&self, sparql_text: &str) -> Result<Solutions> {
-        let (query, _, _, sql) = self.plan(sparql_text)?;
-        let rel = self.db.query(&sql)?;
-        match query.form {
+        let plan = self.plan(sparql_text)?;
+        let Some(sql) = &plan.sql else {
+            // Zero triple patterns: the answer is fixed by SPARQL algebra —
+            // `ASK {}` is true, a SELECT over the empty group pattern
+            // yields exactly one all-unbound solution (μ0) — with the
+            // query's LIMIT/OFFSET still applied.
+            return Ok(trivial_solutions(&plan));
+        };
+        let rel = self.db.query(sql)?;
+        match plan.query.form {
             QueryForm::Ask => Ok(Solutions::from_ask(!rel.rows.is_empty())),
             QueryForm::Select { .. } => {
                 // The single late-materialization point: dictionary IDs
                 // become terms only here.
                 let dict = self.dict.read();
-                Ok(Solutions::from_select_dict(
-                    query.projected_variables(),
-                    &rel,
-                    Some(&dict),
-                ))
+                Ok(Solutions::from_select_dict(plan.projected.clone(), &rel, Some(&dict)))
             }
         }
     }
 
-    fn plan(&self, sparql_text: &str) -> Result<(Query, FlowTree, ExecNode, String)> {
+    /// Plan a query, going through the epoch-guarded cache when enabled:
+    /// a hit skips parsing, optimization, star merging, and SQL generation
+    /// entirely. Entries are keyed on the trimmed query text and tagged
+    /// with the mutation epoch they were planned under; `load`/`insert`/
+    /// `delete` bump the epoch, so a stale plan can never be replayed
+    /// against a store whose dictionary, statistics, or layouts have moved.
+    fn plan(&self, sparql_text: &str) -> Result<Arc<CachedPlan>> {
         if !self.loaded {
             return Err(StoreError::Unsupported("store is empty; load data first".into()));
         }
+        let key = plancache::normalize(sparql_text);
+        if let Some(cache) = &self.plan_cache {
+            if let Some(plan) = cache.get(key, self.epoch) {
+                return Ok(plan);
+            }
+        }
+        let plan = Arc::new(self.plan_uncached(sparql_text)?);
+        if let Some(cache) = &self.plan_cache {
+            cache.insert(key, self.epoch, plan.clone());
+        }
+        Ok(plan)
+    }
+
+    /// The full §3 pipeline: parse → optimize → merge → generate SQL.
+    fn plan_uncached(&self, sparql_text: &str) -> Result<CachedPlan> {
         let query = parse_sparql(sparql_text)?;
+        let projected = query.projected_variables();
         if query.triple_count() == 0 {
-            return Err(StoreError::Unsupported("query has no triple patterns".into()));
+            // Valid SPARQL (`ASK {}`, `SELECT * WHERE {}`): nothing to
+            // optimize or translate; `query()` answers it directly.
+            return Ok(CachedPlan { query, flow: Vec::new(), exec: None, sql: None, projected });
         }
         let tree = PTree::build(&query);
         let (flow, exec) = optimize(&tree, &self.stats, self.cfg.optimizer);
@@ -585,7 +646,13 @@ impl RdfStore {
             }
         };
         let sql = finish(&query, &mut state);
-        Ok((query, flow, exec, sql))
+        Ok(CachedPlan {
+            flow: flow.order.iter().map(|n| (n.triple + 1, n.method.name())).collect(),
+            exec: Some(exec),
+            sql: Some(sql),
+            projected,
+            query,
+        })
     }
 
     pub fn statistics(&self) -> &Stats {
@@ -627,11 +694,30 @@ impl RdfStore {
         self.db.set_threads(threads);
     }
 
+    /// The current mutation epoch (bumped by every `load`/`insert`/
+    /// `delete`); cached plans from older epochs are never replayed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Plan-cache counters, or `None` when the cache is disabled.
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.plan_cache.as_ref().map(PlanCache::stats)
+    }
+
+    /// Resize (or disable, with `entries == 0`) the plan cache. The cache
+    /// is rebuilt empty and its counters reset.
+    pub fn set_plan_cache(&mut self, entries: usize) {
+        self.cfg.plan_cache_entries = entries;
+        self.plan_cache = (entries > 0).then(|| PlanCache::new(entries));
+    }
+
     /// Append `n` all-NULL predicate/value column pairs to DPH and rewrite
     /// its rows — the §2.3 NULL-storage experiment's ALTER TABLE analogue.
     /// The new columns are invisible to the predicate mapping; only storage
     /// and scan width are affected.
     pub fn widen_dph_for_experiment(&mut self, n: usize) {
+        self.epoch += 1; // schema change: cached plans must not survive
         if let Some(table) = self.db.table_mut("dph") {
             let base = table.width();
             let cols: Vec<(String, relstore::SqlType)> = (0..n)
@@ -643,6 +729,25 @@ impl RdfStore {
                 })
                 .collect();
             table.widen_rewritten(cols);
+        }
+    }
+}
+
+/// The fixed answer for a query with zero triple patterns: `ASK {}` is
+/// true; a SELECT over the empty group yields one all-unbound solution,
+/// to which the query's OFFSET/LIMIT still apply.
+fn trivial_solutions(plan: &CachedPlan) -> Solutions {
+    match plan.query.form {
+        QueryForm::Ask => Solutions::from_ask(true),
+        QueryForm::Select { .. } => {
+            let mut sols = Solutions::unit(plan.projected.clone());
+            if plan.query.offset.unwrap_or(0) >= 1 {
+                sols.rows.clear();
+            }
+            if let Some(limit) = plan.query.limit {
+                sols.rows.truncate(limit as usize);
+            }
+            sols
         }
     }
 }

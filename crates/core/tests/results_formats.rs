@@ -143,10 +143,25 @@ fn tsv_unicode_preserved() {
 }
 
 #[test]
-fn tsv_ask_is_bare_boolean() {
-    // Documented deviation: the W3C TSV format covers SELECT only.
-    assert_eq!(Solutions::from_ask(true).to_tsv(), "true\n");
-    assert_eq!(Solutions::from_ask(false).to_tsv(), "false\n");
+fn tsv_ask_serializes_to_nothing() {
+    // The W3C CSV/TSV result format covers SELECT only — no boolean form.
+    // The protocol layer answers ASK + TSV with 406 (or steers to JSON);
+    // this serializer never invents a non-standard bare-boolean line.
+    assert_eq!(Solutions::from_ask(true).to_tsv(), "");
+    assert_eq!(Solutions::from_ask(false).to_tsv(), "");
+}
+
+#[test]
+fn unit_solution_set_shapes() {
+    // μ0: one row, all projected variables unbound.
+    let s = Solutions::unit(vec!["x".into(), "y".into()]);
+    assert_eq!(s.len(), 1);
+    assert_eq!(s.to_json(), "{\"head\":{\"vars\":[\"x\",\"y\"]},\"results\":{\"bindings\":[{}]}}");
+    assert_eq!(s.to_tsv(), "?x\t?y\n\t\n");
+    // SELECT * over an empty pattern projects no variables at all.
+    let s = Solutions::unit(Vec::new());
+    assert_eq!(s.len(), 1);
+    assert_eq!(s.to_json(), "{\"head\":{\"vars\":[]},\"results\":{\"bindings\":[{}]}}");
 }
 
 #[test]

@@ -10,7 +10,8 @@
 //!
 //! Flags: `--workers N` (default 4), `--max-in-flight N` (default 64),
 //! `--max-body-bytes N` (default 1 MiB), `--row-budget N`,
-//! `--deadline-ms N`.
+//! `--deadline-ms N`, `--plan-cache N` (plan-cache entries; 0 disables,
+//! default keeps the store's configuration — 512).
 //!
 //! `--load` bulk-loads an N-Triples file into an in-memory entity-layout
 //! store; `--open` opens (or creates) a durable store directory, serving
@@ -43,7 +44,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: db2rdf-serve (--load FILE.nt | --open DIR | --smoke) \
          [--addr HOST:PORT] [--workers N] [--max-in-flight N] \
-         [--max-body-bytes N] [--row-budget N] [--deadline-ms N]"
+         [--max-body-bytes N] [--row-budget N] [--deadline-ms N] \
+         [--plan-cache ENTRIES]"
     );
     std::process::exit(2);
 }
@@ -77,6 +79,7 @@ fn parse_args() -> Args {
                 args.cfg.deadline =
                     Some(Duration::from_millis(parse_num(&value("--deadline-ms"))))
             }
+            "--plan-cache" => args.cfg.plan_cache = Some(parse_num(&value("--plan-cache"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -166,6 +169,15 @@ fn demo_triples() -> Vec<Triple> {
     ]
 }
 
+/// Pull the unsigned integer immediately following `key` out of a
+/// hand-rolled JSON string (the workspace owns its serialization, so the
+/// smoke test owns its parsing).
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let rest = json.split(key).nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
 fn check(cond: bool, what: &str) -> Result<(), String> {
     if cond {
         eprintln!("smoke: {what}: ok");
@@ -226,11 +238,31 @@ fn run_smoke() -> Result<(), String> {
         "malformed query -> 400 + parser message",
     )?;
 
-    // /stats shows the traffic
-    let r = client::request(addr, "GET", "/stats", &[], b"").map_err(io)?;
+    // Zero-triple-pattern queries are valid SPARQL, not 400s.
+    let r = c.sparql_get("ASK {}", None).map_err(io)?;
     check(
-        r.status == 200 && r.text().contains("\"sparql\":{\"requests\":"),
-        "GET /stats -> counters",
+        r.status == 200 && r.text() == "{\"head\":{},\"boolean\":true}",
+        "ASK {} -> trivially true",
+    )?;
+
+    // The TSV format has no boolean form: an exclusive TSV demand is 406.
+    let r = c
+        .sparql_get("ASK { ?s ?p ?o }", Some("text/tab-separated-values"))
+        .map_err(io)?;
+    check(r.status == 406, "ASK + exclusive TSV -> 406")?;
+
+    // /stats shows the traffic, and the repeated GET/POST of the same
+    // query text above must have hit the plan cache.
+    let r = client::request(addr, "GET", "/stats", &[], b"").map_err(io)?;
+    let body = r.text();
+    let hits = body
+        .split("\"plan_cache\":")
+        .nth(1)
+        .and_then(|pc| json_u64(pc, "\"hits\":"))
+        .unwrap_or(0);
+    check(
+        r.status == 200 && body.contains("\"sparql\":{\"requests\":") && hits >= 1,
+        "GET /stats -> counters incl. plan-cache hits",
     )?;
 
     server.shutdown();

@@ -3,8 +3,13 @@
 //!
 //! Scope: exactly what the SPARQL Protocol endpoint needs — request-line +
 //! headers + `Content-Length` bodies, keep-alive connections, CRLF framing,
-//! percent-decoding, and `Content-Length`-framed responses. Chunked
-//! transfer coding is rejected with 400 rather than half-implemented.
+//! percent-decoding, and `Content-Length`-framed responses. Transfer
+//! codings are not implemented: a request carrying `Transfer-Encoding` is
+//! answered with 501 Not Implemented (RFC 7230 §3.3.1) and the connection
+//! is closed, because the unread body cannot be framed for reuse; a
+//! request carrying *both* `Transfer-Encoding` and `Content-Length` is
+//! rejected outright (400) — that combination is a request-smuggling
+//! vector (RFC 7230 §3.3.3).
 //!
 //! Hard limits defend the parser itself: request heads over
 //! [`MAX_HEAD_BYTES`] are refused (431) before buffering more, and bodies
@@ -71,6 +76,10 @@ pub enum ReadError {
     HeadTooLarge,
     /// Declared body length exceeded the caller's cap → 413.
     BodyTooLarge { declared: usize, cap: usize },
+    /// The request declared a `Transfer-Encoding` (chunked or otherwise):
+    /// this parser only frames `Content-Length` bodies → 501, and the
+    /// connection must close (the unread body cannot be skipped).
+    TransferEncodingUnsupported,
     /// Syntactically invalid request → 400.
     Malformed(String),
     /// Transport failure; the connection is unusable.
@@ -170,9 +179,17 @@ impl Conn {
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
 
-        // Body framing: Content-Length only.
-        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
-            return Err(ReadError::Malformed("chunked bodies are not supported".into()));
+        // Body framing: Content-Length only. A request with both framing
+        // headers is ambiguous (smuggling vector, RFC 7230 §3.3.3) → 400;
+        // Transfer-Encoding alone is merely unimplemented → 501.
+        let has_transfer_encoding = headers.iter().any(|(n, _)| n == "transfer-encoding");
+        if has_transfer_encoding && headers.iter().any(|(n, _)| n == "content-length") {
+            return Err(ReadError::Malformed(
+                "request carries both Transfer-Encoding and Content-Length".into(),
+            ));
+        }
+        if has_transfer_encoding {
+            return Err(ReadError::TransferEncodingUnsupported);
         }
         let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
             None => 0,
@@ -282,6 +299,7 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Unknown",
     }

@@ -57,6 +57,9 @@ pub struct ServerConfig {
     pub row_budget: Option<u64>,
     /// Per-query wall-clock deadline applied to the store (None = as-is).
     pub deadline: Option<Duration>,
+    /// Plan-cache capacity applied to the store at startup (None = leave
+    /// the store's own configuration; `Some(0)` disables caching).
+    pub plan_cache: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +70,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             row_budget: None,
             deadline: None,
+            plan_cache: None,
         }
     }
 }
@@ -115,6 +119,9 @@ impl Server {
             }
             if cfg.deadline.is_some() {
                 guard.set_deadline(cfg.deadline);
+            }
+            if let Some(entries) = cfg.plan_cache {
+                guard.set_plan_cache(entries);
             }
         }
         let listener = TcpListener::bind(addr)?;
@@ -275,6 +282,17 @@ fn serve_turn(inner: &Inner, mut conn: Conn) -> Option<Conn> {
             let _ = resp.write_to(conn.stream(), false);
             None
         }
+        Err(ReadError::TransferEncodingUnsupported) => {
+            // RFC 7230 §3.3.1: an unimplemented transfer coding is 501.
+            // The connection must close — the body was never read, so the
+            // stream cannot be re-framed for another request.
+            let resp = Response::text(
+                501,
+                "Transfer-Encoding is not implemented: send a Content-Length-framed body",
+            );
+            let _ = resp.write_to(conn.stream(), false);
+            None
+        }
         Err(ReadError::Malformed(m)) => {
             let resp = Response::text(400, format!("malformed request: {m}"));
             let _ = resp.write_to(conn.stream(), false);
@@ -330,14 +348,25 @@ enum Format {
 const JSON_MEDIA: &str = "application/sparql-results+json";
 const TSV_MEDIA: &str = "text/tab-separated-values; charset=utf-8";
 
+/// The negotiated result format, plus whether the client would *also*
+/// accept JSON — needed because the TSV format has no boolean form, so an
+/// ASK result steered to TSV falls back to JSON when the client allows it
+/// and is refused with 406 when it demanded TSV exclusively.
+#[derive(Debug, Clone, Copy)]
+struct Negotiated {
+    format: Format,
+    json_ok: bool,
+}
+
 /// Pick a result format from the `format` parameter or `Accept` header.
 /// Unknown explicit requests are a 406 (per the service-boundary error
 /// contract; the supported types are listed in the message).
-fn negotiate_format(req: &Request) -> Result<Format, Response> {
+fn negotiate_format(req: &Request) -> Result<Negotiated, Response> {
     if let Some(f) = req.query_param("format") {
         return match f.to_ascii_lowercase().as_str() {
-            "json" => Ok(Format::Json),
-            "tsv" => Ok(Format::Tsv),
+            "json" => Ok(Negotiated { format: Format::Json, json_ok: true }),
+            // An explicit format=tsv is a hard demand: no JSON fallback.
+            "tsv" => Ok(Negotiated { format: Format::Tsv, json_ok: false }),
             other => Err(Response::text(
                 406,
                 format!("unknown format {other:?}: use format=json or format=tsv"),
@@ -345,28 +374,35 @@ fn negotiate_format(req: &Request) -> Result<Format, Response> {
         };
     }
     let Some(accept) = req.header("accept") else {
-        return Ok(Format::Json);
+        return Ok(Negotiated { format: Format::Json, json_ok: true });
     };
     let mut wildcard = false;
+    let mut json = false;
+    let mut first: Option<Format> = None;
     for part in accept.split(',') {
         let media = part.split(';').next().unwrap_or("").trim().to_ascii_lowercase();
         match media.as_str() {
-            "application/sparql-results+json" | "application/json" => return Ok(Format::Json),
-            "text/tab-separated-values" => return Ok(Format::Tsv),
+            "application/sparql-results+json" | "application/json" => {
+                json = true;
+                first.get_or_insert(Format::Json);
+            }
+            "text/tab-separated-values" => {
+                first.get_or_insert(Format::Tsv);
+            }
             "*/*" | "application/*" | "text/*" => wildcard = true,
             _ => {}
         }
     }
-    if wildcard {
-        Ok(Format::Json)
-    } else {
-        Err(Response::text(
+    match first {
+        Some(format) => Ok(Negotiated { format, json_ok: json || wildcard }),
+        None if wildcard => Ok(Negotiated { format: Format::Json, json_ok: true }),
+        None => Err(Response::text(
             406,
             format!(
                 "no acceptable result media type in {accept:?}: supported are \
                  application/sparql-results+json and text/tab-separated-values"
             ),
-        ))
+        )),
     }
 }
 
@@ -421,8 +457,8 @@ impl Drop for Admission<'_> {
 }
 
 fn handle_sparql(inner: &Inner, req: &Request) -> Response {
-    let format = match negotiate_format(req) {
-        Ok(f) => f,
+    let negotiated = match negotiate_format(req) {
+        Ok(n) => n,
         Err(resp) => return resp,
     };
     let sparql = match extract_query(req) {
@@ -457,12 +493,28 @@ fn handle_sparql(inner: &Inner, req: &Request) -> Response {
     drop(slot);
 
     match result {
-        Ok(Ok(solutions)) => match format {
-            Format::Json => {
-                Response::new(200, JSON_MEDIA, solutions.to_json().into_bytes())
+        Ok(Ok(solutions)) => {
+            // The W3C TSV format defines no boolean form: an ASK result
+            // negotiated to TSV steers to JSON when the client also
+            // accepts it, and is refused otherwise.
+            let format = match (solutions.boolean.is_some(), negotiated.format) {
+                (true, Format::Tsv) if negotiated.json_ok => Format::Json,
+                (true, Format::Tsv) => {
+                    return Response::text(
+                        406,
+                        "the SPARQL TSV result format does not define ASK results: \
+                         accept application/sparql-results+json for boolean queries",
+                    )
+                }
+                (_, f) => f,
+            };
+            match format {
+                Format::Json => {
+                    Response::new(200, JSON_MEDIA, solutions.to_json().into_bytes())
+                }
+                Format::Tsv => Response::new(200, TSV_MEDIA, solutions.to_tsv().into_bytes()),
             }
-            Format::Tsv => Response::new(200, TSV_MEDIA, solutions.to_tsv().into_bytes()),
-        },
+        }
         Ok(Err(e)) => store_error_response(&e),
         Err(_) => Response::text(500, "internal error: query evaluation panicked"),
     }
@@ -487,16 +539,26 @@ fn store_error_response(e: &StoreError) -> Response {
 
 fn stats_json(inner: &Inner) -> String {
     let report = inner.store.load_report();
+    let plan_cache = match inner.store.plan_cache_stats() {
+        Some(s) => format!(
+            "{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\
+             \"evictions\":{},\"invalidations\":{}}}",
+            s.entries, s.capacity, s.hits, s.misses, s.evictions, s.invalidations,
+        ),
+        None => "null".into(),
+    };
     format!(
         "{{\"uptime_secs\":{},\"triples\":{},\"workers\":{},\"in_flight\":{},\
-         \"max_in_flight\":{},\"shed\":{},\"endpoints\":{{\"sparql\":{},\
-         \"healthz\":{},\"stats\":{},\"other\":{}}}}}\n",
+         \"max_in_flight\":{},\"shed\":{},\"epoch\":{},\"plan_cache\":{},\
+         \"endpoints\":{{\"sparql\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}\n",
         inner.started.elapsed().as_secs(),
         report.triples,
         inner.cfg.workers,
         inner.in_flight.load(Ordering::Relaxed),
         inner.cfg.max_in_flight,
         inner.shed.load(Ordering::Relaxed),
+        inner.store.epoch(),
+        plan_cache,
         inner.sparql.to_json(),
         inner.healthz.to_json(),
         inner.stats.to_json(),

@@ -114,9 +114,31 @@ fn malformed_sparql_is_400_with_parser_message() {
     assert_eq!(r.status, 400);
     assert!(r.text().contains("missing required parameter"), "{}", r.text());
 
-    // Unsupported query shapes are 400 too, never a dropped connection.
+    server.shutdown();
+}
+
+#[test]
+fn empty_group_patterns_are_valid_queries() {
+    // Zero-triple-pattern queries have fixed answers under SPARQL
+    // semantics (μ0); they must not surface as 400s.
+    let server = boot(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    let r = c.sparql_get("ASK {}", None).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.text(), "{\"head\":{},\"boolean\":true}");
+
     let r = c.sparql_get("SELECT ?x WHERE { }", None).unwrap();
-    assert_eq!(r.status, 400, "{}", r.text());
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(
+        r.text(),
+        "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[{}]}}",
+        "one unit solution with ?x unbound"
+    );
+
+    let r = c.sparql_get("SELECT * WHERE {} LIMIT 0", None).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.text(), "{\"head\":{\"vars\":[]},\"results\":{\"bindings\":[]}}");
     server.shutdown();
 }
 
@@ -140,6 +162,96 @@ fn unknown_media_types_are_406() {
     let r = c.sparql_get(Q_KNOWS, Some("text/html, */*;q=0.1")).unwrap();
     assert_eq!(r.status, 200);
     assert_eq!(r.header("content-type"), Some("application/sparql-results+json"));
+    server.shutdown();
+}
+
+/// Write raw request bytes and read the whole response (the server closes
+/// the connection on framing errors, so EOF delimits it). The test client
+/// always adds Content-Length, which is exactly what these requests must
+/// not have — hence the raw socket.
+fn raw_roundtrip(addr: std::net::SocketAddr, request: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn chunked_transfer_encoding_is_501_and_closes() {
+    // RFC 7230 §3.3.1: a transfer coding the server does not implement
+    // must be answered with 501, not a generic 400 — and the connection
+    // must close, since the unread body cannot be re-framed.
+    let server = boot(ServerConfig::default());
+    let response = raw_roundtrip(
+        server.local_addr(),
+        "POST /sparql HTTP/1.1\r\nHost: t\r\n\
+         Content-Type: application/sparql-query\r\n\
+         Transfer-Encoding: chunked\r\n\r\n\
+         7\r\nASK { }\r\n0\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 501 Not Implemented"), "{response}");
+    assert!(response.contains("Connection: close"), "{response}");
+    assert!(response.contains("Transfer-Encoding is not implemented"), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn transfer_encoding_with_content_length_is_400() {
+    // RFC 7230 §3.3.3: a message carrying both Transfer-Encoding and
+    // Content-Length is a request-smuggling vector; reject it outright
+    // rather than honoring either framing.
+    let server = boot(ServerConfig::default());
+    let response = raw_roundtrip(
+        server.local_addr(),
+        "POST /sparql HTTP/1.1\r\nHost: t\r\n\
+         Content-Type: application/sparql-query\r\n\
+         Transfer-Encoding: chunked\r\nContent-Length: 7\r\n\r\n\
+         ASK { }",
+    );
+    assert!(response.starts_with("HTTP/1.1 400 Bad Request"), "{response}");
+    assert!(
+        response.contains("both Transfer-Encoding and Content-Length"),
+        "{response}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn ask_with_tsv_negotiates_or_refuses() {
+    let server = boot(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let ask = "ASK { <http://ex/alice> <http://ex/knows> <http://ex/bob> }";
+
+    // An exclusive TSV demand cannot carry a boolean: 406 with steering.
+    let r = c.sparql_get(ask, Some("text/tab-separated-values")).unwrap();
+    assert_eq!(r.status, 406, "{}", r.text());
+    assert!(r.text().contains("sparql-results+json"), "{}", r.text());
+
+    // Same demand via the format override parameter.
+    let url = format!("/sparql?query={}&format=tsv", percent_encode(ask));
+    let r = c.request("GET", &url, &[], b"").unwrap();
+    assert_eq!(r.status, 406, "{}", r.text());
+
+    // TSV preferred but JSON acceptable: the ASK is steered to JSON.
+    let r = c
+        .sparql_get(ask, Some("text/tab-separated-values, application/sparql-results+json;q=0.5"))
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.header("content-type"), Some("application/sparql-results+json"));
+    assert_eq!(r.text(), "{\"head\":{},\"boolean\":true}");
+
+    // TSV with a wildcard fallback steers too.
+    let r = c.sparql_get(ask, Some("text/tab-separated-values, */*;q=0.1")).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.header("content-type"), Some("application/sparql-results+json"));
+
+    // SELECT under the same exclusive-TSV demand still gets TSV.
+    let r = c.sparql_get(Q_KNOWS, Some("text/tab-separated-values")).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.header("content-type"), Some("text/tab-separated-values; charset=utf-8"));
     server.shutdown();
 }
 
@@ -195,6 +307,31 @@ fn healthz_and_stats_reflect_traffic() {
     assert!(body.contains("\"triples\":5"), "{body}");
     assert!(body.contains("\"sparql\":{\"requests\":4,\"errors\":1"), "{body}");
     assert!(body.contains("\"p99_us\":"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn stats_expose_plan_cache_counters() {
+    let cfg = ServerConfig { plan_cache: Some(8), ..ServerConfig::default() };
+    let server = boot(cfg);
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    for _ in 0..3 {
+        assert_eq!(c.sparql_get(Q_KNOWS, None).unwrap().status, 200);
+    }
+    let r = client::request(addr, "GET", "/stats", &[], b"").unwrap();
+    let body = r.text();
+    assert!(body.contains("\"epoch\":"), "{body}");
+    assert!(
+        body.contains("\"plan_cache\":{\"entries\":1,\"capacity\":8,\"hits\":2,\"misses\":1"),
+        "{body}"
+    );
+    server.shutdown();
+
+    // A zero-entry cache reads as disabled.
+    let server = boot(ServerConfig { plan_cache: Some(0), ..ServerConfig::default() });
+    let r = client::request(server.local_addr(), "GET", "/stats", &[], b"").unwrap();
+    assert!(r.text().contains("\"plan_cache\":null"), "{}", r.text());
     server.shutdown();
 }
 

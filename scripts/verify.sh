@@ -9,19 +9,26 @@
 #   scripts/verify.sh --server   # additionally boot the SPARQL endpoint on
 #                                # an ephemeral port and run its smoke suite
 #                                # (curl-equivalent queries + /healthz check)
+#   scripts/verify.sh --plan-cache
+#                                # additionally run the plan_cache bench in
+#                                # its PLAN_CACHE_SMOKE=1 profile (asserts
+#                                # the >=2x warm-plan speedup bar)
 #
-# Flags combine: `scripts/verify.sh --all --clippy --server` is what CI runs.
+# Flags combine: `scripts/verify.sh --all --clippy --server --plan-cache`
+# is what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_all=false
 run_clippy=false
 run_server=false
+run_plan_cache=false
 for arg in "$@"; do
     case "$arg" in
         --all) run_all=true ;;
         --clippy) run_clippy=true ;;
         --server) run_server=true ;;
+        --plan-cache) run_plan_cache=true ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -45,6 +52,11 @@ fi
 if $run_server; then
     echo "== db2rdf-serve --smoke (ephemeral port, JSON/TSV/400/healthz/stats)"
     cargo run --release --offline -p server --bin db2rdf-serve -- --smoke
+fi
+
+if $run_plan_cache; then
+    echo "== plan_cache bench smoke (cold vs warm planning, >=2x bar)"
+    PLAN_CACHE_SMOKE=1 cargo run --release --offline -p bench --bin plan_cache
 fi
 
 echo "verify: OK"
