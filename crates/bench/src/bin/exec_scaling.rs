@@ -5,23 +5,31 @@
 //! indexes, so every FROM item is a full parallel scan and every join is a
 //! build-once/probe-parallel hash join), then:
 //!
-//! 1. times a multi-join query suite at 1/2/4/8 worker threads, asserting
-//!    the result rows — including their order — are identical at every
-//!    width, and writes the measurements to `BENCH_exec.json`;
-//! 2. times the same suite against a dictionary-encoded `spo_enc(s,p,o)`
+//! 1. times the suite against a dictionary-encoded `spo_enc(s,p,o)`
 //!    BIGINT relation (constants become interned IDs; the LIKE filter
 //!    materializes strings through `RDF_STR`), asserts the decoded results
 //!    are identical to the string run, and writes the per-query
-//!    string-vs-encoded comparison to `BENCH_dict.json`.
+//!    string-vs-encoded comparison to `BENCH_dict.json`;
+//! 2. *calibrates* the dataset — doubling the university count until every
+//!    query takes ≥1s single-threaded, so per-point noise cannot manufacture
+//!    a scaling story — then times the suite at 1/2/4/8 worker threads,
+//!    asserting the result rows (including order) are identical at every
+//!    width, and writes wall-clock plus per-phase (scan/build/probe/agg)
+//!    timings to `BENCH_exec.json`.
 //!
 //! Dependency-free by design: `std::time::Instant` timing, hand-rolled
-//! JSON. Run with `cargo run --release -p bench --bin exec_scaling`; scale
-//! with `EXEC_SCALING_UNIV=<universities>` (default 24, ~5.1k triples
-//! each). `EXEC_SCALING_SMOKE=1` switches to a CI smoke profile: a small
-//! dataset, one run per point, 1/2 threads only — a panic-freedom check,
-//! not a measurement. Speedup is relative to the 1-thread run on the same
-//! machine; on a single-core host the wall-clock curve is flat and the run
-//! degrades to a determinism check (the JSON records `cores`).
+//! JSON. Run with `cargo run --release -p bench --bin exec_scaling`; the
+//! starting scale is `EXEC_SCALING_UNIV=<universities>` (default 24, ~5.1k
+//! triples each) and calibration stops at `EXEC_SCALING_MAX_UNIV` (default
+//! 1536). `EXEC_SCALING_SMOKE=1` switches to a CI smoke profile: a small
+//! uncalibrated dataset, one run per point, 1/2/4 threads — a
+//! panic-freedom and determinism check, not a measurement. Speedup is
+//! relative to the 1-thread run on the same machine. The honesty rules: the
+//! JSON records `cores` and `single_thread_min_secs`; the scaling gates
+//! (≥2.5x geomean at 4 threads full profile, ≥1.5x minimum in smoke) only
+//! arm when the host actually has ≥4 cores — on fewer cores wall-clock
+//! speedup >1 is physically impossible and the run reports that instead of
+//! pretending.
 
 use std::time::Instant;
 
@@ -29,7 +37,7 @@ use bench::scale_from_env;
 use datagen::lubm::{self, NS, RDF_TYPE};
 use db2rdf::translate::functions::register_rdf_functions;
 use db2rdf::{Dict, SharedDict};
-use relstore::{quote_str, Database, Rel, Value};
+use relstore::{quote_str, Database, PhaseTimings, Rel, Value};
 
 fn iri(local: &str) -> String {
     rdf::Term::iri(format!("{NS}{local}")).encode()
@@ -112,17 +120,41 @@ fn queries(dict: &Dict) -> Vec<BenchQuery> {
     ]
 }
 
-fn median_secs(db: &Database, sql: &str, runs: usize) -> (f64, Rel) {
-    let warm = db.query(sql).expect("query");
-    let mut times: Vec<f64> = (0..runs)
+/// Median wall-clock seconds over `runs` repetitions, with the per-phase
+/// breakdown of the median run. Tracing costs two `Instant` reads per
+/// operator region — noise next to the regions themselves — so the traced
+/// wall clock *is* the measurement, not an approximation of it.
+fn traced_median(db: &Database, sql: &str, runs: usize) -> (f64, PhaseTimings, Rel) {
+    let (warm, _) = db.query_traced(sql).expect("query");
+    let mut samples: Vec<(f64, PhaseTimings)> = (0..runs)
         .map(|_| {
             let t0 = Instant::now();
-            db.query(sql).expect("query");
-            t0.elapsed().as_secs_f64()
+            let (_, phases) = db.query_traced(sql).expect("query");
+            (t0.elapsed().as_secs_f64(), phases)
         })
         .collect();
-    times.sort_by(f64::total_cmp);
-    (times[times.len() / 2], warm)
+    samples.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
+    let (secs, phases) = samples[samples.len() / 2];
+    (secs, phases, warm)
+}
+
+/// Build a fresh string-table database at the given scale.
+fn string_db(universities: usize) -> (Database, usize) {
+    let triples = lubm::generate(universities, 42);
+    let mut db = Database::new();
+    db.execute("CREATE TABLE spo (s TEXT, p TEXT, o TEXT)").unwrap();
+    db.insert_rows(
+        "spo",
+        triples.iter().map(|t| {
+            vec![
+                Value::str(t.subject.encode()),
+                Value::str(t.predicate.encode()),
+                Value::str(t.object.encode()),
+            ]
+        }),
+    )
+    .unwrap();
+    (db, triples.len())
 }
 
 /// Time the two dialects of one query *interleaved*: each repetition runs
@@ -177,7 +209,7 @@ fn main() {
     let smoke = std::env::var("EXEC_SCALING_SMOKE").map(|v| v == "1").unwrap_or(false);
     let universities = scale_from_env("EXEC_SCALING_UNIV", if smoke { 2 } else { 24 });
     let runs = if smoke { 1 } else { 3 };
-    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let thread_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let triples = lubm::generate(universities, 42);
     if !smoke {
         assert!(triples.len() >= 100_000, "need ≥100k triples, got {}", triples.len());
@@ -282,20 +314,62 @@ fn main() {
     std::fs::write("BENCH_dict.json", &json).expect("write BENCH_dict.json");
     eprintln!("dictionary-encoding geometric-mean speedup: {geomean:.2}x (wrote BENCH_dict.json)");
 
-    // ---- Phase B: thread scaling over the string table → BENCH_exec.json
-    let mut json_queries = Vec::new();
-    let mut speedup_at_4 = f64::INFINITY;
-    println!();
+    // ---- Phase B: thread scaling at a calibrated size → BENCH_exec.json
+    // Free the comparison tables first: the calibrated dataset can be two
+    // orders of magnitude larger than the Phase A one.
+    drop(dict_guard);
+    drop(db);
 
-    println!("{:<10} {:>8} {:>10} {:>10} {:>9}", "query", "threads", "rows", "secs", "speedup");
+    // Calibrate: double the dataset until every query takes ≥1s on one
+    // thread. Sub-second points measure scheduler jitter, not scaling — a
+    // flat curve at 30ms and a flat curve at 3s mean different things, and
+    // only the second is allowed to count against (or for) the executor.
+    let max_univ = scale_from_env("EXEC_SCALING_MAX_UNIV", 1536);
+    let mut bench_univ = universities;
+    let (mut scale_db, mut bench_triples) = string_db(bench_univ);
+    let mut single_min;
+    loop {
+        scale_db.set_threads(Some(1));
+        single_min = f64::INFINITY;
+        for q in &suite {
+            let sql = q.string_sql.replace("{T}", "spo");
+            let t0 = Instant::now();
+            scale_db.query(&sql).expect("query");
+            single_min = single_min.min(t0.elapsed().as_secs_f64());
+        }
+        if smoke || single_min >= 1.0 || bench_univ * 2 > max_univ {
+            break;
+        }
+        bench_univ *= 2;
+        eprintln!(
+            "calibrating: fastest query {single_min:.3}s single-threaded at \
+             {bench_univ_prev} universities — doubling to {bench_univ}",
+            bench_univ_prev = bench_univ / 2
+        );
+        (scale_db, bench_triples) = string_db(bench_univ);
+    }
+    let calibrated = single_min >= 1.0;
+    eprintln!(
+        "scaling phase: {bench_triples} triples ({bench_univ} universities), fastest query \
+         {single_min:.3}s single-threaded{}",
+        if calibrated { "" } else { " — BELOW the 1s calibration bar" }
+    );
+
+    let mut json_queries = Vec::new();
+    let mut speedups_at_4: Vec<f64> = Vec::new();
+    println!();
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>9}  {:>8} {:>8} {:>8} {:>8}",
+        "query", "threads", "rows", "secs", "speedup", "scan", "build", "probe", "agg"
+    );
     for q in &suite {
         let sql = q.string_sql.replace("{T}", "spo");
         let mut base_secs = 0.0;
         let mut reference: Option<Rel> = None;
         let mut runs_json = Vec::new();
         for &threads in thread_counts {
-            db.set_threads(Some(threads));
-            let (secs, rel) = median_secs(&db, &sql, runs);
+            scale_db.set_threads(Some(threads));
+            let (secs, ph, rel) = traced_median(&scale_db, &sql, runs);
             match &reference {
                 None => {
                     base_secs = secs;
@@ -309,12 +383,19 @@ fn main() {
             }
             let speedup = base_secs / secs;
             if threads == 4 {
-                speedup_at_4 = speedup_at_4.min(speedup);
+                speedups_at_4.push(speedup);
             }
             let rows = reference.as_ref().unwrap().rows.len();
-            println!("{:<10} {threads:>8} {rows:>10} {secs:>10.4} {speedup:>8.2}x", q.name);
+            println!(
+                "{:<10} {threads:>8} {rows:>10} {secs:>10.4} {speedup:>8.2}x  \
+                 {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+                q.name, ph.scan_secs, ph.build_secs, ph.probe_secs, ph.agg_secs
+            );
             runs_json.push(format!(
-                "{{\"threads\": {threads}, \"secs\": {secs:.6}, \"speedup\": {speedup:.3}}}"
+                "{{\"threads\": {threads}, \"secs\": {secs:.6}, \"speedup\": {speedup:.3}, \
+                 \"phases\": {{\"scan_secs\": {:.6}, \"build_secs\": {:.6}, \
+                 \"probe_secs\": {:.6}, \"agg_secs\": {:.6}}}}}",
+                ph.scan_secs, ph.build_secs, ph.probe_secs, ph.agg_secs
             ));
         }
         json_queries.push(format!(
@@ -325,31 +406,54 @@ fn main() {
         ));
     }
 
-    // No 4-thread point in smoke mode: emit null, not an invalid `inf`.
-    let speedup_at_4_json = if speedup_at_4.is_finite() {
-        format!("{speedup_at_4:.3}")
+    // No 4-thread point → null, not an invalid `inf`/`nan`.
+    let min_at_4 = speedups_at_4.iter().copied().fold(f64::INFINITY, f64::min);
+    let geo_at_4 = if speedups_at_4.is_empty() {
+        f64::NAN
     } else {
-        "null".to_string()
+        (speedups_at_4.iter().map(|s| s.ln()).sum::<f64>() / speedups_at_4.len() as f64).exp()
     };
+    let opt_json = |v: f64| if v.is_finite() { format!("{v:.3}") } else { "null".to_string() };
     let json = format!(
-        "{{\n  \"bench\": \"exec_scaling\",\n  \"triples\": {},\n  \"universities\": {},\n  \
-         \"cores\": {cores},\n  \
-         \"runs_per_point\": {},\n  \"min_speedup_at_4_threads\": {speedup_at_4_json},\n  \"queries\": [\n    {}\n  ]\n}}\n",
-        triples.len(),
-        universities,
-        runs,
+        "{{\n  \"bench\": \"exec_scaling\",\n  \"triples\": {bench_triples},\n  \
+         \"universities\": {bench_univ},\n  \"cores\": {cores},\n  \
+         \"runs_per_point\": {runs},\n  \"smoke\": {smoke},\n  \
+         \"single_thread_min_secs\": {single_min:.3},\n  \"calibrated\": {calibrated},\n  \
+         \"min_speedup_at_4_threads\": {},\n  \"geomean_speedup_at_4_threads\": {},\n  \
+         \"queries\": [\n    {}\n  ]\n}}\n",
+        opt_json(min_at_4),
+        opt_json(geo_at_4),
         json_queries.join(",\n    ")
     );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
-    if speedup_at_4.is_finite() {
-        eprintln!("minimum speedup at 4 threads: {speedup_at_4:.2}x (wrote BENCH_exec.json)");
+    if min_at_4.is_finite() {
+        eprintln!(
+            "speedup at 4 threads: min {min_at_4:.2}x, geomean {geo_at_4:.2}x (wrote BENCH_exec.json)"
+        );
     } else {
         eprintln!("no 4-thread point in this profile (wrote BENCH_exec.json)");
     }
-    if cores < 4 {
+
+    // The scaling gates. Armed only when ≥4 physical cores exist: with
+    // fewer, a 4-thread wall-clock speedup >1.0 is physically impossible
+    // and asserting it would reward machines for lying about core counts.
+    if cores >= 4 {
+        if smoke {
+            assert!(
+                min_at_4 >= 1.5,
+                "scaling gate: min 4-thread speedup {min_at_4:.2}x < 1.5x on {cores} cores"
+            );
+        } else {
+            assert!(
+                geo_at_4 >= 2.5,
+                "scaling gate: geomean 4-thread speedup {geo_at_4:.2}x < 2.5x on {cores} cores"
+            );
+        }
+        eprintln!("scaling gate: PASS");
+    } else {
         eprintln!(
-            "note: only {cores} core(s) available — speedup cannot exceed 1.0 here; \
-             run on a ≥4-core machine for the scaling claim"
+            "scaling gate: SKIPPED — only {cores} core(s) available, wall-clock speedup \
+             cannot exceed 1.0 here; run on a ≥4-core machine to evaluate the claim"
         );
     }
 }

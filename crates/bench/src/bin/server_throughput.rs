@@ -105,7 +105,11 @@ fn main() {
         })
         .collect();
 
-    let workers = cores.clamp(2, 8);
+    // Deliberately oversubscribed (workers > cores): each worker's queries
+    // also run on the store's executor pool, so this measures the server
+    // under the contention it will actually see, not a one-request-per-core
+    // idealization. Override with SERVER_THROUGHPUT_WORKERS.
+    let workers = scale_from_env("SERVER_THROUGHPUT_WORKERS", (cores + 2).min(8));
     let cfg = ServerConfig {
         workers,
         max_in_flight: 64, // a throughput run must not shed

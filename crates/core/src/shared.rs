@@ -77,6 +77,11 @@ impl SharedStore {
     pub fn epoch(&self) -> u64 {
         self.read().epoch()
     }
+
+    /// Effective executor worker-pool width (see `RdfStore::threads`).
+    pub fn threads(&self) -> usize {
+        self.read().threads()
+    }
 }
 
 // The server hands one `SharedStore` to every worker thread; this fails to

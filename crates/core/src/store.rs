@@ -694,6 +694,12 @@ impl RdfStore {
         self.db.set_threads(threads);
     }
 
+    /// Effective executor worker-pool width after resolving the configured
+    /// override, `RELSTORE_THREADS`, and detected parallelism.
+    pub fn threads(&self) -> usize {
+        self.db.threads()
+    }
+
     /// The current mutation epoch (bumped by every `load`/`insert`/
     /// `delete`); cached plans from older epochs are never replayed.
     pub fn epoch(&self) -> u64 {

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::{exec_err, plan_err, Error, Result};
-use crate::exec::{compile, exec_query, ExecCtx, Rel, Scope};
+use crate::exec::{compile, exec_query, ExecCtx, PhaseTimings, Rel, Scope};
 use crate::io::{no_faults, FaultHandle};
 use crate::snapshot::{load_snapshot, write_snapshot, SnapshotTable};
 use crate::sql::ast::Stmt;
@@ -389,24 +389,24 @@ impl Database {
     /// Pin the executor worker-pool width. `None` (the default) defers to
     /// the `RELSTORE_THREADS` environment variable, then to
     /// [`std::thread::available_parallelism`]. `Some(1)` forces fully
-    /// sequential execution.
+    /// sequential execution; `Some(0)` is clamped to 1 with a warning at
+    /// resolution time (see [`resolve_threads`]).
     pub fn set_threads(&mut self, threads: Option<usize>) {
-        self.threads = threads.map(|t| t.max(1));
+        self.threads = threads;
     }
 
     /// Effective worker-pool width for morsel-parallel query operators.
+    /// Invalid settings warn (once per process) instead of silently
+    /// degrading to sequential execution.
     pub fn threads(&self) -> usize {
-        if let Some(t) = self.threads {
-            return t;
+        let env = std::env::var("RELSTORE_THREADS").ok();
+        let available = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        let (threads, warning) = resolve_threads(self.threads, env.as_deref(), available);
+        if let Some(w) = warning {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("relstore: {w}"));
         }
-        if let Some(t) = std::env::var("RELSTORE_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-        {
-            return t;
-        }
-        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        threads
     }
 
     /// Register (or replace) a scalar SQL function, e.g. RDF-aware helpers.
@@ -606,6 +606,21 @@ impl Database {
         }
     }
 
+    /// Execute a read-only query, additionally reporting per-phase
+    /// wall-clock timings (scan / join build / probe / aggregation) so
+    /// benchmark regressions are attributable to a specific operator phase.
+    pub fn query_traced(&self, sql: &str) -> Result<(Rel, PhaseTimings)> {
+        match parse_statement(sql)? {
+            Stmt::Query(q) => {
+                let ctx = ExecCtx::with_tracing(self, true);
+                let rel = exec_query(&q, &ctx)?;
+                let timings = ctx.phase_timings().expect("tracing was enabled");
+                Ok((rel, timings))
+            }
+            _ => plan_err("expected a query"),
+        }
+    }
+
     fn execute_insert(
         &mut self,
         table: &str,
@@ -758,4 +773,94 @@ fn unary_str(args: &[Value], name: &str, f: impl Fn(&str) -> Value) -> Result<Va
 /// Convenience constructor for tests and examples.
 pub fn table_schema(name: &str, cols: &[(&str, SqlType)]) -> TableSchema {
     TableSchema::new(name, cols.iter().map(|(n, t)| (n.to_string(), *t)).collect())
+}
+
+/// Resolve the effective worker-pool width from (in priority order) the
+/// explicit [`Database::set_threads`] setting, the `RELSTORE_THREADS`
+/// environment variable, and the machine's available parallelism. Returns
+/// the width plus an optional warning for settings that could not be
+/// honored. Pure, so the policy is unit-testable without touching process
+/// environment.
+///
+/// Zero and unparseable values used to degrade *silently* — zero fell back
+/// to sequential execution and garbage env values were ignored — which made
+/// "parallelism is off because of a typo" indistinguishable from
+/// "parallelism was never configured". Both now warn: zero clamps to 1
+/// (sequential, but said out loud), garbage falls through to the detected
+/// core count.
+pub fn resolve_threads(
+    explicit: Option<usize>,
+    env: Option<&str>,
+    available: usize,
+) -> (usize, Option<String>) {
+    let available = available.max(1);
+    if let Some(t) = explicit {
+        return match t {
+            0 => (1, Some("configured thread count 0 clamped to 1 (sequential)".into())),
+            t => (t, None),
+        };
+    }
+    match env {
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) => (
+                1,
+                Some(format!("RELSTORE_THREADS={raw:?} clamped to 1 (sequential)")),
+            ),
+            Ok(t) => (t, None),
+            Err(_) => (
+                available,
+                Some(format!(
+                    "RELSTORE_THREADS={raw:?} is not a valid thread count; \
+                     using detected parallelism ({available})"
+                )),
+            ),
+        },
+        None => (available, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::resolve_threads;
+
+    #[test]
+    fn explicit_setting_wins_over_env_and_detection() {
+        assert_eq!(resolve_threads(Some(6), Some("2"), 8), (6, None));
+        assert_eq!(resolve_threads(Some(1), None, 8), (1, None));
+    }
+
+    #[test]
+    fn explicit_zero_clamps_to_one_with_warning() {
+        let (t, warn) = resolve_threads(Some(0), None, 8);
+        assert_eq!(t, 1);
+        assert!(warn.is_some());
+    }
+
+    #[test]
+    fn env_parses_with_whitespace_tolerance() {
+        assert_eq!(resolve_threads(None, Some(" 4 "), 8), (4, None));
+    }
+
+    #[test]
+    fn env_zero_clamps_to_one_with_warning() {
+        let (t, warn) = resolve_threads(None, Some("0"), 8);
+        assert_eq!(t, 1);
+        assert!(warn.unwrap().contains("clamped"));
+    }
+
+    #[test]
+    fn env_garbage_warns_and_uses_detected_parallelism() {
+        for garbage in ["lots", "-3", "2.5", ""] {
+            let (t, warn) = resolve_threads(None, Some(garbage), 8);
+            assert_eq!(t, 8, "garbage {garbage:?} must not silently serialize");
+            assert!(warn.unwrap().contains("RELSTORE_THREADS"));
+        }
+    }
+
+    #[test]
+    fn unset_env_uses_detected_parallelism_silently() {
+        assert_eq!(resolve_threads(None, None, 8), (8, None));
+        // A pathological detection result of 0 still yields a working width.
+        assert_eq!(resolve_threads(None, None, 0), (1, None));
+    }
 }

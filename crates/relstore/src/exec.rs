@@ -12,10 +12,12 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::database::{Database, ScalarFn};
 use crate::error::{exec_err, plan_err, Error, Result};
-use crate::hash::FxHashMap;
+use crate::hash::{fx_hash_one, FxHashMap};
+use crate::pool::WorkerPool;
 use crate::sql::ast::{
     BinaryOp, Expr, Join, JoinKind, OrderItem, Query, QueryBody, Relation, Select, SelectItem,
     TableFactor, UnaryOp,
@@ -52,10 +54,72 @@ impl Rel {
     }
 }
 
+/// Wall-clock time attributed to each heavy executor phase, for
+/// `Database::query_traced`. Phases are measured on the orchestrating thread
+/// around whole parallel regions, so a phase's time is elapsed time, not a
+/// sum over workers; nested scopes (CTEs, subqueries) accumulate into the
+/// same counters. Time outside these four phases (sorting, projection,
+/// UNNEST, plumbing) is the remainder against total query time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    pub scan_secs: f64,
+    pub build_secs: f64,
+    pub probe_secs: f64,
+    pub agg_secs: f64,
+}
+
+#[derive(Clone, Copy)]
+enum Phase {
+    Scan,
+    Build,
+    Probe,
+    Agg,
+}
+
+#[derive(Default)]
+struct PhaseStats {
+    scan_ns: AtomicU64,
+    build_ns: AtomicU64,
+    probe_ns: AtomicU64,
+    agg_ns: AtomicU64,
+}
+
+impl PhaseStats {
+    fn add(&self, phase: Phase, elapsed: std::time::Duration) {
+        let counter = match phase {
+            Phase::Scan => &self.scan_ns,
+            Phase::Build => &self.build_ns,
+            Phase::Probe => &self.probe_ns,
+            Phase::Agg => &self.agg_ns,
+        };
+        counter.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn timings(&self) -> PhaseTimings {
+        let secs = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64 / 1e9;
+        PhaseTimings {
+            scan_secs: secs(&self.scan_ns),
+            build_secs: secs(&self.build_ns),
+            probe_secs: secs(&self.probe_ns),
+            agg_secs: secs(&self.agg_ns),
+        }
+    }
+}
+
+/// Resources shared by every operator and CTE scope of one query: the
+/// worker pool (spawned once, reused by every parallel region), a freelist
+/// of row scratch buffers handed to scan workers so decompression scratch
+/// survives across operators, and the optional phase-timing counters.
+struct QueryShared {
+    pool: WorkerPool,
+    scratch: Mutex<Vec<Vec<Value>>>,
+    phases: Option<PhaseStats>,
+}
+
 /// Execution context: database handle, visible CTEs, the row budget that
-/// stands in for a query timeout, and the worker-pool width for
-/// morsel-parallel operators. The budget is atomic so morsel workers can
-/// charge it concurrently through a shared `&ExecCtx`.
+/// stands in for a query timeout, and the per-query [`QueryShared`]
+/// resources. The budget is atomic so morsel workers can charge it
+/// concurrently through a shared `&ExecCtx`.
 pub struct ExecCtx<'a> {
     pub db: &'a Database,
     ctes: HashMap<String, Arc<Rel>>,
@@ -63,18 +127,65 @@ pub struct ExecCtx<'a> {
     /// Wall-clock deadline (the paper's 10-minute query timeout), checked at
     /// the same sites as the row budget. `None` costs only a branch.
     deadline: Option<std::time::Instant>,
-    threads: usize,
+    shared: Arc<QueryShared>,
 }
 
 impl<'a> ExecCtx<'a> {
     pub fn new(db: &'a Database) -> Self {
+        Self::with_tracing(db, false)
+    }
+
+    /// `traced = true` turns on per-phase timing counters, readable through
+    /// [`ExecCtx::phase_timings`] after execution.
+    pub fn with_tracing(db: &'a Database, traced: bool) -> Self {
         ExecCtx {
             db,
             ctes: HashMap::new(),
             budget: AtomicU64::new(db.row_budget().unwrap_or(u64::MAX)),
             deadline: db.deadline().map(|d| std::time::Instant::now() + d),
-            threads: db.threads(),
+            shared: Arc::new(QueryShared {
+                pool: WorkerPool::new(db.threads()),
+                scratch: Mutex::new(Vec::new()),
+                phases: traced.then(PhaseStats::default),
+            }),
         }
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        &self.shared.pool
+    }
+
+    fn threads(&self) -> usize {
+        self.shared.pool.threads()
+    }
+
+    /// Phase timings accumulated so far; `None` unless built with tracing.
+    pub fn phase_timings(&self) -> Option<PhaseTimings> {
+        self.shared.phases.as_ref().map(PhaseStats::timings)
+    }
+
+    #[inline]
+    fn phase_start(&self) -> Option<Instant> {
+        self.shared.phases.as_ref().map(|_| Instant::now())
+    }
+
+    #[inline]
+    fn phase_add(&self, phase: Phase, start: Option<Instant>) {
+        if let (Some(stats), Some(t0)) = (&self.shared.phases, start) {
+            stats.add(phase, t0.elapsed());
+        }
+    }
+
+    /// Take a reusable row buffer from the query-wide freelist (or allocate
+    /// the first time). Paired with [`ExecCtx::scratch_put`] so scan workers
+    /// of successive operators reuse the same decompression scratch.
+    fn scratch_take(&self) -> Vec<Value> {
+        self.shared.scratch.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn scratch_put(&self, mut buf: Vec<Value>) {
+        buf.clear();
+        self.shared.scratch.lock().unwrap().push(buf);
     }
 
     fn charge(&self, n: usize) -> Result<()> {
@@ -102,50 +213,80 @@ impl<'a> ExecCtx<'a> {
 /// splits into many work units for load balancing.
 pub const MORSEL_ROWS: usize = 4096;
 
-/// Run `work` over fixed-size morsels of `0..n` on a scoped worker pool and
-/// concatenate the outputs **in morsel order**, so the result is identical
-/// to a sequential left-to-right pass regardless of thread count.
+/// Run `work` over fixed-size morsels of `0..n` on the query's worker pool
+/// and concatenate the outputs **in morsel order**, so the result is
+/// identical to a sequential left-to-right pass regardless of thread count.
+fn parallel_morsels<R, F>(ctx: &ExecCtx<'_>, n: usize, work: F) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Result<Vec<R>> + Sync,
+{
+    parallel_morsels_scratch(ctx.pool(), n, &|| (), &|_| (), |range, _| work(range))
+}
+
+/// [`parallel_morsels`] with per-worker scratch state: each participating
+/// thread gets one `mk_scratch()` value that lives across all the morsels it
+/// processes and is handed to `fini_scratch` when the region ends — how scan
+/// workers keep one decompression buffer per thread instead of one per
+/// morsel, and return it to the query-wide freelist afterwards.
 ///
 /// Workers pull morsel indices from a shared atomic counter (classic
 /// morsel-driven scheduling: fast workers take more morsels). On error the
 /// remaining morsels are abandoned and the first error in morsel order is
 /// returned.
-fn parallel_morsels<R, F>(n: usize, threads: usize, work: F) -> Result<Vec<R>>
+fn parallel_morsels_scratch<R, S, F>(
+    pool: &WorkerPool,
+    n: usize,
+    mk_scratch: &(dyn Fn() -> S + Sync),
+    fini_scratch: &(dyn Fn(S) + Sync),
+    work: F,
+) -> Result<Vec<R>>
 where
     R: Send,
-    F: Fn(std::ops::Range<usize>) -> Result<Vec<R>> + Sync,
+    F: Fn(std::ops::Range<usize>, &mut S) -> Result<Vec<R>> + Sync,
 {
     let morsels = n.div_ceil(MORSEL_ROWS);
-    let workers = threads.min(morsels);
-    if workers <= 1 {
+    if pool.threads().min(morsels) <= 1 {
+        let mut scratch = mk_scratch();
         let mut out = Vec::new();
+        let mut first_err = None;
         for m in 0..morsels {
-            out.append(&mut work(m * MORSEL_ROWS..((m + 1) * MORSEL_ROWS).min(n))?);
+            match work(m * MORSEL_ROWS..((m + 1) * MORSEL_ROWS).min(n), &mut scratch) {
+                Ok(mut v) => out.append(&mut v),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
         }
-        return Ok(out);
+        fini_scratch(scratch);
+        return match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        };
     }
 
     let next = AtomicUsize::new(0);
     let failed = std::sync::atomic::AtomicBool::new(false);
     let slots: Mutex<Vec<Option<Result<Vec<R>>>>> =
         Mutex::new((0..morsels).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let m = next.fetch_add(1, Ordering::Relaxed);
-                if m >= morsels {
-                    break;
-                }
-                let res = work(m * MORSEL_ROWS..((m + 1) * MORSEL_ROWS).min(n));
-                if res.is_err() {
-                    failed.store(true, Ordering::Relaxed);
-                }
-                slots.lock().unwrap()[m] = Some(res);
-            });
+    pool.broadcast(&|_worker| {
+        let mut scratch = mk_scratch();
+        loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let m = next.fetch_add(1, Ordering::Relaxed);
+            if m >= morsels {
+                break;
+            }
+            let res = work(m * MORSEL_ROWS..((m + 1) * MORSEL_ROWS).min(n), &mut scratch);
+            if res.is_err() {
+                failed.store(true, Ordering::Relaxed);
+            }
+            slots.lock().unwrap()[m] = Some(res);
         }
+        fini_scratch(scratch);
     });
 
     let slots = slots.into_inner().unwrap();
@@ -681,7 +822,8 @@ pub fn exec_query(q: &Query, ctx: &ExecCtx<'_>) -> Result<Rel> {
         ctes: ctx.ctes.clone(),
         budget: AtomicU64::new(ctx.budget.load(Ordering::Relaxed)),
         deadline: ctx.deadline,
-        threads: ctx.threads,
+        // CTE scopes share the query's pool, scratch and timing counters.
+        shared: ctx.shared.clone(),
     };
     for (name, cte_query) in &q.ctes {
         let rel = exec_query(cte_query, &local)?;
@@ -713,7 +855,7 @@ fn exec_body(body: &QueryBody, ctx: &ExecCtx<'_>) -> Result<Rel> {
             ctx.charge(r.rows.len())?;
             l.rows.extend(r.rows);
             if !*all {
-                dedupe(&mut l, ctx.threads);
+                dedupe(&mut l, ctx);
             }
             Ok(l)
         }
@@ -724,14 +866,20 @@ fn exec_body(body: &QueryBody, ctx: &ExecCtx<'_>) -> Result<Rel> {
 /// row: rows are pre-hashed (in parallel morsels), bucketed by hash, and
 /// compared against earlier bucket members only; survivors are kept by an
 /// in-place `retain`.
-fn dedupe(rel: &mut Rel, threads: usize) {
+///
+/// Large inputs resolve duplicates in parallel by hash partition: equal rows
+/// hash equal, so no duplicate pair ever straddles partitions, and each
+/// partition's row-id list stays ascending, so "first occurrence wins" is
+/// preserved exactly. The keep-mask is a pure function of the rows — the
+/// same at every thread count.
+fn dedupe(rel: &mut Rel, ctx: &ExecCtx<'_>) {
     use std::hash::{Hash, Hasher};
     let n = rel.rows.len();
     if n <= 1 {
         return;
     }
     let rows = &rel.rows;
-    let hashes: Vec<u64> = parallel_morsels(n, threads, |range| {
+    let hashes: Vec<u64> = parallel_morsels(ctx, n, |range| {
         Ok(range
             .map(|i| {
                 let mut h = crate::hash::FxHasher::default();
@@ -742,15 +890,50 @@ fn dedupe(rel: &mut Rel, threads: usize) {
     })
     .expect("hashing is infallible");
 
-    let mut buckets: FxHashMap<u64, Vec<usize>> =
-        FxHashMap::with_capacity_and_hasher(n, crate::hash::FxBuildHasher::default());
     let mut keep = vec![true; n];
-    for i in 0..n {
-        let bucket = buckets.entry(hashes[i]).or_default();
-        if bucket.iter().any(|&j| rel.rows[j] == rel.rows[i]) {
-            keep[i] = false;
-        } else {
-            bucket.push(i);
+    if n >= PARALLEL_BUILD_MIN && ctx.threads() > 1 {
+        // Scatter row ids into hash partitions (a cheap sequential integer
+        // pass), then workers claim whole partitions and resolve duplicates
+        // within each independently.
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); BUILD_PARTITIONS];
+        for (i, h) in hashes.iter().enumerate() {
+            parts[(h >> PARTITION_SHIFT) as usize].push(i as u32);
+        }
+        let next = AtomicUsize::new(0);
+        let dead: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let (parts_ref, hashes_ref) = (&parts, &hashes);
+        ctx.pool().broadcast(&|_worker| {
+            let mut local_dead: Vec<u32> = Vec::new();
+            loop {
+                let p = next.fetch_add(1, Ordering::Relaxed);
+                if p >= BUILD_PARTITIONS {
+                    break;
+                }
+                let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+                for &i in &parts_ref[p] {
+                    let bucket = buckets.entry(hashes_ref[i as usize]).or_default();
+                    if bucket.iter().any(|&j| rows[j as usize] == rows[i as usize]) {
+                        local_dead.push(i);
+                    } else {
+                        bucket.push(i);
+                    }
+                }
+            }
+            dead.lock().unwrap().append(&mut local_dead);
+        });
+        for i in dead.into_inner().unwrap() {
+            keep[i as usize] = false;
+        }
+    } else {
+        let mut buckets: FxHashMap<u64, Vec<usize>> =
+            FxHashMap::with_capacity_and_hasher(n, crate::hash::FxBuildHasher::default());
+        for i in 0..n {
+            let bucket = buckets.entry(hashes[i]).or_default();
+            if bucket.iter().any(|&j| rows[j] == rows[i]) {
+                keep[i] = false;
+            } else {
+                bucket.push(i);
+            }
         }
     }
     let mut i = 0;
@@ -788,7 +971,7 @@ fn sort_rel(rel: &mut Rel, order_by: &[OrderItem], ctx: &ExecCtx<'_>) -> Result<
     // stable so equal keys preserve input order at every thread count.
     let rows = &rel.rows;
     let keys_ref = &keys;
-    let extracted: Vec<Vec<Value>> = parallel_morsels(rows.len(), ctx.threads, |range| {
+    let extracted: Vec<Vec<Value>> = parallel_morsels(ctx, rows.len(), |range| {
         range
             .map(|i| keys_ref.iter().map(|(k, _)| k.eval(&rows[i])).collect::<Result<Vec<_>>>())
             .collect()
@@ -907,7 +1090,7 @@ fn exec_select(sel: &Select, ctx: &ExecCtx<'_>) -> Result<Rel> {
         let scope = Scope::from_cols(&rel.cols);
         let cond = compile(w, &scope, ctx.db)?;
         let rows = &rel.rows;
-        let keep: Vec<bool> = parallel_morsels(rows.len(), ctx.threads, |range| {
+        let keep: Vec<bool> = parallel_morsels(ctx, rows.len(), |range| {
             range.map(|i| cond.eval_truthy(&rows[i])).collect()
         })?;
         let mut i = 0;
@@ -924,7 +1107,7 @@ fn exec_select(sel: &Select, ctx: &ExecCtx<'_>) -> Result<Rel> {
         rel = aggregate(sel, rel, ctx)?;
         // After aggregation the projection/having were already applied.
         if sel.distinct {
-            dedupe(&mut rel, ctx.threads);
+            dedupe(&mut rel, ctx);
         }
         return Ok(rel);
     }
@@ -932,7 +1115,7 @@ fn exec_select(sel: &Select, ctx: &ExecCtx<'_>) -> Result<Rel> {
     // Projection.
     rel = project(&sel.projection, rel, ctx)?;
     if sel.distinct {
-        dedupe(&mut rel, ctx.threads);
+        dedupe(&mut rel, ctx);
     }
     Ok(rel)
 }
@@ -1194,6 +1377,7 @@ fn scan_relation(
             }
 
             let width = table.width();
+            let scan_t0 = ctx.phase_start();
             let rows = match probe {
                 Some((ci, key)) => {
                     // Index probes touch few rows; stay sequential.
@@ -1213,25 +1397,33 @@ fn scan_relation(
                 None => {
                     // Morsel-parallel full scan: each worker decompresses and
                     // filters its morsel, charging the budget as it goes, so
-                    // LimitExceeded fires from inside worker threads.
+                    // LimitExceeded fires from inside worker threads. Each
+                    // worker checks one scratch buffer out of the query-wide
+                    // freelist for its whole run — rejected rows (the common
+                    // case on a filtered scan) never pay a heap allocation,
+                    // and the buffers carry over to later scans in the query.
                     let stored = table.rows();
                     let conds = &conds;
-                    parallel_morsels(stored.len(), ctx.threads, |range| {
-                        let mut out = Vec::new();
-                        // Scratch buffer: rejected rows (the common case on a
-                        // filtered scan) never pay a heap allocation.
-                        let mut buf: Vec<Value> = Vec::new();
-                        for r in &stored[range] {
-                            r.decompress_into(width, &mut buf);
-                            if eval_all(conds, &buf)? {
-                                out.push(std::mem::take(&mut buf));
+                    parallel_morsels_scratch(
+                        ctx.pool(),
+                        stored.len(),
+                        &|| ctx.scratch_take(),
+                        &|buf| ctx.scratch_put(buf),
+                        |range, buf| {
+                            let mut out = Vec::new();
+                            for r in &stored[range] {
+                                r.decompress_into(width, buf);
+                                if eval_all(conds, buf)? {
+                                    out.push(std::mem::take(buf));
+                                }
                             }
-                        }
-                        ctx.charge(out.len())?;
-                        Ok(out)
-                    })?
+                            ctx.charge(out.len())?;
+                            Ok(out)
+                        },
+                    )?
                 }
             };
+            ctx.phase_add(Phase::Scan, scan_t0);
             Ok(Rel { cols, rows })
         }
         Relation::Subquery(q) => {
@@ -1285,6 +1477,7 @@ fn index_nested_loop(
         .collect::<Result<_>>()?;
 
     let width = table.width();
+    let probe_t0 = ctx.phase_start();
     let mut rows = Vec::new();
     for l in &left.rows {
         let key = left_key.eval(l)?;
@@ -1314,6 +1507,7 @@ fn index_nested_loop(
             }
         }
     }
+    ctx.phase_add(Phase::Probe, probe_t0);
     Ok(Rel { cols, rows })
 }
 
@@ -1353,9 +1547,10 @@ fn filter_rows(mut rel: Rel, push: &[&Expr], ctx: &ExecCtx<'_>) -> Result<Rel> {
     let mut conds: Vec<CExpr> =
         push.iter().map(|e| compile(e, &scope, ctx.db)).collect::<Result<_>>()?;
     order_by_cost(&mut conds);
+    let scan_t0 = ctx.phase_start();
     let rows = &rel.rows;
     let conds_ref = &conds;
-    let keep: Vec<bool> = parallel_morsels(rows.len(), ctx.threads, |range| {
+    let keep: Vec<bool> = parallel_morsels(ctx, rows.len(), |range| {
         let mut out = Vec::with_capacity(range.len());
         let mut kept = 0usize;
         for i in range {
@@ -1372,6 +1567,7 @@ fn filter_rows(mut rel: Rel, push: &[&Expr], ctx: &ExecCtx<'_>) -> Result<Rel> {
         i += 1;
         k
     });
+    ctx.phase_add(Phase::Scan, scan_t0);
     Ok(rel)
 }
 
@@ -1415,6 +1611,127 @@ fn unnest(
 /// late-materialization pair list.
 const NULL_EXTENDED: usize = usize::MAX;
 
+// ---------------------------------------------------------------------------
+// Partitioned parallel hash-table build
+// ---------------------------------------------------------------------------
+
+/// Number of radix partitions for the parallel hash-join build and the
+/// partitioned dedupe pass. A fixed power of two, deliberately independent
+/// of the pool width: partition contents — and therefore every
+/// order-sensitive merge — are identical at every thread count. 32 keeps
+/// partitions plentiful enough to load-balance 8 workers while per-morsel
+/// scatter buckets stay cache-resident.
+const BUILD_PARTITIONS: usize = 32;
+
+/// Partition id = the TOP bits of the key's [`fx_hash_one`] hash. The hash
+/// map derives its bucket index from the LOW bits, so the two levels stay
+/// independent — a partition's keys still spread over its whole map.
+const PARTITION_SHIFT: u32 = u64::BITS - BUILD_PARTITIONS.trailing_zeros();
+
+/// Inputs below this size build a single map on the calling thread: they fit
+/// in one morsel, so there is no work to share and the scatter pass would be
+/// pure overhead. The cutoff depends only on input size, never thread count.
+const PARALLEL_BUILD_MIN: usize = MORSEL_ROWS;
+
+/// A `key → row-ids` multimap split into hash-disjoint partitions so many
+/// workers can build it without sharing a map. `parts.len()` is either 1
+/// (small-input sequential build) or [`BUILD_PARTITIONS`]; `lookup`
+/// recomputes the key's partition from its hash.
+/// One partition's `key → ascending row-ids` multimap.
+type KeyMap<K> = FxHashMap<K, Vec<u32>>;
+
+struct PartitionedTable<K> {
+    parts: Vec<KeyMap<K>>,
+}
+
+impl<K: std::hash::Hash + Eq> PartitionedTable<K> {
+    #[inline]
+    fn lookup(&self, key: &K) -> &[u32] {
+        let part = if self.parts.len() == 1 {
+            0
+        } else {
+            (fx_hash_one(key) >> PARTITION_SHIFT) as usize
+        };
+        self.parts[part].get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Build a `key → row-ids` multimap over `rows`. Rows whose key evaluates to
+/// `None` (NULL join keys) are skipped, matching SQL equality semantics.
+///
+/// Large inputs build in two parallel phases: phase 1 evaluates keys
+/// morsel-parallel, scattering `(key, row-id)` pairs into per-morsel
+/// partition buckets; phase 2 hands each worker whole partitions to build
+/// into maps independently — no shared-map contention, no serial build.
+/// Phase 1 buckets come back in morsel order and phase 2 inserts each
+/// partition's entries in that order, so every per-key row-id list is
+/// ascending — exactly what a sequential one-pass build produces — and probe
+/// output stays byte-identical at every thread count.
+fn partitioned_build<K>(
+    ctx: &ExecCtx<'_>,
+    rows: &[Vec<Value>],
+    eval_key: &(dyn Fn(&[Value]) -> Result<Option<K>> + Sync),
+) -> Result<PartitionedTable<K>>
+where
+    K: std::hash::Hash + Eq + Clone + Send + Sync,
+{
+    if rows.len() < PARALLEL_BUILD_MIN || ctx.threads() <= 1 {
+        let mut map: FxHashMap<K, Vec<u32>> = FxHashMap::with_capacity_and_hasher(
+            rows.len(),
+            crate::hash::FxBuildHasher::default(),
+        );
+        for (i, r) in rows.iter().enumerate() {
+            if let Some(k) = eval_key(r)? {
+                map.entry(k).or_default().push(i as u32);
+            }
+        }
+        return Ok(PartitionedTable { parts: vec![map] });
+    }
+
+    // Phase 1: morsel-parallel key evaluation + scatter. One bucket set per
+    // morsel; `parallel_morsels` returns them in morsel order.
+    let scattered: Vec<Vec<Vec<(K, u32)>>> = parallel_morsels(ctx, rows.len(), |range| {
+        let mut buckets: Vec<Vec<(K, u32)>> =
+            (0..BUILD_PARTITIONS).map(|_| Vec::new()).collect();
+        for i in range {
+            if let Some(k) = eval_key(&rows[i])? {
+                let part = (fx_hash_one(&k) >> PARTITION_SHIFT) as usize;
+                buckets[part].push((k, i as u32));
+            }
+        }
+        Ok(vec![buckets])
+    })?;
+
+    // Phase 2: workers claim whole partitions off a shared counter; no two
+    // ever touch the same map.
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<KeyMap<K>>>> =
+        Mutex::new((0..BUILD_PARTITIONS).map(|_| None).collect());
+    let scattered_ref = &scattered;
+    ctx.pool().broadcast(&|_worker| loop {
+        let part = next.fetch_add(1, Ordering::Relaxed);
+        if part >= BUILD_PARTITIONS {
+            break;
+        }
+        let len: usize = scattered_ref.iter().map(|m| m[part].len()).sum();
+        let mut map: FxHashMap<K, Vec<u32>> =
+            FxHashMap::with_capacity_and_hasher(len, crate::hash::FxBuildHasher::default());
+        for morsel in scattered_ref {
+            for (k, rid) in &morsel[part] {
+                map.entry(k.clone()).or_default().push(*rid);
+            }
+        }
+        slots.lock().unwrap()[part] = Some(map);
+    });
+    let parts = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|m| m.expect("every partition claimed and built"))
+        .collect();
+    Ok(PartitionedTable { parts })
+}
+
 /// Hash join with late materialization. The hash table over the right side
 /// is built once; left rows are probed morsel-parallel. Residual ON and
 /// stream predicates are evaluated on a zero-copy [`SplitRow`] view of each
@@ -1443,70 +1760,59 @@ fn join(
     let right_width = right.cols.len();
     let null_row: Vec<Value> = vec![Value::Null; right_width];
 
-    // Build phase (sequential, one pass): hash right rows on their key.
+    // Build phase: hash right rows on their key into a partitioned table
+    // (parallel radix build above the size cutoff — see `partitioned_build`).
     // Empty `lkeys` means no equi-condition was found — every right row is a
     // candidate (cross product guarded by an upfront budget charge).
     // Single-column keys — the common case, and after dictionary encoding a
     // bare i64 — are stored as `Value` directly so neither build nor probe
     // heap-allocates a composite key per row.
     enum KeyTable {
-        Single(FxHashMap<Value, Vec<usize>>),
-        Multi(FxHashMap<Vec<Value>, Vec<usize>>),
+        Single(PartitionedTable<Value>),
+        Multi(PartitionedTable<Vec<Value>>),
     }
     let cross = lkeys.is_empty();
-    let cap = if cross { 0 } else { right.rows.len() };
-    let mut table = if rkeys.len() == 1 {
-        KeyTable::Single(FxHashMap::with_capacity_and_hasher(
-            cap,
-            crate::hash::FxBuildHasher::default(),
-        ))
-    } else {
-        KeyTable::Multi(FxHashMap::with_capacity_and_hasher(
-            cap,
-            crate::hash::FxBuildHasher::default(),
-        ))
-    };
-    if cross {
+    let build_t0 = ctx.phase_start();
+    let table = if cross {
         ctx.charge(left.rows.len().saturating_mul(right.rows.len().max(1)))?;
+        KeyTable::Single(PartitionedTable { parts: vec![FxHashMap::default()] })
+    } else if rkeys.len() == 1 {
+        let rk = &rkeys[0];
+        KeyTable::Single(partitioned_build(ctx, &right.rows, &|r| {
+            let v = rk.eval(r)?;
+            Ok(if v.is_null() { None } else { Some(v) })
+        })?)
     } else {
-        match &mut table {
-            KeyTable::Single(t) => {
-                for (i, r) in right.rows.iter().enumerate() {
-                    let v = rkeys[0].eval(r)?;
-                    if !v.is_null() {
-                        t.entry(v).or_default().push(i);
-                    }
+        let rkeys_ref = &rkeys;
+        KeyTable::Multi(partitioned_build(ctx, &right.rows, &|r| {
+            let mut key = Vec::with_capacity(rkeys_ref.len());
+            for k in rkeys_ref {
+                let v = k.eval(r)?;
+                if v.is_null() {
+                    return Ok(None);
                 }
+                key.push(v);
             }
-            KeyTable::Multi(t) => {
-                'rows: for (i, r) in right.rows.iter().enumerate() {
-                    let mut key = Vec::with_capacity(rkeys.len());
-                    for k in &rkeys {
-                        let v = k.eval(r)?;
-                        if v.is_null() {
-                            continue 'rows;
-                        }
-                        key.push(v);
-                    }
-                    t.entry(key).or_default().push(i);
-                }
-            }
-        }
-    }
+            Ok(Some(key))
+        })?)
+    };
+    ctx.phase_add(Phase::Build, build_t0);
 
     // Probe phase: morsel-parallel over left rows; output is `(l, r)` index
     // pairs in left-row order, so the final row order matches a sequential
     // left-to-right probe exactly.
-    let all_right: Vec<usize> = if cross { (0..right.rows.len()).collect() } else { Vec::new() };
+    let probe_t0 = ctx.phase_start();
+    let all_right: Vec<u32> =
+        if cross { (0..right.rows.len() as u32).collect() } else { Vec::new() };
     let (left_rows, right_rows) = (&left.rows, &right.rows);
     let (table_ref, lkeys_ref, residual_ref) = (&table, &lkeys, &residual);
     let (null_ref, all_right_ref) = (&null_row, &all_right);
-    let pairs: Vec<(usize, usize)> = parallel_morsels(left_rows.len(), ctx.threads, |range| {
+    let pairs: Vec<(usize, usize)> = parallel_morsels(ctx, left_rows.len(), |range| {
         let mut out = Vec::new();
         let mut key = Vec::with_capacity(lkeys_ref.len());
         for li in range {
             let l = &left_rows[li];
-            let matches: &[usize] = if cross {
+            let matches: &[u32] = if cross {
                 all_right_ref
             } else {
                 match table_ref {
@@ -1515,7 +1821,7 @@ fn join(
                         if v.is_null() {
                             &[]
                         } else {
-                            t.get(&v).map(Vec::as_slice).unwrap_or(&[])
+                            t.lookup(&v)
                         }
                     }
                     KeyTable::Multi(t) => {
@@ -1532,13 +1838,14 @@ fn join(
                         if null_key {
                             &[]
                         } else {
-                            t.get(&key).map(Vec::as_slice).unwrap_or(&[])
+                            t.lookup(&key)
                         }
                     }
                 }
             };
             let mut matched = false;
             for &ri in matches {
+                let ri = ri as usize;
                 let pair = SplitRow { left: l, right: &right_rows[ri] };
                 if !eval_all(residual_ref, &pair)? {
                     continue;
@@ -1563,7 +1870,7 @@ fn join(
 
     // Materialization phase: copy out only the surviving pairs.
     let pairs_ref = &pairs;
-    let rows: Vec<Vec<Value>> = parallel_morsels(pairs.len(), ctx.threads, |range| {
+    let rows: Vec<Vec<Value>> = parallel_morsels(ctx, pairs.len(), |range| {
         let mut out = Vec::with_capacity(range.len());
         for &(li, ri) in &pairs_ref[range] {
             let mut combined =
@@ -1575,6 +1882,7 @@ fn join(
         }
         Ok(out)
     })?;
+    ctx.phase_add(Phase::Probe, probe_t0);
     Ok(Rel { cols, rows })
 }
 
@@ -1618,7 +1926,7 @@ fn project(items: &[SelectItem], rel: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
     // keeps output rows aligned with input order.
     let in_rows = &rel.rows;
     let exprs_ref = &exprs;
-    let rows: Vec<Vec<Value>> = parallel_morsels(in_rows.len(), ctx.threads, |range| {
+    let rows: Vec<Vec<Value>> = parallel_morsels(ctx, in_rows.len(), |range| {
         let mut out = Vec::with_capacity(range.len());
         for i in range {
             let row = &in_rows[i];
@@ -1731,36 +2039,90 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
                 self.max = Some(v.clone());
             }
         }
+
+        /// Fold `other` (a later morsel's partial) into `self`. Strict
+        /// comparisons keep the earlier occurrence on min/max ties, matching
+        /// what a sequential pass would retain.
+        fn merge(&mut self, other: &AggState) {
+            self.count += other.count;
+            self.sum += other.sum;
+            self.sum_is_int &= other.sum_is_int;
+            self.sum_int = self.sum_int.wrapping_add(other.sum_int);
+            if let Some(m) = &other.min {
+                if self.min.as_ref().map(|c| m.total_cmp(c).is_lt()).unwrap_or(true) {
+                    self.min = Some(m.clone());
+                }
+            }
+            if let Some(m) = &other.max {
+                if self.max.as_ref().map(|c| m.total_cmp(c).is_gt()).unwrap_or(true) {
+                    self.max = Some(m.clone());
+                }
+            }
+        }
     }
 
-    let mut groups: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    for row in &input.rows {
-        let key: Vec<Value> =
-            group_exprs.iter().map(|e| e.eval(row)).collect::<Result<_>>()?;
-        // Entry API so the common already-seen-group path moves the key in
-        // without cloning it; only a fresh group pays a clone (for `order`).
-        let states = match groups.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                order.push(e.key().clone());
-                e.insert(vec![AggState::new(); agg_calls.len()])
+    // Accumulation runs as per-MORSEL partial aggregates (morsel-parallel),
+    // merged below in morsel order. Because morsel boundaries are fixed by
+    // MORSEL_ROWS alone, both the float summation order and the
+    // first-occurrence group order are pure functions of the input — results
+    // are byte-identical at every thread count.
+    let agg_t0 = ctx.phase_start();
+    type Partial = Vec<(Vec<Value>, Vec<AggState>)>;
+    let (group_ref, arg_ref) = (&group_exprs, &agg_args);
+    let in_rows = &input.rows;
+    let nagg = agg_calls.len();
+    let partials: Vec<Partial> = parallel_morsels(ctx, in_rows.len(), |range| {
+        let mut idx: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+        let mut local: Partial = Vec::new();
+        for row in &in_rows[range] {
+            let key: Vec<Value> =
+                group_ref.iter().map(|e| e.eval(row)).collect::<Result<_>>()?;
+            // Entry API so the common already-seen-group path moves the key
+            // in without cloning it; only a fresh group pays a clone.
+            let slot = match idx.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    local.push((e.key().clone(), vec![AggState::new(); nagg]));
+                    *e.insert(local.len() - 1)
+                }
+            };
+            let states = &mut local[slot].1;
+            for (i, arg) in arg_ref.iter().enumerate() {
+                match arg {
+                    None => states[i].count += 1, // COUNT(*)
+                    Some(e) => {
+                        let v = e.eval(row)?;
+                        states[i].update(&v);
+                    }
+                }
             }
-        };
-        for (i, arg) in agg_args.iter().enumerate() {
-            match arg {
-                None => states[i].count += 1, // COUNT(*)
-                Some(e) => {
-                    let v = e.eval(row)?;
-                    states[i].update(&v);
+        }
+        Ok(vec![local])
+    })?;
+
+    // Merge partials in morsel order; group order is first occurrence.
+    let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+    let mut merged: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
+    for partial in partials {
+        for (key, states) in partial {
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let dst = &mut merged[*e.get()].1;
+                    for (d, s) in dst.iter_mut().zip(&states) {
+                        d.merge(s);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let key = e.key().clone();
+                    e.insert(merged.len());
+                    merged.push((key, states));
                 }
             }
         }
     }
     // Global aggregate over an empty input still yields one row.
-    if sel.group_by.is_empty() && groups.is_empty() {
-        groups.insert(Vec::new(), vec![AggState::new(); agg_calls.len()]);
-        order.push(Vec::new());
+    if sel.group_by.is_empty() && merged.is_empty() {
+        merged.push((Vec::new(), vec![AggState::new(); nagg]));
     }
 
     // Build the intermediate scope: group-by exprs then aggregate values.
@@ -1776,9 +2138,8 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
         mid_cols.push(OutCol { qualifier: None, name: format!("_agg{i}") });
     }
 
-    let mut mid_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
-    for key in order {
-        let states = groups.remove(&key).unwrap();
+    let mut mid_rows: Vec<Vec<Value>> = Vec::with_capacity(merged.len());
+    for (key, states) in merged {
         let mut row = key;
         for (i, call) in agg_calls.iter().enumerate() {
             let s = &states[i];
@@ -1845,6 +2206,7 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
             _ => plan_err("wildcard projection is not supported with GROUP BY"),
         })
         .collect::<Result<_>>()?;
+    ctx.phase_add(Phase::Agg, agg_t0);
     project(&items, rel, ctx)
 }
 

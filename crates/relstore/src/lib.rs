@@ -46,6 +46,7 @@ mod error;
 mod exec;
 pub mod hash;
 pub mod io;
+pub mod pool;
 mod row;
 mod snapshot;
 pub mod sql;
@@ -53,10 +54,11 @@ mod table;
 mod value;
 pub mod wal;
 
-pub use database::{table_schema, Database, ExecOutcome, ScalarFn};
+pub use database::{resolve_threads, table_schema, Database, ExecOutcome, ScalarFn};
 pub use error::{Error, Result};
-pub use exec::{like_match, OutCol, Rel, RowAccess, SplitRow, MORSEL_ROWS};
-pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use exec::{like_match, OutCol, PhaseTimings, Rel, RowAccess, SplitRow, MORSEL_ROWS};
+pub use hash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHasher};
+pub use pool::WorkerPool;
 pub use io::{FaultHandle, IoFault, NoFaults, WriteOutcome};
 pub use row::CompressedRow;
 pub use snapshot::{load_snapshot, write_snapshot, SnapshotTable};

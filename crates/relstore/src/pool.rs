@@ -1,0 +1,269 @@
+//! A per-query worker pool for morsel-driven parallel operators.
+//!
+//! PR 1's executor spawned a fresh `std::thread::scope` for every parallel
+//! region — every scan, every join probe, every projection paid thread
+//! creation and teardown (tens of microseconds each) on inputs whose whole
+//! morsel loop often runs in less. That fixed cost is the single largest
+//! reason `BENCH_exec.json` showed parallelism *losing* at 4 threads.
+//!
+//! [`WorkerPool`] amortizes it: one pool is created per query (threaded
+//! through `ExecCtx`), workers are spawned lazily on the first parallel
+//! region that actually has enough morsels to share, and every subsequent
+//! operator in the same query reuses the parked threads. Workers live until
+//! the pool is dropped at the end of the query.
+//!
+//! The dispatch primitive is [`WorkerPool::broadcast`]: run one closure on
+//! every pool thread (the caller participates as worker 0) and return when
+//! all of them have finished. Operators layer morsel-stealing on top via a
+//! shared atomic counter; the pool itself does no scheduling.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased job: a borrowed closure whose lifetime is upheld manually —
+/// `broadcast` does not return until every worker has finished running it,
+/// so the borrow can never dangle (see the safety comment there).
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared `&`-calls from many threads are
+// fine) and `broadcast` keeps it alive for the whole dispatch window.
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    /// Bumped once per broadcast; workers run each epoch exactly once.
+    epoch: u64,
+    job: Option<JobPtr>,
+    /// Workers still running the current epoch's job.
+    active: usize,
+    /// A worker's job invocation panicked (re-raised on the caller).
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here between epochs.
+    work_cv: Condvar,
+    /// The caller parks here until `active` drains to zero.
+    done_cv: Condvar,
+}
+
+/// A fixed-width worker pool. `threads` counts the caller too: a pool of
+/// width 4 spawns 3 OS threads and the broadcasting thread takes the fourth
+/// share. Width ≤ 1 never spawns anything and `broadcast` degenerates to a
+/// plain call — sequential execution stays allocation- and syscall-free.
+pub struct WorkerPool {
+    threads: usize,
+    /// Lazily initialized on the first broadcast so short queries that never
+    /// hit a multi-morsel operator pay nothing.
+    lazy: Mutex<Option<Spawned>>,
+}
+
+struct Spawned {
+    shared: std::sync::Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub fn new(threads: usize) -> WorkerPool {
+        WorkerPool { threads: threads.max(1), lazy: Mutex::new(None) }
+    }
+
+    /// Pool width including the calling thread.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(worker_index)` on every pool thread — indexes `1..threads` on
+    /// the spawned workers, `0` on the caller — returning once all calls
+    /// have finished. Panics in any invocation are re-raised here after the
+    /// other workers drain, so borrowed captures never outlive the call.
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.threads <= 1 {
+            f(0);
+            return;
+        }
+        let shared = {
+            let mut lazy = self.lazy.lock().unwrap();
+            let spawned = lazy.get_or_insert_with(|| spawn_workers(self.threads - 1));
+            spawned.shared.clone()
+        };
+
+        // SAFETY: we erase the closure's lifetime to park it in the shared
+        // slot. The borrow is upheld manually: this function does not return
+        // (or unwind — see the catch below) until `active == 0`, i.e. until
+        // every worker has finished calling the closure and can never touch
+        // it again.
+        let short: *const (dyn Fn(usize) + Sync) = f;
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(short)
+        });
+        let workers = {
+            let mut st = shared.state.lock().unwrap();
+            st.epoch += 1;
+            st.job = Some(job);
+            st.active = self.threads - 1;
+            st.panicked = false;
+            shared.work_cv.notify_all();
+            st.active
+        };
+        debug_assert_eq!(workers, self.threads - 1);
+
+        // The caller takes share 0. Catch a panic so we still wait for the
+        // workers (they may be borrowing our stack) before unwinding.
+        let caller_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        let mut st = shared.state.lock().unwrap();
+        while st.active > 0 {
+            st = shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        let worker_panicked = st.panicked;
+        drop(st);
+
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("worker pool: a broadcast job panicked on a worker thread");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let Some(spawned) = self.lazy.get_mut().unwrap().take() else { return };
+        {
+            let mut st = spawned.shared.state.lock().unwrap();
+            st.shutdown = true;
+            spawned.shared.work_cv.notify_all();
+        }
+        for h in spawned.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn spawn_workers(n: usize) -> Spawned {
+    let shared = std::sync::Arc::new(Shared {
+        state: Mutex::new(PoolState {
+            epoch: 0,
+            job: None,
+            active: 0,
+            panicked: false,
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    });
+    let handles = (0..n)
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("relstore-worker-{}", i + 1))
+                .spawn(move || worker_loop(&shared, i + 1))
+                .expect("spawn pool worker")
+        })
+        .collect();
+    Spawned { shared, handles }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen {
+                    // `job` is always set when the epoch advances: the
+                    // caller only clears it after every worker finished.
+                    let job = st.job.expect("job present for a new epoch");
+                    seen = st.epoch;
+                    break job;
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        // SAFETY: `broadcast` keeps the closure alive until `active`
+        // reaches zero, which only happens after this call returns.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(index) }));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_on_every_worker_and_reuses_threads() {
+        let pool = WorkerPool::new(4);
+        for _ in 0..3 {
+            let mask = AtomicUsize::new(0);
+            pool.broadcast(&|i| {
+                mask.fetch_or(1 << i, Ordering::Relaxed);
+            });
+            assert_eq!(mask.load(Ordering::Relaxed), 0b1111);
+        }
+    }
+
+    #[test]
+    fn width_one_never_spawns() {
+        let pool = WorkerPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(&|i| {
+            assert_eq!(i, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert!(pool.lazy.lock().unwrap().is_none(), "no workers spawned at width 1");
+    }
+
+    #[test]
+    fn borrows_stack_data_safely() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..999).collect();
+        let sums: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        pool.broadcast(&|i| {
+            let s: u64 = data.iter().skip(i).step_by(3).sum();
+            sums.lock().unwrap().push(s);
+        });
+        let total: u64 = sums.lock().unwrap().iter().sum();
+        assert_eq!(total, 999 * 998 / 2);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|i| {
+                if i == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // The pool stays usable after a panicked broadcast.
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

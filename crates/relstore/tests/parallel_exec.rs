@@ -142,6 +142,50 @@ fn order_by_is_stable_for_equal_keys_under_parallelism() {
 }
 
 #[test]
+fn float_aggregates_identical_at_every_thread_count() {
+    // f64 summation is association-sensitive, so AVG/SUM over doubles would
+    // drift across pool widths if partials were merged in completion order.
+    // They are merged in morsel order instead: the summation tree depends
+    // only on MORSEL_ROWS, so these must be bit-identical, not just close.
+    let q = "SELECT k, AVG(v * 0.1) AS a, SUM(v * 0.001) AS s \
+             FROM fact GROUP BY k ORDER BY k";
+    let expected = big_db(Some(1)).query(q).unwrap();
+    for threads in [2, 4, 8] {
+        let got = big_db(Some(threads)).query(q).unwrap();
+        assert_eq!(got.rows, expected.rows, "threads={threads}: float aggs drifted");
+    }
+}
+
+#[test]
+fn distinct_first_occurrence_order_is_thread_count_invariant() {
+    // No ORDER BY: DISTINCT output order is the first-occurrence order of
+    // the (multi-morsel) scan, which the partitioned dedupe must preserve.
+    let q = "SELECT DISTINCT k, tag FROM fact";
+    let expected = big_db(Some(1)).query(q).unwrap();
+    // gcd(97, 3) = 1, so every k sees both tags: 97 * 2 distinct pairs.
+    assert_eq!(expected.rows.len(), 194, "fixture sanity");
+    for threads in [2, 4, 8] {
+        let got = big_db(Some(threads)).query(q).unwrap();
+        assert_eq!(got.rows, expected.rows, "threads={threads}: dedupe order changed");
+    }
+}
+
+#[test]
+fn multi_column_join_keys_identical_at_every_thread_count() {
+    // Composite (k, tag) keys take the Vec<Value> build path; the unfiltered
+    // right side (~24k rows) crosses the parallel partitioned-build cutoff.
+    let q = "SELECT f.v AS fv, g.v AS gv FROM fact AS f, fact AS g \
+             WHERE f.k = g.k AND f.tag = g.tag AND f.v < 50 \
+             ORDER BY fv, gv LIMIT 500";
+    let expected = big_db(Some(1)).query(q).unwrap();
+    assert_eq!(expected.rows.len(), 500, "fixture sanity");
+    for threads in [2, 4, 8] {
+        let got = big_db(Some(threads)).query(q).unwrap();
+        assert_eq!(got.rows, expected.rows, "threads={threads}: composite-key join drifted");
+    }
+}
+
+#[test]
 fn row_budget_exhaustion_raised_from_worker_threads() {
     for threads in [1, 4, 8] {
         let mut db = big_db(Some(threads));

@@ -548,12 +548,14 @@ fn stats_json(inner: &Inner) -> String {
         None => "null".into(),
     };
     format!(
-        "{{\"uptime_secs\":{},\"triples\":{},\"workers\":{},\"in_flight\":{},\
+        "{{\"uptime_secs\":{},\"triples\":{},\"workers\":{},\"exec_threads\":{},\
+         \"in_flight\":{},\
          \"max_in_flight\":{},\"shed\":{},\"epoch\":{},\"plan_cache\":{},\
          \"endpoints\":{{\"sparql\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}\n",
         inner.started.elapsed().as_secs(),
         report.triples,
         inner.cfg.workers,
+        inner.store.threads(),
         inner.in_flight.load(Ordering::Relaxed),
         inner.cfg.max_in_flight,
         inner.shed.load(Ordering::Relaxed),

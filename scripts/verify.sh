@@ -13,9 +13,15 @@
 #                                # additionally run the plan_cache bench in
 #                                # its PLAN_CACHE_SMOKE=1 profile (asserts
 #                                # the >=2x warm-plan speedup bar)
+#   scripts/verify.sh --exec-scaling
+#                                # additionally run the exec_scaling bench in
+#                                # its EXEC_SCALING_SMOKE=1 profile; on a
+#                                # >=4-core host this FAILS if the minimum
+#                                # 4-thread speedup is < 1.5x (on fewer
+#                                # cores the gate reports itself skipped)
 #
-# Flags combine: `scripts/verify.sh --all --clippy --server --plan-cache`
-# is what CI runs.
+# Flags combine: `scripts/verify.sh --all --clippy --server --plan-cache
+# --exec-scaling` is what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,12 +29,14 @@ run_all=false
 run_clippy=false
 run_server=false
 run_plan_cache=false
+run_exec_scaling=false
 for arg in "$@"; do
     case "$arg" in
         --all) run_all=true ;;
         --clippy) run_clippy=true ;;
         --server) run_server=true ;;
         --plan-cache) run_plan_cache=true ;;
+        --exec-scaling) run_exec_scaling=true ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -57,6 +65,12 @@ fi
 if $run_plan_cache; then
     echo "== plan_cache bench smoke (cold vs warm planning, >=2x bar)"
     PLAN_CACHE_SMOKE=1 cargo run --release --offline -p bench --bin plan_cache
+fi
+
+if $run_exec_scaling; then
+    echo "== exec_scaling bench smoke (thread-count determinism; >=1.5x min"
+    echo "   4-thread speedup when the host has >=4 cores)"
+    EXEC_SCALING_SMOKE=1 cargo run --release --offline -p bench --bin exec_scaling
 fi
 
 echo "verify: OK"
