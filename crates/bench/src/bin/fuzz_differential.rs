@@ -1,0 +1,626 @@
+//! Adversarial correctness harness: grammar-fuzzed differential oracle plus
+//! crash-point recovery fuzzing under fault injection (DESIGN.md §4.10).
+//!
+//! Phase 1 — differential fuzzing: seeded `datagen::queryfuzz` cases are
+//! checked with `db2rdf::oracle::check_case` (naive reference vs all three
+//! layouts × plan-cache on/off × 1/4 threads). A divergence is greedily
+//! shrunk and written to `tests/corpus/` as a permanent regression case.
+//!
+//! Phase 2 — crash points, three sweeps per workload seed:
+//!   * truncation: run a randomized load/insert/delete workload on a durable
+//!     store, recording `(wal_len, shadow state)` after every acked op; then
+//!     for many byte offsets, physically truncate the WAL there, reopen, and
+//!     assert the recovered state is *exactly* the shadow of the longest
+//!     recorded prefix — then re-run the differential oracle on it;
+//!   * write faults: replay the workload with an injected write/sync failure
+//!     at every write index, asserting acked-ops durability on reopen, an
+//!     explicit read-only degrade (never a silent success), and clean
+//!     recovery afterwards;
+//!   * read faults: reopen a crashed store with injected short/failed reads,
+//!     asserting recovery lands on a previously-observed state or fails
+//!     explicitly — never a silently wrong answer.
+//!
+//! Deterministic by construction: every decision flows from `FUZZ_SEED`
+//! (default 1). Knobs: `FUZZ_SMOKE=1` (CI profile, ~200 queries + bounded
+//! crash sweep, <2 min), `FUZZ_CASES`, `FUZZ_CRASH_SEEDS`, `FUZZ_CORPUS`.
+//! Exits nonzero on any divergence.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use datagen::queryfuzz;
+use datagen::rng::SplitMix64;
+use db2rdf::oracle::{self, Divergence};
+use db2rdf::{Layout, RdfStore, StoreConfig, StoreError};
+use rdf::Triple;
+use relstore::ScriptedFaults;
+
+struct Profile {
+    cases: u64,
+    seed: u64,
+    crash_seeds: u64,
+    workload_ops: usize,
+    max_cuts: usize,
+    max_write_plans: usize,
+    max_read_plans: usize,
+    corpus: PathBuf,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl Profile {
+    fn from_env() -> Profile {
+        let smoke = std::env::var("FUZZ_SMOKE").map(|v| v == "1").unwrap_or(false);
+        let corpus = std::env::var("FUZZ_CORPUS").map(PathBuf::from).unwrap_or_else(|_| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+        });
+        Profile {
+            cases: env_u64("FUZZ_CASES", if smoke { 200 } else { 2000 }),
+            seed: env_u64("FUZZ_SEED", 1),
+            crash_seeds: env_u64("FUZZ_CRASH_SEEDS", if smoke { 2 } else { 6 }),
+            workload_ops: if smoke { 24 } else { 48 },
+            max_cuts: if smoke { 80 } else { 400 },
+            max_write_plans: if smoke { 12 } else { 60 },
+            max_read_plans: if smoke { 12 } else { 48 },
+            corpus,
+        }
+    }
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    let t0 = Instant::now();
+    let mut failures = 0usize;
+
+    failures += differential_phase(&profile);
+    failures += crash_phase(&profile);
+
+    println!(
+        "\nfuzz_differential: {} query cases, {} crash seeds, {} failure(s) in {:.1}s",
+        profile.cases,
+        profile.crash_seeds,
+        failures,
+        t0.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: grammar-fuzzed differential oracle
+// ---------------------------------------------------------------------------
+
+fn differential_phase(profile: &Profile) -> usize {
+    println!(
+        "phase 1: differential oracle over {} seeded cases (base seed {})",
+        profile.cases, profile.seed
+    );
+    let mut failures = 0;
+    for i in 0..profile.cases {
+        let seed = profile.seed.wrapping_add(i);
+        let case = queryfuzz::gen_case(seed);
+        if let Err(div) = oracle::check_case(&case.triples, &case.query) {
+            failures += 1;
+            report_divergence(profile, seed, &case.triples, &case.query, &div);
+        }
+        if (i + 1) % 500 == 0 {
+            println!("  ... {} cases checked", i + 1);
+        }
+    }
+    println!("  {} cases, {} divergence(s)", profile.cases, failures);
+    failures
+}
+
+/// Shrink a diverging case and persist it to the regression corpus.
+fn report_divergence(
+    profile: &Profile,
+    seed: u64,
+    triples: &[Triple],
+    query: &str,
+    div: &Divergence,
+) {
+    println!("  DIVERGENCE seed {seed}: {div}");
+    let (min_triples, min_query) = oracle::shrink(triples, query);
+    let min_div = oracle::check_case(&min_triples, &min_query)
+        .err()
+        .map(|d| d.to_string())
+        .unwrap_or_else(|| div.to_string());
+    println!(
+        "    shrunk to {} triple(s), query: {}",
+        min_triples.len(),
+        min_query
+    );
+    let note = format!("seed: {seed}\ninvariant: {min_div}");
+    match oracle::write_case(
+        &profile.corpus,
+        &format!("fuzz-seed-{seed}"),
+        &min_triples,
+        &min_query,
+        &note,
+    ) {
+        Ok(path) => println!("    minimized repro written to {}", path.display()),
+        Err(e) => println!("    FAILED to write repro: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: crash-point recovery fuzzing
+// ---------------------------------------------------------------------------
+
+/// A durable-store workload op, generated deterministically per seed.
+enum Op {
+    Load(Vec<Triple>),
+    Insert(Triple),
+    Delete(usize), // index into the shadow state
+}
+
+/// Shadow state: the exact triple set an honest store must contain.
+#[derive(Clone, Default)]
+struct Shadow(Vec<Triple>);
+
+impl Shadow {
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Load(ts) => {
+                for t in ts {
+                    if !self.0.contains(t) {
+                        self.0.push(t.clone());
+                    }
+                }
+            }
+            Op::Insert(t) => {
+                if !self.0.contains(t) {
+                    self.0.push(t.clone());
+                }
+            }
+            Op::Delete(i) => {
+                if !self.0.is_empty() {
+                    self.0.remove(i % self.0.len());
+                }
+            }
+        }
+    }
+
+    fn canon(&self) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = self
+            .0
+            .iter()
+            .map(|t| {
+                vec![t.subject.encode(), t.predicate.encode(), t.object.encode()]
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+fn gen_workload(seed: u64, ops: usize) -> Vec<Op> {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xC4A5_CADE_0FF0_0D00);
+    let mut out = vec![Op::Load(queryfuzz::gen_dataset(&mut rng))];
+    let pool = queryfuzz::gen_dataset(&mut rng); // extra triples to insert
+    for _ in 1..ops {
+        if rng.gen_ratio(1, 4) {
+            out.push(Op::Delete(rng.gen_range(0usize..1024)));
+        } else {
+            let t = pool[rng.gen_range(0usize..pool.len())].clone();
+            out.push(Op::Insert(t));
+        }
+    }
+    out
+}
+
+/// Apply one op; `Ok(true)` means the store's state actually changed
+/// (duplicate inserts and misses are no-ops the WAL never sees).
+fn apply_op(store: &mut RdfStore, shadow: &Shadow, op: &Op) -> db2rdf::Result<bool> {
+    match op {
+        Op::Load(ts) => store.load(ts).map(|_| true),
+        Op::Insert(t) => store.insert(t),
+        Op::Delete(i) => {
+            if shadow.0.is_empty() {
+                return Ok(false);
+            }
+            let victim = shadow.0[i % shadow.0.len()].clone();
+            store.delete(&victim)
+        }
+    }
+}
+
+/// Dump a store's full triple set in canonical form. An "empty; load data
+/// first" refusal counts as the empty state.
+fn dump(store: &RdfStore) -> Result<Vec<Vec<String>>, String> {
+    match store.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }") {
+        Ok(sols) => Ok(oracle::canon(&sols)),
+        Err(StoreError::Unsupported(m)) if m.contains("empty") => Ok(Vec::new()),
+        Err(e) => Err(format!("full scan failed: {e}")),
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("db2rdf-fuzz-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn entity() -> StoreConfig {
+    StoreConfig::with_layout(Layout::Entity)
+}
+
+fn crash_phase(profile: &Profile) -> usize {
+    println!("\nphase 2: crash-point recovery fuzzing ({} seeds)", profile.crash_seeds);
+    let mut failures = 0;
+    for i in 0..profile.crash_seeds {
+        let seed = profile.seed.wrapping_add(0x5EED_0000).wrapping_add(i);
+        let ops = gen_workload(seed, profile.workload_ops);
+        let queries = gen_oracle_queries(seed);
+        failures += truncation_sweep(profile, seed, &ops, &queries);
+        failures += write_fault_sweep(profile, seed, &ops, &queries);
+        failures += read_fault_sweep(profile, seed, &ops, &queries);
+    }
+    failures
+}
+
+fn gen_oracle_queries(seed: u64) -> Vec<String> {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0DD5_0BAC_1E50);
+    (0..6).map(|_| queryfuzz::gen_query(&mut rng)).collect()
+}
+
+/// Run the workload, recording `(wal_len, shadow)` after every acked op.
+/// Returns the boundaries and the directory (caller removes it).
+fn record_history(
+    dir: &Path,
+    ops: &[Op],
+    checkpoints: usize,
+) -> Result<Vec<(u64, Shadow)>, String> {
+    let mut store =
+        RdfStore::open(dir, entity()).map_err(|e| format!("open: {e}"))?;
+    let mut shadow = Shadow::default();
+    let mut boundaries =
+        vec![(store.wal_len().ok_or("store not durable")?, shadow.clone())];
+    let ckpt_every = if checkpoints > 0 { ops.len() / (checkpoints + 1) } else { usize::MAX };
+    for (i, op) in ops.iter().enumerate() {
+        apply_op(&mut store, &shadow, op).map_err(|e| format!("op {i}: {e}"))?;
+        shadow.apply(op);
+        if checkpoints > 0 && i > 0 && i % ckpt_every == 0 {
+            store.checkpoint().map_err(|e| format!("checkpoint at op {i}: {e}"))?;
+        }
+        boundaries.push((store.wal_len().ok_or("store not durable")?, shadow.clone()));
+    }
+    drop(store); // crash: no close/checkpoint
+    Ok(boundaries)
+}
+
+fn wal_file(dir: &Path) -> Option<PathBuf> {
+    let mut wals: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal."))
+        })
+        .collect();
+    wals.sort();
+    wals.pop()
+}
+
+/// Sweep WAL truncation points, asserting exact-prefix recovery at each.
+fn truncation_sweep(
+    profile: &Profile,
+    seed: u64,
+    ops: &[Op],
+    queries: &[String],
+) -> usize {
+    let dir = fresh_dir(&format!("trunc-{seed}"));
+    let boundaries = match record_history(&dir, ops, 0) {
+        Ok(b) => b,
+        Err(e) => {
+            println!("  FAIL [truncation seed {seed}]: workload: {e}");
+            let _ = std::fs::remove_dir_all(&dir);
+            return 1;
+        }
+    };
+    let wal = wal_file(&dir).expect("durable store has a WAL");
+    let bytes = std::fs::read(&wal).expect("read WAL");
+    let total = bytes.len() as u64;
+
+    // Every acked-op boundary, plus evenly spaced mid-record cuts.
+    let mut cuts: Vec<u64> = boundaries.iter().map(|(len, _)| *len).collect();
+    let step = (total.max(1) / profile.max_cuts.max(1) as u64).max(1);
+    cuts.extend((0..=total).step_by(step as usize));
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut failures = 0;
+    let work = fresh_dir(&format!("trunc-work-{seed}"));
+    for &cut in &cuts {
+        let _ = std::fs::remove_dir_all(&work);
+        std::fs::create_dir_all(&work).expect("mkdir");
+        std::fs::write(work.join(wal.file_name().unwrap()), &bytes[..cut as usize])
+            .expect("write truncated WAL");
+        let expected = boundaries
+            .iter()
+            .rev()
+            .find(|(len, _)| *len <= cut)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default();
+        match RdfStore::open(&work, entity()) {
+            Err(e) => {
+                // Truncation must look like a torn tail, which recovery heals.
+                println!("  FAIL [truncation seed {seed} cut {cut}/{total}]: open errored: {e}");
+                failures += 1;
+            }
+            Ok(store) => {
+                match dump(&store) {
+                    Err(e) => {
+                        println!("  FAIL [truncation seed {seed} cut {cut}/{total}]: {e}");
+                        failures += 1;
+                    }
+                    Ok(got) if got != expected.canon() => {
+                        println!(
+                            "  FAIL [truncation seed {seed} cut {cut}/{total}]: recovered {} \
+                             triples, expected exact prefix of {}",
+                            got.len(),
+                            expected.0.len()
+                        );
+                        failures += 1;
+                    }
+                    Ok(_) => {
+                        // Exact prefix recovered; at acked boundaries also
+                        // re-run the differential oracle on the store.
+                        let at_boundary = boundaries.iter().any(|(len, _)| *len == cut);
+                        if at_boundary && !expected.0.is_empty() {
+                            if let Err(div) =
+                                oracle::check_store_against(&store, &expected.0, queries)
+                            {
+                                println!(
+                                    "  FAIL [truncation seed {seed} cut {cut}/{total}]: \
+                                     recovered store diverges: {div}"
+                                );
+                                failures += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&work);
+    println!(
+        "  truncation seed {seed}: {} cuts over {} WAL bytes, {} failure(s)",
+        cuts.len(),
+        total,
+        failures
+    );
+    failures
+}
+
+/// Inject a write/sync fault at every write index; assert acked-ops
+/// durability, an explicit degrade, and clean recovery.
+fn write_fault_sweep(
+    profile: &Profile,
+    seed: u64,
+    ops: &[Op],
+    queries: &[String],
+) -> usize {
+    let mut failures = 0;
+    let mut plans: Vec<(String, ScriptedFaults)> = Vec::new();
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xFA17_F0CA_1BAD_CAFE);
+    for n in 0..profile.max_write_plans {
+        plans.push(match n % 3 {
+            0 => (format!("fail_write({n})"), ScriptedFaults::new().fail_write(n)),
+            1 => {
+                let keep = rng.gen_range(0usize..64);
+                (format!("short_write({n},{keep})"), ScriptedFaults::new().short_write(n, keep))
+            }
+            _ => (format!("fail_sync({n})"), ScriptedFaults::new().fail_sync(n)),
+        });
+    }
+
+    for (name, faults) in plans {
+        let dir = fresh_dir(&format!("wfault-{seed}"));
+        let tag = format!("write-fault seed {seed} {name}");
+        let fail = |msg: String| {
+            println!("  FAIL [{tag}]: {msg}");
+        };
+        let mut store = match RdfStore::open_with_faults(&dir, entity(), faults.into_handle()) {
+            Ok(s) => s,
+            Err(e) => {
+                // Opening a fresh durable store writes the WAL header; a
+                // fault there must surface explicitly, which this is.
+                println!("  write-fault seed {seed} {name}: open refused explicitly ({e})");
+                let _ = std::fs::remove_dir_all(&dir);
+                continue;
+            }
+        };
+        let mut shadow = Shadow::default();
+        // States recovery may legitimately land on: the last acked state, or
+        // last-acked + the faulted op (a sync fault can leave a fully
+        // written, fsync-refused record that still replays).
+        let mut acceptable: Vec<Shadow> = vec![shadow.clone()];
+        let mut faulted = false;
+        for op in ops {
+            match apply_op(&mut store, &shadow, op) {
+                Ok(changed) => {
+                    if faulted {
+                        // No-op mutations (duplicate insert, delete miss)
+                        // may succeed on a degraded store — they never
+                        // touch the WAL. A state change must not.
+                        if changed {
+                            fail("state-changing mutation succeeded after degrade".into());
+                            failures += 1;
+                            break;
+                        }
+                        continue;
+                    }
+                    shadow.apply(op);
+                    acceptable = vec![shadow.clone()];
+                }
+                Err(e) => {
+                    if !faulted {
+                        // First failure: must be the injected fault, and the
+                        // store must degrade explicitly, not limp along.
+                        faulted = true;
+                        let mut with_op = shadow.clone();
+                        with_op.apply(op);
+                        acceptable = vec![shadow.clone(), with_op];
+                        if !store.is_read_only() {
+                            fail(format!(
+                                "op failed ({e}) but the store did not degrade to read-only"
+                            ));
+                            failures += 1;
+                            break;
+                        }
+                    } else if !e.is_read_only() {
+                        fail(format!("post-degrade mutation failed with {e}, not ReadOnly"));
+                        failures += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        // Reads must still work on the degraded store (no silent wrongness).
+        if let Err(e) = dump(&store) {
+            fail(format!("degraded store refused reads: {e}"));
+            failures += 1;
+        }
+        drop(store);
+
+        // Clean reopen: acked-ops durability.
+        match RdfStore::open(&dir, entity()) {
+            Err(e) => {
+                fail(format!("clean reopen failed: {e}"));
+                failures += 1;
+            }
+            Ok(recovered) => match dump(&recovered) {
+                Err(e) => {
+                    fail(format!("recovered store: {e}"));
+                    failures += 1;
+                }
+                Ok(got) => {
+                    if !acceptable.iter().any(|s| s.canon() == got) {
+                        fail(format!(
+                            "recovered {} triples; neither the acked state ({}) nor \
+                             acked+faulted-op matches",
+                            got.len(),
+                            acceptable[0].0.len()
+                        ));
+                        failures += 1;
+                    } else {
+                        let state = acceptable
+                            .iter()
+                            .find(|s| s.canon() == got)
+                            .unwrap();
+                        if !state.0.is_empty() {
+                            if let Err(div) =
+                                oracle::check_store_against(&recovered, &state.0, queries)
+                            {
+                                fail(format!("recovered store diverges: {div}"));
+                                failures += 1;
+                            }
+                        }
+                    }
+                }
+            },
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!(
+        "  write-fault seed {seed}: {} plans, {} failure(s)",
+        profile.max_write_plans, failures
+    );
+    failures
+}
+
+/// Reopen a crashed store under injected read faults: recovery must land on
+/// a previously observed state or refuse explicitly — never silently wrong.
+fn read_fault_sweep(
+    profile: &Profile,
+    seed: u64,
+    ops: &[Op],
+    queries: &[String],
+) -> usize {
+    let dir = fresh_dir(&format!("rfault-{seed}"));
+    // Two mid-workload checkpoints so read faults also exercise the
+    // snapshot fallback path, not just WAL replay.
+    let boundaries = match record_history(&dir, ops, 2) {
+        Ok(b) => b,
+        Err(e) => {
+            println!("  FAIL [read-fault seed {seed}]: workload: {e}");
+            let _ = std::fs::remove_dir_all(&dir);
+            return 1;
+        }
+    };
+    let states: Vec<Vec<Vec<String>>> =
+        boundaries.iter().map(|(_, s)| s.canon()).collect();
+    let pristine: Vec<(PathBuf, Vec<u8>)> = std::fs::read_dir(&dir)
+        .expect("read store dir")
+        .flatten()
+        .map(|e| (e.path(), std::fs::read(e.path()).expect("read store file")))
+        .collect();
+
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x05EE_FAD5);
+    let mut failures = 0;
+    let work = fresh_dir(&format!("rfault-work-{seed}"));
+    for n in 0..profile.max_read_plans {
+        // Restore the pristine on-disk state (recovery may rewrite files).
+        let _ = std::fs::remove_dir_all(&work);
+        std::fs::create_dir_all(&work).expect("mkdir");
+        for (path, bytes) in &pristine {
+            std::fs::write(work.join(path.file_name().unwrap()), bytes).expect("copy");
+        }
+        let read_idx = n / 2;
+        let (name, faults) = if n % 2 == 0 {
+            (format!("fail_read({read_idx})"), ScriptedFaults::new().fail_read(read_idx))
+        } else {
+            let keep = rng.gen_range(0usize..2048);
+            (
+                format!("short_read({read_idx},{keep})"),
+                ScriptedFaults::new().short_read(read_idx, keep),
+            )
+        };
+        match RdfStore::open_with_faults(&work, entity(), faults.into_handle()) {
+            Err(_) => {} // explicit refusal is a valid outcome
+            Ok(store) => match dump(&store) {
+                Err(e) => {
+                    println!("  FAIL [read-fault seed {seed} {name}]: {e}");
+                    failures += 1;
+                }
+                Ok(got) => {
+                    let Some(pos) = states.iter().position(|s| *s == got) else {
+                        println!(
+                            "  FAIL [read-fault seed {seed} {name}]: recovered {} triples — \
+                             not any state this store ever acked",
+                            got.len()
+                        );
+                        failures += 1;
+                        continue;
+                    };
+                    let state = &boundaries[pos].1;
+                    if !state.0.is_empty() {
+                        if let Err(div) = oracle::check_store_against(&store, &state.0, queries)
+                        {
+                            println!(
+                                "  FAIL [read-fault seed {seed} {name}]: recovered store \
+                                 diverges: {div}"
+                            );
+                            failures += 1;
+                        }
+                    }
+                }
+            },
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&work);
+    println!(
+        "  read-fault seed {seed}: {} plans, {} failure(s)",
+        profile.max_read_plans, failures
+    );
+    failures
+}

@@ -83,8 +83,9 @@ impl TripleGen<'_> {
                 TermPattern::Var(v) => {
                     if let Some(expr) = local.get(v) {
                         wheres.push(format!("{col} = {expr}"));
-                    } else if let Some(bcol) = state.bound.get(v) {
-                        wheres.push(format!("{col} = P.{bcol}"));
+                    } else if state.bound.contains_key(v) {
+                        let cond = state.join_bound(v, col, &mut select);
+                        wheres.push(cond);
                         local.insert(v.clone(), col.to_string());
                     } else {
                         let out = state.col(v);
@@ -271,12 +272,17 @@ impl VerticalGen<'_> {
         let positions: Vec<(&TermPattern, &str)> =
             vec![(&tp.subject, "T.entry"), (&tp.object, "T.val")];
         if let Some(pv) = pred_var {
-            if let Some(bcol) = state.bound.get(pv) {
-                wheres.push(format!("T.pred = P.{bcol}"));
+            if state.bound.contains_key(pv) {
+                let cond = state.join_bound(pv, "T.pred", &mut select);
+                wheres.push(cond);
             } else {
                 let out = state.col(pv);
                 select.push(format!("T.pred AS {out}"));
                 new_bound.insert(pv.to_string(), out);
+                // The same variable may reappear in subject/object position
+                // (`?s ?p ?p`): record it so those join on T.pred instead of
+                // re-projecting the alias (ambiguous column).
+                local.insert(pv.to_string(), "T.pred".to_string());
             }
         }
         for (tpat, col) in positions {
@@ -285,8 +291,9 @@ impl VerticalGen<'_> {
                 TermPattern::Var(v) => {
                     if let Some(expr) = local.get(v) {
                         wheres.push(format!("{col} = {expr}"));
-                    } else if let Some(bcol) = state.bound.get(v) {
-                        wheres.push(format!("{col} = P.{bcol}"));
+                    } else if state.bound.contains_key(v) {
+                        let cond = state.join_bound(v, col, &mut select);
+                        wheres.push(cond);
                         local.insert(v.clone(), col.to_string());
                     } else {
                         let out = state.col(v);

@@ -21,6 +21,13 @@ impl StoreError {
                 | StoreError::Sql(relstore::Error::Timeout)
         )
     }
+
+    /// True when a mutation was refused because the durability layer
+    /// degraded to read-only after an I/O failure. The server maps this to
+    /// `503 Service Unavailable` with a `Retry-After` header.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, StoreError::Sql(relstore::Error::ReadOnly))
+    }
 }
 
 impl fmt::Display for StoreError {

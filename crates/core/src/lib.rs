@@ -31,6 +31,7 @@ pub mod layout;
 pub mod loader;
 pub mod naive;
 pub mod optimizer;
+pub mod oracle;
 pub mod persist;
 pub mod plancache;
 pub mod results;

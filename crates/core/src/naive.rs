@@ -241,7 +241,10 @@ fn eval_expr(e: &Expression, b: &Binding) -> Option<Val> {
                 _ => return None,
             }
         }
-        Expression::Not(x) => Val::Bool(!truthy(eval_expr(x, b))),
+        // An evaluation error in the operand propagates through `!` (W3C
+        // EBV semantics): `!REGEX(STR(?unbound), ..)` is an error, not true,
+        // so the FILTER rejects — matching the SQL translation.
+        Expression::Not(x) => Val::Bool(!truthy(Some(eval_expr(x, b)?))),
         Expression::Bound(v) => Val::Bool(b.contains_key(v)),
         Expression::Compare { op, left, right } => {
             let l = eval_expr(left, b)?;

@@ -1,0 +1,638 @@
+//! The differential correctness oracle (DESIGN.md §4.10).
+//!
+//! Every store refactor in this workspace rides on one claim: the three
+//! schema layouts, the plan cache, the parallel executor and the durability
+//! layer are all *transparent* — none of them may change a query's answer.
+//! This module turns that claim into a checkable function. [`check_case`]
+//! evaluates one (dataset, query) pair against the [`crate::naive`]
+//! reference evaluator and cross-checks the real engine over every layout ×
+//! plan-cache on/off × thread widths {1, 4}, reporting the first violated
+//! invariant:
+//!
+//! - **reference-equivalence** — the engine's solution multiset equals the
+//!   naive evaluator's (canonically encoded, order-insensitive);
+//! - **layout-agreement** — Entity, TripleStore and Vertical layouts agree;
+//! - **cache-transparency** — a warm plan-cache hit and a cache-disabled run
+//!   are byte-identical to the cold run on the same store;
+//! - **thread-invariance** — 1-thread and 4-thread executions are
+//!   byte-identical on the same store.
+//!
+//! Queries with LIMIT/OFFSET have no total order over candidate rows unless
+//! ORDER BY pins one, so *which* window survives is implementation-defined.
+//! For those the oracle checks the window rule instead: the result must be
+//! a multiset subset of the naive evaluator's un-windowed rows with exactly
+//! `clamp(total − offset, 0, limit)` rows. (Cross-path row equality is
+//! deliberately not asserted there — it would be unsound.)
+//!
+//! [`shrink`] greedily minimizes a diverging case (drop triples ddmin-style,
+//! then prune the query AST via `sparql::to_sparql` round-trips) and
+//! [`write_case`]/[`read_case`] persist repros in `tests/corpus/`, which the
+//! `fuzz_regressions` tier-1 test replays forever after.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use rdf::{parse_ntriples, Triple};
+use sparql::{parse_sparql, to_sparql, GroupPattern, Pattern, Query};
+
+use crate::naive;
+use crate::results::Solutions;
+use crate::store::{Layout, RdfStore, StoreConfig};
+
+/// All layouts the oracle cross-checks.
+pub const LAYOUTS: [Layout; 3] = [Layout::Entity, Layout::TripleStore, Layout::Vertical];
+
+/// The thread widths the oracle cross-checks on every store.
+pub const THREAD_WIDTHS: [usize; 2] = [1, 4];
+
+/// One violated oracle invariant, with enough context to reproduce.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which invariant broke: `parse`, `load`, `evaluation`,
+    /// `reference-equivalence`, `layout-agreement`, `cache-transparency`,
+    /// `thread-invariance` or `recover-or-degrade`.
+    pub invariant: &'static str,
+    pub detail: String,
+}
+
+impl Divergence {
+    fn new(invariant: &'static str, detail: impl Into<String>) -> Divergence {
+        Divergence { invariant, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Check every oracle invariant for one (dataset, query) pair.
+pub fn check_case(triples: &[Triple], query: &str) -> Result<(), Divergence> {
+    let parsed = match parse_sparql(query) {
+        Ok(q) => q,
+        Err(e) => {
+            return Err(Divergence::new("parse", format!("reference parser rejected: {e}")))
+        }
+    };
+    let windowed = parsed.limit.is_some() || parsed.offset.is_some();
+    let reference = Reference::build(triples, &parsed);
+
+    let mut layout_canons: Vec<(Layout, Vec<Vec<String>>)> = Vec::new();
+    for layout in LAYOUTS {
+        let base = check_one_store_transparency(layout, triples, query)?;
+        check_against_reference(&format!("{layout:?}"), &base, &reference)?;
+        layout_canons.push((layout, canon(&base)));
+    }
+
+    // Layout agreement, asserted directly for a sharper message than two
+    // reference failures. Windowed queries agree on cardinality only (each
+    // layout may legitimately pick a different window).
+    let (first_layout, first) = &layout_canons[0];
+    for (layout, rows) in &layout_canons[1..] {
+        if windowed {
+            if rows.len() != first.len() {
+                return Err(Divergence::new(
+                    "layout-agreement",
+                    format!(
+                        "{layout:?} returned {} rows but {first_layout:?} returned {}",
+                        rows.len(),
+                        first.len()
+                    ),
+                ));
+            }
+        } else if rows != first {
+            return Err(Divergence::new(
+                "layout-agreement",
+                format!("{layout:?} and {first_layout:?} returned different solution multisets"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run `query` on one layout's store under all four cache × thread configs,
+/// asserting byte-identical `Solutions`; returns the baseline result.
+fn check_one_store_transparency(
+    layout: Layout,
+    triples: &[Triple],
+    query: &str,
+) -> Result<Solutions, Divergence> {
+    let mut store = RdfStore::new(StoreConfig::with_layout(layout));
+    store
+        .load(triples)
+        .map_err(|e| Divergence::new("load", format!("{layout:?}: load failed: {e}")))?;
+    store.set_threads(Some(THREAD_WIDTHS[0]));
+
+    let run = |store: &RdfStore, config: &str| {
+        store
+            .query(query)
+            .map_err(|e| Divergence::new("evaluation", format!("{layout:?} [{config}]: {e}")))
+    };
+    let byte_check = |got: &Solutions, base: &Solutions, config: &str| {
+        if got != base || got.to_json() != base.to_json() {
+            let inv = if config.contains("threads=4") {
+                "thread-invariance"
+            } else {
+                "cache-transparency"
+            };
+            return Err(Divergence::new(
+                inv,
+                format!(
+                    "{layout:?} [{config}] drifted from the cold 1-thread run: \
+                     {} vs {} rows",
+                    got.len(),
+                    base.len()
+                ),
+            ));
+        }
+        Ok(())
+    };
+
+    let base = run(&store, "threads=1 cache=cold")?;
+    let warm = run(&store, "threads=1 cache=warm")?;
+    byte_check(&warm, &base, "threads=1 cache=warm")?;
+    store.set_plan_cache(0);
+    let uncached = run(&store, "threads=1 cache=off")?;
+    byte_check(&uncached, &base, "threads=1 cache=off")?;
+    store.set_threads(Some(THREAD_WIDTHS[1]));
+    let wide = run(&store, "threads=4 cache=off")?;
+    byte_check(&wide, &base, "threads=4 cache=off")?;
+    store.set_plan_cache(512);
+    let wide_cached = run(&store, "threads=4 cache=cold")?;
+    byte_check(&wide_cached, &base, "threads=4 cache=cold")?;
+    Ok(base)
+}
+
+/// The naive evaluator's verdicts for one parsed query.
+struct Reference {
+    /// Exact evaluation of the query as written.
+    exact: Solutions,
+    /// Evaluation with LIMIT/OFFSET stripped (equals `exact` when the query
+    /// has no window).
+    full_rows: HashMap<Vec<String>, usize>,
+    full_len: usize,
+    limit: Option<usize>,
+    offset: usize,
+    windowed: bool,
+}
+
+impl Reference {
+    fn build(triples: &[Triple], parsed: &Query) -> Reference {
+        let windowed = parsed.limit.is_some() || parsed.offset.is_some();
+        let exact = naive::evaluate(triples, parsed);
+        let full = if windowed {
+            let mut unwindowed = parsed.clone();
+            unwindowed.limit = None;
+            unwindowed.offset = None;
+            naive::evaluate(triples, &unwindowed)
+        } else {
+            exact.clone()
+        };
+        let full_len = full.len();
+        let mut full_rows = HashMap::new();
+        for row in canon(&full) {
+            *full_rows.entry(row).or_insert(0) += 1;
+        }
+        Reference {
+            exact,
+            full_rows,
+            full_len,
+            limit: parsed.limit.map(|l| l as usize),
+            offset: parsed.offset.unwrap_or(0) as usize,
+            windowed,
+        }
+    }
+
+    fn expected_window_len(&self) -> usize {
+        let after_offset = self.full_len.saturating_sub(self.offset);
+        match self.limit {
+            Some(l) => after_offset.min(l),
+            None => after_offset,
+        }
+    }
+}
+
+fn check_against_reference(
+    path: &str,
+    got: &Solutions,
+    reference: &Reference,
+) -> Result<(), Divergence> {
+    let fail = |detail: String| Err(Divergence::new("reference-equivalence", detail));
+
+    if let Some(expect) = reference.exact.boolean {
+        return match got.boolean {
+            Some(b) if b == expect => Ok(()),
+            other => fail(format!("{path}: ASK returned {other:?}, reference says {expect}")),
+        };
+    }
+    if got.boolean.is_some() {
+        return fail(format!("{path}: SELECT produced a boolean result"));
+    }
+    if got.vars != reference.exact.vars {
+        return fail(format!(
+            "{path}: projected {:?}, reference projects {:?}",
+            got.vars, reference.exact.vars
+        ));
+    }
+
+    if reference.windowed {
+        // Window rule: exact cardinality, and every returned row must exist
+        // (with multiplicity) in the un-windowed reference multiset.
+        let expected = reference.expected_window_len();
+        if got.len() != expected {
+            return fail(format!(
+                "{path}: window returned {} rows, expected clamp(total {} − offset {}, limit \
+                 {:?}) = {expected}",
+                got.len(),
+                reference.full_len,
+                reference.offset,
+                reference.limit
+            ));
+        }
+        let mut remaining = reference.full_rows.clone();
+        for row in canon(got) {
+            match remaining.get_mut(&row) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => {
+                    return fail(format!(
+                        "{path}: window contains a row absent from the reference's un-windowed \
+                         solutions: {row:?}"
+                    ))
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    let got_rows = canon(got);
+    let ref_rows = canon(&reference.exact);
+    if got_rows != ref_rows {
+        return fail(format!(
+            "{path}: {} rows vs reference {} (multisets differ)",
+            got_rows.len(),
+            ref_rows.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Re-run the reference check against an *existing* store — the chaos
+/// harness points this at a crash-recovered store with the shadow triple
+/// set it must answer for. Transparency sweeps are skipped (the store's
+/// config is whatever recovery produced); reference-equivalence is not.
+pub fn check_store_against(
+    store: &RdfStore,
+    triples: &[Triple],
+    queries: &[String],
+) -> Result<(), Divergence> {
+    for query in queries {
+        let parsed = match parse_sparql(query) {
+            Ok(q) => q,
+            Err(e) => {
+                return Err(Divergence::new("parse", format!("reference parser rejected: {e}")))
+            }
+        };
+        let reference = Reference::build(triples, &parsed);
+        let got = store.query(query).map_err(|e| {
+            Divergence::new("evaluation", format!("recovered store failed {query:?}: {e}"))
+        })?;
+        check_against_reference("recovered store", &got, &reference)?;
+    }
+    Ok(())
+}
+
+/// Canonical order-insensitive encoding of a solution multiset: every term
+/// N-Triples-encoded (empty string for unbound), rows sorted.
+pub fn canon(solutions: &Solutions) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = solutions
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter().map(|t| t.as_ref().map(|t| t.encode()).unwrap_or_default()).collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+/// Greedily minimize a diverging case with [`check_case`] as the predicate.
+pub fn shrink(triples: &[Triple], query: &str) -> (Vec<Triple>, String) {
+    shrink_with(triples, query, |t, q| check_case(t, q).is_err())
+}
+
+/// Greedily minimize `(triples, query)` while `diverges` stays true:
+/// ddmin-style chunked triple removal interleaved with one-step query-AST
+/// reductions (drop a pattern/filter/branch/modifier), until a fixpoint or
+/// the check budget runs out. The returned pair still diverges.
+pub fn shrink_with(
+    triples: &[Triple],
+    query: &str,
+    diverges: impl Fn(&[Triple], &str) -> bool,
+) -> (Vec<Triple>, String) {
+    let mut triples = triples.to_vec();
+    let mut query = query.to_string();
+    let mut budget = 500usize;
+
+    loop {
+        let mut progress = false;
+
+        // Triples: try dropping chunks, halving the chunk size as we fail.
+        let mut chunk = triples.len().max(1);
+        while chunk >= 1 && budget > 0 {
+            let mut i = 0;
+            while i < triples.len() && triples.len() > 1 && budget > 0 {
+                let end = (i + chunk).min(triples.len());
+                let mut cand = triples[..i].to_vec();
+                cand.extend_from_slice(&triples[end..]);
+                budget -= 1;
+                if !cand.is_empty() && diverges(&cand, &query) {
+                    triples = cand;
+                    progress = true;
+                } else {
+                    i = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Query: accept the first one-step AST reduction that still diverges.
+        if budget > 0 {
+            if let Ok(ast) = parse_sparql(&query) {
+                for candidate in reductions(&ast) {
+                    let text = to_sparql(&candidate);
+                    if text == query || budget == 0 {
+                        continue;
+                    }
+                    budget -= 1;
+                    if diverges(&triples, &text) {
+                        query = text;
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !progress || budget == 0 {
+            break;
+        }
+    }
+    (triples, query)
+}
+
+/// All one-step reductions of a query: strictly smaller ASTs that a shrinker
+/// may try. Order matters — the cheapest wins (drop modifiers before
+/// patterns) so minimized repros read naturally.
+fn reductions(query: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut Query)| {
+        let mut q = query.clone();
+        f(&mut q);
+        out.push(q);
+    };
+    if query.limit.is_some() {
+        push(&|q| q.limit = None);
+    }
+    if query.offset.is_some() {
+        push(&|q| q.offset = None);
+    }
+    if !query.order_by.is_empty() {
+        push(&|q| q.order_by.clear());
+    }
+    if let sparql::QueryForm::Select { distinct: true, .. } = &query.form {
+        push(&|q| {
+            if let sparql::QueryForm::Select { distinct, .. } = &mut q.form {
+                *distinct = false;
+            }
+        });
+    }
+    for pattern in reduce_group(&query.pattern) {
+        let mut q = query.clone();
+        q.pattern = pattern;
+        out.push(q);
+    }
+    out
+}
+
+fn reduce_group(group: &GroupPattern) -> Vec<GroupPattern> {
+    let mut out = Vec::new();
+    for i in 0..group.filters.len() {
+        let mut g = group.clone();
+        g.filters.remove(i);
+        out.push(g);
+    }
+    for i in 0..group.children.len() {
+        if group.children.len() + group.filters.len() > 1 {
+            let mut g = group.clone();
+            g.children.remove(i);
+            out.push(g);
+        }
+        for reduced in reduce_pattern(&group.children[i]) {
+            let mut g = group.clone();
+            g.children[i] = reduced;
+            out.push(g);
+        }
+    }
+    out
+}
+
+fn reduce_pattern(pattern: &Pattern) -> Vec<Pattern> {
+    match pattern {
+        Pattern::Triple(_) => Vec::new(),
+        Pattern::Group(g) => {
+            let mut out: Vec<Pattern> =
+                reduce_group(g).into_iter().map(Pattern::Group).collect();
+            if g.children.len() == 1 && g.filters.is_empty() {
+                out.push(g.children[0].clone()); // unwrap a trivial group
+            }
+            out
+        }
+        Pattern::Union(alts) => {
+            // Replacing the union with a single branch is the big win.
+            let mut out: Vec<Pattern> = alts.to_vec();
+            for (i, alt) in alts.iter().enumerate() {
+                for reduced in reduce_pattern(alt) {
+                    let mut next = alts.to_vec();
+                    next[i] = reduced;
+                    out.push(Pattern::Union(next));
+                }
+            }
+            out
+        }
+        Pattern::Optional(inner) => {
+            let mut out = vec![inner.as_ref().clone()]; // promote to required
+            for reduced in reduce_pattern(inner) {
+                out.push(Pattern::Optional(Box::new(reduced)));
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression corpus
+// ---------------------------------------------------------------------------
+
+const QUERY_HEADER: &str = "-- query";
+const DATA_HEADER: &str = "-- data";
+
+/// Write a (minimized) case into `dir` as `<stem>.case`: a `# `-commented
+/// preamble, the query under `-- query`, the dataset as N-Triples under
+/// `-- data`. Returns the written path.
+pub fn write_case(
+    dir: &Path,
+    stem: &str,
+    triples: &[Triple],
+    query: &str,
+    note: &str,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    out.push_str("# db2rdf fuzz regression case (replayed by tests/fuzz_regressions.rs)\n");
+    for line in note.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(QUERY_HEADER);
+    out.push('\n');
+    out.push_str(query.trim_end());
+    out.push('\n');
+    out.push_str(DATA_HEADER);
+    out.push('\n');
+    for t in triples {
+        out.push_str(&format!(
+            "{} {} {} .\n",
+            t.subject.encode(),
+            t.predicate.encode(),
+            t.object.encode()
+        ));
+    }
+    let path = dir.join(format!("{stem}.case"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Parse a `.case` file back into its (dataset, query) pair.
+pub fn read_case(path: &Path) -> Result<(Vec<Triple>, String), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut query_lines: Vec<&str> = Vec::new();
+    let mut data_lines: Vec<&str> = Vec::new();
+    let mut section = 0u8; // 0 = preamble, 1 = query, 2 = data
+    for line in text.lines() {
+        match line.trim_end() {
+            QUERY_HEADER => section = 1,
+            DATA_HEADER => section = 2,
+            _ if line.starts_with('#') && section == 0 => {}
+            _ => match section {
+                1 => query_lines.push(line),
+                2 => data_lines.push(line),
+                _ => {}
+            },
+        }
+    }
+    let query = query_lines.join("\n").trim().to_string();
+    if query.is_empty() {
+        return Err(format!("{}: missing `-- query` section", path.display()));
+    }
+    let quads = parse_ntriples(&data_lines.join("\n"))
+        .map_err(|e| format!("{}: bad N-Triples: {e}", path.display()))?;
+    Ok((quads.into_iter().map(|q| q.triple).collect(), query))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf::Term;
+
+    fn triple(s: &str, p: &str, o: Term) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), o)
+    }
+
+    fn fixture() -> Vec<Triple> {
+        vec![
+            triple("http://s/1", "http://p/0", Term::iri("http://s/2")),
+            triple("http://s/2", "http://p/0", Term::iri("http://s/3")),
+            triple("http://s/1", "http://p/1", Term::typed_lit("7", XSD_INT)),
+            triple("http://s/2", "http://p/1", Term::typed_lit("9", XSD_INT)),
+            triple("http://s/3", "http://p/2", Term::lit("val1")),
+            triple("http://s/3", "http://p/2", Term::lang_lit("val2", "en")),
+        ]
+    }
+
+    const XSD_INT: &str = "http://www.w3.org/2001/XMLSchema#integer";
+
+    #[test]
+    fn clean_cases_pass_every_invariant() {
+        let data = fixture();
+        for query in [
+            "SELECT ?s ?o WHERE { ?s <http://p/0> ?o }",
+            "SELECT ?s WHERE { ?s <http://p/1> ?n FILTER (?n > 8) }",
+            "SELECT DISTINCT ?o WHERE { ?s <http://p/2> ?o }",
+            "SELECT ?s ?v WHERE { ?s <http://p/0> ?o OPTIONAL { ?o <http://p/1> ?v } }",
+            "SELECT ?s WHERE { { ?s <http://p/0> ?a } UNION { ?s <http://p/1> ?b } }",
+            "ASK { ?s <http://p/0> ?o . ?o <http://p/0> ?o2 }",
+            "SELECT ?s ?o WHERE { ?s <http://p/0> ?o } ORDER BY ?s LIMIT 1",
+            "SELECT ?s WHERE { ?s ?p ?o } LIMIT 3 OFFSET 1",
+            "ASK {}",
+        ] {
+            check_case(&data, query).unwrap_or_else(|d| panic!("{query}: {d}"));
+        }
+    }
+
+    #[test]
+    fn window_rule_catches_wrong_cardinality() {
+        // A malformed "engine" result is simulated by checking a query whose
+        // window the reference can count: 6 triples, LIMIT 2 OFFSET 5 → 1.
+        let data = fixture();
+        let parsed = parse_sparql("SELECT ?s WHERE { ?s ?p ?o } LIMIT 2 OFFSET 5").unwrap();
+        let reference = Reference::build(&data, &parsed);
+        assert_eq!(reference.expected_window_len(), 1);
+        assert_eq!(reference.full_len, 6);
+    }
+
+    #[test]
+    fn shrink_minimizes_against_a_synthetic_predicate() {
+        // Pretend the bug needs the <http://bad> triple plus a FILTER
+        // anywhere in the query; shrink must keep exactly those.
+        let mut data = fixture();
+        data.push(triple("http://bad", "http://p/0", Term::iri("http://s/1")));
+        let query = "SELECT DISTINCT ?s ?o WHERE { ?s <http://p/0> ?o . ?o <http://p/1> ?n \
+                     FILTER (?n > 8) } ORDER BY ?s LIMIT 7";
+        let diverges = |t: &[Triple], q: &str| {
+            t.iter().any(|t| t.subject.encode().contains("bad")) && q.contains("FILTER")
+        };
+        assert!(diverges(&data, query), "fixture sanity");
+        let (min_data, min_query) = shrink_with(&data, query, diverges);
+        assert_eq!(min_data.len(), 1, "{min_data:?}");
+        assert!(min_data[0].subject.encode().contains("bad"));
+        assert!(min_query.contains("FILTER"));
+        assert!(!min_query.contains("LIMIT"), "{min_query}");
+        assert!(!min_query.contains("ORDER"), "{min_query}");
+        assert!(!min_query.contains("DISTINCT"), "{min_query}");
+        // The minimized query still parses — it must, to be a usable repro.
+        parse_sparql(&min_query).unwrap();
+    }
+
+    #[test]
+    fn corpus_round_trips() {
+        let dir = std::env::temp_dir().join(format!("db2rdf-oracle-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = fixture();
+        let query = "SELECT ?s\nWHERE { ?s <http://p/0> ?o }";
+        let path = write_case(&dir, "t0", &data, query, "seed 42\ninvariant: demo").unwrap();
+        let (got_data, got_query) = read_case(&path).unwrap();
+        assert_eq!(got_data, data);
+        assert_eq!(got_query, query);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -73,6 +73,13 @@ impl SharedStore {
         self.read().plan_cache_stats()
     }
 
+    /// True when a durable store has degraded to read-only after an I/O
+    /// failure (see `RdfStore::is_read_only`). The server surfaces this in
+    /// `/healthz` and `/stats` and answers mutations with 503 + Retry-After.
+    pub fn is_read_only(&self) -> bool {
+        self.read().is_read_only()
+    }
+
     /// The store's current mutation epoch (see `RdfStore::epoch`).
     pub fn epoch(&self) -> u64 {
         self.read().epoch()

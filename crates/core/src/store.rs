@@ -142,7 +142,18 @@ impl RdfStore {
     /// immediately after reopen. The configured layout must match the one
     /// the directory was created with.
     pub fn open(dir: impl AsRef<std::path::Path>, cfg: StoreConfig) -> Result<RdfStore> {
-        let db = Database::open(dir.as_ref())?;
+        Self::open_with_faults(dir, cfg, relstore::no_faults())
+    }
+
+    /// [`RdfStore::open`] with a fault injector over the durable file layer —
+    /// the entry point of the crash-point fuzzing harness. Every WAL/snapshot
+    /// read and write of this store's lifetime flows through `faults`.
+    pub fn open_with_faults(
+        dir: impl AsRef<std::path::Path>,
+        cfg: StoreConfig,
+        faults: relstore::FaultHandle,
+    ) -> Result<RdfStore> {
+        let db = Database::open_with_faults(dir.as_ref(), faults)?;
         let mut store = RdfStore::with_database(db, cfg);
         store.restore_meta()?;
         Ok(store)
@@ -687,6 +698,13 @@ impl RdfStore {
     /// write failure: queries keep working, mutations are refused.
     pub fn is_read_only(&self) -> bool {
         self.db.is_read_only()
+    }
+
+    /// Bytes durably committed in the live WAL, if durable and writable.
+    /// The crash-point fuzzer snapshots this after each acknowledged
+    /// mutation to learn the exact frame boundaries truncation must respect.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.db.wal_len()
     }
 
     /// Adjust the executor worker-pool width (see [`StoreConfig::threads`]).

@@ -70,8 +70,9 @@ impl StarGen for EntityGen<'_> {
             }
             TermPattern::Var(v) => {
                 local.insert(v.clone(), "T.entry".to_string());
-                if let Some(col) = state.bound.get(v) {
-                    wheres.push(format!("T.entry = P.{col}"));
+                if state.bound.contains_key(v) {
+                    let cond = state.join_bound(v, "T.entry", &mut select);
+                    wheres.push(cond);
                 } else {
                     let col = state.col(v);
                     select.push(format!("T.entry AS {col}"));
@@ -187,9 +188,10 @@ impl StarGen for EntityGen<'_> {
                                         if required {
                                             wheres.push(format!("{val} = {expr}"));
                                         }
-                                    } else if let Some(col) = state.bound.get(v).cloned() {
+                                    } else if state.bound.contains_key(v) {
                                         if required {
-                                            wheres.push(format!("{val} = P.{col}"));
+                                            let cond = state.join_bound(v, &val, &mut select);
+                                            wheres.push(cond);
                                         }
                                         // Optional triple on an already-bound
                                         // variable binds nothing new: no-op.
@@ -218,8 +220,9 @@ impl StarGen for EntityGen<'_> {
                         .collect::<Vec<_>>()
                         .join(", ");
                     from.push(format!("UNNEST ({pairs}) AS L(p, v)"));
-                    if let Some(col) = state.bound.get(pv) {
-                        wheres.push(format!("L.p = P.{col}"));
+                    if state.bound.contains_key(pv) {
+                        let cond = state.join_bound(pv, "L.p", &mut select);
+                        wheres.push(cond);
                     } else {
                         let col = state.col(pv);
                         select.push(format!("L.p AS {col}"));
@@ -241,8 +244,9 @@ impl StarGen for EntityGen<'_> {
                         TermPattern::Var(v) => {
                             if let Some(expr) = local.get(v).cloned() {
                                 wheres.push(format!("{val} = {expr}"));
-                            } else if let Some(col) = state.bound.get(v) {
-                                wheres.push(format!("{val} = P.{col}"));
+                            } else if state.bound.contains_key(v) {
+                                let cond = state.join_bound(v, &val, &mut select);
+                                wheres.push(cond);
                             } else {
                                 let col = state.col(v);
                                 select.push(format!("{val} AS {col}"));
@@ -292,8 +296,18 @@ impl StarGen for EntityGen<'_> {
             if let Some(v) = &or_shared_var {
                 if let Some(col) = state.bound.get(v).cloned() {
                     // Variable already bound upstream: each satisfied
-                    // branch must agree with it.
-                    where_flip = format!(" WHERE L.x = {col}");
+                    // branch must agree with it — null-compatibly if the
+                    // upstream column may be SPARQL-unbound.
+                    if state.maybe_null.remove(v) {
+                        for c in cols.iter_mut() {
+                            if *c == format!("{col} AS {col}") {
+                                *c = format!("COALESCE({col}, L.x) AS {col}");
+                            }
+                        }
+                        where_flip = format!(" WHERE {col} IS NULL OR L.x = {col}");
+                    } else {
+                        where_flip = format!(" WHERE L.x = {col}");
+                    }
                 } else {
                     let col = state.col(v);
                     cols.push(format!("L.x AS {col}"));

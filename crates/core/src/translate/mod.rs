@@ -27,6 +27,11 @@ pub struct GenState {
     pub bound: BTreeMap<String, String>,
     /// Name of the current chain-head CTE.
     pub last: Option<String>,
+    /// Bound variables whose column may still be SQL NULL (SPARQL-unbound):
+    /// bound in only some UNION branches, or introduced by an OPTIONAL.
+    /// Joins against them must be null-compatible (an unbound variable is
+    /// compatible with any value) — see [`GenState::join_bound`].
+    pub maybe_null: HashSet<String>,
     colnames: BTreeMap<String, String>,
     used_cols: HashSet<String>,
 }
@@ -44,6 +49,7 @@ impl GenState {
             ctes: Vec::new(),
             bound: BTreeMap::new(),
             last: None,
+            maybe_null: HashSet::new(),
             colnames: BTreeMap::new(),
             used_cols: HashSet::new(),
         }
@@ -84,6 +90,27 @@ impl GenState {
     pub fn prior_projection(&self, prior_alias: &str) -> Vec<String> {
         self.bound.values().map(|c| format!("{prior_alias}.{c} AS {c}")).collect()
     }
+
+    /// Join condition tying `expr` — a non-NULL access expression in the new
+    /// CTE — to bound variable `v`'s prior column (aliased `P`). A definite
+    /// column gives plain equality. A maybe-NULL column gives a
+    /// null-compatible join (SPARQL: an unbound variable joins anything) and
+    /// re-anchors the variable's projection in `select` to `COALESCE`, so it
+    /// is definitely bound from this CTE on.
+    pub fn join_bound(&mut self, v: &str, expr: &str, select: &mut [String]) -> String {
+        let col = self.bound[v].clone();
+        if self.maybe_null.remove(v) {
+            let plain = format!("P.{col} AS {col}");
+            for s in select.iter_mut() {
+                if *s == plain {
+                    *s = format!("COALESCE(P.{col}, {expr}) AS {col}");
+                }
+            }
+            format!("(P.{col} IS NULL OR {expr} = P.{col})")
+        } else {
+            format!("{expr} = P.{col}")
+        }
+    }
 }
 
 /// A layout backend: generates the CTE(s) for one star access.
@@ -99,9 +126,14 @@ pub fn gen_pattern(backend: &dyn StarGen, node: &ExecNode, state: &mut GenState)
             let mut pending: Vec<&Expression> = filters.iter().collect();
             for child in children {
                 gen_pattern(backend, child, state)?;
-                // Late filter application: as soon as all variables bind.
+                // Late filter application: as soon as all variables bind
+                // *definitely*. A maybe-NULL variable may still be re-bound
+                // by a later null-compatible join, so filtering on it now
+                // would evaluate against the wrong (unbound) value.
                 pending.retain(|f| {
-                    let ready = f.variables().iter().all(|v| state.bound.contains_key(*v));
+                    let ready = f.variables().iter().all(|v| {
+                        state.bound.contains_key(*v) && !state.maybe_null.contains(*v)
+                    });
                     if ready {
                         apply_filter(f, state);
                     }
@@ -132,20 +164,22 @@ fn apply_filter(f: &Expression, state: &mut GenState) {
 fn gen_union(backend: &dyn StarGen, branches: &[ExecNode], state: &mut GenState) -> Result<()> {
     let entry_last = state.last.clone();
     let entry_bound = state.bound.clone();
-    let mut branch_results: Vec<(String, BTreeMap<String, String>)> = Vec::new();
+    let entry_maybe = state.maybe_null.clone();
+    let mut branch_results: Vec<(String, BTreeMap<String, String>, HashSet<String>)> = Vec::new();
     for branch in branches {
         state.last = entry_last.clone();
         state.bound = entry_bound.clone();
+        state.maybe_null = entry_maybe.clone();
         gen_pattern(backend, branch, state)?;
         let last = state
             .last
             .clone()
             .ok_or_else(|| StoreError::Unsupported("empty UNION branch".into()))?;
-        branch_results.push((last, state.bound.clone()));
+        branch_results.push((last, state.bound.clone(), state.maybe_null.clone()));
     }
     // Harmonized projection: the union of all branch variables.
     let mut all_vars: Vec<String> = Vec::new();
-    for (_, bound) in &branch_results {
+    for (_, bound, _) in &branch_results {
         for v in bound.keys() {
             if !all_vars.contains(v) {
                 all_vars.push(v.clone());
@@ -153,8 +187,8 @@ fn gen_union(backend: &dyn StarGen, branches: &[ExecNode], state: &mut GenState)
         }
     }
     let mut selects = Vec::new();
-    for (last, bound) in &branch_results {
-        let cols: Vec<String> = all_vars
+    for (last, bound, _) in &branch_results {
+        let mut cols: Vec<String> = all_vars
             .iter()
             .map(|v| {
                 let out = state.col(v);
@@ -164,11 +198,23 @@ fn gen_union(backend: &dyn StarGen, branches: &[ExecNode], state: &mut GenState)
                 }
             })
             .collect();
+        if cols.is_empty() {
+            // All-constant branches bind nothing; keep the row multiset.
+            cols.push("1 AS one".to_string());
+        }
         selects.push(format!("SELECT {} FROM {last}", cols.join(", ")));
     }
     let name = state.fresh();
     let body = selects.join(" UNION ALL ");
     state.bound = all_vars.iter().map(|v| (v.clone(), state.colnames[v].clone())).collect();
+    // A variable missing from (or already maybe-NULL in) any branch may be
+    // NULL in the union's output: later joins must stay null-compatible.
+    state.maybe_null = entry_maybe;
+    for v in &all_vars {
+        if branch_results.iter().any(|(_, b, m)| !b.contains_key(v) || m.contains(v)) {
+            state.maybe_null.insert(v.clone());
+        }
+    }
     state.push_cte(name, body);
     Ok(())
 }
@@ -176,13 +222,16 @@ fn gen_union(backend: &dyn StarGen, branches: &[ExecNode], state: &mut GenState)
 fn gen_optional(backend: &dyn StarGen, inner: &ExecNode, state: &mut GenState) -> Result<()> {
     let entry_last = state.last.clone();
     let entry_bound = state.bound.clone();
+    let entry_maybe = state.maybe_null.clone();
     // The optional side is evaluated uncorrelated (see DESIGN.md): its head
     // access degrades to a scan when its entity is unbound.
     state.last = None;
     state.bound = BTreeMap::new();
+    state.maybe_null = HashSet::new();
     gen_pattern(backend, inner, state)?;
     let opt_last = state.last.clone();
     let opt_bound = state.bound.clone();
+    let opt_maybe = std::mem::replace(&mut state.maybe_null, entry_maybe);
     state.last = entry_last.clone();
     state.bound = entry_bound.clone();
 
@@ -190,11 +239,27 @@ fn gen_optional(backend: &dyn StarGen, inner: &ExecNode, state: &mut GenState) -
         return Ok(()); // empty OPTIONAL: no-op
     };
     let Some(main) = entry_last else {
-        // OPTIONAL at the start of a query: treated as a plain pattern
-        // producing possibly-unbound columns — approximated by the pattern
-        // itself (documented limitation).
-        state.last = Some(opt_last);
+        // OPTIONAL at the start of a group: left-join the optional side
+        // against the unit relation (one empty row, via FROM-less SELECT),
+        // so a non-matching OPTIONAL still yields one all-unbound solution
+        // per the W3C semantics instead of eliminating the group.
+        let unit = state.fresh();
+        state.push_cte(unit.clone(), "SELECT 1 AS opt_unit".to_string());
+        let mut projection: Vec<String> =
+            opt_bound.values().map(|c| format!("O.{c} AS {c}")).collect();
+        if projection.is_empty() {
+            projection.push("P.opt_unit AS opt_unit".to_string());
+        }
+        let name = state.fresh();
+        let body = format!(
+            "SELECT {} FROM {unit} AS P LEFT OUTER JOIN {opt_last} AS O ON TRUE",
+            projection.join(", ")
+        );
+        for v in opt_bound.keys() {
+            state.maybe_null.insert(v.clone());
+        }
         state.bound = opt_bound;
+        state.push_cte(name, body);
         return Ok(());
     };
 
@@ -204,16 +269,50 @@ fn gen_optional(backend: &dyn StarGen, inner: &ExecNode, state: &mut GenState) -
     } else {
         shared
             .iter()
-            .map(|v| format!("P.{} = O.{}", entry_bound[*v], opt_bound[*v]))
+            .map(|v| {
+                let pc = &entry_bound[*v];
+                let oc = &opt_bound[*v];
+                // A maybe-NULL side means the variable can be SPARQL-unbound
+                // there, which is compatible with anything (W3C LeftJoin).
+                let mut alts = Vec::new();
+                if state.maybe_null.contains(*v) {
+                    alts.push(format!("P.{pc} IS NULL"));
+                }
+                if opt_maybe.contains(*v) {
+                    alts.push(format!("O.{oc} IS NULL"));
+                }
+                alts.push(format!("P.{pc} = O.{oc}"));
+                if alts.len() == 1 {
+                    alts.pop().unwrap()
+                } else {
+                    format!("({})", alts.join(" OR "))
+                }
+            })
             .collect::<Vec<_>>()
             .join(" AND ")
     };
     let mut projection = state.prior_projection("P");
+    // Re-anchor maybe-NULL shared variables: when the prior column is
+    // unbound and the optional matched, the optional supplies the value.
+    for v in &shared {
+        if state.maybe_null.contains(*v) {
+            let pc = &entry_bound[*v];
+            let oc = &opt_bound[*v];
+            let plain = format!("P.{pc} AS {pc}");
+            for s in projection.iter_mut() {
+                if *s == plain {
+                    *s = format!("COALESCE(P.{pc}, O.{oc}) AS {pc}");
+                }
+            }
+        }
+    }
     let mut new_bound = entry_bound.clone();
     for (v, c) in &opt_bound {
         if !entry_bound.contains_key(v) {
             projection.push(format!("O.{c} AS {c}"));
             new_bound.insert(v.clone(), c.clone());
+            // A non-matching OPTIONAL leaves the variable NULL.
+            state.maybe_null.insert(v.clone());
         }
     }
     let name = state.fresh();

@@ -15,6 +15,7 @@ pub mod dbpedia;
 pub mod lubm;
 pub mod micro;
 pub mod prbench;
+pub mod queryfuzz;
 pub mod rng;
 pub mod sp2b;
 

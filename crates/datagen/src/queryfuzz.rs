@@ -1,0 +1,327 @@
+//! Seeded grammar-based SPARQL fuzzing cases for the differential oracle.
+//!
+//! `gen_case(seed)` deterministically produces a small dataset plus one
+//! query drawn from the grammar the workspace's `sparql` parser actually
+//! accepts: connected BGPs (pivot-variable chaining, so no accidental cross
+//! products), constant and variable predicates, repeated variables,
+//! OPTIONAL blocks, UNION branches with shared variables, group-scoped
+//! FILTERs over the full builtin surface (comparisons, arithmetic, BOUND,
+//! REGEX, STR/LANG, isIRI/isLITERAL, &&/||/!), DISTINCT, ORDER BY and
+//! LIMIT/OFFSET windows. The parser has no aggregate syntax yet (aggregates
+//! exist only at the SQL layer), so the generator covers the entire
+//! *currently supported* SPARQL surface and nothing outside it.
+//!
+//! The vocabulary is a small closed world — 9 subjects, 6 predicates,
+//! string/lang/integer literals — plus a few deliberately out-of-vocabulary
+//! terms, so generated queries land on non-empty and empty results alike.
+//! Everything is a pure function of the seed: the same `u64` yields the
+//! same (dataset, query) pair on every run, which is what lets
+//! `scripts/verify.sh --fuzz` pin its corpus in CI.
+
+use rdf::{Term, Triple};
+
+use crate::rng::SplitMix64;
+
+/// One generated differential-oracle case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    pub seed: u64,
+    pub triples: Vec<Triple>,
+    pub query: String,
+}
+
+const SUBJECTS: u64 = 9;
+const PREDICATES: u64 = 6;
+const STR_VALS: u64 = 5;
+const INT_VALS: i64 = 16;
+
+/// Deterministically generate dataset + query for `seed`.
+pub fn gen_case(seed: u64) -> FuzzCase {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xF022_AB1E_0DD5_EED5);
+    let triples = gen_dataset(&mut rng);
+    let query = gen_query(&mut rng);
+    FuzzCase { seed, triples, query }
+}
+
+/// 1–40 triples over the closed vocabulary. Objects mix IRIs (for chained
+/// joins), typed integers (for numeric filters), plain literals and
+/// language-tagged literals (for STR/LANG/REGEX filters).
+pub fn gen_dataset(rng: &mut SplitMix64) -> Vec<Triple> {
+    let n = rng.gen_range(1..41usize);
+    (0..n)
+        .map(|_| {
+            let s = Term::iri(format!("http://s/{}", rng.gen_range(0..SUBJECTS)));
+            let p = Term::iri(format!("http://p/{}", rng.gen_range(0..PREDICATES)));
+            let o = match rng.gen_range(0..10u32) {
+                0..=2 => Term::iri(format!("http://s/{}", rng.gen_range(0..SUBJECTS))),
+                3..=5 => Term::typed_lit(
+                    rng.gen_range(0..INT_VALS).to_string(),
+                    "http://www.w3.org/2001/XMLSchema#integer",
+                ),
+                6..=7 => Term::lit(format!("val{}", rng.gen_range(0..STR_VALS))),
+                8 => Term::lang_lit(format!("val{}", rng.gen_range(0..STR_VALS)), "en"),
+                _ => Term::lang_lit(format!("val{}", rng.gen_range(0..STR_VALS)), "fr"),
+            };
+            Triple::new(s, p, o)
+        })
+        .collect()
+}
+
+/// Generate one query over the same vocabulary `gen_dataset` draws from.
+pub fn gen_query(rng: &mut SplitMix64) -> String {
+    let mut vars: Vec<String> = Vec::new(); // bound by required patterns
+    let mut opt_vars: Vec<String> = Vec::new(); // bound only inside OPTIONAL
+    let mut counter = 0usize;
+
+    let mut body = if rng.gen_ratio(1, 40) {
+        String::new() // the empty-group edge the protocol once mishandled
+    } else if rng.gen_ratio(1, 4) {
+        // UNION: two branches that share the starting pivot ?v0, so the
+        // branches join on a common variable when projected together.
+        let left = gen_bgp(rng, &mut vars, &mut counter, 2);
+        counter = 1; // reset so the right branch also starts from ?v0
+        let right = gen_bgp(rng, &mut vars, &mut counter, 2);
+        vars.sort();
+        vars.dedup();
+        format!("{{ {left}}} UNION {{ {right}}} ")
+    } else {
+        gen_bgp(rng, &mut vars, &mut counter, 4)
+    };
+
+    if !vars.is_empty() && rng.gen_ratio(1, 3) {
+        body.push_str(&gen_optional(rng, &vars, &mut opt_vars, &mut counter));
+    }
+    if !(vars.is_empty() && opt_vars.is_empty()) && rng.gen_ratio(2, 5) {
+        let expr = gen_filter(rng, &vars, &opt_vars);
+        body.push_str(&format!("FILTER ({expr}) "));
+    }
+
+    let mut all_vars: Vec<String> = vars.iter().chain(opt_vars.iter()).cloned().collect();
+    all_vars.sort();
+    all_vars.dedup();
+
+    let mut query = if rng.gen_ratio(1, 5) {
+        format!("ASK {{ {body}}}")
+    } else {
+        let distinct = if rng.gen_ratio(1, 3) { "DISTINCT " } else { "" };
+        let projection = if all_vars.is_empty() || rng.gen_ratio(1, 2) {
+            "*".to_string()
+        } else {
+            let keep = rng.gen_range(1..all_vars.len() + 1usize);
+            all_vars.iter().take(keep).map(|v| format!("?{v}")).collect::<Vec<_>>().join(" ")
+        };
+        format!("SELECT {distinct}{projection} WHERE {{ {body}}}")
+    };
+
+    if query.starts_with("SELECT") && !all_vars.is_empty() && rng.gen_ratio(1, 5) {
+        let key = &all_vars[rng.gen_range(0..all_vars.len())];
+        let dir = ["?", "ASC(?", "DESC(?"][rng.gen_range(0..3usize)];
+        let close = if dir == "?" { "" } else { ")" };
+        query.push_str(&format!(" ORDER BY {dir}{key}{close}"));
+    }
+    if rng.gen_ratio(1, 4) {
+        query.push_str(&format!(" LIMIT {}", rng.gen_range(1..21u32)));
+        if rng.gen_ratio(1, 2) {
+            query.push_str(&format!(" OFFSET {}", rng.gen_range(0..11u32)));
+        }
+    }
+    query
+}
+
+/// A connected BGP of 1..=`max_patterns` triple patterns: each pattern
+/// either chains off the current pivot variable (object becomes the new
+/// pivot) or stars on it (constant object). Registers every variable it
+/// binds into `vars`.
+fn gen_bgp(
+    rng: &mut SplitMix64,
+    vars: &mut Vec<String>,
+    counter: &mut usize,
+    max_patterns: usize,
+) -> String {
+    let n = rng.gen_range(1..max_patterns + 1);
+    let mut out = String::new();
+    let pivot_name = format!("v{}", *counter);
+    *counter += 1;
+    push_unique(vars, &pivot_name);
+    let mut pivot = pivot_name;
+    for t in 0..n {
+        // Subject: the pivot, or (first pattern only) sometimes a constant.
+        let subject = if t == 0 && rng.gen_ratio(1, 6) {
+            gen_subject_const(rng)
+        } else {
+            format!("?{pivot}")
+        };
+        // Predicate: mostly constant, occasionally a variable (drives the
+        // entity layout's RPH/RS union paths) or out-of-vocabulary.
+        let predicate = if rng.gen_ratio(1, 10) {
+            let v = format!("p{}", *counter);
+            *counter += 1;
+            push_unique(vars, &v);
+            format!("?{v}")
+        } else if rng.gen_ratio(1, 12) {
+            "<http://p/99>".to_string()
+        } else {
+            format!("<http://p/{}>", rng.gen_range(0..PREDICATES))
+        };
+        // Object: fresh variable (new pivot), repeated variable, or constant.
+        let object = if rng.gen_ratio(1, 2) {
+            let v = format!("v{}", *counter);
+            *counter += 1;
+            push_unique(vars, &v);
+            pivot = v.clone();
+            format!("?{v}")
+        } else if !vars.is_empty() && rng.gen_ratio(1, 6) {
+            format!("?{}", vars[rng.gen_range(0..vars.len())])
+        } else {
+            gen_object_const(rng)
+        };
+        out.push_str(&format!("{subject} {predicate} {object} . "));
+    }
+    out
+}
+
+fn gen_optional(
+    rng: &mut SplitMix64,
+    vars: &[String],
+    opt_vars: &mut Vec<String>,
+    counter: &mut usize,
+) -> String {
+    let anchor = &vars[rng.gen_range(0..vars.len())];
+    let w = format!("w{}", *counter);
+    *counter += 1;
+    push_unique(opt_vars, &w);
+    let p = format!("<http://p/{}>", rng.gen_range(0..PREDICATES));
+    if rng.gen_ratio(1, 3) {
+        // Two-pattern OPTIONAL chained through the optional variable.
+        let w2 = format!("w{}", *counter);
+        *counter += 1;
+        push_unique(opt_vars, &w2);
+        let p2 = format!("<http://p/{}>", rng.gen_range(0..PREDICATES));
+        format!("OPTIONAL {{ ?{anchor} {p} ?{w} . ?{w} {p2} ?{w2} }} ")
+    } else {
+        format!("OPTIONAL {{ ?{anchor} {p} ?{w} }} ")
+    }
+}
+
+fn gen_subject_const(rng: &mut SplitMix64) -> String {
+    if rng.gen_ratio(1, 8) {
+        "<http://s/99>".to_string() // out of vocabulary: empty scan
+    } else {
+        format!("<http://s/{}>", rng.gen_range(0..SUBJECTS))
+    }
+}
+
+fn gen_object_const(rng: &mut SplitMix64) -> String {
+    match rng.gen_range(0..8u32) {
+        0..=2 => format!("<http://s/{}>", rng.gen_range(0..SUBJECTS)),
+        3..=4 => format!("{}", rng.gen_range(0..INT_VALS)),
+        5 => format!("\"val{}\"", rng.gen_range(0..STR_VALS)),
+        6 => format!("\"val{}\"@en", rng.gen_range(0..STR_VALS)),
+        _ => "\"nope\"".to_string(), // out of vocabulary
+    }
+}
+
+/// A FILTER constraint over the bound variables: one or two leaf predicates
+/// combined with &&, || or !.
+fn gen_filter(rng: &mut SplitMix64, vars: &[String], opt_vars: &[String]) -> String {
+    let leaf = gen_filter_leaf(rng, vars, opt_vars);
+    if rng.gen_ratio(1, 3) {
+        let other = gen_filter_leaf(rng, vars, opt_vars);
+        let op = if rng.gen_ratio(1, 2) { "&&" } else { "||" };
+        format!("({leaf}) {op} ({other})")
+    } else if rng.gen_ratio(1, 6) {
+        format!("!({leaf})")
+    } else {
+        leaf
+    }
+}
+
+fn gen_filter_leaf(rng: &mut SplitMix64, vars: &[String], opt_vars: &[String]) -> String {
+    let pick = |rng: &mut SplitMix64, pool: &[String], fallback: &[String]| -> String {
+        let pool = if pool.is_empty() { fallback } else { pool };
+        pool[rng.gen_range(0..pool.len())].clone()
+    };
+    let v = pick(rng, vars, opt_vars);
+    match rng.gen_range(0..9u32) {
+        0 => {
+            // Numeric comparison (numeric-shaped on the constant side).
+            let op = ["<", "<=", ">", ">=", "=", "!="][rng.gen_range(0..6usize)];
+            format!("?{v} {op} {}", rng.gen_range(0..INT_VALS))
+        }
+        1 => {
+            // Arithmetic keeps the comparison numeric-shaped. Division is
+            // deliberately excluded: SQL and SPARQL disagree on x/0.
+            let op = if rng.gen_ratio(1, 2) { "+" } else { "*" };
+            format!("(?{v} {op} {}) > {}", rng.gen_range(1..4i64), rng.gen_range(0..INT_VALS))
+        }
+        2 => {
+            let eq = if rng.gen_ratio(2, 3) { "=" } else { "!=" };
+            format!("?{v} {eq} \"val{}\"", rng.gen_range(0..STR_VALS))
+        }
+        3 => {
+            let eq = if rng.gen_ratio(2, 3) { "=" } else { "!=" };
+            format!("?{v} {eq} <http://s/{}>", rng.gen_range(0..SUBJECTS))
+        }
+        4 => {
+            let w = pick(rng, vars, opt_vars);
+            let eq = if rng.gen_ratio(1, 2) { "=" } else { "!=" };
+            format!("?{v} {eq} ?{w}")
+        }
+        5 => {
+            // BOUND prefers an OPTIONAL variable, where it can be false.
+            let w = pick(rng, opt_vars, vars);
+            if rng.gen_ratio(1, 3) {
+                format!("!BOUND(?{w})")
+            } else {
+                format!("BOUND(?{w})")
+            }
+        }
+        6 => {
+            let f = if rng.gen_ratio(1, 2) { "isIRI" } else { "isLITERAL" };
+            format!("{f}(?{v})")
+        }
+        7 => {
+            let pat = ["val", "^val", "2$", "^http", "al"][rng.gen_range(0..5usize)];
+            let flags = if rng.gen_ratio(1, 3) { ", \"i\"" } else { "" };
+            format!("REGEX(STR(?{v}), \"{pat}\"{flags})")
+        }
+        _ => {
+            let lang = if rng.gen_ratio(1, 2) { "en" } else { "fr" };
+            format!("LANG(?{v}) = \"{lang}\"")
+        }
+    }
+}
+
+fn push_unique(vars: &mut Vec<String>, v: &str) {
+    if !vars.iter().any(|x| x == v) {
+        vars.push(v.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = gen_case(seed);
+            let b = gen_case(seed);
+            assert_eq!(a.triples, b.triples);
+            assert_eq!(a.query, b.query);
+        }
+        assert_ne!(gen_case(1).query, gen_case(2).query);
+    }
+
+    #[test]
+    fn generated_datasets_are_nonempty_and_in_vocabulary() {
+        for seed in 0..50u64 {
+            let case = gen_case(seed);
+            assert!(!case.triples.is_empty());
+            for t in &case.triples {
+                assert!(t.subject.encode().starts_with("<http://s/"));
+                assert!(t.predicate.encode().starts_with("<http://p/"));
+            }
+        }
+    }
+}

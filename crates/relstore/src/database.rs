@@ -116,7 +116,7 @@ impl Database {
         let snap_gens = list_generations(&dir, "snapshot")?;
         let mut base: Option<(u64, Vec<SnapshotTable>)> = None;
         for &g in &snap_gens {
-            match load_snapshot(&dir.join(format!("snapshot.{g}"))) {
+            match load_snapshot(&dir.join(format!("snapshot.{g}")), &faults) {
                 Ok(tables) => {
                     base = Some((g, tables));
                     break;
@@ -144,7 +144,7 @@ impl Database {
             db.restore_table(st)?;
         }
         let wal_path = dir.join(format!("wal.{gen}"));
-        let recovery = wal::recover(&wal_path)?;
+        let recovery = wal::recover(&wal_path, &faults)?;
         for txn in recovery.txns {
             for op in txn {
                 db.apply_op(op)
@@ -186,6 +186,19 @@ impl Database {
     /// The directory backing this database, if durable.
     pub fn path(&self) -> Option<&Path> {
         self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Bytes durably committed in the live WAL (including the magic), if the
+    /// database is durable and writable. The crash-point fuzzer records this
+    /// after every acknowledged mutation to know the exact frame boundaries
+    /// a truncated log must recover to.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.durability.as_ref().and_then(|d| d.wal.as_ref()).map(|w| w.len())
+    }
+
+    /// Current snapshot/WAL generation number, if durable.
+    pub fn generation(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.gen)
     }
 
     /// Write a full binary snapshot of the current state and rotate to a

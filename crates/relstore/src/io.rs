@@ -10,6 +10,7 @@
 use std::fs::File;
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// What the fault layer lets a single write do.
@@ -23,8 +24,22 @@ pub enum WriteOutcome {
     Fail,
 }
 
-/// Fault hooks consulted by [`FaultFile`]. Implementations must be cheap and
-/// deterministic; they are shared across the database and its files.
+/// What the fault layer lets a whole-file recovery read observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Return every byte on disk.
+    Full,
+    /// Return only the first `n` bytes — the readable prefix of a file whose
+    /// tail sits on a bad sector. Recovery must treat the result like a file
+    /// that really is that short (torn tail, CRC mismatch, …).
+    Short(usize),
+    /// Fail the read outright (unreadable file / EIO).
+    Fail,
+}
+
+/// Fault hooks consulted by [`FaultFile`] and [`read_file`]. Implementations
+/// must be cheap and deterministic; they are shared across the database and
+/// its files.
 pub trait IoFault: Send + Sync {
     /// Decide the fate of a write of `len` bytes at byte `offset`.
     fn on_write(&self, offset: u64, len: usize) -> WriteOutcome {
@@ -35,6 +50,13 @@ pub trait IoFault: Send + Sync {
     /// Decide whether an fsync succeeds. `Err` simulates a failed fsync.
     fn on_sync(&self) -> std::io::Result<()> {
         Ok(())
+    }
+
+    /// Decide the fate of a whole-file read of `len` bytes from `path`.
+    /// Consulted by recovery ([`read_file`]) for WAL and snapshot loads.
+    fn on_read(&self, path: &Path, len: usize) -> ReadOutcome {
+        let _ = (path, len);
+        ReadOutcome::Full
     }
 }
 
@@ -48,6 +70,110 @@ pub type FaultHandle = Arc<dyn IoFault>;
 
 pub fn no_faults() -> FaultHandle {
     Arc::new(NoFaults)
+}
+
+/// Read the whole file at `path` through the fault layer. A `Short` outcome
+/// returns the readable prefix (as if the file really ended there); `Fail`
+/// surfaces an I/O error. A missing file propagates `NotFound` untouched —
+/// absence is a legitimate state, not a fault.
+pub fn read_file(path: &Path, faults: &FaultHandle) -> std::io::Result<Vec<u8>> {
+    let mut bytes = std::fs::read(path)?;
+    match faults.on_read(path, bytes.len()) {
+        ReadOutcome::Full => Ok(bytes),
+        ReadOutcome::Short(n) => {
+            bytes.truncate(n);
+            Ok(bytes)
+        }
+        ReadOutcome::Fail => {
+            Err(std::io::Error::other(format!("injected read failure: {}", path.display())))
+        }
+    }
+}
+
+/// A deterministic scripted injector for crash-point fuzzing: fail or cut
+/// short the Nth write, read, or sync (0-based, counted per category across
+/// the injector's lifetime). All triggers are optional; an untriggered
+/// category behaves like [`NoFaults`]. The same handle can be threaded
+/// through a whole `Database` lifetime, so "the 7th write this process ever
+/// does" is a reproducible crash point.
+#[derive(Default)]
+pub struct ScriptedFaults {
+    writes: AtomicUsize,
+    reads: AtomicUsize,
+    write_plan: Option<(usize, WriteOutcome)>,
+    read_plan: Option<(usize, ReadOutcome)>,
+    sync_fail_at: Option<usize>,
+    syncs: AtomicUsize,
+}
+
+impl ScriptedFaults {
+    pub fn new() -> ScriptedFaults {
+        ScriptedFaults::default()
+    }
+
+    /// Fail the `n`th write outright.
+    pub fn fail_write(mut self, n: usize) -> Self {
+        self.write_plan = Some((n, WriteOutcome::Fail));
+        self
+    }
+
+    /// Cut the `n`th write short, keeping only `keep` bytes.
+    pub fn short_write(mut self, n: usize, keep: usize) -> Self {
+        self.write_plan = Some((n, WriteOutcome::Short(keep)));
+        self
+    }
+
+    /// Fail the `n`th whole-file read outright.
+    pub fn fail_read(mut self, n: usize) -> Self {
+        self.read_plan = Some((n, ReadOutcome::Fail));
+        self
+    }
+
+    /// Cut the `n`th whole-file read short, keeping only `keep` bytes.
+    pub fn short_read(mut self, n: usize, keep: usize) -> Self {
+        self.read_plan = Some((n, ReadOutcome::Short(keep)));
+        self
+    }
+
+    /// Fail the `n`th fsync.
+    pub fn fail_sync(mut self, n: usize) -> Self {
+        self.sync_fail_at = Some(n);
+        self
+    }
+
+    /// Wrap into the shared handle the database APIs take.
+    pub fn into_handle(self) -> FaultHandle {
+        Arc::new(self)
+    }
+}
+
+impl IoFault for ScriptedFaults {
+    fn on_write(&self, _offset: u64, _len: usize) -> WriteOutcome {
+        let i = self.writes.fetch_add(1, Ordering::SeqCst);
+        match self.write_plan {
+            Some((n, outcome)) if n == i => outcome,
+            _ => WriteOutcome::Full,
+        }
+    }
+
+    fn on_sync(&self) -> std::io::Result<()> {
+        let i = self.syncs.fetch_add(1, Ordering::SeqCst);
+        if self.sync_fail_at == Some(i) {
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
+        Ok(())
+    }
+
+    fn on_read(&self, path: &Path, _len: usize) -> ReadOutcome {
+        let i = self.reads.fetch_add(1, Ordering::SeqCst);
+        match self.read_plan {
+            Some((n, outcome)) if n == i => outcome,
+            _ => {
+                let _ = path;
+                ReadOutcome::Full
+            }
+        }
+    }
 }
 
 /// An append-oriented file that routes writes and fsyncs through an

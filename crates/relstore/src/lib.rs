@@ -59,7 +59,7 @@ pub use error::{Error, Result};
 pub use exec::{like_match, OutCol, PhaseTimings, Rel, RowAccess, SplitRow, MORSEL_ROWS};
 pub use hash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHasher};
 pub use pool::WorkerPool;
-pub use io::{FaultHandle, IoFault, NoFaults, WriteOutcome};
+pub use io::{no_faults, FaultHandle, IoFault, NoFaults, ReadOutcome, ScriptedFaults, WriteOutcome};
 pub use row::CompressedRow;
 pub use snapshot::{load_snapshot, write_snapshot, SnapshotTable};
 pub use sql::lexer::{quote_str, value_to_sql};

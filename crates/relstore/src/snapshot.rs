@@ -70,9 +70,11 @@ pub fn write_snapshot(tables: &[&Table], path: &Path, faults: &FaultHandle) -> R
 
 /// Load and validate a snapshot. Any structural damage — bad magic, short
 /// file, CRC mismatch, undecodable payload — is an [`Error::Corrupt`];
-/// loading never panics on arbitrary bytes.
-pub fn load_snapshot(path: &Path) -> Result<Vec<SnapshotTable>> {
-    let bytes = std::fs::read(path)?;
+/// loading never panics on arbitrary bytes. The read goes through the fault
+/// layer: a short read truncates the payload and therefore fails the CRC,
+/// so an unreadable snapshot degrades exactly like a corrupt one.
+pub fn load_snapshot(path: &Path, faults: &FaultHandle) -> Result<Vec<SnapshotTable>> {
+    let bytes = crate::io::read_file(path, faults)?;
     if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
         return Err(Error::Corrupt("snapshot shorter than header".into()));
     }
@@ -148,7 +150,7 @@ mod tests {
         let path = tmp_snap("roundtrip");
         let t = sample_table();
         write_snapshot(&[&t], &path, &no_faults()).unwrap();
-        let tables = load_snapshot(&path).unwrap();
+        let tables = load_snapshot(&path, &no_faults()).unwrap();
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].schema, t.schema);
         assert_eq!(tables[0].indexes, vec![("a".to_string(), IndexKind::Hash)]);
@@ -169,7 +171,7 @@ mod tests {
             dirty[byte] ^= 0x10;
             std::fs::write(&path, &dirty).unwrap();
             assert!(
-                load_snapshot(&path).is_err(),
+                load_snapshot(&path, &no_faults()).is_err(),
                 "bit flip at byte {byte} went undetected"
             );
         }
@@ -183,7 +185,7 @@ mod tests {
         let clean = std::fs::read(&path).unwrap();
         for cut in 0..clean.len() {
             std::fs::write(&path, &clean[..cut]).unwrap();
-            assert!(load_snapshot(&path).is_err(), "truncation at {cut} accepted");
+            assert!(load_snapshot(&path, &no_faults()).is_err(), "truncation at {cut} accepted");
         }
     }
 }

@@ -155,9 +155,11 @@ pub struct WalRecovery {
 /// Scan `path`, tolerating a torn tail: committed frames up to the first
 /// invalid byte are returned, everything after is ignored (and later
 /// truncated by [`WalWriter::open`]). Never panics on arbitrary bytes; a
-/// missing file reads as an empty log.
-pub fn recover(path: &Path) -> Result<WalRecovery> {
-    let bytes = match std::fs::read(path) {
+/// missing file reads as an empty log. The read goes through the fault
+/// layer, so a short *read* (bad sector under the tail) degrades exactly
+/// like a torn write: recovery keeps the readable committed prefix.
+pub fn recover(path: &Path, faults: &FaultHandle) -> Result<WalRecovery> {
+    let bytes = match crate::io::read_file(path, faults) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok(WalRecovery { txns: Vec::new(), valid_len: 0 })
@@ -285,7 +287,7 @@ mod tests {
         w.commit(&frame_payload(1, &op2)).unwrap();
         drop(w);
 
-        let rec = recover(&path).unwrap();
+        let rec = recover(&path, &no_faults()).unwrap();
         assert_eq!(rec.txns.len(), 2);
         assert_eq!(rec.txns[0].len(), 2);
         assert_eq!(
@@ -308,7 +310,7 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         for cut in committed_len as usize..full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
-            let rec = recover(&path).unwrap();
+            let rec = recover(&path, &no_faults()).unwrap();
             assert_eq!(rec.txns.len(), 1, "cut at {cut}");
             assert_eq!(rec.valid_len, committed_len, "cut at {cut}");
         }
@@ -317,9 +319,9 @@ mod tests {
     #[test]
     fn missing_and_headerless_files_read_empty() {
         let path = tmp_wal("missing");
-        assert_eq!(recover(&path).unwrap().txns.len(), 0);
+        assert_eq!(recover(&path, &no_faults()).unwrap().txns.len(), 0);
         std::fs::write(&path, b"garbage").unwrap();
-        let rec = recover(&path).unwrap();
+        let rec = recover(&path, &no_faults()).unwrap();
         assert_eq!(rec.txns.len(), 0);
         assert_eq!(rec.valid_len, 0);
     }

@@ -482,6 +482,90 @@ fn uncommitted_batch_is_invisible_after_crash() {
     assert_eq!(dump(&db), committed);
 }
 
+// ---------------------------------------------------------------------------
+// Injected read faults: short reads and outright failures during recovery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn short_wal_read_at_every_byte_recovers_the_readable_prefix() {
+    // A WAL whose tail sits on a bad sector reads short; recovery must treat
+    // the readable prefix exactly like a torn tail: a committed prefix state,
+    // and a writable database that resumes appending at the readable end.
+    let dir = fresh_dir("short-read-src");
+    let states = build_history(&dir, 5);
+    let wal_len = std::fs::metadata(dir.join("wal.0")).unwrap().len() as usize;
+    let wal = std::fs::read(dir.join("wal.0")).unwrap();
+
+    for cut in 0..=wal_len {
+        let work = fresh_dir(&format!("short-read-{cut}"));
+        std::fs::write(work.join("wal.0"), &wal).unwrap();
+        let faults = relstore::ScriptedFaults::new().short_read(0, cut).into_handle();
+        let db = Database::open_with_faults(&work, faults)
+            .unwrap_or_else(|e| panic!("open failed at short read {cut}: {e}"));
+        assert!(!db.is_read_only(), "short read {cut}: must stay writable");
+        assert_is_prefix_state(&dump(&db), &states, &format!("short read at {cut}"));
+    }
+}
+
+#[test]
+fn failed_wal_read_is_an_explicit_error_never_silent() {
+    let dir = fresh_dir("fail-read");
+    build_history(&dir, 4);
+    let faults = relstore::ScriptedFaults::new().fail_read(0).into_handle();
+    match Database::open_with_faults(&dir, faults) {
+        Err(Error::Io(_)) => {}
+        Err(other) => panic!("expected Io error, got {other}"),
+        Ok(_) => panic!("an unreadable WAL must not open silently"),
+    }
+}
+
+#[test]
+fn unreadable_newest_snapshot_falls_back_one_generation() {
+    // Same fallback contract as a *corrupt* newest snapshot: a failed or
+    // short read of snapshot.N recovers from snapshot.(N-1) + wal.(N-1).
+    let dir = fresh_dir("snap-read");
+    let mut db = Database::open(&dir).unwrap();
+    db.create_table(table_schema("t", &[("k", SqlType::Int)])).unwrap();
+    db.insert_rows("t", [vec![Value::Int(1)]]).unwrap();
+    db.checkpoint().unwrap(); // snapshot.1
+    db.insert_rows("t", [vec![Value::Int(2)]]).unwrap();
+    let state_at_ckpt2 = dump(&db);
+    db.checkpoint().unwrap(); // snapshot.2
+    db.insert_rows("t", [vec![Value::Int(3)]]).unwrap();
+    drop(db);
+
+    // Outright read failure of snapshot.2 (the first recovery read).
+    let faults = relstore::ScriptedFaults::new().fail_read(0).into_handle();
+    let db = Database::open_with_faults(&dir, faults).unwrap();
+    assert_eq!(dump(&db), state_at_ckpt2, "fail_read fallback");
+    drop(db);
+
+    // Short read of snapshot.2: the truncated payload fails the CRC.
+    let faults = relstore::ScriptedFaults::new().short_read(0, 10).into_handle();
+    let db = Database::open_with_faults(&dir, faults).unwrap();
+    assert_eq!(dump(&db), state_at_ckpt2, "short_read fallback");
+}
+
+#[test]
+fn database_recovered_from_short_read_grows_cleanly() {
+    let dir = fresh_dir("short-read-regrow");
+    let states = build_history(&dir, 4);
+    let wal_len = std::fs::metadata(dir.join("wal.0")).unwrap().len() as usize;
+
+    let faults = relstore::ScriptedFaults::new().short_read(0, wal_len - 3).into_handle();
+    let mut db = Database::open_with_faults(&dir, faults).unwrap();
+    assert_is_prefix_state(&dump(&db), &states, "after short read");
+    db.insert_rows("t", [vec![Value::Int(777), Value::str("post-short-read")]]).unwrap();
+    let expect = dump(&db);
+    drop(db);
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(dump(&db), expect);
+}
+
+// ---------------------------------------------------------------------------
+// Batches (continued)
+// ---------------------------------------------------------------------------
+
 #[test]
 fn nested_batches_commit_one_frame_at_outermost_level() {
     let dir = fresh_dir("batch-nest");

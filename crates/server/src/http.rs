@@ -12,19 +12,19 @@
 //! vector (RFC 7230 §3.3.3).
 //!
 //! Hard limits defend the parser itself: request heads over
-//! [`MAX_HEAD_BYTES`] are refused (431) before buffering more, and bodies
+//! [`MAX_HEAD_BYTES`] are refused (431) before buffering more, bodies
 //! are bounded by the caller-supplied cap (413) *before* the body is read,
-//! so an oversized upload costs the server one header scan, not the bytes.
+//! so an oversized upload costs the server one header scan, not the bytes,
+//! and the *total* time to receive one request (head + body) is bounded by
+//! the caller-supplied deadline (408) — a peer trickling one byte per tick
+//! (slowloris) makes steady progress yet can never hold a worker past it.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line + headers (bytes).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
-
-/// Consecutive read timeouts tolerated mid-request before giving up on a
-/// trickling peer (each timeout is the stream's read-timeout interval).
-const MAX_STALLED_READS: u32 = 300;
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -76,6 +76,9 @@ pub enum ReadError {
     HeadTooLarge,
     /// Declared body length exceeded the caller's cap → 413.
     BodyTooLarge { declared: usize, cap: usize },
+    /// Total receive time for one request exceeded the caller's deadline
+    /// (the slowloris guard) → 408; the connection must close.
+    Timeout,
     /// The request declared a `Transfer-Encoding` (chunked or otherwise):
     /// this parser only frames `Content-Length` bodies → 501, and the
     /// connection must close (the unread body cannot be skipped).
@@ -91,14 +94,11 @@ pub enum ReadError {
 pub struct Conn {
     stream: TcpStream,
     buf: Vec<u8>,
-    /// Consecutive read timeouts within the current request (see
-    /// [`MAX_STALLED_READS`]); reset when a new request begins.
-    stalls: u32,
 }
 
 impl Conn {
     pub fn new(stream: TcpStream) -> Conn {
-        Conn { stream, buf: Vec::with_capacity(1024), stalls: 0 }
+        Conn { stream, buf: Vec::with_capacity(1024) }
     }
 
     pub fn stream(&mut self) -> &mut TcpStream {
@@ -126,9 +126,18 @@ impl Conn {
     }
 
     /// Read and parse the next request. Blocks up to the stream's read
-    /// timeout; see [`ReadError`] for the contract.
-    pub fn read_request(&mut self, max_body: usize) -> Result<Request, ReadError> {
-        self.stalls = 0;
+    /// timeout; see [`ReadError`] for the contract. `recv_deadline` bounds
+    /// the wall-clock time from the request's first byte to its last: it
+    /// does not start ticking while the connection idles between
+    /// keep-alive requests, but once a request is in flight neither steady
+    /// trickling nor mid-request stalls can stretch past it.
+    pub fn read_request(
+        &mut self,
+        max_body: usize,
+        recv_deadline: Duration,
+    ) -> Result<Request, ReadError> {
+        let mut started: Option<Instant> =
+            if self.buf.is_empty() { None } else { Some(Instant::now()) };
         // Phase 1: accumulate the head (through CRLFCRLF).
         let head_end = loop {
             if let Some(pos) = find_subslice(&self.buf, b"\r\n\r\n") {
@@ -137,14 +146,19 @@ impl Conn {
             if self.buf.len() > MAX_HEAD_BYTES {
                 return Err(ReadError::HeadTooLarge);
             }
+            if matches!(started, Some(t) if t.elapsed() >= recv_deadline) {
+                return Err(ReadError::Timeout);
+            }
             match self.fill().map_err(ReadError::Io)? {
                 Some(0) if self.buf.is_empty() => return Err(ReadError::Closed),
                 Some(0) => return Err(ReadError::Malformed("unexpected EOF in head".into())),
-                Some(_) => {}
+                Some(_) => {
+                    started.get_or_insert_with(Instant::now);
+                }
                 None if self.buf.is_empty() => return Err(ReadError::Idle),
                 None => {
-                    // Mid-head timeout: keep waiting (bounded below).
-                    self.stalled_wait()?;
+                    // Mid-head read timeout: keep waiting under the
+                    // receive deadline checked above.
                 }
             }
         };
@@ -201,12 +215,14 @@ impl Conn {
             return Err(ReadError::BodyTooLarge { declared: content_length, cap: max_body });
         }
 
-        // Phase 2: accumulate the body.
+        // Phase 2: accumulate the body (still on the same receive clock).
+        let started = started.unwrap_or_else(Instant::now);
         while self.buf.len() < body_start + content_length {
-            match self.fill().map_err(ReadError::Io)? {
-                Some(0) => return Err(ReadError::Malformed("unexpected EOF in body".into())),
-                Some(_) => {}
-                None => self.stalled_wait()?,
+            if started.elapsed() >= recv_deadline {
+                return Err(ReadError::Timeout);
+            }
+            if let Some(0) = self.fill().map_err(ReadError::Io)? {
+                return Err(ReadError::Malformed("unexpected EOF in body".into()));
             }
         }
         let body = self.buf[body_start..body_start + content_length].to_vec();
@@ -224,15 +240,6 @@ impl Conn {
         };
 
         Ok(Request { method, path, query, headers, body })
-    }
-
-    /// Bounded tolerance for timeouts in the middle of a request.
-    fn stalled_wait(&mut self) -> Result<(), ReadError> {
-        self.stalls += 1;
-        if self.stalls > MAX_STALLED_READS {
-            return Err(ReadError::Malformed("request stalled (read timeout)".into()));
-        }
-        Ok(())
     }
 }
 
@@ -296,6 +303,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         406 => "Not Acceptable",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",

@@ -60,6 +60,11 @@ pub struct ServerConfig {
     /// Plan-cache capacity applied to the store at startup (None = leave
     /// the store's own configuration; `Some(0)` disables caching).
     pub plan_cache: Option<usize>,
+    /// Wall-clock bound on receiving one request, first byte to last (the
+    /// slowloris guard): a peer trickling bytes gets 408 and is
+    /// disconnected when the deadline expires. Idle keep-alive waits
+    /// between requests are not counted.
+    pub recv_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +76,7 @@ impl Default for ServerConfig {
             row_budget: None,
             deadline: None,
             plan_cache: None,
+            recv_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -88,6 +94,7 @@ struct Inner {
     shed: AtomicU64,
     started: Instant,
     sparql: EndpointStats,
+    insert: EndpointStats,
     healthz: EndpointStats,
     stats: EndpointStats,
     /// 404s/405s — anything that matched no endpoint.
@@ -134,6 +141,7 @@ impl Server {
             shed: AtomicU64::new(0),
             started: Instant::now(),
             sparql: EndpointStats::default(),
+            insert: EndpointStats::default(),
             healthz: EndpointStats::default(),
             stats: EndpointStats::default(),
             other: EndpointStats::default(),
@@ -249,7 +257,7 @@ fn worker_loop(inner: &Inner, tx: &Sender<Conn>, rx: &Mutex<Receiver<Conn>>) {
 /// most one [`IDLE_TICK`] for it), answer protocol errors, and return the
 /// connection if it should stay open. `None` closes it.
 fn serve_turn(inner: &Inner, mut conn: Conn) -> Option<Conn> {
-    match conn.read_request(inner.cfg.max_body_bytes) {
+    match conn.read_request(inner.cfg.max_body_bytes, inner.cfg.recv_deadline) {
         Ok(req) => {
             let t0 = Instant::now();
             // During shutdown, finish this request but don't linger.
@@ -282,6 +290,20 @@ fn serve_turn(inner: &Inner, mut conn: Conn) -> Option<Conn> {
             let _ = resp.write_to(conn.stream(), false);
             None
         }
+        Err(ReadError::Timeout) => {
+            // Slowloris guard: the request trickled past the receive
+            // deadline. Answer 408 and disconnect — the unread remainder
+            // cannot be framed for another request.
+            let resp = Response::text(
+                408,
+                format!(
+                    "request not received within {:?}: connection closed",
+                    inner.cfg.recv_deadline
+                ),
+            );
+            let _ = resp.write_to(conn.stream(), false);
+            None
+        }
         Err(ReadError::TransferEncodingUnsupported) => {
             // RFC 7230 §3.3.1: an unimplemented transfer coding is 501.
             // The connection must close — the body was never read, so the
@@ -303,6 +325,7 @@ fn serve_turn(inner: &Inner, mut conn: Conn) -> Option<Conn> {
 
 enum Endpoint {
     Sparql,
+    Insert,
     Healthz,
     Stats,
     Other,
@@ -311,6 +334,7 @@ enum Endpoint {
 fn endpoint_stats(inner: &Inner, e: Endpoint) -> &EndpointStats {
     match e {
         Endpoint::Sparql => &inner.sparql,
+        Endpoint::Insert => &inner.insert,
         Endpoint::Healthz => &inner.healthz,
         Endpoint::Stats => &inner.stats,
         Endpoint::Other => &inner.other,
@@ -320,11 +344,20 @@ fn endpoint_stats(inner: &Inner, e: Endpoint) -> &EndpointStats {
 fn route(inner: &Inner, req: &Request) -> (Endpoint, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") | ("HEAD", "/healthz") => {
-            (Endpoint::Healthz, Response::text(200, "ok"))
+            // Degraded is still alive (reads keep working), so the probe
+            // stays 200 — the body tells orchestration *which* alive.
+            let body = if inner.store.is_read_only() { "degraded" } else { "ok" };
+            (Endpoint::Healthz, Response::text(200, body))
         }
         ("GET", "/stats") => (
             Endpoint::Stats,
             Response::new(200, "application/json", stats_json(inner).into_bytes()),
+        ),
+        ("POST", "/insert") => (Endpoint::Insert, handle_insert(inner, req)),
+        (_, "/insert") => (
+            Endpoint::Insert,
+            Response::text(405, "use POST with an N-Triples body on /insert")
+                .with_header("Allow", "POST"),
         ),
         (_, "/sparql") => (Endpoint::Sparql, handle_sparql(inner, req)),
         ("GET", _) | ("HEAD", _) | ("POST", _) => {
@@ -520,9 +553,63 @@ fn handle_sparql(inner: &Inner, req: &Request) -> Response {
     }
 }
 
+/// Handle `POST /insert`: an N-Triples body, one triple per line, loaded
+/// under the store's write lock. A store that degraded to read-only after
+/// a durability fault refuses the mutation with 503 + `Retry-After` (an
+/// operator restoring the volume fixes it; silently dropping writes never
+/// does) — checked up front so a doomed upload is rejected before parsing,
+/// and enforced again per-triple in case degradation races the check.
+fn handle_insert(inner: &Inner, req: &Request) -> Response {
+    match req.media_type().as_deref() {
+        None | Some("application/n-triples" | "text/plain") => {}
+        Some(other) => {
+            return Response::text(
+                406,
+                format!("unsupported media type {other:?}: send application/n-triples"),
+            )
+        }
+    }
+    if inner.store.is_read_only() {
+        return degraded_response();
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::text(400, "N-Triples body is not valid UTF-8"),
+    };
+    let quads = match rdf::parse_ntriples(text) {
+        Ok(q) => q,
+        Err(e) => return Response::text(400, format!("bad N-Triples body: {e}")),
+    };
+    let mut inserted = 0usize;
+    for quad in &quads {
+        match inner.store.insert(&quad.triple) {
+            Ok(true) => inserted += 1,
+            Ok(false) => {} // duplicate — already stored
+            Err(e) if e.is_read_only() => return degraded_response(),
+            Err(e) => return store_error_response(&e),
+        }
+    }
+    Response::new(
+        200,
+        "application/json",
+        format!("{{\"received\":{},\"inserted\":{inserted}}}\n", quads.len()).into_bytes(),
+    )
+}
+
+/// The mutation-refused shape for a read-only (degraded) store.
+fn degraded_response() -> Response {
+    Response::text(
+        503,
+        "store is read-only: durability degraded after an I/O failure; \
+         mutations are refused until the store is reopened on healthy storage",
+    )
+    .with_header("Retry-After", "5")
+}
+
 /// Map a store error onto the HTTP boundary: client mistakes are 400 with
 /// the parser/translator message, resource-limit trips are 503 (the query
-/// was shed by admission control's budget/deadline layer), the rest 500.
+/// was shed by admission control's budget/deadline layer), a degraded
+/// store's write refusal is 503 + `Retry-After`, the rest 500.
 fn store_error_response(e: &StoreError) -> Response {
     match e {
         StoreError::Sparql(_) | StoreError::Unsupported(_) => {
@@ -533,6 +620,7 @@ fn store_error_response(e: &StoreError) -> Response {
             format!("query exceeded the server's evaluation limits: {e}"),
         )
         .with_header("Retry-After", "1"),
+        _ if e.is_read_only() => degraded_response(),
         StoreError::Sql(_) => Response::text(500, e.to_string()),
     }
 }
@@ -550,8 +638,8 @@ fn stats_json(inner: &Inner) -> String {
     format!(
         "{{\"uptime_secs\":{},\"triples\":{},\"workers\":{},\"exec_threads\":{},\
          \"in_flight\":{},\
-         \"max_in_flight\":{},\"shed\":{},\"epoch\":{},\"plan_cache\":{},\
-         \"endpoints\":{{\"sparql\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}\n",
+         \"max_in_flight\":{},\"shed\":{},\"epoch\":{},\"degraded\":{},\"plan_cache\":{},\
+         \"endpoints\":{{\"sparql\":{},\"insert\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}\n",
         inner.started.elapsed().as_secs(),
         report.triples,
         inner.cfg.workers,
@@ -560,8 +648,10 @@ fn stats_json(inner: &Inner) -> String {
         inner.cfg.max_in_flight,
         inner.shed.load(Ordering::Relaxed),
         inner.store.epoch(),
+        inner.store.is_read_only(),
         plan_cache,
         inner.sparql.to_json(),
+        inner.insert.to_json(),
         inner.healthz.to_json(),
         inner.stats.to_json(),
         inner.other.to_json(),
@@ -655,6 +745,96 @@ pub mod client {
         Client::connect(addr)?.request(method, path, headers, body)
     }
 
+    /// Retry policy for [`request_with_retry`]: capped exponential backoff
+    /// with deterministic jitter. The jitter is a pure function of
+    /// `(seed, attempt)`, so a given policy always produces the same
+    /// schedule — testable without clocks — while different seeds (e.g.
+    /// per client) decorrelate retry storms.
+    #[derive(Debug, Clone)]
+    pub struct RetryPolicy {
+        /// Total attempts, including the first (0 and 1 both mean "no
+        /// retries").
+        pub max_attempts: u32,
+        /// Backoff before the first retry; doubles each retry after that.
+        pub base: Duration,
+        /// Upper bound on any single delay — also caps an honored
+        /// `Retry-After`, so a misbehaving server cannot park the client.
+        pub cap: Duration,
+        /// Jitter seed.
+        pub seed: u64,
+    }
+
+    impl Default for RetryPolicy {
+        fn default() -> Self {
+            RetryPolicy {
+                max_attempts: 4,
+                base: Duration::from_millis(50),
+                cap: Duration::from_secs(2),
+                seed: 0,
+            }
+        }
+    }
+
+    /// The delay before retry number `attempt` (1-based: `attempt = 1`
+    /// follows the first failure): `base * 2^(attempt-1)` capped at
+    /// `policy.cap`, then jittered into the upper half `[d/2, d]` so
+    /// synchronized clients spread out without ever waiting longer than
+    /// the uncapped schedule promises.
+    pub fn retry_delay(policy: &RetryPolicy, attempt: u32) -> Duration {
+        let exp = policy.base.saturating_mul(1u32 << attempt.saturating_sub(1).min(20));
+        let capped = exp.min(policy.cap);
+        // SplitMix64 over (seed, attempt): deterministic jitter.
+        let mut z = policy
+            .seed
+            .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let nanos = capped.as_nanos() as u64;
+        Duration::from_nanos(nanos / 2 + z % (nanos / 2 + 1))
+    }
+
+    /// The full delay schedule a policy will use (one entry per retry).
+    pub fn backoff_schedule(policy: &RetryPolicy) -> Vec<Duration> {
+        (1..policy.max_attempts.max(1)).map(|a| retry_delay(policy, a)).collect()
+    }
+
+    /// [`request`] with retries: a fresh connection per attempt, retrying
+    /// transport errors and 503 responses. A numeric `Retry-After` on a
+    /// 503 overrides the computed backoff (capped at `policy.cap` — the
+    /// server's hint is advice, not a hold). Anything else — including
+    /// 4xx/5xx that retrying cannot fix — is returned as-is.
+    pub fn request_with_retry(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+        policy: &RetryPolicy,
+    ) -> std::io::Result<HttpResponse> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = request(addr, method, path, headers, body);
+            let retryable = match &result {
+                Ok(resp) => resp.status == 503,
+                Err(_) => true,
+            };
+            if !retryable || attempt >= policy.max_attempts.max(1) {
+                return result;
+            }
+            let mut delay = retry_delay(policy, attempt);
+            if let Ok(resp) = &result {
+                if let Some(secs) =
+                    resp.header("retry-after").and_then(|v| v.trim().parse::<u64>().ok())
+                {
+                    delay = Duration::from_secs(secs).min(policy.cap);
+                }
+            }
+            std::thread::sleep(delay);
+        }
+    }
+
     fn read_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
         let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
         let mut buf = Vec::with_capacity(1024);
@@ -700,5 +880,47 @@ pub mod client {
         }
         body.truncate(len);
         Ok(HttpResponse { status, headers, body })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn backoff_schedule_is_deterministic() {
+            let policy = RetryPolicy { max_attempts: 6, seed: 7, ..Default::default() };
+            let a = backoff_schedule(&policy);
+            let b = backoff_schedule(&policy);
+            assert_eq!(a, b, "same seed must give the same schedule");
+            assert_eq!(a.len(), 5, "one delay per retry");
+            let other = backoff_schedule(&RetryPolicy { seed: 8, ..policy.clone() });
+            assert_ne!(a[..other.len().min(a.len())], other[..], "different seeds decorrelate");
+        }
+
+        #[test]
+        fn delays_grow_exponentially_within_bounds() {
+            let policy = RetryPolicy {
+                max_attempts: 16,
+                base: Duration::from_millis(100),
+                cap: Duration::from_secs(2),
+                seed: 42,
+            };
+            for attempt in 1..=15u32 {
+                let d = retry_delay(&policy, attempt);
+                let exp = policy
+                    .base
+                    .saturating_mul(1 << (attempt - 1).min(20))
+                    .min(policy.cap);
+                assert!(d <= exp, "attempt {attempt}: {d:?} exceeds the uncapped bound {exp:?}");
+                assert!(
+                    d >= exp / 2,
+                    "attempt {attempt}: {d:?} jittered below half of {exp:?}"
+                );
+                assert!(d <= policy.cap, "attempt {attempt}: {d:?} exceeds the cap");
+            }
+            // Once the exponential passes the cap, every delay sits in the
+            // cap's upper half regardless of how large `attempt` grows.
+            assert!(retry_delay(&policy, 30) >= policy.cap / 2);
+        }
     }
 }

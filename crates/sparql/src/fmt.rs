@@ -1,0 +1,289 @@
+//! Render a parsed [`Query`] back to SPARQL text that this crate's own
+//! parser accepts.
+//!
+//! The harness's greedy shrinker works on the AST (dropping triple patterns,
+//! filters, UNION branches, modifiers) and needs to re-serialize every
+//! candidate so the minimized repro in `tests/corpus/` is a plain query
+//! string anyone can paste into the server. Round-tripping is semantic, not
+//! lexical: triple-pattern ids are reassigned by the parser and keywords are
+//! normalized, but re-parsing the output yields a query with identical
+//! solutions.
+//!
+//! Expressions are emitted fully parenthesized, so operator precedence never
+//! has to be reconstructed. Term constants reuse [`rdf::Term::encode`] —
+//! the canonical N-Triples form, which is valid SPARQL for IRIs and
+//! literals. (Blank-node constants cannot appear in a parsed query: the
+//! parser rewrites them to variables.)
+
+use std::fmt::Write;
+
+use crate::ast::{
+    ArithOp, CompareOp, Expression, GroupPattern, Pattern, Query, QueryForm, SelectVars,
+    TermPattern,
+};
+
+/// Serialize `query` to parseable SPARQL text.
+pub fn to_sparql(query: &Query) -> String {
+    let mut out = String::new();
+    match &query.form {
+        QueryForm::Ask => out.push_str("ASK "),
+        QueryForm::Select { vars, distinct } => {
+            out.push_str("SELECT ");
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            match vars {
+                SelectVars::All => out.push_str("* "),
+                SelectVars::Vars(vs) => {
+                    for v in vs {
+                        let _ = write!(out, "?{v} ");
+                    }
+                }
+            }
+            out.push_str("WHERE ");
+        }
+    }
+    write_group_braced(&mut out, &query.pattern);
+    if !query.order_by.is_empty() {
+        out.push_str(" ORDER BY");
+        for cond in &query.order_by {
+            if cond.ascending {
+                out.push_str(" ASC(");
+            } else {
+                out.push_str(" DESC(");
+            }
+            write_expr(&mut out, &cond.expr);
+            out.push(')');
+        }
+    }
+    if let Some(n) = query.limit {
+        let _ = write!(out, " LIMIT {n}");
+    }
+    if let Some(n) = query.offset {
+        let _ = write!(out, " OFFSET {n}");
+    }
+    out
+}
+
+fn write_term_pattern(out: &mut String, tp: &TermPattern) {
+    match tp {
+        TermPattern::Var(v) => {
+            let _ = write!(out, "?{v}");
+        }
+        TermPattern::Term(t) => t.encode_into(out),
+    }
+}
+
+fn write_group_braced(out: &mut String, group: &GroupPattern) {
+    out.push_str("{ ");
+    write_group_body(out, group);
+    out.push('}');
+}
+
+fn write_group_body(out: &mut String, group: &GroupPattern) {
+    for child in &group.children {
+        write_pattern(out, child);
+    }
+    for filter in &group.filters {
+        out.push_str("FILTER (");
+        write_expr(out, filter);
+        out.push_str(") ");
+    }
+}
+
+fn write_pattern(out: &mut String, pattern: &Pattern) {
+    match pattern {
+        Pattern::Triple(t) => {
+            write_term_pattern(out, &t.subject);
+            out.push(' ');
+            write_term_pattern(out, &t.predicate);
+            out.push(' ');
+            write_term_pattern(out, &t.object);
+            out.push_str(" . ");
+        }
+        Pattern::Group(g) => {
+            write_group_braced(out, g);
+            out.push(' ');
+        }
+        Pattern::Union(alts) => {
+            for (i, alt) in alts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("UNION ");
+                }
+                // Each alternative gets its own braces; a Group alternative
+                // supplies them itself via write_pattern's Group arm, but a
+                // bare triple (post-shrink) needs wrapping.
+                match alt {
+                    Pattern::Group(g) => {
+                        write_group_braced(out, g);
+                        out.push(' ');
+                    }
+                    other => {
+                        out.push_str("{ ");
+                        write_pattern(out, other);
+                        out.push_str("} ");
+                    }
+                }
+            }
+        }
+        Pattern::Optional(inner) => {
+            out.push_str("OPTIONAL ");
+            match inner.as_ref() {
+                Pattern::Group(g) => write_group_braced(out, g),
+                other => {
+                    out.push_str("{ ");
+                    write_pattern(out, other);
+                    out.push('}');
+                }
+            }
+            out.push(' ');
+        }
+    }
+}
+
+fn write_expr(out: &mut String, expr: &Expression) {
+    match expr {
+        Expression::Var(v) => {
+            let _ = write!(out, "?{v}");
+        }
+        Expression::Term(t) => t.encode_into(out),
+        Expression::Or(l, r) => write_binary(out, l, "||", r),
+        Expression::And(l, r) => write_binary(out, l, "&&", r),
+        Expression::Not(e) => {
+            out.push_str("(!");
+            write_expr(out, e);
+            out.push(')');
+        }
+        Expression::Compare { op, left, right } => {
+            let op = match op {
+                CompareOp::Eq => "=",
+                CompareOp::NotEq => "!=",
+                CompareOp::Lt => "<",
+                CompareOp::LtEq => "<=",
+                CompareOp::Gt => ">",
+                CompareOp::GtEq => ">=",
+            };
+            write_binary(out, left, op, right);
+        }
+        Expression::Arith { op, left, right } => {
+            let op = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+            };
+            write_binary(out, left, op, right);
+        }
+        Expression::Neg(e) => {
+            out.push_str("(-");
+            write_expr(out, e);
+            out.push(')');
+        }
+        Expression::Bound(v) => {
+            let _ = write!(out, "BOUND(?{v})");
+        }
+        Expression::Regex { expr, pattern, case_insensitive } => {
+            out.push_str("REGEX(");
+            write_expr(out, expr);
+            out.push_str(", \"");
+            for c in pattern.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            if *case_insensitive {
+                out.push_str(", \"i\"");
+            }
+            out.push(')');
+        }
+        Expression::Str(e) => write_call(out, "STR", e),
+        Expression::Lang(e) => write_call(out, "LANG", e),
+        Expression::Datatype(e) => write_call(out, "DATATYPE", e),
+        Expression::IsIri(e) => write_call(out, "isIRI", e),
+        Expression::IsLiteral(e) => write_call(out, "isLITERAL", e),
+        Expression::IsBlank(e) => write_call(out, "isBLANK", e),
+    }
+}
+
+fn write_binary(out: &mut String, left: &Expression, op: &str, right: &Expression) {
+    out.push('(');
+    write_expr(out, left);
+    let _ = write!(out, " {op} ");
+    write_expr(out, right);
+    out.push(')');
+}
+
+fn write_call(out: &mut String, name: &str, arg: &Expression) {
+    out.push_str(name);
+    out.push('(');
+    write_expr(out, arg);
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_sparql;
+
+    /// Strip parser-assigned triple ids so round-tripped ASTs compare equal.
+    fn normalized(mut q: Query) -> Query {
+        fn fix_group(g: &mut GroupPattern) {
+            for c in &mut g.children {
+                fix(c);
+            }
+        }
+        fn fix(p: &mut Pattern) {
+            match p {
+                Pattern::Triple(t) => t.id = 0,
+                Pattern::Group(g) => fix_group(g),
+                Pattern::Union(alts) => alts.iter_mut().for_each(fix),
+                Pattern::Optional(inner) => fix(inner),
+            }
+        }
+        fix_group(&mut q.pattern);
+        q
+    }
+
+    #[test]
+    fn round_trip_is_a_fixpoint() {
+        let cases = [
+            "SELECT * WHERE { ?s ?p ?o }",
+            "SELECT DISTINCT ?s ?o WHERE { ?s <http://p/1> ?o . ?o <http://p/2> \"x\" }",
+            "ASK { ?s <http://p/1> \"v\"@en }",
+            "SELECT ?s WHERE { { ?s <http://p/1> ?a } UNION { ?s <http://p/2> ?b } }",
+            "SELECT ?s ?n WHERE { ?s <http://p/1> ?x OPTIONAL { ?s <http://p/2> ?n } }",
+            "SELECT ?s WHERE { ?s <http://p/1> ?x \
+             FILTER ((?x > 3) && (!(?x = 7)) || BOUND(?x)) }",
+            "SELECT ?s WHERE { ?s <http://p/1> ?x FILTER (REGEX(STR(?x), \"a.c\", \"i\")) }",
+            "SELECT ?s WHERE { ?s <http://p/1> ?x \
+             FILTER (isIRI(?x) || isLITERAL(?x) || isBLANK(?x)) }",
+            "SELECT ?s WHERE { ?s <http://p/1> ?x FILTER ((?x + 1) * 2 <= (10 - ?x) / 3) }",
+            "SELECT ?s WHERE { ?s <http://p/1> ?x FILTER (LANG(?x) = \"en\") }",
+            "SELECT ?s WHERE { ?s <http://p/1> ?x FILTER (DATATYPE(?x) != <http://dt>) }",
+            "SELECT ?s ?x WHERE { ?s <http://p/1> ?x } ORDER BY ASC(?x) DESC(?s) LIMIT 5 OFFSET 2",
+            "SELECT ?s WHERE { ?s <http://p/1> \"quote \\\" and \\\\ slash\" }",
+            "ASK {}",
+            "SELECT ?s WHERE { ?s <http://p/1> 42 }",
+            "SELECT ?s WHERE { ?s <http://p/1> 7 FILTER (?s != 3.25) }",
+        ];
+        for case in cases {
+            let parsed = parse_sparql(case).unwrap_or_else(|e| panic!("{case}: {e}"));
+            let text = to_sparql(&parsed);
+            let reparsed =
+                parse_sparql(&text).unwrap_or_else(|e| panic!("{case} -> {text}: {e}"));
+            assert_eq!(
+                normalized(parsed.clone()),
+                normalized(reparsed.clone()),
+                "{case} -> {text}: AST drifted"
+            );
+            // And the serializer itself is a fixpoint on its own output.
+            assert_eq!(text, to_sparql(&reparsed), "{case}: serializer not idempotent");
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod ast;
 mod error;
+pub mod fmt;
 mod lexer;
 mod parser;
 
@@ -22,4 +23,5 @@ pub use ast::{
     SelectVars, TermPattern, TriplePattern,
 };
 pub use error::SparqlError;
+pub use fmt::to_sparql;
 pub use parser::parse_sparql;

@@ -19,9 +19,15 @@
 #                                # >=4-core host this FAILS if the minimum
 #                                # 4-thread speedup is < 1.5x (on fewer
 #                                # cores the gate reports itself skipped)
+#   scripts/verify.sh --fuzz     # additionally run the adversarial harness
+#                                # in its FUZZ_SMOKE=1 profile: ~200 seeded
+#                                # grammar-fuzzed queries through the
+#                                # differential oracle plus a bounded
+#                                # crash-point sweep (truncations, write and
+#                                # read faults) — fixed seeds, <2 min
 #
 # Flags combine: `scripts/verify.sh --all --clippy --server --plan-cache
-# --exec-scaling` is what CI runs.
+# --exec-scaling --fuzz` is what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +36,7 @@ run_clippy=false
 run_server=false
 run_plan_cache=false
 run_exec_scaling=false
+run_fuzz=false
 for arg in "$@"; do
     case "$arg" in
         --all) run_all=true ;;
@@ -37,6 +44,7 @@ for arg in "$@"; do
         --server) run_server=true ;;
         --plan-cache) run_plan_cache=true ;;
         --exec-scaling) run_exec_scaling=true ;;
+        --fuzz) run_fuzz=true ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -71,6 +79,11 @@ if $run_exec_scaling; then
     echo "== exec_scaling bench smoke (thread-count determinism; >=1.5x min"
     echo "   4-thread speedup when the host has >=4 cores)"
     EXEC_SCALING_SMOKE=1 cargo run --release --offline -p bench --bin exec_scaling
+fi
+
+if $run_fuzz; then
+    echo "== fuzz_differential smoke (seeded differential oracle + crash sweep)"
+    FUZZ_SMOKE=1 cargo run --release --offline -p bench --bin fuzz_differential
 fi
 
 echo "verify: OK"
