@@ -4,8 +4,23 @@
 //! relational layer joins, hashes and sorts 8-byte integers instead of string
 //! bytes. Here terms are interned at load/insert time to IDs assigned densely
 //! from 1 upward in first-appearance order, and the DPH/DS/RPH/RS tables
-//! store only those IDs; lexical forms are materialized exactly once, in
-//! `results::decode_value`, when rows become `Solutions`.
+//! store only those IDs; lexical forms are materialized in
+//! `results::decode_value` when rows become `Solutions`.
+//!
+//! ## Front-coded storage
+//!
+//! Canonical encodings share long prefixes — IRIs repeat namespaces
+//! (`http://www.Department3.University0.edu/...`), typed literals repeat
+//! datatype suffix-free prefixes — so storing every term verbatim (as two
+//! `Arc<str>` copies, pre-PR 8) wastes most of the dictionary's footprint at
+//! paper scale. Terms are now stored **front-coded** in insertion order:
+//! each entry records the byte length of the prefix it shares with the
+//! previous entry plus its fresh suffix, and every [`PAGE`]-th entry is a
+//! full restart so resolving an ID decodes at most one page. Prefix lengths
+//! are clamped to UTF-8 character boundaries, so every stored suffix is
+//! itself valid UTF-8. The term → ID index keeps only a 64-bit hash per
+//! entry (collisions are verified by decoding), so no second copy of the
+//! lexical space exists.
 //!
 //! ## ID space
 //!
@@ -22,19 +37,79 @@
 //! The dictionary persists as the `sys_dict` table, appended inside the same
 //! WAL batch as the rows that introduced its entries (`RdfStore::persist_*`).
 //! After any crash + replay, every ID stored in a data table has exactly one
-//! `sys_dict` row, and that row carries the encoding the ID had when the
+//! `sys_dict` entry, and that entry carries the encoding the ID had when the
 //! batch committed — an ID can never resolve to the wrong string, because
 //! IDs are append-only and entries are immutable once written.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Entries per front-coding restart: entry `i` stores a full term whenever
+/// `i % PAGE == 0`, so resolving an ID decodes at most `PAGE` suffixes.
+pub const PAGE: usize = 8;
+
+/// Memory accounting for `/stats` and `BENCH_load.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DictMemStats {
+    /// Interned terms (highest assigned ID).
+    pub entries: usize,
+    /// Total bytes of all term encodings, uncompressed.
+    pub raw_bytes: u64,
+    /// Bytes actually held: front-coded suffix bytes + per-entry offsets.
+    pub compressed_bytes: u64,
+}
+
+/// 64-bit FNV-1a with a SplitMix64 finalizer: the index key for a term. The
+/// finalizer mixes FNV's weak low bits so the map can use the key directly
+/// as its hash (see [`IdentityHasher`]).
+fn term_hash(term: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in term.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Pass-through hasher for keys that are already well-mixed 64-bit hashes.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher is only used with u64 keys")
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type HashIndex = HashMap<u64, i64, BuildHasherDefault<IdentityHasher>>;
 
 /// An append-only intern table: canonical term encoding ↔ dense positive ID.
 #[derive(Debug, Default)]
 pub struct Dict {
-    /// `terms[id - 1]` is the encoding of `id`.
-    terms: Vec<Arc<str>>,
-    ids: HashMap<Arc<str>, i64>,
+    /// Concatenated front-coded suffix bytes, in insertion order.
+    data: Vec<u8>,
+    /// `offs[i]` is where entry `i`'s suffix starts in `data`; its end is
+    /// the next entry's start (or `data.len()` for the last entry).
+    offs: Vec<u64>,
+    /// Shared-prefix length with the previous entry (0 at page restarts).
+    lcps: Vec<u32>,
+    /// term-hash → ID for the first entry with that hash; the rare extra
+    /// IDs whose terms collide on the hash live in `collisions`.
+    index: HashIndex,
+    collisions: Vec<(u64, i64)>,
+    /// The most recently appended term, cached so the next append can
+    /// compute its shared prefix without decoding.
+    last: String,
+    raw_bytes: u64,
 }
 
 impl Dict {
@@ -44,66 +119,163 @@ impl Dict {
 
     /// Number of interned terms (also the highest assigned ID).
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.offs.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.offs.is_empty()
+    }
+
+    /// Memory accounting: entries, raw vs front-coded bytes.
+    pub fn mem_stats(&self) -> DictMemStats {
+        DictMemStats {
+            entries: self.len(),
+            raw_bytes: self.raw_bytes,
+            compressed_bytes: self.data.len() as u64 + (self.len() * 12) as u64,
+        }
     }
 
     /// Intern a canonical encoding, returning its ID (new or existing).
     pub fn intern(&mut self, term: &str) -> i64 {
-        if let Some(&id) = self.ids.get(term) {
+        let h = term_hash(term);
+        if let Some(id) = self.find(h, term) {
             return id;
         }
-        let arc: Arc<str> = term.into();
-        self.terms.push(arc.clone());
-        let id = self.terms.len() as i64;
-        self.ids.insert(arc, id);
+        let id = self.append(term);
+        match self.index.entry(h) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(id);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => self.collisions.push((h, id)),
+        }
         id
     }
 
     /// Look up the ID of an encoding without interning it.
     pub fn lookup(&self, term: &str) -> Option<i64> {
-        self.ids.get(term).copied()
+        self.find(term_hash(term), term)
+    }
+
+    fn find(&self, h: u64, term: &str) -> Option<i64> {
+        if let Some(&id) = self.index.get(&h) {
+            if self.entry_eq(id, term) {
+                return Some(id);
+            }
+            return self
+                .collisions
+                .iter()
+                .filter(|&&(ch, _)| ch == h)
+                .map(|&(_, cid)| cid)
+                .find(|&cid| self.entry_eq(cid, term));
+        }
+        None
+    }
+
+    fn entry_eq(&self, id: i64, term: &str) -> bool {
+        // Cheap length gate before decoding: suffix lengths alone bound the
+        // decoded length from below only, so compare decoded bytes.
+        let mut buf = String::new();
+        self.decode_into(id as usize - 1, &mut buf);
+        buf == term
     }
 
     /// Resolve an ID back to its encoding. Negative and zero IDs (lids,
     /// corruption) resolve to nothing.
-    pub fn resolve(&self, id: i64) -> Option<&str> {
-        if id < 1 {
-            return None;
+    pub fn resolve(&self, id: i64) -> Option<String> {
+        let mut out = String::new();
+        self.resolve_into(id, &mut out).then_some(out)
+    }
+
+    /// Resolve an ID into a caller-provided buffer (cleared first), so hot
+    /// loops can reuse one allocation. Returns `false` for unknown IDs.
+    pub fn resolve_into(&self, id: i64, out: &mut String) -> bool {
+        out.clear();
+        if id < 1 || id as usize > self.len() {
+            return false;
         }
-        self.terms.get(id as usize - 1).map(Arc::as_ref)
+        self.decode_into(id as usize - 1, out);
+        true
+    }
+
+    /// Decode entry `i` (0-based) by replaying its page from the restart.
+    fn decode_into(&self, i: usize, out: &mut String) {
+        let start = i - i % PAGE;
+        out.push_str(self.suffix(start));
+        for k in start + 1..=i {
+            out.truncate(self.lcps[k] as usize);
+            out.push_str(self.suffix(k));
+        }
+    }
+
+    fn suffix(&self, i: usize) -> &str {
+        let lo = self.offs[i] as usize;
+        let hi = self.offs.get(i + 1).map(|&o| o as usize).unwrap_or(self.data.len());
+        std::str::from_utf8(&self.data[lo..hi]).expect("front-coded suffix is valid UTF-8")
+    }
+
+    /// Append a new entry, returning its ID. Does not touch the hash index.
+    fn append(&mut self, term: &str) -> i64 {
+        let i = self.len();
+        let lcp = if i.is_multiple_of(PAGE) { 0 } else { char_lcp(&self.last, term) };
+        self.offs.push(self.data.len() as u64);
+        self.lcps.push(lcp as u32);
+        self.data.extend_from_slice(&term.as_bytes()[lcp..]);
+        self.raw_bytes += term.len() as u64;
+        self.last.clear();
+        self.last.push_str(term);
+        (i + 1) as i64
     }
 
     /// Entries with IDs above `watermark`, in ID order — the tail that a
     /// persistence pass has not yet written out.
-    pub fn entries_from(&self, watermark: usize) -> impl Iterator<Item = (i64, &str)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .skip(watermark)
-            .map(|(i, t)| (i as i64 + 1, t.as_ref()))
+    pub fn entries_from(&self, watermark: usize) -> impl Iterator<Item = (i64, String)> + '_ {
+        let mut buf = String::new();
+        (watermark..self.len()).map(move |i| {
+            // Sequential decode: each entry extends the previous one, so
+            // replay the front-coding incrementally instead of per-page.
+            if i % PAGE == 0 || buf.is_empty() {
+                buf.clear();
+                self.decode_into(i, &mut buf);
+            } else {
+                buf.truncate(self.lcps[i] as usize);
+                buf.push_str(self.suffix(i));
+            }
+            (i as i64 + 1, buf.clone())
+        })
     }
 
     /// Restore one entry from storage. Entries must arrive in ID order with
     /// no gaps (`sys_dict` is written append-only, so a sorted scan of it
     /// satisfies this); anything else is corruption.
     pub fn restore(&mut self, id: i64, term: &str) -> std::result::Result<(), String> {
-        if id != self.terms.len() as i64 + 1 {
-            return Err(format!(
-                "sys_dict gap: expected id {}, found {id}",
-                self.terms.len() + 1
-            ));
+        if id != self.len() as i64 + 1 {
+            return Err(format!("sys_dict gap: expected id {}, found {id}", self.len() + 1));
         }
-        let arc: Arc<str> = term.into();
-        if self.ids.insert(arc.clone(), id).is_some() {
+        let h = term_hash(term);
+        if self.find(h, term).is_some() {
             return Err(format!("sys_dict duplicate term for id {id}"));
         }
-        self.terms.push(arc);
+        let got = self.append(term);
+        debug_assert_eq!(got, id);
+        match self.index.entry(h) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(id);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => self.collisions.push((h, id)),
+        }
         Ok(())
     }
+}
+
+/// Byte length of the longest common prefix of `a` and `b` that ends on a
+/// character boundary of both (equal bytes ⇒ a boundary of one is a boundary
+/// of the other). Shared with the `sys_dict` page codec in `persist`.
+pub(crate) fn char_lcp(a: &str, b: &str) -> usize {
+    let mut n = a.as_bytes().iter().zip(b.as_bytes()).take_while(|(x, y)| x == y).count();
+    while !b.is_char_boundary(n) {
+        n -= 1;
+    }
+    n
 }
 
 /// A dictionary shared between the store (which interns during load/insert)
@@ -142,7 +314,7 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert_eq!(d.lookup("<http://b>"), Some(2));
         assert_eq!(d.lookup("<http://c>"), None);
-        assert_eq!(d.resolve(1), Some("<http://a>"));
+        assert_eq!(d.resolve(1).as_deref(), Some("<http://a>"));
         assert_eq!(d.resolve(0), None);
         assert_eq!(d.resolve(-1), None);
         assert_eq!(d.resolve(3), None);
@@ -155,7 +327,23 @@ mod tests {
         assert!(d.restore(3, "<c>").is_err());
         assert!(d.restore(2, "<a>").is_err());
         d.restore(2, "<b>").unwrap();
-        assert_eq!(d.resolve(2), Some("<b>"));
+        assert_eq!(d.resolve(2).as_deref(), Some("<b>"));
+    }
+
+    #[test]
+    fn front_coding_actually_shares_prefixes() {
+        let mut d = Dict::new();
+        for i in 0..1000 {
+            d.intern(&format!("<http://www.Department3.University0.edu/Student{i}>"));
+        }
+        let stats = d.mem_stats();
+        assert_eq!(stats.entries, 1000);
+        assert!(
+            stats.compressed_bytes < stats.raw_bytes / 2,
+            "front-coding saved too little: {} vs {} raw",
+            stats.compressed_bytes,
+            stats.raw_bytes
+        );
     }
 
     /// Deterministic PRNG (SplitMix64) — the workspace builds offline, so no
@@ -171,38 +359,42 @@ mod tests {
         }
     }
 
+    fn generated_terms(seed: u64, n: usize) -> Vec<Term> {
+        let alphabets = ["ab", "héllo wörld", "日本語テキスト", "émoji 🦀 σ∑", "a\"b\\c\nd\te"];
+        let mut rng = Rng(seed);
+        (0..n)
+            .map(|i| {
+                let alpha: Vec<char> =
+                    alphabets[rng.next() as usize % alphabets.len()].chars().collect();
+                let len = 1 + rng.next() as usize % 12;
+                let s: String =
+                    (0..len).map(|_| alpha[rng.next() as usize % alpha.len()]).collect();
+                match rng.next() % 6 {
+                    0 => Term::iri(format!("http://example.org/{i}/{s}")),
+                    1 => Term::blank(format!("b{i}")),
+                    2 => Term::lit(s),
+                    3 => Term::lang_lit(s, "ja"),
+                    4 => Term::typed_lit(s, "http://example.org/dt"),
+                    _ => Term::int_lit(rng.next() as i64),
+                }
+            })
+            .collect()
+    }
+
     /// Round-trip property: for generated terms — IRIs, plain/lang/typed
     /// literals with multi-byte UTF-8, escapes and blanks — interning the
-    /// canonical encoding and resolving the ID back yields a string that
-    /// decodes to the original term.
+    /// canonical encoding and resolving the ID back through the front-coded
+    /// pages yields a string that decodes to the original term.
     #[test]
     fn round_trip_property_over_generated_terms() {
-        let alphabets = ["ab", "héllo wörld", "日本語テキスト", "émoji 🦀 σ∑", "a\"b\\c\nd\te"];
-        let mut rng = Rng(42);
         let mut dict = Dict::new();
-        let mut terms: Vec<Term> = Vec::new();
-        for i in 0..500 {
-            let alpha: Vec<char> =
-                alphabets[rng.next() as usize % alphabets.len()].chars().collect();
-            let len = 1 + rng.next() as usize % 12;
-            let s: String =
-                (0..len).map(|_| alpha[rng.next() as usize % alpha.len()]).collect();
-            let t = match rng.next() % 6 {
-                0 => Term::iri(format!("http://example.org/{i}/{s}")),
-                1 => Term::blank(format!("b{i}")),
-                2 => Term::lit(s),
-                3 => Term::lang_lit(s, "ja"),
-                4 => Term::typed_lit(s, "http://example.org/dt"),
-                _ => Term::int_lit(rng.next() as i64),
-            };
-            terms.push(t);
-        }
+        let terms = generated_terms(42, 500);
         let ids: Vec<i64> = terms.iter().map(|t| dict.intern(&t.encode())).collect();
         for (t, id) in terms.iter().zip(&ids) {
             assert!(*id > 0);
             let enc = dict.resolve(*id).expect("interned id must resolve");
             assert_eq!(enc, t.encode(), "resolved encoding differs");
-            assert_eq!(decode_term(enc).as_ref(), Some(t), "decode(resolve(id)) != term");
+            assert_eq!(decode_term(&enc).as_ref(), Some(t), "decode(resolve(id)) != term");
         }
         // Distinct terms got distinct IDs; equal terms collapsed.
         for (i, a) in terms.iter().enumerate() {
@@ -213,6 +405,55 @@ mod tests {
                     assert_ne!(a, b, "duplicate term got two ids");
                 }
             }
+        }
+    }
+
+    /// Restore property: replaying `entries_from(0)` into a fresh dict (the
+    /// recovery path) reproduces IDs, lookups, and resolutions exactly.
+    #[test]
+    fn restore_property_reproduces_dict() {
+        for seed in [7u64, 99, 4242] {
+            let mut dict = Dict::new();
+            for t in generated_terms(seed, 300) {
+                dict.intern(&t.encode());
+            }
+            let mut restored = Dict::new();
+            for (id, term) in dict.entries_from(0) {
+                restored.restore(id, &term).unwrap();
+            }
+            assert_eq!(restored.len(), dict.len());
+            for id in 1..=dict.len() as i64 {
+                let term = dict.resolve(id).unwrap();
+                assert_eq!(restored.resolve(id).as_deref(), Some(term.as_str()));
+                assert_eq!(restored.lookup(&term), Some(id));
+            }
+            assert_eq!(restored.mem_stats(), dict.mem_stats());
+        }
+    }
+
+    /// Multi-byte characters straddling a shared prefix must clamp the
+    /// prefix length to a character boundary.
+    #[test]
+    fn lcp_respects_char_boundaries() {
+        let mut d = Dict::new();
+        // "日本語" and "日本酒" share 6 bytes ("日本") then diverge mid-
+        // sequence at byte 7 of the 3-byte third character.
+        let a = d.intern("\"日本語\"");
+        let b = d.intern("\"日本酒\"");
+        assert_eq!(d.resolve(a).as_deref(), Some("\"日本語\""));
+        assert_eq!(d.resolve(b).as_deref(), Some("\"日本酒\""));
+    }
+
+    #[test]
+    fn entries_from_watermark_matches_resolve() {
+        let mut d = Dict::new();
+        for i in 0..50 {
+            d.intern(&format!("<http://e/{i}>"));
+        }
+        let tail: Vec<(i64, String)> = d.entries_from(17).collect();
+        assert_eq!(tail.len(), 33);
+        for (id, term) in tail {
+            assert_eq!(d.resolve(id), Some(term));
         }
     }
 }

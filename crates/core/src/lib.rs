@@ -40,7 +40,7 @@ pub mod stats;
 mod store;
 pub mod translate;
 
-pub use dict::{Dict, SharedDict};
+pub use dict::{Dict, DictMemStats, SharedDict};
 pub use error::{Result, StoreError};
 pub use loader::{ColoringMode, EntityConfig, LoadReport};
 pub use optimizer::OptimizerMode;
@@ -48,4 +48,6 @@ pub use plancache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use results::Solutions;
 pub use shared::SharedStore;
 pub use stats::Stats;
-pub use store::{layout_name, Explanation, Layout, RdfStore, StoreConfig};
+pub use store::{
+    layout_name, BulkLoadOptions, BulkLoadStats, Explanation, Layout, RdfStore, StoreConfig,
+};

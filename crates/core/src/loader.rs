@@ -117,47 +117,59 @@ fn group_by<'a>(
     }).collect()
 }
 
-fn build_mapping(grouped: &Grouped, cfg: &EntityConfig) -> (PredMapping, usize, f64) {
-    match cfg.coloring {
-        ColoringMode::HashOnly => {
-            let comp = HashComposition::new(cfg.hash_fns, cfg.max_cols);
-            (PredMapping::Hashed(comp), cfg.max_cols, 1.0)
-        }
-        ColoringMode::Full | ColoringMode::Sample(_) => {
-            let frac = match cfg.coloring {
-                ColoringMode::Sample(f) => f.clamp(0.0, 1.0),
-                _ => 1.0,
-            };
-            let mut graph = InterferenceGraph::new();
-            let stride = if frac >= 1.0 { 1 } else { (1.0 / frac).ceil().max(1.0) as usize };
-            for (i, (_entity, pvs)) in grouped.iter().enumerate() {
-                // Deterministic sampling: every stride-th entity.
-                if i % stride != 0 {
-                    continue;
-                }
-                let mut counts: HashMap<&str, u64> = HashMap::new();
-                for (p, _) in pvs {
-                    *counts.entry(p.as_ref()).or_default() += 1;
-                }
-                graph.add_entity(counts);
-            }
-            let bounded = graph.color_bounded(cfg.max_cols.max(2));
-            let ncols = if bounded.uncolored.is_empty() {
-                bounded.colors_used.max(1)
-            } else {
-                cfg.max_cols
-            };
-            let tail = HashComposition::new(cfg.hash_fns, ncols);
-            // Coverage over the *loaded* data is recomputed by the caller;
-            // here we report the sample-based estimate.
-            let coverage = bounded.coverage();
-            (
-                PredMapping::Colored { colors: bounded.assignment, tail },
-                ncols,
-                coverage,
-            )
+/// Composed-hashing-only mapping (no data sample assumed).
+pub(crate) fn hash_only_mapping(cfg: &EntityConfig) -> (PredMapping, usize, f64) {
+    let comp = HashComposition::new(cfg.hash_fns, cfg.max_cols);
+    (PredMapping::Hashed(comp), cfg.max_cols, 1.0)
+}
+
+/// Deterministic entity-sampling stride for a coloring mode, or `None` when
+/// no interference graph is needed (hash-only).
+pub(crate) fn coloring_stride(mode: ColoringMode) -> Option<usize> {
+    match mode {
+        ColoringMode::HashOnly => None,
+        ColoringMode::Full => Some(1),
+        ColoringMode::Sample(f) => {
+            let frac = f.clamp(0.0, 1.0);
+            Some(if frac >= 1.0 { 1 } else { (1.0 / frac).ceil().max(1.0) as usize })
         }
     }
+}
+
+/// Color a populated interference graph into a bounded predicate mapping —
+/// shared by the materialized loader below and the streaming bulk loader
+/// (`store::bulk`).
+pub(crate) fn mapping_from_graph(
+    graph: &InterferenceGraph,
+    cfg: &EntityConfig,
+) -> (PredMapping, usize, f64) {
+    let bounded = graph.color_bounded(cfg.max_cols.max(2));
+    let ncols =
+        if bounded.uncolored.is_empty() { bounded.colors_used.max(1) } else { cfg.max_cols };
+    let tail = HashComposition::new(cfg.hash_fns, ncols);
+    // Coverage over the *loaded* data is recomputed by the caller;
+    // here we report the sample-based estimate.
+    let coverage = bounded.coverage();
+    (PredMapping::Colored { colors: bounded.assignment, tail }, ncols, coverage)
+}
+
+fn build_mapping(grouped: &Grouped, cfg: &EntityConfig) -> (PredMapping, usize, f64) {
+    let Some(stride) = coloring_stride(cfg.coloring) else {
+        return hash_only_mapping(cfg);
+    };
+    let mut graph = InterferenceGraph::new();
+    for (i, (_entity, pvs)) in grouped.iter().enumerate() {
+        // Deterministic sampling: every stride-th entity.
+        if i % stride != 0 {
+            continue;
+        }
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for (p, _) in pvs {
+            *counts.entry(p.as_ref()).or_default() += 1;
+        }
+        graph.add_entity(counts);
+    }
+    mapping_from_graph(&graph, cfg)
 }
 
 fn build_side(grouped: &Grouped, cfg: &EntityConfig) -> SideBuild {
@@ -255,7 +267,7 @@ fn build_side(grouped: &Grouped, cfg: &EntityConfig) -> SideBuild {
 
 /// All term-bearing columns are BIGINT dictionary IDs (positive), with
 /// multi-valued value cells holding negative lids into the secondary table.
-fn phys_schema(table: &str, ncols: usize) -> TableSchema {
+pub(crate) fn phys_schema(table: &str, ncols: usize) -> TableSchema {
     let mut cols: Vec<(String, SqlType)> =
         vec![("entry".into(), SqlType::Int), ("spill".into(), SqlType::Int)];
     for i in 0..ncols {
@@ -354,7 +366,7 @@ pub fn bulk_load_entity(
     Ok((dbuild.layout, rbuild.layout, report))
 }
 
-fn ratio(a: u64, b: u64) -> f64 {
+pub(crate) fn ratio(a: u64, b: u64) -> f64 {
     if b == 0 {
         1.0
     } else {
@@ -524,7 +536,7 @@ fn insert_one_side(
                             for c in 0..ncols {
                                 if let Value::Int(pid) = &row[2 + 2 * c] {
                                     if let Some(pn) = dict.resolve(*pid) {
-                                        preds.push(pn.to_string());
+                                        preds.push(pn);
                                     }
                                 }
                             }

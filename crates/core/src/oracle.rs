@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use rdf::{parse_ntriples, Triple};
+use rdf::Triple;
 use sparql::{parse_sparql, to_sparql, GroupPattern, Pattern, Query};
 
 use crate::naive;
@@ -522,20 +522,31 @@ pub fn write_case(
     Ok(path)
 }
 
-/// Parse a `.case` file back into its (dataset, query) pair.
+/// Parse a `.case` file back into its (dataset, query) pair. The file is
+/// read line by line and each data line is parsed as it arrives
+/// (`parse_ntriples_chunk` with the absolute line number, so errors point
+/// into the file) — the N-Triples text is never buffered whole, which
+/// keeps corpus replay cheap even for generated stress cases.
 pub fn read_case(path: &Path) -> Result<(Vec<Triple>, String), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut query_lines: Vec<&str> = Vec::new();
-    let mut data_lines: Vec<&str> = Vec::new();
+    use std::io::BufRead as _;
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut query_lines: Vec<String> = Vec::new();
+    let mut triples: Vec<Triple> = Vec::new();
     let mut section = 0u8; // 0 = preamble, 1 = query, 2 = data
-    for line in text.lines() {
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{}: {e}", path.display()))?;
         match line.trim_end() {
             QUERY_HEADER => section = 1,
             DATA_HEADER => section = 2,
             _ if line.starts_with('#') && section == 0 => {}
             _ => match section {
                 1 => query_lines.push(line),
-                2 => data_lines.push(line),
+                2 => {
+                    let quads = rdf::parse_ntriples_chunk(&line, lineno + 1)
+                        .map_err(|e| format!("{}: bad N-Triples: {e}", path.display()))?;
+                    triples.extend(quads.into_iter().map(|q| q.triple));
+                }
                 _ => {}
             },
         }
@@ -544,9 +555,7 @@ pub fn read_case(path: &Path) -> Result<(Vec<Triple>, String), String> {
     if query.is_empty() {
         return Err(format!("{}: missing `-- query` section", path.display()));
     }
-    let quads = parse_ntriples(&data_lines.join("\n"))
-        .map_err(|e| format!("{}: bad N-Triples: {e}", path.display()))?;
-    Ok((quads.into_iter().map(|q| q.triple).collect(), query))
+    Ok((triples, query))
 }
 
 #[cfg(test)]

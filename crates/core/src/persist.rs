@@ -81,6 +81,60 @@ fn sorted(set: &HashSet<String>) -> Vec<&String> {
 }
 
 // ---------------------------------------------------------------------------
+// sys_dict front-coded pages
+// ---------------------------------------------------------------------------
+
+/// Encode one `sys_dict` page: consecutive dictionary entries front-coded
+/// against each other as `{lcp}:{suffix_len}:{suffix}` records. The first
+/// entry's lcp is always 0 (pages are self-contained), and suffix lengths
+/// are explicit so no separator can collide with term content. Prefix
+/// lengths stop on character boundaries, so every suffix is valid UTF-8.
+pub fn encode_dict_page(terms: &[String]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut prev = "";
+    for t in terms {
+        let lcp = crate::dict::char_lcp(prev, t);
+        let suffix = &t[lcp..];
+        let _ = write!(out, "{lcp}:{}:{suffix}", suffix.len());
+        prev = t;
+    }
+    out
+}
+
+/// Decode one `sys_dict` page back into its `n` terms. Any structural
+/// mismatch — bad counts, prefix lengths past the previous term, non-
+/// boundary slices, trailing bytes — is corruption, never a panic.
+pub fn decode_dict_page(text: &str, n: usize) -> DecodeResult<Vec<String>> {
+    fn read_num(s: &str) -> DecodeResult<(usize, &str)> {
+        let colon = s.find(':').ok_or("dict page: missing ':'")?;
+        let v = parse_int::<usize>(&s[..colon])?;
+        Ok((v, &s[colon + 1..]))
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut prev = String::new();
+    let mut rest = text;
+    for i in 0..n {
+        let (lcp, r) = read_num(rest)?;
+        let (len, r) = read_num(r)?;
+        let suffix = r
+            .get(..len)
+            .ok_or_else(|| format!("dict page entry {i}: suffix length {len} out of range"))?;
+        if !prev.is_char_boundary(lcp) || lcp > prev.len() {
+            return Err(format!("dict page entry {i}: prefix length {lcp} invalid"));
+        }
+        prev.truncate(lcp);
+        prev.push_str(suffix);
+        out.push(prev.clone());
+        rest = &r[len..];
+    }
+    if !rest.is_empty() {
+        return Err(format!("dict page: {} trailing bytes", rest.len()));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
 // SideLayout
 // ---------------------------------------------------------------------------
 

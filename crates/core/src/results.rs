@@ -229,7 +229,7 @@ fn decode_value(v: &Value, dict: Option<&Dict>) -> Option<Term> {
         Value::Null => None,
         Value::Str(s) => decode_term(s).or_else(|| Some(Term::lit(s.to_string()))),
         Value::Int(i) => match dict.and_then(|d| d.resolve(*i)) {
-            Some(enc) => decode_term(enc).or_else(|| Some(Term::lit(enc.to_string()))),
+            Some(enc) => decode_term(&enc).or_else(move || Some(Term::lit(enc))),
             None => Some(Term::int_lit(*i)),
         },
         Value::Double(d) => Some(Term::double_lit(*d)),

@@ -89,6 +89,11 @@ impl SharedStore {
     pub fn threads(&self) -> usize {
         self.read().threads()
     }
+
+    /// Term-dictionary size accounting (see `RdfStore::dict_stats`).
+    pub fn dict_stats(&self) -> crate::dict::DictMemStats {
+        self.read().dict_stats()
+    }
 }
 
 // The server hands one `SharedStore` to every worker thread; this fails to

@@ -93,6 +93,10 @@ pub struct Explanation {
 
 /// An RDF store over an embedded relational database — the system the paper
 /// describes, with selectable layout for baseline comparisons.
+mod bulk;
+
+pub use bulk::{BulkLoadOptions, BulkLoadStats};
+
 pub struct RdfStore {
     cfg: StoreConfig,
     db: Database,
@@ -129,6 +133,15 @@ const META_TABLE: &str = "sys_meta";
 /// crash + replay an ID stored in a data table always resolves to the string
 /// it was assigned — never to a different one, never to nothing.
 const DICT_TABLE: &str = "sys_dict";
+/// Dictionary entries per persisted `sys_dict` page row.
+const DICT_PAGE: usize = 64;
+
+/// `sys_meta` key for the streaming bulk loader's crash protocol (see
+/// `store::bulk`): set to `in-progress` in the load's first committed batch
+/// and flipped to `complete` in its last. A reopen that finds any other
+/// value refuses the store — the dataset on disk is a committed-but-partial
+/// prefix of an interrupted bulk load.
+const BULK_MARKER: &str = "bulk_load";
 
 impl RdfStore {
     pub fn new(cfg: StoreConfig) -> RdfStore {
@@ -213,12 +226,7 @@ impl RdfStore {
             return Ok(());
         }
         self.persist_dict(dict)?;
-        if self.db.table(META_TABLE).is_none() {
-            self.db.create_table(relstore::TableSchema::new(
-                META_TABLE,
-                vec![("k".into(), relstore::SqlType::Text), ("v".into(), relstore::SqlType::Text)],
-            ))?;
-        }
+        self.ensure_meta_table()?;
         let layout = match self.cfg.layout {
             Layout::Entity => "entity",
             Layout::TripleStore => "triple-store",
@@ -244,33 +252,101 @@ impl RdfStore {
         Ok(())
     }
 
-    /// Append the dictionary entries not yet on disk to `sys_dict`. The
-    /// table is append-only and IDs are dense, so the watermark is simply
-    /// its current row count; interned-but-rolled-back entries from a failed
-    /// earlier batch are re-covered automatically because the watermark
-    /// never advanced for them.
+    /// Persist the dictionary entries not yet on disk to `sys_dict` as
+    /// front-coded pages: rows of `(first_id, n, page)` where row `k` covers
+    /// IDs `k*DICT_PAGE + 1 ..= min((k+1)*DICT_PAGE, len)` — only the last
+    /// row may be partial. A partial tail row is rewritten in place (via
+    /// WAL-logged cell updates, so the rewrite commits atomically with the
+    /// data batch) and full pages are appended after it. Interned-but-
+    /// rolled-back entries from a failed earlier batch are re-covered
+    /// automatically because the on-disk watermark never advanced for them.
+    ///
+    /// Stores created before the page codec keep their 2-column
+    /// `(id, term)` format; both are readable (see `restore_meta`).
     fn persist_dict(&mut self, dict: &Dict) -> Result<()> {
         if dict.is_empty() && self.db.table(DICT_TABLE).is_none() {
             return Ok(());
         }
-        if self.db.table(DICT_TABLE).is_none() {
+        if let Some(t) = self.db.table(DICT_TABLE) {
+            if t.width() == 2 {
+                return self.persist_dict_legacy(dict);
+            }
+        } else {
             self.db.create_table(relstore::TableSchema::new(
                 DICT_TABLE,
                 vec![
-                    ("id".into(), relstore::SqlType::Int),
-                    ("term".into(), relstore::SqlType::Text),
+                    ("first_id".into(), relstore::SqlType::Int),
+                    ("n".into(), relstore::SqlType::Int),
+                    ("page".into(), relstore::SqlType::Text),
                 ],
             ))?;
         }
+        let table_rows = self.db.table(DICT_TABLE).map(|t| t.row_count()).unwrap_or(0);
+        let persisted = match table_rows {
+            0 => 0,
+            rows => {
+                let t = self.db.table(DICT_TABLE).expect("sys_dict exists");
+                let last = t.row_values(rows as u32 - 1);
+                match last[1] {
+                    relstore::Value::Int(n) => (rows - 1) * DICT_PAGE + n as usize,
+                    ref other => {
+                        return Err(StoreError::Sql(relstore::Error::Corrupt(format!(
+                            "sys_dict row {} has non-integer count {other:?}",
+                            rows - 1
+                        ))))
+                    }
+                }
+            }
+        };
+        let len = dict.len();
+        if len <= persisted {
+            return Ok(());
+        }
+        let first_dirty_row = persisted / DICT_PAGE;
+        let mut terms = dict.entries_from(first_dirty_row * DICT_PAGE).map(|(_, t)| t);
+        let mut appended: Vec<Vec<relstore::Value>> = Vec::new();
+        for row_idx in first_dirty_row..len.div_ceil(DICT_PAGE) {
+            let lo = row_idx * DICT_PAGE;
+            let n = (len - lo).min(DICT_PAGE);
+            let page_terms: Vec<String> = terms.by_ref().take(n).collect();
+            let page = crate::persist::encode_dict_page(&page_terms);
+            if row_idx < table_rows {
+                self.db.update_cell(DICT_TABLE, row_idx as u32, 1, relstore::Value::Int(n as i64))?;
+                self.db.update_cell(DICT_TABLE, row_idx as u32, 2, relstore::Value::str(page))?;
+            } else {
+                appended.push(vec![
+                    relstore::Value::Int(lo as i64 + 1),
+                    relstore::Value::Int(n as i64),
+                    relstore::Value::str(page),
+                ]);
+            }
+        }
+        if !appended.is_empty() {
+            self.db.insert_rows(DICT_TABLE, appended)?;
+        }
+        Ok(())
+    }
+
+    /// Append-only `(id, term)` persistence for stores created before the
+    /// front-coded page codec: the watermark is simply the row count.
+    fn persist_dict_legacy(&mut self, dict: &Dict) -> Result<()> {
         let watermark = self.db.table(DICT_TABLE).map(|t| t.row_count()).unwrap_or(0);
         let rows: Vec<Vec<relstore::Value>> = dict
             .entries_from(watermark)
-            .map(|(id, term)| {
-                vec![relstore::Value::Int(id), relstore::Value::str(term.to_string())]
-            })
+            .map(|(id, term)| vec![relstore::Value::Int(id), relstore::Value::str(term)])
             .collect();
         if !rows.is_empty() {
             self.db.insert_rows(DICT_TABLE, rows)?;
+        }
+        Ok(())
+    }
+
+    fn ensure_meta_table(&mut self) -> Result<()> {
+        if self.db.table(META_TABLE).is_none() {
+            self.db.create_table(relstore::TableSchema::new(
+                META_TABLE,
+                vec![("k".into(), relstore::SqlType::Text), ("v".into(), relstore::SqlType::Text)],
+            ))?;
         }
         Ok(())
     }
@@ -322,6 +398,18 @@ impl RdfStore {
     /// `sys_meta` is a fresh (or never-loaded) store; a present-but-invalid
     /// blob is surfaced as corruption rather than silently ignored.
     fn restore_meta(&mut self) -> Result<()> {
+        // Bulk-load crash protocol: an interrupted streaming bulk load left
+        // a committed-but-partial dataset. Refuse explicitly rather than
+        // serving a prefix of it (the marker precedes the layout record, so
+        // this check must come first).
+        if let Some(marker) = self.get_meta(BULK_MARKER) {
+            if marker != "complete" {
+                return Err(StoreError::Sql(relstore::Error::Corrupt(format!(
+                    "bulk load interrupted (marker: {marker}); the store holds a \
+                     partial dataset — delete the directory and re-run the bulk load"
+                ))));
+            }
+        }
         let Some(layout) = self.get_meta("layout") else {
             return Ok(());
         };
@@ -339,18 +427,45 @@ impl RdfStore {
             StoreError::Sql(relstore::Error::Corrupt(format!("sys_meta {key:?}: {e}")))
         };
         // Rebuild the in-memory dictionary from sys_dict. Entries were
-        // written append-only with dense IDs; gaps or duplicates after WAL
-        // replay mean corruption.
+        // written append-only with dense IDs (front-coded pages since PR 8,
+        // one `(id, term)` row per entry before); gaps or duplicates after
+        // WAL replay mean corruption.
         if let Some(t) = self.db.table(DICT_TABLE) {
+            let legacy = t.width() == 2;
             let mut entries: Vec<(i64, String)> = Vec::with_capacity(t.row_count());
-            for r in 0..t.row_count() as u32 {
-                let row = t.row_values(r);
-                match (&row[0], &row[1]) {
-                    (relstore::Value::Int(id), relstore::Value::Str(term)) => {
-                        entries.push((*id, term.to_string()));
+            if legacy {
+                for r in 0..t.row_count() as u32 {
+                    let row = t.row_values(r);
+                    match (&row[0], &row[1]) {
+                        (relstore::Value::Int(id), relstore::Value::Str(term)) => {
+                            entries.push((*id, term.to_string()));
+                        }
+                        other => {
+                            return Err(corrupt("sys_dict", format!("malformed row {other:?}")));
+                        }
                     }
-                    other => {
-                        return Err(corrupt("sys_dict", format!("malformed row {other:?}")));
+                }
+            } else {
+                let mut pages: Vec<(i64, i64, String)> = Vec::with_capacity(t.row_count());
+                for r in 0..t.row_count() as u32 {
+                    let row = t.row_values(r);
+                    match (&row[0], &row[1], &row[2]) {
+                        (
+                            relstore::Value::Int(first),
+                            relstore::Value::Int(n),
+                            relstore::Value::Str(page),
+                        ) => pages.push((*first, *n, page.to_string())),
+                        other => {
+                            return Err(corrupt("sys_dict", format!("malformed row {other:?}")));
+                        }
+                    }
+                }
+                pages.sort_by_key(|p| p.0);
+                for (first, n, page) in pages {
+                    let terms = crate::persist::decode_dict_page(&page, n as usize)
+                        .map_err(|e| corrupt("sys_dict", e))?;
+                    for (k, term) in terms.into_iter().enumerate() {
+                        entries.push((first + k as i64, term));
                     }
                 }
             }
@@ -682,6 +797,12 @@ impl RdfStore {
     /// The shared term dictionary (empty for baseline layouts).
     pub fn dictionary(&self) -> &SharedDict {
         &self.dict
+    }
+
+    /// In-memory size accounting of the term dictionary (entry count, raw
+    /// vs front-coded bytes) — surfaced by the server's `/stats`.
+    pub fn dict_stats(&self) -> crate::dict::DictMemStats {
+        self.dict.read().mem_stats()
     }
 
     /// Adjust the per-query evaluation budget (the "timeout").

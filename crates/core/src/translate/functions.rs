@@ -18,7 +18,7 @@ use crate::dict::{Dict, SharedDict};
 fn term_of(dict: &Dict, v: &Value) -> Option<Term> {
     match v {
         Value::Str(s) => decode_term(s),
-        Value::Int(i) => dict.resolve(*i).and_then(decode_term),
+        Value::Int(i) => dict.resolve(*i).as_deref().and_then(decode_term),
         _ => None,
     }
 }
@@ -26,7 +26,7 @@ fn term_of(dict: &Dict, v: &Value) -> Option<Term> {
 fn numeric(dict: &Dict, v: &Value) -> Option<f64> {
     match v {
         Value::Int(i) => match dict.resolve(*i) {
-            Some(enc) => decode_term(enc).and_then(|t| t.numeric_value()),
+            Some(enc) => decode_term(&enc).and_then(|t| t.numeric_value()),
             None => Some(*i as f64),
         },
         Value::Double(d) => Some(*d),
@@ -42,7 +42,7 @@ fn lexical(dict: &Dict, v: &Value) -> Option<String> {
             v.as_str().map(str::to_string)
         }),
         Value::Int(i) => match dict.resolve(*i) {
-            Some(enc) => lexical_of_encoded(enc),
+            Some(enc) => lexical_of_encoded(&enc),
             None => Some(i.to_string()),
         },
         Value::Double(d) => Some(d.to_string()),

@@ -259,7 +259,7 @@ fn dictionary_and_data_commit_atomically_under_wal_truncation() {
                                 panic!("cut {cut}: {table} holds unresolvable id {id}")
                             });
                             assert_eq!(
-                                Some(resolved),
+                                Some(resolved.as_str()),
                                 reference.get(&id).map(String::as_str),
                                 "cut {cut}: id {id} remapped after recovery"
                             );

@@ -36,9 +36,14 @@ fn zipf(rng: &mut SplitMix64, n: usize) -> usize {
 /// Generate `n_entities` entities over `n_predicates` predicates
 /// (~14 triples per entity, per the paper's reported DBpedia out-degree).
 pub fn generate(n_entities: usize, n_predicates: usize, seed: u64) -> Vec<Triple> {
+    stream(n_entities, n_predicates, seed).collect()
+}
+
+/// Stream the exact dataset `generate` returns — same seed, same bytes —
+/// buffering one entity (~14 triples) at a time.
+pub fn stream(n_entities: usize, n_predicates: usize, seed: u64) -> DbpediaStream {
     let mut rng = SplitMix64::seed_from_u64(seed);
     let n_types = (n_predicates / 12).clamp(4, 300);
-    let mut triples = Vec::with_capacity(n_entities * 14);
     // Each type owns a pool of ~20 predicates drawn with skew; the tail of
     // rare predicates is shared across types (interference explosion).
     let type_pools: Vec<Vec<usize>> = (0..n_types)
@@ -49,10 +54,64 @@ pub fn generate(n_entities: usize, n_predicates: usize, seed: u64) -> Vec<Triple
             pool
         })
         .collect();
+    DbpediaStream {
+        rng,
+        type_pools,
+        n_entities,
+        n_predicates,
+        next: 0,
+        buf: Vec::new().into_iter(),
+    }
+}
 
-    for e in 0..n_entities {
+pub struct DbpediaStream {
+    rng: SplitMix64,
+    type_pools: Vec<Vec<usize>>,
+    n_entities: usize,
+    n_predicates: usize,
+    next: usize,
+    buf: std::vec::IntoIter<Triple>,
+}
+
+impl Iterator for DbpediaStream {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        loop {
+            if let Some(t) = self.buf.next() {
+                return Some(t);
+            }
+            if self.next >= self.n_entities {
+                return None;
+            }
+            let mut triples = Vec::with_capacity(16);
+            entity_triples(
+                &mut self.rng,
+                &self.type_pools,
+                self.n_entities,
+                self.n_predicates,
+                self.next,
+                &mut triples,
+            );
+            self.next += 1;
+            self.buf = triples.into_iter();
+        }
+    }
+}
+
+/// Emit one entity's triples (the per-chunk unit of the stream).
+fn entity_triples(
+    rng: &mut SplitMix64,
+    type_pools: &[Vec<usize>],
+    n_entities: usize,
+    n_predicates: usize,
+    e: usize,
+    triples: &mut Vec<Triple>,
+) {
+    let n_types = type_pools.len();
+    {
         let subject = entity(e);
-        let ty = zipf(&mut rng, n_types);
+        let ty = zipf(rng, n_types);
         triples.push(Triple::new(
             subject.clone(),
             Term::iri(RDF_TYPE),
@@ -64,25 +123,24 @@ pub fn generate(n_entities: usize, n_predicates: usize, seed: u64) -> Vec<Triple
             Term::lit(format!("Entity {e}")),
         ));
         // Out-degree: power-law around a mean of ~14.
-        let extra = 2 + zipf(&mut rng, 40);
+        let extra = 2 + zipf(rng, 40);
         let pool = &type_pools[ty];
         for _ in 0..extra {
             let p = if rng.gen_ratio(4, 5) {
                 pool[rng.gen_range(0..pool.len())]
             } else {
-                zipf(&mut rng, n_predicates)
+                zipf(rng, n_predicates)
             };
             // Objects: popular entities get most in-links (power law);
             // a third of values are literals.
             let object = if rng.gen_ratio(1, 3) {
                 Term::lit(format!("value {}", rng.gen_range(0..5000)))
             } else {
-                entity(zipf(&mut rng, n_entities))
+                entity(zipf(rng, n_entities))
             };
             triples.push(Triple::new(subject.clone(), pred(p), object));
         }
     }
-    triples
 }
 
 /// DQ1–DQ20: DBpedia-benchmark-style templates.
@@ -206,5 +264,11 @@ mod tests {
         assert_eq!(qs.len(), 20);
         assert_eq!(qs.first().unwrap().name, "DQ1");
         assert_eq!(qs.last().unwrap().name, "DQ20");
+    }
+
+    #[test]
+    fn stream_is_identical_to_generate() {
+        let streamed: Vec<Triple> = stream(400, 600, 9).collect();
+        assert_eq!(streamed, generate(400, 600, 9));
     }
 }

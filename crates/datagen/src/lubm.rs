@@ -52,9 +52,54 @@ const GROUPS: usize = 5;
 
 /// Generate `universities` universities (~10k triples each).
 pub fn generate(universities: usize, seed: u64) -> Vec<Triple> {
-    let mut g = Gen { triples: Vec::new(), rng: SplitMix64::seed_from_u64(seed) };
-    let univ_iri = |u: usize| Term::iri(format!("{NS}University{u}"));
-    for u in 0..universities {
+    stream(universities, seed).collect()
+}
+
+/// Stream the exact dataset `generate` returns — same seed, same bytes —
+/// buffering one university (~10k triples) at a time instead of the whole
+/// corpus. This is what the bulk-load benchmarks feed to
+/// `RdfStore::bulk_load_triples` at scales where `generate` would not fit.
+pub fn stream(universities: usize, seed: u64) -> LubmStream {
+    LubmStream {
+        g: Gen { triples: Vec::new(), rng: SplitMix64::seed_from_u64(seed) },
+        universities,
+        next_univ: 0,
+        buf: Vec::new().into_iter(),
+    }
+}
+
+pub struct LubmStream {
+    g: Gen,
+    universities: usize,
+    next_univ: usize,
+    buf: std::vec::IntoIter<Triple>,
+}
+
+impl Iterator for LubmStream {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        loop {
+            if let Some(t) = self.buf.next() {
+                return Some(t);
+            }
+            if self.next_univ >= self.universities {
+                return None;
+            }
+            university(&mut self.g, self.universities, self.next_univ);
+            self.next_univ += 1;
+            self.buf = std::mem::take(&mut self.g.triples).into_iter();
+        }
+    }
+}
+
+fn univ_iri(u: usize) -> Term {
+    Term::iri(format!("{NS}University{u}"))
+}
+
+/// Emit one university into `g.triples` (the per-chunk unit of the stream).
+fn university(g: &mut Gen, universities: usize, u: usize) {
+    {
         let univ = univ_iri(u);
         g.typ(&univ, "University");
         g.emit(&univ, "name", Term::lit(format!("University {u}")));
@@ -179,7 +224,6 @@ pub fn generate(universities: usize, seed: u64) -> Vec<Triple> {
             }
         }
     }
-    g.triples
 }
 
 fn type_union(var: &str, classes: &[&str]) -> String {
@@ -317,5 +361,11 @@ mod tests {
     #[test]
     fn twelve_queries() {
         assert_eq!(queries().len(), 12);
+    }
+
+    #[test]
+    fn stream_is_identical_to_generate() {
+        let streamed: Vec<Triple> = stream(2, 7).collect();
+        assert_eq!(streamed, generate(2, 7));
     }
 }

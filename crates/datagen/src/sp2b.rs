@@ -36,14 +36,68 @@ impl Gen {
 /// Generate a dataset with roughly `n_documents` documents (~12 triples per
 /// document including authors and venues).
 pub fn generate(n_documents: usize, seed: u64) -> Vec<Triple> {
-    let mut g = Gen { triples: Vec::new(), rng: SplitMix64::seed_from_u64(seed) };
+    stream(n_documents, seed).collect()
+}
+
+/// Stream the exact dataset `generate` returns — same seed, same bytes —
+/// buffering the author/venue preamble and then one document at a time.
+/// The stream keeps the document IRI list (needed for citations); that is
+/// O(documents) small handles, not O(triples) materialized data.
+pub fn stream(n_documents: usize, seed: u64) -> Sp2bStream {
     let n_persons = (n_documents / 3).max(4);
     let n_years = 30usize;
+    Sp2bStream {
+        g: Gen { triples: Vec::new(), rng: SplitMix64::seed_from_u64(seed) },
+        persons: (0..n_persons).map(|i| Term::iri(format!("{NS}Person{i}"))).collect(),
+        journals: (0..n_years).map(|y| Term::iri(format!("{NS}Journal{y}"))).collect(),
+        procs: (0..n_years).map(|y| Term::iri(format!("{NS}Proceedings{y}"))).collect(),
+        docs: Vec::with_capacity(n_documents),
+        n_documents,
+        started: false,
+        buf: Vec::new().into_iter(),
+    }
+}
 
-    // Author pool.
-    let persons: Vec<Term> = (0..n_persons)
-        .map(|i| Term::iri(format!("{NS}Person{i}")))
-        .collect();
+pub struct Sp2bStream {
+    g: Gen,
+    persons: Vec<Term>,
+    journals: Vec<Term>,
+    procs: Vec<Term>,
+    docs: Vec<Term>,
+    n_documents: usize,
+    started: bool,
+    buf: std::vec::IntoIter<Triple>,
+}
+
+impl Iterator for Sp2bStream {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        loop {
+            if let Some(t) = self.buf.next() {
+                return Some(t);
+            }
+            if !self.started {
+                self.started = true;
+                preamble(&mut self.g, &self.persons, &self.journals, &self.procs);
+            } else if self.docs.len() < self.n_documents {
+                document(
+                    &mut self.g,
+                    &self.persons,
+                    &self.journals,
+                    &self.procs,
+                    &mut self.docs,
+                );
+            } else {
+                return None;
+            }
+            self.buf = std::mem::take(&mut self.g.triples).into_iter();
+        }
+    }
+}
+
+/// Author pool and venues — everything documents reference.
+fn preamble(g: &mut Gen, persons: &[Term], journals: &[Term], procs: &[Term]) {
     for (i, person) in persons.iter().enumerate() {
         g.typ(person, "Person");
         g.emit(person, "name", Term::lit(format!("Author {i}")));
@@ -59,17 +113,11 @@ pub fn generate(n_documents: usize, seed: u64) -> Vec<Triple> {
     }
 
     // Venues: one journal volume and one proceedings per year.
-    let journals: Vec<Term> = (0..n_years)
-        .map(|y| Term::iri(format!("{NS}Journal{y}")))
-        .collect();
     for (y, j) in journals.iter().enumerate() {
         g.typ(j, "Journal");
         g.emit(j, "title", Term::lit(format!("Journal 1 ({})", 1950 + y)));
         g.emit(j, "issued", Term::int_lit(1950 + y as i64));
     }
-    let procs: Vec<Term> = (0..n_years)
-        .map(|y| Term::iri(format!("{NS}Proceedings{y}")))
-        .collect();
     for (y, pr) in procs.iter().enumerate() {
         g.typ(pr, "Proceedings");
         g.emit(pr, "title", Term::lit(format!("Proceedings {}", 1950 + y)));
@@ -78,10 +126,19 @@ pub fn generate(n_documents: usize, seed: u64) -> Vec<Triple> {
         let e = g.rng.gen_range(0..persons.len());
         g.emit(pr, "editor", persons[e].clone());
     }
+}
 
-    // Documents.
-    let mut docs: Vec<Term> = Vec::with_capacity(n_documents);
-    for i in 0..n_documents {
+/// Emit document `docs.len()` (the per-chunk unit of the stream).
+fn document(
+    g: &mut Gen,
+    persons: &[Term],
+    journals: &[Term],
+    procs: &[Term],
+    docs: &mut Vec<Term>,
+) {
+    let n_years = journals.len();
+    let i = docs.len();
+    {
         // Document 0 is always an Article so the workload's constant-anchor
         // queries (SQ8, SQ12) have a stable target.
         let roll = if i == 0 { 0 } else { g.rng.gen_range(0..100u32) };
@@ -162,7 +219,6 @@ pub fn generate(n_documents: usize, seed: u64) -> Vec<Triple> {
         }
         docs.push(doc);
     }
-    g.triples
 }
 
 /// SQ1–SQ17 (SP²Bench shapes adapted to the generator's vocabulary).
@@ -327,6 +383,12 @@ mod tests {
     #[test]
     fn seventeen_queries() {
         assert_eq!(queries().len(), 17);
+    }
+
+    #[test]
+    fn stream_is_identical_to_generate() {
+        let streamed: Vec<Triple> = stream(300, 5).collect();
+        assert_eq!(streamed, generate(300, 5));
     }
 
     #[test]

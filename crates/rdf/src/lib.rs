@@ -15,6 +15,9 @@ mod ntriples;
 mod term;
 mod triple;
 
-pub use ntriples::{parse_ntriples, parse_ntriples_line, write_ntriples, NTriplesError};
+pub use ntriples::{
+    parse_ntriples, parse_ntriples_chunk, parse_ntriples_line, parse_ntriples_read,
+    write_ntriples, Chunk, ChunkReader, NTriplesError, NtStream, DEFAULT_CHUNK_BYTES,
+};
 pub use term::{decode_term, Term};
 pub use triple::{Quad, Triple};

@@ -3,8 +3,17 @@
 //! Supports the subset needed by the benchmark pipeline: IRIs, blank nodes,
 //! plain / language-tagged / typed literals, comments, and an optional graph
 //! term per line (N-Quads).
+//!
+//! Two entry points: [`parse_ntriples`] parses an in-memory string, while
+//! [`NtStream`] / [`ChunkReader`] stream from any [`std::io::Read`] in
+//! line-aligned chunks so arbitrarily large documents never have to be
+//! resident at once. [`ChunkReader`] is also the fan-out unit for the
+//! parallel bulk loader: chunk boundaries depend only on the byte stream
+//! (target size + newline positions), never on thread count, which is what
+//! makes chunk-parallel parsing deterministic.
 
 use std::fmt::Write as _;
+use std::io::Read;
 
 use crate::term::decode_term;
 #[cfg(test)]
@@ -141,6 +150,180 @@ pub fn parse_ntriples(input: &str) -> Result<Vec<Quad>, NTriplesError> {
     Ok(out)
 }
 
+/// Parse a chunk of whole lines whose first line is line `first_line` of the
+/// enclosing document. This is [`parse_ntriples`] with a line-number offset:
+/// the piece the parallel bulk loader hands to each worker so errors still
+/// point at the absolute input line.
+pub fn parse_ntriples_chunk(input: &str, first_line: usize) -> Result<Vec<Quad>, NTriplesError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        match parse_ntriples_line(line) {
+            Ok(Some(q)) => out.push(q),
+            Ok(None) => {}
+            Err(message) => return Err(NTriplesError { line: first_line + idx, message }),
+        }
+    }
+    Ok(out)
+}
+
+/// Default line-aligned chunk size for streaming reads (1 MiB).
+pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+/// A line-aligned slice of the input document.
+#[derive(Debug)]
+pub struct Chunk {
+    /// Whole lines (the final line may lack a trailing newline at EOF).
+    pub text: String,
+    /// 1-based document line number of the chunk's first line.
+    pub first_line: usize,
+}
+
+/// Reads an N-Triples document as a sequence of line-aligned chunks of
+/// roughly `target` bytes. Only one chunk (plus the read-ahead remainder of
+/// the next) is ever buffered, so memory stays O(chunk), not O(file). A
+/// single line longer than `target` is returned as an oversized chunk rather
+/// than split mid-line.
+pub struct ChunkReader<R> {
+    inner: R,
+    carry: Vec<u8>,
+    next_line: usize,
+    target: usize,
+    eof: bool,
+}
+
+impl<R: Read> ChunkReader<R> {
+    pub fn new(inner: R, target: usize) -> ChunkReader<R> {
+        ChunkReader { inner, carry: Vec::new(), next_line: 1, target: target.max(1), eof: false }
+    }
+
+    /// The next line-aligned chunk, or `None` at end of input. I/O and
+    /// UTF-8 failures surface as [`NTriplesError`] at the current line.
+    pub fn next_chunk(&mut self) -> Result<Option<Chunk>, NTriplesError> {
+        loop {
+            if self.carry.len() >= self.target {
+                if let Some(cut) = self.carry.iter().rposition(|&b| b == b'\n') {
+                    return self.emit(cut + 1).map(Some);
+                }
+                // One line longer than the target: keep reading to its end.
+            }
+            if self.eof {
+                if self.carry.is_empty() {
+                    return Ok(None);
+                }
+                let len = self.carry.len();
+                return self.emit(len).map(Some);
+            }
+            let mut buf = [0u8; 64 * 1024];
+            match self.inner.read(&mut buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.carry.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(NTriplesError {
+                        line: self.next_line,
+                        message: format!("I/O error: {e}"),
+                    })
+                }
+            }
+        }
+    }
+
+    fn emit(&mut self, upto: usize) -> Result<Chunk, NTriplesError> {
+        let rest = self.carry.split_off(upto);
+        let bytes = std::mem::replace(&mut self.carry, rest);
+        let first_line = self.next_line;
+        let text = String::from_utf8(bytes).map_err(|e| {
+            let lines_before =
+                e.as_bytes()[..e.utf8_error().valid_up_to()].iter().filter(|&&b| b == b'\n').count();
+            NTriplesError {
+                line: first_line + lines_before,
+                message: "input is not valid UTF-8".into(),
+            }
+        })?;
+        self.next_line += text.bytes().filter(|&b| b == b'\n').count();
+        Ok(Chunk { text, first_line })
+    }
+}
+
+/// Streaming quad iterator over any [`Read`]: yields `Result<Quad, _>` per
+/// data line without ever materializing the document. Fuses after the first
+/// error.
+pub struct NtStream<R> {
+    chunks: ChunkReader<R>,
+    text: String,
+    pos: usize,
+    line: usize,
+    done: bool,
+}
+
+impl<R: Read> NtStream<R> {
+    pub fn new(inner: R) -> NtStream<R> {
+        NtStream::with_chunk_size(inner, DEFAULT_CHUNK_BYTES)
+    }
+
+    pub fn with_chunk_size(inner: R, chunk_bytes: usize) -> NtStream<R> {
+        NtStream {
+            chunks: ChunkReader::new(inner, chunk_bytes),
+            text: String::new(),
+            pos: 0,
+            line: 0,
+            done: false,
+        }
+    }
+}
+
+impl<R: Read> Iterator for NtStream<R> {
+    type Item = Result<Quad, NTriplesError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.pos >= self.text.len() {
+                match self.chunks.next_chunk() {
+                    Ok(Some(chunk)) => {
+                        self.text = chunk.text;
+                        self.pos = 0;
+                        self.line = chunk.first_line - 1;
+                        continue;
+                    }
+                    Ok(None) => {
+                        self.done = true;
+                        return None;
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            let rest = &self.text[self.pos..];
+            let (line_str, consumed) = match rest.find('\n') {
+                Some(i) => (&rest[..i], i + 1),
+                None => (rest, rest.len()),
+            };
+            self.pos += consumed;
+            self.line += 1;
+            match parse_ntriples_line(line_str) {
+                Ok(Some(q)) => return Some(Ok(q)),
+                Ok(None) => {}
+                Err(message) => {
+                    self.done = true;
+                    return Some(Err(NTriplesError { line: self.line, message }));
+                }
+            }
+        }
+    }
+}
+
+/// Parse a whole document from a reader via the streaming path. Same result
+/// as `parse_ntriples(&std::fs::read_to_string(..)?)` without holding the
+/// text.
+pub fn parse_ntriples_read(reader: impl Read) -> Result<Vec<Quad>, NTriplesError> {
+    NtStream::new(reader).collect()
+}
+
 /// Serialize quads as an N-Triples/N-Quads document.
 pub fn write_ntriples<'a>(quads: impl IntoIterator<Item = &'a Quad>) -> String {
     let mut out = String::new();
@@ -203,6 +386,75 @@ mod tests {
         let q = parse_ntriples_line("_:a <p> _:b .").unwrap().unwrap();
         assert_eq!(q.triple.subject, Term::blank("a"));
         assert_eq!(q.triple.object, Term::blank("b"));
+    }
+
+    #[test]
+    fn chunk_reader_is_line_aligned_and_numbered() {
+        let doc = "<s1> <p> <o> .\n# comment\n<s2> <p> <o> .\n<s3> <p> <o> .\n";
+        for target in [1, 8, 16, 64, 4096] {
+            let mut chunks = ChunkReader::new(doc.as_bytes(), target);
+            let mut rebuilt = String::new();
+            let mut expect_line = 1;
+            while let Some(chunk) = chunks.next_chunk().unwrap() {
+                assert!(chunk.text.ends_with('\n'), "chunk not line-aligned: {:?}", chunk.text);
+                assert_eq!(chunk.first_line, expect_line);
+                expect_line += chunk.text.bytes().filter(|&b| b == b'\n').count();
+                rebuilt.push_str(&chunk.text);
+            }
+            assert_eq!(rebuilt, doc, "target {target}");
+        }
+    }
+
+    #[test]
+    fn chunk_reader_keeps_oversized_line_whole() {
+        let long = format!("<s> <p> \"{}\" .\n<t> <p> <o> .", "x".repeat(500));
+        let mut chunks = ChunkReader::new(long.as_bytes(), 16);
+        let first = chunks.next_chunk().unwrap().unwrap();
+        assert!(first.text.len() > 500);
+        let second = chunks.next_chunk().unwrap().unwrap();
+        assert_eq!(second.first_line, 2);
+        assert!(chunks.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_matches_whole_document_parse() {
+        let doc = "# header\n<s1> <p> \"a b\" .\n\n<s2> <p> <o> <g> .\n_:b <p> \"x\"@en .";
+        let whole = parse_ntriples(doc).unwrap();
+        for chunk_bytes in [1, 7, 32, 1024] {
+            let streamed: Vec<Quad> = NtStream::with_chunk_size(doc.as_bytes(), chunk_bytes)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(streamed, whole, "chunk_bytes {chunk_bytes}");
+        }
+        assert_eq!(parse_ntriples_read(doc.as_bytes()).unwrap(), whole);
+    }
+
+    #[test]
+    fn stream_error_carries_absolute_line_and_fuses() {
+        let doc = "<s> <p> <o> .\n<s2> <p> <o2> .\nbogus line\n<s3> <p> <o3> .\n";
+        let mut stream = NtStream::with_chunk_size(doc.as_bytes(), 4);
+        assert!(stream.next().unwrap().is_ok());
+        assert!(stream.next().unwrap().is_ok());
+        let err = stream.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(stream.next().is_none(), "stream must fuse after an error");
+    }
+
+    #[test]
+    fn stream_reports_invalid_utf8() {
+        let mut bytes = b"<s> <p> <o> .\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        let err: Result<Vec<Quad>, _> =
+            NtStream::with_chunk_size(&bytes[..], 4).collect::<Result<_, _>>();
+        let err = err.unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("UTF-8"));
+    }
+
+    #[test]
+    fn chunk_parse_offsets_error_lines() {
+        let err = parse_ntriples_chunk("<s> <p> <o> .\nnope\n", 41).unwrap_err();
+        assert_eq!(err.line, 42);
     }
 
     #[test]

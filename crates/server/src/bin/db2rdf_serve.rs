@@ -28,7 +28,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use db2rdf::{RdfStore, SharedStore, StoreConfig};
+use db2rdf::{BulkLoadOptions, RdfStore, SharedStore, StoreConfig};
 use rdf::{Term, Triple};
 use server::{client, Server, ServerConfig};
 
@@ -99,12 +99,21 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> T {
 
 fn build_store(args: &Args) -> Result<RdfStore, String> {
     if let Some(path) = &args.load {
-        let text = std::fs::read_to_string(path)
+        // Stream the file through the parallel bulk loader: the file is
+        // read in line-aligned chunks, so peak memory tracks the dataset's
+        // encoded size, never the N-Triples text.
+        let file = std::fs::File::open(path)
             .map_err(|e| format!("cannot read {path}: {e}"))?;
         let mut store = RdfStore::entity();
-        let report =
-            store.load_ntriples(&text).map_err(|e| format!("load failed: {e}"))?;
-        eprintln!("loaded {} triples from {path}", report.triples);
+        let stats = store
+            .bulk_load_ntriples(std::io::BufReader::new(file), &BulkLoadOptions::default())
+            .map_err(|e| format!("load failed: {e}"))?;
+        eprintln!(
+            "loaded {} triples from {path} ({:.1}s parse, {:.1}s insert)",
+            stats.triples,
+            stats.parse_secs,
+            stats.insert_secs
+        );
         Ok(store)
     } else if let Some(dir) = &args.open {
         let store = RdfStore::open(dir, StoreConfig::default())
@@ -263,6 +272,18 @@ fn run_smoke() -> Result<(), String> {
     check(
         r.status == 200 && body.contains("\"sparql\":{\"requests\":") && hits >= 1,
         "GET /stats -> counters incl. plan-cache hits",
+    )?;
+
+    // Memory accounting: resident-set size (best-effort, may be null off
+    // Linux) and the term dictionary's compression counters.
+    let dict_entries = body
+        .split("\"dict\":")
+        .nth(1)
+        .and_then(|d| json_u64(d, "\"entries\":"))
+        .unwrap_or(0);
+    check(
+        body.contains("\"rss_bytes\":") && dict_entries >= 6,
+        "GET /stats -> rss_bytes + dict compression stats",
     )?;
 
     server.shutdown();

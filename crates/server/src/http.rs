@@ -125,17 +125,42 @@ impl Conn {
         }
     }
 
-    /// Read and parse the next request. Blocks up to the stream's read
-    /// timeout; see [`ReadError`] for the contract. `recv_deadline` bounds
-    /// the wall-clock time from the request's first byte to its last: it
-    /// does not start ticking while the connection idles between
-    /// keep-alive requests, but once a request is in flight neither steady
-    /// trickling nor mid-request stalls can stretch past it.
+    /// Read and parse the next request, buffering the whole body. Blocks up
+    /// to the stream's read timeout; see [`ReadError`] for the contract.
+    /// `recv_deadline` bounds the wall-clock time from the request's first
+    /// byte to its last: it does not start ticking while the connection
+    /// idles between keep-alive requests, but once a request is in flight
+    /// neither steady trickling nor mid-request stalls can stretch past it.
     pub fn read_request(
         &mut self,
         max_body: usize,
         recv_deadline: Duration,
     ) -> Result<Request, ReadError> {
+        let (mut req, mut body) = self.read_request_head(max_body, recv_deadline)?;
+        let mut buf = Vec::with_capacity(body.remaining().min(64 * 1024));
+        body.read_to_end(&mut buf).map_err(|e| match e.kind() {
+            std::io::ErrorKind::TimedOut => ReadError::Timeout,
+            std::io::ErrorKind::UnexpectedEof => {
+                ReadError::Malformed("unexpected EOF in body".into())
+            }
+            _ => ReadError::Io(e),
+        })?;
+        req.body = buf;
+        Ok(req)
+    }
+
+    /// Read and parse the next request's head (request line + headers),
+    /// leaving the body on the wire. Returns the request with an empty
+    /// `body` plus a [`BodyReader`] that streams exactly the declared
+    /// `Content-Length` bytes under the same receive deadline — the
+    /// streaming `POST /insert` path consumes N-Triples through it without
+    /// ever holding the full upload. The size cap is still enforced here,
+    /// before any body byte is read.
+    pub fn read_request_head(
+        &mut self,
+        max_body: usize,
+        recv_deadline: Duration,
+    ) -> Result<(Request, BodyReader<'_>), ReadError> {
         let mut started: Option<Instant> =
             if self.buf.is_empty() { None } else { Some(Instant::now()) };
         // Phase 1: accumulate the head (through CRLFCRLF).
@@ -215,18 +240,9 @@ impl Conn {
             return Err(ReadError::BodyTooLarge { declared: content_length, cap: max_body });
         }
 
-        // Phase 2: accumulate the body (still on the same receive clock).
-        let started = started.unwrap_or_else(Instant::now);
-        while self.buf.len() < body_start + content_length {
-            if started.elapsed() >= recv_deadline {
-                return Err(ReadError::Timeout);
-            }
-            if let Some(0) = self.fill().map_err(ReadError::Io)? {
-                return Err(ReadError::Malformed("unexpected EOF in body".into()));
-            }
-        }
-        let body = self.buf[body_start..body_start + content_length].to_vec();
-        self.buf.drain(..body_start + content_length);
+        // The head is consumed here; body bytes (buffered or still on the
+        // wire) belong to the returned reader, on the same receive clock.
+        self.buf.drain(..body_start);
 
         // Split and decode the target.
         let (raw_path, raw_query) = match target.split_once('?') {
@@ -239,7 +255,93 @@ impl Conn {
             None => Vec::new(),
         };
 
-        Ok(Request { method, path, query, headers, body })
+        let started = started.unwrap_or_else(Instant::now);
+        let req = Request { method, path, query, headers, body: Vec::new() };
+        let body = BodyReader {
+            conn: self,
+            remaining: content_length,
+            started,
+            deadline: recv_deadline,
+            timed_out: false,
+        };
+        Ok((req, body))
+    }
+}
+
+/// Streams one request body — exactly the declared `Content-Length` bytes —
+/// off a [`Conn`], honoring the request's receive deadline. Bytes already
+/// buffered (pipelining) are served first; bytes belonging to a *following*
+/// pipelined request are never consumed. Dropping the reader with bytes
+/// unread leaves the connection unframed: call [`BodyReader::drain`] before
+/// reusing the connection for another request.
+pub struct BodyReader<'a> {
+    conn: &'a mut Conn,
+    remaining: usize,
+    started: Instant,
+    deadline: Duration,
+    timed_out: bool,
+}
+
+impl BodyReader<'_> {
+    /// Bytes of the declared body not yet read.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether a read failed on the receive deadline (the slowloris guard):
+    /// the right response is 408, not 400.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    /// Read and discard the unread remainder so the connection can carry
+    /// another request. An error means the connection is unusable.
+    pub fn drain(&mut self) -> std::io::Result<()> {
+        let mut sink = [0u8; 4096];
+        while self.remaining > 0 {
+            // `read` returning 0 with bytes remaining is impossible (it
+            // errors on EOF), but guard anyway so a regression cannot spin.
+            if self.read(&mut sink)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "unexpected EOF draining body",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Read for BodyReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.remaining == 0 || out.is_empty() {
+            return Ok(0);
+        }
+        while self.conn.buf.is_empty() {
+            if self.started.elapsed() >= self.deadline {
+                self.timed_out = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request body not received within the receive deadline",
+                ));
+            }
+            match self.conn.fill()? {
+                Some(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "unexpected EOF in body",
+                    ))
+                }
+                Some(_) => break,
+                // Read-timeout tick: loop to re-check the deadline.
+                None => {}
+            }
+        }
+        let n = out.len().min(self.conn.buf.len()).min(self.remaining);
+        out[..n].copy_from_slice(&self.conn.buf[..n]);
+        self.conn.buf.drain(..n);
+        self.remaining -= n;
+        Ok(n)
     }
 }
 

@@ -29,7 +29,7 @@
 pub mod http;
 pub mod metrics;
 
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
@@ -257,12 +257,52 @@ fn worker_loop(inner: &Inner, tx: &Sender<Conn>, rx: &Mutex<Receiver<Conn>>) {
 /// most one [`IDLE_TICK`] for it), answer protocol errors, and return the
 /// connection if it should stay open. `None` closes it.
 fn serve_turn(inner: &Inner, mut conn: Conn) -> Option<Conn> {
-    match conn.read_request(inner.cfg.max_body_bytes, inner.cfg.recv_deadline) {
-        Ok(req) => {
+    match conn.read_request_head(inner.cfg.max_body_bytes, inner.cfg.recv_deadline) {
+        Ok((mut req, mut body)) => {
             let t0 = Instant::now();
             // During shutdown, finish this request but don't linger.
-            let keep = req.keep_alive() && !inner.shutdown.load(Ordering::SeqCst);
-            let (endpoint, resp) = route(inner, &req);
+            let mut keep = req.keep_alive() && !inner.shutdown.load(Ordering::SeqCst);
+            let (endpoint, resp) = if req.method == "POST" && req.path == "/insert" {
+                // Streaming path: the N-Triples body is parsed as it
+                // arrives, never buffered whole. If the handler bailed with
+                // body bytes unread, drain them (bounded by the size cap
+                // and the receive clock) so the connection stays framed.
+                let resp = handle_insert(inner, &req, &mut body);
+                if body.remaining() > 0 && body.drain().is_err() {
+                    keep = false;
+                }
+                if body.timed_out() {
+                    keep = false;
+                }
+                (Endpoint::Insert, resp)
+            } else {
+                // Buffered path: every other endpoint sees the whole body.
+                let mut buf = Vec::new();
+                match body.read_to_end(&mut buf) {
+                    Ok(_) => {
+                        req.body = buf;
+                        route(inner, &req)
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                        let resp = Response::text(
+                            408,
+                            format!(
+                                "request not received within {:?}: connection closed",
+                                inner.cfg.recv_deadline
+                            ),
+                        );
+                        let _ = resp.write_to(conn.stream(), false);
+                        return None;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                        let resp =
+                            Response::text(400, "malformed request: unexpected EOF in body");
+                        let _ = resp.write_to(conn.stream(), false);
+                        return None;
+                    }
+                    Err(_) => return None,
+                }
+            };
             endpoint_stats(inner, endpoint).record(resp.status, t0.elapsed());
             if resp.write_to(conn.stream(), keep).is_err() || !keep {
                 return None;
@@ -353,7 +393,8 @@ fn route(inner: &Inner, req: &Request) -> (Endpoint, Response) {
             Endpoint::Stats,
             Response::new(200, "application/json", stats_json(inner).into_bytes()),
         ),
-        ("POST", "/insert") => (Endpoint::Insert, handle_insert(inner, req)),
+        // POST /insert is routed before the body is buffered (see
+        // `serve_turn`); only non-POST methods reach this table.
         (_, "/insert") => (
             Endpoint::Insert,
             Response::text(405, "use POST with an N-Triples body on /insert")
@@ -554,12 +595,18 @@ fn handle_sparql(inner: &Inner, req: &Request) -> Response {
 }
 
 /// Handle `POST /insert`: an N-Triples body, one triple per line, loaded
-/// under the store's write lock. A store that degraded to read-only after
-/// a durability fault refuses the mutation with 503 + `Retry-After` (an
-/// operator restoring the volume fixes it; silently dropping writes never
-/// does) — checked up front so a doomed upload is rejected before parsing,
-/// and enforced again per-triple in case degradation races the check.
-fn handle_insert(inner: &Inner, req: &Request) -> Response {
+/// under the store's write lock. The body is *streamed* — parsed in
+/// line-aligned chunks as it arrives off the socket (`rdf::NtStream`), so
+/// an upload near the size cap costs chunk-sized memory, not the body; the
+/// cap itself was enforced from `Content-Length` before any body byte was
+/// read. A store that degraded to read-only after a durability fault
+/// refuses the mutation with 503 + `Retry-After` (an operator restoring
+/// the volume fixes it; silently dropping writes never does) — checked up
+/// front so a doomed upload is rejected before parsing, and enforced again
+/// per-triple in case degradation races the check. Triples already
+/// inserted when a later line fails stay inserted, exactly as the buffered
+/// handler behaved on a mid-batch store error.
+fn handle_insert(inner: &Inner, req: &Request, body: &mut http::BodyReader<'_>) -> Response {
     match req.media_type().as_deref() {
         None | Some("application/n-triples" | "text/plain") => {}
         Some(other) => {
@@ -572,16 +619,23 @@ fn handle_insert(inner: &Inner, req: &Request) -> Response {
     if inner.store.is_read_only() {
         return degraded_response();
     }
-    let text = match std::str::from_utf8(&req.body) {
-        Ok(t) => t,
-        Err(_) => return Response::text(400, "N-Triples body is not valid UTF-8"),
-    };
-    let quads = match rdf::parse_ntriples(text) {
-        Ok(q) => q,
-        Err(e) => return Response::text(400, format!("bad N-Triples body: {e}")),
-    };
+    let mut received = 0usize;
     let mut inserted = 0usize;
-    for quad in &quads {
+    for quad in rdf::NtStream::new(&mut *body) {
+        let quad = match quad {
+            Ok(q) => q,
+            Err(_) if body.timed_out() => {
+                return Response::text(
+                    408,
+                    format!(
+                        "request body not received within {:?}: connection closed",
+                        inner.cfg.recv_deadline
+                    ),
+                );
+            }
+            Err(e) => return Response::text(400, format!("bad N-Triples body: {e}")),
+        };
+        received += 1;
         match inner.store.insert(&quad.triple) {
             Ok(true) => inserted += 1,
             Ok(false) => {} // duplicate — already stored
@@ -592,7 +646,7 @@ fn handle_insert(inner: &Inner, req: &Request) -> Response {
     Response::new(
         200,
         "application/json",
-        format!("{{\"received\":{},\"inserted\":{inserted}}}\n", quads.len()).into_bytes(),
+        format!("{{\"received\":{received},\"inserted\":{inserted}}}\n").into_bytes(),
     )
 }
 
@@ -625,6 +679,17 @@ fn store_error_response(e: &StoreError) -> Response {
     }
 }
 
+/// Best-effort resident-set size of this process in bytes, from Linux's
+/// `/proc/self/status` (`VmRSS:` line, reported in kB). Returns `None`
+/// anywhere the procfs line is missing or unparsable — `/stats` then
+/// reports `"rss_bytes":null` rather than a guess.
+fn resident_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 fn stats_json(inner: &Inner) -> String {
     let report = inner.store.load_report();
     let plan_cache = match inner.store.plan_cache_stats() {
@@ -635,10 +700,17 @@ fn stats_json(inner: &Inner) -> String {
         ),
         None => "null".into(),
     };
+    let dict = inner.store.dict_stats();
+    let rss = match resident_bytes() {
+        Some(b) => b.to_string(),
+        None => "null".into(),
+    };
     format!(
         "{{\"uptime_secs\":{},\"triples\":{},\"workers\":{},\"exec_threads\":{},\
          \"in_flight\":{},\
-         \"max_in_flight\":{},\"shed\":{},\"epoch\":{},\"degraded\":{},\"plan_cache\":{},\
+         \"max_in_flight\":{},\"shed\":{},\"epoch\":{},\"degraded\":{},\"rss_bytes\":{rss},\
+         \"dict\":{{\"entries\":{},\"raw_bytes\":{},\"compressed_bytes\":{}}},\
+         \"plan_cache\":{},\
          \"endpoints\":{{\"sparql\":{},\"insert\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}\n",
         inner.started.elapsed().as_secs(),
         report.triples,
@@ -649,6 +721,9 @@ fn stats_json(inner: &Inner) -> String {
         inner.shed.load(Ordering::Relaxed),
         inner.store.epoch(),
         inner.store.is_read_only(),
+        dict.entries,
+        dict.raw_bytes,
+        dict.compressed_bytes,
         plan_cache,
         inner.sparql.to_json(),
         inner.insert.to_json(),

@@ -25,9 +25,14 @@
 #                                # differential oracle plus a bounded
 #                                # crash-point sweep (truncations, write and
 #                                # read faults) — fixed seeds, <2 min
+#   scripts/verify.sh --bulk-load
+#                                # additionally run the bulk_load bench in
+#                                # its BULK_LOAD_SMOKE=1 profile: ~100k LUBM
+#                                # triples through the streaming parallel
+#                                # loader under a fixed peak-RSS ceiling
 #
 # Flags combine: `scripts/verify.sh --all --clippy --server --plan-cache
-# --exec-scaling --fuzz` is what CI runs.
+# --exec-scaling --fuzz --bulk-load` is what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +42,7 @@ run_server=false
 run_plan_cache=false
 run_exec_scaling=false
 run_fuzz=false
+run_bulk_load=false
 for arg in "$@"; do
     case "$arg" in
         --all) run_all=true ;;
@@ -45,6 +51,7 @@ for arg in "$@"; do
         --plan-cache) run_plan_cache=true ;;
         --exec-scaling) run_exec_scaling=true ;;
         --fuzz) run_fuzz=true ;;
+        --bulk-load) run_bulk_load=true ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -84,6 +91,11 @@ fi
 if $run_fuzz; then
     echo "== fuzz_differential smoke (seeded differential oracle + crash sweep)"
     FUZZ_SMOKE=1 cargo run --release --offline -p bench --bin fuzz_differential
+fi
+
+if $run_bulk_load; then
+    echo "== bulk_load bench smoke (~100k streamed LUBM triples, RSS ceiling)"
+    BULK_LOAD_SMOKE=1 cargo run --release --offline -p bench --bin bulk_load
 fi
 
 echo "verify: OK"
