@@ -6,6 +6,12 @@
 //! layouts × plan-cache on/off × 1/4 threads). A divergence is greedily
 //! shrunk and written to `tests/corpus/` as a permanent regression case.
 //!
+//! Phase 1b — update fuzzing: seeded SPARQL 1.1 Update requests
+//! (`queryfuzz::gen_update_case`) run through the real applier on all three
+//! layouts and are checked against `oracle::naive_apply_update`'s
+//! set-semantic reference (`check_update_case`): effect counts and final
+//! store contents must both match. Divergences shrink to `.ucase` repros.
+//!
 //! Phase 2 — crash points, three sweeps per workload seed:
 //!   * truncation: run a randomized load/insert/delete workload on a durable
 //!     store, recording `(wal_len, shadow state)` after every acked op; then
@@ -37,6 +43,7 @@ use relstore::ScriptedFaults;
 
 struct Profile {
     cases: u64,
+    update_cases: u64,
     seed: u64,
     crash_seeds: u64,
     workload_ops: usize,
@@ -58,6 +65,7 @@ impl Profile {
         });
         Profile {
             cases: env_u64("FUZZ_CASES", if smoke { 200 } else { 2000 }),
+            update_cases: env_u64("FUZZ_UPDATE_CASES", if smoke { 150 } else { 1500 }),
             seed: env_u64("FUZZ_SEED", 1),
             crash_seeds: env_u64("FUZZ_CRASH_SEEDS", if smoke { 2 } else { 6 }),
             workload_ops: if smoke { 24 } else { 48 },
@@ -75,11 +83,14 @@ fn main() {
     let mut failures = 0usize;
 
     failures += differential_phase(&profile);
+    failures += update_phase(&profile);
     failures += crash_phase(&profile);
 
     println!(
-        "\nfuzz_differential: {} query cases, {} crash seeds, {} failure(s) in {:.1}s",
+        "\nfuzz_differential: {} query cases, {} update cases, {} crash seeds, {} failure(s) \
+         in {:.1}s",
         profile.cases,
+        profile.update_cases,
         profile.crash_seeds,
         failures,
         t0.elapsed().as_secs_f64()
@@ -144,6 +155,52 @@ fn report_divergence(
         Ok(path) => println!("    minimized repro written to {}", path.display()),
         Err(e) => println!("    FAILED to write repro: {e}"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1b: update-request differential oracle
+// ---------------------------------------------------------------------------
+
+fn update_phase(profile: &Profile) -> usize {
+    println!(
+        "\nphase 1b: update oracle over {} seeded cases (base seed {})",
+        profile.update_cases, profile.seed
+    );
+    let mut failures = 0;
+    for i in 0..profile.update_cases {
+        let seed = profile.seed.wrapping_add(i);
+        let case = queryfuzz::gen_update_case(seed);
+        if let Err(div) = oracle::check_update_case(&case.triples, &case.update) {
+            failures += 1;
+            println!("  DIVERGENCE update seed {seed}: {div}");
+            let (min_triples, min_update) = oracle::shrink_update(&case.triples, &case.update);
+            let min_div = oracle::check_update_case(&min_triples, &min_update)
+                .err()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| div.to_string());
+            println!(
+                "    shrunk to {} triple(s), update: {}",
+                min_triples.len(),
+                min_update
+            );
+            let note = format!("seed: {seed}\ninvariant: {min_div}");
+            match oracle::write_update_case(
+                &profile.corpus,
+                &format!("fuzz-update-seed-{seed}"),
+                &min_triples,
+                &min_update,
+                &note,
+            ) {
+                Ok(path) => println!("    minimized repro written to {}", path.display()),
+                Err(e) => println!("    FAILED to write repro: {e}"),
+            }
+        }
+        if (i + 1) % 500 == 0 {
+            println!("  ... {} update cases checked", i + 1);
+        }
+    }
+    println!("  {} update cases, {} divergence(s)", profile.update_cases, failures);
+    failures
 }
 
 // ---------------------------------------------------------------------------

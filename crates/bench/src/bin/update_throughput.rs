@@ -1,0 +1,245 @@
+//! Mixed read/write throughput for the group-committed update subsystem
+//! (DESIGN.md §4.12).
+//!
+//! Opens a *durable* entity-layout LUBM store (group commit only means
+//! something when there is an fsync to amortize), wraps it in
+//! `SharedStore`, and measures three things:
+//!
+//! 1. **reader baseline** — p50/p99 SPARQL query latency with no writers;
+//! 2. **update throughput** — 1/4/16 writer threads each issuing a mix of
+//!    INSERT DATA / DELETE DATA / DELETE-INSERT requests through
+//!    `SharedStore::update`, with 2 reader threads querying throughout:
+//!    updates/s per level plus the group-commit batch-size histogram
+//!    (requests coalesced per fsync) taken from `update_stats()` deltas;
+//! 3. **reader p99 under the storm** — the same reader loop timed while the
+//!    widest writer level runs: snapshot-per-reader means the storm must
+//!    not block reads, so the bench records how far p99 actually drifts.
+//!
+//! Every acked update is verified against the stats counters (applied ==
+//! issued, failed == 0, histogram sums to groups) — throughput with lost
+//! writes is not throughput. Writes `BENCH_update.json`. Knobs:
+//! `UPDATE_SMOKE=1` (CI profile: tiny dataset, 1/2 writers, seconds),
+//! `UPDATE_THROUGHPUT_UNIV`, `UPDATE_THROUGHPUT_PER_WRITER`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use bench::scale_from_env;
+use db2rdf::{RdfStore, SharedStore, StoreConfig, UpdateStats, BATCH_BUCKET_LABELS};
+
+/// Sorted-percentile in milliseconds.
+fn pct_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx] * 1e3
+}
+
+/// The request a writer issues at step `i`: mostly fresh inserts, with
+/// periodic deletes of its own earlier triples and a DELETE/INSERT rewrite,
+/// so all three op kinds hit the group-commit path and the store does not
+/// grow without bound.
+fn writer_request(level: usize, writer: usize, i: usize) -> String {
+    let s = format!("<http://bench/u{level}-{writer}-{i}>");
+    let p = format!("<http://bench/p{}>", i % 4);
+    if i % 7 == 6 {
+        let old = format!("<http://bench/u{level}-{writer}-{}>", i - 3);
+        format!("DELETE {{ {old} ?p ?o }} INSERT {{ {s} {p} {i} }} WHERE {{ {old} ?p ?o }}")
+    } else if i % 5 == 4 {
+        let old = format!("<http://bench/u{level}-{writer}-{}>", i - 2);
+        format!("DELETE WHERE {{ {old} ?p ?o }}")
+    } else {
+        format!("INSERT DATA {{ {s} {p} {i} }}")
+    }
+}
+
+/// Run `readers` query threads until `stop` flips; returns all latencies.
+fn reader_loop(
+    shared: &SharedStore,
+    query: &str,
+    readers: usize,
+    stop: &AtomicBool,
+) -> Vec<f64> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut lat = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = Instant::now();
+                        shared.query(query).expect("reader query");
+                        lat.push(t.elapsed().as_secs_f64());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("reader thread"));
+        }
+        all
+    })
+}
+
+fn hist_delta(before: &UpdateStats, after: &UpdateStats) -> Vec<u64> {
+    before.batch_sizes.iter().zip(after.batch_sizes.iter()).map(|(b, a)| a - b).collect()
+}
+
+fn hist_json(hist: &[u64]) -> String {
+    let parts: Vec<String> = BATCH_BUCKET_LABELS
+        .iter()
+        .zip(hist.iter())
+        .map(|(label, n)| format!("\"{label}\": {n}"))
+        .collect();
+    format!("{{{}}}", parts.join(", "))
+}
+
+fn main() {
+    let smoke = std::env::var("UPDATE_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let universities = scale_from_env("UPDATE_THROUGHPUT_UNIV", if smoke { 1 } else { 3 });
+    let per_writer = scale_from_env("UPDATE_THROUGHPUT_PER_WRITER", if smoke { 40 } else { 250 });
+    let levels: &[usize] = if smoke { &[1, 2] } else { &[1, 4, 16] };
+    let readers = 2usize;
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+
+    let dir: PathBuf = std::env::temp_dir()
+        .join(format!("db2rdf-update-throughput-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let triples = datagen::lubm::generate(universities, 42);
+    let mut store = RdfStore::open(&dir, StoreConfig::default()).expect("open durable store");
+    store.load(&triples).expect("bulk load");
+    store.checkpoint().expect("checkpoint after load");
+    let shared = SharedStore::new(store);
+    eprintln!(
+        "loaded {} LUBM triples ({universities} universities) into a durable store; \
+         {cores} core(s){}",
+        triples.len(),
+        if smoke { "; SMOKE mode" } else { "" }
+    );
+
+    let reader_query = format!(
+        "SELECT ?x ?d WHERE {{ ?x <{ns}advisor> ?y . ?x <{ns}memberOf> ?d }}",
+        ns = datagen::lubm::NS
+    );
+    shared.query(&reader_query).expect("reader query sanity");
+
+    // Phase 1: reader baseline, no writers. Bounded by request count so the
+    // smoke profile stays fast: run the loop for a fixed number of queries
+    // per reader by flipping `stop` from a timer thread.
+    let baseline = {
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let lat_handle = scope.spawn(|| reader_loop(&shared, &reader_query, readers, &stop));
+            let budget = if smoke { 0.5 } else { 3.0 };
+            std::thread::sleep(std::time::Duration::from_secs_f64(budget));
+            stop.store(true, Ordering::Relaxed);
+            lat_handle.join().expect("baseline readers")
+        })
+    };
+    let mut baseline_sorted = baseline.clone();
+    baseline_sorted.sort_by(f64::total_cmp);
+    let (base_p50, base_p99) = (pct_ms(&baseline_sorted, 0.50), pct_ms(&baseline_sorted, 0.99));
+    println!(
+        "reader baseline: {} queries, p50 {base_p50:.2} ms, p99 {base_p99:.2} ms",
+        baseline.len()
+    );
+
+    // Phase 2: write storm per level, readers running throughout.
+    println!(
+        "{:<8} {:>9} {:>11} {:>10} {:>12} {:>12}  batch histogram",
+        "writers", "updates", "updates/s", "groups", "rd_p50_ms", "rd_p99_ms"
+    );
+    let mut level_json = Vec::new();
+    let mut storm_p99 = base_p99;
+    for &writers in levels {
+        let before = shared.update_stats();
+        let stop = AtomicBool::new(false);
+        let (wall, reader_lat) = std::thread::scope(|scope| {
+            let reader_handle =
+                scope.spawn(|| reader_loop(&shared, &reader_query, readers, &stop));
+            let t0 = Instant::now();
+            let writer_handles: Vec<_> = (0..writers)
+                .map(|w| {
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        for i in 0..per_writer {
+                            let req = writer_request(writers, w, i);
+                            shared
+                                .update(&req)
+                                .unwrap_or_else(|e| panic!("writer {w} step {i}: {e}"));
+                        }
+                    })
+                })
+                .collect();
+            for h in writer_handles {
+                h.join().expect("writer thread");
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            stop.store(true, Ordering::Relaxed);
+            (wall, reader_handle.join().expect("storm readers"))
+        });
+        let after = shared.update_stats();
+
+        let issued = (writers * per_writer) as u64;
+        assert_eq!(after.applied - before.applied, issued, "every update must ack");
+        assert_eq!(after.failed, before.failed, "no update may fail");
+        let groups = after.groups - before.groups;
+        let hist = hist_delta(&before, &after);
+        assert_eq!(hist.iter().sum::<u64>(), groups, "histogram covers every group");
+
+        let ups = issued as f64 / wall;
+        let mut lat = reader_lat;
+        lat.sort_by(f64::total_cmp);
+        let (p50, p99) = (pct_ms(&lat, 0.50), pct_ms(&lat, 0.99));
+        if writers == *levels.last().unwrap() {
+            storm_p99 = p99;
+        }
+        let hist_str: Vec<String> = BATCH_BUCKET_LABELS
+            .iter()
+            .zip(hist.iter())
+            .filter(|(_, n)| **n > 0)
+            .map(|(l, n)| format!("{l}:{n}"))
+            .collect();
+        println!(
+            "{writers:<8} {issued:>9} {ups:>11.1} {groups:>10} {p50:>12.2} {p99:>12.2}  [{}]",
+            hist_str.join(" ")
+        );
+        level_json.push(format!(
+            "{{\"writers\": {writers}, \"updates\": {issued}, \"updates_per_sec\": {ups:.2}, \
+             \"group_commits\": {groups}, \"reader_p50_ms\": {p50:.3}, \
+             \"reader_p99_ms\": {p99:.3}, \"batch_sizes\": {}}}",
+            hist_json(&hist)
+        ));
+    }
+
+    let final_stats = shared.update_stats();
+    println!(
+        "totals: {} groups for {} updates ({:.2} updates/group); reader p99 {:.2} ms idle \
+         vs {:.2} ms under the widest storm",
+        final_stats.groups,
+        final_stats.applied,
+        final_stats.applied as f64 / final_stats.groups.max(1) as f64,
+        base_p99,
+        storm_p99
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"update_throughput\",\n  \"triples\": {},\n  \
+         \"universities\": {universities},\n  \"cores\": {cores},\n  \"smoke\": {smoke},\n  \
+         \"per_writer\": {per_writer},\n  \"readers\": {readers},\n  \
+         \"reader_baseline\": {{\"queries\": {}, \"p50_ms\": {base_p50:.3}, \
+         \"p99_ms\": {base_p99:.3}}},\n  \"total_groups\": {},\n  \
+         \"total_batch_sizes\": {},\n  \"levels\": [\n    {}\n  ]\n}}\n",
+        triples.len(),
+        baseline.len(),
+        final_stats.groups,
+        hist_json(&final_stats.batch_sizes),
+        level_json.join(",\n    ")
+    );
+    std::fs::write("BENCH_update.json", &json).expect("write BENCH_update.json");
+    eprintln!("wrote BENCH_update.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

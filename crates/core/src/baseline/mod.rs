@@ -43,17 +43,43 @@ pub fn load_triple_store(db: &mut Database, triples: &[Triple]) -> relstore::Res
     Ok(())
 }
 
-/// Append one triple (the triple-store is trivially dynamic).
-pub fn insert_triple_store(db: &mut Database, t: &Triple) -> relstore::Result<()> {
-    db.insert_rows(
-        "triples",
-        [vec![
-            Value::str(t.subject.encode()),
-            Value::str(t.predicate.encode()),
-            Value::str(t.object.encode()),
-        ]],
-    )?;
-    Ok(())
+/// Insert one triple unless already present (RDF graphs are sets); returns
+/// whether a row was actually added. Presence is checked through the subject
+/// hash index, so the probe is O(rows-per-subject), not a table scan.
+pub fn insert_triple_store(db: &mut Database, t: &Triple) -> relstore::Result<bool> {
+    let s = Value::str(t.subject.encode());
+    let p = Value::str(t.predicate.encode());
+    let o = Value::str(t.object.encode());
+    if find_triple_row(db, &s, &p, &o).is_some() {
+        return Ok(false);
+    }
+    db.insert_rows("triples", [vec![s, p, o]])?;
+    Ok(true)
+}
+
+/// Row id of `(s, p, o)` in the TRIPLES relation, if present.
+fn find_triple_row(db: &Database, s: &Value, p: &Value, o: &Value) -> Option<u32> {
+    let table = db.table("triples")?;
+    let idx = table.index_on("subj")?;
+    idx.lookup(s).iter().copied().find(|&rid| {
+        let row = table.row_values(rid);
+        &row[1] == p && &row[2] == o
+    })
+}
+
+/// Delete every row matching `t`; returns whether anything was removed.
+/// `delete_row` is swap-remove, so the index is re-probed after each delete
+/// rather than trusting previously collected row ids.
+pub fn delete_triple_store(db: &mut Database, t: &Triple) -> relstore::Result<bool> {
+    let s = Value::str(t.subject.encode());
+    let p = Value::str(t.predicate.encode());
+    let o = Value::str(t.object.encode());
+    let mut removed = false;
+    while let Some(rid) = find_triple_row(db, &s, &p, &o) {
+        db.delete_row("triples", rid)?;
+        removed = true;
+    }
+    Ok(removed)
 }
 
 pub struct TripleGen<'a> {
@@ -162,13 +188,14 @@ pub fn load_vertical(
     Ok(layout)
 }
 
-/// Append one triple; unseen predicates need a schema change (the dynamic-
-/// schema weakness the paper points out — a new table per new predicate).
+/// Insert one triple unless already present; returns whether a row was
+/// added. Unseen predicates need a schema change (the dynamic-schema
+/// weakness the paper points out — a new table per new predicate).
 pub fn insert_vertical(
     db: &mut Database,
     layout: &mut VerticalLayout,
     t: &Triple,
-) -> relstore::Result<()> {
+) -> relstore::Result<bool> {
     let pred = t.predicate.encode();
     let table = match layout.tables.get(&pred) {
         Some(t) => t.clone(),
@@ -184,8 +211,41 @@ pub fn insert_vertical(
             table
         }
     };
-    db.insert_rows(&table, [vec![Value::str(t.subject.encode()), Value::str(t.object.encode())]])?;
-    Ok(())
+    let s = Value::str(t.subject.encode());
+    let o = Value::str(t.object.encode());
+    if find_vertical_row(db, &table, &s, &o).is_some() {
+        return Ok(false);
+    }
+    db.insert_rows(&table, [vec![s, o]])?;
+    Ok(true)
+}
+
+/// Row id of `(entry, val)` in a predicate table, if present.
+fn find_vertical_row(db: &Database, table: &str, s: &Value, o: &Value) -> Option<u32> {
+    let t = db.table(table)?;
+    let idx = t.index_on("entry")?;
+    idx.lookup(s).iter().copied().find(|&rid| &t.row_values(rid)[1] == o)
+}
+
+/// Delete every row matching `t`; returns whether anything was removed.
+/// The predicate table itself is never dropped — layouts only grow, which is
+/// what lets deletes skip plan-cache invalidation.
+pub fn delete_vertical(
+    db: &mut Database,
+    layout: &VerticalLayout,
+    t: &Triple,
+) -> relstore::Result<bool> {
+    let Some(table) = layout.tables.get(&t.predicate.encode()) else {
+        return Ok(false);
+    };
+    let s = Value::str(t.subject.encode());
+    let o = Value::str(t.object.encode());
+    let mut removed = false;
+    while let Some(rid) = find_vertical_row(db, table, &s, &o) {
+        db.delete_row(table, rid)?;
+        removed = true;
+    }
+    Ok(removed)
 }
 
 pub struct VerticalGen<'a> {

@@ -39,6 +39,7 @@ pub mod shared;
 pub mod stats;
 mod store;
 pub mod translate;
+pub mod update;
 
 pub use dict::{Dict, DictMemStats, SharedDict};
 pub use error::{Result, StoreError};
@@ -46,8 +47,9 @@ pub use loader::{ColoringMode, EntityConfig, LoadReport};
 pub use optimizer::OptimizerMode;
 pub use plancache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use results::Solutions;
-pub use shared::SharedStore;
+pub use shared::{SharedStore, UpdateStats, WriteGuard, BATCH_BUCKETS, BATCH_BUCKET_LABELS};
 pub use stats::Stats;
 pub use store::{
     layout_name, BulkLoadOptions, BulkLoadStats, Explanation, Layout, RdfStore, StoreConfig,
 };
+pub use update::UpdateOutcome;

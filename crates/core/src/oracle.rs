@@ -28,13 +28,25 @@
 //! then prune the query AST via `sparql::to_sparql` round-trips) and
 //! [`write_case`]/[`read_case`] persist repros in `tests/corpus/`, which the
 //! `fuzz_regressions` tier-1 test replays forever after.
+//!
+//! SPARQL 1.1 Update requests get the same treatment: [`check_update_case`]
+//! runs a request through `crate::update::apply_update` on every layout and
+//! compares both the reported effect counts and the final store contents
+//! against [`naive_apply_update`], an independent set-semantic reference
+//! that grounds WHERE clauses with the naive evaluator. [`shrink_update`]
+//! minimizes diverging update cases and
+//! [`write_update_case`]/[`read_update_case`] persist them as `.ucase`
+//! files next to the query corpus.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use rdf::Triple;
-use sparql::{parse_sparql, to_sparql, GroupPattern, Pattern, Query};
+use rdf::{Term, Triple};
+use sparql::{
+    parse_sparql, parse_update, to_sparql, to_sparql_update, GroupPattern, Pattern, Query,
+    QueryForm, SelectVars, TermPattern, TriplePattern, Update, UpdateOp,
+};
 
 use crate::naive;
 use crate::results::Solutions;
@@ -318,6 +330,202 @@ pub fn canon(solutions: &Solutions) -> Vec<Vec<String>> {
 }
 
 // ---------------------------------------------------------------------------
+// Update oracle
+// ---------------------------------------------------------------------------
+
+/// Check one (dataset, update request) pair differentially: the real applier
+/// (`crate::update::apply_update`) must leave every layout's store holding
+/// exactly the triple set a naive set-semantic reference computes, and must
+/// report the same effect counts. The reference deliberately shares *no*
+/// code with the applier's grounding/instantiation path — WHERE clauses are
+/// evaluated by [`crate::naive`] over a plain triple list — so a bug in the
+/// SQL-backed path cannot cancel out in the comparison.
+///
+/// Because every layout is compared against the same reference state,
+/// cross-layout agreement is implied; mismatches surface as
+/// `update-reference-equivalence` with the offending layout named.
+pub fn check_update_case(triples: &[Triple], update_text: &str) -> Result<(), Divergence> {
+    let parsed = match parse_update(update_text) {
+        Ok(u) => u,
+        Err(e) => {
+            return Err(Divergence::new("parse", format!("update parser rejected: {e}")))
+        }
+    };
+    let mut deduped = triples.to_vec();
+    deduped.sort();
+    deduped.dedup();
+
+    let mut expected = deduped.clone();
+    let (exp_ins, exp_del) = naive_apply_update(&mut expected, &parsed);
+    let expected_state = canon_triples(&expected);
+
+    for layout in LAYOUTS {
+        let mut store = RdfStore::new(StoreConfig::with_layout(layout));
+        if !deduped.is_empty() {
+            store
+                .load(&deduped)
+                .map_err(|e| Divergence::new("load", format!("{layout:?}: load failed: {e}")))?;
+        }
+        let outcome = crate::update::apply_update(&mut store, &parsed).map_err(|e| {
+            Divergence::new("update-evaluation", format!("{layout:?}: apply failed: {e}"))
+        })?;
+        if (outcome.inserted, outcome.deleted) != (exp_ins, exp_del) {
+            return Err(Divergence::new(
+                "update-reference-equivalence",
+                format!(
+                    "{layout:?}: applier reported +{} −{}, reference says +{exp_ins} −{exp_del}",
+                    outcome.inserted, outcome.deleted
+                ),
+            ));
+        }
+        let got = dump_store(layout, &store)?;
+        if got != expected_state {
+            return Err(Divergence::new(
+                "update-reference-equivalence",
+                format!(
+                    "{layout:?}: final store holds {} triples, reference holds {} \
+                     (triple sets differ)",
+                    got.len(),
+                    expected_state.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Apply `update` to a set-semantic triple list, returning `(inserted,
+/// deleted)` effect counts. This is the reference semantics the real applier
+/// is judged against: operations run in order, each seeing its predecessors'
+/// effects; a `DeleteInsert` grounds both templates against the pre-op state,
+/// then applies all deletions before any insertion; instantiations with an
+/// unbound variable, a literal subject or a non-IRI predicate are skipped.
+pub fn naive_apply_update(state: &mut Vec<Triple>, update: &Update) -> (u64, u64) {
+    let mut inserted = 0u64;
+    let mut deleted = 0u64;
+    let mut remove = |state: &mut Vec<Triple>, t: &Triple| {
+        if let Some(i) = state.iter().position(|x| x == t) {
+            state.remove(i);
+            deleted += 1;
+        }
+    };
+    for op in &update.ops {
+        match op {
+            UpdateOp::InsertData(ts) => {
+                for t in ts {
+                    if !state.contains(t) {
+                        state.push(t.clone());
+                        inserted += 1;
+                    }
+                }
+            }
+            UpdateOp::DeleteData(ts) => {
+                for t in ts {
+                    remove(state, t);
+                }
+            }
+            UpdateOp::DeleteInsert { delete, insert, pattern } => {
+                let (dels, ins) = naive_ground(state, delete, insert, pattern);
+                for t in &dels {
+                    remove(state, t);
+                }
+                for t in ins {
+                    if !state.contains(&t) {
+                        state.push(t);
+                        inserted += 1;
+                    }
+                }
+            }
+        }
+    }
+    (inserted, deleted)
+}
+
+/// Ground both templates of a `DeleteInsert` against `state` using the naive
+/// evaluator. Mirrors the applier's query shape (all pattern variables
+/// projected without DISTINCT; ASK when the WHERE clause is fully ground)
+/// but none of its machinery.
+fn naive_ground(
+    state: &[Triple],
+    delete: &[TriplePattern],
+    insert: &[TriplePattern],
+    pattern: &GroupPattern,
+) -> (Vec<Triple>, Vec<Triple>) {
+    let vars = Pattern::Group(pattern.clone()).variables();
+    let form = if vars.is_empty() {
+        QueryForm::Ask
+    } else {
+        QueryForm::Select { vars: SelectVars::Vars(vars), distinct: false }
+    };
+    let query =
+        Query { form, pattern: pattern.clone(), order_by: Vec::new(), limit: None, offset: None };
+    let mut solutions = naive::evaluate(state, &query);
+    if solutions.boolean == Some(true) && solutions.rows.is_empty() {
+        solutions.rows.push(Vec::new());
+    }
+    let positions: HashMap<&str, usize> =
+        solutions.vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+    let mut dels = Vec::new();
+    let mut ins = Vec::new();
+    for row in &solutions.rows {
+        for (template, out) in [(delete, &mut dels), (insert, &mut ins)] {
+            for tp in template {
+                if let Some(t) = naive_instantiate(tp, &positions, row) {
+                    out.push(t);
+                }
+            }
+        }
+    }
+    (dels, ins)
+}
+
+fn naive_instantiate(
+    tp: &TriplePattern,
+    positions: &HashMap<&str, usize>,
+    row: &[Option<Term>],
+) -> Option<Triple> {
+    let resolve = |p: &TermPattern| -> Option<Term> {
+        match p {
+            TermPattern::Term(t) => Some(t.clone()),
+            TermPattern::Var(v) => {
+                positions.get(v.as_str()).and_then(|&i| row.get(i).cloned().flatten())
+            }
+        }
+    };
+    let s = resolve(&tp.subject)?;
+    let p = resolve(&tp.predicate)?;
+    let o = resolve(&tp.object)?;
+    if s.is_literal() || !p.is_iri() {
+        return None;
+    }
+    Some(Triple::new(s, p, o))
+}
+
+/// Canonical sorted N-Triples encoding of a triple set, comparable with
+/// [`dump_store`]'s output.
+fn canon_triples(triples: &[Triple]) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = triples
+        .iter()
+        .map(|t| vec![t.subject.encode(), t.predicate.encode(), t.object.encode()])
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// The full post-update contents of a store via `SELECT ?s ?p ?o`. A store
+/// that was never loaded (the update was a pure no-op on an empty dataset)
+/// has no tables to scan and is, by definition, empty.
+fn dump_store(layout: Layout, store: &RdfStore) -> Result<Vec<Vec<String>>, Divergence> {
+    if !store.is_loaded() {
+        return Ok(Vec::new());
+    }
+    let sols = store.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }").map_err(|e| {
+        Divergence::new("update-evaluation", format!("{layout:?}: state dump failed: {e}"))
+    })?;
+    Ok(canon(&sols))
+}
+
+// ---------------------------------------------------------------------------
 // Shrinking
 // ---------------------------------------------------------------------------
 
@@ -478,11 +686,137 @@ fn reduce_pattern(pattern: &Pattern) -> Vec<Pattern> {
     }
 }
 
+/// Greedily minimize a diverging update case with [`check_update_case`] as
+/// the predicate.
+pub fn shrink_update(triples: &[Triple], update: &str) -> (Vec<Triple>, String) {
+    shrink_update_with(triples, update, |t, u| check_update_case(t, u).is_err())
+}
+
+/// Greedily minimize `(triples, update)` while `diverges` stays true — the
+/// update-request counterpart of [`shrink_with`]. Unlike query shrinking,
+/// the dataset may shrink all the way to empty: updates bootstrap stores, so
+/// an empty starting dataset is a perfectly good repro.
+pub fn shrink_update_with(
+    triples: &[Triple],
+    update: &str,
+    diverges: impl Fn(&[Triple], &str) -> bool,
+) -> (Vec<Triple>, String) {
+    let mut triples = triples.to_vec();
+    let mut update = update.to_string();
+    let mut budget = 500usize;
+
+    loop {
+        let mut progress = false;
+
+        let mut chunk = triples.len().max(1);
+        while chunk >= 1 && budget > 0 {
+            let mut i = 0;
+            while i < triples.len() && budget > 0 {
+                let end = (i + chunk).min(triples.len());
+                let mut cand = triples[..i].to_vec();
+                cand.extend_from_slice(&triples[end..]);
+                budget -= 1;
+                if diverges(&cand, &update) {
+                    triples = cand;
+                    progress = true;
+                } else {
+                    i = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Update: accept the first one-step AST reduction that still
+        // diverges, re-serialized through `to_sparql_update`.
+        if budget > 0 {
+            if let Ok(ast) = parse_update(&update) {
+                for candidate in update_reductions(&ast) {
+                    let text = to_sparql_update(&candidate);
+                    if text == update || budget == 0 {
+                        continue;
+                    }
+                    budget -= 1;
+                    if diverges(&triples, &text) {
+                        update = text;
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !progress || budget == 0 {
+            break;
+        }
+    }
+    (triples, update)
+}
+
+/// All one-step reductions of an update request: drop a whole operation,
+/// drop one triple from a DATA block, drop one template triple from a
+/// `DeleteInsert` (keeping at least one across both templates, so the op
+/// stays meaningful), or reduce the WHERE group the same way query
+/// shrinking does.
+fn update_reductions(update: &Update) -> Vec<Update> {
+    let mut out = Vec::new();
+    if update.ops.len() > 1 {
+        for i in 0..update.ops.len() {
+            let mut u = update.clone();
+            u.ops.remove(i);
+            out.push(u);
+        }
+    }
+    for (i, op) in update.ops.iter().enumerate() {
+        match op {
+            UpdateOp::InsertData(ts) | UpdateOp::DeleteData(ts) if ts.len() > 1 => {
+                for j in 0..ts.len() {
+                    let mut u = update.clone();
+                    if let UpdateOp::InsertData(v) | UpdateOp::DeleteData(v) = &mut u.ops[i] {
+                        v.remove(j);
+                    }
+                    out.push(u);
+                }
+            }
+            UpdateOp::DeleteInsert { delete, insert, pattern } => {
+                if delete.len() + insert.len() > 1 {
+                    for j in 0..delete.len() {
+                        let mut u = update.clone();
+                        if let UpdateOp::DeleteInsert { delete, .. } = &mut u.ops[i] {
+                            delete.remove(j);
+                        }
+                        out.push(u);
+                    }
+                    for j in 0..insert.len() {
+                        let mut u = update.clone();
+                        if let UpdateOp::DeleteInsert { insert, .. } = &mut u.ops[i] {
+                            insert.remove(j);
+                        }
+                        out.push(u);
+                    }
+                }
+                for g in reduce_group(pattern) {
+                    let mut u = update.clone();
+                    if let UpdateOp::DeleteInsert { pattern, .. } = &mut u.ops[i] {
+                        *pattern = g;
+                    }
+                    out.push(u);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Regression corpus
 // ---------------------------------------------------------------------------
 
 const QUERY_HEADER: &str = "-- query";
+const UPDATE_HEADER: &str = "-- update";
 const DATA_HEADER: &str = "-- data";
 
 /// Write a (minimized) case into `dir` as `<stem>.case`: a `# `-commented
@@ -495,6 +829,31 @@ pub fn write_case(
     query: &str,
     note: &str,
 ) -> std::io::Result<PathBuf> {
+    write_case_file(dir, &format!("{stem}.case"), QUERY_HEADER, triples, query, note)
+}
+
+/// Write a (minimized) update case into `dir` as `<stem>.ucase`: same shape
+/// as [`write_case`] but with the update request under `-- update`. The
+/// distinct extension keeps query replay (`check_case`) and update replay
+/// (`check_update_case`) from picking up each other's files.
+pub fn write_update_case(
+    dir: &Path,
+    stem: &str,
+    triples: &[Triple],
+    update: &str,
+    note: &str,
+) -> std::io::Result<PathBuf> {
+    write_case_file(dir, &format!("{stem}.ucase"), UPDATE_HEADER, triples, update, note)
+}
+
+fn write_case_file(
+    dir: &Path,
+    file: &str,
+    header: &str,
+    triples: &[Triple],
+    text: &str,
+    note: &str,
+) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let mut out = String::new();
     out.push_str("# db2rdf fuzz regression case (replayed by tests/fuzz_regressions.rs)\n");
@@ -503,9 +862,9 @@ pub fn write_case(
         out.push_str(line);
         out.push('\n');
     }
-    out.push_str(QUERY_HEADER);
+    out.push_str(header);
     out.push('\n');
-    out.push_str(query.trim_end());
+    out.push_str(text.trim_end());
     out.push('\n');
     out.push_str(DATA_HEADER);
     out.push('\n');
@@ -517,7 +876,7 @@ pub fn write_case(
             t.object.encode()
         ));
     }
-    let path = dir.join(format!("{stem}.case"));
+    let path = dir.join(file);
     std::fs::write(&path, out)?;
     Ok(path)
 }
@@ -528,20 +887,29 @@ pub fn write_case(
 /// into the file) — the N-Triples text is never buffered whole, which
 /// keeps corpus replay cheap even for generated stress cases.
 pub fn read_case(path: &Path) -> Result<(Vec<Triple>, String), String> {
+    read_case_file(path, QUERY_HEADER)
+}
+
+/// Parse a `.ucase` file back into its (dataset, update request) pair.
+pub fn read_update_case(path: &Path) -> Result<(Vec<Triple>, String), String> {
+    read_case_file(path, UPDATE_HEADER)
+}
+
+fn read_case_file(path: &Path, header: &str) -> Result<(Vec<Triple>, String), String> {
     use std::io::BufRead as _;
     let file =
         std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut query_lines: Vec<String> = Vec::new();
+    let mut text_lines: Vec<String> = Vec::new();
     let mut triples: Vec<Triple> = Vec::new();
-    let mut section = 0u8; // 0 = preamble, 1 = query, 2 = data
+    let mut section = 0u8; // 0 = preamble, 1 = query/update, 2 = data
     for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
         let line = line.map_err(|e| format!("{}: {e}", path.display()))?;
         match line.trim_end() {
-            QUERY_HEADER => section = 1,
+            h if h == header => section = 1,
             DATA_HEADER => section = 2,
             _ if line.starts_with('#') && section == 0 => {}
             _ => match section {
-                1 => query_lines.push(line),
+                1 => text_lines.push(line),
                 2 => {
                     let quads = rdf::parse_ntriples_chunk(&line, lineno + 1)
                         .map_err(|e| format!("{}: bad N-Triples: {e}", path.display()))?;
@@ -551,11 +919,11 @@ pub fn read_case(path: &Path) -> Result<(Vec<Triple>, String), String> {
             },
         }
     }
-    let query = query_lines.join("\n").trim().to_string();
-    if query.is_empty() {
-        return Err(format!("{}: missing `-- query` section", path.display()));
+    let text = text_lines.join("\n").trim().to_string();
+    if text.is_empty() {
+        return Err(format!("{}: missing `{header}` section", path.display()));
     }
-    Ok((triples, query))
+    Ok((triples, text))
 }
 
 #[cfg(test)]
@@ -630,6 +998,90 @@ mod tests {
         assert!(!min_query.contains("DISTINCT"), "{min_query}");
         // The minimized query still parses — it must, to be a usable repro.
         parse_sparql(&min_query).unwrap();
+    }
+
+    #[test]
+    fn clean_update_cases_pass() {
+        let data = fixture();
+        for update in [
+            "INSERT DATA { <http://s/9> <http://p/0> <http://s/1> . }",
+            "DELETE DATA { <http://s/1> <http://p/0> <http://s/2> . }",
+            // Duplicate insert + miss delete: both must count zero effects.
+            "INSERT DATA { <http://s/1> <http://p/0> <http://s/2> } ; \
+             DELETE DATA { <http://s/9> <http://p/5> \"nope\" }",
+            "DELETE WHERE { ?s <http://p/0> ?o }",
+            "DELETE WHERE { ?s ?p ?o }",
+            "DELETE { ?s <http://p/1> ?n } INSERT { ?s <http://p/3> ?n } \
+             WHERE { ?s <http://p/1> ?n FILTER (?n > 8) }",
+            // Literal-subject instantiation must be skipped, not inserted.
+            "INSERT { ?o <http://p/4> ?s } WHERE { ?s <http://p/2> ?o }",
+            // Fully ground WHERE: ASK semantics decide one-or-zero solutions.
+            "INSERT { <http://s/7> <http://p/0> <http://s/8> } \
+             WHERE { <http://s/1> <http://p/0> <http://s/2> }",
+            "INSERT { <http://s/7> <http://p/0> <http://s/8> } \
+             WHERE { <http://s/1> <http://p/0> <http://s/9> }",
+            // Ops see their predecessors' effects, in order.
+            "INSERT DATA { <http://s/7> <http://p/5> 3 } ; \
+             DELETE WHERE { <http://s/7> <http://p/5> ?o }",
+        ] {
+            check_update_case(&data, update).unwrap_or_else(|d| panic!("{update}: {d}"));
+        }
+    }
+
+    #[test]
+    fn update_oracle_runs_on_an_empty_dataset() {
+        check_update_case(&[], "INSERT DATA { <http://s/0> <http://p/0> <http://s/1> . }")
+            .unwrap();
+        check_update_case(&[], "DELETE WHERE { ?s ?p ?o }").unwrap();
+    }
+
+    #[test]
+    fn naive_reference_counts_effects() {
+        let mut state = fixture();
+        let update = parse_update(
+            "DELETE { ?s <http://p/0> ?o } INSERT { ?o <http://p/0> ?s } \
+             WHERE { ?s <http://p/0> ?o }",
+        )
+        .unwrap();
+        let (ins, del) = naive_apply_update(&mut state, &update);
+        assert_eq!((ins, del), (2, 2), "two edges reversed");
+        assert_eq!(state.len(), 6);
+        assert!(state.contains(&triple("http://s/2", "http://p/0", Term::iri("http://s/1"))));
+    }
+
+    #[test]
+    fn shrink_update_minimizes_against_a_synthetic_predicate() {
+        let mut data = fixture();
+        data.push(triple("http://bad", "http://p/0", Term::iri("http://s/1")));
+        let update = "INSERT DATA { <http://s/5> <http://p/5> 1 . <http://s/6> <http://p/5> 2 } ; \
+                      DELETE { ?s <http://p/0> ?o } WHERE { ?s <http://p/0> ?o }";
+        let diverges = |t: &[Triple], u: &str| {
+            t.iter().any(|t| t.subject.encode().contains("bad")) && u.contains("DELETE")
+        };
+        assert!(diverges(&data, update), "fixture sanity");
+        let (min_data, min_update) = shrink_update_with(&data, update, diverges);
+        assert_eq!(min_data.len(), 1, "{min_data:?}");
+        assert!(min_data[0].subject.encode().contains("bad"));
+        assert!(min_update.contains("DELETE"));
+        assert!(!min_update.contains("INSERT DATA"), "{min_update}");
+        parse_update(&min_update).unwrap();
+    }
+
+    #[test]
+    fn update_corpus_round_trips() {
+        let dir =
+            std::env::temp_dir().join(format!("db2rdf-oracle-utest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = fixture();
+        let update = "INSERT DATA { <http://s/0> <http://p/0> <http://s/1> . }";
+        let path = write_update_case(&dir, "u0", &data, update, "seed 7").unwrap();
+        assert!(path.to_string_lossy().ends_with("u0.ucase"));
+        let (got_data, got_update) = read_update_case(&path).unwrap();
+        assert_eq!(got_data, data);
+        assert_eq!(got_update, update);
+        // A query reader must not accept an update file, and vice versa.
+        assert!(read_case(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

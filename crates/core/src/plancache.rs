@@ -72,6 +72,10 @@ pub struct PlanCacheStats {
     pub evictions: u64,
     /// Entries dropped because their epoch was stale.
     pub invalidations: u64,
+    /// Mutations that proved they could not change any plan (no new
+    /// dictionary IDs, no layout growth) and therefore left the epoch — and
+    /// every cached entry — untouched. The scoped-invalidation win counter.
+    pub invalidations_avoided: u64,
     /// Entries currently cached.
     pub entries: usize,
     /// Configured total capacity.
@@ -110,6 +114,7 @@ pub struct PlanCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    invalidations_avoided: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -140,7 +145,14 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            invalidations_avoided: AtomicU64::new(0),
         }
+    }
+
+    /// Record that a mutation completed without bumping the store epoch —
+    /// every cached plan survived it (see `RdfStore::insert`/`delete`).
+    pub fn note_invalidation_avoided(&self) {
+        self.invalidations_avoided.fetch_add(1, Ordering::Relaxed);
     }
 
     fn shard(&self, key: &str) -> &Mutex<Shard> {
@@ -201,6 +213,7 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            invalidations_avoided: self.invalidations_avoided.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()

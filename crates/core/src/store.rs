@@ -7,8 +7,8 @@ use relstore::Database;
 use sparql::{parse_sparql, QueryForm};
 
 use crate::baseline::{
-    insert_triple_store, insert_vertical, load_triple_store, load_vertical, TripleGen,
-    VerticalGen, VerticalLayout,
+    delete_triple_store, delete_vertical, insert_triple_store, insert_vertical,
+    load_triple_store, load_vertical, TripleGen, VerticalGen, VerticalLayout,
 };
 use crate::dict::{Dict, SharedDict};
 use crate::error::{Result, StoreError};
@@ -110,16 +110,39 @@ pub struct RdfStore {
     vertical: Option<VerticalLayout>,
     report: LoadReport,
     loaded: bool,
-    /// Mutation epoch: bumped by every `load`/`insert`/`delete` (and the
-    /// schema-widening experiment hook) so cached plans can never be
-    /// replayed against a store whose statistics, predicate layouts, or
-    /// term dictionary have moved since they were computed. A plain `u64`
-    /// is enough: every mutation path takes `&mut self`, and `SharedStore`
-    /// serializes mutations behind its write lock.
+    /// Mutation epoch: bumped whenever a mutation may have changed planning
+    /// inputs — the term dictionary grew, a predicate layout moved (spill,
+    /// multi-valued flip, widening), or a bulk `load`/schema experiment ran
+    /// — so cached plans can never be replayed against a store whose
+    /// planning inputs have moved since they were computed. Mutations that
+    /// provably change none of those (deletes, duplicate inserts, inserts
+    /// of already-interned terms into settled layouts) leave the epoch
+    /// alone: generated SQL is data-independent, so every cached plan stays
+    /// correct and the skip is counted as an avoided invalidation. A plain
+    /// `u64` is enough: every mutation path takes `&mut self`, and
+    /// `SharedStore` serializes mutations behind its writer lock.
     epoch: u64,
     /// Sharded LRU plan cache (interior mutability: the `&self` query path
-    /// inserts into it). `None` when disabled via the config.
-    plan_cache: Option<PlanCache>,
+    /// inserts into it). `None` when disabled via the config; behind `Arc`
+    /// so reader snapshots share one cache with the master store.
+    plan_cache: Option<Arc<PlanCache>>,
+}
+
+/// Copy-on-write backup of everything a mutation can touch, taken before a
+/// multi-op update request and restored if the request fails midway — the
+/// request-level all-or-nothing guarantee of the SPARQL Update applier.
+/// Cheap: tables are `Arc` bumps, side metadata is small. The term
+/// dictionary is deliberately *not* rolled back (it is append-only and
+/// interned-but-unreferenced entries are harmless); the epoch is bumped on
+/// rollback instead so no cached plan survives the partial intern.
+pub(crate) struct MutationCheckpoint {
+    tables: std::collections::HashMap<String, Arc<relstore::Table>>,
+    direct: Option<SideLayout>,
+    reverse: Option<SideLayout>,
+    vertical: Option<VerticalLayout>,
+    report: LoadReport,
+    stats: Stats,
+    loaded: bool,
 }
 
 /// The metadata table (see the `persist` module): two TEXT columns `k` and
@@ -179,7 +202,7 @@ impl RdfStore {
         db.set_deadline(cfg.deadline);
         db.set_threads(cfg.threads);
         let plan_cache =
-            (cfg.plan_cache_entries > 0).then(|| PlanCache::new(cfg.plan_cache_entries));
+            (cfg.plan_cache_entries > 0).then(|| Arc::new(PlanCache::new(cfg.plan_cache_entries)));
         RdfStore {
             cfg,
             db,
@@ -568,12 +591,19 @@ impl RdfStore {
     /// Incrementally insert one triple after the bulk load. On a durable
     /// store the data mutation and the `sys_meta` refresh commit as one WAL
     /// transaction.
+    ///
+    /// Cached plans are invalidated only when the insert changed a planning
+    /// input — it interned a new dictionary ID or moved a predicate layout
+    /// (spill, multi-valued flip, widening). An insert of already-known
+    /// terms into settled layouts leaves the epoch (and every warm plan)
+    /// untouched: generated SQL is data-independent, so stale statistics
+    /// can at worst pick a slower join order, never a wrong answer.
     pub fn insert(&mut self, triple: &Triple) -> Result<bool> {
         if !self.loaded {
             self.load(std::slice::from_ref(triple))?;
             return Ok(true);
         }
-        self.epoch += 1; // see load(): every mutation invalidates cached plans
+        let fp_before = self.plan_fingerprint();
         let dict_arc = self.dict.clone();
         let mut dict = dict_arc.write();
         self.db.begin_batch();
@@ -595,17 +625,21 @@ impl RdfStore {
                     added?
                 }
                 Layout::TripleStore => {
-                    insert_triple_store(&mut self.db, triple)?;
-                    self.report.triples += 1;
-                    true
+                    let added = insert_triple_store(&mut self.db, triple)?;
+                    if added {
+                        self.report.triples += 1;
+                    }
+                    added
                 }
                 Layout::Vertical => {
                     let mut v = self.vertical.take().expect("loaded vertical layout");
                     let res = insert_vertical(&mut self.db, &mut v, triple);
                     self.vertical = Some(v);
-                    res?;
-                    self.report.triples += 1;
-                    true
+                    let added = res?;
+                    if added {
+                        self.report.triples += 1;
+                    }
+                    added
                 }
             };
             if added {
@@ -613,50 +647,101 @@ impl RdfStore {
             }
             Ok(added)
         })();
+        drop(dict);
         let committed = self.db.commit_batch();
+        // An error may have left freshly interned dictionary entries in
+        // memory, so the conservative move is to invalidate on any failure;
+        // on success the fingerprint decides (see the method doc).
+        if res.is_err() || committed.is_err() || self.plan_fingerprint() != fp_before {
+            self.epoch += 1;
+        } else if let Some(cache) = &self.plan_cache {
+            cache.note_invalidation_avoided();
+        }
         let added = res?;
         committed?;
         Ok(added)
     }
 
-    /// Delete one triple (entity layout only — the update path the paper
-    /// defers to future work). Returns true if the triple existed.
+    /// Delete one triple from any layout. Returns true if the triple
+    /// existed.
+    ///
+    /// Deletes never invalidate cached plans: the dictionary is append-only,
+    /// predicate layouts never shrink, and generated SQL is data-independent
+    /// — a stale plan replayed after a delete returns exactly the surviving
+    /// rows. Each successful call counts as an avoided invalidation.
     pub fn delete(&mut self, triple: &Triple) -> Result<bool> {
         if !self.loaded {
             return Ok(false);
         }
-        self.epoch += 1; // see load(): every mutation invalidates cached plans
-        match self.cfg.layout {
-            Layout::Entity => {
-                let d = self.direct.as_ref().expect("loaded entity layout").clone();
-                let r = self.reverse.as_ref().expect("loaded entity layout").clone();
-                let dict_arc = self.dict.clone();
-                // Deletion never interns: a read guard suffices.
-                let dict = dict_arc.read();
-                self.db.begin_batch();
-                let res = (|| -> Result<bool> {
-                    let removed = crate::loader::delete_entity(
+        let dict_arc = self.dict.clone();
+        // Deletion never interns: a read guard suffices.
+        let dict = dict_arc.read();
+        self.db.begin_batch();
+        let res = (|| -> Result<bool> {
+            let removed = match self.cfg.layout {
+                Layout::Entity => {
+                    let d = self.direct.as_ref().expect("loaded entity layout").clone();
+                    let r = self.reverse.as_ref().expect("loaded entity layout").clone();
+                    crate::loader::delete_entity(
                         &mut self.db,
                         &d,
                         &r,
                         triple,
                         &mut self.report,
                         &dict,
-                    )?;
+                    )?
+                }
+                Layout::TripleStore => {
+                    let removed = delete_triple_store(&mut self.db, triple)?;
                     if removed {
-                        self.persist_meta(&dict)?;
+                        self.report.triples = self.report.triples.saturating_sub(1);
                     }
-                    Ok(removed)
-                })();
-                let committed = self.db.commit_batch();
-                let removed = res?;
-                committed?;
-                Ok(removed)
+                    removed
+                }
+                Layout::Vertical => {
+                    let v = self.vertical.as_ref().expect("loaded vertical layout");
+                    let removed = delete_vertical(&mut self.db, v, triple)?;
+                    if removed {
+                        self.report.triples = self.report.triples.saturating_sub(1);
+                    }
+                    removed
+                }
+            };
+            if removed {
+                self.persist_meta(&dict)?;
             }
-            other => Err(StoreError::Unsupported(format!(
-                "delete is implemented for the entity layout only (store uses {other:?})"
-            ))),
+            Ok(removed)
+        })();
+        drop(dict);
+        let committed = self.db.commit_batch();
+        if res.is_err() || committed.is_err() {
+            self.epoch += 1; // conservative, mirroring insert()
+        } else if let Some(cache) = &self.plan_cache {
+            cache.note_invalidation_avoided();
         }
+        let removed = res?;
+        committed?;
+        Ok(removed)
+    }
+
+    /// The planning inputs a mutation can move, condensed to a comparable
+    /// fingerprint: dictionary size (a new ID can turn a provably-empty
+    /// constant into a live one) and per-side layout shape (column count,
+    /// spill set, multi-valued set — each changes generated column probes),
+    /// plus the vertical layout's table count (a new predicate table
+    /// changes variable-predicate unions and un-empties lookups). Row data
+    /// is deliberately absent: SQL generation never depends on it.
+    fn plan_fingerprint(&self) -> (usize, [usize; 3], [usize; 3], usize) {
+        let side = |s: &Option<SideLayout>| match s {
+            Some(s) => [s.ncols, s.spill_preds.len(), s.multivalued.len()],
+            None => [0; 3],
+        };
+        (
+            self.dict.read().len(),
+            side(&self.direct),
+            side(&self.reverse),
+            self.vertical.as_ref().map(|v| v.tables.len()).unwrap_or(0),
+        )
     }
 
     /// Translate a SPARQL query to SQL without executing it.
@@ -689,19 +774,35 @@ impl RdfStore {
     /// Execute a SPARQL query.
     pub fn query(&self, sparql_text: &str) -> Result<Solutions> {
         let plan = self.plan(sparql_text)?;
+        self.run_plan(&plan)
+    }
+
+    /// Execute an already-parsed query, bypassing the text-keyed plan cache
+    /// — the SPARQL Update applier evaluates WHERE clauses through this (the
+    /// AST came out of a parsed update request, not off the wire).
+    pub(crate) fn query_parsed(&self, query: sparql::Query) -> Result<Solutions> {
+        if !self.loaded {
+            return Err(StoreError::Unsupported("store is empty; load data first".into()));
+        }
+        let plan = self.plan_parsed(query)?;
+        self.run_plan(&plan)
+    }
+
+    /// Run a planned query against the relational engine and materialize
+    /// solutions (the single late-materialization point: dictionary IDs
+    /// become terms only here).
+    fn run_plan(&self, plan: &CachedPlan) -> Result<Solutions> {
         let Some(sql) = &plan.sql else {
             // Zero triple patterns: the answer is fixed by SPARQL algebra —
             // `ASK {}` is true, a SELECT over the empty group pattern
             // yields exactly one all-unbound solution (μ0) — with the
             // query's LIMIT/OFFSET still applied.
-            return Ok(trivial_solutions(&plan));
+            return Ok(trivial_solutions(plan));
         };
         let rel = self.db.query(sql)?;
         match plan.query.form {
             QueryForm::Ask => Ok(Solutions::from_ask(!rel.rows.is_empty())),
             QueryForm::Select { .. } => {
-                // The single late-materialization point: dictionary IDs
-                // become terms only here.
                 let dict = self.dict.read();
                 Ok(Solutions::from_select_dict(plan.projected.clone(), &rel, Some(&dict)))
             }
@@ -733,7 +834,12 @@ impl RdfStore {
 
     /// The full §3 pipeline: parse → optimize → merge → generate SQL.
     fn plan_uncached(&self, sparql_text: &str) -> Result<CachedPlan> {
-        let query = parse_sparql(sparql_text)?;
+        self.plan_parsed(parse_sparql(sparql_text)?)
+    }
+
+    /// The §3 pipeline from an already-parsed query: optimize → merge →
+    /// generate SQL.
+    fn plan_parsed(&self, query: sparql::Query) -> Result<CachedPlan> {
         let projected = query.projected_variables();
         if query.triple_count() == 0 {
             // Valid SPARQL (`ASK {}`, `SELECT * WHERE {}`): nothing to
@@ -847,14 +953,97 @@ impl RdfStore {
 
     /// Plan-cache counters, or `None` when the cache is disabled.
     pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
-        self.plan_cache.as_ref().map(PlanCache::stats)
+        self.plan_cache.as_ref().map(|c| c.stats())
     }
 
     /// Resize (or disable, with `entries == 0`) the plan cache. The cache
     /// is rebuilt empty and its counters reset.
     pub fn set_plan_cache(&mut self, entries: usize) {
         self.cfg.plan_cache_entries = entries;
-        self.plan_cache = (entries > 0).then(|| PlanCache::new(entries));
+        self.plan_cache = (entries > 0).then(|| Arc::new(PlanCache::new(entries)));
+    }
+
+    /// Whether a dataset has been loaded (or built up by inserts).
+    pub fn is_loaded(&self) -> bool {
+        self.loaded
+    }
+
+    /// A snapshot-isolated read-only clone: tables are shared copy-on-write
+    /// with the master (`Arc` bumps; the writer's next mutation of a table
+    /// clones just that table), the term dictionary and plan cache are the
+    /// *same* shared objects (both are append-only/epoch-guarded, so old
+    /// snapshots read them safely), and the clone carries no durability
+    /// state — it can serve queries but never log or sync. The building
+    /// block of `SharedStore`'s snapshot-per-reader concurrency.
+    pub(crate) fn snapshot_clone(&self) -> RdfStore {
+        RdfStore {
+            cfg: self.cfg.clone(),
+            db: self.db.snapshot_clone(),
+            stats: self.stats.clone(),
+            dict: self.dict.clone(),
+            direct: self.direct.clone(),
+            reverse: self.reverse.clone(),
+            vertical: self.vertical.clone(),
+            report: self.report.clone(),
+            loaded: self.loaded,
+            epoch: self.epoch,
+            plan_cache: self.plan_cache.clone(),
+        }
+    }
+
+    // -- SPARQL Update applier plumbing (crate-internal) --------------------
+
+    /// Open a nested WAL batch around a multi-op update request; see
+    /// [`crate::update`].
+    pub(crate) fn db_begin_batch(&mut self) {
+        self.db.begin_batch();
+    }
+
+    /// Close the request batch by *appending* its frame without fsync — the
+    /// group-commit leader pays one [`RdfStore::db_sync_wal`] for the whole
+    /// group afterwards.
+    pub(crate) fn db_commit_batch_nosync(&mut self) -> Result<()> {
+        self.db.commit_batch_nosync()?;
+        Ok(())
+    }
+
+    /// The group-commit barrier: fsync every frame appended since the last
+    /// sync. On failure the store degrades to read-only and the unsynced
+    /// frames are discarded.
+    pub(crate) fn db_sync_wal(&mut self) -> Result<()> {
+        self.db.sync_wal()?;
+        Ok(())
+    }
+
+    /// Take a copy-on-write backup of everything a mutation can touch; see
+    /// [`MutationCheckpoint`].
+    pub(crate) fn mutation_checkpoint(&self) -> MutationCheckpoint {
+        MutationCheckpoint {
+            tables: self.db.save_tables(),
+            direct: self.direct.clone(),
+            reverse: self.reverse.clone(),
+            vertical: self.vertical.clone(),
+            report: self.report.clone(),
+            stats: self.stats.clone(),
+            loaded: self.loaded,
+        }
+    }
+
+    /// Roll the store back to a [`MutationCheckpoint`], aborting any open
+    /// batch (its buffered ops never reach the WAL). The term dictionary
+    /// keeps entries interned since the checkpoint — they are append-only
+    /// and unreferenced after the table restore — so the epoch is bumped to
+    /// keep any plan computed against the transient state from surviving.
+    pub(crate) fn rollback_mutation(&mut self, cp: MutationCheckpoint) {
+        self.db.abort_batch();
+        self.db.restore_tables(cp.tables);
+        self.direct = cp.direct;
+        self.reverse = cp.reverse;
+        self.vertical = cp.vertical;
+        self.report = cp.report;
+        self.stats = cp.stats;
+        self.loaded = cp.loaded;
+        self.epoch += 1;
     }
 
     /// Append `n` all-NULL predicate/value column pairs to DPH and rewrite

@@ -17,6 +17,12 @@
 //! Everything is a pure function of the seed: the same `u64` yields the
 //! same (dataset, query) pair on every run, which is what lets
 //! `scripts/verify.sh --fuzz` pin its corpus in CI.
+//!
+//! `gen_update_case(seed)` does the same for SPARQL 1.1 Update requests:
+//! a deduplicated dataset plus 1–3 `;`-chained operations (INSERT DATA,
+//! DELETE DATA, DELETE WHERE, DELETE/INSERT ... WHERE) over the same closed
+//! vocabulary, for differential checking against a naive set-semantic
+//! reference in `db2rdf::oracle`.
 
 use rdf::{Term, Triple};
 
@@ -30,6 +36,15 @@ pub struct FuzzCase {
     pub query: String,
 }
 
+/// One generated update-oracle case: a starting dataset plus a SPARQL 1.1
+/// Update request (possibly several `;`-chained operations) to run over it.
+#[derive(Debug, Clone)]
+pub struct UpdateFuzzCase {
+    pub seed: u64,
+    pub triples: Vec<Triple>,
+    pub update: String,
+}
+
 const SUBJECTS: u64 = 9;
 const PREDICATES: u64 = 6;
 const STR_VALS: u64 = 5;
@@ -41,6 +56,128 @@ pub fn gen_case(seed: u64) -> FuzzCase {
     let triples = gen_dataset(&mut rng);
     let query = gen_query(&mut rng);
     FuzzCase { seed, triples, query }
+}
+
+/// Deterministically generate dataset + update request for `seed`.
+///
+/// The dataset is deduplicated (RDF stores are set-semantic, and the update
+/// oracle counts effects), and the update draws from the grammar
+/// `sparql::parse_update` accepts: INSERT DATA / DELETE DATA with ground
+/// vocabulary triples, DELETE WHERE shorthand over a single pattern, and
+/// DELETE/INSERT ... WHERE with templates mixing WHERE-bound variables and
+/// constants — including deliberately type-broken templates (a literal in
+/// subject position via an object-bound variable) that exercise the
+/// skip-invalid-instantiation rule.
+pub fn gen_update_case(seed: u64) -> UpdateFuzzCase {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0DD5_EED5_F0F0_CAFE);
+    let mut triples = gen_dataset(&mut rng);
+    triples.sort();
+    triples.dedup();
+    let update = gen_update(&mut rng);
+    UpdateFuzzCase { seed, triples, update }
+}
+
+/// 1–3 update operations joined with `;`, each drawn over the closed
+/// vocabulary so deletes hit existing triples often enough to matter.
+pub fn gen_update(rng: &mut SplitMix64) -> String {
+    let n = rng.gen_range(1..4usize);
+    (0..n).map(|_| gen_update_op(rng)).collect::<Vec<_>>().join(" ; ")
+}
+
+fn gen_update_op(rng: &mut SplitMix64) -> String {
+    match rng.gen_range(0..6u32) {
+        0 | 1 => format!("INSERT DATA {{ {}}}", gen_ground_block(rng)),
+        2 => format!("DELETE DATA {{ {}}}", gen_ground_block(rng)),
+        3 => {
+            // DELETE WHERE shorthand: the pattern doubles as the template.
+            let subject = if rng.gen_ratio(1, 3) { gen_subject_const(rng) } else { "?s".into() };
+            let predicate = if rng.gen_ratio(1, 4) {
+                "?p".to_string()
+            } else {
+                format!("<http://p/{}>", rng.gen_range(0..PREDICATES))
+            };
+            let object = if rng.gen_ratio(1, 2) { "?o".into() } else { gen_object_const(rng) };
+            format!("DELETE WHERE {{ {subject} {predicate} {object} }}")
+        }
+        _ => gen_delete_insert(rng),
+    }
+}
+
+/// 1–4 ground triples for an INSERT DATA / DELETE DATA block. Drawn from the
+/// same vocabulary as `gen_dataset` (plus the out-of-vocabulary terms), so
+/// inserts frequently duplicate existing triples and deletes frequently hit.
+fn gen_ground_block(rng: &mut SplitMix64) -> String {
+    let n = rng.gen_range(1..5usize);
+    let mut out = String::new();
+    for _ in 0..n {
+        let s = gen_subject_const(rng);
+        let p = if rng.gen_ratio(1, 10) {
+            "<http://p/99>".to_string()
+        } else {
+            format!("<http://p/{}>", rng.gen_range(0..PREDICATES))
+        };
+        let o = gen_object_const(rng);
+        out.push_str(&format!("{s} {p} {o} . "));
+    }
+    out
+}
+
+/// DELETE/INSERT ... WHERE with a connected 1–2 pattern WHERE clause
+/// (occasionally plus a FILTER) and templates that mix the WHERE-bound
+/// variables with constants.
+fn gen_delete_insert(rng: &mut SplitMix64) -> String {
+    let mut vars: Vec<String> = Vec::new();
+    let mut counter = 0usize;
+    let mut body = gen_bgp(rng, &mut vars, &mut counter, 2);
+    if rng.gen_ratio(1, 4) {
+        let expr = gen_filter(rng, &vars, &[]);
+        body.push_str(&format!("FILTER ({expr}) "));
+    }
+    let delete = if rng.gen_ratio(1, 6) { String::new() } else { gen_template(rng, &vars) };
+    let insert = if !delete.is_empty() && rng.gen_ratio(1, 4) {
+        String::new()
+    } else {
+        gen_template(rng, &vars)
+    };
+    let mut op = String::new();
+    if !delete.is_empty() {
+        op.push_str(&format!("DELETE {{ {delete}}} "));
+    }
+    if !insert.is_empty() {
+        op.push_str(&format!("INSERT {{ {insert}}} "));
+    }
+    op.push_str(&format!("WHERE {{ {body}}}"));
+    op
+}
+
+/// A 1–2 triple template over `vars` and constants. Variables can land in
+/// any position — including literal-valued variables in subject position —
+/// which the applier must skip rather than mis-insert.
+fn gen_template(rng: &mut SplitMix64, vars: &[String]) -> String {
+    let pick = |rng: &mut SplitMix64| format!("?{}", vars[rng.gen_range(0..vars.len())]);
+    let n = rng.gen_range(1..3usize);
+    let mut out = String::new();
+    for _ in 0..n {
+        let s = if !vars.is_empty() && rng.gen_ratio(2, 3) {
+            pick(rng)
+        } else {
+            gen_subject_const(rng)
+        };
+        let p = if !vars.is_empty() && rng.gen_ratio(1, 6) {
+            pick(rng)
+        } else if rng.gen_ratio(1, 10) {
+            "<http://p/99>".to_string()
+        } else {
+            format!("<http://p/{}>", rng.gen_range(0..PREDICATES))
+        };
+        let o = if !vars.is_empty() && rng.gen_ratio(1, 2) {
+            pick(rng)
+        } else {
+            gen_object_const(rng)
+        };
+        out.push_str(&format!("{s} {p} {o} . "));
+    }
+    out
 }
 
 /// 1–40 triples over the closed vocabulary. Objects mix IRIs (for chained
@@ -311,6 +448,45 @@ mod tests {
             assert_eq!(a.query, b.query);
         }
         assert_ne!(gen_case(1).query, gen_case(2).query);
+    }
+
+    #[test]
+    fn update_cases_are_deterministic_and_deduplicated() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = gen_update_case(seed);
+            let b = gen_update_case(seed);
+            assert_eq!(a.triples, b.triples);
+            assert_eq!(a.update, b.update);
+            let mut dedup = a.triples.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(a.triples, dedup, "dataset must be set-semantic");
+        }
+        assert_ne!(gen_update_case(1).update, gen_update_case(2).update);
+    }
+
+    #[test]
+    fn update_cases_cover_every_operation_kind() {
+        let mut insert_data = 0;
+        let mut delete_data = 0;
+        let mut delete_where = 0;
+        let mut delete_insert = 0;
+        for seed in 0..200u64 {
+            let u = gen_update_case(seed).update;
+            if u.contains("INSERT DATA") {
+                insert_data += 1;
+            }
+            if u.contains("DELETE DATA") {
+                delete_data += 1;
+            }
+            if u.contains("DELETE WHERE") {
+                delete_where += 1;
+            }
+            if u.contains("WHERE") && (u.contains("INSERT {") || u.contains("DELETE {")) {
+                delete_insert += 1;
+            }
+        }
+        assert!(insert_data > 0 && delete_data > 0 && delete_where > 0 && delete_insert > 0);
     }
 
     #[test]

@@ -62,7 +62,11 @@ struct Durability {
 /// [`Database::open`] binds the database to a directory so that every
 /// committed mutation survives a crash (DESIGN.md §4.6).
 pub struct Database {
-    tables: HashMap<String, Table>,
+    /// Tables are held behind `Arc` for copy-on-write snapshots
+    /// ([`Database::snapshot_clone`]): a snapshot shares every table, and
+    /// the writer's next mutation of a table clones just that table via
+    /// `Arc::make_mut` — readers of old snapshots are never disturbed.
+    tables: HashMap<String, Arc<Table>>,
     functions: HashMap<String, ScalarFn>,
     row_budget: Option<u64>,
     deadline: Option<Duration>,
@@ -218,7 +222,7 @@ impl Database {
         let new_gen = d.gen + 1;
         let snap_path = d.dir.join(format!("snapshot.{new_gen}"));
         let wal_path = d.dir.join(format!("wal.{new_gen}"));
-        let mut tables: Vec<&Table> = self.tables.values().collect();
+        let mut tables: Vec<&Table> = self.tables.values().map(Arc::as_ref).collect();
         tables.sort_by(|a, b| a.schema.name.cmp(&b.schema.name));
         write_snapshot(&tables, &snap_path, &d.faults)?;
         let writer = match WalWriter::open(&wal_path, 0, d.faults.clone()) {
@@ -291,6 +295,98 @@ impl Database {
         res
     }
 
+    /// Like [`Database::commit_batch`], but the frame is only *appended* to
+    /// the WAL — it becomes durable at the next [`Database::sync_wal`]. The
+    /// group-commit path writes one frame per update request through this,
+    /// then pays a single fsync for the whole group. An append failure
+    /// degrades to read-only (and the unsynced tail is discarded by the
+    /// writer, so nothing half-appended can be replayed).
+    pub fn commit_batch_nosync(&mut self) -> Result<()> {
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
+        if d.batch_depth == 0 {
+            return Ok(());
+        }
+        d.batch_depth -= 1;
+        if d.batch_depth > 0 {
+            return Ok(());
+        }
+        let (ops, nops) = d.batch.take().unwrap_or_default();
+        if nops == 0 {
+            return Ok(());
+        }
+        let payload = wal::frame_payload(nops, &ops);
+        let res = match &mut d.wal {
+            Some(w) => w.append(&payload).map_err(|e| Error::Io(e.to_string())),
+            None => Err(Error::ReadOnly),
+        };
+        if res.is_err() {
+            d.read_only = true;
+        }
+        res
+    }
+
+    /// Fsync every frame appended by [`Database::commit_batch_nosync`]
+    /// since the last sync — the group-commit barrier. On failure the
+    /// unsynced frames are discarded and the database degrades to
+    /// read-only: the group's updates were never acknowledged and must not
+    /// survive a restart. No-op for in-memory databases.
+    pub fn sync_wal(&mut self) -> Result<()> {
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
+        let res = match &mut d.wal {
+            Some(w) => w.sync().map_err(|e| Error::Io(e.to_string())),
+            None => Err(Error::ReadOnly),
+        };
+        if res.is_err() {
+            d.read_only = true;
+        }
+        res
+    }
+
+    /// Copy-on-write backup of the current table set (`Arc` bumps only).
+    /// Together with [`Database::restore_tables`] this gives a multi-op
+    /// mutation logical all-or-nothing semantics: save before the first op,
+    /// restore on failure — unmodified tables were never cloned.
+    pub fn save_tables(&self) -> HashMap<String, Arc<Table>> {
+        self.tables.clone()
+    }
+
+    /// Restore a backup taken by [`Database::save_tables`], discarding every
+    /// in-memory mutation since.
+    pub fn restore_tables(&mut self, saved: HashMap<String, Arc<Table>>) {
+        self.tables = saved;
+    }
+
+    /// Abandon the open batch (all nesting levels): the buffered ops are
+    /// dropped and never reach the WAL. Pairs with
+    /// [`Database::restore_tables`] when a multi-op mutation fails midway —
+    /// memory is rolled back, so the log must forget the ops too.
+    pub fn abort_batch(&mut self) {
+        if let Some(d) = &mut self.durability {
+            d.batch = None;
+            d.batch_depth = 0;
+        }
+    }
+
+    /// A cheap immutable clone for snapshot-isolated readers: every table
+    /// is shared copy-on-write (an `Arc` bump here; the writer's next
+    /// mutation of a table clones just that table via `Arc::make_mut`),
+    /// scalar functions are shared, and the clone carries no durability
+    /// state — it can serve queries but never log, sync, or checkpoint.
+    pub fn snapshot_clone(&self) -> Database {
+        Database {
+            tables: self.tables.clone(),
+            functions: self.functions.clone(),
+            row_budget: self.row_budget,
+            deadline: self.deadline,
+            threads: self.threads,
+            durability: None,
+        }
+    }
+
     /// Refuse mutations on a read-only (degraded) durable database.
     fn check_writable(&self) -> Result<()> {
         if self.is_read_only() {
@@ -329,7 +425,7 @@ impl Database {
                 if self.tables.contains_key(&name) {
                     return plan_err(format!("table {name:?} already exists"));
                 }
-                self.tables.insert(name, Table::new(schema));
+                self.tables.insert(name, Arc::new(Table::new(schema)));
                 Ok(())
             }
             WalOp::CreateIndex { table, column, kind } => {
@@ -337,13 +433,14 @@ impl Database {
                     .tables
                     .get_mut(&table)
                     .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
-                t.create_index(&column, kind)
+                Arc::make_mut(t).create_index(&column, kind)
             }
             WalOp::InsertRows { table, rows } => {
                 let t = self
                     .tables
                     .get_mut(&table)
                     .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+                let t = Arc::make_mut(t);
                 for row in rows {
                     t.insert(&row)?;
                 }
@@ -354,7 +451,14 @@ impl Database {
                     .tables
                     .get_mut(&table)
                     .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
-                t.update_cell(row_id, col as usize, value)
+                Arc::make_mut(t).update_cell(row_id, col as usize, value)
+            }
+            WalOp::DeleteRow { table, row_id } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+                Arc::make_mut(t).delete_row(row_id).map(|_| ())
             }
         }
     }
@@ -369,7 +473,7 @@ impl Database {
             t.create_index(&col, kind)?;
         }
         let name = t.schema.name.clone();
-        self.tables.insert(name, t);
+        self.tables.insert(name, Arc::new(t));
         Ok(())
     }
 
@@ -436,7 +540,7 @@ impl Database {
     }
 
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(&name.to_ascii_lowercase())
+        self.tables.get(&name.to_ascii_lowercase()).map(Arc::as_ref)
     }
 
     /// Direct mutable access to a table. **Bypasses the WAL**: on a durable
@@ -445,7 +549,7 @@ impl Database {
     /// callers should use [`Database::insert_rows`] /
     /// [`Database::update_cell`] instead.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.get_mut(&name.to_ascii_lowercase())
+        self.tables.get_mut(&name.to_ascii_lowercase()).map(Arc::make_mut)
     }
 
     pub fn table_names(&self) -> Vec<&str> {
@@ -468,7 +572,7 @@ impl Database {
             wal::encode_create_table(&mut ops, &schema);
             self.log_op(ops)?;
         }
-        self.tables.insert(name, Table::new(schema));
+        self.tables.insert(name, Arc::new(Table::new(schema)));
         Ok(())
     }
 
@@ -489,10 +593,11 @@ impl Database {
             wal::encode_create_index(&mut ops, &key, &col, kind);
             self.log_op(ops)?;
         }
-        self.tables
+        let t = self
+            .tables
             .get_mut(&key)
-            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?
-            .create_index(&col, kind)
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+        Arc::make_mut(t).create_index(&col, kind)
     }
 
     /// Programmatic bulk insert, maintaining indexes. On a durable database
@@ -508,6 +613,7 @@ impl Database {
                 .tables
                 .get_mut(&key)
                 .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+            let t = Arc::make_mut(t);
             let mut n = 0;
             for row in rows {
                 t.insert(&row)?;
@@ -542,6 +648,7 @@ impl Database {
             .tables
             .get_mut(&key)
             .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+        let t = Arc::make_mut(t);
         for row in &rows {
             t.insert(row)?;
         }
@@ -576,10 +683,36 @@ impl Database {
             wal::encode_update_cell(&mut ops, &key, row_id, col as u32, &value);
             self.log_op(ops)?;
         }
-        self.tables
+        let t = self
+            .tables
             .get_mut(&key)
-            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?
-            .update_cell(row_id, col, value)
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+        Arc::make_mut(t).update_cell(row_id, col, value)
+    }
+
+    /// Remove one row by id, maintaining indexes and the WAL. Inherits
+    /// [`Table::delete_row`]'s `swap_remove` semantics: the last row moves
+    /// into the vacated id, so callers must re-probe indexes between
+    /// deletes instead of batch-resolving row ids up front.
+    pub fn delete_row(&mut self, table: &str, row_id: u32) -> Result<()> {
+        self.check_writable()?;
+        let key = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+        // Pre-validate bounds so the apply after logging cannot fail
+        // (write-ahead ordering, see `create_table`).
+        if (row_id as usize) >= t.row_count() {
+            return plan_err(format!("row {row_id} out of range in table {key}"));
+        }
+        if self.is_durable() {
+            let mut ops = Vec::new();
+            wal::encode_delete_row(&mut ops, &key, row_id);
+            self.log_op(ops)?;
+        }
+        let t = self.tables.get_mut(&key).unwrap();
+        Arc::make_mut(t).delete_row(row_id).map(|_| ())
     }
 
     /// Execute any SQL statement.

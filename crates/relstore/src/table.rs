@@ -231,6 +231,35 @@ impl Table {
         Ok(())
     }
 
+    /// Remove row `row_id`, maintaining all indexes. The last row is swapped
+    /// into the vacated slot (`Vec::swap_remove`), so the *last* row's id
+    /// changes to `row_id` — callers resolving several ids must re-probe an
+    /// index after each delete rather than batch-resolve up front. Returns
+    /// the removed row's values.
+    pub fn delete_row(&mut self, row_id: u32) -> Result<Vec<Value>> {
+        let n = self.rows.len();
+        if row_id as usize >= n {
+            return plan_err(format!("row {row_id} out of range in table {}", self.schema.name));
+        }
+        let removed = self.rows[row_id as usize].decompress(self.width());
+        let last = (n - 1) as u32;
+        for (col, index) in &mut self.indexes {
+            let ci = self.schema.columns.iter().position(|c| &c.name == col).unwrap();
+            index.remove(&removed[ci], row_id);
+        }
+        if row_id != last {
+            // The moved row keeps its values but changes id: reindex it.
+            let moved = self.rows[last as usize].decompress(self.width());
+            for (col, index) in &mut self.indexes {
+                let ci = self.schema.columns.iter().position(|c| &c.name == col).unwrap();
+                index.remove(&moved[ci], last);
+                index.insert(moved[ci].clone(), row_id);
+            }
+        }
+        self.rows.swap_remove(row_id as usize);
+        Ok(removed)
+    }
+
     /// Add `n` new nullable columns (used by the §2.3 NULL experiment and by
     /// dynamic layouts). Existing compressed rows read as NULL in the new
     /// columns at zero storage cost until rewritten.
@@ -365,6 +394,34 @@ mod tests {
         t.insert(&[Value::Int(1), Value::str("x")]).unwrap();
         assert!(t.update_cell(5, 0, Value::Null).is_err());
         assert!(t.update_cell(0, 9, Value::Null).is_err());
+    }
+
+    #[test]
+    fn delete_row_swaps_last_and_fixes_indexes() {
+        let mut t = Table::new(schema());
+        t.insert(&[Value::Int(1), Value::str("x")]).unwrap();
+        t.insert(&[Value::Int(2), Value::str("y")]).unwrap();
+        t.insert(&[Value::Int(3), Value::str("z")]).unwrap();
+        t.create_index("a", IndexKind::Hash).unwrap();
+        t.create_index("b", IndexKind::BTree).unwrap();
+
+        // Delete the middle row: row 2 moves into slot 1.
+        let removed = t.delete_row(1).unwrap();
+        assert_eq!(removed, vec![Value::Int(2), Value::str("y")]);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.row_values(1), vec![Value::Int(3), Value::str("z")]);
+        let idx = t.index_on("a").unwrap();
+        assert_eq!(idx.lookup(&Value::Int(2)), &[] as &[u32]);
+        assert_eq!(idx.lookup(&Value::Int(3)), &[1]);
+        assert_eq!(t.index_on("b").unwrap().lookup(&Value::str("z")), &[1]);
+
+        // Delete the (new) last row: no swap happens.
+        t.delete_row(1).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.index_on("a").unwrap().lookup(&Value::Int(3)), &[] as &[u32]);
+        assert_eq!(t.index_on("a").unwrap().lookup(&Value::Int(1)), &[0]);
+
+        assert!(t.delete_row(5).is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!         | 0x02 table:str column:str kind:u8 -- CREATE INDEX
 //!         | 0x03 table:str nrows:u32 width:u32 value*  -- INSERT
 //!         | 0x04 table:str row:u32 col:u32 value       -- UPDATE one cell
+//!         | 0x05 table:str row:u32                     -- DELETE one row
 //! ```
 //!
 //! ## Recovery invariant
@@ -44,6 +45,7 @@ const OP_CREATE_TABLE: u8 = 1;
 const OP_CREATE_INDEX: u8 = 2;
 const OP_INSERT_ROWS: u8 = 3;
 const OP_UPDATE_CELL: u8 = 4;
+const OP_DELETE_ROW: u8 = 5;
 
 /// One logical mutation, as recovered from the log.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +54,10 @@ pub enum WalOp {
     CreateIndex { table: String, column: String, kind: IndexKind },
     InsertRows { table: String, rows: Vec<Vec<Value>> },
     UpdateCell { table: String, row_id: u32, col: u32, value: Value },
+    /// Remove one row with `swap_remove` semantics (the last row moves into
+    /// the vacated id) — replay is deterministic because the applier uses
+    /// the same primitive.
+    DeleteRow { table: String, row_id: u32 },
 }
 
 // ---------------------------------------------------------------------------
@@ -91,6 +97,12 @@ pub fn encode_update_cell(buf: &mut Vec<u8>, table: &str, row_id: u32, col: u32,
     put_value(buf, value);
 }
 
+pub fn encode_delete_row(buf: &mut Vec<u8>, table: &str, row_id: u32) {
+    put_u8(buf, OP_DELETE_ROW);
+    put_str(buf, table);
+    put_u32(buf, row_id);
+}
+
 fn decode_op(r: &mut Reader<'_>) -> Result<WalOp> {
     Ok(match r.take_u8()? {
         OP_CREATE_TABLE => WalOp::CreateTable(r.take_schema()?),
@@ -122,6 +134,7 @@ fn decode_op(r: &mut Reader<'_>) -> Result<WalOp> {
             col: r.take_u32()?,
             value: r.take_value()?,
         },
+        OP_DELETE_ROW => WalOp::DeleteRow { table: r.take_str()?, row_id: r.take_u32()? },
         t => return Err(Error::Corrupt(format!("unknown WAL op tag {t}"))),
     })
 }
@@ -201,6 +214,10 @@ pub fn recover(path: &Path, faults: &FaultHandle) -> Result<WalRecovery> {
 /// Appends committed frames to a WAL file through the fault-injection layer.
 pub struct WalWriter {
     file: FaultFile,
+    /// File offset up to which frames are known durable (fsynced). Frames
+    /// appended but not yet synced — the group-commit window — sit between
+    /// `synced` and `file.offset()`.
+    synced: u64,
 }
 
 impl WalWriter {
@@ -213,31 +230,51 @@ impl WalWriter {
             file.append(WAL_MAGIC)?;
             file.sync()?;
         }
-        Ok(WalWriter { file })
+        let synced = file.offset();
+        Ok(WalWriter { file, synced })
+    }
+
+    /// Append one transaction frame *without* syncing it: the frame becomes
+    /// durable only at the next [`WalWriter::sync`]. Group commit appends
+    /// one frame per request, then pays one fsync for the whole group. On
+    /// failure the whole unsynced tail — this frame *and* any earlier
+    /// unsynced frames of the group — is truncated away, so an aborted
+    /// group can never be resurrected by recovery.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(payload));
+        frame.extend_from_slice(payload);
+        if let Err(e) = self.file.append(&frame) {
+            self.file.truncate_to(self.synced);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Fsync every appended frame. On failure the unsynced tail is
+    /// discarded (truncated back to the last synced boundary) so a
+    /// crash-free restart cannot resurrect transactions reported as failed.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if let Err(e) = self.file.sync() {
+            self.file.truncate_to(self.synced);
+            return Err(e);
+        }
+        self.synced = self.file.offset();
+        Ok(())
     }
 
     /// Durably append one transaction: frame header + payload, then fsync.
     /// On failure the file is rolled back to the previous frame boundary
     /// (best effort) and the caller must degrade to read-only.
     pub fn commit(&mut self, payload: &[u8]) -> std::io::Result<()> {
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        put_u32(&mut frame, payload.len() as u32);
-        put_u32(&mut frame, crc32(payload));
-        frame.extend_from_slice(payload);
-        let start = self.file.offset();
-        self.file.append(&frame)?;
-        if let Err(e) = self.file.sync() {
-            // The frame's durability is unknown; discard it so a crash-free
-            // restart does not resurrect a transaction we reported as failed.
-            self.file.truncate_to(start);
-            return Err(e);
-        }
-        Ok(())
+        self.append(payload)?;
+        self.sync()
     }
 
     /// Bytes durably committed so far (including the magic).
     pub fn len(&self) -> u64 {
-        self.file.offset()
+        self.synced
     }
 
     pub fn is_empty(&self) -> bool {
@@ -314,6 +351,58 @@ mod tests {
             assert_eq!(rec.txns.len(), 1, "cut at {cut}");
             assert_eq!(rec.valid_len, committed_len, "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn delete_row_op_roundtrips() {
+        let path = tmp_wal("delete-op");
+        let mut w = WalWriter::open(&path, 0, no_faults()).unwrap();
+        let mut ops = Vec::new();
+        encode_delete_row(&mut ops, "t", 3);
+        w.commit(&frame_payload(1, &ops)).unwrap();
+        drop(w);
+        let rec = recover(&path, &no_faults()).unwrap();
+        assert_eq!(rec.txns[0][0], WalOp::DeleteRow { table: "t".into(), row_id: 3 });
+    }
+
+    #[test]
+    fn group_commit_appends_then_one_sync() {
+        let path = tmp_wal("group");
+        let mut w = WalWriter::open(&path, 0, no_faults()).unwrap();
+        let before = w.len();
+        w.append(&frame_payload(2, &sample_ops())).unwrap();
+        let mut op2 = Vec::new();
+        encode_update_cell(&mut op2, "t", 0, 0, &Value::Int(9));
+        w.append(&frame_payload(1, &op2)).unwrap();
+        // Unsynced frames are not yet counted as committed.
+        assert_eq!(w.len(), before);
+        w.sync().unwrap();
+        assert!(w.len() > before);
+        drop(w);
+        let rec = recover(&path, &no_faults()).unwrap();
+        assert_eq!(rec.txns.len(), 2);
+    }
+
+    #[test]
+    fn failed_group_sync_discards_every_unsynced_frame() {
+        use crate::io::ScriptedFaults;
+        let path = tmp_wal("group-sync-fault");
+        {
+            let mut w = WalWriter::open(&path, 0, no_faults()).unwrap();
+            w.commit(&frame_payload(2, &sample_ops())).unwrap();
+        }
+        let committed = std::fs::metadata(&path).unwrap().len();
+        // Reopen with the next sync scripted to fail; both appended frames
+        // of the doomed group must vanish.
+        let faults = ScriptedFaults::new().fail_sync(0).into_handle();
+        let mut w = WalWriter::open(&path, committed, faults).unwrap();
+        w.append(&frame_payload(2, &sample_ops())).unwrap();
+        w.append(&frame_payload(2, &sample_ops())).unwrap();
+        assert!(w.sync().is_err());
+        drop(w);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
+        let rec = recover(&path, &no_faults()).unwrap();
+        assert_eq!(rec.txns.len(), 1, "the aborted group must not resurrect");
     }
 
     #[test]

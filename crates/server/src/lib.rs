@@ -5,12 +5,17 @@
 //!
 //! * `GET /sparql?query=…` and `POST /sparql` (form-encoded or
 //!   `application/sparql-query` bodies) — concurrent read queries against a
-//!   [`SharedStore`] (`RwLock<RdfStore>`: many readers in flight, writers
-//!   excluded), results in W3C SPARQL 1.1 JSON or TSV by content
-//!   negotiation (`Accept` header or `format=json|tsv` parameter);
+//!   [`SharedStore`] snapshot (readers run against the last published
+//!   immutable state and are never blocked by writers), results in W3C
+//!   SPARQL 1.1 JSON or TSV by content negotiation (`Accept` header or
+//!   `format=json|tsv` parameter);
+//! * `POST /update` (form-encoded or `application/sparql-update` bodies) —
+//!   SPARQL 1.1 Update requests, group-committed with whatever concurrent
+//!   updates are in flight (one fsync per group; see DESIGN.md §4.12). A
+//!   store degraded to read-only refuses them with 503 + `Retry-After`;
 //! * `GET /healthz` — liveness probe;
-//! * `GET /stats` — load report plus per-endpoint counters and latency
-//!   quantiles from the in-repo histogram.
+//! * `GET /stats` — load report plus per-endpoint counters, update/group-
+//!   commit counters, and latency quantiles from the in-repo histogram.
 //!
 //! Admission control is layered (DESIGN.md §4.8): a global in-flight cap
 //! sheds excess queries with 503 + `Retry-After` *before* they touch the
@@ -94,6 +99,7 @@ struct Inner {
     shed: AtomicU64,
     started: Instant,
     sparql: EndpointStats,
+    update: EndpointStats,
     insert: EndpointStats,
     healthz: EndpointStats,
     stats: EndpointStats,
@@ -141,6 +147,7 @@ impl Server {
             shed: AtomicU64::new(0),
             started: Instant::now(),
             sparql: EndpointStats::default(),
+            update: EndpointStats::default(),
             insert: EndpointStats::default(),
             healthz: EndpointStats::default(),
             stats: EndpointStats::default(),
@@ -365,6 +372,7 @@ fn serve_turn(inner: &Inner, mut conn: Conn) -> Option<Conn> {
 
 enum Endpoint {
     Sparql,
+    Update,
     Insert,
     Healthz,
     Stats,
@@ -374,6 +382,7 @@ enum Endpoint {
 fn endpoint_stats(inner: &Inner, e: Endpoint) -> &EndpointStats {
     match e {
         Endpoint::Sparql => &inner.sparql,
+        Endpoint::Update => &inner.update,
         Endpoint::Insert => &inner.insert,
         Endpoint::Healthz => &inner.healthz,
         Endpoint::Stats => &inner.stats,
@@ -398,6 +407,12 @@ fn route(inner: &Inner, req: &Request) -> (Endpoint, Response) {
         (_, "/insert") => (
             Endpoint::Insert,
             Response::text(405, "use POST with an N-Triples body on /insert")
+                .with_header("Allow", "POST"),
+        ),
+        ("POST", "/update") => (Endpoint::Update, handle_update(inner, req)),
+        (_, "/update") => (
+            Endpoint::Update,
+            Response::text(405, "use POST with a SPARQL Update body on /update")
                 .with_header("Allow", "POST"),
         ),
         (_, "/sparql") => (Endpoint::Sparql, handle_sparql(inner, req)),
@@ -521,6 +536,36 @@ fn extract_query(req: &Request) -> Result<String, Response> {
     }
 }
 
+/// Extract the SPARQL Update text per the SPARQL 1.1 Protocol: POST only,
+/// with a form-encoded `update` parameter or an `application/sparql-update`
+/// body.
+fn extract_update(req: &Request) -> Result<String, Response> {
+    let media = req.media_type().unwrap_or_default();
+    match media.as_str() {
+        "application/x-www-form-urlencoded" | "" => {
+            let body = std::str::from_utf8(&req.body)
+                .map_err(|_| Response::text(400, "form body is not valid UTF-8"))?;
+            let pairs = parse_urlencoded(body)
+                .map_err(|e| Response::text(400, format!("bad form body: {e}")))?;
+            match pairs.into_iter().find(|(k, _)| k == "update") {
+                Some((_, u)) => Ok(u),
+                None => Err(Response::text(400, "missing required parameter: update")),
+            }
+        }
+        "application/sparql-update" => match std::str::from_utf8(&req.body) {
+            Ok(u) => Ok(u.to_string()),
+            Err(_) => Err(Response::text(400, "update body is not valid UTF-8")),
+        },
+        other => Err(Response::text(
+            406,
+            format!(
+                "unsupported request media type {other:?}: use \
+                 application/x-www-form-urlencoded or application/sparql-update"
+            ),
+        )),
+    }
+}
+
 /// RAII admission slot: decrements the in-flight gauge on every exit path.
 struct Admission<'a>(&'a AtomicUsize);
 
@@ -594,6 +639,57 @@ fn handle_sparql(inner: &Inner, req: &Request) -> Response {
     }
 }
 
+/// Handle `POST /update`: a SPARQL 1.1 Update request, applied through the
+/// store's group-commit queue — the response is sent only after the
+/// request's group fsynced, so a 200 means durable. Shares the global
+/// in-flight admission cap with `/sparql` (an update occupies a worker just
+/// the same); a degraded store refuses before parsing with 503 +
+/// `Retry-After`.
+fn handle_update(inner: &Inner, req: &Request) -> Response {
+    let text = match extract_update(req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    if inner.store.is_read_only() {
+        return degraded_response();
+    }
+
+    let prev = inner.in_flight.fetch_add(1, Ordering::SeqCst);
+    let slot = Admission(&inner.in_flight);
+    if prev >= inner.cfg.max_in_flight {
+        drop(slot);
+        inner.shed.fetch_add(1, Ordering::Relaxed);
+        return Response::text(
+            503,
+            format!(
+                "server overloaded: {} requests in flight (cap {})",
+                prev + 1,
+                inner.cfg.max_in_flight
+            ),
+        )
+        .with_header("Retry-After", "1");
+    }
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        inner.store.update(&text)
+    }));
+    drop(slot);
+
+    match result {
+        Ok(Ok(outcome)) => Response::new(
+            200,
+            "application/json",
+            format!(
+                "{{\"inserted\":{},\"deleted\":{}}}\n",
+                outcome.inserted, outcome.deleted
+            )
+            .into_bytes(),
+        ),
+        Ok(Err(e)) => store_error_response(&e),
+        Err(_) => Response::text(500, "internal error: update evaluation panicked"),
+    }
+}
+
 /// Handle `POST /insert`: an N-Triples body, one triple per line, loaded
 /// under the store's write lock. The body is *streamed* — parsed in
 /// line-aligned chunks as it arrives off the socket (`rdf::NtStream`), so
@@ -619,8 +715,21 @@ fn handle_insert(inner: &Inner, req: &Request, body: &mut http::BodyReader<'_>) 
     if inner.store.is_read_only() {
         return degraded_response();
     }
+    // Chunked: each flush takes the write lock and publishes a reader
+    // snapshot once per INSERT_CHUNK triples instead of once per triple.
+    const INSERT_CHUNK: usize = 512;
     let mut received = 0usize;
-    let mut inserted = 0usize;
+    let mut inserted = 0u64;
+    let mut chunk: Vec<rdf::Triple> = Vec::with_capacity(INSERT_CHUNK);
+    let flush = |chunk: &mut Vec<rdf::Triple>| -> Result<u64, Response> {
+        let n = match inner.store.insert_many(chunk) {
+            Ok(n) => n,
+            Err(e) if e.is_read_only() => return Err(degraded_response()),
+            Err(e) => return Err(store_error_response(&e)),
+        };
+        chunk.clear();
+        Ok(n)
+    };
     for quad in rdf::NtStream::new(&mut *body) {
         let quad = match quad {
             Ok(q) => q,
@@ -636,12 +745,17 @@ fn handle_insert(inner: &Inner, req: &Request, body: &mut http::BodyReader<'_>) 
             Err(e) => return Response::text(400, format!("bad N-Triples body: {e}")),
         };
         received += 1;
-        match inner.store.insert(&quad.triple) {
-            Ok(true) => inserted += 1,
-            Ok(false) => {} // duplicate — already stored
-            Err(e) if e.is_read_only() => return degraded_response(),
-            Err(e) => return store_error_response(&e),
+        chunk.push(quad.triple);
+        if chunk.len() >= INSERT_CHUNK {
+            match flush(&mut chunk) {
+                Ok(n) => inserted += n,
+                Err(resp) => return resp,
+            }
         }
+    }
+    match flush(&mut chunk) {
+        Ok(n) => inserted += n,
+        Err(resp) => return resp,
     }
     Response::new(
         200,
@@ -695,11 +809,30 @@ fn stats_json(inner: &Inner) -> String {
     let plan_cache = match inner.store.plan_cache_stats() {
         Some(s) => format!(
             "{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\
-             \"evictions\":{},\"invalidations\":{}}}",
-            s.entries, s.capacity, s.hits, s.misses, s.evictions, s.invalidations,
+             \"evictions\":{},\"invalidations\":{},\"invalidations_avoided\":{}}}",
+            s.entries,
+            s.capacity,
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.invalidations,
+            s.invalidations_avoided,
         ),
         None => "null".into(),
     };
+    let u = inner.store.update_stats();
+    let batches: Vec<String> = db2rdf::BATCH_BUCKET_LABELS
+        .iter()
+        .zip(u.batch_sizes)
+        .map(|(label, n)| format!("\"{label}\":{n}"))
+        .collect();
+    let updates = format!(
+        "{{\"groups\":{},\"applied\":{},\"failed\":{},\"batch_sizes\":{{{}}}}}",
+        u.groups,
+        u.applied,
+        u.failed,
+        batches.join(","),
+    );
     let dict = inner.store.dict_stats();
     let rss = match resident_bytes() {
         Some(b) => b.to_string(),
@@ -710,8 +843,9 @@ fn stats_json(inner: &Inner) -> String {
          \"in_flight\":{},\
          \"max_in_flight\":{},\"shed\":{},\"epoch\":{},\"degraded\":{},\"rss_bytes\":{rss},\
          \"dict\":{{\"entries\":{},\"raw_bytes\":{},\"compressed_bytes\":{}}},\
-         \"plan_cache\":{},\
-         \"endpoints\":{{\"sparql\":{},\"insert\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}\n",
+         \"plan_cache\":{},\"updates\":{},\
+         \"endpoints\":{{\"sparql\":{},\"update\":{},\"insert\":{},\"healthz\":{},\
+         \"stats\":{},\"other\":{}}}}}\n",
         inner.started.elapsed().as_secs(),
         report.triples,
         inner.cfg.workers,
@@ -725,7 +859,9 @@ fn stats_json(inner: &Inner) -> String {
         dict.raw_bytes,
         dict.compressed_bytes,
         plan_cache,
+        updates,
         inner.sparql.to_json(),
+        inner.update.to_json(),
         inner.insert.to_json(),
         inner.healthz.to_json(),
         inner.stats.to_json(),

@@ -414,3 +414,127 @@ fn requests_after_shutdown_are_refused() {
     server.shutdown();
     assert!(client::request(addr, "GET", "/healthz", &[], b"").is_err());
 }
+
+// -- POST /update ----------------------------------------------------------
+
+#[test]
+fn post_update_with_sparql_update_body() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    let r = client::request(
+        addr,
+        "POST",
+        "/update",
+        &[("Content-Type", "application/sparql-update")],
+        b"INSERT DATA { <http://ex/dave> <http://ex/knows> <http://ex/carol> }",
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.header("content-type"), Some("application/json"));
+    assert_eq!(r.text().trim(), r#"{"inserted":1,"deleted":0}"#);
+
+    // The mutation is immediately visible to queries.
+    let mut c = Client::connect(addr).unwrap();
+    let q = c.sparql_get(Q_KNOWS, None).unwrap();
+    assert!(q.text().contains("http://ex/dave"), "{}", q.text());
+    server.shutdown();
+}
+
+#[test]
+fn post_update_form_encoded_delete_insert() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    // Rename the predicate of every knows-triple; counts are effect-based.
+    let update = "DELETE { ?s <http://ex/knows> ?o } \
+                  INSERT { ?s <http://ex/met> ?o } \
+                  WHERE { ?s <http://ex/knows> ?o }";
+    let body = format!("update={}", percent_encode(update));
+    let r = client::request(
+        addr,
+        "POST",
+        "/update",
+        &[("Content-Type", "application/x-www-form-urlencoded")],
+        body.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.text().trim(), r#"{"inserted":3,"deleted":3}"#);
+
+    let mut c = Client::connect(addr).unwrap();
+    let gone = c.sparql_get(Q_KNOWS, None).unwrap();
+    assert!(!gone.text().contains("alice"), "{}", gone.text());
+    let moved = c
+        .sparql_get("SELECT ?x WHERE { ?x <http://ex/met> <http://ex/carol> }", None)
+        .unwrap();
+    assert!(moved.text().contains("alice"), "{}", moved.text());
+    server.shutdown();
+}
+
+#[test]
+fn update_protocol_errors() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Parse errors are the client's fault: 400 with the parser message.
+    let r = client::request(
+        addr,
+        "POST",
+        "/update",
+        &[("Content-Type", "application/sparql-update")],
+        b"INSERT DATA { ?v <http://ex/p> 1 }",
+    )
+    .unwrap();
+    assert_eq!(r.status, 400, "{}", r.text());
+    assert!(r.text().contains("DATA"), "{}", r.text());
+
+    // Missing parameter on a form body.
+    let r = client::request(addr, "POST", "/update", &[], b"query=ASK%20%7B%7D").unwrap();
+    assert_eq!(r.status, 400, "{}", r.text());
+    assert!(r.text().contains("update"), "{}", r.text());
+
+    // Wrong media type.
+    let r = client::request(
+        addr,
+        "POST",
+        "/update",
+        &[("Content-Type", "text/turtle")],
+        b"INSERT DATA { <http://a> <http://b> <http://c> }",
+    )
+    .unwrap();
+    assert_eq!(r.status, 406, "{}", r.text());
+
+    // Non-POST methods.
+    let r = client::request(addr, "GET", "/update", &[], b"").unwrap();
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("POST"));
+    server.shutdown();
+}
+
+#[test]
+fn stats_expose_update_and_group_commit_counters() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    for i in 0..3 {
+        let body = format!(
+            "INSERT DATA {{ <http://ex/u{i}> <http://ex/knows> <http://ex/carol> }}"
+        );
+        let r = client::request(
+            addr,
+            "POST",
+            "/update",
+            &[("Content-Type", "application/sparql-update")],
+            body.as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+    }
+    let r = client::request(addr, "GET", "/stats", &[], b"").unwrap();
+    assert_eq!(r.status, 200);
+    let body = r.text();
+    assert!(body.contains("\"updates\":{\"groups\":"), "{body}");
+    assert!(body.contains("\"applied\":3"), "{body}");
+    assert!(body.contains("\"batch_sizes\":{\"1\":"), "{body}");
+    assert!(body.contains("\"invalidations_avoided\":"), "{body}");
+    assert!(body.contains("\"update\":{"), "{body}");
+    server.shutdown();
+}

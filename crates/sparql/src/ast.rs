@@ -208,6 +208,49 @@ pub struct Query {
     pub offset: Option<u64>,
 }
 
+/// A SPARQL 1.1 Update request: a `;`-separated sequence of operations,
+/// applied in order as one atomic request (all-or-nothing at the WAL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub ops: Vec<UpdateOp>,
+}
+
+/// One update operation. The supported subset — `INSERT DATA`,
+/// `DELETE DATA`, and `DELETE/INSERT ... WHERE` (including the
+/// `DELETE WHERE` shorthand) — covers every graph-store mutation that does
+/// not involve named graphs or blank-node minting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// `INSERT DATA { ... }`: ground triples, no variables.
+    InsertData(Vec<rdf::Triple>),
+    /// `DELETE DATA { ... }`: ground triples, no variables.
+    DeleteData(Vec<rdf::Triple>),
+    /// `DELETE { tmpl } INSERT { tmpl } WHERE { pattern }`. Either template
+    /// may be empty (plain `DELETE ... WHERE` / `INSERT ... WHERE`); the
+    /// `DELETE WHERE { p }` shorthand reuses the pattern's triples as the
+    /// delete template. The WHERE clause is evaluated once against the
+    /// pre-update state; templates are instantiated per solution, deletes
+    /// applied before inserts.
+    DeleteInsert {
+        delete: Vec<TriplePattern>,
+        insert: Vec<TriplePattern>,
+        pattern: GroupPattern,
+    },
+}
+
+impl Update {
+    /// Ground triples mentioned anywhere in the request (DATA payloads).
+    pub fn data_triple_count(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                UpdateOp::InsertData(ts) | UpdateOp::DeleteData(ts) => ts.len(),
+                UpdateOp::DeleteInsert { .. } => 0,
+            })
+            .sum()
+    }
+}
+
 impl Query {
     /// The variables this query projects, in order.
     pub fn projected_variables(&self) -> Vec<String> {

@@ -19,7 +19,7 @@ use std::fmt::Write;
 
 use crate::ast::{
     ArithOp, CompareOp, Expression, GroupPattern, Pattern, Query, QueryForm, SelectVars,
-    TermPattern,
+    TermPattern, Update, UpdateOp,
 };
 
 /// Serialize `query` to parseable SPARQL text.
@@ -63,6 +63,71 @@ pub fn to_sparql(query: &Query) -> String {
         let _ = write!(out, " OFFSET {n}");
     }
     out
+}
+
+/// Serialize an update request to parseable SPARQL Update text.
+///
+/// Like [`to_sparql`], round-tripping is semantic: re-parsing the output
+/// yields an [`Update`] with the same effect on any store. The update-case
+/// shrinker relies on this to re-serialize minimized repros.
+pub fn to_sparql_update(update: &Update) -> String {
+    let mut out = String::new();
+    for (i, op) in update.ops.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" ; ");
+        }
+        match op {
+            UpdateOp::InsertData(triples) => {
+                out.push_str("INSERT DATA ");
+                write_ground_braced(&mut out, triples);
+            }
+            UpdateOp::DeleteData(triples) => {
+                out.push_str("DELETE DATA ");
+                write_ground_braced(&mut out, triples);
+            }
+            UpdateOp::DeleteInsert { delete, insert, pattern } => {
+                if !delete.is_empty() {
+                    out.push_str("DELETE ");
+                    write_template_braced(&mut out, delete);
+                    out.push(' ');
+                }
+                if !insert.is_empty() || delete.is_empty() {
+                    out.push_str("INSERT ");
+                    write_template_braced(&mut out, insert);
+                    out.push(' ');
+                }
+                out.push_str("WHERE ");
+                write_group_braced(&mut out, pattern);
+            }
+        }
+    }
+    out
+}
+
+fn write_ground_braced(out: &mut String, triples: &[rdf::Triple]) {
+    out.push_str("{ ");
+    for t in triples {
+        t.subject.encode_into(out);
+        out.push(' ');
+        t.predicate.encode_into(out);
+        out.push(' ');
+        t.object.encode_into(out);
+        out.push_str(" . ");
+    }
+    out.push('}');
+}
+
+fn write_template_braced(out: &mut String, triples: &[crate::ast::TriplePattern]) {
+    out.push_str("{ ");
+    for t in triples {
+        write_term_pattern(out, &t.subject);
+        out.push(' ');
+        write_term_pattern(out, &t.predicate);
+        out.push(' ');
+        write_term_pattern(out, &t.object);
+        out.push_str(" . ");
+    }
+    out.push('}');
 }
 
 fn write_term_pattern(out: &mut String, tp: &TermPattern) {
@@ -229,7 +294,7 @@ fn write_call(out: &mut String, name: &str, arg: &Expression) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse_sparql;
+    use crate::{parse_sparql, parse_update};
 
     /// Strip parser-assigned triple ids so round-tripped ASTs compare equal.
     fn normalized(mut q: Query) -> Query {
@@ -284,6 +349,76 @@ mod tests {
             );
             // And the serializer itself is a fixpoint on its own output.
             assert_eq!(text, to_sparql(&reparsed), "{case}: serializer not idempotent");
+        }
+    }
+
+    /// Strip parser-assigned triple ids from an update's templates/pattern.
+    fn normalized_update(mut u: Update) -> Update {
+        fn fix_group(g: &mut GroupPattern) {
+            for c in &mut g.children {
+                match c {
+                    Pattern::Triple(t) => t.id = 0,
+                    Pattern::Group(g) => fix_group(g),
+                    Pattern::Union(alts) => {
+                        for a in alts {
+                            if let Pattern::Group(g) = a {
+                                fix_group(g);
+                            } else if let Pattern::Triple(t) = a {
+                                t.id = 0;
+                            }
+                        }
+                    }
+                    Pattern::Optional(inner) => {
+                        if let Pattern::Triple(t) = inner.as_mut() {
+                            t.id = 0;
+                        } else if let Pattern::Group(g) = inner.as_mut() {
+                            fix_group(g);
+                        }
+                    }
+                }
+            }
+        }
+        for op in &mut u.ops {
+            if let UpdateOp::DeleteInsert { delete, insert, pattern } = op {
+                for t in delete.iter_mut().chain(insert.iter_mut()) {
+                    t.id = 0;
+                }
+                fix_group(pattern);
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn update_round_trip_is_a_fixpoint() {
+        let cases = [
+            "INSERT DATA { <http://s/1> <http://p/1> \"v\" }",
+            "DELETE DATA { <http://s/1> <http://p/1> 42 . <http://s/2> <http://p/2> \"x\"@en }",
+            "DELETE { ?s <http://p/1> ?o } WHERE { ?s <http://p/1> ?o }",
+            "INSERT { ?s <http://p/2> ?o } WHERE { ?s <http://p/1> ?o FILTER (?o > 3) }",
+            "DELETE { ?s <http://p/1> ?o } INSERT { ?s <http://p/2> ?o } \
+             WHERE { ?s <http://p/1> ?o }",
+            "DELETE WHERE { ?s <http://p/1> ?o }",
+            "INSERT DATA { <http://s/1> <http://p/1> \"a\" } ; \
+             DELETE DATA { <http://s/1> <http://p/1> \"a\" } ; \
+             DELETE { ?s ?p ?o } WHERE { ?s ?p ?o }",
+            "INSERT {} WHERE { ?s <http://p/1> ?o }",
+        ];
+        for case in cases {
+            let parsed = parse_update(case).unwrap_or_else(|e| panic!("{case}: {e}"));
+            let text = to_sparql_update(&parsed);
+            let reparsed =
+                parse_update(&text).unwrap_or_else(|e| panic!("{case} -> {text}: {e}"));
+            assert_eq!(
+                normalized_update(parsed.clone()),
+                normalized_update(reparsed.clone()),
+                "{case} -> {text}: AST drifted"
+            );
+            assert_eq!(
+                text,
+                to_sparql_update(&reparsed),
+                "{case}: serializer not idempotent"
+            );
         }
     }
 }

@@ -20,8 +20,8 @@ mod parser;
 
 pub use ast::{
     ArithOp, CompareOp, Expression, GroupPattern, OrderCondition, Pattern, Query, QueryForm,
-    SelectVars, TermPattern, TriplePattern,
+    SelectVars, TermPattern, TriplePattern, Update, UpdateOp,
 };
 pub use error::SparqlError;
-pub use fmt::to_sparql;
-pub use parser::parse_sparql;
+pub use fmt::{to_sparql, to_sparql_update};
+pub use parser::{parse_sparql, parse_update};

@@ -5,7 +5,7 @@
 
 use std::collections::HashMap;
 
-use rdf::Term;
+use rdf::{Term, Triple};
 
 use crate::ast::*;
 use crate::error::SparqlError;
@@ -20,6 +20,20 @@ pub fn parse_sparql(input: &str) -> Result<Query, SparqlError> {
         next_triple_id: 1,
     };
     p.query()
+}
+
+/// Parse a SPARQL 1.1 Update request: `;`-separated `INSERT DATA`,
+/// `DELETE DATA` and `DELETE/INSERT ... WHERE` operations sharing one
+/// prologue scope (a PREFIX may also be re-declared between operations).
+pub fn parse_update(input: &str) -> Result<Update, SparqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+        next_triple_id: 1,
+    };
+    p.update()
 }
 
 const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
@@ -96,8 +110,7 @@ impl Parser {
 
     // ---- top level ----
 
-    fn query(&mut self) -> Result<Query, SparqlError> {
-        // Prologue
+    fn prologue(&mut self) -> Result<(), SparqlError> {
         loop {
             if self.eat_word("prefix") {
                 let (prefix, _local) = match self.advance() {
@@ -115,9 +128,13 @@ impl Parser {
                     other => return self.err(format!("expected IRI after BASE, found {other:?}")),
                 }
             } else {
-                break;
+                return Ok(());
             }
         }
+    }
+
+    fn query(&mut self) -> Result<Query, SparqlError> {
+        self.prologue()?;
 
         let form = if self.eat_word("select") {
             let distinct = self.eat_word("distinct") || self.eat_word("reduced");
@@ -190,6 +207,147 @@ impl Parser {
             return self.err(format!("unexpected trailing input: {:?}", self.peek()));
         }
         Ok(Query { form, pattern, order_by, limit, offset })
+    }
+
+    // ---- SPARQL 1.1 Update ----
+
+    fn update(&mut self) -> Result<Update, SparqlError> {
+        let mut ops = Vec::new();
+        loop {
+            self.prologue()?;
+            if matches!(self.peek(), Token::Eof) {
+                break;
+            }
+            ops.push(self.update_op()?);
+            if !self.eat(&Token::Semicolon) {
+                break;
+            }
+        }
+        if !matches!(self.peek(), Token::Eof) {
+            return self.err(format!("unexpected trailing input: {:?}", self.peek()));
+        }
+        if ops.is_empty() {
+            return self.err("empty update request");
+        }
+        Ok(Update { ops })
+    }
+
+    fn update_op(&mut self) -> Result<UpdateOp, SparqlError> {
+        if self.eat_word("insert") {
+            if self.eat_word("data") {
+                return Ok(UpdateOp::InsertData(self.ground_triples_block()?));
+            }
+            let insert = self.template_block()?;
+            self.expect_word("where")?;
+            let pattern = self.group_graph_pattern()?;
+            return Ok(UpdateOp::DeleteInsert { delete: Vec::new(), insert, pattern });
+        }
+        if self.eat_word("delete") {
+            if self.eat_word("data") {
+                return Ok(UpdateOp::DeleteData(self.ground_triples_block()?));
+            }
+            if self.eat_word("where") {
+                // DELETE WHERE { bgp }: the pattern doubles as the template.
+                let at = self.pos;
+                let pattern = self.group_graph_pattern()?;
+                if !pattern.filters.is_empty()
+                    || pattern.children.iter().any(|c| !matches!(c, Pattern::Triple(_)))
+                {
+                    self.pos = at;
+                    return self.err(
+                        "DELETE WHERE supports only a plain basic graph pattern \
+                         (no FILTER/OPTIONAL/UNION/nested groups)",
+                    );
+                }
+                let delete: Vec<TriplePattern> =
+                    pattern.children.iter().filter_map(|c| match c {
+                        Pattern::Triple(t) => Some(t.clone()),
+                        _ => None,
+                    }).collect();
+                self.check_template(&delete)?;
+                return Ok(UpdateOp::DeleteInsert { delete, insert: Vec::new(), pattern });
+            }
+            let delete = self.template_block()?;
+            let insert = if self.eat_word("insert") {
+                self.template_block()?
+            } else {
+                Vec::new()
+            };
+            self.expect_word("where")?;
+            let pattern = self.group_graph_pattern()?;
+            return Ok(UpdateOp::DeleteInsert { delete, insert, pattern });
+        }
+        self.err("expected INSERT or DELETE")
+    }
+
+    /// `{ triples }` — the body shared by DATA payloads and templates.
+    fn braced_triples(&mut self) -> Result<Vec<TriplePattern>, SparqlError> {
+        self.expect(&Token::LBrace)?;
+        let mut out = Vec::new();
+        loop {
+            if self.eat(&Token::RBrace) {
+                break;
+            }
+            out.extend(self.triples_same_subject()?);
+            if !self.eat(&Token::Dot) {
+                self.expect(&Token::RBrace)?;
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// A DELETE/INSERT template: triple patterns that may mention WHERE
+    /// variables. Blank nodes are rejected — the W3C blank-node-minting
+    /// semantics would make updates non-deterministic, which the
+    /// differential oracle cannot tolerate.
+    fn template_block(&mut self) -> Result<Vec<TriplePattern>, SparqlError> {
+        let triples = self.braced_triples()?;
+        self.check_template(&triples)?;
+        Ok(triples)
+    }
+
+    fn check_template(&self, triples: &[TriplePattern]) -> Result<(), SparqlError> {
+        for t in triples {
+            for tp in [&t.subject, &t.predicate, &t.object] {
+                if matches!(tp, TermPattern::Var(v) if v.starts_with("_:")) {
+                    return self.err("blank nodes are not supported in update templates");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A DATA payload: ground triples only (no variables, no blank nodes),
+    /// subjects and predicates positionally valid RDF.
+    fn ground_triples_block(&mut self) -> Result<Vec<Triple>, SparqlError> {
+        let patterns = self.braced_triples()?;
+        let mut out = Vec::with_capacity(patterns.len());
+        for tp in patterns {
+            let subject = self.ground_term(tp.subject, "subject")?;
+            let predicate = self.ground_term(tp.predicate, "predicate")?;
+            let object = self.ground_term(tp.object, "object")?;
+            if subject.is_literal() {
+                return self.err("literal subjects are not valid in DATA blocks");
+            }
+            if !predicate.is_iri() {
+                return self.err("predicates in DATA blocks must be IRIs");
+            }
+            out.push(Triple::new(subject, predicate, object));
+        }
+        Ok(out)
+    }
+
+    fn ground_term(&self, tp: TermPattern, pos: &str) -> Result<Term, SparqlError> {
+        match tp {
+            TermPattern::Term(t) => Ok(t),
+            TermPattern::Var(v) if v.starts_with("_:") => {
+                self.err(format!("blank nodes are not supported in DATA blocks ({pos})"))
+            }
+            TermPattern::Var(v) => {
+                self.err(format!("variable ?{v} is not allowed in a DATA block ({pos})"))
+            }
+        }
     }
 
     // ---- patterns ----
@@ -641,5 +799,169 @@ mod tests {
     fn trailing_semicolon_allowed() {
         let q = parse("SELECT * WHERE { ?x <http://p> ?y ; }");
         assert_eq!(q.triple_count(), 1);
+    }
+
+    // ---- SPARQL 1.1 Update ----
+
+    #[test]
+    fn insert_data_parses_ground_triples() {
+        let u = parse_update(
+            "INSERT DATA { <http://s/1> <http://p/1> \"v\" . <http://s/2> <http://p/2> 42 }",
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 1);
+        match &u.ops[0] {
+            UpdateOp::InsertData(ts) => {
+                assert_eq!(ts.len(), 2);
+                assert_eq!(ts[0].subject, Term::iri("http://s/1"));
+                assert_eq!(ts[1].object, Term::int_lit(42));
+            }
+            other => panic!("expected InsertData, got {other:?}"),
+        }
+        assert_eq!(u.data_triple_count(), 2);
+    }
+
+    #[test]
+    fn delete_data_with_predicate_object_lists() {
+        let u = parse_update(
+            "DELETE DATA { <http://s/1> <http://p/1> \"a\", \"b\" ; <http://p/2> \"c\" }",
+        )
+        .unwrap();
+        match &u.ops[0] {
+            UpdateOp::DeleteData(ts) => assert_eq!(ts.len(), 3),
+            other => panic!("expected DeleteData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefixes_expand_in_data_blocks() {
+        let u = parse_update(
+            "PREFIX ex: <http://example.org/> INSERT DATA { ex:s ex:p ex:o }",
+        )
+        .unwrap();
+        match &u.ops[0] {
+            UpdateOp::InsertData(ts) => {
+                assert_eq!(ts[0].subject, Term::iri("http://example.org/s"));
+                assert_eq!(ts[0].predicate, Term::iri("http://example.org/p"));
+                assert_eq!(ts[0].object, Term::iri("http://example.org/o"));
+            }
+            other => panic!("expected InsertData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_insert_where_carries_both_templates() {
+        let u = parse_update(
+            "DELETE { ?s <http://p/old> ?o } INSERT { ?s <http://p/new> ?o } \
+             WHERE { ?s <http://p/old> ?o FILTER (?o > 3) }",
+        )
+        .unwrap();
+        match &u.ops[0] {
+            UpdateOp::DeleteInsert { delete, insert, pattern } => {
+                assert_eq!(delete.len(), 1);
+                assert_eq!(insert.len(), 1);
+                assert_eq!(pattern.filters.len(), 1);
+                assert_eq!(insert[0].predicate, TermPattern::Term(Term::iri("http://p/new")));
+            }
+            other => panic!("expected DeleteInsert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_where_without_delete() {
+        let u = parse_update(
+            "INSERT { ?s <http://p/2> ?o } WHERE { ?s <http://p/1> ?o }",
+        )
+        .unwrap();
+        match &u.ops[0] {
+            UpdateOp::DeleteInsert { delete, insert, .. } => {
+                assert!(delete.is_empty());
+                assert_eq!(insert.len(), 1);
+            }
+            other => panic!("expected DeleteInsert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_where_shorthand_reuses_pattern_as_template() {
+        let u = parse_update("DELETE WHERE { ?s <http://p/1> ?o . ?o <http://p/2> ?x }")
+            .unwrap();
+        match &u.ops[0] {
+            UpdateOp::DeleteInsert { delete, insert, pattern } => {
+                assert_eq!(delete.len(), 2);
+                assert!(insert.is_empty());
+                assert_eq!(pattern.children.len(), 2);
+            }
+            other => panic!("expected DeleteInsert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_where_rejects_non_bgp_patterns() {
+        assert!(parse_update("DELETE WHERE { ?s ?p ?o FILTER (?o > 1) }").is_err());
+        assert!(parse_update("DELETE WHERE { OPTIONAL { ?s ?p ?o } }").is_err());
+        assert!(
+            parse_update("DELETE WHERE { { ?s <http://p/1> ?o } UNION { ?s <http://p/2> ?o } }")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn semicolon_separates_operations() {
+        let u = parse_update(
+            "INSERT DATA { <http://s/1> <http://p/1> \"a\" } ; \
+             DELETE DATA { <http://s/1> <http://p/1> \"a\" } ; \
+             DELETE { ?s ?p ?o } WHERE { ?s ?p ?o } ;",
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 3);
+    }
+
+    #[test]
+    fn prefix_redeclared_between_operations() {
+        let u = parse_update(
+            "PREFIX ex: <http://a/> INSERT DATA { ex:s ex:p ex:o } ; \
+             PREFIX ex: <http://b/> INSERT DATA { ex:s ex:p ex:o }",
+        )
+        .unwrap();
+        let subj = |op: &UpdateOp| match op {
+            UpdateOp::InsertData(ts) => ts[0].subject.clone(),
+            other => panic!("expected InsertData, got {other:?}"),
+        };
+        assert_eq!(subj(&u.ops[0]), Term::iri("http://a/s"));
+        assert_eq!(subj(&u.ops[1]), Term::iri("http://b/s"));
+    }
+
+    #[test]
+    fn data_blocks_reject_variables_and_blank_nodes() {
+        assert!(parse_update("INSERT DATA { ?s <http://p/1> \"v\" }").is_err());
+        assert!(parse_update("INSERT DATA { <http://s/1> <http://p/1> ?o }").is_err());
+        assert!(parse_update("INSERT DATA { _:b <http://p/1> \"v\" }").is_err());
+        assert!(parse_update("DELETE DATA { <http://s/1> <http://p/1> _:b }").is_err());
+    }
+
+    #[test]
+    fn data_blocks_reject_malformed_positions() {
+        // Literal subject.
+        assert!(parse_update("INSERT DATA { \"lit\" <http://p/1> \"v\" }").is_err());
+        // Literal predicate.
+        assert!(parse_update("INSERT DATA { <http://s/1> \"lit\" \"v\" }").is_err());
+    }
+
+    #[test]
+    fn templates_reject_blank_nodes() {
+        assert!(
+            parse_update("INSERT { _:b <http://p/1> ?o } WHERE { ?s <http://p/1> ?o }").is_err()
+        );
+        assert!(parse_update("DELETE WHERE { _:b <http://p/1> ?o }").is_err());
+    }
+
+    #[test]
+    fn empty_or_malformed_updates_are_errors() {
+        assert!(parse_update("").is_err());
+        assert!(parse_update("PREFIX ex: <http://a/>").is_err());
+        assert!(parse_update("SELECT * WHERE { ?s ?p ?o }").is_err());
+        assert!(parse_update("INSERT DATA { <http://s/1> <http://p/1> \"v\" } garbage").is_err());
+        assert!(parse_update("INSERT { ?s ?p ?o }").is_err()); // missing WHERE
     }
 }

@@ -30,9 +30,15 @@
 #                                # its BULK_LOAD_SMOKE=1 profile: ~100k LUBM
 #                                # triples through the streaming parallel
 #                                # loader under a fixed peak-RSS ceiling
+#   scripts/verify.sh --update   # additionally run the update_throughput
+#                                # bench in its UPDATE_SMOKE=1 profile:
+#                                # mixed read/write over a durable store
+#                                # through the group-commit path, asserting
+#                                # every update acks and the batch histogram
+#                                # balances
 #
 # Flags combine: `scripts/verify.sh --all --clippy --server --plan-cache
-# --exec-scaling --fuzz --bulk-load` is what CI runs.
+# --exec-scaling --fuzz --bulk-load --update` is what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +49,7 @@ run_plan_cache=false
 run_exec_scaling=false
 run_fuzz=false
 run_bulk_load=false
+run_update=false
 for arg in "$@"; do
     case "$arg" in
         --all) run_all=true ;;
@@ -52,6 +59,7 @@ for arg in "$@"; do
         --exec-scaling) run_exec_scaling=true ;;
         --fuzz) run_fuzz=true ;;
         --bulk-load) run_bulk_load=true ;;
+        --update) run_update=true ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -96,6 +104,11 @@ fi
 if $run_bulk_load; then
     echo "== bulk_load bench smoke (~100k streamed LUBM triples, RSS ceiling)"
     BULK_LOAD_SMOKE=1 cargo run --release --offline -p bench --bin bulk_load
+fi
+
+if $run_update; then
+    echo "== update_throughput bench smoke (group-committed mixed read/write)"
+    UPDATE_SMOKE=1 cargo run --release --offline -p bench --bin update_throughput
 fi
 
 echo "verify: OK"

@@ -5,22 +5,31 @@
 //! classes the fuzzer found plus any shrunk repro `fuzz_differential`
 //! writes on a divergence — a case that starts failing here means a fixed
 //! bug came back.
+//!
+//! `.ucase` files are SPARQL 1.1 Update cases, replayed through
+//! `oracle::check_update_case`: the real applier must match the naive
+//! set-semantic reference on every layout, in both effect counts and final
+//! store contents.
 
 use std::path::PathBuf;
 
 use db2rdf::oracle;
 
-#[test]
-fn corpus_cases_pass_every_invariant() {
+fn corpus_paths(ext: &str) -> Vec<PathBuf> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
         .filter_map(|e| e.ok())
         .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .filter(|p: &PathBuf| p.extension().is_some_and(|x| x == ext))
         .collect();
     paths.sort();
+    paths
+}
 
+#[test]
+fn corpus_cases_pass_every_invariant() {
+    let paths = corpus_paths("case");
     let mut failures = Vec::new();
     for path in &paths {
         let (triples, query) =
@@ -31,4 +40,31 @@ fn corpus_cases_pass_every_invariant() {
     }
     assert!(failures.is_empty(), "regressed corpus cases:\n{}", failures.join("\n"));
     assert!(paths.len() >= 3, "corpus unexpectedly small: {} cases", paths.len());
+}
+
+#[test]
+fn update_corpus_cases_pass() {
+    let paths = corpus_paths("ucase");
+    let mut failures = Vec::new();
+    for path in &paths {
+        let (triples, update) = oracle::read_update_case(path)
+            .unwrap_or_else(|e| panic!("unreadable update case: {e}"));
+        if let Err(d) = oracle::check_update_case(&triples, &update) {
+            failures.push(format!("{}: {d}", path.display()));
+        }
+    }
+    assert!(failures.is_empty(), "regressed update corpus cases:\n{}", failures.join("\n"));
+    assert!(paths.len() >= 3, "update corpus unexpectedly small: {} cases", paths.len());
+}
+
+#[test]
+fn generated_update_cases_smoke() {
+    // A quick always-on slice of the update fuzzer (the full sweep runs in
+    // `bench --bin fuzz_differential`): every generated request must parse
+    // and pass the differential check.
+    for seed in 0..25u64 {
+        let case = datagen::queryfuzz::gen_update_case(seed);
+        oracle::check_update_case(&case.triples, &case.update)
+            .unwrap_or_else(|d| panic!("seed {seed} [{}]: {d}", case.update));
+    }
 }
