@@ -3,12 +3,25 @@
 //! no SQL, no layouts, no optimizer — so agreement between the two is strong
 //! evidence of correctness. Used by integration and property tests, and by
 //! nothing else (it is O(|data| · |pattern|) per triple pattern).
+//!
+//! The evaluator mirrors the engine's *documented* semantics, including its
+//! deliberate deviations from the W3C recommendation (see DESIGN.md): each
+//! SELECT level evaluates its core pattern first (triples / UNION /
+//! OPTIONAL plus filters not mentioning extension variables), then BIND /
+//! VALUES / subqueries in syntactic order, then the deferred filters, then
+//! the aggregation or computed-projection layer. Aggregate, BIND and
+//! select-expression outputs live in the *value domain* (actual numbers, or
+//! canonical term strings for non-numerics) with the same numeric rules as
+//! the relational engine: integer-preserving SUM, non-truncating AVG,
+//! `Sum(∅) = Avg(∅) = 0`, MIN/MAX preferring the Int representative on an
+//! Int-vs-Double tie, and `1`/`1.0` unified by grouping and DISTINCT.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-use rdf::{Term, Triple};
+use rdf::{decode_term, Term, Triple};
 use sparql::{
-    ArithOp, CompareOp, Expression, GroupPattern, Pattern, Query, QueryForm, TermPattern,
+    AggFunc, ArithOp, CompareOp, Expression, GroupPattern, Pattern, Query, QueryForm,
+    TermPattern, ValuesBlock,
 };
 
 use crate::results::Solutions;
@@ -42,9 +55,8 @@ impl<'a> Indexed<'a> {
 
 /// Evaluate a parsed query over the triples.
 pub fn evaluate(triples: &[Triple], query: &Query) -> Solutions {
-    let root = Pattern::Group(query.pattern.clone());
     let data = Indexed::new(triples);
-    let bindings = eval_pattern(&data, &root, vec![Binding::new()]);
+    let (bindings, plain) = eval_level(&data, query);
     match &query.form {
         QueryForm::Ask => Solutions::from_ask(!bindings.is_empty()),
         QueryForm::Select { .. } => {
@@ -56,8 +68,11 @@ pub fn evaluate(triples: &[Triple], query: &Query) -> Solutions {
             if query.is_distinct() {
                 let mut seen = std::collections::HashSet::new();
                 rows.retain(|r| {
-                    let key: Vec<Option<String>> =
-                        r.iter().map(|t| t.as_ref().map(Term::encode)).collect();
+                    let key: Vec<Option<NKey>> = vars
+                        .iter()
+                        .zip(r.iter())
+                        .map(|(v, t)| t.as_ref().map(|t| distinct_key(t, plain.contains(v))))
+                        .collect();
                     seen.insert(key)
                 });
             }
@@ -71,20 +86,41 @@ pub fn evaluate(triples: &[Triple], query: &Query) -> Solutions {
                         .filter_map(|(v, t)| t.clone().map(|t| (v.clone(), t)))
                         .collect();
                     match eval_expr(e, &binding) {
-                        Some(Val::Term(t)) => (t.numeric_value(), t.encode()),
+                        // Lexical form, not encode(): the engine sorts by
+                        // RDF_NUM then RDF_STR, and RDF_STR strips the
+                        // angle brackets / quotes — `<ns/a>` must order
+                        // before `<ns/ab>` even though '>' > 'b'.
+                        Some(Val::Term(t)) => (t.numeric_value(), t.lexical().to_string()),
                         Some(Val::Num(n)) => (Some(n), String::new()),
                         Some(Val::Str(s)) => (None, s),
                         Some(Val::Bool(x)) => (None, x.to_string()),
                         None => (None, String::new()),
                     }
                 };
+                let plain_val = |r: &Vec<Option<Term>>, v: &str| -> Option<NVal> {
+                    vars.iter()
+                        .position(|x| x == v)
+                        .and_then(|i| r[i].as_ref())
+                        .map(val_of_term)
+                };
                 rows.sort_by(|a, b| {
                     for c in &conds {
-                        let (na, sa) = col_of(a, &c.expr);
-                        let (nb, sb) = col_of(b, &c.expr);
-                        let o = match (na, nb) {
-                            (Some(x), Some(y)) => x.total_cmp(&y),
-                            _ => sa.cmp(&sb),
+                        let o = match &c.expr {
+                            // A value-domain column sorts by the engine's
+                            // total order: NULLs, then numerics (Int and
+                            // Double interleaved), then strings. DESC flips
+                            // the whole order, putting NULLs last.
+                            Expression::Var(v) if plain.contains(v) => {
+                                nval_total_cmp_opt(&plain_val(a, v), &plain_val(b, v))
+                            }
+                            e => {
+                                let (na, sa) = col_of(a, e);
+                                let (nb, sb) = col_of(b, e);
+                                match (na, nb) {
+                                    (Some(x), Some(y)) => x.total_cmp(&y),
+                                    _ => sa.cmp(&sb),
+                                }
+                            }
                         };
                         let o = if c.ascending { o } else { o.reverse() };
                         if o != std::cmp::Ordering::Equal {
@@ -104,6 +140,294 @@ pub fn evaluate(triples: &[Triple], query: &Query) -> Solutions {
             Solutions { vars, rows, boolean: None }
         }
     }
+}
+
+fn is_extension(p: &Pattern) -> bool {
+    matches!(p, Pattern::Bind { .. } | Pattern::Values(_) | Pattern::SubSelect(_))
+}
+
+/// Evaluate one SELECT level (the outer query or a subquery body) in the
+/// engine's documented order; returns the solution bindings plus the set of
+/// value-domain variables.
+fn eval_level(data: &Indexed<'_>, query: &Query) -> (Vec<Binding>, HashSet<String>) {
+    let mut plain: HashSet<String> = HashSet::new();
+
+    // 1. Core pattern: non-extension children, in syntactic order.
+    let mut bindings = vec![Binding::new()];
+    let mut core_triples = 0usize;
+    for child in &query.pattern.children {
+        if !is_extension(child) {
+            core_triples += child.triples().len();
+            bindings = eval_pattern(data, child, bindings);
+        }
+    }
+
+    // 2. Filters not mentioning extension variables attach to the core; the
+    //    rest (and all filters when the core is empty) are deferred until
+    //    after the extensions — same partition as the translator.
+    let ext_vars: HashSet<String> = query
+        .pattern
+        .children
+        .iter()
+        .flat_map(|c| match c {
+            Pattern::Bind { var, .. } => vec![var.clone()],
+            Pattern::Values(vb) => vb.vars.clone(),
+            Pattern::SubSelect(q) => q.projected_variables(),
+            _ => Vec::new(),
+        })
+        .collect();
+    let mut deferred: Vec<&Expression> = Vec::new();
+    for f in &query.pattern.filters {
+        let mentions_ext = f.variables().iter().any(|v| ext_vars.contains(*v));
+        if mentions_ext || core_triples == 0 {
+            deferred.push(f);
+        } else {
+            bindings.retain(|b| truthy(eval_expr(f, b)));
+        }
+    }
+
+    // 3. Extensions in syntactic order. A BIND expression only sees
+    //    variables bound by syntactically preceding group elements.
+    let mut seen: HashSet<String> = HashSet::new();
+    for child in &query.pattern.children {
+        match child {
+            Pattern::Bind { expr, var } => {
+                apply_bind(expr, var, Some(&seen), &mut bindings, &mut plain);
+                seen.insert(var.clone());
+            }
+            Pattern::Values(vb) => {
+                bindings = join_values(&bindings, vb);
+                seen.extend(vb.vars.iter().cloned());
+            }
+            Pattern::SubSelect(sub) => {
+                let (sub_rows, sub_plain) = eval_subquery(data, sub);
+                bindings = join_rows(&bindings, &sub_rows);
+                plain.extend(sub_plain);
+                seen.extend(sub.projected_variables());
+            }
+            other => seen.extend(other.variables()),
+        }
+    }
+
+    // 4. Deferred filters, value-domain aware.
+    bindings.retain(|b| deferred.iter().all(|f| eval_filter(f, b, &plain) == Some(true)));
+
+    // 5. Aggregation or computed projection.
+    if query.is_aggregate() {
+        aggregate_level(query, bindings, &plain)
+    } else {
+        if let Some(items) = query.select_items() {
+            for item in items {
+                if let Some(expr) = &item.expr {
+                    apply_bind(expr, &item.var, None, &mut bindings, &mut plain);
+                }
+            }
+        }
+        (bindings, plain)
+    }
+}
+
+/// Extend every binding with `expr AS var`. `visible` restricts which
+/// variables the expression may read (BIND scoping); `None` means all. A
+/// bare-variable copy keeps the source's domain; any other expression
+/// produces a value-domain binding (or leaves the variable unbound on a
+/// type error, mirroring SQL NULL).
+fn apply_bind(
+    expr: &Expression,
+    var: &str,
+    visible: Option<&HashSet<String>>,
+    bindings: &mut [Binding],
+    plain: &mut HashSet<String>,
+) {
+    match expr {
+        Expression::Var(src) => {
+            if visible.is_none_or(|s| s.contains(src)) {
+                for b in bindings.iter_mut() {
+                    if let Some(t) = b.get(src).cloned() {
+                        b.insert(var.to_string(), t);
+                    }
+                }
+                if plain.contains(src) {
+                    plain.insert(var.to_string());
+                }
+            }
+        }
+        _ => {
+            for b in bindings.iter_mut() {
+                let view: Binding = match visible {
+                    None => b.clone(),
+                    Some(s) => {
+                        b.iter().filter(|(k, _)| s.contains(*k)).map(|(k, v)| (k.clone(), v.clone())).collect()
+                    }
+                };
+                if let Some(v) = eval_val(expr, &view) {
+                    b.insert(var.to_string(), nval_to_term(&v));
+                }
+            }
+            plain.insert(var.to_string());
+        }
+    }
+}
+
+/// Inline VALUES join: strict sameTerm compatibility, with `UNDEF` cells
+/// and unbound binding variables compatible with anything (the defined side
+/// wins in the merged binding).
+fn join_values(bindings: &[Binding], vb: &ValuesBlock) -> Vec<Binding> {
+    let mut out = Vec::new();
+    for b in bindings {
+        'rows: for row in &vb.rows {
+            let mut ext = b.clone();
+            for (var, cell) in vb.vars.iter().zip(row) {
+                match (b.get(var), cell) {
+                    (Some(t), Some(c)) => {
+                        if t != c {
+                            continue 'rows;
+                        }
+                    }
+                    (None, Some(c)) => {
+                        ext.insert(var.clone(), c.clone());
+                    }
+                    (_, None) => {}
+                }
+            }
+            out.push(ext);
+        }
+    }
+    out
+}
+
+/// Evaluate a subquery body and restrict it to its projection (applying
+/// the subquery's DISTINCT); only projected variables escape.
+fn eval_subquery(data: &Indexed<'_>, sub: &Query) -> (Vec<Binding>, HashSet<String>) {
+    let (sub_bindings, sub_plain) = eval_level(data, sub);
+    let projected = sub.projected_variables();
+    let proj_set: HashSet<&str> = projected.iter().map(String::as_str).collect();
+    let plain: HashSet<String> =
+        sub_plain.into_iter().filter(|v| proj_set.contains(v.as_str())).collect();
+    let mut rows: Vec<Binding> = sub_bindings
+        .into_iter()
+        .map(|b| {
+            projected
+                .iter()
+                .filter_map(|v| b.get(v).map(|t| (v.clone(), t.clone())))
+                .collect()
+        })
+        .collect();
+    if sub.is_distinct() {
+        let mut seen = HashSet::new();
+        rows.retain(|b| {
+            let key: Vec<Option<NKey>> = projected
+                .iter()
+                .map(|v| b.get(v).map(|t| distinct_key(t, plain.contains(v))))
+                .collect();
+            seen.insert(key)
+        });
+    }
+    (rows, plain)
+}
+
+/// Join the outer bindings with a subquery's restricted rows: shared
+/// variables must agree (term identity), unbound sides are compatible and
+/// take the other side's value.
+fn join_rows(bindings: &[Binding], rows: &[Binding]) -> Vec<Binding> {
+    let mut out = Vec::new();
+    for b in bindings {
+        'rows: for r in rows {
+            let mut ext = b.clone();
+            for (v, t) in r {
+                match b.get(v) {
+                    Some(bt) => {
+                        if bt != t {
+                            continue 'rows;
+                        }
+                    }
+                    None => {
+                        ext.insert(v.clone(), t.clone());
+                    }
+                }
+            }
+            out.push(ext);
+        }
+    }
+    out
+}
+
+/// The aggregation layer: group the solutions, compute the projected items
+/// per group, filter by HAVING. Mirrors the relational engine: grouping
+/// unifies `1`/`1.0` for value-domain keys but keeps distinct terms
+/// distinct; a global aggregate over the empty input still yields one row.
+fn aggregate_level(
+    query: &Query,
+    bindings: Vec<Binding>,
+    plain: &HashSet<String>,
+) -> (Vec<Binding>, HashSet<String>) {
+    let item_list: Vec<(Option<&Expression>, String)> = match query.select_items() {
+        Some(items) => items.iter().map(|i| (i.expr.as_ref(), i.var.clone())).collect(),
+        None => query.projected_variables().into_iter().map(|v| (None, v)).collect(),
+    };
+    let mut order: Vec<Vec<Option<NKey>>> = Vec::new();
+    let mut groups: HashMap<Vec<Option<NKey>>, Vec<Binding>> = HashMap::new();
+    for b in bindings {
+        let key: Vec<Option<NKey>> = query
+            .group_by
+            .iter()
+            .map(|g| b.get(g).map(|t| distinct_key(t, plain.contains(g))))
+            .collect();
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(b);
+    }
+    if query.group_by.is_empty() && order.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    let mut new_plain: HashSet<String> = HashSet::new();
+    for g in &query.group_by {
+        if plain.contains(g) {
+            new_plain.insert(g.clone());
+        }
+    }
+    let mut out = Vec::new();
+    'groups: for key in &order {
+        let rows = &groups[key];
+        let rep = rows.first();
+        let mut nb = Binding::new();
+        for g in &query.group_by {
+            if let Some(t) = rep.and_then(|r| r.get(g)) {
+                nb.insert(g.clone(), t.clone());
+            }
+        }
+        for h in &query.having {
+            if eval_having(h, rows, &nb, plain) != Some(true) {
+                continue 'groups;
+            }
+        }
+        for (expr, var) in &item_list {
+            match expr {
+                // A plain projected variable is a grouping key — already in
+                // the binding.
+                None => {}
+                Some(Expression::Var(src)) => {
+                    if let Some(t) = rep.and_then(|r| r.get(src)) {
+                        nb.insert(var.clone(), t.clone());
+                    }
+                    if plain.contains(src) {
+                        new_plain.insert(var.clone());
+                    }
+                }
+                Some(e) => {
+                    if let Some(v) = eval_group_expr(e, rows, &nb) {
+                        nb.insert(var.clone(), nval_to_term(&v));
+                    }
+                    new_plain.insert(var.clone());
+                }
+            }
+        }
+        out.push(nb);
+    }
+    (out, new_plain)
 }
 
 fn eval_pattern(data: &Indexed<'_>, pattern: &Pattern, input: Vec<Binding>) -> Vec<Binding> {
@@ -139,6 +463,19 @@ fn eval_pattern(data: &Indexed<'_>, pattern: &Pattern, input: Vec<Binding>) -> V
                 }
             }
             out
+        }
+        // Nested extension operators are rejected by the translator; these
+        // arms keep the naive evaluator total for standalone use.
+        Pattern::Bind { expr, var } => {
+            let mut bindings = input;
+            let mut plain = HashSet::new();
+            apply_bind(expr, var, None, &mut bindings, &mut plain);
+            bindings
+        }
+        Pattern::Values(vb) => join_values(&input, vb),
+        Pattern::SubSelect(sub) => {
+            let (rows, _plain) = eval_subquery(data, sub);
+            join_rows(&input, &rows)
         }
     }
 }
@@ -186,6 +523,366 @@ fn match_triple(tp: &sparql::TriplePattern, t: &Triple, b: &Binding) -> Option<B
         }
     }
     Some(ext)
+}
+
+// ---------------------------------------------------------------------------
+// The value domain (independent mirror of the engine's RDF_VAL + SQL Value
+// semantics)
+// ---------------------------------------------------------------------------
+
+/// A value-domain datum: an actual number, or the canonical term encoding
+/// for non-numerics. Absence (`None` in `Option<NVal>`) mirrors SQL NULL.
+#[derive(Clone, Debug)]
+enum NVal {
+    I(i64),
+    D(f64),
+    S(String),
+}
+
+/// Identity key mirroring the engine's Value equality/hash: Int and Double
+/// unify through their f64 value (`1` groups with `1.0`), strings by text.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum NKey {
+    Num(u64),
+    Str(String),
+}
+
+fn nval_key(v: &NVal) -> NKey {
+    match v {
+        NVal::I(i) => NKey::Num((*i as f64).to_bits()),
+        NVal::D(d) => NKey::Num(d.to_bits()),
+        NVal::S(s) => NKey::Str(s.clone()),
+    }
+}
+
+/// Grouping/DISTINCT key for a bound term: value-domain variables unify by
+/// value, term-domain variables by term identity.
+fn distinct_key(t: &Term, is_plain: bool) -> NKey {
+    if is_plain {
+        nval_key(&val_of_term(t))
+    } else {
+        NKey::Str(t.encode())
+    }
+}
+
+const XSD: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// Term → value domain (mirror of the engine's `RDF_VAL`): integer-family
+/// literals that fit an `i64` become integers, other numeric-typed literals
+/// become doubles, everything else keeps its canonical encoding.
+fn val_of_term(t: &Term) -> NVal {
+    if let Term::Literal { lexical, lang: None, datatype: Some(dt) } = t {
+        if let Some(suffix) = dt.strip_prefix(XSD) {
+            match suffix {
+                "integer" | "int" | "long" => {
+                    if let Ok(i) = lexical.trim().parse::<i64>() {
+                        return NVal::I(i);
+                    }
+                }
+                "double" | "decimal" | "float" => {
+                    if let Some(x) = t.numeric_value() {
+                        return NVal::D(x);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    NVal::S(t.encode())
+}
+
+/// Value → term (mirror of the engine's result decoding).
+fn nval_to_term(v: &NVal) -> Term {
+    match v {
+        NVal::I(i) => Term::int_lit(*i),
+        NVal::D(d) => Term::double_lit(*d),
+        NVal::S(s) => decode_term(s).unwrap_or_else(|| Term::lit(s.clone())),
+    }
+}
+
+fn nval_f64(v: &NVal) -> Option<f64> {
+    match v {
+        NVal::I(i) => Some(*i as f64),
+        NVal::D(d) => Some(*d),
+        NVal::S(_) => None,
+    }
+}
+
+/// Value-domain scalar evaluation, mirroring the translator's `value_sql`
+/// lowering under the engine's arithmetic: integer ops are checked (NULL on
+/// overflow), a non-numeric operand yields NULL, division always takes the
+/// float path and yields NULL on a zero divisor.
+fn eval_val(e: &Expression, b: &Binding) -> Option<NVal> {
+    match e {
+        Expression::Var(v) => b.get(v).map(val_of_term),
+        Expression::Term(t) => Some(val_of_term(t)),
+        Expression::Arith { op, left, right } => {
+            nval_arith(op, eval_val(left, b), eval_val(right, b))
+        }
+        Expression::Neg(x) => nval_neg(eval_val(x, b)),
+        _ => None,
+    }
+}
+
+fn nval_arith(op: &ArithOp, l: Option<NVal>, r: Option<NVal>) -> Option<NVal> {
+    let (l, r) = (l?, r?);
+    match op {
+        ArithOp::Add | ArithOp::Sub | ArithOp::Mul => {
+            if let (NVal::I(a), NVal::I(b)) = (&l, &r) {
+                return match op {
+                    ArithOp::Add => a.checked_add(*b),
+                    ArithOp::Sub => a.checked_sub(*b),
+                    ArithOp::Mul => a.checked_mul(*b),
+                    ArithOp::Div => unreachable!(),
+                }
+                .map(NVal::I);
+            }
+            let (a, b) = (nval_f64(&l)?, nval_f64(&r)?);
+            Some(NVal::D(match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => unreachable!(),
+            }))
+        }
+        // The engine lowers `l / r` as `((1.0 * l) / r)` — always the float
+        // path, never integer division.
+        ArithOp::Div => {
+            let a = nval_f64(&l)?;
+            let b = nval_f64(&r)?;
+            if b == 0.0 {
+                None
+            } else {
+                Some(NVal::D(a / b))
+            }
+        }
+    }
+}
+
+// The engine lowers unary minus as `(0 - x)`.
+fn nval_neg(x: Option<NVal>) -> Option<NVal> {
+    match x? {
+        NVal::I(i) => 0i64.checked_sub(i).map(NVal::I),
+        NVal::D(d) => Some(NVal::D(0.0 - d)),
+        NVal::S(_) => None,
+    }
+}
+
+/// SQL `=` mirror with three-valued logic: numerics by value across
+/// Int/Double, strings by text, string-vs-number simply unequal.
+fn nval_sql_eq(l: Option<NVal>, r: Option<NVal>) -> Option<bool> {
+    let (l, r) = (l?, r?);
+    match (&l, &r) {
+        (NVal::S(a), NVal::S(b)) => Some(a == b),
+        (a, b) => match (nval_f64(a), nval_f64(b)) {
+            (Some(x), Some(y)) => Some(x == y),
+            _ => Some(false),
+        },
+    }
+}
+
+/// SQL ordering mirror: `None` when a side is NULL or the types are
+/// incomparable (string vs number).
+fn nval_sql_cmp(l: Option<NVal>, r: Option<NVal>) -> Option<std::cmp::Ordering> {
+    let (l, r) = (l?, r?);
+    match (&l, &r) {
+        (NVal::S(a), NVal::S(b)) => Some(a.cmp(b)),
+        (a, b) => match (nval_f64(a), nval_f64(b)) {
+            (Some(x), Some(y)) => x.partial_cmp(&y),
+            _ => None,
+        },
+    }
+}
+
+fn nval_compare(op: &CompareOp, l: Option<NVal>, r: Option<NVal>) -> Option<bool> {
+    match op {
+        CompareOp::Eq => nval_sql_eq(l, r),
+        CompareOp::NotEq => nval_sql_eq(l, r).map(|b| !b),
+        _ => nval_sql_cmp(l, r).map(|o| match op {
+            CompareOp::Lt => o.is_lt(),
+            CompareOp::LtEq => o.is_le(),
+            CompareOp::Gt => o.is_gt(),
+            CompareOp::GtEq => o.is_ge(),
+            CompareOp::Eq | CompareOp::NotEq => unreachable!(),
+        }),
+    }
+}
+
+/// Total order mirror of the engine's `Value::total_cmp` over value-domain
+/// data: NULLs first, numerics (Int/Double interleaved), then strings.
+fn nval_total_cmp_opt(a: &Option<NVal>, b: &Option<NVal>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Option<NVal>) -> u8 {
+        match v {
+            None => 0,
+            Some(NVal::I(_)) | Some(NVal::D(_)) => 2,
+            Some(NVal::S(_)) => 3,
+        }
+    }
+    match rank(a).cmp(&rank(b)) {
+        Ordering::Equal => match (a, b) {
+            (Some(NVal::S(x)), Some(NVal::S(y))) => x.cmp(y),
+            (Some(x), Some(y)) => nval_f64(x).unwrap().total_cmp(&nval_f64(y).unwrap()),
+            _ => Ordering::Equal,
+        },
+        o => o,
+    }
+}
+
+/// Should candidate `v` replace the current MIN/MAX representative `m`? On
+/// a total-order tie (an Int and a Double of equal value) prefer the Int —
+/// same rule as the engine, making the representative order-independent.
+fn nval_replaces(v: &NVal, m: &NVal, want_less: bool) -> bool {
+    use std::cmp::Ordering;
+    match nval_total_cmp_opt(&Some(v.clone()), &Some(m.clone())) {
+        Ordering::Equal => matches!(v, NVal::I(_)) && matches!(m, NVal::D(_)),
+        Ordering::Less => want_less,
+        Ordering::Greater => !want_less,
+    }
+}
+
+/// One aggregate call over a group's rows, mirroring the engine's
+/// accumulator: COUNT skips unbound/error rows, SUM stays integer until a
+/// double or non-numeric appears (wrapping i64, like the engine), AVG never
+/// truncates, `Sum(∅) = Avg(∅) = 0`, MIN/MAX of an empty (or all-unbound)
+/// group are unbound. DISTINCT dedups by value identity in first-occurrence
+/// order before accumulation.
+fn compute_agg(
+    func: AggFunc,
+    distinct: bool,
+    arg: Option<&Expression>,
+    rows: &[Binding],
+) -> Option<NVal> {
+    let Some(arg) = arg else {
+        return Some(NVal::I(rows.len() as i64)); // COUNT(*)
+    };
+    let mut vals: Vec<NVal> = rows.iter().filter_map(|b| eval_val(arg, b)).collect();
+    if distinct {
+        let mut seen: HashSet<NKey> = HashSet::new();
+        vals.retain(|v| seen.insert(nval_key(v)));
+    }
+    match func {
+        AggFunc::Count => Some(NVal::I(vals.len() as i64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            if vals.is_empty() {
+                return Some(NVal::I(0)); // COALESCE(SUM/AVG(…), 0)
+            }
+            let mut sum_f = 0.0f64;
+            let mut sum_i = 0i64;
+            let mut is_int = true;
+            for v in &vals {
+                match v {
+                    NVal::I(i) => {
+                        sum_f += *i as f64;
+                        sum_i = sum_i.wrapping_add(*i);
+                    }
+                    NVal::D(d) => {
+                        sum_f += d;
+                        is_int = false;
+                    }
+                    NVal::S(_) => is_int = false,
+                }
+            }
+            match func {
+                AggFunc::Sum => {
+                    Some(if is_int { NVal::I(sum_i) } else { NVal::D(sum_f) })
+                }
+                _ => Some(NVal::D(sum_f / vals.len() as f64)),
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let want_less = matches!(func, AggFunc::Min);
+            let mut m: Option<NVal> = None;
+            for v in &vals {
+                if m.as_ref().map(|c| nval_replaces(v, c, want_less)).unwrap_or(true) {
+                    m = Some(v.clone());
+                }
+            }
+            m
+        }
+    }
+}
+
+/// A select/HAVING expression over one group: aggregate calls evaluate over
+/// the group's rows, everything else over the group-key binding.
+fn eval_group_expr(e: &Expression, rows: &[Binding], gb: &Binding) -> Option<NVal> {
+    match e {
+        Expression::Aggregate { func, distinct, arg } => {
+            compute_agg(*func, *distinct, arg.as_deref(), rows)
+        }
+        Expression::Arith { op, left, right } => nval_arith(
+            op,
+            eval_group_expr(left, rows, gb),
+            eval_group_expr(right, rows, gb),
+        ),
+        Expression::Neg(x) => nval_neg(eval_group_expr(x, rows, gb)),
+        other => eval_val(other, gb),
+    }
+}
+
+/// HAVING over one group: boolean combinations of value-domain comparisons,
+/// three-valued like the engine's SQL lowering.
+fn eval_having(
+    e: &Expression,
+    rows: &[Binding],
+    gb: &Binding,
+    _plain: &HashSet<String>,
+) -> Option<bool> {
+    match e {
+        Expression::Or(x, y) => {
+            match (eval_having(x, rows, gb, _plain), eval_having(y, rows, gb, _plain)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            }
+        }
+        Expression::And(x, y) => {
+            match (eval_having(x, rows, gb, _plain), eval_having(y, rows, gb, _plain)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            }
+        }
+        Expression::Not(x) => eval_having(x, rows, gb, _plain).map(|v| !v),
+        Expression::Bound(v) => Some(gb.contains_key(v)),
+        Expression::Compare { op, left, right } => {
+            nval_compare(op, eval_group_expr(left, rows, gb), eval_group_expr(right, rows, gb))
+        }
+        _ => None,
+    }
+}
+
+/// A deferred FILTER (one that mentions extension variables), mirroring the
+/// translator: a comparison touching a value-domain variable moves wholly
+/// into the value domain; everything else keeps term-domain semantics.
+fn eval_filter(e: &Expression, b: &Binding, plain: &HashSet<String>) -> Option<bool> {
+    match e {
+        Expression::Or(x, y) => match (eval_filter(x, b, plain), eval_filter(y, b, plain)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        Expression::And(x, y) => match (eval_filter(x, b, plain), eval_filter(y, b, plain)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        Expression::Not(x) => eval_filter(x, b, plain).map(|v| !v),
+        Expression::Compare { op, left, right }
+            if references_plain(left, plain) || references_plain(right, plain) =>
+        {
+            nval_compare(op, eval_val(left, b), eval_val(right, b))
+        }
+        other => match eval_expr(other, b) {
+            Some(Val::Bool(x)) => Some(x),
+            Some(_) => Some(false),
+            None => None,
+        },
+    }
+}
+
+fn references_plain(e: &Expression, plain: &HashSet<String>) -> bool {
+    e.variables().iter().any(|v| plain.contains(*v))
 }
 
 // ---------------------------------------------------------------------------
@@ -324,6 +1021,9 @@ fn eval_expr(e: &Expression, b: &Binding) -> Option<Val> {
         Expression::IsBlank(x) => {
             Val::Bool(matches!(eval_expr(x, b)?, Val::Term(Term::Blank(_))))
         }
+        // Aggregates never appear in FILTERs (the translator rejects them);
+        // in any other context they are evaluated by `eval_group_expr`.
+        Expression::Aggregate { .. } => return None,
     })
 }
 
@@ -371,6 +1071,14 @@ mod tests {
         ]
     }
 
+    fn int_data() -> Vec<Triple> {
+        vec![
+            Triple::new(Term::iri("a"), Term::iri("v"), Term::int_lit(1)),
+            Triple::new(Term::iri("a"), Term::iri("v"), Term::int_lit(2)),
+            Triple::new(Term::iri("b"), Term::iri("v"), Term::int_lit(5)),
+        ]
+    }
+
     #[test]
     fn basic_join() {
         let q = parse_sparql("SELECT ?x ?z WHERE { ?x <p> ?y . ?y <p> ?z }").unwrap();
@@ -405,5 +1113,92 @@ mod tests {
         let s = evaluate(&d, &q);
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(0, "s"), Some(&Term::iri("x")));
+    }
+
+    #[test]
+    fn grouped_count_and_having() {
+        let q = parse_sparql(
+            "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s <v> ?o } GROUP BY ?s HAVING(COUNT(?o) > 1)",
+        )
+        .unwrap();
+        let s = evaluate(&int_data(), &q);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0, "s"), Some(&Term::iri("a")));
+        assert_eq!(s.get(0, "n"), Some(&Term::int_lit(2)));
+    }
+
+    #[test]
+    fn sum_stays_integer_and_avg_does_not_truncate() {
+        let q = parse_sparql(
+            "SELECT (SUM(?o) AS ?sum) (AVG(?o) AS ?avg) WHERE { ?s <v> ?o }",
+        )
+        .unwrap();
+        let s = evaluate(&int_data(), &q);
+        assert_eq!(s.get(0, "sum"), Some(&Term::int_lit(8)));
+        assert_eq!(s.get(0, "avg"), Some(&Term::double_lit(8.0 / 3.0)));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_yields_one_row() {
+        let q = parse_sparql(
+            "SELECT (COUNT(?o) AS ?n) (SUM(?o) AS ?sum) WHERE { ?s <nope> ?o }",
+        )
+        .unwrap();
+        let s = evaluate(&int_data(), &q);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0, "n"), Some(&Term::int_lit(0)));
+        assert_eq!(s.get(0, "sum"), Some(&Term::int_lit(0)));
+    }
+
+    #[test]
+    fn bind_and_values_extend_solutions() {
+        let q = parse_sparql(
+            "SELECT ?s ?d WHERE { ?s <v> ?o . BIND(?o + 10 AS ?d) FILTER(?d > 11) }",
+        )
+        .unwrap();
+        let s = evaluate(&int_data(), &q);
+        assert_eq!(s.len(), 2);
+
+        let q = parse_sparql("SELECT ?s WHERE { ?s <v> ?o . VALUES ?s { <a> } }").unwrap();
+        let s = evaluate(&int_data(), &q);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn subquery_restricts_to_projection() {
+        let q = parse_sparql(
+            "SELECT ?s ?m WHERE { ?s <v> ?o . { SELECT (MAX(?x) AS ?m) WHERE { ?y <v> ?x } } }",
+        )
+        .unwrap();
+        let s = evaluate(&int_data(), &q);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0, "m"), Some(&Term::int_lit(5)));
+    }
+
+    #[test]
+    fn min_prefers_int_representative_on_tie() {
+        let d = vec![
+            Triple::new(Term::iri("a"), Term::iri("v"), Term::double_lit(1.0)),
+            Triple::new(Term::iri("a"), Term::iri("v"), Term::int_lit(1)),
+        ];
+        let q = parse_sparql("SELECT (MIN(?o) AS ?m) WHERE { ?s <v> ?o }").unwrap();
+        let s = evaluate(&d, &q);
+        assert_eq!(s.get(0, "m"), Some(&Term::int_lit(1)));
+    }
+
+    #[test]
+    fn order_by_iri_sorts_by_lexical_form_not_encoding() {
+        // `<ns/a>` must precede `<ns/ab>`: on the encoded form the closing
+        // '>' (0x3E) compares above 'b' only by accident of ASCII — the
+        // engine's RDF_STR sort key strips the brackets, so the naive
+        // mirror must too.
+        let d = vec![
+            Triple::new(Term::iri("ns/ab"), Term::iri("p"), Term::int_lit(1)),
+            Triple::new(Term::iri("ns/a"), Term::iri("p"), Term::int_lit(2)),
+        ];
+        let q = parse_sparql("SELECT ?s WHERE { ?s <p> ?o } ORDER BY ?s").unwrap();
+        let s = evaluate(&d, &q);
+        assert_eq!(s.get(0, "s"), Some(&Term::iri("ns/a")));
+        assert_eq!(s.get(1, "s"), Some(&Term::iri("ns/ab")));
     }
 }

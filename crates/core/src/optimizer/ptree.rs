@@ -89,6 +89,10 @@ impl PTree {
                 let opt = self.add_node(PKind::Optional, Some(parent));
                 self.add_pattern(inner, opt);
             }
+            // Extension operators carry no triple patterns at this level:
+            // they are lowered after the pattern chain (subquery bodies get
+            // their own plan), so the join-order optimizer ignores them.
+            Pattern::Bind { .. } | Pattern::Values(_) | Pattern::SubSelect(_) => {}
         }
     }
 

@@ -457,8 +457,15 @@ fn naive_ground(
     } else {
         QueryForm::Select { vars: SelectVars::Vars(vars), distinct: false }
     };
-    let query =
-        Query { form, pattern: pattern.clone(), order_by: Vec::new(), limit: None, offset: None };
+    let query = Query {
+        form,
+        pattern: pattern.clone(),
+        group_by: Vec::new(),
+        having: Vec::new(),
+        order_by: Vec::new(),
+        limit: None,
+        offset: None,
+    };
     let mut solutions = naive::evaluate(state, &query);
     if solutions.boolean == Some(true) && solutions.rows.is_empty() {
         solutions.rows.push(Vec::new());
@@ -623,6 +630,28 @@ fn reductions(query: &Query) -> Vec<Query> {
             }
         });
     }
+    // Dropping a HAVING condition is cheap and often preserves divergence.
+    for i in 0..query.having.len() {
+        let mut q = query.clone();
+        q.having.remove(i);
+        out.push(q);
+    }
+    // Dropping a grouping key coarsens the groups but keeps the query an
+    // aggregate whenever an aggregate item or HAVING remains. Keys that are
+    // also projected bare must stay grouped or the query turns invalid.
+    for i in 0..query.group_by.len() {
+        let g = &query.group_by[i];
+        let projected_bare = match query.select_items() {
+            Some(items) => items.iter().any(|it| it.expr.is_none() && &it.var == g),
+            None => query.projected_variables().iter().any(|v| v == g),
+        };
+        if projected_bare {
+            continue;
+        }
+        let mut q = query.clone();
+        q.group_by.remove(i);
+        out.push(q);
+    }
     for pattern in reduce_group(&query.pattern) {
         let mut q = query.clone();
         q.pattern = pattern;
@@ -682,6 +711,31 @@ fn reduce_pattern(pattern: &Pattern) -> Vec<Pattern> {
                 out.push(Pattern::Optional(Box::new(reduced)));
             }
             out
+        }
+        // BIND carries no sub-structure worth keeping; removal is handled by
+        // the child-dropping loop in `reduce_group`.
+        Pattern::Bind { .. } => Vec::new(),
+        Pattern::Values(vb) => {
+            // Dropping a data row keeps the block well-formed and shrinks
+            // the join; dropping the whole block is `reduce_group`'s job.
+            let mut out = Vec::new();
+            if vb.rows.len() > 1 {
+                for i in 0..vb.rows.len() {
+                    let mut next = vb.clone();
+                    next.rows.remove(i);
+                    out.push(Pattern::Values(next));
+                }
+            }
+            out
+        }
+        Pattern::SubSelect(sub) => {
+            // Reduce the subquery with the full query reducer, keeping only
+            // shapes a subquery may take (no solution modifiers).
+            reductions(sub)
+                .into_iter()
+                .filter(|q| q.limit.is_none() && q.offset.is_none() && q.order_by.is_empty())
+                .map(|q| Pattern::SubSelect(Box::new(q)))
+                .collect()
         }
     }
 }

@@ -59,6 +59,10 @@ pub struct CachedPlan {
     pub sql: Option<String>,
     /// Projected variable names, in SELECT order.
     pub projected: Vec<String>,
+    /// Per-column decode mode, positional with `projected`: term-domain
+    /// columns resolve through the dictionary, value-domain columns
+    /// (aggregates, BIND arithmetic) decode as plain numbers.
+    pub projected_modes: Vec<crate::results::DecodeMode>,
 }
 
 /// Counter snapshot for `/stats` and tests.
@@ -238,12 +242,14 @@ mod tests {
     fn plan_for(text: &str) -> Arc<CachedPlan> {
         let query = parse_sparql(text).unwrap();
         let projected = query.projected_variables();
+        let projected_modes = vec![crate::results::DecodeMode::Term; projected.len()];
         Arc::new(CachedPlan {
             query,
             flow: Vec::new(),
             exec: None,
             sql: Some(format!("-- {text}")),
             projected,
+            projected_modes,
         })
     }
 

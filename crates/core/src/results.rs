@@ -9,6 +9,20 @@ use relstore::{Rel, Value};
 
 use crate::dict::Dict;
 
+/// How a projected column's values map back to RDF terms.
+///
+/// Most columns live in the *term domain*: dictionary IDs (entity layout)
+/// or canonical term strings (baselines), resolved through the dictionary.
+/// Columns computed by aggregates or BIND arithmetic live in the *value
+/// domain* (`RDF_VAL` output): an `Int` there is an actual integer, not a
+/// dictionary ID, and must never be resolved — a `COUNT` of 17 decoding as
+/// whatever term interned at ID 17 would be silently wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeMode {
+    Term,
+    Plain,
+}
+
 /// A set of SPARQL solutions (bag semantics, ordered when the query orders).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solutions {
@@ -29,11 +43,32 @@ impl Solutions {
     /// Without a dictionary (baseline layouts), integers decode as plain
     /// integer literals.
     pub fn from_select_dict(vars: Vec<String>, rel: &Rel, dict: Option<&Dict>) -> Solutions {
+        Solutions::from_select_modes(vars, None, rel, dict)
+    }
+
+    /// Like [`Solutions::from_select_dict`] but with a per-column
+    /// [`DecodeMode`] (`None` = all term-domain). `modes` is positional and
+    /// must match `vars` when present.
+    pub fn from_select_modes(
+        vars: Vec<String>,
+        modes: Option<&[DecodeMode]>,
+        rel: &Rel,
+        dict: Option<&Dict>,
+    ) -> Solutions {
         let n = vars.len();
+        let mode_of = |i: usize| {
+            modes.and_then(|m| m.get(i)).copied().unwrap_or(DecodeMode::Term)
+        };
         let rows = rel
             .rows
             .iter()
-            .map(|r| r.iter().take(n).map(|v| decode_value(v, dict)).collect())
+            .map(|r| {
+                r.iter()
+                    .take(n)
+                    .enumerate()
+                    .map(|(i, v)| decode_value(v, dict, mode_of(i)))
+                    .collect()
+            })
             .collect();
         Solutions { vars, rows, boolean: None }
     }
@@ -224,13 +259,18 @@ impl Solutions {
     }
 }
 
-fn decode_value(v: &Value, dict: Option<&Dict>) -> Option<Term> {
+fn decode_value(v: &Value, dict: Option<&Dict>, mode: DecodeMode) -> Option<Term> {
     match v {
         Value::Null => None,
         Value::Str(s) => decode_term(s).or_else(|| Some(Term::lit(s.to_string()))),
-        Value::Int(i) => match dict.and_then(|d| d.resolve(*i)) {
-            Some(enc) => decode_term(&enc).or_else(move || Some(Term::lit(enc))),
-            None => Some(Term::int_lit(*i)),
+        Value::Int(i) => match mode {
+            // Value-domain integers (aggregate/BIND outputs) are actual
+            // numbers, never dictionary IDs.
+            DecodeMode::Plain => Some(Term::int_lit(*i)),
+            DecodeMode::Term => match dict.and_then(|d| d.resolve(*i)) {
+                Some(enc) => decode_term(&enc).or_else(move || Some(Term::lit(enc))),
+                None => Some(Term::int_lit(*i)),
+            },
         },
         Value::Double(d) => Some(Term::double_lit(*d)),
         Value::Bool(b) => Some(Term::lit(b.to_string())),
@@ -286,6 +326,28 @@ mod tests {
         assert_eq!(s.get(0, "x"), Some(&Term::iri("http://a")));
         // Unresolvable integers fall back to plain integer literals.
         assert_eq!(s.get(0, "y"), Some(&Term::int_lit(999)));
+    }
+
+    #[test]
+    fn plain_mode_never_resolves_through_dictionary() {
+        let mut dict = Dict::new();
+        let id = dict.intern("<http://a>");
+        let rel = Rel {
+            cols: vec![
+                OutCol { qualifier: None, name: "c_x".into() },
+                OutCol { qualifier: None, name: "c_n".into() },
+            ],
+            rows: vec![vec![Value::Int(id), Value::Int(id)]],
+        };
+        let s = Solutions::from_select_modes(
+            vec!["x".into(), "n".into()],
+            Some(&[DecodeMode::Term, DecodeMode::Plain]),
+            &rel,
+            Some(&dict),
+        );
+        assert_eq!(s.get(0, "x"), Some(&Term::iri("http://a")));
+        // Same Int, but a COUNT-style column stays a plain integer.
+        assert_eq!(s.get(0, "n"), Some(&Term::int_lit(id)));
     }
 
     #[test]

@@ -2,9 +2,11 @@
 
 use std::sync::Arc;
 
+use std::collections::HashSet;
+
 use rdf::Triple;
-use relstore::Database;
-use sparql::{parse_sparql, QueryForm};
+use relstore::{quote_str, Database};
+use sparql::{parse_sparql, Pattern, Query, QueryForm};
 
 use crate::baseline::{
     delete_triple_store, delete_vertical, insert_triple_store, insert_vertical,
@@ -15,14 +17,17 @@ use crate::error::{Result, StoreError};
 use crate::layout::SideLayout;
 use crate::loader::{bulk_load_entity, insert_entity, EntityConfig, LoadReport};
 use crate::optimizer::{
-    merge_exec_tree, optimize, MergeInfo, OptimizerMode, PTree,
+    merge_exec_tree, optimize, ExecNode, MergeInfo, OptimizerMode, PTree,
 };
 use crate::plancache::{self, CachedPlan, PlanCache, PlanCacheStats};
-use crate::results::Solutions;
+use crate::results::{DecodeMode, Solutions};
 use crate::stats::Stats;
 use crate::translate::entity::EntityGen;
 use crate::translate::functions::register_rdf_functions;
-use crate::translate::{finish, gen_pattern, GenState, StarGen};
+use crate::translate::{
+    apply_filter, finish, gen_aggregate, gen_bind, gen_pattern, gen_select_exprs,
+    gen_subquery_join, gen_values, GenState, StarGen,
+};
 
 /// Which relational layout backs the store (paper §2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -749,8 +754,7 @@ impl RdfStore {
         let plan = self.plan(sparql_text)?;
         plan.sql.clone().ok_or_else(|| {
             StoreError::Unsupported(
-                "query has no triple patterns: its answer is fixed, so no SQL is generated"
-                    .into(),
+                "query's answer is fixed by the algebra alone, so no SQL is generated".into(),
             )
         })
     }
@@ -804,7 +808,12 @@ impl RdfStore {
             QueryForm::Ask => Ok(Solutions::from_ask(!rel.rows.is_empty())),
             QueryForm::Select { .. } => {
                 let dict = self.dict.read();
-                Ok(Solutions::from_select_dict(plan.projected.clone(), &rel, Some(&dict)))
+                Ok(Solutions::from_select_modes(
+                    plan.projected.clone(),
+                    Some(&plan.projected_modes),
+                    &rel,
+                    Some(&dict),
+                ))
             }
         }
     }
@@ -841,50 +850,174 @@ impl RdfStore {
     /// generate SQL.
     fn plan_parsed(&self, query: sparql::Query) -> Result<CachedPlan> {
         let projected = query.projected_variables();
-        if query.triple_count() == 0 {
+        if query.is_fixed_answer() {
             // Valid SPARQL (`ASK {}`, `SELECT * WHERE {}`): nothing to
             // optimize or translate; `query()` answers it directly.
-            return Ok(CachedPlan { query, flow: Vec::new(), exec: None, sql: None, projected });
+            let projected_modes = vec![DecodeMode::Term; projected.len()];
+            return Ok(CachedPlan {
+                query,
+                flow: Vec::new(),
+                exec: None,
+                sql: None,
+                projected,
+                projected_modes,
+            });
         }
-        let tree = PTree::build(&query);
-        let (flow, exec) = optimize(&tree, &self.stats, self.cfg.optimizer);
         let mut state = GenState::new();
-        let exec = match self.cfg.layout {
-            Layout::Entity => {
-                let direct = self.direct.as_ref().expect("loaded");
-                let reverse = self.reverse.as_ref().expect("loaded");
-                let info = MergeInfo {
-                    spill_direct: &direct.spill_preds,
-                    spill_reverse: &reverse.spill_preds,
-                    multi_direct: &direct.multivalued,
-                    multi_reverse: &reverse.multivalued,
-                };
-                let exec = merge_exec_tree(&tree, exec, &info);
-                let dict = self.dict.read();
-                let backend = EntityGen { tree: &tree, direct, reverse, dict: &dict };
-                gen_pattern(&backend, &exec, &mut state)?;
-                exec
+        let dict = self.dict.read();
+        let (flow, exec) = self.gen_level(&query, &mut state, &dict)?;
+        drop(dict);
+        let sql = finish(&query, &mut state)?;
+        let projected_modes = projected
+            .iter()
+            .map(|v| {
+                if state.plain.contains(v) { DecodeMode::Plain } else { DecodeMode::Term }
+            })
+            .collect();
+        Ok(CachedPlan { flow, exec, sql: Some(sql), projected, projected_modes, query })
+    }
+
+    /// Generate the CTE chain for one SELECT level — the outer query or one
+    /// subquery body. Order of lowering (a documented deviation from strict
+    /// syntactic evaluation, mirrored exactly by the naive engine): first
+    /// the core pattern (triples / UNION / OPTIONAL plus the filters that
+    /// don't mention extension variables), then BIND / VALUES / subqueries
+    /// in syntactic order, then the deferred filters, then the aggregation
+    /// or computed-projection layer. Returns the optimizer's data flow and
+    /// merged execution tree for the core pattern (empty when this level
+    /// has no triple patterns).
+    #[allow(clippy::type_complexity)]
+    fn gen_level(
+        &self,
+        query: &Query,
+        state: &mut GenState,
+        dict: &Dict,
+    ) -> Result<(Vec<(usize, &'static str)>, Option<ExecNode>)> {
+        reject_nested_extensions(&query.pattern)?;
+        let mut core_children = Vec::new();
+        for child in &query.pattern.children {
+            match child {
+                Pattern::Bind { .. } | Pattern::Values(_) | Pattern::SubSelect(_) => {}
+                other => core_children.push(other.clone()),
             }
-            Layout::TripleStore => {
-                let backend = TripleGen { tree: &tree };
-                gen_pattern(&backend, &exec, &mut state)?;
-                exec
+        }
+        let core_triple_count: usize =
+            core_children.iter().map(|c| c.triples().len()).sum();
+        // Variables introduced by extension operators: filters mentioning
+        // them cannot attach to the core chain and are applied afterwards.
+        let ext_vars: HashSet<String> = query
+            .pattern
+            .children
+            .iter()
+            .flat_map(|c| match c {
+                Pattern::Bind { var, .. } => vec![var.clone()],
+                Pattern::Values(vb) => vb.vars.clone(),
+                Pattern::SubSelect(q) => q.projected_variables(),
+                _ => Vec::new(),
+            })
+            .collect();
+        let mut core_filters = Vec::new();
+        let mut deferred = Vec::new();
+        for f in &query.pattern.filters {
+            let mentions_ext =
+                f.non_aggregated_variables().iter().any(|v| ext_vars.contains(*v));
+            if mentions_ext || core_triple_count == 0 {
+                deferred.push(f.clone());
+            } else {
+                core_filters.push(f.clone());
             }
-            Layout::Vertical => {
-                let layout = self.vertical.as_ref().expect("loaded");
-                let backend = VerticalGen { tree: &tree, layout, max_union_tables: 500 };
-                gen_pattern(&backend, &exec, &mut state)?;
-                exec
-            }
+        }
+
+        let (flow, exec) = if core_triple_count > 0 {
+            let core_query = Query {
+                form: QueryForm::Ask,
+                pattern: sparql::GroupPattern { children: core_children, filters: core_filters },
+                group_by: Vec::new(),
+                having: Vec::new(),
+                order_by: Vec::new(),
+                limit: None,
+                offset: None,
+            };
+            let tree = PTree::build(&core_query);
+            let (flow, exec) = optimize(&tree, &self.stats, self.cfg.optimizer);
+            let exec = match self.cfg.layout {
+                Layout::Entity => {
+                    let direct = self.direct.as_ref().expect("loaded");
+                    let reverse = self.reverse.as_ref().expect("loaded");
+                    let info = MergeInfo {
+                        spill_direct: &direct.spill_preds,
+                        spill_reverse: &reverse.spill_preds,
+                        multi_direct: &direct.multivalued,
+                        multi_reverse: &reverse.multivalued,
+                    };
+                    let exec = merge_exec_tree(&tree, exec, &info);
+                    let backend = EntityGen { tree: &tree, direct, reverse, dict };
+                    gen_pattern(&backend, &exec, state)?;
+                    exec
+                }
+                Layout::TripleStore => {
+                    let backend = TripleGen { tree: &tree };
+                    gen_pattern(&backend, &exec, state)?;
+                    exec
+                }
+                Layout::Vertical => {
+                    let layout = self.vertical.as_ref().expect("loaded");
+                    let backend = VerticalGen { tree: &tree, layout, max_union_tables: 500 };
+                    gen_pattern(&backend, &exec, state)?;
+                    exec
+                }
+            };
+            let flow = flow.order.iter().map(|n| (n.triple + 1, n.method.name())).collect();
+            (flow, Some(exec))
+        } else {
+            (Vec::new(), None)
         };
-        let sql = finish(&query, &mut state);
-        Ok(CachedPlan {
-            flow: flow.order.iter().map(|n| (n.triple + 1, n.method.name())).collect(),
-            exec: Some(exec),
-            sql: Some(sql),
-            projected,
-            query,
-        })
+
+        // Extension operators in syntactic order. A BIND expression only
+        // sees variables bound by syntactically preceding group elements.
+        let mut seen: HashSet<String> = HashSet::new();
+        for child in &query.pattern.children {
+            match child {
+                Pattern::Bind { expr, var } => {
+                    gen_bind(expr, var, &seen, state)?;
+                    seen.insert(var.clone());
+                }
+                Pattern::Values(vb) => {
+                    let enc = |t: &rdf::Term| -> String {
+                        match self.cfg.layout {
+                            // Entity columns hold dictionary IDs; a term
+                            // missing from the dictionary can never match a
+                            // stored one, so encode it as its (non-NULL —
+                            // NULL means UNDEF) canonical string, which
+                            // RDF_SAMETERM rejects against any ID.
+                            Layout::Entity => match dict.lookup(&t.encode()) {
+                                Some(id) => id.to_string(),
+                                None => quote_str(&t.encode()),
+                            },
+                            _ => quote_str(&t.encode()),
+                        }
+                    };
+                    gen_values(vb, &enc, state)?;
+                    seen.extend(vb.vars.iter().cloned());
+                }
+                Pattern::SubSelect(sub) => {
+                    gen_subquery_join(sub, state, &mut |q, st| {
+                        self.gen_level(q, st, dict).map(|_| ())
+                    })?;
+                    seen.extend(sub.projected_variables());
+                }
+                other => seen.extend(other.variables()),
+            }
+        }
+        for f in &deferred {
+            apply_filter(f, state)?;
+        }
+        if query.is_aggregate() {
+            gen_aggregate(query, state)?;
+        } else if let Some(items) = query.select_items() {
+            gen_select_exprs(items, state)?;
+        }
+        Ok((flow, exec))
     }
 
     pub fn statistics(&self) -> &Stats {
@@ -1065,6 +1198,34 @@ impl RdfStore {
             table.widen_rewritten(cols);
         }
     }
+}
+
+/// Extension operators (BIND / VALUES / subqueries) are supported only at
+/// the top level of a SELECT's WHERE group. Inside UNION branches,
+/// OPTIONALs, or nested groups their binding scope would interact with
+/// operators this translator linearizes differently, so they are rejected
+/// loudly rather than silently mis-scoped. Subquery bodies are *not*
+/// walked here: each body is its own level, checked when it is planned.
+fn reject_nested_extensions(group: &sparql::GroupPattern) -> Result<()> {
+    fn walk(p: &Pattern, top: bool) -> Result<()> {
+        match p {
+            Pattern::Triple(_) => Ok(()),
+            Pattern::Group(g) => g.children.iter().try_for_each(|c| walk(c, false)),
+            Pattern::Union(cs) => cs.iter().try_for_each(|c| walk(c, false)),
+            Pattern::Optional(c) => walk(c, false),
+            Pattern::Bind { var, .. } if !top => Err(StoreError::Unsupported(format!(
+                "BIND (?{var}) is only supported at the top level of a SELECT's WHERE group"
+            ))),
+            Pattern::Values(_) if !top => Err(StoreError::Unsupported(
+                "VALUES is only supported at the top level of a SELECT's WHERE group".into(),
+            )),
+            Pattern::SubSelect(_) if !top => Err(StoreError::Unsupported(
+                "subqueries are only supported at the top level of a SELECT's WHERE group".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+    group.children.iter().try_for_each(|c| walk(c, true))
 }
 
 /// The fixed answer for a query with zero triple patterns: `ASK {}` is

@@ -114,6 +114,90 @@ fn sparql_eq(dict: &Dict, a: &Value, b: &Value) -> Option<bool> {
     }
 }
 
+const XSD: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// Map a term into the SPARQL *value domain* used by aggregation, BIND
+/// arithmetic and HAVING: `xsd:integer` literals whose lexical form fits an
+/// `i64` become `Int`, other numeric-typed literals (`double`, `decimal`,
+/// `float`) become `Double`, and everything else — IRIs, blanks, plain and
+/// lang-tagged literals, non-numeric typed literals — stays the canonical
+/// term encoding as `Str` so term identity survives grouping.
+fn val_of_term(t: &Term) -> Value {
+    if let Term::Literal { lexical, lang: None, datatype: Some(dt) } = t {
+        if let Some(suffix) = dt.strip_prefix(XSD) {
+            match suffix {
+                "integer" | "int" | "long" => {
+                    if let Ok(i) = lexical.trim().parse::<i64>() {
+                        return Value::Int(i);
+                    }
+                }
+                "double" | "decimal" | "float" => {
+                    if let Some(x) = t.numeric_value() {
+                        return Value::Double(x);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Value::str(t.encode())
+}
+
+/// `RDF_VAL(x)`: term → value domain. Dictionary IDs are resolved first; an
+/// unresolvable Int (baseline layouts) or undecodable Str passes through
+/// unchanged, and Double/Bool are already plain values.
+fn rdf_val(dict: &Dict, v: &Value) -> Value {
+    match v {
+        Value::Int(i) => match dict.resolve(*i) {
+            Some(enc) => match decode_term(&enc) {
+                Some(t) => val_of_term(&t),
+                None => v.clone(),
+            },
+            None => v.clone(),
+        },
+        Value::Str(s) => match decode_term(s) {
+            Some(t) => val_of_term(&t),
+            None => v.clone(),
+        },
+        _ => v.clone(),
+    }
+}
+
+/// `RDF_SAMETERM(a, b)`: strict RDF term identity — no numeric value
+/// unification, so `"42"^^xsd:integer` ≠ `"42.0"^^xsd:double`. Used for
+/// VALUES compatibility joins, where SPARQL joins on sameTerm.
+fn rdf_sameterm(dict: &Dict, a: &Value, b: &Value) -> Option<bool> {
+    if a.is_null() || b.is_null() {
+        return None;
+    }
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        return Some(x == y);
+    }
+    match (term_of(dict, a), term_of(dict, b)) {
+        (Some(ta), Some(tb)) => Some(ta == tb),
+        _ => a.sql_eq(b),
+    }
+}
+
+/// Satellite check for FILTER REGEX: the engine only implements `^`/`$`
+/// anchors around a literal needle (see [`regex_match`]). Any other regex
+/// metacharacter in the needle would silently match as a plain substring,
+/// so the translator must refuse the pattern instead of producing wrong
+/// rows. Returns the offending character on rejection.
+pub fn validate_regex_pattern(pattern: &str) -> Result<(), char> {
+    let mut pat = pattern;
+    if let Some(p) = pat.strip_prefix('^') {
+        pat = p;
+    }
+    if let Some(p) = pat.strip_suffix('$') {
+        pat = p;
+    }
+    match pat.chars().find(|c| ".^$*+?()[]{}|\\".contains(*c)) {
+        Some(c) => Err(c),
+        None => Ok(()),
+    }
+}
+
 /// Tiny REGEX support: `^`/`$` anchors around a literal needle, with a
 /// case-insensitive flag. Full regular expressions are out of scope (the
 /// offline crate set has no regex engine); all benchmark patterns are
@@ -218,6 +302,12 @@ pub fn register_rdf_functions(db: &mut Database, dict: &SharedDict) {
                 .unwrap_or(Value::Null))
         });
     }
+    let d = dict.clone();
+    db.register_function("rdf_val", move |args| Ok(rdf_val(&d.read(), &args[0])));
+    let d = dict.clone();
+    db.register_function("rdf_sameterm", move |args| {
+        Ok(rdf_sameterm(&d.read(), &args[0], &args[1]).map(Value::Bool).unwrap_or(Value::Null))
+    });
     let d = dict.clone();
     db.register_function("rdf_regex", move |args| {
         let ci = matches!(args.get(2), Some(Value::Int(1)));
@@ -351,6 +441,54 @@ mod tests {
                 Value::Bool(true),
             ]
         );
+    }
+
+    #[test]
+    fn rdf_val_maps_terms_into_value_domain() {
+        let db = db();
+        let r = db
+            .query(
+                "SELECT RDF_VAL('\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>') AS a, \
+                 RDF_VAL('\"2.5\"^^<http://www.w3.org/2001/XMLSchema#double>') AS b, \
+                 RDF_VAL('<http://x>') AS c, RDF_VAL('\"plain\"') AS d, \
+                 RDF_VAL(NULL) AS e, RDF_VAL(7) AS f",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(42));
+        assert_eq!(r.rows[0][1], Value::Double(2.5));
+        assert_eq!(r.rows[0][2], Value::str("<http://x>"));
+        assert_eq!(r.rows[0][3], Value::str("\"plain\""));
+        assert_eq!(r.rows[0][4], Value::Null);
+        // Unresolvable dictionary ID (empty dict) passes through as Int.
+        assert_eq!(r.rows[0][5], Value::Int(7));
+    }
+
+    #[test]
+    fn rdf_sameterm_is_strict() {
+        let db = db();
+        let r = db
+            .query(
+                "SELECT RDF_SAMETERM('<a>', '<a>') AS x, \
+                 RDF_SAMETERM('\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>', \
+                              '\"42.0\"^^<http://www.w3.org/2001/XMLSchema#double>') AS y, \
+                 RDF_SAMETERM(NULL, '<a>') AS z",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Bool(true));
+        assert_eq!(r.rows[0][1], Value::Bool(false)); // RDF_EQ would say true
+        assert_eq!(r.rows[0][2], Value::Null);
+    }
+
+    #[test]
+    fn regex_validation_rejects_unsupported_metacharacters() {
+        assert!(validate_regex_pattern("Journal").is_ok());
+        assert!(validate_regex_pattern("^Journal$").is_ok());
+        assert!(validate_regex_pattern("a b-c_d").is_ok());
+        assert_eq!(validate_regex_pattern("a.*b"), Err('.'));
+        assert_eq!(validate_regex_pattern("(x|y)"), Err('('));
+        assert_eq!(validate_regex_pattern("a+"), Err('+'));
+        assert_eq!(validate_regex_pattern("^a^b$"), Err('^'));
+        assert_eq!(validate_regex_pattern("a\\d"), Err('\\'));
     }
 
     #[test]

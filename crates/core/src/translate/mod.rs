@@ -13,7 +13,8 @@ pub mod functions;
 
 use std::collections::{BTreeMap, HashSet};
 
-use sparql::{Expression, Query, QueryForm};
+use rdf::Term;
+use sparql::{Expression, Query, QueryForm, SelectItem, ValuesBlock};
 
 use crate::error::{Result, StoreError};
 use crate::optimizer::ExecNode;
@@ -32,6 +33,10 @@ pub struct GenState {
     /// Joins against them must be null-compatible (an unbound variable is
     /// compatible with any value) — see [`GenState::join_bound`].
     pub maybe_null: HashSet<String>,
+    /// Variables whose column is in the *value domain* (aggregate or BIND
+    /// arithmetic output — actual numbers, not dictionary IDs / canonical
+    /// encodings). Drives filter lowering and result decoding.
+    pub plain: HashSet<String>,
     colnames: BTreeMap<String, String>,
     used_cols: HashSet<String>,
 }
@@ -50,6 +55,7 @@ impl GenState {
             bound: BTreeMap::new(),
             last: None,
             maybe_null: HashSet::new(),
+            plain: HashSet::new(),
             colnames: BTreeMap::new(),
             used_cols: HashSet::new(),
         }
@@ -130,19 +136,22 @@ pub fn gen_pattern(backend: &dyn StarGen, node: &ExecNode, state: &mut GenState)
                 // *definitely*. A maybe-NULL variable may still be re-bound
                 // by a later null-compatible join, so filtering on it now
                 // would evaluate against the wrong (unbound) value.
-                pending.retain(|f| {
+                let mut still_pending = Vec::new();
+                for f in pending {
                     let ready = f.variables().iter().all(|v| {
                         state.bound.contains_key(*v) && !state.maybe_null.contains(*v)
                     });
                     if ready {
-                        apply_filter(f, state);
+                        apply_filter(f, state)?;
+                    } else {
+                        still_pending.push(f);
                     }
-                    !ready
-                });
+                }
+                pending = still_pending;
             }
             // Whatever remains references unbound variables (→ NULL).
             for f in pending {
-                apply_filter(f, state);
+                apply_filter(f, state)?;
             }
             Ok(())
         }
@@ -151,14 +160,15 @@ pub fn gen_pattern(backend: &dyn StarGen, node: &ExecNode, state: &mut GenState)
     }
 }
 
-fn apply_filter(f: &Expression, state: &mut GenState) {
+pub(crate) fn apply_filter(f: &Expression, state: &mut GenState) -> Result<()> {
     let Some(last) = state.last.clone() else {
-        return; // filter over an empty pattern: nothing to constrain
+        return Ok(()); // filter over an empty pattern: nothing to constrain
     };
-    let cond = filters::filter_to_sql(f, &state.bound);
+    let cond = filters::filter_to_sql(f, &state.bound, &state.plain)?;
     let name = state.fresh();
     let body = format!("SELECT * FROM {last} WHERE {cond}");
     state.push_cte(name, body);
+    Ok(())
 }
 
 fn gen_union(backend: &dyn StarGen, branches: &[ExecNode], state: &mut GenState) -> Result<()> {
@@ -327,7 +337,7 @@ fn gen_optional(backend: &dyn StarGen, inner: &ExecNode, state: &mut GenState) -
 
 /// Assemble the final SQL text for a query whose pattern chain has been
 /// generated into `state`.
-pub fn finish(query: &Query, state: &mut GenState) -> String {
+pub fn finish(query: &Query, state: &mut GenState) -> Result<String> {
     let mut sql = String::new();
     if !state.ctes.is_empty() {
         sql.push_str("WITH ");
@@ -341,11 +351,11 @@ pub fn finish(query: &Query, state: &mut GenState) -> String {
     match (&query.form, &state.last) {
         (QueryForm::Ask, Some(last)) => {
             sql.push_str(&format!("SELECT 1 AS ok FROM {last} LIMIT 1"));
-            return sql;
+            return Ok(sql);
         }
         (QueryForm::Ask, None) => {
             sql.push_str("SELECT 1 AS ok");
-            return sql;
+            return Ok(sql);
         }
         _ => {}
     }
@@ -396,6 +406,12 @@ pub fn finish(query: &Query, state: &mut GenState) -> String {
         }
         let dir = if cond.ascending { "" } else { " DESC" };
         match &cond.expr {
+            // A value-domain column sorts directly by the engine's total
+            // order; RDF_NUM would misread its integers as dictionary IDs.
+            Expression::Var(v) if state.plain.contains(v) => {
+                let c = &state.bound[v];
+                order_items.push(format!("{c}{dir}"));
+            }
             Expression::Var(v) => {
                 let c = &state.bound[v];
                 // Numeric-aware ordering, then lexical tiebreak.
@@ -403,7 +419,7 @@ pub fn finish(query: &Query, state: &mut GenState) -> String {
                 order_items.push(format!("RDF_STR({c}){dir}"));
             }
             e => {
-                let translated = filters::filter_order_key(e, &state.bound);
+                let translated = filters::filter_order_key(e, &state.bound, &state.plain)?;
                 order_items.push(format!("{translated}{dir}"));
             }
         }
@@ -426,5 +442,423 @@ pub fn finish(query: &Query, state: &mut GenState) -> String {
     if let Some(o) = query.offset {
         sql.push_str(&format!(" OFFSET {o}"));
     }
-    sql
+    Ok(sql)
+}
+
+fn unsupported(msg: impl Into<String>) -> StoreError {
+    StoreError::Unsupported(msg.into())
+}
+
+/// Lower `BIND(expr AS ?var)` as one extension CTE. `visible` is the set of
+/// variables bound by *syntactically preceding* siblings: the W3C scopes a
+/// BIND expression to the group elements before it, while this pipeline
+/// evaluates the whole basic pattern first, so references to later-bound
+/// variables must still read as unbound here.
+pub fn gen_bind(
+    expr: &Expression,
+    var: &str,
+    visible: &HashSet<String>,
+    state: &mut GenState,
+) -> Result<()> {
+    if state.bound.contains_key(var) {
+        return Err(unsupported(format!(
+            "BIND target ?{var} is already bound elsewhere in the group"
+        )));
+    }
+    let vis_bound: BTreeMap<String, String> = state
+        .bound
+        .iter()
+        .filter(|(v, _)| visible.contains(*v))
+        .map(|(v, c)| (v.clone(), c.clone()))
+        .collect();
+    let col = state.col(var);
+    // A bare-variable copy keeps the source's domain; everything else is a
+    // computed value-domain column.
+    let (val, is_plain, maybe) = match expr {
+        Expression::Var(src) if vis_bound.contains_key(src) => (
+            vis_bound[src].clone(),
+            state.plain.contains(src),
+            state.maybe_null.contains(src),
+        ),
+        Expression::Var(_) => ("NULL".to_string(), false, true),
+        Expression::Term(_) => (filters::value_sql(expr, &vis_bound, &state.plain)?, true, false),
+        _ => (filters::value_sql(expr, &vis_bound, &state.plain)?, true, true),
+    };
+    let body = match &state.last {
+        Some(last) => format!("SELECT *, {val} AS {col} FROM {last}"),
+        // No chain yet: the unit solution μ0 extended with the binding.
+        None => format!("SELECT {val} AS {col}"),
+    };
+    let name = state.fresh();
+    state.bound.insert(var.to_string(), col);
+    if is_plain {
+        state.plain.insert(var.to_string());
+    }
+    if maybe {
+        state.maybe_null.insert(var.to_string());
+    }
+    state.push_cte(name, body);
+    Ok(())
+}
+
+/// Lower an inline `VALUES` block: a data CTE (one SELECT per row, UNION
+/// ALL) joined against the current chain with sameTerm compatibility —
+/// `UNDEF` cells and unbound chain columns are compatible with anything.
+/// `enc` renders one constant term as a SQL literal in the layout's column
+/// domain (dictionary ID or canonical string).
+pub fn gen_values(
+    vb: &ValuesBlock,
+    enc: &dyn Fn(&Term) -> String,
+    state: &mut GenState,
+) -> Result<()> {
+    if vb.vars.is_empty() {
+        return Err(unsupported("VALUES with no variables"));
+    }
+    let entry_last = state.last.clone();
+    let cols: Vec<String> = vb.vars.iter().map(|v| state.col(v)).collect();
+    // Which VALUES variables have at least one UNDEF cell?
+    let undef: HashSet<&str> = vb
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| vb.rows.iter().any(|r| r.get(*i).is_none_or(Option::is_none)))
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let vbody = if vb.rows.is_empty() {
+        let items: Vec<String> = cols.iter().map(|c| format!("NULL AS {c}")).collect();
+        format!("SELECT {} WHERE FALSE", items.join(", "))
+    } else {
+        let selects: Vec<String> = vb
+            .rows
+            .iter()
+            .map(|row| {
+                let items: Vec<String> = row
+                    .iter()
+                    .zip(&cols)
+                    .map(|(cell, c)| match cell {
+                        Some(t) => format!("{} AS {c}", enc(t)),
+                        None => format!("NULL AS {c}"),
+                    })
+                    .collect();
+                format!("SELECT {}", items.join(", "))
+            })
+            .collect();
+        selects.join(" UNION ALL ")
+    };
+    let vname = state.fresh();
+    state.push_cte(vname.clone(), vbody);
+
+    let Some(main) = entry_last else {
+        // VALUES opens the chain: its data CTE is the chain head.
+        for (v, c) in vb.vars.iter().zip(&cols) {
+            state.bound.insert(v.clone(), c.clone());
+            if undef.contains(v.as_str()) {
+                state.maybe_null.insert(v.clone());
+            }
+        }
+        return Ok(());
+    };
+
+    let mut projection = state.prior_projection("P");
+    let mut conds: Vec<String> = Vec::new();
+    for (v, c) in vb.vars.iter().zip(&cols) {
+        match state.bound.get(v).cloned() {
+            Some(pc) => {
+                if state.plain.contains(v) {
+                    return Err(unsupported(format!(
+                        "VALUES variable ?{v} is already bound to a computed value"
+                    )));
+                }
+                let mut alts = vec![format!("V.{c} IS NULL")];
+                if state.maybe_null.contains(v) {
+                    alts.push(format!("P.{pc} IS NULL"));
+                    // Re-anchor: an unbound chain column takes the VALUES
+                    // term; afterwards it is NULL only if both sides were.
+                    let plain_proj = format!("P.{pc} AS {pc}");
+                    for s in projection.iter_mut() {
+                        if *s == plain_proj {
+                            *s = format!("COALESCE(P.{pc}, V.{c}) AS {pc}");
+                        }
+                    }
+                    if !undef.contains(v.as_str()) {
+                        state.maybe_null.remove(v);
+                    }
+                }
+                alts.push(format!("RDF_SAMETERM(P.{pc}, V.{c})"));
+                conds.push(format!("({})", alts.join(" OR ")));
+            }
+            None => {
+                projection.push(format!("V.{c} AS {c}"));
+                state.bound.insert(v.clone(), c.clone());
+                if undef.contains(v.as_str()) {
+                    state.maybe_null.insert(v.clone());
+                }
+            }
+        }
+    }
+    if projection.is_empty() {
+        projection.push("1 AS one".to_string());
+    }
+    let name = state.fresh();
+    let mut body = format!("SELECT {} FROM {main} AS P, {vname} AS V", projection.join(", "));
+    if !conds.is_empty() {
+        body.push_str(&format!(" WHERE {}", conds.join(" AND ")));
+    }
+    state.push_cte(name, body);
+    Ok(())
+}
+
+/// Lower a nested `{ SELECT ... }`: generate the subquery's chain in an
+/// isolated scope (via `gen_inner`, which runs the full per-level pipeline
+/// including the subquery's own aggregation), restrict it to its projected
+/// variables, then join it with the enclosing chain on the shared ones.
+pub fn gen_subquery_join(
+    sub: &Query,
+    state: &mut GenState,
+    gen_inner: &mut dyn FnMut(&Query, &mut GenState) -> Result<()>,
+) -> Result<()> {
+    if sub.limit.is_some() || sub.offset.is_some() || !sub.order_by.is_empty() {
+        return Err(unsupported(
+            "subquery solution modifiers (ORDER BY / LIMIT / OFFSET) are not supported",
+        ));
+    }
+    if matches!(sub.form, QueryForm::Ask) {
+        return Err(unsupported("ASK cannot appear as a subquery"));
+    }
+    let entry_last = state.last.clone();
+    let entry_bound = std::mem::take(&mut state.bound);
+    let entry_maybe = std::mem::take(&mut state.maybe_null);
+    let entry_plain = std::mem::take(&mut state.plain);
+    state.last = None;
+    gen_inner(sub, state)?;
+
+    // Restriction CTE: only the projected variables escape the subquery.
+    let projected = sub.projected_variables();
+    let sub_last = state.last.clone();
+    let mut proj_items = Vec::new();
+    let mut sub_cols: Vec<(String, String)> = Vec::new();
+    let mut sub_maybe: HashSet<String> = HashSet::new();
+    let mut sub_plain: HashSet<String> = HashSet::new();
+    for v in &projected {
+        let c = state.col(v);
+        match state.bound.get(v) {
+            Some(cc) => {
+                proj_items.push(format!("{cc} AS {c}"));
+                if state.maybe_null.contains(v) {
+                    sub_maybe.insert(v.clone());
+                }
+                if state.plain.contains(v) {
+                    sub_plain.insert(v.clone());
+                }
+            }
+            None => {
+                proj_items.push(format!("NULL AS {c}"));
+                sub_maybe.insert(v.clone());
+            }
+        }
+        sub_cols.push((v.clone(), c));
+    }
+    let distinct = if sub.is_distinct() { "DISTINCT " } else { "" };
+    let rbody = match &sub_last {
+        Some(l) => format!("SELECT {distinct}{} FROM {l}", proj_items.join(", ")),
+        // Subquery over the empty pattern: one all-unbound solution.
+        None => format!("SELECT {}", proj_items.join(", ")),
+    };
+    let rname = state.fresh();
+    state.push_cte(rname.clone(), rbody);
+
+    state.bound = entry_bound;
+    state.maybe_null = entry_maybe;
+    state.plain = entry_plain;
+    state.last = entry_last.clone();
+
+    let Some(main) = entry_last else {
+        // The subquery opens the chain.
+        state.last = Some(rname);
+        for (v, c) in sub_cols {
+            if sub_maybe.contains(&v) {
+                state.maybe_null.insert(v.clone());
+            }
+            if sub_plain.contains(&v) {
+                state.plain.insert(v.clone());
+            }
+            state.bound.insert(v, c);
+        }
+        return Ok(());
+    };
+
+    let mut projection = state.prior_projection("P");
+    let mut conds: Vec<String> = Vec::new();
+    for (v, c) in sub_cols {
+        match state.bound.get(&v).cloned() {
+            Some(pc) => {
+                if state.plain.contains(&v) || sub_plain.contains(&v) {
+                    return Err(unsupported(format!(
+                        "subquery shares computed variable ?{v} with the outer pattern"
+                    )));
+                }
+                let mut alts = Vec::new();
+                if state.maybe_null.contains(&v) {
+                    alts.push(format!("P.{pc} IS NULL"));
+                    let plain_proj = format!("P.{pc} AS {pc}");
+                    for s in projection.iter_mut() {
+                        if *s == plain_proj {
+                            *s = format!("COALESCE(P.{pc}, S.{c}) AS {pc}");
+                        }
+                    }
+                    if !sub_maybe.contains(&v) {
+                        state.maybe_null.remove(&v);
+                    }
+                }
+                if sub_maybe.contains(&v) {
+                    alts.push(format!("S.{c} IS NULL"));
+                }
+                alts.push(format!("P.{pc} = S.{c}"));
+                conds.push(if alts.len() == 1 {
+                    alts.pop().unwrap()
+                } else {
+                    format!("({})", alts.join(" OR "))
+                });
+            }
+            None => {
+                projection.push(format!("S.{c} AS {c}"));
+                if sub_maybe.contains(&v) {
+                    state.maybe_null.insert(v.clone());
+                }
+                if sub_plain.contains(&v) {
+                    state.plain.insert(v.clone());
+                }
+                state.bound.insert(v, c);
+            }
+        }
+    }
+    if projection.is_empty() {
+        projection.push("1 AS one".to_string());
+    }
+    let name = state.fresh();
+    let mut body = format!("SELECT {} FROM {main} AS P, {rname} AS S", projection.join(", "));
+    if !conds.is_empty() {
+        body.push_str(&format!(" WHERE {}", conds.join(" AND ")));
+    }
+    state.push_cte(name, body);
+    Ok(())
+}
+
+/// Lower computed `(expr AS ?v)` projection items of a *non-aggregating*
+/// SELECT: each becomes a BIND-style extension CTE, in projection order.
+pub fn gen_select_exprs(items: &[SelectItem], state: &mut GenState) -> Result<()> {
+    for item in items {
+        let Some(expr) = &item.expr else { continue };
+        let visible: HashSet<String> = state.bound.keys().cloned().collect();
+        gen_bind(expr, &item.var, &visible, state)?;
+    }
+    Ok(())
+}
+
+/// Lower the aggregation layer (GROUP BY / aggregates / HAVING) as one CTE
+/// over the pattern chain. Afterwards the chain's bound variables are
+/// exactly the grouping keys plus the projected items — everything else is
+/// out of scope, per the SPARQL grouped-query semantics.
+pub fn gen_aggregate(query: &Query, state: &mut GenState) -> Result<()> {
+    let item_list: Vec<(Option<&Expression>, String)> = match query.select_items() {
+        Some(items) => items.iter().map(|i| (i.expr.as_ref(), i.var.clone())).collect(),
+        None => query.projected_variables().into_iter().map(|v| (None, v)).collect(),
+    };
+    let mut sel: Vec<String> = Vec::new();
+    let mut gcols: Vec<String> = Vec::new();
+    let mut new_bound: BTreeMap<String, String> = BTreeMap::new();
+    let mut new_maybe: HashSet<String> = HashSet::new();
+    let mut new_plain: HashSet<String> = HashSet::new();
+    for g in &query.group_by {
+        let c = state.col(g);
+        match state.bound.get(g) {
+            Some(cc) => {
+                sel.push(format!("{cc} AS {cc}"));
+                gcols.push(cc.clone());
+                if state.maybe_null.contains(g) {
+                    new_maybe.insert(g.clone());
+                }
+                if state.plain.contains(g) {
+                    new_plain.insert(g.clone());
+                }
+            }
+            None => {
+                // Grouping by an unbound variable: a single NULL key. It
+                // still needs a GROUP BY entry — with every key constant the
+                // clause would otherwise vanish and turn the query into a
+                // global aggregate, which yields a phantom unit row when the
+                // input is empty (GROUP BY must yield zero groups there).
+                sel.push(format!("NULL AS {c}"));
+                gcols.push("NULL".to_string());
+                new_maybe.insert(g.clone());
+            }
+        }
+        new_bound.insert(g.clone(), c);
+    }
+    for (expr, var) in &item_list {
+        match expr {
+            None => {
+                // Plain projected variable: the parser guarantees it is a
+                // grouping key, so its column is already in the list.
+                if !query.group_by.iter().any(|g| g == var) {
+                    return Err(unsupported(format!(
+                        "projected variable ?{var} is not grouped"
+                    )));
+                }
+            }
+            Some(Expression::Var(src)) => {
+                // `(?src AS ?var)` — a renamed grouping key; keeps the
+                // source's domain.
+                let c = state.col(var);
+                match state.bound.get(src) {
+                    Some(sc) => {
+                        sel.push(format!("{sc} AS {c}"));
+                        if state.maybe_null.contains(src) {
+                            new_maybe.insert(var.clone());
+                        }
+                        if state.plain.contains(src) {
+                            new_plain.insert(var.clone());
+                        }
+                    }
+                    None => {
+                        sel.push(format!("NULL AS {c}"));
+                        new_maybe.insert(var.clone());
+                    }
+                }
+                new_bound.insert(var.clone(), c);
+            }
+            Some(e) => {
+                let c = state.col(var);
+                let sql = filters::select_expr_sql(e, &state.bound, &state.plain)?;
+                sel.push(format!("{sql} AS {c}"));
+                new_bound.insert(var.clone(), c);
+                new_plain.insert(var.clone());
+                // MIN/MAX over an all-unbound group (and arithmetic over
+                // aggregate outputs) can be NULL.
+                new_maybe.insert(var.clone());
+            }
+        }
+    }
+    let mut having_parts = Vec::new();
+    for h in &query.having {
+        having_parts.push(filters::having_sql(h, &state.bound, &state.plain)?);
+    }
+    let mut body = match &state.last {
+        Some(last) => format!("SELECT {} FROM {last}", sel.join(", ")),
+        // Aggregation over the unit solution μ0 (e.g. `SELECT (COUNT(*) AS
+        // ?n) WHERE {}` → one row, count 1).
+        None => format!("SELECT {}", sel.join(", ")),
+    };
+    if !gcols.is_empty() {
+        body.push_str(&format!(" GROUP BY {}", gcols.join(", ")));
+    }
+    if !having_parts.is_empty() {
+        body.push_str(&format!(" HAVING {}", having_parts.join(" AND ")));
+    }
+    let name = state.fresh();
+    state.bound = new_bound;
+    state.maybe_null = new_maybe;
+    state.plain = new_plain;
+    state.push_cte(name, body);
+    Ok(())
 }

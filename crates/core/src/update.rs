@@ -123,8 +123,15 @@ fn ground(
     } else {
         QueryForm::Select { vars: SelectVars::Vars(vars), distinct: false }
     };
-    let query =
-        Query { form, pattern: pattern.clone(), order_by: Vec::new(), limit: None, offset: None };
+    let query = Query {
+        form,
+        pattern: pattern.clone(),
+        group_by: Vec::new(),
+        having: Vec::new(),
+        order_by: Vec::new(),
+        limit: None,
+        offset: None,
+    };
     let mut solutions = store.query_parsed(query)?;
     if solutions.boolean == Some(true) && solutions.rows.is_empty() {
         solutions.rows.push(Vec::new());

@@ -175,7 +175,9 @@ impl Rng {
 
 /// Generate a random SELECT/ASK over the fixture vocabulary: 1–3 triple
 /// patterns mixing variables with known and unknown constants, optional
-/// DISTINCT/LIMIT.
+/// DISTINCT/LIMIT — plus the analytic forms (aggregate projections with
+/// GROUP BY/HAVING, BIND, inline VALUES, subqueries), so the cold-vs-warm
+/// byte-identity property covers the whole translatable surface.
 fn random_query(rng: &mut Rng) -> String {
     let preds = ["http://p/knows", "http://p/member", "http://p/name"];
     let n = 1 + rng.below(3);
@@ -195,10 +197,24 @@ fn random_query(rng: &mut Rng) -> String {
         patterns.push(format!("{subj} <{p}> {obj}"));
     }
     let body = patterns.join(" . ");
-    match rng.below(4) {
+    match rng.below(9) {
         0 => format!("ASK {{ {body} }}"),
         1 => format!("SELECT DISTINCT * WHERE {{ {body} }}"),
         2 => format!("SELECT * WHERE {{ {body} }} LIMIT {}", 1 + rng.below(20)),
+        3 => format!("SELECT ?v0 (COUNT(?w0) AS ?n) WHERE {{ {body} }} GROUP BY ?v0"),
+        4 => format!(
+            "SELECT (SUM(?w0) AS ?t) WHERE {{ {body} }} HAVING(COUNT(*) > {})",
+            rng.below(4)
+        ),
+        5 => format!("SELECT * WHERE {{ {body} BIND(?w0 + {} AS ?b) }}", 1 + rng.below(5)),
+        6 => format!(
+            "SELECT * WHERE {{ {body} VALUES ?v0 {{ <http://s/{}> <http://s/{}> }} }}",
+            rng.below(12),
+            rng.below(12)
+        ),
+        7 => format!(
+            "SELECT * WHERE {{ {body} {{ SELECT ?v0 WHERE {{ ?v0 <http://p/knows> ?sq }} }} }}"
+        ),
         _ => format!("SELECT * WHERE {{ {body} }}"),
     }
 }
@@ -230,6 +246,48 @@ fn cached_and_cold_plans_emit_byte_identical_sql() {
         let s = store.plan_cache_stats().unwrap();
         assert!(s.hits >= 60, "{s:?}");
     }
+}
+
+/// Queries that differ only in an analytic clause — HAVING present or not,
+/// different VALUES rows, a different BIND expression — must occupy
+/// distinct cache entries and keep returning their own results when warm.
+/// (The cache is keyed on normalized query text; this pins that the
+/// normalization never collapses distinct analytic forms.)
+#[test]
+fn analytic_clauses_key_the_cache_distinctly() {
+    let store = loaded_store(StoreConfig::default());
+    // membership: d/0 has 4 subjects, d/1 and d/2 have 3 each.
+    let variants: [(&str, usize); 6] = [
+        ("SELECT ?d (COUNT(?s) AS ?n) WHERE { ?s <http://p/member> ?d } GROUP BY ?d", 3),
+        (
+            "SELECT ?d (COUNT(?s) AS ?n) WHERE { ?s <http://p/member> ?d } GROUP BY ?d \
+             HAVING(COUNT(?s) > 3)",
+            1,
+        ),
+        ("SELECT ?s WHERE { ?s <http://p/member> ?d . VALUES ?d { <http://d/0> } }", 4),
+        (
+            "SELECT ?s WHERE { ?s <http://p/member> ?d . VALUES ?d { <http://d/0> <http://d/1> } }",
+            7,
+        ),
+        ("SELECT ?s ?b WHERE { ?s <http://p/member> ?d . BIND(1 AS ?b) }", 10),
+        ("SELECT ?s ?b WHERE { ?s <http://p/member> ?d . BIND(2 AS ?b) }", 10),
+    ];
+    for (q, rows) in &variants {
+        assert_eq!(store.query(q).unwrap().len(), *rows, "cold: {q}");
+    }
+    for (q, rows) in &variants {
+        assert_eq!(store.query(q).unwrap().len(), *rows, "warm: {q}");
+    }
+    let s = store.plan_cache_stats().unwrap();
+    assert_eq!(s.entries, variants.len(), "one entry per distinct form: {s:?}");
+    assert_eq!(s.hits, variants.len() as u64, "{s:?}");
+    assert_eq!(s.misses, variants.len() as u64, "{s:?}");
+
+    // And the warm BIND plans still produce their own constants.
+    let b1 = store.query(variants[4].0).unwrap();
+    let b2 = store.query(variants[5].0).unwrap();
+    assert_eq!(b1.get(0, "b"), Some(&Term::int_lit(1)));
+    assert_eq!(b2.get(0, "b"), Some(&Term::int_lit(2)));
 }
 
 // -- concurrency: a writer races cached readers through SharedStore --------
@@ -322,7 +380,7 @@ fn empty_group_patterns_have_fixed_answers() {
     // There is no SQL to show for a fixed answer; translate says so
     // instead of pretending the query is invalid.
     let err = store.translate("ASK {}").unwrap_err();
-    assert!(err.to_string().contains("no triple patterns"), "{err}");
+    assert!(err.to_string().contains("fixed by the algebra"), "{err}");
     let explain = store.explain("ASK {}").unwrap();
     assert!(explain.exec_tree.contains("Trivial"), "{}", explain.exec_tree);
 }

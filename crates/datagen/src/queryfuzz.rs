@@ -7,9 +7,17 @@
 //! OPTIONAL blocks, UNION branches with shared variables, group-scoped
 //! FILTERs over the full builtin surface (comparisons, arithmetic, BOUND,
 //! REGEX, STR/LANG, isIRI/isLITERAL, &&/||/!), DISTINCT, ORDER BY and
-//! LIMIT/OFFSET windows. The parser has no aggregate syntax yet (aggregates
-//! exist only at the SQL layer), so the generator covers the entire
-//! *currently supported* SPARQL surface and nothing outside it.
+//! LIMIT/OFFSET windows — plus the analytic surface: BIND, inline VALUES
+//! (with UNDEF), subqueries (plain, DISTINCT and aggregating), aggregate
+//! projections (COUNT/SUM/AVG/MIN/MAX, COUNT(*), DISTINCT-in-aggregate),
+//! GROUP BY and HAVING, and deferred value-domain FILTERs over extension
+//! variables. The generator stays inside the translator's supported
+//! envelope on purpose: the oracle treats an `Unsupported` error as a
+//! divergence, so anything it emits must translate. Two deliberate
+//! restrictions keep results bit-deterministic across thread widths: the
+//! vocabulary has no xsd:double literals (integer sums are exact in f64
+//! regardless of morsel merge order) and subqueries carry no solution
+//! modifiers (the translator rejects them anyway).
 //!
 //! The vocabulary is a small closed world — 9 subjects, 6 predicates,
 //! string/lang/integer literals — plus a few deliberately out-of-vocabulary
@@ -233,9 +241,38 @@ pub fn gen_query(rng: &mut SplitMix64) -> String {
         body.push_str(&format!("FILTER ({expr}) "));
     }
 
-    let mut all_vars: Vec<String> = vars.iter().chain(opt_vars.iter()).cloned().collect();
+    // Top-level extensions (the only placement the translator accepts).
+    // `plain_vars` tracks value-domain variables (BIND targets, aggregating
+    // subquery aliases) — they must never be shared join variables with a
+    // VALUES block or another subquery, and filters over them compare
+    // numerically.
+    let mut plain_vars: Vec<String> = Vec::new();
+    if rng.gen_ratio(1, 5) {
+        body.push_str(&gen_values_block(rng, &vars, &opt_vars, &mut counter));
+    }
+    if rng.gen_ratio(1, 6) {
+        body.push_str(&gen_subquery(rng, &vars, &mut plain_vars, &mut counter));
+    }
+    if rng.gen_ratio(1, 4) {
+        body.push_str(&gen_bind(rng, &vars, &opt_vars, &mut plain_vars, &mut counter));
+    }
+    // A deferred FILTER over a value-domain variable: always numeric.
+    if !plain_vars.is_empty() && rng.gen_ratio(1, 2) {
+        let v = &plain_vars[rng.gen_range(0..plain_vars.len())];
+        let op = ["<", "<=", ">", ">=", "=", "!="][rng.gen_range(0..6usize)];
+        body.push_str(&format!("FILTER (?{v} {op} {}) ", rng.gen_range(0..2 * INT_VALS)));
+    }
+
+    let mut all_vars: Vec<String> =
+        vars.iter().chain(opt_vars.iter()).chain(plain_vars.iter()).cloned().collect();
     all_vars.sort();
     all_vars.dedup();
+
+    // Aggregate projection replaces the plain SELECT (and its modifiers:
+    // GROUP BY brings its own projection/ordering rules).
+    if !all_vars.is_empty() && rng.gen_ratio(1, 4) {
+        return gen_aggregate_query(rng, &body, &all_vars, &mut counter);
+    }
 
     let mut query = if rng.gen_ratio(1, 5) {
         format!("ASK {{ {body}}}")
@@ -243,6 +280,13 @@ pub fn gen_query(rng: &mut SplitMix64) -> String {
         let distinct = if rng.gen_ratio(1, 3) { "DISTINCT " } else { "" };
         let projection = if all_vars.is_empty() || rng.gen_ratio(1, 2) {
             "*".to_string()
+        } else if rng.gen_ratio(1, 5) {
+            // Computed select expression beside a bare variable.
+            let v = &all_vars[rng.gen_range(0..all_vars.len())];
+            let w = &all_vars[rng.gen_range(0..all_vars.len())];
+            let op = if rng.gen_ratio(1, 2) { "+" } else { "*" };
+            let e = format!("e{counter}");
+            format!("?{v} ((?{w} {op} {}) AS ?{e})", rng.gen_range(1..4i64))
         } else {
             let keep = rng.gen_range(1..all_vars.len() + 1usize);
             all_vars.iter().take(keep).map(|v| format!("?{v}")).collect::<Vec<_>>().join(" ")
@@ -315,6 +359,194 @@ fn gen_bgp(
         out.push_str(&format!("{subject} {predicate} {object} . "));
     }
     out
+}
+
+/// An inline VALUES block: one or two variables (existing term-domain
+/// variables join, fresh ones extend), 1–3 rows from the vocabulary with
+/// occasional UNDEF cells and out-of-vocabulary terms (which the entity
+/// layout must treat as matching nothing, not as a missing dictionary id).
+fn gen_values_block(
+    rng: &mut SplitMix64,
+    vars: &[String],
+    opt_vars: &[String],
+    counter: &mut usize,
+) -> String {
+    let pick_var = |rng: &mut SplitMix64, counter: &mut usize| -> String {
+        let pool: Vec<&String> = vars.iter().chain(opt_vars.iter()).collect();
+        if !pool.is_empty() && rng.gen_ratio(2, 3) {
+            pool[rng.gen_range(0..pool.len())].clone()
+        } else {
+            let u = format!("u{}", *counter);
+            *counter += 1;
+            u
+        }
+    };
+    let cell = |rng: &mut SplitMix64| -> String {
+        if rng.gen_ratio(1, 4) {
+            "UNDEF".to_string()
+        } else {
+            gen_object_const(rng)
+        }
+    };
+    let rows = rng.gen_range(1..4usize);
+    if rng.gen_ratio(1, 3) {
+        let a = pick_var(rng, counter);
+        let mut b = pick_var(rng, counter);
+        if b == a {
+            b = format!("u{}", *counter);
+            *counter += 1;
+        }
+        let data: Vec<String> =
+            (0..rows).map(|_| format!("({} {})", cell(rng), cell(rng))).collect();
+        format!("VALUES (?{a} ?{b}) {{ {} }} ", data.join(" "))
+    } else {
+        let v = pick_var(rng, counter);
+        let data: Vec<String> = (0..rows).map(|_| cell(rng)).collect();
+        format!("VALUES ?{v} {{ {} }} ", data.join(" "))
+    }
+}
+
+/// A BIND over the already-bound variables (or a constant when none are
+/// visible): always numeric-valued, so downstream filters compare cleanly
+/// in the value domain. Occasionally a bare variable copy, which keeps the
+/// source's domain.
+fn gen_bind(
+    rng: &mut SplitMix64,
+    vars: &[String],
+    opt_vars: &[String],
+    plain_vars: &mut Vec<String>,
+    counter: &mut usize,
+) -> String {
+    let b = format!("b{}", *counter);
+    *counter += 1;
+    let pool: Vec<&String> = vars.iter().chain(opt_vars.iter()).collect();
+    // A bare copy of a term variable is NOT value-domain, so it stays out
+    // of `plain_vars`; every computed shape is value-domain.
+    let expr = if pool.is_empty() || rng.gen_ratio(1, 6) {
+        plain_vars.push(b.clone());
+        format!("{}", rng.gen_range(0..INT_VALS))
+    } else if rng.gen_ratio(1, 6) {
+        format!("?{}", pool[rng.gen_range(0..pool.len())])
+    } else {
+        plain_vars.push(b.clone());
+        let v = pool[rng.gen_range(0..pool.len())];
+        let op = if rng.gen_ratio(1, 2) { "+" } else { "*" };
+        format!("?{v} {op} {}", rng.gen_range(1..4i64))
+    };
+    format!("BIND({expr} AS ?{b}) ")
+}
+
+/// A top-level subquery sharing the outer pivot `?v0` when it exists:
+/// plain or DISTINCT projection, or a grouped aggregate whose alias joins
+/// the outer query as a fresh value-domain variable. Subqueries carry no
+/// solution modifiers (the translator rejects them).
+fn gen_subquery(
+    rng: &mut SplitMix64,
+    vars: &[String],
+    plain_vars: &mut Vec<String>,
+    counter: &mut usize,
+) -> String {
+    let pivot = if vars.iter().any(|v| v == "v0") {
+        "v0".to_string()
+    } else {
+        let v = format!("u{}", *counter);
+        *counter += 1;
+        v
+    };
+    let q = format!("q{}", *counter);
+    *counter += 1;
+    let p = format!("<http://p/{}>", rng.gen_range(0..PREDICATES));
+    match rng.gen_range(0..4u32) {
+        0 => format!("{{ SELECT ?{pivot} WHERE {{ ?{pivot} {p} ?{q} }} }} "),
+        1 => format!("{{ SELECT DISTINCT ?{pivot} WHERE {{ ?{pivot} {p} ?{q} }} }} "),
+        2 => {
+            let a = format!("a{}", *counter);
+            *counter += 1;
+            plain_vars.push(a.clone());
+            let agg = ["COUNT", "SUM", "MAX", "MIN"][rng.gen_range(0..4usize)];
+            format!(
+                "{{ SELECT ?{pivot} ({agg}(?{q}) AS ?{a}) WHERE {{ ?{pivot} {p} ?{q} }} \
+                 GROUP BY ?{pivot} }} "
+            )
+        }
+        _ => {
+            // Global aggregate: one row, no shared variable with the outer
+            // query — a pure scalar extension.
+            let a = format!("a{}", *counter);
+            *counter += 1;
+            plain_vars.push(a.clone());
+            let inner = format!("in{}", *counter);
+            *counter += 1;
+            format!("{{ SELECT (COUNT(?{inner}) AS ?{a}) WHERE {{ ?{inner} {p} ?{q} }} }} ")
+        }
+    }
+}
+
+/// One aggregate call over the bound variables.
+fn gen_aggregate_call(rng: &mut SplitMix64, all_vars: &[String]) -> String {
+    let v = &all_vars[rng.gen_range(0..all_vars.len())];
+    match rng.gen_range(0..9u32) {
+        0 => "COUNT(*)".to_string(),
+        1 => format!("COUNT(?{v})"),
+        2 => format!("COUNT(DISTINCT ?{v})"),
+        3 => format!("SUM(?{v})"),
+        4 => format!("SUM(DISTINCT ?{v})"),
+        5 => format!("AVG(?{v})"),
+        6 => format!("MIN(?{v})"),
+        7 => format!("MAX(?{v})"),
+        _ => format!("SUM(?{v} + {})", rng.gen_range(1..4i64)),
+    }
+}
+
+/// An aggregate query over `body`: 0–2 grouping keys (0 keys = a global
+/// aggregate, which yields exactly one row even over empty input), 1–2
+/// aggregate items, optional HAVING over an aggregate call, ORDER BY only
+/// over projected items (the parser enforces nothing else is visible).
+fn gen_aggregate_query(
+    rng: &mut SplitMix64,
+    body: &str,
+    all_vars: &[String],
+    counter: &mut usize,
+) -> String {
+    let nkeys = rng.gen_range(0..3usize).min(all_vars.len());
+    let mut keys: Vec<String> = Vec::new();
+    while keys.len() < nkeys {
+        let v = all_vars[rng.gen_range(0..all_vars.len())].clone();
+        if !keys.contains(&v) {
+            keys.push(v);
+        }
+    }
+    let mut items: Vec<String> = keys.iter().map(|k| format!("?{k}")).collect();
+    let mut projected: Vec<String> = keys.clone();
+    for _ in 0..rng.gen_range(1..3usize) {
+        let alias = format!("a{}", *counter);
+        *counter += 1;
+        items.push(format!("({} AS ?{alias})", gen_aggregate_call(rng, all_vars)));
+        projected.push(alias);
+    }
+    let mut query = format!("SELECT {} WHERE {{ {body}}}", items.join(" "));
+    if !keys.is_empty() {
+        let ks: Vec<String> = keys.iter().map(|k| format!("?{k}")).collect();
+        query.push_str(&format!(" GROUP BY {}", ks.join(" ")));
+    }
+    if rng.gen_ratio(1, 3) {
+        let op = ["<", "<=", ">", ">=", "=", "!="][rng.gen_range(0..6usize)];
+        query.push_str(&format!(
+            " HAVING({} {op} {})",
+            gen_aggregate_call(rng, all_vars),
+            rng.gen_range(0..INT_VALS)
+        ));
+    }
+    if rng.gen_ratio(1, 4) {
+        let key = &projected[rng.gen_range(0..projected.len())];
+        let dir = ["?", "ASC(?", "DESC(?"][rng.gen_range(0..3usize)];
+        let close = if dir == "?" { "" } else { ")" };
+        query.push_str(&format!(" ORDER BY {dir}{key}{close}"));
+    }
+    if rng.gen_ratio(1, 5) {
+        query.push_str(&format!(" LIMIT {}", rng.gen_range(1..11u32)));
+    }
+    query
 }
 
 fn gen_optional(

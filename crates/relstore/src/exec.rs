@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use crate::database::{Database, ScalarFn};
 use crate::error::{exec_err, plan_err, Error, Result};
-use crate::hash::{fx_hash_one, FxHashMap};
+use crate::hash::{fx_hash_one, FxHashMap, FxHashSet};
 use crate::pool::WorkerPool;
 use crate::sql::ast::{
     BinaryOp, Expr, Join, JoinKind, OrderItem, Query, QueryBody, Relation, Select, SelectItem,
@@ -450,8 +450,8 @@ pub fn compile(expr: &Expr, scope: &Scope, db: &Database) -> Result<CExpr> {
         Expr::Cast { expr, ty } => {
             CExpr::Cast { expr: Box::new(compile(expr, scope, db)?), ty: *ty }
         }
-        Expr::Func { name, args, star } => {
-            if *star || is_aggregate(name) {
+        Expr::Func { name, args, star, distinct } => {
+            if *star || *distinct || is_aggregate(name) {
                 return plan_err(format!("aggregate {name:?} not allowed in this context"));
             }
             let func = db
@@ -1026,10 +1026,11 @@ fn strip_qualifiers(e: &Expr) -> Expr {
         Expr::Cast { expr, ty } => {
             Expr::Cast { expr: Box::new(strip_qualifiers(expr)), ty: *ty }
         }
-        Expr::Func { name, args, star } => Expr::Func {
+        Expr::Func { name, args, star, distinct } => Expr::Func {
             name: name.clone(),
             args: args.iter().map(strip_qualifiers).collect(),
             star: *star,
+            distinct: *distinct,
         },
     }
 }
@@ -1948,7 +1949,10 @@ fn project(items: &[SelectItem], rel: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
 fn select_has_aggregates(sel: &Select) -> bool {
     fn expr_has(e: &Expr) -> bool {
         match e {
-            Expr::Func { name, star, .. } => *star || is_aggregate(name),
+            // An aggregate may hide inside a scalar call: COALESCE(SUM(x), 0).
+            Expr::Func { name, star, args, .. } => {
+                *star || is_aggregate(name) || args.iter().any(expr_has)
+            }
             Expr::Column { .. } | Expr::Literal(_) => false,
             Expr::Binary { left, right, .. } => expr_has(left) || expr_has(right),
             Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
@@ -2011,13 +2015,47 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
         sum_int: i64,
         min: Option<Value>,
         max: Option<Value>,
+        /// `AGG(DISTINCT x)`: values in first-occurrence order. Accumulation
+        /// is deferred to [`AggState::plain`] so merging morsel partials can
+        /// dedup globally; first-occurrence order is a pure function of the
+        /// input, keeping results byte-identical at every thread count.
+        distinct: Option<(FxHashSet<Value>, Vec<Value>)>,
     }
     impl AggState {
-        fn new() -> Self {
-            AggState { count: 0, sum: 0.0, sum_is_int: true, sum_int: 0, min: None, max: None }
+        fn new(distinct: bool) -> Self {
+            AggState {
+                count: 0,
+                sum: 0.0,
+                sum_is_int: true,
+                sum_int: 0,
+                min: None,
+                max: None,
+                distinct: distinct.then(|| (FxHashSet::default(), Vec::new())),
+            }
         }
+
+        /// Resolve a deferred DISTINCT accumulation into a plain state.
+        fn plain(&self) -> AggState {
+            match &self.distinct {
+                None => self.clone(),
+                Some((_, order)) => {
+                    let mut s = AggState::new(false);
+                    for v in order {
+                        s.update(v);
+                    }
+                    s
+                }
+            }
+        }
+
         fn update(&mut self, v: &Value) {
             if v.is_null() {
+                return;
+            }
+            if let Some((seen, order)) = &mut self.distinct {
+                if seen.insert(v.clone()) {
+                    order.push(v.clone());
+                }
                 return;
             }
             self.count += 1;
@@ -2032,32 +2070,58 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
                 }
                 _ => self.sum_is_int = false,
             }
-            if self.min.as_ref().map(|m| v.total_cmp(m).is_lt()).unwrap_or(true) {
+            if self.min.as_ref().map(|m| replaces(v, m, true)).unwrap_or(true) {
                 self.min = Some(v.clone());
             }
-            if self.max.as_ref().map(|m| v.total_cmp(m).is_gt()).unwrap_or(true) {
+            if self.max.as_ref().map(|m| replaces(v, m, false)).unwrap_or(true) {
                 self.max = Some(v.clone());
             }
         }
 
-        /// Fold `other` (a later morsel's partial) into `self`. Strict
-        /// comparisons keep the earlier occurrence on min/max ties, matching
-        /// what a sequential pass would retain.
+        /// Fold `other` (a later morsel's partial) into `self`. On min/max
+        /// ties the earlier occurrence is kept unless the type tie-break in
+        /// [`replaces`] applies, matching what a sequential pass would retain.
         fn merge(&mut self, other: &AggState) {
+            if let Some((seen, order)) = &mut self.distinct {
+                if let Some((_, oorder)) = &other.distinct {
+                    for v in oorder {
+                        if seen.insert(v.clone()) {
+                            order.push(v.clone());
+                        }
+                    }
+                }
+                return;
+            }
             self.count += other.count;
             self.sum += other.sum;
             self.sum_is_int &= other.sum_is_int;
             self.sum_int = self.sum_int.wrapping_add(other.sum_int);
             if let Some(m) = &other.min {
-                if self.min.as_ref().map(|c| m.total_cmp(c).is_lt()).unwrap_or(true) {
+                if self.min.as_ref().map(|c| replaces(m, c, true)).unwrap_or(true) {
                     self.min = Some(m.clone());
                 }
             }
             if let Some(m) = &other.max {
-                if self.max.as_ref().map(|c| m.total_cmp(c).is_gt()).unwrap_or(true) {
+                if self.max.as_ref().map(|c| replaces(m, c, false)).unwrap_or(true) {
                     self.max = Some(m.clone());
                 }
             }
+        }
+    }
+
+    /// Should candidate `v` replace the current MIN (`want_less`) or MAX
+    /// representative `m`? On a `total_cmp` tie — only possible for an Int
+    /// and a Double of equal value, e.g. `1` vs `1.0` — prefer the Int so
+    /// the retained representative is a function of the value multiset, not
+    /// of the order rows reach the aggregate.
+    fn replaces(v: &Value, m: &Value, want_less: bool) -> bool {
+        use std::cmp::Ordering;
+        match v.total_cmp(m) {
+            Ordering::Equal => {
+                matches!(v, Value::Int(_)) && matches!(m, Value::Double(_))
+            }
+            Ordering::Less => want_less,
+            Ordering::Greater => !want_less,
         }
     }
 
@@ -2070,7 +2134,13 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
     type Partial = Vec<(Vec<Value>, Vec<AggState>)>;
     let (group_ref, arg_ref) = (&group_exprs, &agg_args);
     let in_rows = &input.rows;
-    let nagg = agg_calls.len();
+    let agg_distinct: Vec<bool> = agg_calls
+        .iter()
+        .map(|a| matches!(a, Expr::Func { distinct: true, .. }))
+        .collect();
+    let dist_ref = &agg_distinct;
+    let fresh_states =
+        move || dist_ref.iter().map(|d| AggState::new(*d)).collect::<Vec<_>>();
     let partials: Vec<Partial> = parallel_morsels(ctx, in_rows.len(), |range| {
         let mut idx: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
         let mut local: Partial = Vec::new();
@@ -2082,7 +2152,7 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
             let slot = match idx.entry(key) {
                 std::collections::hash_map::Entry::Occupied(e) => *e.get(),
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    local.push((e.key().clone(), vec![AggState::new(); nagg]));
+                    local.push((e.key().clone(), fresh_states()));
                     *e.insert(local.len() - 1)
                 }
             };
@@ -2122,7 +2192,7 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
     }
     // Global aggregate over an empty input still yields one row.
     if sel.group_by.is_empty() && merged.is_empty() {
-        merged.push((Vec::new(), vec![AggState::new(); nagg]));
+        merged.push((Vec::new(), fresh_states()));
     }
 
     // Build the intermediate scope: group-by exprs then aggregate values.
@@ -2142,7 +2212,7 @@ fn aggregate(sel: &Select, input: Rel, ctx: &ExecCtx<'_>) -> Result<Rel> {
     for (key, states) in merged {
         let mut row = key;
         for (i, call) in agg_calls.iter().enumerate() {
-            let s = &states[i];
+            let s = states[i].plain();
             let Expr::Func { name, .. } = call else { unreachable!() };
             let v = match name.as_str() {
                 "count" => Value::Int(s.count as i64),
@@ -2296,10 +2366,11 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], agg_calls: &[Expr]) -> Expr {
         Expr::Cast { expr, ty } => {
             Expr::Cast { expr: Box::new(rewrite_agg(expr, group_by, agg_calls)), ty: *ty }
         }
-        Expr::Func { name, args, star } => Expr::Func {
+        Expr::Func { name, args, star, distinct } => Expr::Func {
             name: name.clone(),
             args: args.iter().map(|x| rewrite_agg(x, group_by, agg_calls)).collect(),
             star: *star,
+            distinct: *distinct,
         },
         _ => e.clone(),
     }

@@ -142,8 +142,10 @@ pub enum Expr {
     },
     Cast { expr: Box<Expr>, ty: SqlType },
     /// Scalar or aggregate function call; aggregates are recognized at
-    /// planning time. `COUNT(*)` is represented with `star = true`.
-    Func { name: String, args: Vec<Expr>, star: bool },
+    /// planning time. `COUNT(*)` is represented with `star = true`;
+    /// `distinct` marks `AGG(DISTINCT expr)` and only makes sense on
+    /// aggregates.
+    Func { name: String, args: Vec<Expr>, star: bool, distinct: bool },
 }
 
 impl Expr {

@@ -643,8 +643,9 @@ impl Parser {
             // function call
             if self.eat_if(&Token::Star) {
                 self.expect(&Token::RParen)?;
-                return Ok(Expr::Func { name: first, args: vec![], star: true });
+                return Ok(Expr::Func { name: first, args: vec![], star: true, distinct: false });
             }
+            let distinct = self.eat_kw("distinct");
             let mut args = Vec::new();
             if !self.eat_if(&Token::RParen) {
                 loop {
@@ -654,8 +655,10 @@ impl Parser {
                     }
                 }
                 self.expect(&Token::RParen)?;
+            } else if distinct {
+                return self.err("DISTINCT requires an argument");
             }
-            return Ok(Expr::Func { name: first, args, star: false });
+            return Ok(Expr::Func { name: first, args, star: false, distinct });
         }
         if self.eat_if(&Token::Dot) {
             let name = self.ident()?;

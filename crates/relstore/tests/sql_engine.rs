@@ -217,6 +217,37 @@ fn aggregates_group_by_having() {
 }
 
 #[test]
+fn distinct_aggregates() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k INTEGER, v INTEGER)").unwrap();
+    for (k, v) in [(1, 10), (1, 10), (1, 20), (2, 5), (2, 5), (2, 5)] {
+        db.execute(&format!("INSERT INTO t VALUES ({k}, {v})")).unwrap();
+    }
+    let rel = db
+        .query(
+            "SELECT k, COUNT(DISTINCT v) AS n, SUM(DISTINCT v) AS s, COUNT(v) AS all_n
+             FROM t GROUP BY k ORDER BY k",
+        )
+        .unwrap();
+    assert_eq!(rows(&rel), vec![vec!["1", "2", "30", "3"], vec!["2", "1", "5", "3"]]);
+    // DISTINCT over an empty global group still yields one row.
+    let rel = db.query("SELECT COUNT(DISTINCT v) AS n FROM t WHERE v > 1000").unwrap();
+    assert_eq!(rel.rows[0], vec![Value::Int(0)]);
+}
+
+#[test]
+fn min_max_tie_prefers_int_over_double() {
+    // An Int and a Double of equal value compare Equal under total_cmp; the
+    // retained MIN/MAX representative must not depend on row order, so the
+    // Int wins regardless of which arrives first.
+    let mut db = Database::new();
+    db.execute("CREATE TABLE m (v DOUBLE)").unwrap();
+    db.execute("INSERT INTO m VALUES (1.0), (1), (2), (2.0)").unwrap();
+    let rel = db.query("SELECT MIN(v) AS lo, MAX(v) AS hi FROM m").unwrap();
+    assert_eq!(rel.rows[0], vec![Value::Int(1), Value::Int(2)]);
+}
+
+#[test]
 fn global_aggregate_on_empty_input() {
     let db = db_with_people();
     let rel = db.query("SELECT COUNT(*) AS n, SUM(age) AS s FROM person WHERE age > 1000").unwrap();

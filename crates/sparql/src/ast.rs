@@ -62,6 +62,19 @@ pub enum Pattern {
     Union(Vec<Pattern>),
     /// OPTIONAL node guarding its child pattern.
     Optional(Box<Pattern>),
+    /// `BIND(expr AS ?var)` — extends each solution with a computed value.
+    Bind { expr: Expression, var: String },
+    /// Inline `VALUES` data block.
+    Values(ValuesBlock),
+    /// Nested `{ SELECT ... }` subquery.
+    SubSelect(Box<Query>),
+}
+
+/// `VALUES (?a ?b) { (1 UNDEF) ... }` — `None` cells are `UNDEF`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValuesBlock {
+    pub vars: Vec<String>,
+    pub rows: Vec<Vec<Option<Term>>>,
 }
 
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -71,7 +84,9 @@ pub struct GroupPattern {
 }
 
 impl Pattern {
-    /// All triple patterns in this subtree, in parse order.
+    /// All triple patterns in this subtree, in parse order. Subquery
+    /// patterns are opaque: their triples belong to the inner query's own
+    /// plan, not the enclosing one.
     pub fn triples(&self) -> Vec<&TriplePattern> {
         let mut out = Vec::new();
         fn walk<'a>(p: &'a Pattern, out: &mut Vec<&'a TriplePattern>) {
@@ -80,6 +95,7 @@ impl Pattern {
                 Pattern::Group(g) => g.children.iter().for_each(|c| walk(c, out)),
                 Pattern::Union(cs) => cs.iter().for_each(|c| walk(c, out)),
                 Pattern::Optional(c) => walk(c, out),
+                Pattern::Bind { .. } | Pattern::Values(_) | Pattern::SubSelect(_) => {}
             }
         }
         walk(self, &mut out);
@@ -87,14 +103,36 @@ impl Pattern {
         out
     }
 
-    /// All variables bound by triples in this subtree.
+    /// All variables visible from this subtree: bound by triples, BIND,
+    /// VALUES, or projected out of a subquery.
     pub fn variables(&self) -> Vec<String> {
         let mut seen = std::collections::BTreeSet::new();
-        for t in self.triples() {
-            for v in t.variables() {
-                seen.insert(v.to_string());
+        fn walk(p: &Pattern, seen: &mut std::collections::BTreeSet<String>) {
+            match p {
+                Pattern::Triple(t) => {
+                    for v in t.variables() {
+                        seen.insert(v.to_string());
+                    }
+                }
+                Pattern::Group(g) => g.children.iter().for_each(|c| walk(c, seen)),
+                Pattern::Union(cs) => cs.iter().for_each(|c| walk(c, seen)),
+                Pattern::Optional(c) => walk(c, seen),
+                Pattern::Bind { var, .. } => {
+                    seen.insert(var.clone());
+                }
+                Pattern::Values(v) => {
+                    for var in &v.vars {
+                        seen.insert(var.clone());
+                    }
+                }
+                Pattern::SubSelect(q) => {
+                    for var in q.projected_variables() {
+                        seen.insert(var);
+                    }
+                }
             }
         }
+        walk(self, &mut seen);
         seen.into_iter().collect()
     }
 }
@@ -123,6 +161,30 @@ pub enum Expression {
     IsIri(Box<Expression>),
     IsLiteral(Box<Expression>),
     IsBlank(Box<Expression>),
+    /// Aggregate call: `COUNT/SUM/AVG/MIN/MAX([DISTINCT] expr)`; `arg` is
+    /// `None` for `COUNT(*)`.
+    Aggregate { func: AggFunc, distinct: bool, arg: Option<Box<Expression>> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,10 +231,70 @@ impl Expression {
                 | Expression::IsIri(expr)
                 | Expression::IsLiteral(expr)
                 | Expression::IsBlank(expr) => walk(expr, out),
+                Expression::Aggregate { arg, .. } => {
+                    if let Some(a) = arg {
+                        walk(a, out);
+                    }
+                }
             }
         }
         walk(self, &mut out);
         out
+    }
+
+    /// Variables referenced *outside* any aggregate call — in an
+    /// aggregating query these must all be grouping keys.
+    pub fn non_aggregated_variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expression, out: &mut Vec<&'a str>) {
+            match e {
+                Expression::Var(v) => out.push(v),
+                Expression::Bound(v) => out.push(v),
+                Expression::Term(_) | Expression::Aggregate { .. } => {}
+                Expression::Or(a, b) | Expression::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Expression::Not(a) | Expression::Neg(a) => walk(a, out),
+                Expression::Compare { left, right, .. }
+                | Expression::Arith { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                Expression::Regex { expr, .. }
+                | Expression::Str(expr)
+                | Expression::Lang(expr)
+                | Expression::Datatype(expr)
+                | Expression::IsIri(expr)
+                | Expression::IsLiteral(expr)
+                | Expression::IsBlank(expr) => walk(expr, out),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Whether any aggregate call appears in the expression.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expression::Aggregate { .. } => true,
+            Expression::Var(_) | Expression::Term(_) | Expression::Bound(_) => false,
+            Expression::Or(a, b) | Expression::And(a, b) => {
+                a.has_aggregate() || b.has_aggregate()
+            }
+            Expression::Compare { left, right, .. } | Expression::Arith { left, right, .. } => {
+                left.has_aggregate() || right.has_aggregate()
+            }
+            Expression::Not(e)
+            | Expression::Neg(e)
+            | Expression::Regex { expr: e, .. }
+            | Expression::Str(e)
+            | Expression::Lang(e)
+            | Expression::Datatype(e)
+            | Expression::IsIri(e)
+            | Expression::IsLiteral(e)
+            | Expression::IsBlank(e) => e.has_aggregate(),
+        }
     }
 }
 
@@ -189,6 +311,16 @@ pub enum SelectVars {
     All,
     /// Explicit projection list (names without sigils).
     Vars(Vec<String>),
+    /// General projection mixing plain variables and `(expr AS ?v)` items.
+    Items(Vec<SelectItem>),
+}
+
+/// One projection item: a plain variable (`expr` is `None`) or a computed
+/// `(expr AS ?var)` binding. `var` is always the output column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Option<Expression>,
+    pub var: String,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -203,6 +335,11 @@ pub struct Query {
     pub form: QueryForm,
     /// The root pattern (the WHERE group).
     pub pattern: GroupPattern,
+    /// `GROUP BY ?v ...` grouping variables (variables only; grouping by
+    /// arbitrary expressions is out of scope).
+    pub group_by: Vec<String>,
+    /// `HAVING(cond) ...` conditions, evaluated over the grouped solution.
+    pub having: Vec<Expression>,
     pub order_by: Vec<OrderCondition>,
     pub limit: Option<u64>,
     pub offset: Option<u64>,
@@ -257,6 +394,9 @@ impl Query {
         match &self.form {
             QueryForm::Ask => Vec::new(),
             QueryForm::Select { vars: SelectVars::Vars(v), .. } => v.clone(),
+            QueryForm::Select { vars: SelectVars::Items(items), .. } => {
+                items.iter().map(|i| i.var.clone()).collect()
+            }
             QueryForm::Select { vars: SelectVars::All, .. } => {
                 Pattern::Group(self.pattern.clone()).variables()
             }
@@ -267,8 +407,54 @@ impl Query {
         matches!(self.form, QueryForm::Select { distinct: true, .. })
     }
 
-    /// Total number of triple patterns.
+    /// Total number of triple patterns in the outer WHERE clause (subquery
+    /// triples belong to the inner query's plan).
     pub fn triple_count(&self) -> usize {
         Pattern::Group(self.pattern.clone()).triples().len()
+    }
+
+    /// Projection items with any aggregate expression.
+    pub fn select_items(&self) -> Option<&[SelectItem]> {
+        match &self.form {
+            QueryForm::Select { vars: SelectVars::Items(items), .. } => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the solution is grouped: an explicit GROUP BY, a HAVING
+    /// clause, or an aggregate in the projection all trigger aggregation.
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || !self.having.is_empty()
+            || self
+                .select_items()
+                .is_some_and(|items| {
+                    items.iter().any(|i| i.expr.as_ref().is_some_and(|e| e.has_aggregate()))
+                })
+    }
+
+    /// Whether the pattern contains any non-triple generator (BIND, VALUES,
+    /// or a subquery) anywhere.
+    pub fn has_pattern_extensions(&self) -> bool {
+        fn walk(p: &Pattern) -> bool {
+            match p {
+                Pattern::Triple(_) => false,
+                Pattern::Group(g) => g.children.iter().any(walk),
+                Pattern::Union(cs) => cs.iter().any(walk),
+                Pattern::Optional(c) => walk(c),
+                Pattern::Bind { .. } | Pattern::Values(_) | Pattern::SubSelect(_) => true,
+            }
+        }
+        self.pattern.children.iter().any(walk)
+    }
+
+    /// Whether the query's answer is fixed by the algebra alone (`ASK {}`,
+    /// `SELECT * WHERE {}`): no triples, no generators, no aggregation, no
+    /// computed projection.
+    pub fn is_fixed_answer(&self) -> bool {
+        self.triple_count() == 0
+            && !self.has_pattern_extensions()
+            && !self.is_aggregate()
+            && self.select_items().is_none_or(|items| items.iter().all(|i| i.expr.is_none()))
     }
 }

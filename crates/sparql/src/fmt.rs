@@ -39,11 +39,37 @@ pub fn to_sparql(query: &Query) -> String {
                         let _ = write!(out, "?{v} ");
                     }
                 }
+                SelectVars::Items(items) => {
+                    for item in items {
+                        match &item.expr {
+                            None => {
+                                let _ = write!(out, "?{} ", item.var);
+                            }
+                            Some(e) => {
+                                out.push('(');
+                                write_expr(&mut out, e);
+                                let _ = write!(out, " AS ?{})", item.var);
+                                out.push(' ');
+                            }
+                        }
+                    }
+                }
             }
             out.push_str("WHERE ");
         }
     }
     write_group_braced(&mut out, &query.pattern);
+    if !query.group_by.is_empty() {
+        out.push_str(" GROUP BY");
+        for v in &query.group_by {
+            let _ = write!(out, " ?{v}");
+        }
+    }
+    for h in &query.having {
+        out.push_str(" HAVING (");
+        write_expr(&mut out, h);
+        out.push(')');
+    }
     if !query.order_by.is_empty() {
         out.push_str(" ORDER BY");
         for cond in &query.order_by {
@@ -203,6 +229,40 @@ fn write_pattern(out: &mut String, pattern: &Pattern) {
             }
             out.push(' ');
         }
+        Pattern::Bind { expr, var } => {
+            out.push_str("BIND(");
+            write_expr(out, expr);
+            let _ = write!(out, " AS ?{var}) ");
+        }
+        Pattern::Values(block) => {
+            out.push_str("VALUES (");
+            for (i, v) in block.vars.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "?{v}");
+            }
+            out.push_str(") { ");
+            for row in &block.rows {
+                out.push('(');
+                for (i, cell) in row.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    match cell {
+                        None => out.push_str("UNDEF"),
+                        Some(t) => t.encode_into(out),
+                    }
+                }
+                out.push_str(") ");
+            }
+            out.push_str("} ");
+        }
+        Pattern::SubSelect(q) => {
+            out.push_str("{ ");
+            out.push_str(&to_sparql(q));
+            out.push_str(" } ");
+        }
     }
 }
 
@@ -267,6 +327,18 @@ fn write_expr(out: &mut String, expr: &Expression) {
             }
             out.push(')');
         }
+        Expression::Aggregate { func, distinct, arg } => {
+            out.push_str(func.name());
+            out.push('(');
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            match arg {
+                None => out.push('*'),
+                Some(e) => write_expr(out, e),
+            }
+            out.push(')');
+        }
         Expression::Str(e) => write_call(out, "STR", e),
         Expression::Lang(e) => write_call(out, "LANG", e),
         Expression::Datatype(e) => write_call(out, "DATATYPE", e),
@@ -309,6 +381,8 @@ mod tests {
                 Pattern::Group(g) => fix_group(g),
                 Pattern::Union(alts) => alts.iter_mut().for_each(fix),
                 Pattern::Optional(inner) => fix(inner),
+                Pattern::Bind { .. } | Pattern::Values(_) => {}
+                Pattern::SubSelect(q) => fix_group(&mut q.pattern),
             }
         }
         fix_group(&mut q.pattern);
@@ -336,6 +410,18 @@ mod tests {
             "ASK {}",
             "SELECT ?s WHERE { ?s <http://p/1> 42 }",
             "SELECT ?s WHERE { ?s <http://p/1> 7 FILTER (?s != 3.25) }",
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://p/1> ?o }",
+            "SELECT ?s (SUM(?x) AS ?t) (AVG(?x) AS ?a) WHERE { ?s <http://p/1> ?x } \
+             GROUP BY ?s HAVING ((COUNT(?x) > 1)) ORDER BY DESC(?t) LIMIT 3",
+            "SELECT ?s (COUNT(DISTINCT ?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s",
+            "SELECT ?s (MIN(?x) AS ?lo) (MAX(?x) AS ?hi) WHERE { ?s <http://p/1> ?x } \
+             GROUP BY ?s",
+            "SELECT ?s ?y WHERE { ?s <http://p/1> ?x BIND((?x + 1) AS ?y) }",
+            "SELECT ?s WHERE { ?s <http://p/1> ?x VALUES (?x) { (1) (2) (UNDEF) } }",
+            "SELECT ?s ?o WHERE { ?s <http://p/1> ?x VALUES (?s ?o) { \
+             (<http://s/1> \"a\") (UNDEF 2) } }",
+            "SELECT ?s ?n WHERE { ?s <http://p/2> ?z \
+             { SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s <http://p/1> ?o } GROUP BY ?s } }",
         ];
         for case in cases {
             let parsed = parse_sparql(case).unwrap_or_else(|e| panic!("{case}: {e}"));
@@ -375,6 +461,8 @@ mod tests {
                             fix_group(g);
                         }
                     }
+                    Pattern::Bind { .. } | Pattern::Values(_) => {}
+                    Pattern::SubSelect(q) => fix_group(&mut q.pattern),
                 }
             }
         }

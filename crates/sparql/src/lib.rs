@@ -19,8 +19,8 @@ mod lexer;
 mod parser;
 
 pub use ast::{
-    ArithOp, CompareOp, Expression, GroupPattern, OrderCondition, Pattern, Query, QueryForm,
-    SelectVars, TermPattern, TriplePattern, Update, UpdateOp,
+    AggFunc, ArithOp, CompareOp, Expression, GroupPattern, OrderCondition, Pattern, Query,
+    QueryForm, SelectItem, SelectVars, TermPattern, TriplePattern, Update, UpdateOp, ValuesBlock,
 };
 pub use error::SparqlError;
 pub use fmt::{to_sparql, to_sparql_update};

@@ -1,7 +1,11 @@
-//! Recursive-descent SPARQL 1.0 parser for the subset used throughout the
+//! Recursive-descent SPARQL parser for the subset used throughout the
 //! paper's workloads: SELECT / ASK, basic graph patterns with `;`/`,`
 //! abbreviations, GROUP / UNION / OPTIONAL nesting, FILTER expressions,
-//! DISTINCT / REDUCED, ORDER BY, LIMIT and OFFSET.
+//! DISTINCT / REDUCED, ORDER BY, LIMIT and OFFSET — plus the SPARQL 1.1
+//! analytic surface: aggregates (COUNT/SUM/AVG/MIN/MAX, `COUNT(*)`,
+//! DISTINCT inside aggregates), GROUP BY / HAVING, `(expr AS ?v)`
+//! projections, BIND, inline VALUES, and nested `{ SELECT ... }`
+//! subqueries.
 
 use std::collections::HashMap;
 
@@ -135,23 +139,19 @@ impl Parser {
 
     fn query(&mut self) -> Result<Query, SparqlError> {
         self.prologue()?;
+        let q = self.query_body()?;
+        if !matches!(self.peek(), Token::Eof) {
+            return self.err(format!("unexpected trailing input: {:?}", self.peek()));
+        }
+        Ok(q)
+    }
 
+    /// SELECT/ASK + WHERE + solution modifiers, without the trailing-input
+    /// check — shared by top-level queries and `{ SELECT ... }` subqueries.
+    fn query_body(&mut self) -> Result<Query, SparqlError> {
         let form = if self.eat_word("select") {
             let distinct = self.eat_word("distinct") || self.eat_word("reduced");
-            let vars = if self.eat(&Token::Star) {
-                SelectVars::All
-            } else {
-                let mut vars = Vec::new();
-                while let Token::Var(v) = self.peek().clone() {
-                    self.advance();
-                    vars.push(v);
-                }
-                if vars.is_empty() {
-                    return self.err("SELECT requires * or at least one variable");
-                }
-                SelectVars::Vars(vars)
-            };
-            QueryForm::Select { vars, distinct }
+            QueryForm::Select { vars: self.select_clause()?, distinct }
         } else if self.eat_word("ask") {
             QueryForm::Ask
         } else {
@@ -160,6 +160,24 @@ impl Parser {
 
         let _ = self.eat_word("where");
         let pattern = self.group_graph_pattern()?;
+
+        let mut group_by = Vec::new();
+        if self.eat_word("group") {
+            self.expect_word("by")?;
+            while let Token::Var(v) = self.peek().clone() {
+                self.advance();
+                group_by.push(v);
+            }
+            if group_by.is_empty() {
+                return self.err("GROUP BY requires at least one variable");
+            }
+        }
+        let mut having = Vec::new();
+        while self.eat_word("having") {
+            self.expect(&Token::LParen)?;
+            having.push(self.expression()?);
+            self.expect(&Token::RParen)?;
+        }
 
         let mut order_by = Vec::new();
         if self.eat_word("order") {
@@ -203,10 +221,123 @@ impl Parser {
                 break;
             }
         }
-        if !matches!(self.peek(), Token::Eof) {
-            return self.err(format!("unexpected trailing input: {:?}", self.peek()));
+        let q = Query { form, pattern, group_by, having, order_by, limit, offset };
+        self.check_query(&q)?;
+        Ok(q)
+    }
+
+    /// The projection list after SELECT [DISTINCT]: `*`, plain variables,
+    /// or a mix of variables and `(expr AS ?v)` items.
+    fn select_clause(&mut self) -> Result<SelectVars, SparqlError> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectVars::All);
         }
-        Ok(Query { form, pattern, order_by, limit, offset })
+        let mut items: Vec<SelectItem> = Vec::new();
+        let mut has_expr = false;
+        loop {
+            match self.peek().clone() {
+                Token::Var(v) => {
+                    self.advance();
+                    items.push(SelectItem { expr: None, var: v });
+                }
+                Token::LParen => {
+                    self.advance();
+                    let expr = self.expression()?;
+                    self.expect_word("as")?;
+                    let var = match self.advance() {
+                        Token::Var(v) => v,
+                        other => {
+                            return self.err(format!("expected variable after AS, found {other:?}"))
+                        }
+                    };
+                    self.expect(&Token::RParen)?;
+                    has_expr = true;
+                    items.push(SelectItem { expr: Some(expr), var });
+                }
+                _ => break,
+            }
+        }
+        if items.is_empty() {
+            return self.err("SELECT requires * or at least one variable");
+        }
+        for (i, item) in items.iter().enumerate() {
+            if items[..i].iter().any(|p| p.var == item.var) {
+                return self.err(format!("duplicate projection of ?{}", item.var));
+            }
+        }
+        if has_expr {
+            Ok(SelectVars::Items(items))
+        } else {
+            Ok(SelectVars::Vars(items.into_iter().map(|i| i.var).collect()))
+        }
+    }
+
+    /// Static well-formedness checks the grammar alone cannot express:
+    /// grouped-query projection scope and `AS` target freshness.
+    fn check_query(&self, q: &Query) -> Result<(), SparqlError> {
+        if matches!(q.form, QueryForm::Ask) && (!q.group_by.is_empty() || !q.having.is_empty()) {
+            return self.err("GROUP BY / HAVING cannot be used with ASK");
+        }
+        let visible = Pattern::Group(q.pattern.clone()).variables();
+        if let QueryForm::Select { vars, .. } = &q.form {
+            if let SelectVars::Items(items) = vars {
+                for item in items {
+                    if item.expr.is_some() && visible.iter().any(|v| v == &item.var) {
+                        return self.err(format!(
+                            "AS target ?{} is already bound in the WHERE clause",
+                            item.var
+                        ));
+                    }
+                }
+            }
+            if q.is_aggregate() {
+                if matches!(vars, SelectVars::All) {
+                    return self.err("SELECT * cannot be used with GROUP BY or aggregates");
+                }
+                // Every plainly projected variable must be a grouping key.
+                let plain: Vec<&str> = match vars {
+                    SelectVars::Vars(vs) => vs.iter().map(String::as_str).collect(),
+                    SelectVars::Items(items) => items
+                        .iter()
+                        .filter(|i| i.expr.is_none())
+                        .map(|i| i.var.as_str())
+                        .collect(),
+                    SelectVars::All => Vec::new(),
+                };
+                for v in plain {
+                    if !q.group_by.iter().any(|g| g == v) {
+                        return self.err(format!(
+                            "?{v} is projected but not grouped: add it to GROUP BY or \
+                             wrap it in an aggregate"
+                        ));
+                    }
+                }
+                // Variables appearing outside aggregates in computed
+                // projection items must also be grouping keys.
+                if let SelectVars::Items(items) = vars {
+                    for item in items {
+                        let Some(expr) = &item.expr else { continue };
+                        for v in expr.non_aggregated_variables() {
+                            if !q.group_by.iter().any(|g| g == v) {
+                                return self.err(format!(
+                                    "?{v} is used outside an aggregate but is not grouped"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for h in &q.having {
+            // Any variable HAVING uses outside an aggregate must be a
+            // grouping key — whether or not the condition also aggregates.
+            for v in h.non_aggregated_variables() {
+                if !q.group_by.iter().any(|g| g == v) {
+                    return self.err(format!("HAVING references ungrouped variable ?{v}"));
+                }
+            }
+        }
+        Ok(())
     }
 
     // ---- SPARQL 1.1 Update ----
@@ -363,13 +494,55 @@ impl Parser {
                 }
                 Token::Word(w) if w == "filter" => {
                     self.advance();
-                    group.filters.push(self.constraint()?);
+                    let e = self.constraint()?;
+                    if e.has_aggregate() {
+                        return self.err("aggregate calls are not allowed in FILTER");
+                    }
+                    group.filters.push(e);
                     let _ = self.eat(&Token::Dot);
                 }
                 Token::Word(w) if w == "optional" => {
                     self.advance();
                     let inner = self.group_graph_pattern()?;
                     group.children.push(Pattern::Optional(Box::new(Pattern::Group(inner))));
+                    let _ = self.eat(&Token::Dot);
+                }
+                Token::Word(w) if w == "bind" => {
+                    self.advance();
+                    self.expect(&Token::LParen)?;
+                    let expr = self.expression()?;
+                    if expr.has_aggregate() {
+                        return self.err("aggregate calls are not allowed in BIND");
+                    }
+                    self.expect_word("as")?;
+                    let var = match self.advance() {
+                        Token::Var(v) => v,
+                        other => {
+                            return self.err(format!("expected variable after AS, found {other:?}"))
+                        }
+                    };
+                    self.expect(&Token::RParen)?;
+                    // SPARQL scope rule: the BIND target must be fresh with
+                    // respect to the preceding elements of this group.
+                    if group.children.iter().any(|c| c.variables().iter().any(|v| v == &var)) {
+                        return self.err(format!("BIND target ?{var} is already bound"));
+                    }
+                    group.children.push(Pattern::Bind { expr, var });
+                    let _ = self.eat(&Token::Dot);
+                }
+                Token::Word(w) if w == "values" => {
+                    self.advance();
+                    group.children.push(Pattern::Values(self.values_block()?));
+                    let _ = self.eat(&Token::Dot);
+                }
+                Token::LBrace if self.next_is_subselect() => {
+                    self.advance(); // `{`
+                    let inner = self.query_body()?;
+                    if matches!(inner.form, QueryForm::Ask) {
+                        return self.err("subqueries must be SELECT queries");
+                    }
+                    self.expect(&Token::RBrace)?;
+                    group.children.push(Pattern::SubSelect(Box::new(inner)));
                     let _ = self.eat(&Token::Dot);
                 }
                 Token::LBrace => {
@@ -393,7 +566,11 @@ impl Parser {
                         // '.' is optional before '}' and before non-triple items
                         match self.peek() {
                             Token::RBrace | Token::LBrace => {}
-                            Token::Word(w) if w == "filter" || w == "optional" => {}
+                            Token::Word(w)
+                                if w == "filter"
+                                    || w == "optional"
+                                    || w == "bind"
+                                    || w == "values" => {}
                             _ => return self.err("expected '.', '}' or pattern keyword"),
                         }
                     }
@@ -401,6 +578,71 @@ impl Parser {
             }
         }
         Ok(group)
+    }
+
+    /// Whether the `{` at the cursor opens a `{ SELECT ... }` subquery.
+    fn next_is_subselect(&self) -> bool {
+        matches!(
+            self.tokens.get(self.pos + 1).map(|s| &s.token),
+            Some(Token::Word(w)) if w == "select"
+        )
+    }
+
+    /// An inline data block: `VALUES ?v { t1 t2 ... }` or
+    /// `VALUES (?a ?b) { (t1 t2) (UNDEF t3) ... }`.
+    fn values_block(&mut self) -> Result<ValuesBlock, SparqlError> {
+        let mut vars = Vec::new();
+        let single = !matches!(self.peek(), Token::LParen);
+        if single {
+            match self.advance() {
+                Token::Var(v) => vars.push(v),
+                other => return self.err(format!("expected variable after VALUES, found {other:?}")),
+            }
+        } else {
+            self.advance(); // `(`
+            while let Token::Var(v) = self.peek().clone() {
+                self.advance();
+                vars.push(v);
+            }
+            self.expect(&Token::RParen)?;
+            if vars.is_empty() {
+                return self.err("VALUES requires at least one variable");
+            }
+        }
+        for (i, v) in vars.iter().enumerate() {
+            if vars[..i].contains(v) {
+                return self.err(format!("duplicate VALUES variable ?{v}"));
+            }
+        }
+        self.expect(&Token::LBrace)?;
+        let mut rows = Vec::new();
+        loop {
+            if self.eat(&Token::RBrace) {
+                break;
+            }
+            if single {
+                rows.push(vec![self.values_term()?]);
+            } else {
+                self.expect(&Token::LParen)?;
+                let mut row = Vec::with_capacity(vars.len());
+                for _ in 0..vars.len() {
+                    row.push(self.values_term()?);
+                }
+                self.expect(&Token::RParen)?;
+                rows.push(row);
+            }
+        }
+        Ok(ValuesBlock { vars, rows })
+    }
+
+    fn values_term(&mut self) -> Result<Option<Term>, SparqlError> {
+        if self.eat_word("undef") {
+            return Ok(None);
+        }
+        match self.var_or_term()? {
+            TermPattern::Term(t) => Ok(Some(t)),
+            TermPattern::Var(_) => self.err("VALUES data must be constant terms or UNDEF"),
+        }
     }
 
     fn triples_same_subject(&mut self) -> Result<Vec<TriplePattern>, SparqlError> {
@@ -634,6 +876,31 @@ impl Parser {
             "isiri" | "isuri" => Expression::IsIri(Box::new(self.expression()?)),
             "isliteral" => Expression::IsLiteral(Box::new(self.expression()?)),
             "isblank" => Expression::IsBlank(Box::new(self.expression()?)),
+            "count" | "sum" | "avg" | "min" | "max" => {
+                let func = match name.as_str() {
+                    "count" => AggFunc::Count,
+                    "sum" => AggFunc::Sum,
+                    "avg" => AggFunc::Avg,
+                    "min" => AggFunc::Min,
+                    _ => AggFunc::Max,
+                };
+                let distinct = self.eat_word("distinct");
+                if self.eat(&Token::Star) {
+                    if func != AggFunc::Count {
+                        return self.err(format!("{}(*) is not valid SPARQL", func.name()));
+                    }
+                    if distinct {
+                        return self.err("COUNT(DISTINCT *) is not supported");
+                    }
+                    Expression::Aggregate { func, distinct: false, arg: None }
+                } else {
+                    let e = self.expression()?;
+                    if e.has_aggregate() {
+                        return self.err("nested aggregate calls are not allowed");
+                    }
+                    Expression::Aggregate { func, distinct, arg: Some(Box::new(e)) }
+                }
+            }
             other => return self.err(format!("unsupported builtin {other:?}")),
         };
         self.expect(&Token::RParen)?;

@@ -36,9 +36,16 @@
 #                                # through the group-commit path, asserting
 #                                # every update acks and the batch histogram
 #                                # balances
+#   scripts/verify.sh --analytics
+#                                # additionally run the analytics bench in
+#                                # its ANALYTICS_SMOKE=1 profile: the AQ1-8
+#                                # aggregate/BIND/VALUES/subquery workload
+#                                # over SP²Bench data, every answer checked
+#                                # against the naive reference on all three
+#                                # layouts before timing
 #
 # Flags combine: `scripts/verify.sh --all --clippy --server --plan-cache
-# --exec-scaling --fuzz --bulk-load --update` is what CI runs.
+# --exec-scaling --fuzz --bulk-load --update --analytics` is what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,6 +57,7 @@ run_exec_scaling=false
 run_fuzz=false
 run_bulk_load=false
 run_update=false
+run_analytics=false
 for arg in "$@"; do
     case "$arg" in
         --all) run_all=true ;;
@@ -60,6 +68,7 @@ for arg in "$@"; do
         --fuzz) run_fuzz=true ;;
         --bulk-load) run_bulk_load=true ;;
         --update) run_update=true ;;
+        --analytics) run_analytics=true ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -109,6 +118,11 @@ fi
 if $run_update; then
     echo "== update_throughput bench smoke (group-committed mixed read/write)"
     UPDATE_SMOKE=1 cargo run --release --offline -p bench --bin update_throughput
+fi
+
+if $run_analytics; then
+    echo "== analytics bench smoke (aggregates/BIND/VALUES/subqueries vs naive)"
+    ANALYTICS_SMOKE=1 cargo run --release --offline -p bench --bin analytics
 fi
 
 echo "verify: OK"

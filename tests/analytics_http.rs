@@ -1,0 +1,57 @@
+//! End-to-end analytic acceptance test: an SP²Bench-style aggregate query
+//! (GROUP BY + COUNT + HAVING + ORDER BY) travels the whole stack — HTTP
+//! request parsing, SPARQL parsing, SQL translation, relational execution,
+//! W3C JSON serialization — and the response body must be *byte-identical*
+//! to the naive reference evaluator's serialization of the same query, on
+//! every one of the three relational layouts.
+//!
+//! Byte-identity (not just multiset equality) is meaningful here because
+//! the ORDER BY key is the group key, which is unique per row: the total
+//! order is fully pinned, so any drift in ordering, aggregate typing
+//! (COUNT must stay xsd:integer) or JSON rendering fails the test.
+
+use db2rdf::{naive, Layout, RdfStore, SharedStore, StoreConfig};
+use server::client::Client;
+use server::{Server, ServerConfig};
+use sparql::parse_sparql;
+
+/// Documents per year, restricted to prolific years — the SP²Bench "count
+/// publications per venue/year" analytic shape.
+const AGG_QUERY: &str = "SELECT ?a (COUNT(?d) AS ?n) \
+     WHERE { ?d <http://sp2b.bench/creator> ?a } \
+     GROUP BY ?a HAVING(COUNT(?d) > 3) ORDER BY ?a";
+
+#[test]
+fn aggregate_query_over_http_matches_naive_on_every_layout() {
+    let triples = datagen::sp2b::generate(500, 42);
+    let parsed = parse_sparql(AGG_QUERY).expect("acceptance query parses");
+    let reference = naive::evaluate(&triples, &parsed);
+    assert!(
+        reference.len() >= 3,
+        "degenerate acceptance dataset: only {} groups survive HAVING",
+        reference.len()
+    );
+    let expected_json = reference.to_json();
+
+    for layout in [Layout::Entity, Layout::TripleStore, Layout::Vertical] {
+        let mut store = RdfStore::new(StoreConfig::with_layout(layout));
+        store.load(&triples).unwrap_or_else(|e| panic!("{layout:?}: load: {e}"));
+        let server =
+            Server::start(SharedStore::new(store), "127.0.0.1:0", ServerConfig::default())
+                .expect("bind ephemeral port");
+        let mut c = Client::connect(server.local_addr()).expect("connect");
+        let r = c.sparql_get(AGG_QUERY, None).expect("request");
+        assert_eq!(r.status, 200, "{layout:?}: {}", r.text());
+        assert_eq!(
+            r.header("content-type"),
+            Some("application/sparql-results+json"),
+            "{layout:?}"
+        );
+        assert_eq!(
+            r.text(),
+            expected_json,
+            "{layout:?}: HTTP response body is not byte-identical to the naive reference"
+        );
+        server.shutdown();
+    }
+}
